@@ -1,0 +1,62 @@
+// Command dblpgen emits a synthetic DBLP-Journals document as XML, or
+// loads it directly into a timber database file.
+//
+// Usage:
+//
+//	dblpgen -articles 10000 > journals.xml
+//	dblpgen -articles 10000 -db journals.timber
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"timber/internal/dblpgen"
+	"timber/internal/storage"
+	"timber/internal/xmltree"
+)
+
+func main() {
+	articles := flag.Int("articles", 10_000, "number of articles")
+	seed := flag.Int64("seed", 2002, "generator seed")
+	institutions := flag.Bool("institutions", false, "nest institution elements inside authors")
+	dbPath := flag.String("db", "", "load into a timber database file instead of writing XML to stdout")
+	flag.Parse()
+
+	cfg := dblpgen.Config{Articles: *articles, Seed: *seed, WithInstitutions: *institutions}
+	if err := run(cfg, *dbPath); err != nil {
+		fmt.Fprintln(os.Stderr, "dblpgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg dblpgen.Config, dbPath string) error {
+	if dbPath != "" {
+		db, err := storage.Create(dbPath, storage.Options{})
+		if err != nil {
+			return err
+		}
+		stats, err := dblpgen.GenerateToDB(db, cfg)
+		if err != nil {
+			db.Close()
+			return err
+		}
+		if err := db.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "loaded %v into %s\n", stats, dbPath)
+		return nil
+	}
+	root, stats := dblpgen.Generate(cfg)
+	w := bufio.NewWriter(os.Stdout)
+	if err := xmltree.Serialize(w, root); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "generated %v\n", stats)
+	return nil
+}

@@ -1,0 +1,91 @@
+// Command timber-match evaluates a pattern tree against a timber
+// database and prints the witness bindings — the raw Sec. 5.2 machinery
+// behind selection and grouping, exposed for exploration.
+//
+// The pattern uses the paper's figure notation (see pattern.ParseTree):
+//
+//	timber-match -db bib.timber -p '
+//	$1 [tag=article]
+//	  pc $2 [tag=title & content~"*Transaction*"]
+//	  pc $3 [tag=author]'
+//
+// Each witness prints one line per bound label with the node identifier
+// (doc:start), tag and content.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"timber/internal/match"
+	"timber/internal/pattern"
+	"timber/internal/storage"
+)
+
+func main() {
+	dbPath := flag.String("db", "timber.db", "database file")
+	patSrc := flag.String("p", "", "pattern tree (figure notation)")
+	patFile := flag.String("f", "", "read the pattern from this file")
+	limit := flag.Int("limit", 20, "maximum witnesses to print (0 = all)")
+	flag.Parse()
+
+	src := *patSrc
+	if *patFile != "" {
+		b, err := os.ReadFile(*patFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "timber-match:", err)
+			os.Exit(1)
+		}
+		src = string(b)
+	}
+	if src == "" {
+		fmt.Fprintln(os.Stderr, "timber-match: pass a pattern via -p or -f")
+		os.Exit(2)
+	}
+	if err := run(*dbPath, src, *limit); err != nil {
+		fmt.Fprintln(os.Stderr, "timber-match:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dbPath, src string, limit int) error {
+	pt, err := pattern.ParseTree(src)
+	if err != nil {
+		return err
+	}
+	fmt.Print(pt.String())
+
+	db, err := storage.Open(dbPath, storage.Options{})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	witnesses, stats, err := match.MatchDB(db, pt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%d witnesses (%d index candidates, %d record fetches for residual predicates)\n\n",
+		stats.Witnesses, stats.Candidates, stats.RecordFilterFetches)
+	for i, w := range witnesses {
+		if limit > 0 && i >= limit {
+			fmt.Printf("... %d more\n", len(witnesses)-limit)
+			break
+		}
+		fmt.Printf("witness %d:\n", i+1)
+		for _, lbl := range pt.Labels() {
+			post := w[lbl]
+			rec, err := db.GetNodeAt(post.RID)
+			if err != nil {
+				return err
+			}
+			content := rec.Content
+			if len(content) > 48 {
+				content = content[:45] + "..."
+			}
+			fmt.Printf("  %-4s -> %-10s %-12s %q\n", lbl, post.ID(), rec.Tag, content)
+		}
+	}
+	return nil
+}

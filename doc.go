@@ -1,0 +1,13 @@
+// Package timber is a from-scratch Go reproduction of "Grouping in
+// XML" (Paparizos et al., EDBT 2002): the TAX tree algebra with its
+// grouping and aggregation operators, the XQuery-subset front end, the
+// naive-plan translation and GROUPBY rewrite of Sec. 4, and a
+// TIMBER-style native XML storage engine (paged store, B+tree indices,
+// structural joins, identifier processing) sufficient to regenerate
+// the paper's Sec. 6 experiments.
+//
+// The implementation lives under internal/; see README.md for the
+// architecture map, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-versus-measured results. The benchmarks in
+// bench_test.go (this directory) regenerate every experiment.
+package timber

@@ -1,0 +1,95 @@
+// Aggregation: the Sec. 4.3 aggregation operator in isolation —
+// grouping and aggregation are separate TAX operators, so summary
+// values can be attached anywhere in a tree, not only on top of a
+// grouping. The example counts, sums and bounds values over the
+// Figure 6 sample bibliography and then combines GROUPBY with COUNT to
+// answer the Sec. 6 count query algebraically.
+//
+//	go run ./examples/aggregation
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"timber/internal/paperdata"
+	"timber/internal/pattern"
+	"timber/internal/tax"
+	"timber/internal/xmltree"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	collection := tax.NewCollection(paperdata.SampleDatabase())
+
+	// A_{authorCount=COUNT($2), afterLastChild($1)}: annotate the
+	// document root with its author-element count.
+	root := pattern.NewNode("$1", pattern.TagEq{Tag: "doc_root"})
+	root.AddChild(pattern.Descendant, pattern.NewNode("$2", pattern.TagEq{Tag: "author"}))
+	docAuthors := pattern.MustTree(root)
+	annotated := tax.Aggregate(collection, docAuthors, tax.AggSpec{
+		Fn: tax.Count, SrcLabel: "$2", NewTag: "authorCount",
+		AnchorLabel: "$1", Place: tax.AfterLastChild,
+	})
+	fmt.Println("=== COUNT of author elements, attached to the root ===")
+	fmt.Println(annotated.Trees[0].Child("authorCount"))
+
+	// MIN/MAX of publication years, inserted as siblings of the first
+	// article (the precedes/follows placements of Sec. 4.3).
+	yr := pattern.NewNode("$1", pattern.TagEq{Tag: "doc_root"})
+	art := yr.AddChild(pattern.Descendant, pattern.NewNode("$2", pattern.TagEq{Tag: "article"}))
+	art.AddChild(pattern.Child, pattern.NewNode("$3", pattern.TagEq{Tag: "year"}))
+	years := pattern.MustTree(yr)
+	for _, spec := range []tax.AggSpec{
+		{Fn: tax.Min, SrcLabel: "$3", NewTag: "earliest", AnchorLabel: "$2", Place: tax.Precedes},
+		{Fn: tax.Max, SrcLabel: "$3", NewTag: "latest", AnchorLabel: "$2", Place: tax.Follows},
+		{Fn: tax.Avg, SrcLabel: "$3", NewTag: "meanYear", AnchorLabel: "$1", Place: tax.AfterLastChild},
+	} {
+		out := tax.Aggregate(collection, years, spec)
+		n := out.Trees[0].FindFirst(spec.NewTag)
+		fmt.Printf("%s(%s) = %s (placed %v of %s's match)\n",
+			spec.Fn, "year", n.Content, spec.Place, spec.AnchorLabel)
+	}
+
+	// Grouping followed by aggregation: count articles per author —
+	// grouping restructures, aggregation summarizes, and because they
+	// are separate operators the group members remain available.
+	articles := splitArticles()
+	grouped := tax.GroupBy(articles, paperdata.Query1GroupByPattern(),
+		[]tax.BasisItem{{Label: "$2"}}, nil)
+	gRoot := pattern.NewNode("$1", pattern.TagEq{Tag: tax.GroupRootTag})
+	sub := gRoot.AddChild(pattern.Child, pattern.NewNode("$2", pattern.TagEq{Tag: tax.GroupSubrootTag}))
+	sub.AddChild(pattern.Child, pattern.NewNode("$3", pattern.TagEq{Tag: "article"}))
+	perGroup := pattern.MustTree(gRoot)
+	counted := tax.Aggregate(grouped, perGroup, tax.AggSpec{
+		Fn: tax.Count, SrcLabel: "$3", NewTag: "count",
+		AnchorLabel: "$1", Place: tax.AfterLastChild,
+	})
+	fmt.Println("\n=== articles per author (GROUPBY + COUNT) ===")
+	for _, g := range counted.Trees {
+		author := g.Children[0].Children[0].Content
+		count := g.Child("count").Content
+		fmt.Printf("  %-6s %s article(s)\n", author, count)
+	}
+
+	// The full group tree of the first author, for the curious.
+	fmt.Println("\n=== the first group tree (Sec. 3 output shape) ===")
+	return xmltree.Serialize(os.Stdout, counted.Trees[0])
+}
+
+// splitArticles projects the sample database into its article trees
+// (the Figure 9 collection) so grouping operates on one tree per
+// article.
+func splitArticles() tax.Collection {
+	c := tax.NewCollection(paperdata.SampleDatabase())
+	root := pattern.NewNode("$1", pattern.TagEq{Tag: "doc_root"})
+	root.AddChild(pattern.Descendant, pattern.NewNode("$2", pattern.TagEq{Tag: "article"}))
+	pt := pattern.MustTree(root)
+	return tax.Project(c, pt, []tax.Item{tax.LS("$2")})
+}

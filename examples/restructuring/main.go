@@ -1,0 +1,105 @@
+// Restructuring: grouping as a pure restructuring operator (Sec. 3 —
+// "grouping has a natural direct role to play for restructuring data
+// trees, orthogonally to aggregation"). The example reproduces the
+// introduction's institution queries: group articles by the authors'
+// institutions, then build the two-level institution/author grouping by
+// composing GROUPBY with itself, and finally show the Figure 3 ordered
+// grouping (descending titles).
+//
+//	go run ./examples/restructuring
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"timber/internal/dblpgen"
+	"timber/internal/paperdata"
+	"timber/internal/pattern"
+	"timber/internal/tax"
+	"timber/internal/xmltree"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A small bibliography with institutions nested inside authors.
+	doc, _ := dblpgen.Generate(dblpgen.Config{
+		Articles: 12, Seed: 5, WithInstitutions: true, Institutions: 3, AuthorPool: 6,
+	})
+	articles := splitArticles(doc)
+	fmt.Printf("collection: %d article trees\n\n", articles.Len())
+
+	// Group by institution ($3 = author/institution content).
+	root := pattern.NewNode("$1", pattern.TagEq{Tag: "article"})
+	au := root.AddChild(pattern.Child, pattern.NewNode("$2", pattern.TagEq{Tag: "author"}))
+	au.AddChild(pattern.Child, pattern.NewNode("$3", pattern.TagEq{Tag: "institution"}))
+	byInst := pattern.MustTree(root)
+
+	groups := tax.GroupBy(articles, byInst, []tax.BasisItem{{Label: "$3"}}, nil)
+	fmt.Println("=== articles grouped by institution ===")
+	for _, g := range groups.Trees {
+		inst := g.Children[0].Children[0].Content
+		fmt.Printf("  %-14s %d membership(s)\n", inst, len(g.Children[1].Children))
+	}
+
+	// Two-level grouping: GROUPBY composes with itself because the
+	// algebra is closed — group each institution's members by author.
+	fmt.Println("\n=== institution -> author -> titles (nested grouping) ===")
+	for _, g := range groups.Trees {
+		inst := g.Children[0].Children[0].Content
+		fmt.Printf("  %s\n", inst)
+		members := tax.Collection{Trees: cloneAll(g.Children[1].Children)}
+		members.Renumber()
+		inner := tax.GroupBy(members, paperdata.Query1GroupByPattern(),
+			[]tax.BasisItem{{Label: "$2"}}, nil)
+		for _, ag := range inner.Trees {
+			author := ag.Children[0].Children[0].Content
+			fmt.Printf("    %s\n", author)
+			for _, m := range ag.Children[1].Children {
+				if t := m.Child("title"); t != nil {
+					fmt.Printf("      %s\n", t.Content)
+				}
+			}
+		}
+	}
+
+	// Figure 3: grouping the Figure 2 witness trees by author, each
+	// group ordered by DESCENDING title.
+	fmt.Println("\n=== Figure 3: groups ordered by DESCENDING title ===")
+	pt := paperdata.Figure1Pattern()
+	witnesses := tax.Select(tax.NewCollection(paperdata.TransactionArticles()), pt, nil)
+	fig3 := tax.GroupBy(witnesses, pt,
+		[]tax.BasisItem{{Label: "$3"}},
+		[]tax.OrderItem{{Direction: tax.Descending, Label: "$2"}})
+	return serializeAll(fig3.Trees)
+}
+
+func splitArticles(doc *xmltree.Node) tax.Collection {
+	c := tax.NewCollection(doc)
+	root := pattern.NewNode("$1", pattern.TagEq{Tag: "doc_root"})
+	root.AddChild(pattern.Descendant, pattern.NewNode("$2", pattern.TagEq{Tag: "article"}))
+	return tax.Project(c, pattern.MustTree(root), []tax.Item{tax.LS("$2")})
+}
+
+func cloneAll(ns []*xmltree.Node) []*xmltree.Node {
+	out := make([]*xmltree.Node, len(ns))
+	for i, n := range ns {
+		out[i] = n.Clone()
+	}
+	return out
+}
+
+func serializeAll(trees []*xmltree.Node) error {
+	for _, tr := range trees {
+		if err := xmltree.Serialize(os.Stdout, tr); err != nil {
+			return err
+		}
+	}
+	return nil
+}

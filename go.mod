@@ -1,0 +1,3 @@
+module timber
+
+go 1.22

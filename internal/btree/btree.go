@@ -1,0 +1,401 @@
+// Package btree implements a disk-backed B+tree over the page store. It
+// is the index substrate of the TIMBER-style Index Manager: the tag-name
+// index and the (tag, content) value index are both B+trees.
+//
+// Keys are arbitrary byte strings and must be unique; multi-maps (a tag
+// index posting many nodes under one tag) are obtained by appending a
+// unique suffix — typically the node identifier — to the user key and
+// scanning by prefix. Values are opaque byte strings. The tree supports
+// insertion, exact lookup, and ordered iteration from a seek key, which
+// together cover everything index construction and pattern matching
+// (Sec. 5.2 of the paper) require. The workload is bulk-load-then-query,
+// so deletion is intentionally not provided.
+//
+// Node pages are decoded into small in-memory structs, modified, and
+// re-encoded; splits propagate upward and may grow a new root. The root
+// page ID after loading must be persisted by the caller (the metadata
+// manager does this).
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"timber/internal/pagestore"
+)
+
+// ErrNotFound is returned by Get when the key is absent.
+var ErrNotFound = errors.New("btree: key not found")
+
+// ErrDuplicate is returned by Insert when the key is already present.
+var ErrDuplicate = errors.New("btree: duplicate key")
+
+const (
+	flagLeaf     = 1
+	nodeOverhead = 7 // flags(1) + numCells(2) + next/child0(4)
+)
+
+// Tree is a B+tree rooted at a page of a store.
+type Tree struct {
+	st   *pagestore.Store
+	root pagestore.PageID
+}
+
+// New creates an empty tree in the store.
+func New(st *pagestore.Store) (*Tree, error) {
+	p, err := st.Allocate()
+	if err != nil {
+		return nil, fmt.Errorf("btree: new: %w", err)
+	}
+	leaf := &node{leaf: true, next: pagestore.InvalidPage}
+	leaf.encode(p.Data())
+	st.Unpin(p, true)
+	return &Tree{st: st, root: p.ID()}, nil
+}
+
+// Open reopens a tree whose root page is known.
+func Open(st *pagestore.Store, root pagestore.PageID) *Tree {
+	return &Tree{st: st, root: root}
+}
+
+// Root returns the current root page ID. It changes when the root
+// splits, so callers persist it after loading completes.
+func (t *Tree) Root() pagestore.PageID { return t.root }
+
+// MaxCell returns the largest key+value byte total a tree in the store
+// can accept. It guarantees a post-split node can always host the cell.
+func (t *Tree) MaxCell() int { return (t.st.PageSize() - nodeOverhead) / 4 }
+
+// cell is one key/value pair in a leaf, or one separator/child pair in
+// an internal node (value unused there).
+type cell struct {
+	key   []byte
+	value []byte           // leaf only
+	child pagestore.PageID // internal only: subtree with keys >= key
+}
+
+// node is the decoded form of a B+tree page.
+//
+// Encoding (little endian):
+//
+//	[0]    flags (1 = leaf)
+//	[1:3)  numCells
+//	[3:7)  leaf: next leaf PageID; internal: leftmost child PageID
+//	cells: leaf:     {klen u16, vlen u16, key, value}*
+//	       internal: {klen u16, key, child u32}*
+type node struct {
+	leaf  bool
+	next  pagestore.PageID // leaf chain
+	left  pagestore.PageID // internal: leftmost child
+	cells []cell
+
+	// firstSep is the smallest key in the node's subtree. It is used
+	// only while bulk-loading (to pass separators up a level) and is
+	// not encoded on the page.
+	firstSep []byte
+}
+
+func decode(data []byte) (*node, error) {
+	n := &node{leaf: data[0]&flagLeaf != 0}
+	num := int(binary.LittleEndian.Uint16(data[1:3]))
+	p := binary.LittleEndian.Uint32(data[3:7])
+	if n.leaf {
+		n.next = pagestore.PageID(p)
+	} else {
+		n.left = pagestore.PageID(p)
+	}
+	off := nodeOverhead
+	for i := 0; i < num; i++ {
+		var c cell
+		if off+2 > len(data) {
+			return nil, errors.New("btree: corrupt node (key length)")
+		}
+		klen := int(binary.LittleEndian.Uint16(data[off:]))
+		off += 2
+		if n.leaf {
+			if off+2 > len(data) {
+				return nil, errors.New("btree: corrupt node (value length)")
+			}
+			vlen := int(binary.LittleEndian.Uint16(data[off:]))
+			off += 2
+			if off+klen+vlen > len(data) {
+				return nil, errors.New("btree: corrupt node (cell body)")
+			}
+			c.key = append([]byte(nil), data[off:off+klen]...)
+			off += klen
+			c.value = append([]byte(nil), data[off:off+vlen]...)
+			off += vlen
+		} else {
+			if off+klen+4 > len(data) {
+				return nil, errors.New("btree: corrupt node (separator)")
+			}
+			c.key = append([]byte(nil), data[off:off+klen]...)
+			off += klen
+			c.child = pagestore.PageID(binary.LittleEndian.Uint32(data[off:]))
+			off += 4
+		}
+		n.cells = append(n.cells, c)
+	}
+	return n, nil
+}
+
+func (n *node) encodedSize() int {
+	size := nodeOverhead
+	for _, c := range n.cells {
+		if n.leaf {
+			size += 4 + len(c.key) + len(c.value)
+		} else {
+			size += 6 + len(c.key)
+		}
+	}
+	return size
+}
+
+func (n *node) encode(data []byte) {
+	var flags byte
+	if n.leaf {
+		flags |= flagLeaf
+	}
+	data[0] = flags
+	binary.LittleEndian.PutUint16(data[1:3], uint16(len(n.cells)))
+	if n.leaf {
+		binary.LittleEndian.PutUint32(data[3:7], uint32(n.next))
+	} else {
+		binary.LittleEndian.PutUint32(data[3:7], uint32(n.left))
+	}
+	off := nodeOverhead
+	for _, c := range n.cells {
+		binary.LittleEndian.PutUint16(data[off:], uint16(len(c.key)))
+		off += 2
+		if n.leaf {
+			binary.LittleEndian.PutUint16(data[off:], uint16(len(c.value)))
+			off += 2
+			off += copy(data[off:], c.key)
+			off += copy(data[off:], c.value)
+		} else {
+			off += copy(data[off:], c.key)
+			binary.LittleEndian.PutUint32(data[off:], uint32(c.child))
+			off += 4
+		}
+	}
+	// Zero the remainder so stale bytes never resurface after shrink.
+	for i := off; i < len(data); i++ {
+		data[i] = 0
+	}
+}
+
+func (t *Tree) readNode(id pagestore.PageID) (*node, error) {
+	p, err := t.st.Fetch(id)
+	if err != nil {
+		return nil, err
+	}
+	defer t.st.Unpin(p, false)
+	return decode(p.Data())
+}
+
+func (t *Tree) writeNode(id pagestore.PageID, n *node) error {
+	p, err := t.st.Fetch(id)
+	if err != nil {
+		return err
+	}
+	n.encode(p.Data())
+	t.st.Unpin(p, true)
+	return nil
+}
+
+func (t *Tree) allocNode(n *node) (pagestore.PageID, error) {
+	p, err := t.st.Allocate()
+	if err != nil {
+		return 0, err
+	}
+	n.encode(p.Data())
+	id := p.ID()
+	t.st.Unpin(p, true)
+	return id, nil
+}
+
+// searchCells returns the index of the first cell whose key is >= key.
+func searchCells(cells []cell, key []byte) int {
+	lo, hi := 0, len(cells)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(cells[mid].key, key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childFor returns the child page to descend into for key.
+func (n *node) childFor(key []byte) pagestore.PageID {
+	// Internal separators: child holds keys >= separator; left holds
+	// keys below the first separator.
+	i := searchCells(n.cells, key)
+	// cells[i].key >= key; descend into the child left of it unless the
+	// separator equals key, in which case the key lives at/after it.
+	if i < len(n.cells) && bytes.Equal(n.cells[i].key, key) {
+		return n.cells[i].child
+	}
+	if i == 0 {
+		return n.left
+	}
+	return n.cells[i-1].child
+}
+
+// Get returns the value stored under key, or ErrNotFound. The descent
+// scans encoded pages in place (see inplace.go), so a point lookup
+// allocates only the returned value.
+func (t *Tree) Get(key []byte) ([]byte, error) {
+	return t.getFast(key)
+}
+
+// split divides an overfull node, returning the separator key and the
+// new right sibling's page ID. The left half stays in place (written by
+// the caller).
+func (t *Tree) split(n *node) ([]byte, pagestore.PageID, error) {
+	mid := len(n.cells) / 2
+	var sep []byte
+	right := &node{leaf: n.leaf}
+	if n.leaf {
+		right.cells = append(right.cells, n.cells[mid:]...)
+		right.next = n.next
+		sep = right.cells[0].key
+	} else {
+		// The middle separator moves up; its child becomes the new
+		// right node's leftmost child.
+		sep = n.cells[mid].key
+		right.left = n.cells[mid].child
+		right.cells = append(right.cells, n.cells[mid+1:]...)
+	}
+	rightID, err := t.allocNode(right)
+	if err != nil {
+		return nil, 0, err
+	}
+	if n.leaf {
+		n.cells = n.cells[:mid]
+		n.next = rightID
+	} else {
+		n.cells = n.cells[:mid]
+	}
+	return sep, rightID, nil
+}
+
+// insertInto inserts key/value under page id. On overflow it splits and
+// returns split=true plus the separator and new right page for the
+// parent to absorb.
+func (t *Tree) insertInto(id pagestore.PageID, key, value []byte) (split bool, sep []byte, right pagestore.PageID, err error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return false, nil, 0, err
+	}
+	if n.leaf {
+		i := searchCells(n.cells, key)
+		if i < len(n.cells) && bytes.Equal(n.cells[i].key, key) {
+			return false, nil, 0, fmt.Errorf("%w: %q", ErrDuplicate, key)
+		}
+		n.cells = append(n.cells, cell{})
+		copy(n.cells[i+1:], n.cells[i:])
+		n.cells[i] = cell{key: append([]byte(nil), key...), value: append([]byte(nil), value...)}
+	} else {
+		childID := n.childFor(key)
+		childSplit, csep, cright, err := t.insertInto(childID, key, value)
+		if err != nil {
+			return false, nil, 0, err
+		}
+		if !childSplit {
+			return false, nil, 0, nil // nothing changed at this level
+		}
+		i := searchCells(n.cells, csep)
+		n.cells = append(n.cells, cell{})
+		copy(n.cells[i+1:], n.cells[i:])
+		n.cells[i] = cell{key: csep, child: cright}
+	}
+	if n.encodedSize() <= t.st.PageSize() {
+		return false, nil, 0, t.writeNode(id, n)
+	}
+	sep, right, err = t.split(n)
+	if err != nil {
+		return false, nil, 0, err
+	}
+	return true, sep, right, t.writeNode(id, n)
+}
+
+// Insert stores value under key. Keys must be unique; inserting an
+// existing key returns ErrDuplicate. key+value must not exceed MaxCell.
+func (t *Tree) Insert(key, value []byte) error {
+	if len(key)+len(value) > t.MaxCell() {
+		return fmt.Errorf("btree: cell of %d bytes exceeds max %d", len(key)+len(value), t.MaxCell())
+	}
+	if len(key) == 0 {
+		return errors.New("btree: empty key")
+	}
+	split, sep, right, err := t.insertInto(t.root, key, value)
+	if err != nil {
+		return err
+	}
+	if !split {
+		return nil
+	}
+	// Root split: grow a new root.
+	newRoot := &node{left: t.root, cells: []cell{{key: sep, child: right}}}
+	id, err := t.allocNode(newRoot)
+	if err != nil {
+		return err
+	}
+	t.root = id
+	return nil
+}
+
+// Len returns the number of keys in the tree. It walks the leaf chain
+// and is intended for tests and statistics, not hot paths.
+func (t *Tree) Len() (int, error) {
+	id, err := t.leftmostLeaf()
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for id != pagestore.InvalidPage {
+		n, err := t.readNode(id)
+		if err != nil {
+			return 0, err
+		}
+		total += len(n.cells)
+		id = n.next
+	}
+	return total, nil
+}
+
+func (t *Tree) leftmostLeaf() (pagestore.PageID, error) {
+	id := t.root
+	for {
+		n, err := t.readNode(id)
+		if err != nil {
+			return 0, err
+		}
+		if n.leaf {
+			return id, nil
+		}
+		id = n.left
+	}
+}
+
+// Height returns the number of levels in the tree (1 for a lone leaf).
+func (t *Tree) Height() (int, error) {
+	h := 1
+	id := t.root
+	for {
+		n, err := t.readNode(id)
+		if err != nil {
+			return 0, err
+		}
+		if n.leaf {
+			return h, nil
+		}
+		h++
+		id = n.left
+	}
+}

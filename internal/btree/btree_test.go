@@ -1,0 +1,370 @@
+package btree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"timber/internal/pagestore"
+)
+
+func testTree(t *testing.T, pageSize int) (*pagestore.Store, *Tree) {
+	t.Helper()
+	st, err := pagestore.CreateTemp(pagestore.Options{PageSize: pageSize, PoolPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	tr, err := New(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, tr
+}
+
+func TestInsertGet(t *testing.T) {
+	_, tr := testTree(t, 256)
+	pairs := map[string]string{"b": "2", "a": "1", "c": "3", "aa": "11"}
+	for k, v := range pairs {
+		if err := tr.Insert([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k, v := range pairs {
+		got, err := tr.Get([]byte(k))
+		if err != nil {
+			t.Fatalf("Get(%q): %v", k, err)
+		}
+		if string(got) != v {
+			t.Errorf("Get(%q) = %q, want %q", k, got, v)
+		}
+	}
+	if _, err := tr.Get([]byte("zz")); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(zz) err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestDuplicateKey(t *testing.T) {
+	_, tr := testTree(t, 256)
+	if err := tr.Insert([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert([]byte("k"), []byte("w")); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("second insert err = %v, want ErrDuplicate", err)
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	_, tr := testTree(t, 256)
+	if err := tr.Insert(nil, []byte("v")); err == nil {
+		t.Error("empty key should be rejected")
+	}
+}
+
+func TestOversizedCellRejected(t *testing.T) {
+	_, tr := testTree(t, 256)
+	big := make([]byte, tr.MaxCell()+1)
+	if err := tr.Insert(big[:1], big); err == nil {
+		t.Error("oversized cell should be rejected")
+	}
+}
+
+func TestSplitsAndHeightGrowth(t *testing.T) {
+	_, tr := testTree(t, 256) // tiny pages force deep trees
+	const n = 500
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%05d", i))
+		if err := tr.Insert(k, []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	h, err := tr.Height()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 3 {
+		t.Errorf("height = %d, expected a multi-level tree", h)
+	}
+	l, err := tr.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l != n {
+		t.Errorf("Len = %d, want %d", l, n)
+	}
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%05d", i))
+		v, err := tr.Get(k)
+		if err != nil {
+			t.Fatalf("Get(%s) after splits: %v", k, err)
+		}
+		if string(v) != fmt.Sprintf("val-%d", i) {
+			t.Errorf("Get(%s) = %s", k, v)
+		}
+	}
+}
+
+func TestIterationOrder(t *testing.T) {
+	_, tr := testTree(t, 256)
+	keys := []string{"delta", "alpha", "echo", "bravo", "charlie"}
+	for _, k := range keys {
+		if err := tr.Insert([]byte(k), []byte("v:"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	for it := tr.Seek(nil); it.Valid(); it.Next() {
+		got = append(got, string(it.Key()))
+		if want := "v:" + string(it.Key()); string(it.Value()) != want {
+			t.Errorf("value for %s = %s", it.Key(), it.Value())
+		}
+	}
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("iteration = %v, want %v", got, want)
+	}
+}
+
+func TestSeekMidway(t *testing.T) {
+	_, tr := testTree(t, 256)
+	for i := 0; i < 100; i += 2 { // even keys only
+		k := []byte(fmt.Sprintf("%04d", i))
+		if err := tr.Insert(k, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it := tr.Seek([]byte("0051")) // absent; next is 0052
+	if !it.Valid() || string(it.Key()) != "0052" {
+		t.Errorf("Seek(0051) at %q valid=%v", it.Key(), it.Valid())
+	}
+	it.Close()
+	it = tr.Seek([]byte("0052")) // present
+	if !it.Valid() || string(it.Key()) != "0052" {
+		t.Errorf("Seek(0052) at %q", it.Key())
+	}
+	it.Close()
+	it.Close()                   // idempotent
+	it = tr.Seek([]byte("9999")) // past the end
+	if it.Valid() {
+		t.Error("Seek past end should be invalid")
+	}
+	if it.Err() != nil {
+		t.Errorf("Seek past end err = %v", it.Err())
+	}
+	it.Close()
+}
+
+func TestScanPrefix(t *testing.T) {
+	_, tr := testTree(t, 512)
+	for _, k := range []string{"tag/article/1", "tag/article/2", "tag/author/1", "tag/title/9", "tagx"} {
+		if err := tr.Insert([]byte(k), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	err := tr.ScanPrefix([]byte("tag/article/"), func(k, _ []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[tag/article/1 tag/article/2]" {
+		t.Errorf("prefix scan = %v", got)
+	}
+	// Early stop.
+	count := 0
+	err = tr.ScanPrefix([]byte("tag/"), func(_, _ []byte) bool {
+		count++
+		return false
+	})
+	if err != nil || count != 1 {
+		t.Errorf("early stop: count=%d err=%v", count, err)
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	_, tr := testTree(t, 512)
+	for i := 0; i < 20; i++ {
+		if err := tr.Insert([]byte(fmt.Sprintf("%02d", i)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	err := tr.ScanRange([]byte("05"), []byte("09"), func(k, _ []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[05 06 07 08]" {
+		t.Errorf("range scan = %v", got)
+	}
+	// Unbounded hi.
+	got = nil
+	err = tr.ScanRange([]byte("18"), nil, func(k, _ []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if err != nil || fmt.Sprint(got) != "[18 19]" {
+		t.Errorf("unbounded scan = %v err=%v", got, err)
+	}
+}
+
+func TestReopenTree(t *testing.T) {
+	st, tr := testTree(t, 256)
+	for i := 0; i < 200; i++ {
+		if err := tr.Insert([]byte(fmt.Sprintf("%04d", i)), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root := tr.Root()
+	tr2 := Open(st, root)
+	v, err := tr2.Get([]byte("0123"))
+	if err != nil || v[0] != 123 {
+		t.Errorf("reopened Get = %v, %v", v, err)
+	}
+}
+
+// TestTreeMatchesSortedMapProperty inserts random unique keys and checks
+// Get and full iteration against a sorted-map oracle.
+func TestTreeMatchesSortedMapProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st, err := pagestore.CreateTemp(pagestore.Options{PageSize: 256, PoolPages: 64})
+		if err != nil {
+			return false
+		}
+		defer st.Close()
+		tr, err := New(st)
+		if err != nil {
+			return false
+		}
+		oracle := map[string]string{}
+		for i := 0; i < 300; i++ {
+			k := fmt.Sprintf("%x", rng.Int63n(1<<30))
+			v := fmt.Sprintf("%d", rng.Int63())
+			if _, dup := oracle[k]; dup {
+				if err := tr.Insert([]byte(k), []byte(v)); !errors.Is(err, ErrDuplicate) {
+					return false
+				}
+				continue
+			}
+			if err := tr.Insert([]byte(k), []byte(v)); err != nil {
+				return false
+			}
+			oracle[k] = v
+		}
+		// Exact lookups.
+		for k, v := range oracle {
+			got, err := tr.Get([]byte(k))
+			if err != nil || string(got) != v {
+				return false
+			}
+		}
+		// Ordered iteration.
+		keys := make([]string, 0, len(oracle))
+		for k := range oracle {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		i := 0
+		for it := tr.Seek(nil); it.Valid(); it.Next() {
+			if i >= len(keys) || string(it.Key()) != keys[i] || string(it.Value()) != oracle[keys[i]] {
+				return false
+			}
+			i++
+		}
+		return i == len(keys)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSeekMatchesOracleProperty checks Seek positioning against a sorted
+// slice oracle for random seek keys.
+func TestSeekMatchesOracleProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st, err := pagestore.CreateTemp(pagestore.Options{PageSize: 256, PoolPages: 64})
+		if err != nil {
+			return false
+		}
+		defer st.Close()
+		tr, err := New(st)
+		if err != nil {
+			return false
+		}
+		var keys []string
+		seen := map[string]bool{}
+		for i := 0; i < 150; i++ {
+			k := fmt.Sprintf("%03d", rng.Intn(500))
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			keys = append(keys, k)
+			if err := tr.Insert([]byte(k), nil); err != nil {
+				return false
+			}
+		}
+		sort.Strings(keys)
+		for trial := 0; trial < 30; trial++ {
+			probe := fmt.Sprintf("%03d", rng.Intn(520))
+			i := sort.SearchStrings(keys, probe)
+			it := tr.Seek([]byte(probe))
+			if i == len(keys) {
+				valid := it.Valid()
+				it.Close()
+				if valid {
+					return false
+				}
+				continue
+			}
+			ok := it.Valid() && string(it.Key()) == keys[i]
+			it.Close()
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryKeysWithZeroBytes(t *testing.T) {
+	_, tr := testTree(t, 256)
+	keys := [][]byte{
+		{0x00},
+		{0x00, 0x00},
+		{0x00, 0x01},
+		{0x01},
+		{0xff, 0x00},
+	}
+	for _, k := range keys {
+		if err := tr.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got [][]byte
+	for it := tr.Seek(nil); it.Valid(); it.Next() {
+		got = append(got, append([]byte(nil), it.Key()...))
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("iterated %d keys, want %d", len(got), len(keys))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], keys[i]) {
+			t.Errorf("key %d = %v, want %v", i, got[i], keys[i])
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package btree
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"timber/internal/pagestore"
+)
+
+func bulkPairs(n int) []KV {
+	kvs := make([]KV, n)
+	for i := range kvs {
+		kvs[i] = KV{
+			Key:   []byte(fmt.Sprintf("key-%06d", i)),
+			Value: []byte(fmt.Sprintf("val-%d", i)),
+		}
+	}
+	return kvs
+}
+
+func TestBulkLoadBasic(t *testing.T) {
+	st, _ := testTree(t, 256)
+	kvs := bulkPairs(1000)
+	tr, err := BulkLoad(st, kvs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := tr.Len()
+	if err != nil || l != 1000 {
+		t.Fatalf("Len = %d, %v", l, err)
+	}
+	for _, kv := range kvs {
+		v, err := tr.Get(kv.Key)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", kv.Key, err)
+		}
+		if string(v) != string(kv.Value) {
+			t.Errorf("Get(%s) = %s", kv.Key, v)
+		}
+	}
+	// Ordered iteration covers everything.
+	i := 0
+	for it := tr.Seek(nil); it.Valid(); it.Next() {
+		if string(it.Key()) != string(kvs[i].Key) {
+			t.Fatalf("iter %d = %s, want %s", i, it.Key(), kvs[i].Key)
+		}
+		i++
+	}
+	if i != 1000 {
+		t.Errorf("iterated %d", i)
+	}
+	h, err := tr.Height()
+	if err != nil || h < 2 {
+		t.Errorf("height = %d, %v (expected multi-level)", h, err)
+	}
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	st, _ := testTree(t, 256)
+	tr, err := BulkLoad(st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Get([]byte("x")); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get on empty bulk tree: %v", err)
+	}
+	if it := tr.Seek(nil); it.Valid() {
+		t.Error("empty tree iterator should be invalid")
+	}
+	// Inserts after an empty bulk load work.
+	if err := tr.Insert([]byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := tr.Get([]byte("a")); string(v) != "1" {
+		t.Error("insert after empty bulk load failed")
+	}
+}
+
+func TestBulkLoadRejectsBadInput(t *testing.T) {
+	st, _ := testTree(t, 256)
+	if _, err := BulkLoad(st, []KV{{Key: []byte("b")}, {Key: []byte("a")}}); err == nil {
+		t.Error("unsorted keys should be rejected")
+	}
+	if _, err := BulkLoad(st, []KV{{Key: []byte("a")}, {Key: []byte("a")}}); err == nil {
+		t.Error("duplicate keys should be rejected")
+	}
+	if _, err := BulkLoad(st, []KV{{Key: nil}}); err == nil {
+		t.Error("empty key should be rejected")
+	}
+	if _, err := BulkLoad(st, []KV{{Key: []byte("k"), Value: make([]byte, 300)}}); err == nil {
+		t.Error("oversized cell should be rejected")
+	}
+}
+
+func TestBulkLoadThenInsert(t *testing.T) {
+	st, _ := testTree(t, 256)
+	kvs := bulkPairs(500)
+	// Load the even keys, insert the odd ones incrementally.
+	var even []KV
+	for i, kv := range kvs {
+		if i%2 == 0 {
+			even = append(even, kv)
+		}
+	}
+	tr, err := BulkLoad(st, even)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, kv := range kvs {
+		if i%2 == 1 {
+			if err := tr.Insert(kv.Key, kv.Value); err != nil {
+				t.Fatalf("insert %d: %v", i, err)
+			}
+		}
+	}
+	for _, kv := range kvs {
+		if v, err := tr.Get(kv.Key); err != nil || string(v) != string(kv.Value) {
+			t.Fatalf("Get(%s) = %s, %v", kv.Key, v, err)
+		}
+	}
+	if err := tr.Insert(kvs[0].Key, nil); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate after bulk load: %v", err)
+	}
+}
+
+// TestBulkLoadEqualsInsertProperty: a bulk-loaded tree behaves exactly
+// like an insert-built tree over the same random pairs.
+func TestBulkLoadEqualsInsertProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(400)
+		set := map[string]string{}
+		for i := 0; i < n; i++ {
+			set[fmt.Sprintf("%04x", rng.Intn(1<<16))] = fmt.Sprintf("%d", rng.Int())
+		}
+		keys := make([]string, 0, len(set))
+		for k := range set {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		kvs := make([]KV, len(keys))
+		for i, k := range keys {
+			kvs[i] = KV{Key: []byte(k), Value: []byte(set[k])}
+		}
+
+		st, err := pagestore.CreateTemp(pagestore.Options{PageSize: 256, PoolPages: 64})
+		if err != nil {
+			return false
+		}
+		defer st.Close()
+		bulk, err := BulkLoad(st, kvs)
+		if err != nil {
+			return false
+		}
+		ins, err := New(st)
+		if err != nil {
+			return false
+		}
+		for _, kv := range kvs {
+			if err := ins.Insert(kv.Key, kv.Value); err != nil {
+				return false
+			}
+		}
+		// Same contents in the same order.
+		bi, ii := bulk.Seek(nil), ins.Seek(nil)
+		for bi.Valid() && ii.Valid() {
+			if string(bi.Key()) != string(ii.Key()) || string(bi.Value()) != string(ii.Value()) {
+				return false
+			}
+			bi.Next()
+			ii.Next()
+		}
+		return !bi.Valid() && !ii.Valid() && bi.Err() == nil && ii.Err() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,174 @@
+package btree
+
+import (
+	"bytes"
+
+	"timber/internal/pagestore"
+)
+
+// Iterator walks leaf cells in ascending key order without decoding
+// pages: it holds the current leaf pinned and cursors over the encoded
+// cells in place. Obtain one with Tree.Seek, advance with Next, and
+// Close it when done (Close is idempotent; an iterator that has run to
+// exhaustion is already closed). Key and Value alias the pinned page
+// and are valid only until the next Next/Close call — copy them to
+// retain. Concurrent inserts invalidate iterators.
+type Iterator struct {
+	t    *Tree
+	page *pagestore.Page
+	data []byte
+	num  int // cells in the current leaf
+	idx  int // current cell index
+	off  int // byte offset of the current cell header
+	key  []byte
+	val  []byte
+	err  error
+	done bool
+}
+
+// Seek positions an iterator at the first key >= key. An empty key
+// seeks to the start of the tree. The descent and the leaf scan operate
+// on encoded pages in place.
+func (t *Tree) Seek(key []byte) *Iterator {
+	it := &Iterator{t: t}
+	id := t.root
+	for {
+		p, err := t.st.Fetch(id)
+		if err != nil {
+			it.fail(err)
+			return it
+		}
+		data := p.Data()
+		if data[0]&flagLeaf != 0 {
+			it.page = p
+			it.data = data
+			it.num = int(uint16(data[1]) | uint16(data[2])<<8)
+			it.idx = 0
+			it.off = nodeOverhead
+			it.loadCell()
+			// Skip cells below the seek key.
+			for !it.done && bytes.Compare(it.key, key) < 0 {
+				it.advance()
+			}
+			return it
+		}
+		next := internalChildEncoded(data, key)
+		t.st.Unpin(p, false)
+		id = next
+	}
+}
+
+// loadCell parses the cell at the cursor into key/val, or moves to the
+// next leaf (or completion) when the current leaf is exhausted.
+func (it *Iterator) loadCell() {
+	for it.idx >= it.num {
+		// Leaf exhausted: follow the chain.
+		next := pagestore.PageID(uint32(it.data[3]) | uint32(it.data[4])<<8 | uint32(it.data[5])<<16 | uint32(it.data[6])<<24)
+		it.t.st.Unpin(it.page, false)
+		it.page = nil
+		if next == pagestore.InvalidPage {
+			it.done = true
+			return
+		}
+		p, err := it.t.st.Fetch(next)
+		if err != nil {
+			it.fail(err)
+			return
+		}
+		it.page = p
+		it.data = p.Data()
+		it.num = int(uint16(it.data[1]) | uint16(it.data[2])<<8)
+		it.idx = 0
+		it.off = nodeOverhead
+	}
+	klen := int(uint16(it.data[it.off]) | uint16(it.data[it.off+1])<<8)
+	vlen := int(uint16(it.data[it.off+2]) | uint16(it.data[it.off+3])<<8)
+	body := it.off + 4
+	it.key = it.data[body : body+klen]
+	it.val = it.data[body+klen : body+klen+vlen]
+}
+
+// advance moves the cursor one cell forward and loads it.
+func (it *Iterator) advance() {
+	it.off += 4 + len(it.key) + len(it.val)
+	it.idx++
+	it.loadCell()
+}
+
+func (it *Iterator) fail(err error) {
+	it.err = err
+	it.done = true
+	if it.page != nil {
+		it.t.st.Unpin(it.page, false)
+		it.page = nil
+	}
+}
+
+// Valid reports whether the iterator is positioned on a cell.
+func (it *Iterator) Valid() bool { return !it.done && it.err == nil }
+
+// Err returns the first error the iterator encountered, if any.
+func (it *Iterator) Err() error { return it.err }
+
+// Key returns the current cell's key, aliasing the pinned page; valid
+// until the next Next or Close.
+func (it *Iterator) Key() []byte { return it.key }
+
+// Value returns the current cell's value, aliasing the pinned page;
+// valid until the next Next or Close.
+func (it *Iterator) Value() []byte { return it.val }
+
+// Next advances to the following cell.
+func (it *Iterator) Next() {
+	if !it.Valid() {
+		return
+	}
+	it.advance()
+}
+
+// Close releases the iterator's pinned page. Iterators that ran to
+// exhaustion are already closed; Close is safe to call regardless, and
+// callers that may stop early must call it (typically via defer).
+func (it *Iterator) Close() {
+	if it.page != nil {
+		it.t.st.Unpin(it.page, false)
+		it.page = nil
+	}
+	it.done = true
+}
+
+// ScanPrefix calls fn for every cell whose key begins with prefix, in
+// key order. It stops early (without error) if fn returns false. The
+// slices passed to fn alias the page; fn must copy to retain them.
+func (t *Tree) ScanPrefix(prefix []byte, fn func(key, value []byte) bool) error {
+	it := t.Seek(prefix)
+	defer it.Close()
+	for it.Valid() {
+		if !bytes.HasPrefix(it.Key(), prefix) {
+			break
+		}
+		if !fn(it.Key(), it.Value()) {
+			break
+		}
+		it.Next()
+	}
+	return it.Err()
+}
+
+// ScanRange calls fn for every cell with lo <= key < hi (hi nil means no
+// upper bound), in key order. It stops early if fn returns false. The
+// slices passed to fn alias the page; fn must copy to retain them.
+func (t *Tree) ScanRange(lo, hi []byte, fn func(key, value []byte) bool) error {
+	it := t.Seek(lo)
+	defer it.Close()
+	for it.Valid() {
+		if hi != nil && bytes.Compare(it.Key(), hi) >= 0 {
+			break
+		}
+		if !fn(it.Key(), it.Value()) {
+			break
+		}
+		it.Next()
+	}
+	return it.Err()
+}

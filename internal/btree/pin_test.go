@@ -1,0 +1,68 @@
+package btree
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestIteratorPinHygiene verifies the pinned-cursor discipline: an open
+// iterator holds its leaf pinned (DropCache must refuse), and Close (or
+// exhaustion) releases it.
+func TestIteratorPinHygiene(t *testing.T) {
+	st, tr := testTree(t, 256)
+	for i := 0; i < 50; i++ {
+		if err := tr.Insert([]byte(fmt.Sprintf("%03d", i)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it := tr.Seek(nil)
+	if !it.Valid() {
+		t.Fatal("iterator should be valid")
+	}
+	if err := st.DropCache(); err == nil {
+		t.Error("DropCache should refuse while an iterator pins a leaf")
+	}
+	it.Close()
+	if err := st.DropCache(); err != nil {
+		t.Errorf("DropCache after Close: %v", err)
+	}
+
+	// Exhaustion auto-closes.
+	it2 := tr.Seek(nil)
+	for it2.Valid() {
+		it2.Next()
+	}
+	if err := st.DropCache(); err != nil {
+		t.Errorf("DropCache after exhaustion: %v", err)
+	}
+}
+
+// TestIteratorAliasingContract documents that Key/Value alias the page:
+// copies taken before Next survive, and ScanPrefix callbacks that
+// retain slices must copy.
+func TestIteratorAliasingContract(t *testing.T) {
+	_, tr := testTree(t, 256)
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("%03d", i)
+		if err := tr.Insert([]byte(k), []byte("v"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var copies []string
+	err := tr.ScanPrefix(nil, func(k, v []byte) bool {
+		copies = append(copies, string(k)+"="+string(v))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(copies) != 200 {
+		t.Fatalf("scanned %d", len(copies))
+	}
+	for i, c := range copies {
+		want := fmt.Sprintf("%03d=v%03d", i, i)
+		if c != want {
+			t.Fatalf("copy %d = %s, want %s", i, c, want)
+		}
+	}
+}

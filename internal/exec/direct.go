@@ -1,0 +1,305 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"timber/internal/storage"
+	"timber/internal/xmltree"
+)
+
+// DirectNestedLoops is the "direct execution of the XQuery as written"
+// of Sec. 6 — the nested-loops evaluation plan: for each distinct outer
+// binding, the inner query is evaluated by probing the value index for
+// matching nodes, navigating up to the grouped member, and navigating
+// down its subtree for the returned values. Every navigation step is a
+// node-ID resolution through the locator plus a record fetch — the
+// per-binding work that identifier processing (GroupByExec) avoids.
+//
+// Output trees appear in first-occurrence order of the distinct values,
+// matching the logical naive plan. Requires the value index.
+func DirectNestedLoops(db *storage.DB, spec Spec) (*Result, error) {
+	if !db.HasValueIndex() {
+		return nil, fmt.Errorf("exec: direct nested-loops plan needs the value index")
+	}
+	res := &Result{}
+	basisTag := spec.BasisTag()
+
+	// Outer: distinct-values(//basisTag) — identify nodes by index,
+	// look up the actual data values, eliminate duplicates.
+	outerPosts, err := db.TagPostings(basisTag)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.IndexPostings += len(outerPosts)
+	var distinct []string
+	seen := map[string]bool{}
+	for _, p := range outerPosts {
+		v, err := db.Content(p)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.ValueLookups++
+		if !seen[v] {
+			seen[v] = true
+			distinct = append(distinct, v)
+		}
+	}
+
+	// The upward chain from the grouping-value node to the member:
+	// reverse of the join path with the member tag at the end. A child
+	// step requires the immediate parent; a descendant step lets the
+	// climb skip intermediate ancestors.
+	upSteps := make([]PathStep, 0, len(spec.JoinPath))
+	for i := len(spec.JoinPath) - 1; i >= 1; i-- {
+		upSteps = append(upSteps, PathStep{Tag: spec.JoinPath[i-1].Tag, Descendant: spec.JoinPath[i].Descendant})
+	}
+	upSteps = append(upSteps, PathStep{Tag: spec.MemberTag, Descendant: spec.JoinPath[0].Descendant})
+
+	// Inner loop, once per distinct value: probe the value index,
+	// navigate up to members, order them if requested, and navigate
+	// down for values.
+	for _, v := range distinct {
+		probes, err := db.ValuePostings(basisTag, v)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.IndexPostings += len(probes)
+		out := xmltree.E(spec.OutTag, xmltree.Elem(basisTag, v))
+		memberSeen := map[xmltree.NodeID]bool{}
+		var matched []*storage.NodeRecord
+		for _, p := range probes {
+			member, ok, err := res.navigateUp(db, p, upSteps)
+			if err != nil {
+				return nil, err
+			}
+			if !ok || memberSeen[member.ID()] {
+				continue
+			}
+			memberSeen[member.ID()] = true
+			matched = append(matched, member)
+		}
+		if spec.OrderPath != nil {
+			// ORDER BY costs this plan an extra navigation per member.
+			keys := make(map[xmltree.NodeID]string, len(matched))
+			for _, m := range matched {
+				vs, err := res.navigateDown(db, m, spec.OrderPath)
+				if err != nil {
+					return nil, err
+				}
+				if len(vs) > 0 {
+					keys[m.ID()] = vs[0]
+				}
+			}
+			sort.SliceStable(matched, func(i, j int) bool {
+				return orderLess(keys[matched[i].ID()], keys[matched[j].ID()], spec.OrderDesc)
+			})
+		}
+		total := 0
+		for _, member := range matched {
+			values, err := res.navigateDown(db, member, spec.ValuePath)
+			if err != nil {
+				return nil, err
+			}
+			if spec.Mode == Titles {
+				for _, val := range values {
+					out.Append(xmltree.Elem(spec.ValuePath.LastTag(), val))
+				}
+			} else {
+				total += len(values)
+			}
+		}
+		if spec.Mode == Count {
+			out.Append(xmltree.Elem("count", strconv.Itoa(total)))
+		}
+		res.Trees = append(res.Trees, out)
+	}
+	if err := finishResult(db, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// navigateUp walks parent links from a posting, matching the expected
+// upward steps; each level is a locator probe plus a record fetch. A
+// child step must match the immediate parent; a descendant step climbs
+// until its tag appears (greedy matching, which is exact on the
+// single ancestor chain).
+func (r *Result) navigateUp(db *storage.DB, p storage.Posting, upSteps []PathStep) (*storage.NodeRecord, bool, error) {
+	rec, err := db.GetNodeAt(p.RID)
+	if err != nil {
+		return nil, false, err
+	}
+	climb := func(rec *storage.NodeRecord) (*storage.NodeRecord, error) {
+		if rec.ParentStart == 0 {
+			return nil, nil
+		}
+		parentID := xmltree.NodeID{Doc: rec.Interval.Doc, Start: rec.ParentStart}
+		up, err := db.GetNode(parentID)
+		if err != nil {
+			return nil, err
+		}
+		r.Stats.LocatorProbes++
+		return up, nil
+	}
+	for _, st := range upSteps {
+		rec, err = climb(rec)
+		if err != nil {
+			return nil, false, err
+		}
+		if rec == nil {
+			return nil, false, nil
+		}
+		if st.Descendant {
+			for rec != nil && rec.Tag != st.Tag {
+				rec, err = climb(rec)
+				if err != nil {
+					return nil, false, err
+				}
+			}
+			if rec == nil {
+				return nil, false, nil
+			}
+		} else if rec.Tag != st.Tag {
+			return nil, false, nil
+		}
+	}
+	return rec, true, nil
+}
+
+// navigateDown scans the member's subtree range and evaluates the
+// relative path over it, returning the leaf contents in document order.
+// The scan reads every record in the subtree — the navigational cost of
+// "looking up the title" without an identifier-processed plan.
+func (r *Result) navigateDown(db *storage.DB, member *storage.NodeRecord, path Path) ([]string, error) {
+	// Rebuild the member subtree from the range scan (the records
+	// arrive in document order), then walk the path with full axis
+	// semantics.
+	root := &xmltree.Node{
+		Tag: member.Tag, Content: member.Content, Interval: member.Interval,
+	}
+	stack := []*xmltree.Node{root}
+	err := db.ScanRange(member.Interval.Doc, member.Interval.Start+1, member.Interval.End, func(rec *storage.NodeRecord) error {
+		r.Stats.ValueLookups++
+		n := &xmltree.Node{Tag: rec.Tag, Content: rec.Content, Interval: rec.Interval}
+		for len(stack) > 1 && stack[len(stack)-1].Interval.End < n.Interval.Start {
+			stack = stack[:len(stack)-1]
+		}
+		stack[len(stack)-1].Append(n)
+		stack = append(stack, n)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return valuesAtPath(root, path), nil
+}
+
+// DirectBatch is the batch variant Sec. 6's prose describes: identify
+// the outer nodes and the member/value pairs with indices, eliminate
+// duplicates in the former by looking up values, perform the requisite
+// (hash) join with the latter, then output per distinct value. It does
+// the same data-value look-ups twice (dedupe pass and join pass) but
+// avoids the per-binding navigation of the nested-loops plan, so it
+// sits between DirectNestedLoops and GroupByExec.
+func DirectBatch(db *storage.DB, spec Spec) (*Result, error) {
+	res := &Result{}
+	basisTag := spec.BasisTag()
+
+	// Outer values, first-occurrence order.
+	outerPosts, err := db.TagPostings(basisTag)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.IndexPostings += len(outerPosts)
+	var distinct []string
+	seen := map[string]bool{}
+	for _, p := range outerPosts {
+		v, err := db.Content(p)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.ValueLookups++
+		if !seen[v] {
+			seen[v] = true
+			distinct = append(distinct, v)
+		}
+	}
+
+	// Member/value-node pairs, index-only; then one value look-up per
+	// pair to build the hash join table.
+	members, err := db.TagPostings(spec.MemberTag)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.IndexPostings += len(members)
+	witnesses, err := pathPairs(db, members, spec.JoinPath)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.IndexPostings += len(witnesses)
+	byValue := map[string][]storage.Posting{}
+	dedup := map[string]map[xmltree.NodeID]bool{}
+	for _, w := range witnesses {
+		v, err := db.Content(w.leaf)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.ValueLookups++
+		if dedup[v] == nil {
+			dedup[v] = map[xmltree.NodeID]bool{}
+		}
+		if dedup[v][w.member.ID()] {
+			continue
+		}
+		dedup[v][w.member.ID()] = true
+		byValue[v] = append(byValue[v], w.member)
+	}
+
+	// Value path, index-only.
+	valuePairs, err := pathPairs(db, members, spec.ValuePath)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.IndexPostings += len(valuePairs)
+	valuesOf := groupPairsByMember(valuePairs)
+
+	if spec.OrderPath != nil {
+		ov, err := orderValues(db, members, spec.OrderPath, res)
+		if err != nil {
+			return nil, err
+		}
+		for _, ms := range byValue {
+			sortPostingsByOrder(ms, ov, spec.OrderDesc)
+		}
+	}
+
+	for _, v := range distinct {
+		out := xmltree.E(spec.OutTag, xmltree.Elem(basisTag, v))
+		switch spec.Mode {
+		case Titles:
+			for _, m := range byValue[v] {
+				for _, tp := range valuesOf[m.ID()] {
+					content, err := db.Content(tp)
+					if err != nil {
+						return nil, err
+					}
+					res.Stats.ValueLookups++
+					out.Append(xmltree.Elem(spec.ValuePath.LastTag(), content))
+				}
+			}
+		case Count:
+			total := 0
+			for _, m := range byValue[v] {
+				total += len(valuesOf[m.ID()])
+			}
+			out.Append(xmltree.Elem("count", strconv.Itoa(total)))
+		}
+		res.Trees = append(res.Trees, out)
+	}
+	if err := finishResult(db, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,161 @@
+package exec
+
+import (
+	"strconv"
+
+	"timber/internal/storage"
+	"timber/internal/tax"
+	"timber/internal/xmltree"
+)
+
+// DirectMaterialized is the physical form of the Sec. 4.1 naive plan —
+// the paper's "direct" evaluation (Sec. 6): the query is executed as
+// written, operator by operator, with every intermediate collection
+// materialized through the storage engine:
+//
+//  1. The outer selection/projection produces the Figure 7 collection
+//     (one doc_root/author tree per author node, values fetched), which
+//     is written to temporary pages and read back; duplicate
+//     elimination by content follows, spilled again.
+//  2. The left outer join produces the Figure 8 collection: one
+//     TAX_prod_root tree per distinct author holding the author tree
+//     plus a fully materialized copy of every matching article — a
+//     two-author article is replicated under both its authors. This is
+//     the dominant cost: each membership materializes the article's
+//     whole subtree, and the trees are spilled.
+//  3. The RETURN arguments are evaluated against the materialized
+//     product trees (titles are already present in the replicas) and
+//     stitched into the output.
+//
+// Output order matches the logical naive plan: distinct values in
+// first-occurrence order, members in document order.
+func DirectMaterialized(db *storage.DB, spec Spec) (*Result, error) {
+	res := &Result{}
+	basisTag := spec.BasisTag()
+
+	// Step 1: outer selection + projection (Figure 7), materialized.
+	outerPosts, err := db.TagPostings(basisTag)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.IndexPostings += len(outerPosts)
+	outer := make([]*xmltree.Node, 0, len(outerPosts))
+	for _, p := range outerPosts {
+		v, err := db.Content(p)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.ValueLookups++
+		outer = append(outer, xmltree.E("doc_root", xmltree.Elem(basisTag, v)))
+	}
+	outer, err = db.SpillTrees(outer)
+	if err != nil {
+		return nil, err
+	}
+	// Duplicate elimination based on the bound variable's content.
+	var distinct []*xmltree.Node
+	seen := map[string]bool{}
+	for _, tr := range outer {
+		v := tr.Children[0].Content
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		distinct = append(distinct, tr)
+	}
+	distinct, err = db.SpillTrees(distinct)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 2: the left outer join (Figure 8). Identify member/value
+	// pairs from the indices, look up the join values, then build one
+	// product tree per outer tree with fully materialized member
+	// replicas.
+	members, err := db.TagPostings(spec.MemberTag)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.IndexPostings += len(members)
+	pairs, err := pathPairs(db, members, spec.JoinPath)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.IndexPostings += len(pairs)
+	byValue := map[string][]storage.Posting{}
+	dedup := map[string]map[xmltree.NodeID]bool{}
+	for _, w := range pairs {
+		v, err := db.Content(w.leaf)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.ValueLookups++
+		if dedup[v] == nil {
+			dedup[v] = map[xmltree.NodeID]bool{}
+		}
+		if dedup[v][w.member.ID()] {
+			continue // duplicate elimination based on the members
+		}
+		dedup[v][w.member.ID()] = true
+		byValue[v] = append(byValue[v], w.member)
+	}
+
+	prods := make([]*xmltree.Node, 0, len(distinct))
+	for _, tr := range distinct {
+		v := tr.Children[0].Content
+		prod := xmltree.E(tax.ProdRootTag, tr.Clone())
+		// "Duplicate elimination based on articles" is structural in
+		// the naive algebra (plan.DedupChildren): two char-identical
+		// replicas collapse even when they materialize distinct nodes.
+		replicaSeen := map[string]bool{}
+		for _, m := range byValue[v] {
+			replica, err := db.GetSubtree(m.ID())
+			if err != nil {
+				return nil, err
+			}
+			res.Stats.LocatorProbes++
+			res.Stats.ValueLookups += replica.Size()
+			if k := tax.TreeKey(replica); replicaSeen[k] {
+				continue
+			} else {
+				replicaSeen[k] = true
+			}
+			prod.Append(replica)
+		}
+		prods = append(prods, prod)
+	}
+	prods, err = db.SpillTrees(prods)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 3: RETURN arguments against the materialized product trees,
+	// stitched under the output tag. An ORDER BY sorts each product
+	// tree's member replicas first.
+	valueTag := spec.ValuePath.LastTag()
+	for _, prod := range prods {
+		if spec.OrderPath != nil && len(prod.Children) > 1 {
+			members := prod.Children[1:]
+			sortTreesByPathInPlace(members, spec.OrderPath, spec.OrderDesc)
+		}
+		out := xmltree.E(spec.OutTag, xmltree.Elem(basisTag, prod.Children[0].Children[0].Content))
+		total := 0
+		for _, child := range prod.Children[1:] {
+			for _, v := range valuesAtPath(child, spec.ValuePath) {
+				if spec.Mode == Titles {
+					out.Append(xmltree.Elem(valueTag, v))
+				} else {
+					total++
+				}
+			}
+		}
+		if spec.Mode == Count {
+			out.Append(xmltree.Elem("count", strconv.Itoa(total)))
+		}
+		res.Trees = append(res.Trees, out)
+	}
+	if err := finishResult(db, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,95 @@
+package exec
+
+import (
+	"sort"
+
+	"timber/internal/sjoin"
+	"timber/internal/storage"
+	"timber/internal/xmltree"
+)
+
+// pair binds a member element to one match of a relative path inside
+// it. Pattern matching yields pairs "in terms of node identifiers,
+// obtained from the index look up" (Sec. 5.2): both postings come from
+// the tag index and no node record is touched.
+type pair struct {
+	member storage.Posting
+	leaf   storage.Posting
+}
+
+// pathPairs computes, index-only, all (member, leaf) pairs where leaf
+// is reached from a member element by the given child-step path. Pairs
+// are in document order of (member, leaf). The ancestor side of each
+// step join uses the previous step's distinct leaves, so the whole path
+// costs one tag-index scan plus one single-pass structural join per
+// step.
+func pathPairs(db *storage.DB, members []storage.Posting, path Path) ([]pair, error) {
+	cur := make([]pair, len(members))
+	for i, m := range members {
+		cur[i] = pair{member: m, leaf: m}
+	}
+	for _, st := range path {
+		next, err := db.TagPostings(st.Tag)
+		if err != nil {
+			return nil, err
+		}
+		axis := sjoin.ParentChild
+		if st.Descendant {
+			axis = sjoin.AncestorDescendant
+		}
+		cur = stepJoin(cur, next, axis)
+		if len(cur) == 0 {
+			return nil, nil
+		}
+	}
+	return cur, nil
+}
+
+// stepJoin extends each pair's leaf by one structural step into the
+// candidate postings.
+func stepJoin(cur []pair, cands []storage.Posting, axis sjoin.Axis) []pair {
+	// Distinct, sorted current leaves form the ancestor list.
+	leaves := make([]storage.Posting, 0, len(cur))
+	seen := map[xmltree.NodeID]bool{}
+	for _, p := range cur {
+		id := p.leaf.ID()
+		if !seen[id] {
+			seen[id] = true
+			leaves = append(leaves, p.leaf)
+		}
+	}
+	sort.Slice(leaves, func(i, j int) bool { return leaves[i].ID().Less(leaves[j].ID()) })
+
+	aIvs := make([]xmltree.Interval, len(leaves))
+	for i, l := range leaves {
+		aIvs[i] = l.Interval
+	}
+	dIvs := make([]xmltree.Interval, len(cands))
+	for i, c := range cands {
+		dIvs[i] = c.Interval
+	}
+	joined := sjoin.StackTree(aIvs, dIvs, axis)
+
+	children := map[xmltree.NodeID][]storage.Posting{}
+	for _, pr := range joined {
+		id := leaves[pr.A].ID()
+		children[id] = append(children[id], cands[pr.D])
+	}
+	var out []pair
+	for _, p := range cur {
+		for _, c := range children[p.leaf.ID()] {
+			out = append(out, pair{member: p.member, leaf: c})
+		}
+	}
+	return out
+}
+
+// groupPairsByMember turns pairs into a member-ID-keyed multimap,
+// preserving leaf document order per member.
+func groupPairsByMember(pairs []pair) map[xmltree.NodeID][]storage.Posting {
+	m := map[xmltree.NodeID][]storage.Posting{}
+	for _, p := range pairs {
+		m[p.member.ID()] = append(m[p.member.ID()], p.leaf)
+	}
+	return m
+}

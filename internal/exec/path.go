@@ -1,0 +1,83 @@
+package exec
+
+import (
+	"strings"
+
+	"timber/internal/xmltree"
+)
+
+// PathStep is one step of a member-relative path: an element name plus
+// the axis reaching it (child for /, descendant for //).
+type PathStep struct {
+	Tag        string
+	Descendant bool
+}
+
+// Path is a member-relative location path. The physical plans evaluate
+// paths with the same semantics as the pattern edges they came from:
+// child steps require immediate containment, descendant steps any
+// proper nesting.
+type Path []PathStep
+
+// ChildPath builds an all-child-steps path from tags; the common case.
+func ChildPath(tags ...string) Path {
+	p := make(Path, len(tags))
+	for i, t := range tags {
+		p[i] = PathStep{Tag: t}
+	}
+	return p
+}
+
+// Tags returns the element names of the steps.
+func (p Path) Tags() []string {
+	out := make([]string, len(p))
+	for i, s := range p {
+		out[i] = s.Tag
+	}
+	return out
+}
+
+// LastTag returns the final step's element name.
+func (p Path) LastTag() string { return p[len(p)-1].Tag }
+
+func (p Path) String() string {
+	var b strings.Builder
+	for _, s := range p {
+		if s.Descendant {
+			b.WriteString("//")
+		} else {
+			b.WriteString("/")
+		}
+		b.WriteString(s.Tag)
+	}
+	return b.String()
+}
+
+// valuesAtPath walks a materialized subtree along the path and returns
+// the leaf contents in document order.
+func valuesAtPath(root *xmltree.Node, path Path) []string {
+	cur := []*xmltree.Node{root}
+	for _, st := range path {
+		var next []*xmltree.Node
+		for _, n := range cur {
+			if st.Descendant {
+				for _, c := range n.Children {
+					c.Walk(func(m *xmltree.Node) bool {
+						if m.Tag == st.Tag {
+							next = append(next, m)
+						}
+						return true
+					})
+				}
+			} else {
+				next = append(next, n.ChildrenTagged(st.Tag)...)
+			}
+		}
+		cur = next
+	}
+	out := make([]string, len(cur))
+	for i, n := range cur {
+		out[i] = n.Content
+	}
+	return out
+}

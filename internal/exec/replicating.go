@@ -1,0 +1,104 @@
+package exec
+
+import (
+	"sort"
+	"strconv"
+
+	"timber/internal/storage"
+	"timber/internal/xmltree"
+)
+
+// GroupByReplicating is the strawman grouping implementation Sec. 5.3
+// argues against: "replicate elements an appropriate number of times,
+// and tag each replica with the correct grouping variables", then sort.
+// It materializes the full member subtree once per witness — a
+// two-author article is physically instantiated twice — before any
+// grouping happens, so "large amounts of data may be replicated early
+// in the process". GroupByExec is the identifier-processing variant
+// that defers materialization; benchmarking the two reproduces the
+// design argument.
+func GroupByReplicating(db *storage.DB, spec Spec) (*Result, error) {
+	res := &Result{}
+
+	members, err := db.TagPostings(spec.MemberTag)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.IndexPostings += len(members)
+	witnesses, err := pathPairs(db, members, spec.JoinPath)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.IndexPostings += len(witnesses)
+
+	// Early replication: one fully materialized subtree per witness,
+	// tagged with its grouping value.
+	type replica struct {
+		value    string
+		orderKey string
+		tree     *xmltree.Node
+		seq      int
+	}
+	reps := make([]replica, 0, len(witnesses))
+	for i, w := range witnesses {
+		sub, err := db.GetSubtree(w.member.ID())
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.LocatorProbes++ // GetSubtree resolves via the locator
+		res.Stats.ValueLookups += sub.Size()
+		v, err := db.Content(w.leaf)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.ValueLookups++
+		r := replica{value: v, tree: sub, seq: i}
+		if spec.OrderPath != nil {
+			if vs := valuesAtPath(sub, spec.OrderPath); len(vs) > 0 {
+				r.orderKey = vs[0]
+			}
+		}
+		reps = append(reps, r)
+	}
+
+	// Standard sort-based grouping over the replicas; the replicas
+	// already carry everything an ordering list needs.
+	sort.SliceStable(reps, func(i, j int) bool {
+		if reps[i].value != reps[j].value {
+			return reps[i].value < reps[j].value
+		}
+		if spec.OrderPath != nil {
+			return orderLess(reps[i].orderKey, reps[j].orderKey, spec.OrderDesc)
+		}
+		return false
+	})
+
+	basisTag := spec.BasisTag()
+	valueTag := spec.ValuePath.LastTag()
+	for i := 0; i < len(reps); {
+		j := i
+		for j < len(reps) && reps[j].value == reps[i].value {
+			j++
+		}
+		out := xmltree.E(spec.OutTag, xmltree.Elem(basisTag, reps[i].value))
+		total := 0
+		for _, r := range reps[i:j] {
+			for _, v := range valuesAtPath(r.tree, spec.ValuePath) {
+				if spec.Mode == Titles {
+					out.Append(xmltree.Elem(valueTag, v))
+				} else {
+					total++
+				}
+			}
+		}
+		if spec.Mode == Count {
+			out.Append(xmltree.Elem("count", strconv.Itoa(total)))
+		}
+		res.Trees = append(res.Trees, out)
+		i = j
+	}
+	if err := finishResult(db, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,285 @@
+package match
+
+import (
+	"sort"
+
+	"timber/internal/pattern"
+	"timber/internal/sjoin"
+	"timber/internal/storage"
+	"timber/internal/xmltree"
+)
+
+// DBBinding maps pattern labels to matched stored nodes, identified by
+// postings (interval + record location). Obtaining a DBBinding touches
+// only indices unless a predicate forces a record fetch; values are
+// populated later, and only as needed (Sec. 5.3).
+type DBBinding map[string]storage.Posting
+
+// DBStats reports what a MatchDB call did, for experiment reporting.
+type DBStats struct {
+	// Candidates is the total number of index postings considered
+	// across pattern nodes.
+	Candidates int
+	// RecordFilterFetches counts node records fetched to evaluate
+	// predicates that no index could answer.
+	RecordFilterFetches int
+	// Witnesses is the number of bindings produced.
+	Witnesses int
+}
+
+// recFields adapts a stored node record to pattern.Fields.
+type recFields struct{ r *storage.NodeRecord }
+
+func (f recFields) Tag() string     { return f.r.Tag }
+func (f recFields) Content() string { return f.r.Content }
+func (f recFields) Attr(name string) (string, bool) {
+	for _, a := range f.r.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// RecordFields exposes a stored record as predicate-testable fields.
+func RecordFields(r *storage.NodeRecord) pattern.Fields { return recFields{r} }
+
+// MatchDB computes the pattern's witnesses against every document in
+// the database, using the strategy of Sec. 5.2: independently locate
+// candidate postings for each pattern node from the indices, then
+// resolve structural relationships one pattern edge at a time with
+// single-pass containment joins. Witness order is identical to Match's.
+func MatchDB(db *storage.DB, pt *pattern.Tree) ([]DBBinding, *DBStats, error) {
+	order := preorder(pt.Root)
+	stats := &DBStats{}
+
+	// Column index by label, following pre-order positions.
+	colOf := make(map[string]int, len(order))
+	for i, pn := range order {
+		colOf[pn.Label] = i
+	}
+
+	// Candidate postings per pattern node.
+	cands := make([][]storage.Posting, len(order))
+	for i, pn := range order {
+		cs, err := candidates(db, pn, stats)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(cs) == 0 {
+			return nil, stats, nil // some node has no match at all
+		}
+		cands[i] = cs
+	}
+
+	// Seed rows with the root candidates, then extend one edge at a
+	// time. rows[r][i] is the posting bound to order[i] in row r.
+	rows := make([][]storage.Posting, len(cands[0]))
+	for r, p := range cands[0] {
+		row := make([]storage.Posting, len(order))
+		row[0] = p
+		rows[r] = row
+	}
+	for i := 1; i < len(order); i++ {
+		pn := order[i]
+		pcol := colOf[pn.Parent.Label]
+
+		// Distinct, sorted parent postings currently bound.
+		parents := distinctSorted(rows, pcol)
+		pIvs := make([]xmltree.Interval, len(parents))
+		for k, p := range parents {
+			pIvs[k] = p.Interval
+		}
+		cIvs := make([]xmltree.Interval, len(cands[i]))
+		for k, c := range cands[i] {
+			cIvs[k] = c.Interval
+		}
+		axis := sjoin.AncestorDescendant
+		if pn.Axis == pattern.Child {
+			axis = sjoin.ParentChild
+		}
+		pairs := sjoin.StackTree(pIvs, cIvs, axis)
+
+		// children[parentID] lists matching candidate indices in
+		// document order.
+		children := make(map[xmltree.NodeID][]int, len(parents))
+		for _, pr := range pairs {
+			id := parents[pr.A].ID()
+			children[id] = append(children[id], pr.D)
+		}
+		var next [][]storage.Posting
+		for _, row := range rows {
+			for _, ci := range children[row[pcol].ID()] {
+				nr := make([]storage.Posting, len(order))
+				copy(nr, row)
+				nr[i] = cands[i][ci]
+				next = append(next, nr)
+			}
+		}
+		rows = next
+		if len(rows) == 0 {
+			return nil, stats, nil
+		}
+	}
+
+	// Sort lexicographically by node IDs in pre-order, then convert.
+	sort.SliceStable(rows, func(a, b int) bool {
+		for i := range order {
+			x, y := rows[a][i].ID(), rows[b][i].ID()
+			if x != y {
+				return x.Less(y)
+			}
+		}
+		return false
+	})
+	out := make([]DBBinding, len(rows))
+	for r, row := range rows {
+		bind := make(DBBinding, len(order))
+		for i, pn := range order {
+			bind[pn.Label] = row[i]
+		}
+		out[r] = bind
+	}
+	stats.Witnesses = len(out)
+	return out, stats, nil
+}
+
+// candidates produces the sorted candidate postings for one pattern
+// node, preferring index-only access paths.
+func candidates(db *storage.DB, pn *pattern.Node, stats *DBStats) ([]storage.Posting, error) {
+	tag := pn.TagConstraint()
+	var posts []storage.Posting
+	var covered []pattern.Predicate // predicates the access path has answered
+	switch {
+	case tag != "" && contentEqOf(pn) != nil && db.HasValueIndex():
+		ceq := contentEqOf(pn)
+		var err error
+		posts, err = db.ValuePostings(tag, ceq.Value)
+		if err != nil {
+			return nil, err
+		}
+		covered = []pattern.Predicate{pattern.TagEq{Tag: tag}, *ceq}
+	case tag != "":
+		var err error
+		posts, err = db.TagPostings(tag)
+		if err != nil {
+			return nil, err
+		}
+		covered = []pattern.Predicate{pattern.TagEq{Tag: tag}}
+	default:
+		// No index applies: scan every document (the paper's "simplest
+		// way ... scan the entire database" fallback).
+		for _, d := range db.Documents() {
+			err := db.ScanDocument(d.ID, func(rec *storage.NodeRecord) error {
+				if pn.NodeMatches(recFields{rec}) {
+					// ScanDocument does not expose the RID; recover it
+					// via a locator probe only when records pass.
+					p, err := postingFor(db, rec)
+					if err != nil {
+						return err
+					}
+					posts = append(posts, p)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		stats.Candidates += len(posts)
+		return posts, nil
+	}
+	stats.Candidates += len(posts)
+
+	rest := remaining(pn.Preds, covered)
+	if len(rest) == 0 {
+		return posts, nil
+	}
+	// Residual predicates need the records.
+	var filtered []storage.Posting
+	for _, p := range posts {
+		rec, err := db.GetNodeAt(p.RID)
+		if err != nil {
+			return nil, err
+		}
+		stats.RecordFilterFetches++
+		if predsMatch(rest, recFields{rec}) {
+			filtered = append(filtered, p)
+		}
+	}
+	return filtered, nil
+}
+
+func contentEqOf(pn *pattern.Node) *pattern.ContentEq {
+	for _, p := range pn.Preds {
+		if ceq, ok := p.(pattern.ContentEq); ok && len(ceq.Value) > 0 {
+			return &ceq
+		}
+	}
+	return nil
+}
+
+func remaining(all, covered []pattern.Predicate) []pattern.Predicate {
+	var rest []pattern.Predicate
+	for _, p := range all {
+		skip := false
+		for _, c := range covered {
+			if p == c {
+				skip = true
+				break
+			}
+		}
+		if !skip {
+			rest = append(rest, p)
+		}
+	}
+	return rest
+}
+
+func predsMatch(preds []pattern.Predicate, f pattern.Fields) bool {
+	for _, p := range preds {
+		if !p.Matches(f) {
+			return false
+		}
+	}
+	return true
+}
+
+func postingFor(db *storage.DB, rec *storage.NodeRecord) (storage.Posting, error) {
+	rid, err := db.LocateRID(rec.ID())
+	if err != nil {
+		return storage.Posting{}, err
+	}
+	return storage.Posting{Interval: rec.Interval, RID: rid}, nil
+}
+
+// distinctSorted extracts the distinct postings of one column, sorted by
+// node ID — the input form the structural join requires.
+func distinctSorted(rows [][]storage.Posting, col int) []storage.Posting {
+	out := make([]storage.Posting, 0, len(rows))
+	seen := make(map[xmltree.NodeID]bool, len(rows))
+	for _, row := range rows {
+		id := row[col].ID()
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, row[col])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID().Less(out[j].ID()) })
+	return out
+}
+
+// SortDBBindings orders db witnesses lexicographically by bound node IDs
+// in pattern pre-order (the order MatchDB already returns).
+func SortDBBindings(pt *pattern.Tree, bs []DBBinding) {
+	labels := pt.Labels()
+	sort.SliceStable(bs, func(i, j int) bool {
+		for _, l := range labels {
+			a, b := bs[i][l].ID(), bs[j][l].ID()
+			if a != b {
+				return a.Less(b)
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,134 @@
+package opt
+
+import (
+	"testing"
+
+	"timber/internal/pattern"
+	"timber/internal/plan"
+	"timber/internal/tax"
+	"timber/internal/xq"
+)
+
+// These tests exercise Phase 1's rejection branches on hand-built plans
+// that are *almost* the grouping idiom.
+
+func queryParts(t *testing.T) *plan.Stitch {
+	t.Helper()
+	naive, err := plan.Translate(xq.MustParse(query1Src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return naive.(*plan.Stitch)
+}
+
+func mustNotRewrite(t *testing.T, op plan.Op, why string) {
+	t.Helper()
+	out, applied, err := Rewrite(op)
+	if err != nil {
+		t.Fatalf("%s: err %v", why, err)
+	}
+	if applied {
+		t.Errorf("%s: rewrite applied but should not", why)
+	}
+	if out != op {
+		t.Errorf("%s: plan not returned unchanged", why)
+	}
+}
+
+func TestDetectRejectsJoinOverNonDatabase(t *testing.T) {
+	st := queryParts(t)
+	// Point the join's right side at something other than DBScan.
+	join := st.Parts[1].Op.(*plan.ProjectPerTree).In.(*plan.DedupChildren).In.(*plan.LeftOuterJoin)
+	orig := join.Right
+	join.Right = join.Left
+	mustNotRewrite(t, st, "join right side not the database")
+	join.Right = orig
+}
+
+func TestDetectRejectsDivergentJoins(t *testing.T) {
+	st := queryParts(t)
+	// Duplicate the titles part but give it a DIFFERENT join instance:
+	// the parts no longer share one join pipeline.
+	other, err := plan.Translate(xq.MustParse(query1Src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Parts = append(st.Parts, other.(*plan.Stitch).Parts[1])
+	mustNotRewrite(t, st, "two distinct join pipelines")
+}
+
+func TestDetectRejectsForeignOuter(t *testing.T) {
+	st := queryParts(t)
+	// Rebuild the {$a} part over a fresh (different) outer pipeline.
+	otherPlan, err := plan.Translate(xq.MustParse(query1Src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Parts[0] = otherPlan.(*plan.Stitch).Parts[0]
+	mustNotRewrite(t, st, "basis part reads a different outer pipeline")
+}
+
+func TestDetectRejectsUnknownPartShape(t *testing.T) {
+	st := queryParts(t)
+	st.Parts[0] = plan.StitchPart{Op: &plan.DBScan{}}
+	mustNotRewrite(t, st, "unrecognized part shape")
+}
+
+func TestDetectRejectsMultiItemSL(t *testing.T) {
+	st := queryParts(t)
+	join := st.Parts[1].Op.(*plan.ProjectPerTree).In.(*plan.DedupChildren).In.(*plan.LeftOuterJoin)
+	join.Spec.SL = append(join.Spec.SL, tax.L("$1"))
+	mustNotRewrite(t, st, "join SL with several items")
+}
+
+func TestDetectRejectsNonCountAggregate(t *testing.T) {
+	naive, err := plan.Translate(xq.MustParse(queryCountSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := naive.(*plan.Stitch)
+	agg := st.Parts[1].Op.(*plan.ProjectPerTree).In.(*plan.Aggregate)
+	agg.Spec.Fn = tax.Sum
+	mustNotRewrite(t, st, "aggregate other than COUNT")
+}
+
+func TestDetectRejectsMismatchedJoinValueMapping(t *testing.T) {
+	// Craft a join whose subset mapping does not send the outer bound
+	// variable to the join value node: outer binds article (not
+	// author), join value is the author.
+	lg := func(i int) string { return []string{"$1", "$2", "$3"}[i] }
+	outerRoot := pattern.NewNode(lg(0), pattern.TagEq{Tag: "doc_root"})
+	outerRoot.AddChild(pattern.Descendant, pattern.NewNode(lg(1), pattern.TagEq{Tag: "article"}))
+	outerPat := pattern.MustTree(outerRoot)
+
+	innerRoot := pattern.NewNode(lg(0), pattern.TagEq{Tag: "doc_root"})
+	art := innerRoot.AddChild(pattern.Descendant, pattern.NewNode(lg(1), pattern.TagEq{Tag: "article"}))
+	art.AddChild(pattern.Child, pattern.NewNode(lg(2), pattern.TagEq{Tag: "author"}))
+	innerPat := pattern.MustTree(innerRoot)
+
+	sel := &plan.Select{In: &plan.DBScan{}, Pattern: outerPat, SL: []tax.Item{tax.L("$2")}}
+	proj := &plan.Project{In: sel, Pattern: outerPat, PL: []tax.Item{tax.LS("$2")}}
+	outer := &plan.DupElimContent{In: proj, Pattern: outerPat, Label: "$2"}
+	join := &plan.LeftOuterJoin{
+		Left:  outer,
+		Right: &plan.DBScan{},
+		Spec: tax.JoinSpec{
+			LeftPattern:  outerPat,
+			LeftLabel:    "$2", // bound to article
+			RightPattern: innerPat,
+			RightLabel:   "$3", // join value is the author
+			SL:           []tax.Item{tax.LS("$2")},
+		},
+	}
+	titlePat := func() *pattern.Tree {
+		r := pattern.NewNode("$1", pattern.TagEq{Tag: tax.ProdRootTag})
+		a := r.AddChild(pattern.Child, pattern.NewNode("$2", pattern.TagEq{Tag: "article"}))
+		a.AddChild(pattern.Child, pattern.NewNode("$3", pattern.TagEq{Tag: "title"}))
+		return pattern.MustTree(r)
+	}()
+	st := &plan.Stitch{Tag: "x", Parts: []plan.StitchPart{
+		{Op: &plan.Project{In: &plan.Select{In: outer, Pattern: outerPat, SL: []tax.Item{tax.L("$2")}}, Pattern: outerPat, PL: []tax.Item{tax.LS("$2")}}},
+		{Op: &plan.ProjectPerTree{In: &plan.DedupChildren{In: join}, Pattern: titlePat, PL: []tax.Item{tax.LS("$3")}}, Splice: true},
+	}}
+	mustNotRewrite(t, st, "outer variable maps away from the join value")
+}

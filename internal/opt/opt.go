@@ -1,0 +1,488 @@
+// Package opt implements the rewrite algorithm of Sec. 4.1: Phase 1
+// detects the grouping idiom in a naively translated plan (a left
+// outer join between the outcome of a previous selection and the
+// database, whose outer pattern is a subset of the inner pattern), and
+// Phase 2 rewrites the plan into a single-block expression around the
+// GROUPBY operator — the paper's Figure 5 pipeline.
+package opt
+
+import (
+	"fmt"
+
+	"timber/internal/pattern"
+	"timber/internal/plan"
+	"timber/internal/tax"
+)
+
+// Rewrite applies the grouping rewrite when Phase 1 detects it. It
+// returns the rewritten plan and true, or the original plan and false
+// when the idiom is absent. A malformed idiom (detected but impossible
+// to rewrite) returns an error.
+func Rewrite(op plan.Op) (plan.Op, bool, error) {
+	st, ok := op.(*plan.Stitch)
+	if !ok {
+		return op, false, nil
+	}
+	det, ok := detect(st)
+	if !ok {
+		return op, false, nil
+	}
+	out, err := rebuild(st, det)
+	if err != nil {
+		return op, false, err
+	}
+	return out, true, nil
+}
+
+// detection carries everything Phase 2 needs.
+type detection struct {
+	join     *plan.LeftOuterJoin
+	mapping  map[string]string // outer labels -> inner labels (subset witness)
+	outerOp  plan.Op           // the shared outer pipeline result
+	boundLbl string            // SL label in the inner pattern (the grouped element)
+	parts    []partInfo
+}
+
+type partKind int
+
+const (
+	basisPart  partKind = iota // {$a}: extract the grouping value
+	valuesPart                 // nested FLWR / {$t}: extract return-path values
+	countPart                  // {count($t)}
+)
+
+type partInfo struct {
+	kind      partKind
+	prodPat   *pattern.Tree // for values/count parts: TAX_prod_root pattern
+	valLbl    string        // label of the value node in prodPat
+	orderPath []string      // ORDER BY path relative to the member, if any
+	orderDesc bool
+}
+
+// detect implements Phase 1 on the stitched naive plan.
+func detect(st *plan.Stitch) (*detection, bool) {
+	det := &detection{}
+	for _, p := range st.Parts {
+		switch inner := p.Op.(type) {
+		case *plan.Project:
+			// Candidate {$a} part: Project(Select(outer)).
+			sel, ok := inner.In.(*plan.Select)
+			if !ok {
+				return nil, false
+			}
+			if !isOuterPipeline(sel.In) {
+				return nil, false
+			}
+			det.outerOp = sel.In
+			det.parts = append(det.parts, partInfo{kind: basisPart})
+		case *plan.ProjectPerTree:
+			mid := inner.In
+			var orderPath []string
+			var orderDesc bool
+			if s, ok := mid.(*plan.SortChildrenByPath); ok {
+				orderPath, orderDesc = s.Path, s.Desc
+				mid = s.In
+			}
+			switch m := mid.(type) {
+			case *plan.DedupChildren:
+				join, ok := m.In.(*plan.LeftOuterJoin)
+				if !ok {
+					return nil, false
+				}
+				if !checkJoin(det, join) {
+					return nil, false
+				}
+				det.parts = append(det.parts, partInfo{
+					kind: valuesPart, prodPat: inner.Pattern, valLbl: starLabel(inner.PL),
+					orderPath: orderPath, orderDesc: orderDesc,
+				})
+			case *plan.Aggregate:
+				src := m.In
+				if s, ok := src.(*plan.SortChildrenByPath); ok {
+					src = s.In // ordering is irrelevant to COUNT
+				}
+				dd, ok := src.(*plan.DedupChildren)
+				if !ok {
+					return nil, false
+				}
+				join, ok := dd.In.(*plan.LeftOuterJoin)
+				if !ok {
+					return nil, false
+				}
+				if !checkJoin(det, join) {
+					return nil, false
+				}
+				if m.Spec.Fn != tax.Count {
+					return nil, false
+				}
+				det.parts = append(det.parts, partInfo{
+					kind: countPart, prodPat: m.Pattern, valLbl: m.Spec.SrcLabel,
+				})
+			default:
+				return nil, false
+			}
+		default:
+			return nil, false
+		}
+	}
+	if det.join == nil {
+		return nil, false // no join: nothing to rewrite
+	}
+	// Phase 1 step 1: the join's left input must be the outcome of the
+	// previous selection pipeline and its right input the database.
+	if det.outerOp != nil && det.join.Left != det.outerOp {
+		return nil, false
+	}
+	if _, ok := det.join.Right.(*plan.DBScan); !ok {
+		return nil, false
+	}
+	if !isOuterPipeline(det.join.Left) {
+		return nil, false
+	}
+	// Phase 1 step 2: outer pattern ⊆ inner pattern (with the edge-mark
+	// rules of footnote 6).
+	mapping, ok := pattern.Subset(det.join.Spec.LeftPattern, det.join.Spec.RightPattern)
+	if !ok {
+		return nil, false
+	}
+	// The outer bound variable must correspond to the join value node,
+	// otherwise grouping on the join value would not reproduce the
+	// outer bindings.
+	if mapping[det.join.Spec.LeftLabel] != det.join.Spec.RightLabel {
+		return nil, false
+	}
+	det.mapping = mapping
+	if len(det.join.Spec.SL) != 1 {
+		return nil, false
+	}
+	det.boundLbl = det.join.Spec.SL[0].Label
+	return det, true
+}
+
+// checkJoin records the join, insisting every join part shares one.
+func checkJoin(det *detection, j *plan.LeftOuterJoin) bool {
+	if det.join == nil {
+		det.join = j
+		return true
+	}
+	return det.join == j
+}
+
+// isOuterPipeline recognizes the outer FOR pipeline:
+// [DupElimContent] <- Project <- Select <- DBScan.
+func isOuterPipeline(op plan.Op) bool {
+	if d, ok := op.(*plan.DupElimContent); ok {
+		op = d.In
+	}
+	pr, ok := op.(*plan.Project)
+	if !ok {
+		return false
+	}
+	sel, ok := pr.In.(*plan.Select)
+	if !ok {
+		return false
+	}
+	_, ok = sel.In.(*plan.DBScan)
+	return ok
+}
+
+func starLabel(pl []tax.Item) string {
+	if len(pl) == 1 {
+		return pl[0].Label
+	}
+	return ""
+}
+
+// rebuild implements Phase 2: it constructs the GROUPBY plan of
+// Figure 5 from the detected pieces.
+func rebuild(st *plan.Stitch, det *detection) (plan.Op, error) {
+	inner := det.join.Spec.RightPattern
+	bound := inner.NodeByLabel(det.boundLbl)
+	joinNode := inner.NodeByLabel(det.join.Spec.RightLabel)
+	if bound == nil || joinNode == nil {
+		return nil, fmt.Errorf("opt: join pattern lacks %s or %s", det.boundLbl, det.join.Spec.RightLabel)
+	}
+
+	// Phase 2 step 1 (Figure 5.a): initial pattern — the bound
+	// variable with its path from the document root. Selection with the
+	// bound variable as selection list, projection with its star.
+	initPat, initBound, err := pathPattern(bound)
+	if err != nil {
+		return nil, err
+	}
+	sel := &plan.Select{In: &plan.DBScan{}, Pattern: initPat, SL: []tax.Item{tax.L(initBound)}}
+	proj := &plan.Project{In: sel, Pattern: pcVersion(initPat), PL: []tax.Item{tax.LS(initBound)}}
+
+	// Phase 2 step 2 (Figure 5.b): the GROUPBY input pattern — the
+	// subtree of the inner pattern from the bound element to the join
+	// value; the grouping basis is the join value's content; the
+	// ordering list would come from a user-requested sort (none in this
+	// query family).
+	gbPat, gbValueLbl, err := subPathPattern(bound, joinNode)
+	if err != nil {
+		return nil, err
+	}
+	grouped := &plan.GroupBy{
+		In:      proj,
+		Pattern: gbPat,
+		Basis:   []tax.BasisItem{{Label: gbValueLbl}},
+	}
+	// Phase 2 step 2, ordering list: "generated from the projection
+	// pattern tree of the inner FLWR statement; only if sorting was
+	// requested by the user". The ORDER BY path extends the GROUPBY
+	// pattern with a branch whose node supplies the ordering value.
+	for _, pi := range det.parts {
+		if pi.kind != valuesPart || pi.orderPath == nil {
+			continue
+		}
+		lbl, err := extendWithPath(gbPat, pi.orderPath)
+		if err != nil {
+			return nil, err
+		}
+		dir := tax.Ascending
+		if pi.orderDesc {
+			dir = tax.Descending
+		}
+		grouped.Ordering = append(grouped.Ordering, tax.OrderItem{Direction: dir, Label: lbl})
+		break
+	}
+
+	// Phase 2 steps 4–5 (Figure 5.d): the final projection per RETURN
+	// argument, plus the rename folded into the stitch tag.
+	out := &plan.Stitch{Tag: st.Tag}
+	for _, pi := range det.parts {
+		switch pi.kind {
+		case basisPart:
+			// The grouping-basis child of each group tree is the match
+			// of the join-value node (author/institution), not of the
+			// grouped member element.
+			p, err := basisProjection(joinNode.TagConstraint())
+			if err != nil {
+				return nil, err
+			}
+			out.Parts = append(out.Parts, plan.StitchPart{Op: &plan.ProjectPerTree{
+				In: grouped, Pattern: p.tree, PL: []tax.Item{tax.LS(p.valueLbl)},
+			}, Splice: true})
+		case valuesPart:
+			p, err := memberProjection(bound.TagConstraint(), pi)
+			if err != nil {
+				return nil, err
+			}
+			out.Parts = append(out.Parts, plan.StitchPart{Op: &plan.ProjectPerTree{
+				In: grouped, Pattern: p.tree, PL: []tax.Item{tax.LS(p.valueLbl)},
+			}, Splice: true})
+		case countPart:
+			p, err := memberProjection(bound.TagConstraint(), pi)
+			if err != nil {
+				return nil, err
+			}
+			agg := &plan.Aggregate{
+				In:      grouped,
+				Pattern: p.tree,
+				Spec: tax.AggSpec{
+					Fn:          tax.Count,
+					SrcLabel:    p.valueLbl,
+					NewTag:      plan.CountTag,
+					AnchorLabel: p.rootLbl,
+					Place:       tax.AfterLastChild,
+				},
+			}
+			cnt, err := countProjection()
+			if err != nil {
+				return nil, err
+			}
+			out.Parts = append(out.Parts, plan.StitchPart{Op: &plan.ProjectPerTree{
+				In: agg, Pattern: cnt.tree, PL: []tax.Item{tax.LS(cnt.valueLbl)},
+			}, Splice: true})
+		}
+	}
+	return out, nil
+}
+
+// projection bundles a pattern with the labels the caller cares about.
+type projection struct {
+	tree     *pattern.Tree
+	rootLbl  string
+	valueLbl string
+}
+
+// basisProjection extracts the grouping-basis element from group trees:
+// TAX_group_root / TAX_grouping_basis / <basisTag>.
+func basisProjection(basisTag string) (*projection, error) {
+	lg := 0
+	next := func() string { lg++; return fmt.Sprintf("$%d", lg) }
+	root := pattern.NewNode(next(), pattern.TagEq{Tag: tax.GroupRootTag})
+	gb := root.AddChild(pattern.Child, pattern.NewNode(next(), pattern.TagEq{Tag: tax.GroupingBasisTag}))
+	val := gb.AddChild(pattern.Child, pattern.NewNode(next(), pattern.TagEq{Tag: basisTag}))
+	pt, err := pattern.NewTree(root)
+	if err != nil {
+		return nil, err
+	}
+	return &projection{tree: pt, rootLbl: root.Label, valueLbl: val.Label}, nil
+}
+
+// memberProjection reaches the return-path value inside group members:
+// TAX_group_root / TAX_group_subroot / <member> / <return path>. The
+// return path is copied from the naive part's product pattern.
+func memberProjection(memberTag string, pi partInfo) (*projection, error) {
+	lg := 0
+	next := func() string { lg++; return fmt.Sprintf("$%d", lg) }
+	root := pattern.NewNode(next(), pattern.TagEq{Tag: tax.GroupRootTag})
+	sub := root.AddChild(pattern.Child, pattern.NewNode(next(), pattern.TagEq{Tag: tax.GroupSubrootTag}))
+	member := sub.AddChild(pattern.Child, pattern.NewNode(next(), pattern.TagEq{Tag: memberTag}))
+
+	// Locate the member element in the product pattern and copy the
+	// chain from it down to the value label.
+	src := findByTag(pi.prodPat.Root, memberTag)
+	if src == nil {
+		return nil, fmt.Errorf("opt: product pattern lacks member element %q", memberTag)
+	}
+	chain, err := chainTo(src, pi.valLbl)
+	if err != nil {
+		return nil, err
+	}
+	cur := member
+	for _, n := range chain {
+		nn := pattern.NewNode(next(), n.Preds...)
+		cur.AddChild(n.Axis, nn)
+		cur = nn
+	}
+	pt, err := pattern.NewTree(root)
+	if err != nil {
+		return nil, err
+	}
+	return &projection{tree: pt, rootLbl: root.Label, valueLbl: cur.Label}, nil
+}
+
+// countProjection extracts the aggregate node the count rewrite
+// attaches to group roots.
+func countProjection() (*projection, error) {
+	root := pattern.NewNode("$1", pattern.TagEq{Tag: tax.GroupRootTag})
+	val := root.AddChild(pattern.Child, pattern.NewNode("$2", pattern.TagEq{Tag: plan.CountTag}))
+	pt, err := pattern.NewTree(root)
+	if err != nil {
+		return nil, err
+	}
+	return &projection{tree: pt, rootLbl: "$1", valueLbl: val.Label}, nil
+}
+
+// extendWithPath grafts a child-step chain onto the pattern's root with
+// fresh labels and returns the leaf's label.
+func extendWithPath(pt *pattern.Tree, path []string) (string, error) {
+	n := pt.Size()
+	cur := pt.Root
+	for _, tag := range path {
+		n++
+		node := pattern.NewNode(fmt.Sprintf("$%d", n), pattern.TagEq{Tag: tag})
+		cur.AddChild(pattern.Child, node)
+		cur = node
+	}
+	// Revalidate label uniqueness by rebuilding the tree index.
+	rebuilt, err := pattern.NewTree(pt.Root)
+	if err != nil {
+		return "", err
+	}
+	*pt = *rebuilt
+	return cur.Label, nil
+}
+
+// pathPattern builds a fresh pattern containing only the root-to-node
+// path of the given pattern node, preserving axes and predicates. It
+// returns the new tree and the label of the copied node.
+func pathPattern(target *pattern.Node) (*pattern.Tree, string, error) {
+	var path []*pattern.Node
+	for n := target; n != nil; n = n.Parent {
+		path = append([]*pattern.Node{n}, path...)
+	}
+	lg := 0
+	next := func() string { lg++; return fmt.Sprintf("$%d", lg) }
+	root := pattern.NewNode(next(), path[0].Preds...)
+	cur := root
+	for _, n := range path[1:] {
+		nn := pattern.NewNode(next(), n.Preds...)
+		cur.AddChild(n.Axis, nn)
+		cur = nn
+	}
+	pt, err := pattern.NewTree(root)
+	if err != nil {
+		return nil, "", err
+	}
+	return pt, cur.Label, nil
+}
+
+// subPathPattern builds the pattern from ancestor `from` down to
+// `to` (inclusive), with fresh labels; returns the tree and the label
+// corresponding to `to`.
+func subPathPattern(from, to *pattern.Node) (*pattern.Tree, string, error) {
+	chain, err := chainTo(from, to.Label)
+	if err != nil {
+		return nil, "", err
+	}
+	lg := 0
+	next := func() string { lg++; return fmt.Sprintf("$%d", lg) }
+	root := pattern.NewNode(next(), from.Preds...)
+	cur := root
+	for _, n := range chain {
+		nn := pattern.NewNode(next(), n.Preds...)
+		cur.AddChild(n.Axis, nn)
+		cur = nn
+	}
+	pt, err := pattern.NewTree(root)
+	if err != nil {
+		return nil, "", err
+	}
+	return pt, cur.Label, nil
+}
+
+// chainTo returns the pattern nodes strictly below `from` on the path
+// to the node labelled lbl.
+func chainTo(from *pattern.Node, lbl string) ([]*pattern.Node, error) {
+	var target *pattern.Node
+	var find func(*pattern.Node)
+	find = func(n *pattern.Node) {
+		if n.Label == lbl {
+			target = n
+			return
+		}
+		for _, c := range n.Children {
+			find(c)
+		}
+	}
+	find(from)
+	if target == nil {
+		return nil, fmt.Errorf("opt: label %s not under %s", lbl, from.Label)
+	}
+	var chain []*pattern.Node
+	for n := target; n != from; n = n.Parent {
+		chain = append([]*pattern.Node{n}, chain...)
+	}
+	return chain, nil
+}
+
+// findByTag returns the first pattern node requiring the given tag.
+func findByTag(root *pattern.Node, tag string) *pattern.Node {
+	if root.TagConstraint() == tag {
+		return root
+	}
+	for _, c := range root.Children {
+		if n := findByTag(c, tag); n != nil {
+			return n
+		}
+	}
+	return nil
+}
+
+// pcVersion converts every edge to parent-child (footnote 5; shared
+// with the translator but kept local to avoid exporting a helper).
+func pcVersion(pt *pattern.Tree) *pattern.Tree {
+	cp := pt.Clone()
+	var walk func(*pattern.Node)
+	walk = func(n *pattern.Node) {
+		for _, c := range n.Children {
+			c.Axis = pattern.Child
+			walk(c)
+		}
+	}
+	walk(cp.Root)
+	return cp
+}

@@ -1,0 +1,418 @@
+package opt
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"timber/internal/paperdata"
+	"timber/internal/plan"
+	"timber/internal/tax"
+	"timber/internal/xmltree"
+	"timber/internal/xq"
+)
+
+const query1Src = `
+FOR $a IN distinct-values(document("bib.xml")//author)
+RETURN
+<authorpubs>
+  {$a}
+  {
+    FOR $b IN document("bib.xml")//article
+    WHERE $a = $b/author
+    RETURN $b/title
+  }
+</authorpubs>`
+
+const query2Src = `
+FOR $a IN distinct-values(document("bib.xml")//author)
+LET $t := document("bib.xml")//article[author = $a]/title
+RETURN
+<authorpubs>
+  {$a} {$t}
+</authorpubs>`
+
+const queryCountSrc = `
+FOR $a IN distinct-values(document("bib.xml")//author)
+LET $t := document("bib.xml")//article[author = $a]/title
+RETURN
+<authorpubs>
+  {$a} {count($t)}
+</authorpubs>`
+
+func rewriteSrc(t *testing.T, src string) (naive, rewritten plan.Op) {
+	t.Helper()
+	naive, err := plan.Translate(xq.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewritten, applied, err := Rewrite(naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !applied {
+		t.Fatalf("rewrite did not apply to:\n%s", plan.Format(naive))
+	}
+	return naive, rewritten
+}
+
+func evalStrings(t *testing.T, op plan.Op) []string {
+	t.Helper()
+	base := tax.NewCollection(paperdata.SampleDatabase())
+	out, err := plan.Eval(base, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.Strings()
+}
+
+func TestRewriteQuery1Applies(t *testing.T) {
+	_, rw := rewriteSrc(t, query1Src)
+	s := plan.Format(rw)
+	if !strings.Contains(s, "GroupBy") {
+		t.Fatalf("rewritten plan lacks GroupBy:\n%s", s)
+	}
+	if strings.Contains(s, "LeftOuterJoin") {
+		t.Errorf("rewritten plan still joins:\n%s", s)
+	}
+}
+
+func TestRewriteQuery1SameResult(t *testing.T) {
+	naive, rw := rewriteSrc(t, query1Src)
+	n := evalStrings(t, naive)
+	r := evalStrings(t, rw)
+	if !reflect.DeepEqual(n, r) {
+		t.Errorf("results differ:\nnaive %v\ngroupby %v", n, r)
+	}
+	want := []string{
+		`authorpubs[author:"Jack" title:"Querying XML" title:"XML and the Web"]`,
+		`authorpubs[author:"John" title:"Querying XML" title:"Hack HTML"]`,
+		`authorpubs[author:"Jill" title:"XML and the Web"]`,
+	}
+	if !reflect.DeepEqual(r, want) {
+		t.Errorf("groupby result = %v, want %v", r, want)
+	}
+}
+
+// TestFigure11Query2SamePlan checks the Sec. 4.2 claim: after the
+// rewrite optimization, the GROUPBY obtained for the nested Query 1 and
+// the unnested Query 2 is identical.
+func TestFigure11Query2SamePlan(t *testing.T) {
+	_, rw1 := rewriteSrc(t, query1Src)
+	_, rw2 := rewriteSrc(t, query2Src)
+	if f1, f2 := plan.Format(rw1), plan.Format(rw2); f1 != f2 {
+		t.Errorf("Query 1 and Query 2 rewrite to different plans:\n--- q1 ---\n%s--- q2 ---\n%s", f1, f2)
+	}
+}
+
+func TestRewriteCountQuery(t *testing.T) {
+	naive, rw := rewriteSrc(t, queryCountSrc)
+	n := evalStrings(t, naive)
+	r := evalStrings(t, rw)
+	if !reflect.DeepEqual(n, r) {
+		t.Errorf("count results differ:\nnaive %v\ngroupby %v", n, r)
+	}
+	want := []string{
+		`authorpubs[author:"Jack" count:"2"]`,
+		`authorpubs[author:"John" count:"2"]`,
+		`authorpubs[author:"Jill" count:"1"]`,
+	}
+	if !reflect.DeepEqual(r, want) {
+		t.Errorf("count result = %v, want %v", r, want)
+	}
+}
+
+// TestFigure5RewriteArtifacts inspects the rewritten Query 1 plan for
+// the Figure 5 structures: the initial selection pattern (5.a), the
+// GROUPBY pattern and basis (5.b), and the final projection (5.d).
+func TestFigure5RewriteArtifacts(t *testing.T) {
+	_, rw := rewriteSrc(t, query1Src)
+	st, ok := rw.(*plan.Stitch)
+	if !ok || st.Tag != "authorpubs" {
+		t.Fatalf("rewritten top = %T", rw)
+	}
+	// Both parts read the same GroupBy (evaluated once physically).
+	var gb *plan.GroupBy
+	for _, p := range st.Parts {
+		cur := p.Op
+		for cur != nil {
+			if g, ok := cur.(*plan.GroupBy); ok {
+				if gb == nil {
+					gb = g
+				} else if gb != g {
+					t.Error("parts use different GroupBy instances")
+				}
+				break
+			}
+			ins := cur.Inputs()
+			if len(ins) == 0 {
+				break
+			}
+			cur = ins[0]
+		}
+	}
+	if gb == nil {
+		t.Fatal("no GroupBy found")
+	}
+	// Figure 5.b: article -pc-> author, basis = author's content.
+	if gb.Pattern.Root.TagConstraint() != "article" {
+		t.Errorf("groupby pattern root = %s", gb.Pattern.Root.TagConstraint())
+	}
+	au := gb.Pattern.Root.Children[0]
+	if au.TagConstraint() != "author" {
+		t.Errorf("groupby pattern child = %s", au.TagConstraint())
+	}
+	if len(gb.Basis) != 1 || gb.Basis[0].Label != au.Label {
+		t.Errorf("basis = %v, want label %s", gb.Basis, au.Label)
+	}
+	if len(gb.Ordering) != 0 {
+		t.Errorf("ordering should be empty, got %v", gb.Ordering)
+	}
+	// Figure 5.a upstream: Project(Select(DBScan)) binding articles.
+	proj, ok := gb.In.(*plan.Project)
+	if !ok {
+		t.Fatalf("groupby input = %T", gb.In)
+	}
+	sel := proj.In.(*plan.Select)
+	if _, ok := sel.In.(*plan.DBScan); !ok {
+		t.Error("initial selection must scan the database")
+	}
+	if sel.Pattern.Root.TagConstraint() != plan.DocRootTag {
+		t.Errorf("initial pattern root = %s", sel.Pattern.Root.TagConstraint())
+	}
+	if sel.Pattern.Root.Children[0].TagConstraint() != "article" {
+		t.Errorf("initial pattern bound = %s", sel.Pattern.Root.Children[0].TagConstraint())
+	}
+}
+
+func TestRewriteInstitutionQuery(t *testing.T) {
+	src := `
+FOR $i IN distinct-values(document("bib.xml")//institution)
+RETURN
+<instpubs>
+  {$i}
+  {
+    FOR $b IN document("bib.xml")//article
+    WHERE $i = $b/author/institution
+    RETURN $b/title
+  }
+</instpubs>`
+	naive, err := plan.Translate(xq.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, applied, err := Rewrite(naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !applied {
+		t.Fatal("institution query should rewrite")
+	}
+	// Evaluate both on a database with institutions.
+	e, el := xmltree.E, xmltree.Elem
+	db := e("doc_root",
+		e("article",
+			e("author", el("name", "Jack"), el("institution", "UM")).Text("Jack"),
+			el("title", "T1"),
+		),
+		e("article",
+			e("author", el("name", "Jill"), el("institution", "UBC")).Text("Jill"),
+			el("title", "T2"),
+		),
+		e("article",
+			e("author", el("name", "Jag"), el("institution", "UM")).Text("Jag"),
+			el("title", "T3"),
+		),
+	)
+	base := tax.NewCollection(db)
+	nOut, err := plan.Eval(base, naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rOut, err := plan.Eval(base, rw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(nOut.Strings(), rOut.Strings()) {
+		t.Errorf("institution results differ:\nnaive %v\ngroupby %v", nOut.Strings(), rOut.Strings())
+	}
+	// UM gets T1 and T3; UBC gets T2.
+	joined := strings.Join(rOut.Strings(), "\n")
+	if !strings.Contains(joined, `title:"T1" title:"T3"`) || !strings.Contains(joined, `title:"T2"`) {
+		t.Errorf("institution grouping wrong: %v", rOut.Strings())
+	}
+}
+
+// TestRewriteDuplicateAuthorCaveat documents a fidelity boundary of the
+// paper's rewrite: when one article carries two author sub-elements
+// with the SAME value, the nested query's existential WHERE emits the
+// article once, while the GROUPBY plan — per Sec. 3's "source trees
+// having more than one witness tree will clearly appear more than
+// once" — emits it once per witness. DBLP never repeats an author
+// within an article, so the paper's evaluation is unaffected; the
+// executors inherit the groupby semantics for such inputs.
+func TestRewriteDuplicateAuthorCaveat(t *testing.T) {
+	e, el := xmltree.E, xmltree.Elem
+	db := e("doc_root",
+		e("article", el("author", "A"), el("author", "A"), el("title", "T")),
+	)
+	naive, err := plan.Translate(xq.MustParse(query1Src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, applied, err := Rewrite(naive)
+	if err != nil || !applied {
+		t.Fatal(err)
+	}
+	base := tax.NewCollection(db)
+	nOut, err := plan.Eval(base, naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rOut, err := plan.Eval(base, rw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNaive := []string{`authorpubs[author:"A" title:"T"]`}
+	wantGroup := []string{`authorpubs[author:"A" title:"T" title:"T"]`}
+	if !reflect.DeepEqual(nOut.Strings(), wantNaive) {
+		t.Errorf("naive = %v, want %v", nOut.Strings(), wantNaive)
+	}
+	if !reflect.DeepEqual(rOut.Strings(), wantGroup) {
+		t.Errorf("groupby = %v, want %v (witness-per-appearance semantics)", rOut.Strings(), wantGroup)
+	}
+}
+
+func TestNoRewriteWithoutJoin(t *testing.T) {
+	src := `
+FOR $a IN distinct-values(document("bib.xml")//author)
+RETURN
+<authors>
+  {$a}
+</authors>`
+	naive, err := plan.Translate(xq.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, applied, err := Rewrite(naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied {
+		t.Error("join-free query must not rewrite")
+	}
+	if out != naive {
+		t.Error("unrewritten plan should be returned unchanged")
+	}
+}
+
+func TestNoRewriteWhenSubsetFails(t *testing.T) {
+	// Outer binds editors; the join correlates article authors. The
+	// outer pattern (doc_root//editor) is not a subset of the inner
+	// (doc_root//article/author), so Phase 1 must reject.
+	src := `
+FOR $a IN distinct-values(document("bib.xml")//editor)
+RETURN
+<x>
+  {$a}
+  {
+    FOR $b IN document("bib.xml")//article
+    WHERE $a = $b/author
+    RETURN $b/title
+  }
+</x>`
+	naive, err := plan.Translate(xq.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, applied, err := Rewrite(naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied {
+		t.Error("subset failure must block the rewrite")
+	}
+}
+
+func TestNoRewriteWithOuterFilter(t *testing.T) {
+	// An outer WHERE strengthens the outer pattern with a content
+	// predicate the inner pattern lacks, so Phase 1's subset test must
+	// decline — the filtered query stays on the naive plan.
+	src := `
+FOR $a IN distinct-values(document("bib.xml")//author)
+WHERE $a = "Jack"
+RETURN
+<authorpubs>
+  {$a}
+  {
+    FOR $b IN document("bib.xml")//article
+    WHERE $a = $b/author
+    RETURN $b/title
+  }
+</authorpubs>`
+	naive, err := plan.Translate(xq.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, applied, err := Rewrite(naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied {
+		t.Error("filtered outer pattern must block the rewrite")
+	}
+	// The naive plan still answers correctly.
+	out, err := plan.Eval(tax.NewCollection(paperdata.SampleDatabase()), naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{`authorpubs[author:"Jack" title:"Querying XML" title:"XML and the Web"]`}
+	if !reflect.DeepEqual(out.Strings(), want) {
+		t.Errorf("filtered naive = %v, want %v", out.Strings(), want)
+	}
+}
+
+func TestNoRewriteOnNonStitch(t *testing.T) {
+	op := &plan.DBScan{}
+	out, applied, err := Rewrite(op)
+	if err != nil || applied || out != op {
+		t.Errorf("Rewrite(DBScan) = %v %v %v", out, applied, err)
+	}
+}
+
+func TestRewriteOrderPreservedManyAuthors(t *testing.T) {
+	// A larger randomized-ish database: equivalence including order.
+	e, el := xmltree.E, xmltree.Elem
+	db := e("doc_root")
+	// Adjacent names always differ, so no article carries two equal
+	// author values (see TestRewriteDuplicateAuthorCaveat for why).
+	names := []string{"W", "A", "M", "B", "A", "W", "Z", "Q", "A", "M"}
+	for i, n := range names {
+		second := names[(i+1)%len(names)]
+		db.Append(e("article",
+			el("author", n),
+			el("author", second),
+			el("title", "T"+string(rune('0'+i))),
+		))
+	}
+	naive, err := plan.Translate(xq.MustParse(query1Src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, applied, err := Rewrite(naive)
+	if err != nil || !applied {
+		t.Fatal(err)
+	}
+	base := tax.NewCollection(db)
+	nOut, err := plan.Eval(base, naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rOut, err := plan.Eval(base, rw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(nOut.Strings(), rOut.Strings()) {
+		t.Errorf("order/content mismatch:\nnaive   %v\ngroupby %v", nOut.Strings(), rOut.Strings())
+	}
+}

@@ -1,0 +1,146 @@
+package pagestore
+
+import "fmt"
+
+// Heap is an append-oriented record file over a chain of slotted pages.
+// The data manager stores node records in heaps; record identifiers
+// (RIDs) are stable for the life of the heap. A heap is identified by
+// its first page, which the metadata manager persists.
+type Heap struct {
+	st    *Store
+	first PageID
+	last  PageID
+}
+
+// NewHeap allocates a fresh heap in the store.
+func NewHeap(st *Store) (*Heap, error) {
+	p, err := st.Allocate()
+	if err != nil {
+		return nil, fmt.Errorf("pagestore: new heap: %w", err)
+	}
+	InitSlotted(p)
+	st.Unpin(p, true)
+	return &Heap{st: st, first: p.ID(), last: p.ID()}, nil
+}
+
+// OpenHeap reopens a heap whose first page is known, walking the chain
+// to find the insertion point.
+func OpenHeap(st *Store, first PageID) (*Heap, error) {
+	last := first
+	for {
+		p, err := st.Fetch(last)
+		if err != nil {
+			return nil, fmt.Errorf("pagestore: open heap: %w", err)
+		}
+		next := ViewSlotted(p).Next()
+		st.Unpin(p, false)
+		if next == InvalidPage {
+			break
+		}
+		last = next
+	}
+	return &Heap{st: st, first: first, last: last}, nil
+}
+
+// FirstPage returns the identifier of the heap's first page.
+func (h *Heap) FirstPage() PageID { return h.first }
+
+// Insert appends a record and returns its RID. Records larger than
+// MaxRecord(pageSize) are rejected.
+func (h *Heap) Insert(rec []byte) (RID, error) {
+	if len(rec) > MaxRecord(h.st.PageSize()) {
+		return RID{}, fmt.Errorf("pagestore: record of %d bytes exceeds page capacity %d",
+			len(rec), MaxRecord(h.st.PageSize()))
+	}
+	p, err := h.st.Fetch(h.last)
+	if err != nil {
+		return RID{}, err
+	}
+	sp := ViewSlotted(p)
+	if slot, ok := sp.Insert(rec); ok {
+		rid := RID{Page: p.ID(), Slot: slot}
+		h.st.Unpin(p, true)
+		return rid, nil
+	}
+	// Current tail is full: chain a new page.
+	np, err := h.st.Allocate()
+	if err != nil {
+		h.st.Unpin(p, false)
+		return RID{}, err
+	}
+	nsp := InitSlotted(np)
+	sp.SetNext(np.ID())
+	h.st.Unpin(p, true)
+	slot, ok := nsp.Insert(rec)
+	if !ok {
+		h.st.Unpin(np, true)
+		return RID{}, fmt.Errorf("pagestore: record of %d bytes does not fit an empty page", len(rec))
+	}
+	rid := RID{Page: np.ID(), Slot: slot}
+	h.last = np.ID()
+	h.st.Unpin(np, true)
+	return rid, nil
+}
+
+// Get copies out the record stored at rid.
+func (h *Heap) Get(rid RID) ([]byte, error) {
+	p, err := h.st.Fetch(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer h.st.Unpin(p, false)
+	rec, err := ViewSlotted(p).Read(rid.Slot)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(rec))
+	copy(out, rec)
+	return out, nil
+}
+
+// View calls fn with the record bytes at rid while the page is pinned.
+// fn must not retain the slice. View avoids Get's copy on hot paths.
+func (h *Heap) View(rid RID, fn func(rec []byte) error) error {
+	p, err := h.st.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	defer h.st.Unpin(p, false)
+	rec, err := ViewSlotted(p).Read(rid.Slot)
+	if err != nil {
+		return err
+	}
+	return fn(rec)
+}
+
+// Scan visits every live record in the heap in (page, slot) order. The
+// record slice passed to fn is only valid during the call. If fn returns
+// an error the scan stops and returns it.
+func (h *Heap) Scan(fn func(rid RID, rec []byte) error) error {
+	id := h.first
+	for id != InvalidPage {
+		p, err := h.st.Fetch(id)
+		if err != nil {
+			return err
+		}
+		sp := ViewSlotted(p)
+		for s := 0; s < sp.NumSlots(); s++ {
+			if !sp.Live(Slot(s)) {
+				continue
+			}
+			rec, err := sp.Read(Slot(s))
+			if err != nil {
+				h.st.Unpin(p, false)
+				return err
+			}
+			if err := fn(RID{Page: id, Slot: Slot(s)}, rec); err != nil {
+				h.st.Unpin(p, false)
+				return err
+			}
+		}
+		next := sp.Next()
+		h.st.Unpin(p, false)
+		id = next
+	}
+	return nil
+}

@@ -1,0 +1,454 @@
+// Package pagestore implements a paged, disk-backed storage manager with
+// a pinned buffer pool. It plays the role that the Shore storage manager
+// plays in TIMBER (Sec. 5.1 of the paper): disk and memory management
+// for the data, index and metadata managers layered above it.
+//
+// The store reads and writes fixed-size pages (8 KB by default, the page
+// size used in the paper's experiments) through a buffer pool of bounded
+// capacity (32 MB in the paper) with LRU replacement. All physical and
+// logical I/O is counted, so the experiment harness can report buffer
+// behaviour alongside wall-clock time.
+//
+// Two record-level abstractions are built on top of raw pages:
+// slotted pages (slotted.go) and heap files (heap.go).
+package pagestore
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// DefaultPageSize is the page size used by the paper's experiments.
+const DefaultPageSize = 8192
+
+// PageID identifies a page within a store. Pages are numbered densely
+// from 0 in allocation order.
+type PageID uint32
+
+// InvalidPage is a sentinel PageID that no allocated page ever has.
+const InvalidPage = PageID(^uint32(0))
+
+// Options configures a Store.
+type Options struct {
+	// PageSize is the size of each page in bytes. Defaults to
+	// DefaultPageSize. Must be at least 128.
+	PageSize int
+	// PoolPages is the buffer pool capacity in pages. Defaults to 4096
+	// pages (32 MB at the default page size, matching the paper).
+	PoolPages int
+}
+
+func (o Options) withDefaults() Options {
+	if o.PageSize == 0 {
+		o.PageSize = DefaultPageSize
+	}
+	if o.PoolPages == 0 {
+		o.PoolPages = 4096
+	}
+	return o
+}
+
+// Stats counts buffer pool and disk activity since the store was opened
+// or since the last ResetStats.
+type Stats struct {
+	// Fetches is the number of FetchPage calls (logical reads).
+	Fetches uint64
+	// Hits is the number of fetches satisfied from the pool.
+	Hits uint64
+	// PhysicalReads is the number of pages read from disk.
+	PhysicalReads uint64
+	// PhysicalWrites is the number of pages written to disk.
+	PhysicalWrites uint64
+	// Evictions is the number of pages evicted from the pool.
+	Evictions uint64
+	// Allocations is the number of pages allocated.
+	Allocations uint64
+}
+
+// HitRate returns the fraction of fetches served from the buffer pool,
+// or 1 if there were no fetches.
+func (s Stats) HitRate() float64 {
+	if s.Fetches == 0 {
+		return 1
+	}
+	return float64(s.Hits) / float64(s.Fetches)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("fetches=%d hits=%d (%.1f%%) reads=%d writes=%d evictions=%d allocs=%d",
+		s.Fetches, s.Hits, 100*s.HitRate(), s.PhysicalReads, s.PhysicalWrites, s.Evictions, s.Allocations)
+}
+
+// ErrPoolExhausted is returned when every frame in the buffer pool is
+// pinned and a new page must be brought in.
+var ErrPoolExhausted = errors.New("pagestore: buffer pool exhausted (all frames pinned)")
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("pagestore: store is closed")
+
+// Page is a pinned page in the buffer pool. The caller may read and
+// write Data freely while the page is pinned and must call
+// Store.Unpin when done, passing dirty=true if Data was modified.
+type Page struct {
+	id    PageID
+	frame *frame
+}
+
+// ID returns the page's identifier.
+func (p *Page) ID() PageID { return p.id }
+
+// Data returns the page's in-memory bytes. The slice is valid only while
+// the page is pinned.
+func (p *Page) Data() []byte { return p.frame.data }
+
+type frame struct {
+	id      PageID
+	data    []byte
+	pins    int
+	dirty   bool
+	lruElem *list.Element // non-nil iff pins == 0 (frame is evictable)
+}
+
+// Store is a paged file with a buffer pool. It is safe for concurrent
+// use by multiple goroutines; operations are serialized by an internal
+// mutex (the paper's experiments are single-user, so a coarse lock is
+// adequate and keeps the replacement policy exact).
+type Store struct {
+	mu       sync.Mutex
+	file     *os.File
+	opts     Options
+	numPages uint32
+	frames   map[PageID]*frame
+	lru      *list.List // of *frame; front = least recently used
+	stats    Stats
+	closed   bool
+}
+
+// Create creates (or truncates) the file at path and opens a store over
+// it with the given options.
+func Create(path string, opts Options) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pagestore: create: %w", err)
+	}
+	return newStore(f, opts, 0)
+}
+
+// Open opens an existing store file at path. The page size in opts must
+// match the size used at creation; the page count is derived from the
+// file length.
+func Open(path string, opts Options) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pagestore: open: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pagestore: open: %w", err)
+	}
+	o := opts.withDefaults()
+	if fi.Size()%int64(o.PageSize) != 0 {
+		f.Close()
+		return nil, fmt.Errorf("pagestore: open: file size %d is not a multiple of page size %d", fi.Size(), o.PageSize)
+	}
+	return newStore(f, opts, uint32(fi.Size()/int64(o.PageSize)))
+}
+
+// CreateTemp creates a store backed by a temporary file that is removed
+// when the store is closed. It is the usual way benches and tests obtain
+// a store.
+func CreateTemp(opts Options) (*Store, error) {
+	f, err := os.CreateTemp("", "timber-pagestore-*.db")
+	if err != nil {
+		return nil, fmt.Errorf("pagestore: create temp: %w", err)
+	}
+	// Unlink immediately; the fd keeps the file alive until Close.
+	name := f.Name()
+	if err := os.Remove(name); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pagestore: create temp: %w", err)
+	}
+	return newStore(f, opts, 0)
+}
+
+func newStore(f *os.File, opts Options, numPages uint32) (*Store, error) {
+	o := opts.withDefaults()
+	if o.PageSize < 128 {
+		f.Close()
+		return nil, fmt.Errorf("pagestore: page size %d too small (min 128)", o.PageSize)
+	}
+	if o.PoolPages < 1 {
+		f.Close()
+		return nil, fmt.Errorf("pagestore: pool must hold at least one page")
+	}
+	return &Store{
+		file:     f,
+		opts:     o,
+		numPages: numPages,
+		frames:   make(map[PageID]*frame),
+		lru:      list.New(),
+	}, nil
+}
+
+// PageSize returns the store's page size in bytes.
+func (s *Store) PageSize() int { return s.opts.PageSize }
+
+// PoolPages returns the buffer pool capacity in pages.
+func (s *Store) PoolPages() int { return s.opts.PoolPages }
+
+// NumPages returns the number of allocated pages.
+func (s *Store) NumPages() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.numPages
+}
+
+// Stats returns a snapshot of the I/O counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ResetStats zeroes the I/O counters. The buffer pool contents are left
+// untouched; use DropCache to also empty the pool (cold-cache runs).
+func (s *Store) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = Stats{}
+}
+
+// DropCache flushes all dirty pages and empties the buffer pool, so the
+// next fetches hit the disk. It fails if any page is still pinned.
+func (s *Store) DropCache() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	for id, fr := range s.frames {
+		if fr.pins > 0 {
+			return fmt.Errorf("pagestore: drop cache: page %d still pinned", id)
+		}
+	}
+	for id, fr := range s.frames {
+		if fr.dirty {
+			if err := s.writeFrame(fr); err != nil {
+				return err
+			}
+		}
+		if fr.lruElem != nil {
+			s.lru.Remove(fr.lruElem)
+		}
+		delete(s.frames, id)
+	}
+	return nil
+}
+
+// Allocate appends a zeroed page to the store and returns it pinned.
+func (s *Store) Allocate() (*Page, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	id := PageID(s.numPages)
+	fr, err := s.freeFrame(id)
+	if err != nil {
+		return nil, err
+	}
+	s.numPages++
+	s.stats.Allocations++
+	fr.pins = 1
+	fr.dirty = true // a new page must eventually reach disk
+	s.frames[id] = fr
+	return &Page{id: id, frame: fr}, nil
+}
+
+// Fetch returns the page with the given ID, pinned. The caller must
+// Unpin it when finished.
+func (s *Store) Fetch(id PageID) (*Page, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if id >= PageID(s.numPages) {
+		return nil, fmt.Errorf("pagestore: fetch: page %d out of range (have %d)", id, s.numPages)
+	}
+	s.stats.Fetches++
+	if fr, ok := s.frames[id]; ok {
+		s.stats.Hits++
+		if fr.lruElem != nil {
+			s.lru.Remove(fr.lruElem)
+			fr.lruElem = nil
+		}
+		fr.pins++
+		return &Page{id: id, frame: fr}, nil
+	}
+	fr, err := s.freeFrame(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.readInto(id, fr.data); err != nil {
+		return nil, err
+	}
+	s.stats.PhysicalReads++
+	fr.pins = 1
+	s.frames[id] = fr
+	return &Page{id: id, frame: fr}, nil
+}
+
+// Unpin releases one pin on the page. dirty records whether the caller
+// modified the page's data; dirty pages are written back on eviction,
+// flush or close. Unpinning an unpinned page panics: that is a
+// use-after-release programming error, not a runtime condition.
+func (s *Store) Unpin(p *Page, dirty bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fr := p.frame
+	if fr.pins <= 0 {
+		panic(fmt.Sprintf("pagestore: unpin of unpinned page %d", p.id))
+	}
+	fr.dirty = fr.dirty || dirty
+	fr.pins--
+	if fr.pins == 0 {
+		fr.lruElem = s.lru.PushBack(fr)
+	}
+}
+
+// freeFrame returns a frame for the given new page id, evicting the
+// least recently used unpinned page if the pool is full. Caller holds mu.
+func (s *Store) freeFrame(id PageID) (*frame, error) {
+	if len(s.frames) < s.opts.PoolPages {
+		return &frame{id: id, data: make([]byte, s.opts.PageSize)}, nil
+	}
+	el := s.lru.Front()
+	if el == nil {
+		return nil, ErrPoolExhausted
+	}
+	victim := el.Value.(*frame)
+	s.lru.Remove(el)
+	victim.lruElem = nil
+	if victim.dirty {
+		if err := s.writeFrame(victim); err != nil {
+			return nil, err
+		}
+	}
+	delete(s.frames, victim.id)
+	s.stats.Evictions++
+	// Reuse the victim's buffer.
+	for i := range victim.data {
+		victim.data[i] = 0
+	}
+	victim.id = id
+	victim.pins = 0
+	victim.dirty = false
+	return victim, nil
+}
+
+func (s *Store) readInto(id PageID, buf []byte) error {
+	off := int64(id) * int64(s.opts.PageSize)
+	if _, err := s.file.ReadAt(buf, off); err != nil && err != io.EOF {
+		return fmt.Errorf("pagestore: read page %d: %w", id, err)
+	}
+	return nil
+}
+
+func (s *Store) writeFrame(fr *frame) error {
+	off := int64(fr.id) * int64(s.opts.PageSize)
+	if _, err := s.file.WriteAt(fr.data, off); err != nil {
+		return fmt.Errorf("pagestore: write page %d: %w", fr.id, err)
+	}
+	s.stats.PhysicalWrites++
+	fr.dirty = false
+	return nil
+}
+
+// Truncate releases every page with ID >= keep: their frames are
+// dropped from the pool without write-back and the file is shortened.
+// It fails if any such page is pinned. Query evaluation uses it to
+// reclaim temporary pages (materialized intermediate collections) after
+// a run.
+func (s *Store) Truncate(keep uint32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if keep > s.numPages {
+		return fmt.Errorf("pagestore: truncate to %d beyond %d pages", keep, s.numPages)
+	}
+	for id, fr := range s.frames {
+		if uint32(id) < keep {
+			continue
+		}
+		if fr.pins > 0 {
+			return fmt.Errorf("pagestore: truncate: page %d still pinned", id)
+		}
+	}
+	for id, fr := range s.frames {
+		if uint32(id) < keep {
+			continue
+		}
+		if fr.lruElem != nil {
+			s.lru.Remove(fr.lruElem)
+		}
+		delete(s.frames, id)
+	}
+	if err := s.file.Truncate(int64(keep) * int64(s.opts.PageSize)); err != nil {
+		return fmt.Errorf("pagestore: truncate: %w", err)
+	}
+	s.numPages = keep
+	return nil
+}
+
+// Flush writes every dirty page in the pool back to disk. Pages remain
+// cached and pinned pages are flushed in place.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	for _, fr := range s.frames {
+		if fr.dirty {
+			if err := s.writeFrame(fr); err != nil {
+				return err
+			}
+		}
+	}
+	return s.file.Sync()
+}
+
+// Close flushes dirty pages and closes the underlying file. It is an
+// error to close a store with pinned pages.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	for id, fr := range s.frames {
+		if fr.pins > 0 {
+			return fmt.Errorf("pagestore: close: page %d still pinned", id)
+		}
+	}
+	for _, fr := range s.frames {
+		if fr.dirty {
+			if err := s.writeFrame(fr); err != nil {
+				return err
+			}
+		}
+	}
+	s.closed = true
+	if err := s.file.Close(); err != nil {
+		return fmt.Errorf("pagestore: close: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package pagestore
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file implements the slotted-page record layout used by heap files
+// and the B+tree. A slotted page has a fixed header, a slot directory
+// growing upward after the header, and record bodies growing downward
+// from the end of the page:
+//
+//	+-----------+-----------------+......... free .........+---------+
+//	| header    | slot0 slot1 ... |                        | recs... |
+//	+-----------+-----------------+........................+---------+
+//
+// Header layout (10 bytes):
+//
+//	[0:2)  numSlots   uint16
+//	[2:4)  freeStart  uint16  (first byte past the slot directory)
+//	[4:6)  freeEnd    uint16  (first byte of the lowest record)
+//	[6:10) next       PageID  (chain link for heap files; InvalidPage if none)
+//
+// Each slot is 4 bytes: record offset uint16, record length uint16. A
+// tombstoned slot has offset 0xFFFF.
+
+const (
+	slottedHeaderSize = 10
+	slotSize          = 4
+	tombstoneOff      = 0xFFFF
+)
+
+// Slot is a record index within a slotted page.
+type Slot uint16
+
+// RID is a record identifier: a page plus a slot within it.
+type RID struct {
+	Page PageID
+	Slot Slot
+}
+
+func (r RID) String() string { return fmt.Sprintf("%d.%d", r.Page, r.Slot) }
+
+// SlottedPage is a view over a pinned page's bytes interpreted with the
+// slotted layout. It performs no pinning itself; the caller must hold
+// the page pinned for the lifetime of the view and mark it dirty after
+// mutating calls.
+type SlottedPage struct {
+	data []byte
+}
+
+// ViewSlotted interprets the page's bytes as a slotted page. The page
+// must previously have been initialized with InitSlotted.
+func ViewSlotted(p *Page) SlottedPage { return SlottedPage{data: p.Data()} }
+
+// InitSlotted formats the page as an empty slotted page with no chain
+// link and returns the view.
+func InitSlotted(p *Page) SlottedPage {
+	sp := SlottedPage{data: p.Data()}
+	sp.setNumSlots(0)
+	sp.setFreeStart(slottedHeaderSize)
+	sp.setFreeEnd(uint16(len(sp.data)))
+	sp.SetNext(InvalidPage)
+	return sp
+}
+
+func (sp SlottedPage) numSlots() uint16      { return binary.LittleEndian.Uint16(sp.data[0:2]) }
+func (sp SlottedPage) setNumSlots(v uint16)  { binary.LittleEndian.PutUint16(sp.data[0:2], v) }
+func (sp SlottedPage) freeStart() uint16     { return binary.LittleEndian.Uint16(sp.data[2:4]) }
+func (sp SlottedPage) setFreeStart(v uint16) { binary.LittleEndian.PutUint16(sp.data[2:4], v) }
+func (sp SlottedPage) freeEnd() uint16       { return binary.LittleEndian.Uint16(sp.data[4:6]) }
+func (sp SlottedPage) setFreeEnd(v uint16)   { binary.LittleEndian.PutUint16(sp.data[4:6], v) }
+
+// Next returns the chained next page, or InvalidPage.
+func (sp SlottedPage) Next() PageID { return PageID(binary.LittleEndian.Uint32(sp.data[6:10])) }
+
+// SetNext sets the chained next page.
+func (sp SlottedPage) SetNext(id PageID) { binary.LittleEndian.PutUint32(sp.data[6:10], uint32(id)) }
+
+// NumSlots returns the number of slots in the directory, including
+// tombstones.
+func (sp SlottedPage) NumSlots() int { return int(sp.numSlots()) }
+
+// FreeSpace returns the number of bytes available for a new record,
+// accounting for the slot directory entry it would need.
+func (sp SlottedPage) FreeSpace() int {
+	free := int(sp.freeEnd()) - int(sp.freeStart()) - slotSize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// MaxRecord returns the largest record insertable into an empty slotted
+// page of the given page size.
+func MaxRecord(pageSize int) int { return pageSize - slottedHeaderSize - slotSize }
+
+// Insert appends a record to the page, returning its slot. ok is false
+// if the page lacks space. Records of length 0 are allowed.
+func (sp SlottedPage) Insert(rec []byte) (Slot, bool) {
+	if len(rec) > sp.FreeSpace() {
+		return 0, false
+	}
+	n := sp.numSlots()
+	newEnd := sp.freeEnd() - uint16(len(rec))
+	copy(sp.data[newEnd:], rec)
+	slotOff := slottedHeaderSize + int(n)*slotSize
+	binary.LittleEndian.PutUint16(sp.data[slotOff:], newEnd)
+	binary.LittleEndian.PutUint16(sp.data[slotOff+2:], uint16(len(rec)))
+	sp.setNumSlots(n + 1)
+	sp.setFreeStart(uint16(slotOff + slotSize))
+	sp.setFreeEnd(newEnd)
+	return Slot(n), true
+}
+
+// Read returns the record stored in the slot. The returned slice aliases
+// the page buffer; callers that retain it past the pin must copy.
+func (sp SlottedPage) Read(s Slot) ([]byte, error) {
+	if int(s) >= int(sp.numSlots()) {
+		return nil, fmt.Errorf("pagestore: slot %d out of range (%d slots)", s, sp.numSlots())
+	}
+	slotOff := slottedHeaderSize + int(s)*slotSize
+	off := binary.LittleEndian.Uint16(sp.data[slotOff:])
+	length := binary.LittleEndian.Uint16(sp.data[slotOff+2:])
+	if off == tombstoneOff {
+		return nil, fmt.Errorf("pagestore: slot %d is deleted", s)
+	}
+	return sp.data[off : off+length], nil
+}
+
+// Delete tombstones the slot. The record's bytes are not compacted; slot
+// numbers of other records are stable.
+func (sp SlottedPage) Delete(s Slot) error {
+	if int(s) >= int(sp.numSlots()) {
+		return fmt.Errorf("pagestore: slot %d out of range (%d slots)", s, sp.numSlots())
+	}
+	slotOff := slottedHeaderSize + int(s)*slotSize
+	binary.LittleEndian.PutUint16(sp.data[slotOff:], tombstoneOff)
+	return nil
+}
+
+// Live reports whether the slot holds a record (false for tombstones and
+// out-of-range slots).
+func (sp SlottedPage) Live(s Slot) bool {
+	if int(s) >= int(sp.numSlots()) {
+		return false
+	}
+	slotOff := slottedHeaderSize + int(s)*slotSize
+	return binary.LittleEndian.Uint16(sp.data[slotOff:]) != tombstoneOff
+}

@@ -1,0 +1,103 @@
+package pagestore
+
+import "testing"
+
+func TestTruncateReleasesPages(t *testing.T) {
+	st := tempStore(t, Options{PageSize: 256, PoolPages: 8})
+	var ids []PageID
+	for i := 0; i < 6; i++ {
+		p, err := st.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Data()[0] = byte(i)
+		ids = append(ids, p.ID())
+		st.Unpin(p, true)
+	}
+	if err := st.Truncate(3); err != nil {
+		t.Fatal(err)
+	}
+	if st.NumPages() != 3 {
+		t.Errorf("NumPages = %d, want 3", st.NumPages())
+	}
+	// Pages below the cut survive.
+	p, err := st.Fetch(ids[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Data()[0] != 2 {
+		t.Errorf("page 2 byte = %d", p.Data()[0])
+	}
+	st.Unpin(p, false)
+	// Pages above the cut are gone.
+	if _, err := st.Fetch(ids[4]); err == nil {
+		t.Error("fetch of truncated page should fail")
+	}
+	// New allocations reuse the freed ID space.
+	np, err := st.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if np.ID() != PageID(3) {
+		t.Errorf("new page ID = %d, want 3", np.ID())
+	}
+	// Freshly reallocated pages are zeroed even though an old frame may
+	// have held data for the same ID.
+	if np.Data()[0] != 0 {
+		t.Error("reallocated page not zeroed")
+	}
+	st.Unpin(np, true)
+}
+
+func TestTruncateRefusesPinned(t *testing.T) {
+	st := tempStore(t, Options{PageSize: 256, PoolPages: 8})
+	p, err := st.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Truncate(0); err == nil {
+		t.Error("truncate of pinned page should fail")
+	}
+	st.Unpin(p, false)
+	if err := st.Truncate(0); err != nil {
+		t.Errorf("truncate after unpin: %v", err)
+	}
+}
+
+func TestTruncateBounds(t *testing.T) {
+	st := tempStore(t, Options{PageSize: 256, PoolPages: 8})
+	if err := st.Truncate(1); err == nil {
+		t.Error("truncate beyond allocated pages should fail")
+	}
+	if err := st.Truncate(0); err != nil {
+		t.Errorf("truncate to 0 on empty store: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Truncate(0); err == nil {
+		t.Error("truncate on closed store should fail")
+	}
+}
+
+func TestTruncateDirtyPagesNotWrittenBack(t *testing.T) {
+	st := tempStore(t, Options{PageSize: 256, PoolPages: 8})
+	keep, err := st.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Unpin(keep, true)
+	before := st.Stats().PhysicalWrites
+	p, err := st.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Data()[0] = 99
+	st.Unpin(p, true)
+	if err := st.Truncate(1); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().PhysicalWrites != before {
+		t.Error("truncate should drop dirty frames without writing them")
+	}
+}

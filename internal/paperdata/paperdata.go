@@ -1,0 +1,76 @@
+// Package paperdata reconstructs the running examples of the paper
+// "Grouping in XML" (EDBT 2002): the sample bibliography database of
+// Figure 6 and the four DBLP fragments of Figure 2. Tests across the
+// repository use these trees as golden inputs so that every worked
+// example in the paper (Figures 2, 3, 6–10) is reproduced literally.
+package paperdata
+
+import "timber/internal/xmltree"
+
+// SampleDatabase returns the Figure 6 sample database: a doc_root with
+// three article elements,
+//
+//	article[author:"Jack"  author:"John" title:"Querying XML"  year:"1999" publisher:"Morgan Kaufman"]
+//	article[author:"Jill"  author:"Jack" title:"XML and the Web" year:"2000" publisher:"Prentice Hall"]
+//	article[author:"John"  title:"Hack HTML" year:"2001"]
+//
+// The author/title structure (which is all the paper's Query 1 touches)
+// matches Figures 7–10 exactly; year and publisher reproduce the extra
+// sub-elements visible in Figure 6 and exercise the "irrelevant
+// structure is immaterial" property of pattern matching (Sec. 2). The
+// returned tree is freshly built and unnumbered.
+func SampleDatabase() *xmltree.Node {
+	e, t := xmltree.E, xmltree.Elem
+	return e("doc_root",
+		e("article",
+			t("author", "Jack"),
+			t("author", "John"),
+			t("title", "Querying XML"),
+			t("year", "1999"),
+			t("publisher", "Morgan Kaufman"),
+		),
+		e("article",
+			t("author", "Jill"),
+			t("author", "Jack"),
+			t("title", "XML and the Web"),
+			t("year", "2000"),
+			t("publisher", "Prentice Hall"),
+		),
+		e("article",
+			t("author", "John"),
+			t("title", "Hack HTML"),
+			t("year", "2001"),
+		),
+	)
+}
+
+// TransactionArticles returns a doc_root holding the four DBLP-fragment
+// articles whose witness trees appear in Figure 2: each article has a
+// title containing the word "Transaction" and one author among
+// Silberschatz, Garcia-Molina and Thompson; one article has two authors,
+// so matching the Figure 1 pattern yields the four witness trees of
+// Figure 2 and the grouping of Figure 3 produces overlapping groups. A
+// fourth article (by Ullman, no "Transaction" in the title) does not
+// match and exercises the selection predicate.
+func TransactionArticles() *xmltree.Node {
+	e, t := xmltree.E, xmltree.Elem
+	return e("doc_root",
+		e("article",
+			t("title", "Transaction Mng ..."),
+			t("author", "Silberschatz"),
+		),
+		e("article",
+			t("title", "Overview of Transaction Mng"),
+			t("author", "Silberschatz"),
+			t("author", "Garcia-Molina"),
+		),
+		e("article",
+			t("title", "Transaction Mng ..."),
+			t("author", "Thompson"),
+		),
+		e("article",
+			t("title", "Principles of DBMS"),
+			t("author", "Ullman"),
+		),
+	)
+}

@@ -1,0 +1,89 @@
+package paperdata
+
+import (
+	"strings"
+	"testing"
+
+	"timber/internal/pattern"
+	"timber/internal/xmltree"
+)
+
+func TestSampleDatabaseShape(t *testing.T) {
+	db := SampleDatabase()
+	if db.Tag != "doc_root" {
+		t.Fatalf("root = %s", db.Tag)
+	}
+	arts := db.ChildrenTagged("article")
+	if len(arts) != 3 {
+		t.Fatalf("articles = %d", len(arts))
+	}
+	// Figure 7–10 author/title structure.
+	wantAuthors := [][]string{{"Jack", "John"}, {"Jill", "Jack"}, {"John"}}
+	wantTitles := []string{"Querying XML", "XML and the Web", "Hack HTML"}
+	for i, art := range arts {
+		var authors []string
+		for _, au := range art.ChildrenTagged("author") {
+			authors = append(authors, au.Content)
+		}
+		if len(authors) != len(wantAuthors[i]) {
+			t.Errorf("article %d authors = %v", i, authors)
+			continue
+		}
+		for j := range authors {
+			if authors[j] != wantAuthors[i][j] {
+				t.Errorf("article %d author %d = %s, want %s", i, j, authors[j], wantAuthors[i][j])
+			}
+		}
+		if got := art.Child("title").Content; got != wantTitles[i] {
+			t.Errorf("article %d title = %s, want %s", i, got, wantTitles[i])
+		}
+	}
+	// Fresh tree each call, unnumbered.
+	if SampleDatabase() == db {
+		t.Error("SampleDatabase must build a fresh tree")
+	}
+	if xmltree.Numbered(db) {
+		t.Error("sample should be unnumbered")
+	}
+}
+
+func TestTransactionArticlesShape(t *testing.T) {
+	db := TransactionArticles()
+	arts := db.ChildrenTagged("article")
+	if len(arts) != 4 {
+		t.Fatalf("articles = %d", len(arts))
+	}
+	// Exactly one article has two authors; one does not mention
+	// Transaction at all.
+	twoAuthors, nonMatching := 0, 0
+	for _, art := range arts {
+		if len(art.ChildrenTagged("author")) == 2 {
+			twoAuthors++
+		}
+		title := art.Child("title").Content
+		if !strings.Contains(title, "Transaction") {
+			nonMatching++
+		}
+	}
+	if twoAuthors != 1 || nonMatching != 1 {
+		t.Errorf("twoAuthors=%d nonMatching=%d", twoAuthors, nonMatching)
+	}
+}
+
+func TestPatterns(t *testing.T) {
+	for name, pt := range map[string]*pattern.Tree{
+		"figure1": Figure1Pattern(),
+		"outer":   Query1OuterPattern(),
+		"groupby": Query1GroupByPattern(),
+	} {
+		if pt.Size() < 2 {
+			t.Errorf("%s: size = %d", name, pt.Size())
+		}
+		if pt.Root.TagConstraint() == "" {
+			t.Errorf("%s: root without tag", name)
+		}
+	}
+	if Figure1Pattern().NodeByLabel("$3").TagConstraint() != "author" {
+		t.Error("figure1 $3 should be the author")
+	}
+}

@@ -1,0 +1,32 @@
+package paperdata
+
+import "timber/internal/pattern"
+
+// Figure1Pattern returns the selection pattern tree of Figure 1:
+//
+//	$1 [tag=article]
+//	  pc $2 [tag=title & content~"*Transaction*"]
+//	  pc $3 [tag=author]
+func Figure1Pattern() *pattern.Tree {
+	root := pattern.NewNode("$1", pattern.TagEq{Tag: "article"})
+	root.AddChild(pattern.Child, pattern.NewNode("$2",
+		pattern.TagEq{Tag: "title"}, pattern.ContentGlob{Pattern: "*Transaction*"}))
+	root.AddChild(pattern.Child, pattern.NewNode("$3", pattern.TagEq{Tag: "author"}))
+	return pattern.MustTree(root)
+}
+
+// Query1OuterPattern returns the Figure 4.a "outer" pattern tree of
+// Query 1: $1 doc_root with ad descendant $2 author.
+func Query1OuterPattern() *pattern.Tree {
+	root := pattern.NewNode("$1", pattern.TagEq{Tag: "doc_root"})
+	root.AddChild(pattern.Descendant, pattern.NewNode("$2", pattern.TagEq{Tag: "author"}))
+	return pattern.MustTree(root)
+}
+
+// Query1GroupByPattern returns the Figure 5.b GROUPBY input pattern of
+// Query 1: $1 article with pc child $2 author.
+func Query1GroupByPattern() *pattern.Tree {
+	root := pattern.NewNode("$1", pattern.TagEq{Tag: "article"})
+	root.AddChild(pattern.Child, pattern.NewNode("$2", pattern.TagEq{Tag: "author"}))
+	return pattern.MustTree(root)
+}

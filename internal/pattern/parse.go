@@ -1,0 +1,201 @@
+package pattern
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseTree parses the indented textual pattern notation Tree.String
+// renders — the same shape the paper's figures use:
+//
+//	$1 [tag=article]
+//	  pc $2 [tag=title & content~"*Transaction*"]
+//	  pc $3 [tag=author]
+//
+// Each line is one pattern node: an axis (pc or ad, absent on the
+// root), a label, and an optional bracketed conjunction of predicates.
+// Two spaces of indentation per level give the tree shape. Supported
+// predicates (matching Predicate.String): tag=NAME, content="...",
+// content~"glob", content<"v" (also <=, >, >=, !=), @name="v", @name.
+func ParseTree(src string) (*Tree, error) {
+	type frame struct {
+		node  *Node
+		depth int
+	}
+	var stack []frame
+	var root *Node
+	lineNo := 0
+	for _, raw := range strings.Split(src, "\n") {
+		lineNo++
+		if strings.TrimSpace(raw) == "" {
+			continue
+		}
+		indent := len(raw) - len(strings.TrimLeft(raw, " "))
+		if indent%2 != 0 {
+			return nil, fmt.Errorf("pattern: line %d: indentation must be a multiple of two spaces", lineNo)
+		}
+		depth := indent / 2
+		line := strings.TrimSpace(raw)
+
+		axis := Child
+		switch {
+		case depth == 0:
+			if root != nil {
+				return nil, fmt.Errorf("pattern: line %d: multiple roots", lineNo)
+			}
+		case strings.HasPrefix(line, "pc "):
+			line = strings.TrimSpace(line[3:])
+		case strings.HasPrefix(line, "ad "):
+			axis = Descendant
+			line = strings.TrimSpace(line[3:])
+		default:
+			return nil, fmt.Errorf("pattern: line %d: non-root node needs a pc or ad axis", lineNo)
+		}
+
+		label := line
+		var predSrc string
+		if i := strings.IndexByte(line, '['); i >= 0 {
+			if !strings.HasSuffix(line, "]") {
+				return nil, fmt.Errorf("pattern: line %d: unterminated predicate list", lineNo)
+			}
+			label = strings.TrimSpace(line[:i])
+			predSrc = line[i+1 : len(line)-1]
+		}
+		if label == "" {
+			return nil, fmt.Errorf("pattern: line %d: missing label", lineNo)
+		}
+		if !strings.HasPrefix(label, "$") || strings.ContainsAny(label, " \t") {
+			return nil, fmt.Errorf("pattern: line %d: label %q must be a $-token", lineNo, label)
+		}
+		preds, err := parsePreds(predSrc)
+		if err != nil {
+			return nil, fmt.Errorf("pattern: line %d: %w", lineNo, err)
+		}
+		node := NewNode(label, preds...)
+
+		if depth == 0 {
+			root = node
+			stack = []frame{{node: node, depth: 0}}
+			continue
+		}
+		for len(stack) > 0 && stack[len(stack)-1].depth >= depth {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 || stack[len(stack)-1].depth != depth-1 {
+			return nil, fmt.Errorf("pattern: line %d: bad indentation depth %d", lineNo, depth)
+		}
+		stack[len(stack)-1].node.AddChild(axis, node)
+		stack = append(stack, frame{node: node, depth: depth})
+	}
+	if root == nil {
+		return nil, fmt.Errorf("pattern: empty pattern")
+	}
+	return NewTree(root)
+}
+
+// MustParseTree is ParseTree panicking on error, for literals in tests.
+func MustParseTree(src string) *Tree {
+	t, err := ParseTree(src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// parsePreds parses "p & p & p" (possibly empty).
+func parsePreds(src string) ([]Predicate, error) {
+	src = strings.TrimSpace(src)
+	if src == "" {
+		return nil, nil
+	}
+	var out []Predicate
+	for _, part := range splitPreds(src) {
+		p, err := parsePred(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// splitPreds splits on '&' outside quoted strings, honouring backslash
+// escapes within quotes.
+func splitPreds(src string) []string {
+	var parts []string
+	inQuote := false
+	start := 0
+	for i := 0; i < len(src); i++ {
+		switch src[i] {
+		case '\\':
+			if inQuote {
+				i++ // skip the escaped byte
+			}
+		case '"':
+			inQuote = !inQuote
+		case '&':
+			if !inQuote {
+				parts = append(parts, src[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, src[start:])
+	return parts
+}
+
+func parsePred(src string) (Predicate, error) {
+	switch {
+	case strings.HasPrefix(src, "tag="):
+		return TagEq{Tag: strings.TrimPrefix(src, "tag=")}, nil
+	case strings.HasPrefix(src, "content~"):
+		v, err := unquote(strings.TrimPrefix(src, "content~"))
+		if err != nil {
+			return nil, err
+		}
+		return ContentGlob{Pattern: v}, nil
+	case strings.HasPrefix(src, "content"):
+		rest := strings.TrimPrefix(src, "content")
+		for _, cand := range []struct {
+			sym string
+			op  CmpOp
+			eq  bool
+		}{
+			{"!=", Ne, false}, {"<=", Le, false}, {">=", Ge, false},
+			{"=", 0, true}, {"<", Lt, false}, {">", Gt, false},
+		} {
+			if strings.HasPrefix(rest, cand.sym) {
+				v, err := unquote(strings.TrimPrefix(rest, cand.sym))
+				if err != nil {
+					return nil, err
+				}
+				if cand.eq {
+					return ContentEq{Value: v}, nil
+				}
+				return ContentCmp{Op: cand.op, Value: v}, nil
+			}
+		}
+		return nil, fmt.Errorf("bad content predicate %q", src)
+	case strings.HasPrefix(src, "@"):
+		rest := strings.TrimPrefix(src, "@")
+		if i := strings.IndexByte(rest, '='); i >= 0 {
+			v, err := unquote(rest[i+1:])
+			if err != nil {
+				return nil, err
+			}
+			return AttrEq{Name: rest[:i], Value: v}, nil
+		}
+		return AttrExists{Name: rest}, nil
+	default:
+		return nil, fmt.Errorf("unknown predicate %q", src)
+	}
+}
+
+func unquote(s string) (string, error) {
+	v, err := strconv.Unquote(strings.TrimSpace(s))
+	if err != nil {
+		return "", fmt.Errorf("bad quoted value %s: %w", s, err)
+	}
+	return v, nil
+}

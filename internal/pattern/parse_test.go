@@ -1,0 +1,115 @@
+package pattern
+
+import (
+	"testing"
+)
+
+func TestParseTreeFigure1(t *testing.T) {
+	pt, err := ParseTree(`
+$1 [tag=article]
+  pc $2 [tag=title & content~"*Transaction*"]
+  pc $3 [tag=author]
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Size() != 3 {
+		t.Fatalf("size = %d", pt.Size())
+	}
+	if pt.Root.TagConstraint() != "article" {
+		t.Errorf("root tag = %s", pt.Root.TagConstraint())
+	}
+	title := pt.NodeByLabel("$2")
+	if title.Axis != Child || len(title.Preds) != 2 {
+		t.Errorf("$2 = axis %v preds %v", title.Axis, title.Preds)
+	}
+	if g, ok := title.Preds[1].(ContentGlob); !ok || g.Pattern != "*Transaction*" {
+		t.Errorf("glob = %v", title.Preds[1])
+	}
+}
+
+func TestParseTreeRoundTripsString(t *testing.T) {
+	// Every construct: axes, all predicate kinds, depth > 2.
+	root := NewNode("$1", TagEq{Tag: "doc_root"})
+	art := root.AddChild(Descendant, NewNode("$2",
+		TagEq{Tag: "article"}, AttrEq{Name: "id", Value: `x"1`}, AttrExists{Name: "lang"}))
+	art.AddChild(Child, NewNode("$3", ContentEq{Value: "Jack & Jill"}))
+	art.AddChild(Child, NewNode("$4", ContentCmp{Op: Ge, Value: "1999"}))
+	y := art.AddChild(Descendant, NewNode("$5", ContentCmp{Op: Ne, Value: "x"}))
+	y.AddChild(Child, NewNode("$6", ContentGlob{Pattern: "*a*"}))
+	orig := MustTree(root)
+
+	parsed, err := ParseTree(orig.String())
+	if err != nil {
+		t.Fatalf("parse of rendered pattern: %v\n%s", err, orig)
+	}
+	if parsed.String() != orig.String() {
+		t.Errorf("round trip:\n--- orig ---\n%s--- parsed ---\n%s", orig, parsed)
+	}
+}
+
+func TestParseTreeErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"empty", ""},
+		{"two roots", "$1\n$2"},
+		{"missing axis", "$1\n  $2"},
+		{"odd indent", "$1\n   pc $2"},
+		{"depth jump", "$1\n    pc $2"},
+		{"unterminated preds", "$1 [tag=a"},
+		{"bad predicate", "$1 [wibble=3]"},
+		{"bad quote", `$1 [content="unterminated]`},
+		{"missing label", "$1\n  pc [tag=a]"},
+		{"duplicate labels", "$1\n  pc $1"},
+		{"bad content op", `$1 [content?"x"]`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseTree(tc.src); err == nil {
+				t.Errorf("ParseTree(%q) succeeded, want error", tc.src)
+			}
+		})
+	}
+}
+
+func TestParseTreeSiblingsAfterDescent(t *testing.T) {
+	pt, err := ParseTree(`
+$1 [tag=a]
+  pc $2 [tag=b]
+    ad $3 [tag=c]
+  pc $4 [tag=d]
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pt.Root.Children) != 2 {
+		t.Fatalf("root children = %d", len(pt.Root.Children))
+	}
+	if pt.NodeByLabel("$4").Parent != pt.Root {
+		t.Error("$4 should be the root's child after popping back")
+	}
+	if pt.NodeByLabel("$3").Parent != pt.NodeByLabel("$2") {
+		t.Error("$3 should nest under $2")
+	}
+}
+
+func TestMustParseTreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseTree should panic on bad input")
+		}
+	}()
+	MustParseTree("not a pattern")
+}
+
+func TestParseTreeAmpInsideQuotes(t *testing.T) {
+	pt, err := ParseTree(`$1 [tag=x & content="a & b"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pt.Root.Preds) != 2 {
+		t.Fatalf("preds = %v", pt.Root.Preds)
+	}
+	if eq, ok := pt.Root.Preds[1].(ContentEq); !ok || eq.Value != "a & b" {
+		t.Errorf("content pred = %v", pt.Root.Preds[1])
+	}
+}

@@ -1,0 +1,218 @@
+// Package pattern implements TAX pattern trees (Sec. 2 of the paper).
+//
+// A pattern tree specifies homogeneous tuples of node bindings: nodes
+// carry labels ($1, $2, ...) and conjunctive predicates; edges are
+// either parent-child (pc, immediate containment) or ancestor-descendant
+// (ad, containment). Matching a pattern tree against a data tree yields
+// witness trees — one per embedding — and the labels name the bound
+// nodes, which is how TAX operators reference parts of heterogeneous
+// trees as if they were homogeneous.
+//
+// The package also implements the tree-subset test of the rewrite
+// algorithm's Phase 1 (Sec. 4.1): V1 ⊆ V2 and E1 ⊆ E2*, where E2* is
+// the transitive closure of E2 with derived edges marked
+// ancestor-descendant, and a pc requirement is only satisfied by a pc
+// edge while an ad requirement is satisfied by either (pc ⊆ ad, not
+// ad ⊆ pc — the paper's footnote 6).
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Axis is the structural relationship a pattern edge requires between
+// the matches of its endpoints.
+type Axis int
+
+const (
+	// Child is the parent-child axis (pc): immediate containment.
+	Child Axis = iota
+	// Descendant is the ancestor-descendant axis (ad): containment at
+	// any depth (proper descendant).
+	Descendant
+)
+
+func (a Axis) String() string {
+	if a == Child {
+		return "pc"
+	}
+	return "ad"
+}
+
+// Fields exposes the queryable properties of a data node to predicates.
+// Both in-memory tree nodes and stored node records adapt to it.
+type Fields interface {
+	// Tag returns the element name.
+	Tag() string
+	// Content returns the element's text content.
+	Content() string
+	// Attr returns the named attribute value and whether it exists.
+	Attr(name string) (string, bool)
+}
+
+// Node is one node of a pattern tree.
+type Node struct {
+	// Label names the node ($1, $2, ...); it must be unique within the
+	// pattern tree and is how operators refer to the binding.
+	Label string
+	// Axis relates this node to its parent (ignored on the root).
+	Axis Axis
+	// Preds is a conjunction of node-local predicates.
+	Preds []Predicate
+	// Children are the node's pattern children.
+	Children []*Node
+	// Parent is the node's pattern parent, nil at the root.
+	Parent *Node
+}
+
+// Tree is a pattern tree.
+type Tree struct {
+	Root  *Node
+	index map[string]*Node
+}
+
+// NewNode constructs a pattern node with a label and predicates.
+func NewNode(label string, preds ...Predicate) *Node {
+	return &Node{Label: label, Preds: preds}
+}
+
+// AddChild attaches child under n via the given axis and returns child.
+func (n *Node) AddChild(axis Axis, child *Node) *Node {
+	child.Axis = axis
+	child.Parent = n
+	n.Children = append(n.Children, child)
+	return child
+}
+
+// NewTree finalizes a pattern tree rooted at root, validating label
+// uniqueness.
+func NewTree(root *Node) (*Tree, error) {
+	t := &Tree{Root: root, index: map[string]*Node{}}
+	var err error
+	var walk func(*Node)
+	walk = func(n *Node) {
+		if err != nil {
+			return
+		}
+		if n.Label == "" {
+			err = fmt.Errorf("pattern: node without label")
+			return
+		}
+		if _, dup := t.index[n.Label]; dup {
+			err = fmt.Errorf("pattern: duplicate label %s", n.Label)
+			return
+		}
+		t.index[n.Label] = n
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustTree is NewTree panicking on error; for literals in tests and
+// internal translators that construct labels programmatically.
+func MustTree(root *Node) *Tree {
+	t, err := NewTree(root)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NodeByLabel returns the pattern node with the given label, or nil.
+func (t *Tree) NodeByLabel(label string) *Node { return t.index[label] }
+
+// Labels returns all labels of the pattern in pre-order.
+func (t *Tree) Labels() []string {
+	var out []string
+	var walk func(*Node)
+	walk = func(n *Node) {
+		out = append(out, n.Label)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	return out
+}
+
+// Size returns the number of pattern nodes.
+func (t *Tree) Size() int { return len(t.index) }
+
+// NodeMatches reports whether a data node's fields satisfy all of the
+// pattern node's predicates.
+func (n *Node) NodeMatches(f Fields) bool {
+	for _, p := range n.Preds {
+		if !p.Matches(f) {
+			return false
+		}
+	}
+	return true
+}
+
+// TagConstraint returns the tag this pattern node requires, if its
+// predicates pin one down ("" if unconstrained). Index-driven matching
+// uses it to pick candidate streams from the tag index.
+func (n *Node) TagConstraint() string {
+	for _, p := range n.Preds {
+		if te, ok := p.(TagEq); ok {
+			return te.Tag
+		}
+	}
+	return ""
+}
+
+// Clone returns a deep copy of the pattern tree.
+func (t *Tree) Clone() *Tree {
+	var cp func(*Node) *Node
+	cp = func(n *Node) *Node {
+		m := &Node{Label: n.Label, Axis: n.Axis}
+		m.Preds = append(m.Preds, n.Preds...)
+		for _, c := range n.Children {
+			cc := cp(c)
+			cc.Parent = m
+			m.Children = append(m.Children, cc)
+		}
+		return m
+	}
+	return MustTree(cp(t.Root))
+}
+
+// String renders the pattern in an indented form close to the paper's
+// figures, e.g.
+//
+//	$1 [tag=doc_root]
+//	  ad $2 [tag=author]
+func (t *Tree) String() string {
+	var b strings.Builder
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		if depth > 0 {
+			b.WriteString(n.Axis.String())
+			b.WriteByte(' ')
+		}
+		b.WriteString(n.Label)
+		if len(n.Preds) > 0 {
+			parts := make([]string, len(n.Preds))
+			for i, p := range n.Preds {
+				parts[i] = p.String()
+			}
+			sort.Strings(parts)
+			fmt.Fprintf(&b, " [%s]", strings.Join(parts, " & "))
+		}
+		b.WriteByte('\n')
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.Root, 0)
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package pattern
+
+// Subset implements Phase 1 step 2 of the paper's rewrite algorithm: it
+// decides whether pattern tree sub (V1, E1) is a subset of pattern tree
+// super (V2, E2), i.e. whether V1 ⊆ V2 and E1 ⊆ E2*, where E2* is the
+// transitive closure of E2.
+//
+// Nodes correspond when the super node's predicate conjunction implies
+// the sub node's (syntactically: contains every predicate of it), so
+// every binding the super pattern produces also satisfies the sub
+// pattern at the mapped position. Edges follow the paper's footnote 6:
+// closure edges derived from two or more base edges carry the
+// ancestor-descendant mark, and pc ⊆ ad but not ad ⊆ pc — so a pc edge
+// of E1 corresponds only to an actual pc edge of E2, while an ad edge of
+// E1 corresponds to any E2* edge.
+//
+// On success it returns an injective mapping from sub labels to super
+// labels. Phase 2 uses the mapping to locate, inside the join plan's
+// "inner" pattern, the nodes playing the outer pattern's roles.
+func Subset(sub, super *Tree) (map[string]string, bool) {
+	superNodes := collect(super.Root)
+	assign := map[string]string{} // sub label -> super label
+	used := map[string]bool{}     // super labels already taken
+
+	var tryNode func(sn *Node) bool
+	tryNode = func(sn *Node) bool {
+		for _, cand := range superNodes {
+			if used[cand.Label] {
+				continue
+			}
+			if !PredsImply(cand.Preds, sn.Preds) {
+				continue
+			}
+			if sn.Parent != nil {
+				parentCand := super.NodeByLabel(assign[sn.Parent.Label])
+				if !edgeInClosure(parentCand, cand, sn.Axis) {
+					continue
+				}
+			}
+			assign[sn.Label] = cand.Label
+			used[cand.Label] = true
+			ok := true
+			for _, c := range sn.Children {
+				if !tryNode(c) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+			delete(assign, sn.Label)
+			delete(used, cand.Label)
+		}
+		return false
+	}
+
+	if !tryNode(sub.Root) {
+		return nil, false
+	}
+	return assign, true
+}
+
+// edgeInClosure reports whether (anc, desc) is an edge of the super
+// tree's transitive closure compatible with the required axis: a Child
+// requirement needs a single pc base edge; a Descendant requirement
+// accepts any upward path of length >= 1.
+func edgeInClosure(anc, desc *Node, required Axis) bool {
+	if anc == nil || desc == nil || anc == desc {
+		return false
+	}
+	if required == Child {
+		return desc.Parent == anc && desc.Axis == Child
+	}
+	for p := desc.Parent; p != nil; p = p.Parent {
+		if p == anc {
+			return true
+		}
+	}
+	return false
+}
+
+func collect(root *Node) []*Node {
+	var out []*Node
+	var walk func(*Node)
+	walk = func(n *Node) {
+		out = append(out, n)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	return out
+}

@@ -1,0 +1,273 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"timber/internal/match"
+	"timber/internal/pattern"
+	"timber/internal/tax"
+	"timber/internal/xmltree"
+)
+
+// Eval evaluates a logical plan over a base collection (what DBScan
+// yields). This is the reference semantics: the physical executors in
+// package exec must produce the same results, and the integration tests
+// hold them to it.
+func Eval(base tax.Collection, op Op) (tax.Collection, error) {
+	switch o := op.(type) {
+	case *DBScan:
+		return base.Clone(), nil
+	case *Literal:
+		return o.C.Clone(), nil
+	case *Select:
+		in, err := Eval(base, o.In)
+		if err != nil {
+			return tax.Collection{}, err
+		}
+		return tax.Select(in, o.Pattern, o.SL), nil
+	case *Project:
+		in, err := Eval(base, o.In)
+		if err != nil {
+			return tax.Collection{}, err
+		}
+		return tax.Project(in, o.Pattern, o.PL), nil
+	case *ProjectPerTree:
+		in, err := Eval(base, o.In)
+		if err != nil {
+			return tax.Collection{}, err
+		}
+		return evalProjectPerTree(in, o.Pattern, o.PL), nil
+	case *DupElimContent:
+		in, err := Eval(base, o.In)
+		if err != nil {
+			return tax.Collection{}, err
+		}
+		return tax.DupElimByContent(in, o.Pattern, o.Label), nil
+	case *DedupChildren:
+		in, err := Eval(base, o.In)
+		if err != nil {
+			return tax.Collection{}, err
+		}
+		return evalDedupChildren(in), nil
+	case *SortChildrenByPath:
+		in, err := Eval(base, o.In)
+		if err != nil {
+			return tax.Collection{}, err
+		}
+		return evalSortChildren(in, o.Path, o.Desc), nil
+	case *LeftOuterJoin:
+		left, err := Eval(base, o.Left)
+		if err != nil {
+			return tax.Collection{}, err
+		}
+		right, err := Eval(base, o.Right)
+		if err != nil {
+			return tax.Collection{}, err
+		}
+		return tax.LeftOuterJoin(left, right, o.Spec), nil
+	case *Stitch:
+		parts := make([]tax.Collection, len(o.Parts))
+		for i, p := range o.Parts {
+			c, err := Eval(base, p.Op)
+			if err != nil {
+				return tax.Collection{}, err
+			}
+			parts[i] = c
+		}
+		return evalStitch(o.Tag, o.Parts, parts), nil
+	case *GroupBy:
+		in, err := Eval(base, o.In)
+		if err != nil {
+			return tax.Collection{}, err
+		}
+		return tax.GroupBy(in, o.Pattern, o.Basis, o.Ordering), nil
+	case *Aggregate:
+		in, err := Eval(base, o.In)
+		if err != nil {
+			return tax.Collection{}, err
+		}
+		return tax.Aggregate(in, o.Pattern, o.Spec), nil
+	case *Rename:
+		in, err := Eval(base, o.In)
+		if err != nil {
+			return tax.Collection{}, err
+		}
+		return tax.RenameRoot(in, o.NewTag), nil
+	default:
+		return tax.Collection{}, fmt.Errorf("plan: unknown operator %T", op)
+	}
+}
+
+// evalProjectPerTree keeps exactly one output tree per input tree: a
+// copy of the input root holding the retained nodes as its descendants,
+// with the nearest-retained-ancestor hierarchy tax.Project uses; the
+// input root itself is never counted as retained (it is always present
+// as the output root). Starred items keep their subtrees. Inputs with
+// no witness produce a bare root.
+func evalProjectPerTree(c tax.Collection, pt *pattern.Tree, pl []tax.Item) tax.Collection {
+	var out tax.Collection
+	for _, tree := range c.Trees {
+		bindings := match.Match(pt, []*xmltree.Node{tree})
+		keep := map[*xmltree.Node]bool{}
+		star := map[*xmltree.Node]bool{}
+		for _, b := range bindings {
+			for _, it := range pl {
+				n := b[it.Label]
+				if n == nil || n == tree {
+					continue
+				}
+				keep[n] = true
+				if it.Star {
+					star[n] = true
+				}
+			}
+		}
+		root := shallowCopy(tree)
+		type frame struct{ in, out *xmltree.Node }
+		stack := []frame{{in: tree, out: root}}
+		var walk func(n *xmltree.Node)
+		walk = func(n *xmltree.Node) {
+			for len(stack) > 1 && !stack[len(stack)-1].in.Interval.Contains(n.Interval) {
+				stack = stack[:len(stack)-1]
+			}
+			if keep[n] {
+				var cp *xmltree.Node
+				if star[n] {
+					cp = n.Clone()
+				} else {
+					cp = shallowCopy(n)
+				}
+				stack[len(stack)-1].out.Append(cp)
+				if star[n] {
+					return
+				}
+				stack = append(stack, frame{in: n, out: cp})
+			}
+			for _, c := range n.Children {
+				walk(c)
+			}
+		}
+		for _, c := range tree.Children {
+			walk(c)
+		}
+		out.Trees = append(out.Trees, root)
+	}
+	out.Renumber()
+	return out
+}
+
+func shallowCopy(n *xmltree.Node) *xmltree.Node {
+	cp := &xmltree.Node{Tag: n.Tag, Content: n.Content}
+	if len(n.Attrs) > 0 {
+		cp.Attrs = append(cp.Attrs, n.Attrs...)
+	}
+	return cp
+}
+
+// evalDedupChildren removes structurally duplicate children within each
+// tree, keeping first occurrences.
+func evalDedupChildren(c tax.Collection) tax.Collection {
+	var out tax.Collection
+	for _, tree := range c.Trees {
+		cp := &xmltree.Node{Tag: tree.Tag, Content: tree.Content}
+		if len(tree.Attrs) > 0 {
+			cp.Attrs = append(cp.Attrs, tree.Attrs...)
+		}
+		seen := map[string]bool{}
+		for _, ch := range tree.Children {
+			k := tax.TreeKey(ch)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			cp.Append(ch.Clone())
+		}
+		out.Trees = append(out.Trees, cp)
+	}
+	out.Renumber()
+	return out
+}
+
+// evalSortChildren reorders matching children per tree by the first
+// value at the relative path; children without a match stay where they
+// are.
+func evalSortChildren(c tax.Collection, path []string, desc bool) tax.Collection {
+	var out tax.Collection
+	for _, tree := range c.Trees {
+		cp := tree.Clone()
+		type keyed struct {
+			node *xmltree.Node
+			key  string
+		}
+		var slots []int // original positions of matching children
+		var matched []keyed
+		for i, ch := range cp.Children {
+			if vs := valuesAtChildPath(ch, path); len(vs) > 0 {
+				slots = append(slots, i)
+				matched = append(matched, keyed{node: ch, key: vs[0]})
+			}
+		}
+		sort.SliceStable(matched, func(i, j int) bool {
+			cmp := tax.CompareValues(matched[i].key, matched[j].key)
+			if desc {
+				cmp = -cmp
+			}
+			return cmp < 0
+		})
+		for i, slot := range slots {
+			cp.Children[slot] = matched[i].node
+		}
+		out.Trees = append(out.Trees, cp)
+	}
+	out.Renumber()
+	return out
+}
+
+// valuesAtChildPath walks child steps from n and returns leaf contents
+// in document order.
+func valuesAtChildPath(n *xmltree.Node, path []string) []string {
+	cur := []*xmltree.Node{n}
+	for _, tag := range path {
+		var next []*xmltree.Node
+		for _, m := range cur {
+			next = append(next, m.ChildrenTagged(tag)...)
+		}
+		cur = next
+	}
+	out := make([]string, len(cur))
+	for i, m := range cur {
+		out[i] = m.Content
+	}
+	return out
+}
+
+// evalStitch combines the parts positionally under Tag, splicing the
+// children of parts marked Splice.
+func evalStitch(tag string, specs []StitchPart, parts []tax.Collection) tax.Collection {
+	maxLen := 0
+	for _, p := range parts {
+		if p.Len() > maxLen {
+			maxLen = p.Len()
+		}
+	}
+	var out tax.Collection
+	for i := 0; i < maxLen; i++ {
+		root := xmltree.E(tag)
+		for k, p := range parts {
+			if i >= p.Len() {
+				continue
+			}
+			if specs[k].Splice {
+				for _, ch := range p.Trees[i].Children {
+					root.Append(ch.Clone())
+				}
+			} else {
+				root.Append(p.Trees[i].Clone())
+			}
+		}
+		out.Trees = append(out.Trees, root)
+	}
+	out.Renumber()
+	return out
+}

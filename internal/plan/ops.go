@@ -1,0 +1,272 @@
+// Package plan defines logical TAX algebra plans and the naive
+// translation from the XQuery subset into them (Sec. 4.1 "Naive
+// Parsing" and Sec. 4.2's LET variant). Plans are operator trees whose
+// leaves scan the database collection; package opt rewrites them
+// (detecting the grouping idiom and introducing GROUPBY), and they can
+// be evaluated logically over in-memory collections (Eval here) or
+// physically over the storage layer (package exec).
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"timber/internal/pattern"
+	"timber/internal/tax"
+)
+
+// Op is a logical plan operator.
+type Op interface {
+	// Inputs returns the operator's input plans, if any.
+	Inputs() []Op
+	// Describe returns a one-line description (operator name plus
+	// parameters) used by the plan printer.
+	Describe() string
+}
+
+// DBScan is the plan leaf: the collection of all documents in the
+// database (the paper's "the database is a single tree document" —
+// several loaded documents simply mean several trees).
+type DBScan struct{}
+
+// Inputs implements Op.
+func (*DBScan) Inputs() []Op { return nil }
+
+// Describe implements Op.
+func (*DBScan) Describe() string { return "DBScan" }
+
+// Literal is a plan leaf holding a precomputed collection. The generic
+// physical evaluator (package exec) substitutes Literal leaves for
+// index-evaluated selections before running the remaining operators
+// with the reference semantics.
+type Literal struct {
+	C tax.Collection
+}
+
+// Inputs implements Op.
+func (*Literal) Inputs() []Op { return nil }
+
+// Describe implements Op.
+func (o *Literal) Describe() string { return fmt.Sprintf("Literal (%d trees)", o.C.Len()) }
+
+// Select is TAX selection with a pattern and adornment list.
+type Select struct {
+	In      Op
+	Pattern *pattern.Tree
+	SL      []tax.Item
+}
+
+// Inputs implements Op.
+func (o *Select) Inputs() []Op { return []Op{o.In} }
+
+// Describe implements Op.
+func (o *Select) Describe() string {
+	return fmt.Sprintf("Select SL=%v pattern:\n%s", o.SL, indent(o.Pattern.String()))
+}
+
+// Project is TAX projection with a pattern and projection list.
+type Project struct {
+	In      Op
+	Pattern *pattern.Tree
+	PL      []tax.Item
+}
+
+// Inputs implements Op.
+func (o *Project) Inputs() []Op { return []Op{o.In} }
+
+// Describe implements Op.
+func (o *Project) Describe() string {
+	return fmt.Sprintf("Project PL=%v pattern:\n%s", o.PL, indent(o.Pattern.String()))
+}
+
+// ProjectPerTree is an alignment-preserving projection: exactly one
+// output tree per input tree, whose root is a copy of the input root
+// and whose children are the retained nodes (starred items keep their
+// subtrees). Inputs with no witness produce a bare root. The naive plan
+// uses it to keep per-outer-binding alignment through the RETURN
+// arguments so the final positional stitch is well defined. (The
+// paper's figures elide this bookkeeping; plain TAX projection can
+// split or drop trees, which would lose the alignment the stitch
+// step implicitly relies on.)
+type ProjectPerTree struct {
+	In      Op
+	Pattern *pattern.Tree
+	PL      []tax.Item
+}
+
+// Inputs implements Op.
+func (o *ProjectPerTree) Inputs() []Op { return []Op{o.In} }
+
+// Describe implements Op.
+func (o *ProjectPerTree) Describe() string {
+	return fmt.Sprintf("ProjectPerTree PL=%v pattern:\n%s", o.PL, indent(o.Pattern.String()))
+}
+
+// DupElimContent eliminates duplicate trees keyed by the content of the
+// node the pattern binds to Label ("duplicate elimination based on
+// $2.content").
+type DupElimContent struct {
+	In      Op
+	Pattern *pattern.Tree
+	Label   string
+}
+
+// Inputs implements Op.
+func (o *DupElimContent) Inputs() []Op { return []Op{o.In} }
+
+// Describe implements Op.
+func (o *DupElimContent) Describe() string {
+	return fmt.Sprintf("DupElim by %s.content", o.Label)
+}
+
+// DedupChildren removes, within each tree, children that duplicate an
+// earlier sibling structurally ("duplicate elimination based on
+// articles" after the naive join).
+type DedupChildren struct {
+	In Op
+}
+
+// Inputs implements Op.
+func (o *DedupChildren) Inputs() []Op { return []Op{o.In} }
+
+// Describe implements Op.
+func (o *DedupChildren) Describe() string { return "DedupChildren" }
+
+// LeftOuterJoin is the naive plan's value-based left outer join
+// (Sec. 4.1 step 2a, Figure 4.b).
+type LeftOuterJoin struct {
+	Left  Op
+	Right Op
+	Spec  tax.JoinSpec
+}
+
+// Inputs implements Op.
+func (o *LeftOuterJoin) Inputs() []Op { return []Op{o.Left, o.Right} }
+
+// Describe implements Op.
+func (o *LeftOuterJoin) Describe() string {
+	return fmt.Sprintf("LeftOuterJoin on %s.content = %s.content SL=%v\n  left pattern:\n%s  right pattern:\n%s",
+		o.Spec.LeftLabel, o.Spec.RightLabel, o.Spec.SL,
+		indent(indent(o.Spec.LeftPattern.String())), indent(indent(o.Spec.RightPattern.String())))
+}
+
+// StitchPart is one RETURN-clause argument feeding a Stitch.
+type StitchPart struct {
+	Op Op
+	// Splice controls whether the part contributes its per-tree result
+	// root's children (true) or the result tree itself (false).
+	Splice bool
+}
+
+// Stitch combines the per-argument results positionally — the "full
+// outer join" plus rename of Sec. 4.1's stitching step: output tree i
+// has tag Tag and collects part k's tree i for every k.
+type Stitch struct {
+	Tag   string
+	Parts []StitchPart
+}
+
+// Inputs implements Op.
+func (o *Stitch) Inputs() []Op {
+	ops := make([]Op, len(o.Parts))
+	for i, p := range o.Parts {
+		ops[i] = p.Op
+	}
+	return ops
+}
+
+// Describe implements Op.
+func (o *Stitch) Describe() string { return fmt.Sprintf("Stitch <%s> (%d parts)", o.Tag, len(o.Parts)) }
+
+// SortChildrenByPath reorders, within each tree, the children that
+// contain the given relative child-step path, by the path's first leaf
+// value (ties keep document order; non-matching children keep their
+// positions). The naive translation introduces it for a nested FLWR's
+// ORDER BY; the rewrite turns it into the GROUPBY ordering list.
+type SortChildrenByPath struct {
+	In   Op
+	Path []string
+	Desc bool
+}
+
+// Inputs implements Op.
+func (o *SortChildrenByPath) Inputs() []Op { return []Op{o.In} }
+
+// Describe implements Op.
+func (o *SortChildrenByPath) Describe() string {
+	dir := "ASCENDING"
+	if o.Desc {
+		dir = "DESCENDING"
+	}
+	return fmt.Sprintf("SortChildren by %v %s", o.Path, dir)
+}
+
+// GroupBy is the TAX grouping operator (Sec. 3).
+type GroupBy struct {
+	In       Op
+	Pattern  *pattern.Tree
+	Basis    []tax.BasisItem
+	Ordering []tax.OrderItem
+}
+
+// Inputs implements Op.
+func (o *GroupBy) Inputs() []Op { return []Op{o.In} }
+
+// Describe implements Op.
+func (o *GroupBy) Describe() string {
+	return fmt.Sprintf("GroupBy basis=%v ordering=%v pattern:\n%s",
+		o.Basis, o.Ordering, indent(o.Pattern.String()))
+}
+
+// Aggregate is the TAX aggregation operator (Sec. 4.3).
+type Aggregate struct {
+	In      Op
+	Pattern *pattern.Tree
+	Spec    tax.AggSpec
+}
+
+// Inputs implements Op.
+func (o *Aggregate) Inputs() []Op { return []Op{o.In} }
+
+// Describe implements Op.
+func (o *Aggregate) Describe() string {
+	return fmt.Sprintf("Aggregate %s(%s) as <%s> %v($%s)",
+		o.Spec.Fn, o.Spec.SrcLabel, o.Spec.NewTag, o.Spec.Place, o.Spec.AnchorLabel)
+}
+
+// Rename renames the root of every tree.
+type Rename struct {
+	In     Op
+	NewTag string
+}
+
+// Inputs implements Op.
+func (o *Rename) Inputs() []Op { return []Op{o.In} }
+
+// Describe implements Op.
+func (o *Rename) Describe() string { return fmt.Sprintf("Rename root -> <%s>", o.NewTag) }
+
+// Format renders the plan tree, children indented under parents.
+func Format(op Op) string {
+	var b strings.Builder
+	var walk func(o Op, depth int)
+	walk = func(o Op, depth int) {
+		pad := strings.Repeat("  ", depth)
+		for _, line := range strings.Split(strings.TrimRight(o.Describe(), "\n"), "\n") {
+			fmt.Fprintf(&b, "%s%s\n", pad, line)
+		}
+		for _, in := range o.Inputs() {
+			walk(in, depth+1)
+		}
+	}
+	walk(op, 0)
+	return b.String()
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = "    " + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,181 @@
+package plan
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"timber/internal/pattern"
+	"timber/internal/tax"
+	"timber/internal/xmltree"
+	"timber/internal/xq"
+)
+
+const queryOrderedSrc = `
+FOR $a IN distinct-values(document("bib.xml")//author)
+RETURN
+<authorpubs>
+  {$a}
+  {
+    FOR $b IN document("bib.xml")//article
+    WHERE $a = $b/author
+    ORDER BY $b/title DESCENDING
+    RETURN $b/title
+  }
+</authorpubs>`
+
+func TestNaiveOrderedQuery(t *testing.T) {
+	op := translateSrc(t, queryOrderedSrc)
+	want := []string{
+		"Jack: XML and the Web Querying XML", // descending titles
+		"John: Querying XML Hack HTML",
+		"Jill: XML and the Web",
+	}
+	if got := queryResult(t, op); !reflect.DeepEqual(got, want) {
+		t.Errorf("ordered naive = %v, want %v", got, want)
+	}
+	// The plan carries the sort operator.
+	if s := Format(op); !strings.Contains(s, "SortChildren by [title] DESCENDING") {
+		t.Errorf("plan lacks sort op:\n%s", s)
+	}
+}
+
+func TestNaiveOrderedAscendingDefault(t *testing.T) {
+	src := strings.Replace(queryOrderedSrc, " DESCENDING", "", 1)
+	op := translateSrc(t, src)
+	want := []string{
+		"Jack: Querying XML XML and the Web",
+		"John: Hack HTML Querying XML",
+		"Jill: XML and the Web",
+	}
+	if got := queryResult(t, op); !reflect.DeepEqual(got, want) {
+		t.Errorf("ascending naive = %v, want %v", got, want)
+	}
+}
+
+func TestSortChildrenEval(t *testing.T) {
+	// Non-matching children keep their positions; matching ones sort.
+	base := tax.NewCollection(
+		xmltree.E("r",
+			xmltree.Elem("marker", "m"),
+			xmltree.E("article", xmltree.Elem("k", "9")),
+			xmltree.E("article", xmltree.Elem("k", "100")),
+			xmltree.E("article", xmltree.Elem("k", "20")),
+		),
+	)
+	op := &SortChildrenByPath{In: &DBScan{}, Path: []string{"k"}, Desc: true}
+	out, err := Eval(base, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := out.Trees[0]
+	if tree.Children[0].Tag != "marker" {
+		t.Error("non-matching child moved")
+	}
+	var ks []string
+	for _, c := range tree.Children[1:] {
+		ks = append(ks, c.Child("k").Content)
+	}
+	// Numeric descending: 100, 20, 9.
+	if !reflect.DeepEqual(ks, []string{"100", "20", "9"}) {
+		t.Errorf("sorted keys = %v", ks)
+	}
+}
+
+func TestLiteralOp(t *testing.T) {
+	lit := &Literal{C: tax.NewCollection(xmltree.Elem("x", "1"))}
+	if len(lit.Inputs()) != 0 {
+		t.Error("literal has no inputs")
+	}
+	if !strings.Contains(lit.Describe(), "1 trees") {
+		t.Errorf("describe = %s", lit.Describe())
+	}
+	out, err := Eval(tax.Collection{}, lit)
+	if err != nil || out.Len() != 1 {
+		t.Errorf("literal eval = %v, %v", out.Strings(), err)
+	}
+	// The evaluated collection is a clone: mutating it leaves the
+	// literal intact.
+	out.Trees[0].Content = "changed"
+	if lit.C.Trees[0].Content != "1" {
+		t.Error("literal collection aliased by Eval result")
+	}
+}
+
+func TestAllOpDescribes(t *testing.T) {
+	pt := pattern.MustTree(pattern.NewNode("$1", pattern.TagEq{Tag: "x"}))
+	ops := []Op{
+		&DBScan{},
+		&Literal{},
+		&Select{In: &DBScan{}, Pattern: pt},
+		&Project{In: &DBScan{}, Pattern: pt},
+		&ProjectPerTree{In: &DBScan{}, Pattern: pt},
+		&DupElimContent{In: &DBScan{}, Pattern: pt, Label: "$1"},
+		&DedupChildren{In: &DBScan{}},
+		&SortChildrenByPath{In: &DBScan{}, Path: []string{"k"}},
+		&LeftOuterJoin{Left: &DBScan{}, Right: &DBScan{}, Spec: tax.JoinSpec{
+			LeftPattern: pt, LeftLabel: "$1", RightPattern: pt, RightLabel: "$1",
+		}},
+		&Stitch{Tag: "t"},
+		&GroupBy{In: &DBScan{}, Pattern: pt},
+		&Aggregate{In: &DBScan{}, Pattern: pt, Spec: tax.AggSpec{Fn: tax.Count, AnchorLabel: "$1"}},
+		&Rename{In: &DBScan{}, NewTag: "y"},
+	}
+	for _, op := range ops {
+		if op.Describe() == "" {
+			t.Errorf("%T: empty Describe", op)
+		}
+		if s := Format(op); s == "" {
+			t.Errorf("%T: empty Format", op)
+		}
+		for _, in := range op.Inputs() {
+			if in == nil {
+				t.Errorf("%T: nil input", op)
+			}
+		}
+	}
+}
+
+func TestOuterWhereOperators(t *testing.T) {
+	// Exercise every comparison operator through the outer filter.
+	for _, tc := range []struct {
+		op   string
+		want []string
+	}{
+		{`$a != "Jack"`, []string{"John:", "Jill:"}},
+		{`$a < "Jill"`, []string{"Jack:"}},
+		{`$a > "Jill"`, []string{"John:"}},
+		{`$a >= "Jill"`, []string{"John:", "Jill:"}},
+		{`"Jill" > $a`, []string{"Jack:"}},           // flipped <
+		{`"Jill" >= $a`, []string{"Jack:", "Jill:"}}, // flipped <=
+		{`"Jill" < $a`, []string{"John:"}},           // flipped >
+		{`"Jack" = $a`, []string{"Jack:"}},           // symmetric
+	} {
+		src := `FOR $a IN distinct-values(document("bib.xml")//author) WHERE ` + tc.op +
+			` RETURN <who>{$a}</who>`
+		op := translateSrc(t, src)
+		if got := queryResult(t, op); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("WHERE %s = %v, want %v", tc.op, got, tc.want)
+		}
+	}
+}
+
+func TestOrderByTranslateErrors(t *testing.T) {
+	srcs := []string{
+		// ORDER BY with a predicate step.
+		`FOR $a IN distinct-values(document("d")//author)
+		 RETURN <x>{$a}{FOR $b IN document("d")//article WHERE $a = $b/author ORDER BY $b/title[x = "y"] RETURN $b/title}</x>`,
+		// ORDER BY on a string literal.
+		`FOR $a IN distinct-values(document("d")//author)
+		 RETURN <x>{$a}{FOR $b IN document("d")//article WHERE $a = $b/author ORDER BY "zzz" RETURN $b/title}</x>`,
+	}
+	for i, src := range srcs {
+		e, err := xq.Parse(src)
+		if err != nil {
+			t.Fatalf("case %d parse: %v", i, err)
+		}
+		if _, err := Translate(e); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}

@@ -1,0 +1,601 @@
+package plan
+
+import (
+	"errors"
+	"fmt"
+
+	"timber/internal/pattern"
+	"timber/internal/tax"
+	"timber/internal/xq"
+)
+
+// DocRootTag is the tag of document roots the translator anchors
+// patterns at. The paper treats the database as a single tree document
+// whose root is tagged doc_root; the DBLP generator and the sample data
+// follow that convention.
+const DocRootTag = "doc_root"
+
+// CountTag is the element name wrapping count() results. XQuery's
+// count() yields a bare number; our data model has no text nodes, so
+// the number is carried by a <count> element — the one deliberate
+// deviation from the surface syntax, shared by both evaluation plans.
+const CountTag = "count"
+
+// Translate performs the naive parsing of Sec. 4.1 (and its Sec. 4.2
+// LET variant): it converts a grouping-style FLWR query into a TAX
+// plan of selections, projections, duplicate eliminations, a left outer
+// join per nested FLWR or LET binding, and a final stitch. No grouping
+// operator appears in the result; package opt's Rewrite detects the
+// idiom and introduces GROUPBY.
+//
+// The supported query family is the paper's: an outer FOR over
+// distinct-values(document(...)  path), optional LET clauses binding
+// predicate paths correlated to the outer variable, and a RETURN
+// element constructor whose parts are the outer variable, nested
+// correlated FLWRs, LET variables, or count() of either.
+func Translate(e xq.Expr) (Op, error) {
+	f, ok := e.(*xq.FLWR)
+	if !ok {
+		return nil, fmt.Errorf("plan: top-level expression must be a FLWR, got %T", e)
+	}
+	if len(f.Clauses) == 0 || f.Clauses[0].Kind != xq.ForClause {
+		return nil, errors.New("plan: query must start with a FOR clause")
+	}
+
+	outer, err := newOuterPipeline(f.Clauses[0], f.Where)
+	if err != nil {
+		return nil, err
+	}
+
+	// Collect LET bindings.
+	lets := map[string]*xq.Clause{}
+	for i := 1; i < len(f.Clauses); i++ {
+		c := f.Clauses[i]
+		if c.Kind != xq.LetClause {
+			return nil, errors.New("plan: only one FOR clause plus LET clauses are supported at the outer level")
+		}
+		lets[c.Var] = &f.Clauses[i]
+	}
+
+	ctor, ok := f.Return.(*xq.ElemCtor)
+	if !ok {
+		return nil, fmt.Errorf("plan: RETURN must be an element constructor, got %T", f.Return)
+	}
+
+	stitch := &Stitch{Tag: ctor.Tag}
+	for _, part := range ctor.Parts {
+		sp, err := translatePart(part, outer, lets)
+		if err != nil {
+			return nil, err
+		}
+		stitch.Parts = append(stitch.Parts, sp)
+	}
+	return stitch, nil
+}
+
+// outerPipeline carries what the RETURN-part translations need to know
+// about the outer FOR: the plan computing its distinct bindings and the
+// (post-projection, parent-child) pattern describing those trees.
+type outerPipeline struct {
+	op Op // DupElim(Project(Select(DBScan)))
+	// selPat is the original outer pattern (Figure 4.a, with the ad
+	// edges the query wrote); the join-plan's left part reuses it, and
+	// Phase 1's subset test depends on those edge marks.
+	selPat *pattern.Tree
+	// pat is the parent-child version describing the physically
+	// projected outer trees (footnote 5).
+	pat      *pattern.Tree
+	varName  string // the outer variable
+	rootLbl  string // label bound to doc_root in pat
+	boundLbl string // label bound to the outer variable's element
+}
+
+// newOuterPipeline implements Sec. 4.1 step 1: the outer FOR/WHERE
+// generates a pattern tree; a selection is applied on the database with
+// the bound variable as selection list, then a projection with the root
+// and starred bound variable, then duplicate elimination on the bound
+// variable's content. Outer WHERE conjuncts comparing the variable (or
+// a path under it) to a string literal become predicates on the pattern
+// — such filtered queries evaluate through the naive plan; the GROUPBY
+// rewrite correctly declines them, since the strengthened outer pattern
+// is no longer a subset of the join's inner pattern.
+func newOuterPipeline(c xq.Clause, where []xq.Comparison) (*outerPipeline, error) {
+	src := c.Expr
+	distinct := false
+	if dv, ok := src.(*xq.DistinctValues); ok {
+		distinct = true
+		src = dv.Arg
+	}
+	steps, err := docPathSteps(src)
+	if err != nil {
+		return nil, fmt.Errorf("plan: outer FOR: %w", err)
+	}
+	lg := newLabelGen()
+	rootLbl := lg.next()
+	root := pattern.NewNode(rootLbl, pattern.TagEq{Tag: DocRootTag})
+	bound, err := chainSteps(root, steps, lg)
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range where {
+		if err := attachOuterPredicate(bound, c.Var, w, lg); err != nil {
+			return nil, err
+		}
+	}
+	pt, err := pattern.NewTree(root)
+	if err != nil {
+		return nil, err
+	}
+
+	sel := &Select{In: &DBScan{}, Pattern: pt, SL: []tax.Item{tax.L(bound.Label)}}
+	// Footnote 5: when a projection follows a selection with the same
+	// pattern, ancestor-descendant edges become parent-child.
+	pcPat := pcVersion(pt)
+	proj := &Project{
+		In:      sel,
+		Pattern: pcPat,
+		PL:      []tax.Item{tax.L(rootLbl), tax.LS(bound.Label)},
+	}
+	var op Op = proj
+	if distinct {
+		op = &DupElimContent{In: proj, Pattern: pcPat, Label: bound.Label}
+	}
+	return &outerPipeline{
+		op:       op,
+		selPat:   pt,
+		pat:      pcPat,
+		varName:  c.Var,
+		rootLbl:  rootLbl,
+		boundLbl: bound.Label,
+	}, nil
+}
+
+// translatePart converts one RETURN-clause argument into a stitch part
+// (Sec. 4.1 step 2).
+func translatePart(part xq.Expr, outer *outerPipeline, lets map[string]*xq.Clause) (StitchPart, error) {
+	switch p := part.(type) {
+	case *xq.VarRef:
+		if p.Name == outer.varName {
+			return outerVarPart(outer), nil
+		}
+		if letc, ok := lets[p.Name]; ok {
+			jp, err := joinPipeline(outer, letFLWREquivalent(letc))
+			if err != nil {
+				return StitchPart{}, err
+			}
+			return StitchPart{Op: jp.valuesOp(), Splice: true}, nil
+		}
+		return StitchPart{}, fmt.Errorf("plan: unbound variable $%s in RETURN", p.Name)
+	case *xq.FLWR:
+		corr, err := analyzeNestedFLWR(p, outer.varName)
+		if err != nil {
+			return StitchPart{}, err
+		}
+		jp, err := joinPipeline(outer, corr)
+		if err != nil {
+			return StitchPart{}, err
+		}
+		return StitchPart{Op: jp.valuesOp(), Splice: true}, nil
+	case *xq.CountCall:
+		var corr *correlatedQuery
+		switch arg := p.Arg.(type) {
+		case *xq.VarRef:
+			letc, ok := lets[arg.Name]
+			if !ok {
+				return StitchPart{}, fmt.Errorf("plan: count($%s): not a LET variable", arg.Name)
+			}
+			corr = letFLWREquivalent(letc)
+		case *xq.FLWR:
+			var err error
+			corr, err = analyzeNestedFLWR(arg, outer.varName)
+			if err != nil {
+				return StitchPart{}, err
+			}
+		default:
+			return StitchPart{}, fmt.Errorf("plan: unsupported count() argument %T", p.Arg)
+		}
+		jp, err := joinPipeline(outer, corr)
+		if err != nil {
+			return StitchPart{}, err
+		}
+		return StitchPart{Op: jp.countOp(), Splice: true}, nil
+	default:
+		return StitchPart{}, fmt.Errorf("plan: unsupported RETURN part %T", part)
+	}
+}
+
+// outerVarPart builds the {$a} argument: a selection and projection on
+// the outer result extracting the bound variable's subtree.
+func outerVarPart(outer *outerPipeline) StitchPart {
+	sel := &Select{In: outer.op, Pattern: outer.pat, SL: []tax.Item{tax.L(outer.boundLbl)}}
+	proj := &Project{In: sel, Pattern: outer.pat, PL: []tax.Item{tax.LS(outer.boundLbl)}}
+	return StitchPart{Op: proj, Splice: false}
+}
+
+// correlatedQuery is the normalized form of a nested FLWR or LET
+// binding correlated with the outer variable:
+//
+//	bind an element by forSteps from the document root,
+//	require joinSteps (relative to it) to reach a node whose content
+//	equals the outer variable,
+//	return the nodes at returnSteps (relative to it).
+type correlatedQuery struct {
+	forSteps    []xq.Step // e.g. //article
+	joinSteps   []xq.Step // e.g. /author  (the correlation path)
+	returnSteps []xq.Step // e.g. /title
+	orderSteps  []xq.Step // ORDER BY path relative to the member; nil = document order
+	orderDesc   bool
+}
+
+// letFLWREquivalent normalizes LET $t := document(...)//article[author
+// = $a]/title into the same correlated form as the nested FLWR — the
+// equivalence Sec. 4.2 is about.
+func letFLWREquivalent(letc *xq.Clause) *correlatedQuery {
+	pe, ok := letc.Expr.(*xq.PathExpr)
+	if !ok {
+		return nil
+	}
+	// Find the step carrying the correlation predicate.
+	for i, st := range pe.Steps {
+		if st.Pred == nil {
+			continue
+		}
+		if _, ok := st.Pred.Rhs.(*xq.VarRef); !ok {
+			continue
+		}
+		forSteps := append([]xq.Step{}, pe.Steps[:i+1]...)
+		forSteps[i].Pred = nil
+		return &correlatedQuery{
+			forSteps:    forSteps,
+			joinSteps:   st.Pred.Path,
+			returnSteps: pe.Steps[i+1:],
+		}
+	}
+	return nil
+}
+
+// analyzeNestedFLWR normalizes FOR $b IN document(...)steps WHERE $a =
+// $b/path RETURN $b/path into the correlated form.
+func analyzeNestedFLWR(f *xq.FLWR, outerVar string) (*correlatedQuery, error) {
+	if len(f.Clauses) != 1 || f.Clauses[0].Kind != xq.ForClause {
+		return nil, errors.New("plan: nested FLWR must have a single FOR clause")
+	}
+	innerVar := f.Clauses[0].Var
+	forSteps, err := docPathSteps(f.Clauses[0].Expr)
+	if err != nil {
+		return nil, fmt.Errorf("plan: nested FOR: %w", err)
+	}
+	if len(f.Where) != 1 || f.Where[0].Op != "=" {
+		return nil, errors.New("plan: nested FLWR needs exactly one equality WHERE conjunct")
+	}
+	joinSteps, err := correlationPath(f.Where[0], outerVar, innerVar)
+	if err != nil {
+		return nil, err
+	}
+	retPath, ok := f.Return.(*xq.PathExpr)
+	if !ok {
+		return nil, fmt.Errorf("plan: nested RETURN must be a path on $%s, got %T", innerVar, f.Return)
+	}
+	if v, ok := retPath.Source.(*xq.VarRef); !ok || v.Name != innerVar {
+		return nil, fmt.Errorf("plan: nested RETURN must start at $%s", innerVar)
+	}
+	corr := &correlatedQuery{
+		forSteps:    forSteps,
+		joinSteps:   joinSteps,
+		returnSteps: retPath.Steps,
+	}
+	if len(f.OrderBy) > 0 {
+		if len(f.OrderBy) > 1 {
+			return nil, errors.New("plan: nested ORDER BY supports a single key")
+		}
+		key := f.OrderBy[0]
+		kp, ok := key.Expr.(*xq.PathExpr)
+		if !ok {
+			return nil, fmt.Errorf("plan: ORDER BY key must be a path on $%s", innerVar)
+		}
+		if v, ok := kp.Source.(*xq.VarRef); !ok || v.Name != innerVar {
+			return nil, fmt.Errorf("plan: ORDER BY key must start at $%s", innerVar)
+		}
+		for _, st := range kp.Steps {
+			if st.Descendant || st.Pred != nil {
+				return nil, errors.New("plan: ORDER BY key must be a plain child path")
+			}
+		}
+		corr.orderSteps = kp.Steps
+		corr.orderDesc = key.Descending
+	}
+	return corr, nil
+}
+
+// correlationPath extracts the inner-relative path from WHERE
+// $outer = $inner/path (either operand order).
+func correlationPath(w xq.Comparison, outerVar, innerVar string) ([]xq.Step, error) {
+	try := func(a, b xq.Expr) []xq.Step {
+		v, ok := a.(*xq.VarRef)
+		if !ok || v.Name != outerVar {
+			return nil
+		}
+		pe, ok := b.(*xq.PathExpr)
+		if !ok {
+			return nil
+		}
+		src, ok := pe.Source.(*xq.VarRef)
+		if !ok || src.Name != innerVar {
+			return nil
+		}
+		return pe.Steps
+	}
+	if steps := try(w.Left, w.Right); steps != nil {
+		return steps, nil
+	}
+	if steps := try(w.Right, w.Left); steps != nil {
+		return steps, nil
+	}
+	return nil, fmt.Errorf("plan: WHERE must correlate $%s with a path on $%s", outerVar, innerVar)
+}
+
+// joined carries the pieces of one join pipeline so the caller can ask
+// for the values (titles) or the count form.
+type joined struct {
+	src      Op            // [SortChildrenByPath](DedupChildren(LeftOuterJoin(...)))
+	prodPat  *pattern.Tree // TAX_prod_root -> bound element -> return path
+	valueLbl string        // label of the return-path node in prodPat
+	rootLbl  string        // label of the prod root in prodPat
+}
+
+// joinPipeline implements Sec. 4.1 step 2's nested-FLWR procedure: a
+// left outer join between the outer result and the database using the
+// join-plan pattern tree (Figure 4.b), followed by duplicate
+// elimination based on the joined elements.
+func joinPipeline(outer *outerPipeline, corr *correlatedQuery) (*joined, error) {
+	if corr == nil {
+		return nil, errors.New("plan: unsupported correlated binding shape")
+	}
+	// Right ("inner") pattern: doc_root, the FOR path, the join path.
+	lg := newLabelGen()
+	rroot := pattern.NewNode(lg.next(), pattern.TagEq{Tag: DocRootTag})
+	bound, err := chainSteps(rroot, corr.forSteps, lg)
+	if err != nil {
+		return nil, err
+	}
+	joinNode, err := chainSteps(bound, corr.joinSteps, lg)
+	if err != nil {
+		return nil, err
+	}
+	rightPat, err := pattern.NewTree(rroot)
+	if err != nil {
+		return nil, err
+	}
+
+	join := &LeftOuterJoin{
+		Left:  outer.op,
+		Right: &DBScan{},
+		Spec: tax.JoinSpec{
+			LeftPattern:  outer.selPat,
+			LeftLabel:    outer.boundLbl,
+			RightPattern: rightPat,
+			RightLabel:   joinNode.Label,
+			SL:           []tax.Item{tax.LS(bound.Label)},
+		},
+	}
+	var src Op = &DedupChildren{In: join}
+	if corr.orderSteps != nil {
+		src = &SortChildrenByPath{In: src, Path: stepNames(corr.orderSteps), Desc: corr.orderDesc}
+	}
+
+	// Product pattern: prod root, the joined element, the return path.
+	lg2 := newLabelGen()
+	proot := pattern.NewNode(lg2.next(), pattern.TagEq{Tag: tax.ProdRootTag})
+	elemTag := bound.TagConstraint()
+	elem := proot.AddChild(pattern.Child, pattern.NewNode(lg2.next(), pattern.TagEq{Tag: elemTag}))
+	valueNode, err := chainSteps(elem, corr.returnSteps, lg2)
+	if err != nil {
+		return nil, err
+	}
+	prodPat, err := pattern.NewTree(proot)
+	if err != nil {
+		return nil, err
+	}
+	return &joined{
+		src:      src,
+		prodPat:  prodPat,
+		valueLbl: valueNode.Label,
+		rootLbl:  proot.Label,
+	}, nil
+}
+
+// valuesOp extracts the return-path subtrees per joined tree (spliced
+// into the stitch).
+func (j *joined) valuesOp() Op {
+	return &ProjectPerTree{In: j.src, Pattern: j.prodPat, PL: []tax.Item{tax.LS(j.valueLbl)}}
+}
+
+// countOp aggregates the return-path matches per joined tree into a
+// count node and extracts it.
+func (j *joined) countOp() Op {
+	agg := &Aggregate{
+		In:      j.src,
+		Pattern: j.prodPat,
+		Spec: tax.AggSpec{
+			Fn:          tax.Count,
+			SrcLabel:    j.valueLbl,
+			NewTag:      CountTag,
+			AnchorLabel: j.rootLbl,
+			Place:       tax.AfterLastChild,
+		},
+	}
+	lg := newLabelGen()
+	root := pattern.NewNode(lg.next(), pattern.TagEq{Tag: tax.ProdRootTag})
+	cnt := root.AddChild(pattern.Child, pattern.NewNode(lg.next(), pattern.TagEq{Tag: CountTag}))
+	cntPat := pattern.MustTree(root)
+	return &ProjectPerTree{In: agg, Pattern: cntPat, PL: []tax.Item{tax.LS(cnt.Label)}}
+}
+
+// docPathSteps unwraps document("...")/steps.
+func docPathSteps(e xq.Expr) ([]xq.Step, error) {
+	pe, ok := e.(*xq.PathExpr)
+	if !ok {
+		return nil, fmt.Errorf("expected a document path, got %T", e)
+	}
+	if _, ok := pe.Source.(*xq.DocCall); !ok {
+		return nil, fmt.Errorf("path must start at document(...), got %T", pe.Source)
+	}
+	if len(pe.Steps) == 0 {
+		return nil, errors.New("document path needs at least one step")
+	}
+	return pe.Steps, nil
+}
+
+// chainSteps appends pattern nodes for each path step under parent and
+// returns the last node. Step predicates other than the correlation
+// (already stripped) become content-equality predicates for string
+// comparands.
+func chainSteps(parent *pattern.Node, steps []xq.Step, lg *labelGen) (*pattern.Node, error) {
+	cur := parent
+	for i, st := range steps {
+		axis := pattern.Child
+		// The leading step of a relative path (inside predicates) has
+		// Descendant=false and is a child step; top-level paths mark
+		// descendant explicitly.
+		if st.Descendant {
+			axis = pattern.Descendant
+		}
+		preds := []pattern.Predicate{pattern.TagEq{Tag: st.Name}}
+		node := pattern.NewNode(lg.next(), preds...)
+		cur.AddChild(axis, node)
+		cur = node
+		if st.Pred != nil {
+			lit, ok := st.Pred.Rhs.(*xq.StringLit)
+			if !ok {
+				return nil, fmt.Errorf("unsupported predicate at step %d (only string literals or the correlation variable)", i)
+			}
+			sub, err := chainSteps(cur, st.Pred.Path, lg)
+			if err != nil {
+				return nil, err
+			}
+			sub.Preds = append(sub.Preds, pattern.ContentEq{Value: lit.Value})
+		}
+	}
+	return cur, nil
+}
+
+// pcVersion clones a pattern converting every edge to parent-child —
+// the paper's footnote 5 transformation for projections that follow a
+// selection with the same pattern.
+func pcVersion(pt *pattern.Tree) *pattern.Tree {
+	cp := pt.Clone()
+	var walk func(*pattern.Node)
+	walk = func(n *pattern.Node) {
+		for _, c := range n.Children {
+			c.Axis = pattern.Child
+			walk(c)
+		}
+	}
+	walk(cp.Root)
+	return cp
+}
+
+// attachOuterPredicate turns one outer WHERE conjunct into pattern
+// predicates under the bound node. Supported forms: $v op "literal" and
+// $v/path op "literal" (either operand order).
+func attachOuterPredicate(bound *pattern.Node, outerVar string, w xq.Comparison, lg *labelGen) error {
+	path, lit, op, err := normalizeOuterConjunct(outerVar, w)
+	if err != nil {
+		return err
+	}
+	target := bound
+	if len(path) > 0 {
+		target, err = chainSteps(bound, path, lg)
+		if err != nil {
+			return err
+		}
+	}
+	pred, err := comparisonPredicate(op, lit)
+	if err != nil {
+		return err
+	}
+	target.Preds = append(target.Preds, pred)
+	return nil
+}
+
+// normalizeOuterConjunct extracts (relative path, literal, operator)
+// from a conjunct on the outer variable, flipping reversed operands.
+func normalizeOuterConjunct(outerVar string, w xq.Comparison) ([]xq.Step, string, string, error) {
+	try := func(a, b xq.Expr, op string) ([]xq.Step, string, string, bool) {
+		lit, ok := b.(*xq.StringLit)
+		if !ok {
+			return nil, "", "", false
+		}
+		switch l := a.(type) {
+		case *xq.VarRef:
+			if l.Name == outerVar {
+				return nil, lit.Value, op, true
+			}
+		case *xq.PathExpr:
+			if v, ok := l.Source.(*xq.VarRef); ok && v.Name == outerVar {
+				return l.Steps, lit.Value, op, true
+			}
+		}
+		return nil, "", "", false
+	}
+	if p, lit, op, ok := try(w.Left, w.Right, w.Op); ok {
+		return p, lit, op, nil
+	}
+	if p, lit, op, ok := try(w.Right, w.Left, flipOp(w.Op)); ok {
+		return p, lit, op, nil
+	}
+	return nil, "", "", fmt.Errorf("plan: unsupported outer WHERE conjunct %s %s %s", w.Left, w.Op, w.Right)
+}
+
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case ">":
+		return "<"
+	case "<=":
+		return ">="
+	case ">=":
+		return "<="
+	default:
+		return op // = and != are symmetric
+	}
+}
+
+func comparisonPredicate(op, lit string) (pattern.Predicate, error) {
+	switch op {
+	case "=":
+		return pattern.ContentEq{Value: lit}, nil
+	case "!=":
+		return pattern.ContentCmp{Op: pattern.Ne, Value: lit}, nil
+	case "<":
+		return pattern.ContentCmp{Op: pattern.Lt, Value: lit}, nil
+	case "<=":
+		return pattern.ContentCmp{Op: pattern.Le, Value: lit}, nil
+	case ">":
+		return pattern.ContentCmp{Op: pattern.Gt, Value: lit}, nil
+	case ">=":
+		return pattern.ContentCmp{Op: pattern.Ge, Value: lit}, nil
+	default:
+		return nil, fmt.Errorf("plan: unsupported comparison operator %q", op)
+	}
+}
+
+// stepNames extracts the element names of a plain child-step path.
+func stepNames(steps []xq.Step) []string {
+	out := make([]string, len(steps))
+	for i, st := range steps {
+		out[i] = st.Name
+	}
+	return out
+}
+
+// labelGen hands out fresh $1, $2, ... labels per pattern tree.
+type labelGen struct{ n int }
+
+func newLabelGen() *labelGen { return &labelGen{} }
+
+func (g *labelGen) next() string {
+	g.n++
+	return fmt.Sprintf("$%d", g.n)
+}

@@ -1,0 +1,105 @@
+// Package sjoin implements structural containment joins over interval-
+// numbered node lists: given a list of potential ancestors and a list of
+// potential descendants, it finds all pairs related by containment
+// (ancestor-descendant) or immediate containment (parent-child).
+//
+// Pattern-tree matching determines "structural containment relationships
+// between candidate nodes ... one pattern tree edge at a time" with
+// "efficient single-pass containment join algorithms whose asymptotic
+// cost is optimal" (Sec. 5.2, citing Al-Khalifa et al., ICDE 2002). The
+// single-pass algorithm here is Stack-Tree: it merges the two input
+// lists in document order while maintaining a stack of nested ancestors,
+// and runs in O(|A| + |D| + |output|) time. A quadratic nested-loop join
+// is provided as a testing and benchmarking baseline.
+//
+// Both inputs must be sorted by (document, start) — precisely the order
+// in which the storage layer's tag index yields postings.
+package sjoin
+
+import "timber/internal/xmltree"
+
+// Axis selects the structural relationship to join on.
+type Axis int
+
+const (
+	// AncestorDescendant joins pairs where A properly contains D.
+	AncestorDescendant Axis = iota
+	// ParentChild joins pairs where A is the parent of D.
+	ParentChild
+)
+
+// Pair is one join result: indices into the ancestor and descendant
+// input slices.
+type Pair struct {
+	A int // index into the ancestor list
+	D int // index into the descendant list
+}
+
+// StackTree performs a single-pass structural join between ancs and
+// descs, both sorted by (doc, start). It returns all (a, d) index pairs
+// where ancs[a] contains descs[d] (and, for ParentChild, is exactly one
+// level up). Output pairs are grouped by descendant in document order;
+// within one descendant, ancestors appear outermost first.
+func StackTree(ancs, descs []xmltree.Interval, axis Axis) []Pair {
+	var out []Pair
+	// stack holds indices into ancs of nodes that contain the current
+	// scan position, outermost at the bottom.
+	var stack []int
+	ai, di := 0, 0
+	for di < len(descs) {
+		d := descs[di]
+		// Advance ancestors whose start precedes this descendant.
+		for ai < len(ancs) && ancs[ai].Before(d) {
+			a := ancs[ai]
+			popClosed(ancs, &stack, a)
+			stack = append(stack, ai)
+			ai++
+		}
+		popClosed(ancs, &stack, d)
+		for _, si := range stack {
+			a := ancs[si]
+			if a.Start == d.Start && a.Doc == d.Doc {
+				continue // same node appearing in both lists
+			}
+			if axis == ParentChild && a.Level+1 != d.Level {
+				continue
+			}
+			out = append(out, Pair{A: si, D: di})
+		}
+		di++
+	}
+	return out
+}
+
+// popClosed removes stack entries that do not contain position pos
+// (ended before it, or in an earlier document).
+func popClosed(ancs []xmltree.Interval, stack *[]int, pos xmltree.Interval) {
+	s := *stack
+	for len(s) > 0 {
+		top := ancs[s[len(s)-1]]
+		if top.Doc == pos.Doc && top.End > pos.Start {
+			break
+		}
+		s = s[:len(s)-1]
+	}
+	*stack = s
+}
+
+// NestedLoop is the O(|A|·|D|) baseline with identical output semantics
+// to StackTree (same pairs, same grouping: by descendant, ancestors
+// outermost first).
+func NestedLoop(ancs, descs []xmltree.Interval, axis Axis) []Pair {
+	var out []Pair
+	for di, d := range descs {
+		for aiIdx, a := range ancs {
+			if !a.Contains(d) {
+				continue
+			}
+			if axis == ParentChild && a.Level+1 != d.Level {
+				continue
+			}
+			out = append(out, Pair{A: aiIdx, D: di})
+		}
+	}
+	return out
+}

@@ -1,0 +1,255 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"timber/internal/btree"
+	"timber/internal/pagestore"
+	"timber/internal/xmltree"
+)
+
+// ErrNoSuchNode is returned when a node ID does not resolve.
+var ErrNoSuchNode = errors.New("storage: no such node")
+
+// GetNode fetches the record for a node by identifier. It costs one
+// locator descent plus one heap page fetch — the "data value look-up"
+// whose count separates the paper's two evaluation plans.
+func (db *DB) GetNode(id xmltree.NodeID) (*NodeRecord, error) {
+	v, err := db.locator.Get(locatorKey(id))
+	if err != nil {
+		if errors.Is(err, btree.ErrNotFound) {
+			return nil, fmt.Errorf("%w: %v", ErrNoSuchNode, id)
+		}
+		return nil, err
+	}
+	rid, err := decodeRID(v)
+	if err != nil {
+		return nil, err
+	}
+	return db.GetNodeAt(rid)
+}
+
+// LocateRID resolves a node identifier to its physical record location
+// through the locator index, without fetching the record itself.
+func (db *DB) LocateRID(id xmltree.NodeID) (pagestore.RID, error) {
+	v, err := db.locator.Get(locatorKey(id))
+	if err != nil {
+		if errors.Is(err, btree.ErrNotFound) {
+			return pagestore.RID{}, fmt.Errorf("%w: %v", ErrNoSuchNode, id)
+		}
+		return pagestore.RID{}, err
+	}
+	return decodeRID(v)
+}
+
+// GetNodeAt fetches a node record directly by its physical RID, skipping
+// the locator. Postings carry RIDs so matched nodes can be populated
+// this way.
+func (db *DB) GetNodeAt(rid pagestore.RID) (*NodeRecord, error) {
+	var rec *NodeRecord
+	err := db.heap.View(rid, func(b []byte) error {
+		var err error
+		rec, err = decodeRecord(b)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// Content returns the stored content of a node identified by posting,
+// using its RID. This is the narrow "populate only the grouping (and
+// sorting) list values" access path of Sec. 5.3.
+func (db *DB) Content(p Posting) (string, error) {
+	rec, err := db.GetNodeAt(p.RID)
+	if err != nil {
+		return "", err
+	}
+	return rec.Content, nil
+}
+
+// TagPostings returns the postings of every node with the given tag, in
+// document order (doc, then start). This is the tag-name index access
+// the paper's experiments use ("given a tag, we could efficiently list
+// (by node identifier) all nodes with that tag").
+func (db *DB) TagPostings(tag string) ([]Posting, error) {
+	prefix := tagPrefix(tag)
+	var out []Posting
+	var inner error
+	err := db.tagIdx.ScanPrefix(prefix, func(k, v []byte) bool {
+		p, perr := decodePosting(k[len(prefix):], v)
+		if perr != nil {
+			inner = perr
+			return false
+		}
+		out = append(out, p)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if inner != nil {
+		return nil, inner
+	}
+	return out, nil
+}
+
+// ValuePostings returns the postings of nodes with the given tag whose
+// content equals content exactly, using the value index. It returns an
+// error if the database was created without a value index or the content
+// exceeds the indexable length.
+func (db *DB) ValuePostings(tag, content string) ([]Posting, error) {
+	if db.valIdx == nil {
+		return nil, errors.New("storage: no value index")
+	}
+	if len(content) > maxIndexedContent {
+		return nil, fmt.Errorf("storage: content of %d bytes exceeds indexable length %d", len(content), maxIndexedContent)
+	}
+	prefix := valuePrefix(tag, content)
+	var out []Posting
+	var inner error
+	err := db.valIdx.ScanPrefix(prefix, func(k, v []byte) bool {
+		p, perr := decodePosting(k[len(prefix):], v)
+		if perr != nil {
+			inner = perr
+			return false
+		}
+		out = append(out, p)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if inner != nil {
+		return nil, inner
+	}
+	return out, nil
+}
+
+// DocRootPosting returns the posting for a document's root node.
+func (db *DB) DocRootPosting(doc xmltree.DocID) (Posting, error) {
+	for _, d := range db.docs {
+		if d.ID != doc {
+			continue
+		}
+		id := xmltree.NodeID{Doc: doc, Start: d.RootStart}
+		v, err := db.locator.Get(locatorKey(id))
+		if err != nil {
+			return Posting{}, err
+		}
+		rid, err := decodeRID(v)
+		if err != nil {
+			return Posting{}, err
+		}
+		rec, err := db.GetNodeAt(rid)
+		if err != nil {
+			return Posting{}, err
+		}
+		return Posting{Interval: rec.Interval, RID: rid}, nil
+	}
+	return Posting{}, fmt.Errorf("storage: unknown document %d", doc)
+}
+
+// ScanRange calls fn for every node of doc whose start number lies in
+// [lo, hi), in document order. fn receives the decoded record. This is
+// the subtree-scan primitive: a node's subtree is exactly the start
+// range (n.Start, n.End).
+func (db *DB) ScanRange(doc xmltree.DocID, lo, hi uint32, fn func(*NodeRecord) error) error {
+	loKey := locatorKey(xmltree.NodeID{Doc: doc, Start: lo})
+	hiKey := locatorKey(xmltree.NodeID{Doc: doc, Start: hi})
+	var inner error
+	err := db.locator.ScanRange(loKey, hiKey, func(_, v []byte) bool {
+		rid, err := decodeRID(v)
+		if err != nil {
+			inner = err
+			return false
+		}
+		rec, err := db.GetNodeAt(rid)
+		if err != nil {
+			inner = err
+			return false
+		}
+		if err := fn(rec); err != nil {
+			inner = err
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return inner
+}
+
+// GetSubtree materializes the full subtree rooted at id as an xmltree,
+// reading every descendant record. Interval numbers on the returned
+// nodes are the stored ones.
+func (db *DB) GetSubtree(id xmltree.NodeID) (*xmltree.Node, error) {
+	rootRec, err := db.GetNode(id)
+	if err != nil {
+		return nil, err
+	}
+	root := &xmltree.Node{
+		Tag:      rootRec.Tag,
+		Content:  rootRec.Content,
+		Attrs:    rootRec.Attrs,
+		Interval: rootRec.Interval,
+	}
+	// Descendants have start numbers in (Start, End), appearing in
+	// document order; rebuild with a level stack.
+	stack := []*xmltree.Node{root}
+	err = db.ScanRange(id.Doc, rootRec.Interval.Start+1, rootRec.Interval.End, func(rec *NodeRecord) error {
+		n := &xmltree.Node{
+			Tag:      rec.Tag,
+			Content:  rec.Content,
+			Attrs:    rec.Attrs,
+			Interval: rec.Interval,
+		}
+		for len(stack) > 0 && stack[len(stack)-1].Interval.End < n.Interval.Start {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			return errors.New("storage: subtree scan lost its ancestor stack")
+		}
+		stack[len(stack)-1].Append(n)
+		stack = append(stack, n)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return root, nil
+}
+
+// ScanDocument calls fn for every node of the document in document
+// order. It is the full-scan access path (the paper's "simplest way to
+// find matches for a pattern tree is to scan the entire database").
+func (db *DB) ScanDocument(doc xmltree.DocID, fn func(*NodeRecord) error) error {
+	return db.ScanRange(doc, 0, ^uint32(0), fn)
+}
+
+// Tags returns every distinct tag present in the tag index, in
+// lexicographic order.
+func (db *DB) Tags() ([]string, error) {
+	var tags []string
+	var last []byte
+	err := db.tagIdx.ScanPrefix(nil, func(k, _ []byte) bool {
+		i := bytes.IndexByte(k, 0)
+		if i < 0 {
+			return true
+		}
+		tag := k[:i]
+		if last == nil || !bytes.Equal(tag, last) {
+			tags = append(tags, string(tag))
+			last = append(last[:0], tag...)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tags, nil
+}

@@ -1,0 +1,282 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"timber/internal/btree"
+	"timber/internal/pagestore"
+	"timber/internal/xmltree"
+)
+
+// Options configures a database.
+type Options struct {
+	// PageSize and PoolPages configure the underlying page store; see
+	// pagestore.Options. The defaults reproduce the paper's experiment
+	// configuration (8 KB pages, 32 MB pool).
+	PageSize  int
+	PoolPages int
+	// NoValueIndex disables the (tag, content) value index, halving
+	// index build cost for workloads that never use value predicates.
+	NoValueIndex bool
+}
+
+// DocInfo describes one loaded document in the catalog.
+type DocInfo struct {
+	ID        xmltree.DocID
+	Name      string
+	RootStart uint32
+	NodeCount uint64
+}
+
+// DB is a TIMBER-style native XML database: a page store holding node
+// records (Data Manager), B+tree indices (Index Manager) and a catalog
+// (Metadata Manager).
+type DB struct {
+	st      *pagestore.Store
+	heap    *pagestore.Heap
+	catalog *pagestore.Heap
+	locator *btree.Tree
+	tagIdx  *btree.Tree
+	valIdx  *btree.Tree // nil when NoValueIndex
+	docs    []DocInfo
+	opts    Options
+}
+
+const (
+	metaMagic   = "TIMBERGO"
+	metaVersion = 1
+)
+
+// Create creates a new database file at path.
+func Create(path string, opts Options) (*DB, error) {
+	st, err := pagestore.Create(path, pagestore.Options{PageSize: opts.PageSize, PoolPages: opts.PoolPages})
+	if err != nil {
+		return nil, err
+	}
+	return initDB(st, opts)
+}
+
+// CreateTemp creates a database backed by a temporary file that
+// disappears on Close. Tests and benches use this.
+func CreateTemp(opts Options) (*DB, error) {
+	st, err := pagestore.CreateTemp(pagestore.Options{PageSize: opts.PageSize, PoolPages: opts.PoolPages})
+	if err != nil {
+		return nil, err
+	}
+	return initDB(st, opts)
+}
+
+func initDB(st *pagestore.Store, opts Options) (*DB, error) {
+	// Page 0 is reserved for metadata; allocate it first.
+	meta, err := st.Allocate()
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	if meta.ID() != 0 {
+		st.Unpin(meta, false)
+		st.Close()
+		return nil, errors.New("storage: metadata page is not page 0")
+	}
+	st.Unpin(meta, true)
+
+	db := &DB{st: st, opts: opts}
+	if db.heap, err = pagestore.NewHeap(st); err != nil {
+		st.Close()
+		return nil, err
+	}
+	if db.catalog, err = pagestore.NewHeap(st); err != nil {
+		st.Close()
+		return nil, err
+	}
+	if db.locator, err = btree.New(st); err != nil {
+		st.Close()
+		return nil, err
+	}
+	if db.tagIdx, err = btree.New(st); err != nil {
+		st.Close()
+		return nil, err
+	}
+	if !opts.NoValueIndex {
+		if db.valIdx, err = btree.New(st); err != nil {
+			st.Close()
+			return nil, err
+		}
+	}
+	if err := db.writeMeta(); err != nil {
+		st.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// Open reopens an existing database file. The page size must match the
+// one used at creation.
+func Open(path string, opts Options) (*DB, error) {
+	st, err := pagestore.Open(path, pagestore.Options{PageSize: opts.PageSize, PoolPages: opts.PoolPages})
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{st: st, opts: opts}
+	if err := db.readMeta(); err != nil {
+		st.Close()
+		return nil, err
+	}
+	if err := db.readCatalog(); err != nil {
+		st.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// writeMeta persists the storage roots to page 0. Layout (little
+// endian): magic(8), version u16, heapFirst u32, catalogFirst u32,
+// locatorRoot u32, tagRoot u32, hasValIdx u8, valRoot u32,
+// pageSize u32.
+func (db *DB) writeMeta() error {
+	p, err := db.st.Fetch(0)
+	if err != nil {
+		return err
+	}
+	b := p.Data()
+	copy(b[0:8], metaMagic)
+	binary.LittleEndian.PutUint16(b[8:], metaVersion)
+	binary.LittleEndian.PutUint32(b[10:], uint32(db.heap.FirstPage()))
+	binary.LittleEndian.PutUint32(b[14:], uint32(db.catalog.FirstPage()))
+	binary.LittleEndian.PutUint32(b[18:], uint32(db.locator.Root()))
+	binary.LittleEndian.PutUint32(b[22:], uint32(db.tagIdx.Root()))
+	if db.valIdx != nil {
+		b[26] = 1
+		binary.LittleEndian.PutUint32(b[27:], uint32(db.valIdx.Root()))
+	} else {
+		b[26] = 0
+	}
+	binary.LittleEndian.PutUint32(b[31:], uint32(db.st.PageSize()))
+	db.st.Unpin(p, true)
+	return nil
+}
+
+func (db *DB) readMeta() error {
+	p, err := db.st.Fetch(0)
+	if err != nil {
+		return err
+	}
+	defer db.st.Unpin(p, false)
+	b := p.Data()
+	if string(b[0:8]) != metaMagic {
+		return errors.New("storage: not a timber database (bad magic)")
+	}
+	if v := binary.LittleEndian.Uint16(b[8:]); v != metaVersion {
+		return fmt.Errorf("storage: unsupported version %d", v)
+	}
+	if ps := binary.LittleEndian.Uint32(b[31:]); ps != uint32(db.st.PageSize()) {
+		return fmt.Errorf("storage: database uses %d-byte pages, opened with %d (pass the matching PageSize)", ps, db.st.PageSize())
+	}
+	heapFirst := pagestore.PageID(binary.LittleEndian.Uint32(b[10:]))
+	catalogFirst := pagestore.PageID(binary.LittleEndian.Uint32(b[14:]))
+	if db.heap, err = pagestore.OpenHeap(db.st, heapFirst); err != nil {
+		return err
+	}
+	if db.catalog, err = pagestore.OpenHeap(db.st, catalogFirst); err != nil {
+		return err
+	}
+	db.locator = btree.Open(db.st, pagestore.PageID(binary.LittleEndian.Uint32(b[18:])))
+	db.tagIdx = btree.Open(db.st, pagestore.PageID(binary.LittleEndian.Uint32(b[22:])))
+	if b[26] == 1 {
+		db.valIdx = btree.Open(db.st, pagestore.PageID(binary.LittleEndian.Uint32(b[27:])))
+	}
+	return nil
+}
+
+// catalog records: docID u32, rootStart u32, nodeCount u64, nameLen u16, name.
+func encodeDocInfo(d DocInfo) []byte {
+	b := make([]byte, 18+len(d.Name))
+	binary.LittleEndian.PutUint32(b[0:], uint32(d.ID))
+	binary.LittleEndian.PutUint32(b[4:], d.RootStart)
+	binary.LittleEndian.PutUint64(b[8:], d.NodeCount)
+	binary.LittleEndian.PutUint16(b[16:], uint16(len(d.Name)))
+	copy(b[18:], d.Name)
+	return b
+}
+
+func decodeDocInfo(b []byte) (DocInfo, error) {
+	if len(b) < 18 {
+		return DocInfo{}, errors.New("storage: corrupt catalog record")
+	}
+	d := DocInfo{
+		ID:        xmltree.DocID(binary.LittleEndian.Uint32(b[0:])),
+		RootStart: binary.LittleEndian.Uint32(b[4:]),
+		NodeCount: binary.LittleEndian.Uint64(b[8:]),
+	}
+	n := int(binary.LittleEndian.Uint16(b[16:]))
+	if len(b) < 18+n {
+		return DocInfo{}, errors.New("storage: corrupt catalog record name")
+	}
+	d.Name = string(b[18 : 18+n])
+	return d, nil
+}
+
+func (db *DB) readCatalog() error {
+	db.docs = nil
+	return db.catalog.Scan(func(_ pagestore.RID, rec []byte) error {
+		d, err := decodeDocInfo(rec)
+		if err != nil {
+			return err
+		}
+		db.docs = append(db.docs, d)
+		return nil
+	})
+}
+
+// Documents returns the catalog of loaded documents in load order.
+func (db *DB) Documents() []DocInfo {
+	out := make([]DocInfo, len(db.docs))
+	copy(out, db.docs)
+	return out
+}
+
+// DocumentByName returns the catalog entry with the given name.
+func (db *DB) DocumentByName(name string) (DocInfo, bool) {
+	for _, d := range db.docs {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return DocInfo{}, false
+}
+
+// HasValueIndex reports whether the (tag, content) value index exists.
+func (db *DB) HasValueIndex() bool { return db.valIdx != nil }
+
+// Stats returns the underlying buffer pool counters.
+func (db *DB) Stats() pagestore.Stats { return db.st.Stats() }
+
+// ResetStats zeroes the buffer pool counters.
+func (db *DB) ResetStats() { db.st.ResetStats() }
+
+// DropCache empties the buffer pool so subsequent measurements start
+// cold, after persisting the metadata.
+func (db *DB) DropCache() error {
+	if err := db.writeMeta(); err != nil {
+		return err
+	}
+	return db.st.DropCache()
+}
+
+// Flush persists metadata and all dirty pages.
+func (db *DB) Flush() error {
+	if err := db.writeMeta(); err != nil {
+		return err
+	}
+	return db.st.Flush()
+}
+
+// Close flushes and closes the database.
+func (db *DB) Close() error {
+	if err := db.writeMeta(); err != nil {
+		return err
+	}
+	return db.st.Close()
+}

@@ -1,0 +1,263 @@
+// Package storage implements the TIMBER-style storage layer of the
+// paper's Figure 12 on top of the page store: a Data Manager that keeps
+// one record per XML node in a heap file, an Index Manager that
+// maintains a node locator, a tag-name index and a (tag, content) value
+// index as B+trees, and a Metadata Manager that persists the catalog.
+//
+// The experiments in Sec. 6 rely on two properties this layer provides:
+//
+//   - Pattern-tree node bindings can be computed from indices alone,
+//     without touching node records: tag-index postings carry the full
+//     interval (start, end, level) of each node.
+//   - Value look-ups ("populating" content during grouping or output)
+//     cost buffer-pool page fetches, so plans that defer or avoid them
+//     are measurably cheaper.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"timber/internal/pagestore"
+	"timber/internal/xmltree"
+)
+
+// NodeRecord is the stored form of one XML node.
+type NodeRecord struct {
+	// Interval is the node's position: document, start/end, level.
+	Interval xmltree.Interval
+	// ParentStart is the start number of the parent node, or 0 for a
+	// document root.
+	ParentStart uint32
+	// Tag is the element name.
+	Tag string
+	// Content is the element's direct text content.
+	Content string
+	// Attrs are the element attributes in document order.
+	Attrs []xmltree.Attr
+}
+
+// ID returns the record's node identifier.
+func (r *NodeRecord) ID() xmltree.NodeID { return r.Interval.ID() }
+
+// encodeRecord serializes a node record. Layout (little endian):
+//
+//	doc u32, start u32, end u32, level u16, parentStart u32,
+//	tagLen u16, tag, contentLen u32, content,
+//	nattrs u16, { nameLen u16, name, valLen u32, value }*
+func encodeRecord(r *NodeRecord) []byte {
+	size := 4 + 4 + 4 + 2 + 4 + 2 + len(r.Tag) + 4 + len(r.Content) + 2
+	for _, a := range r.Attrs {
+		size += 2 + len(a.Name) + 4 + len(a.Value)
+	}
+	buf := make([]byte, 0, size)
+	var tmp [4]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(tmp[:], v)
+		buf = append(buf, tmp[:4]...)
+	}
+	put16 := func(v uint16) {
+		binary.LittleEndian.PutUint16(tmp[:2], v)
+		buf = append(buf, tmp[:2]...)
+	}
+	put32(uint32(r.Interval.Doc))
+	put32(r.Interval.Start)
+	put32(r.Interval.End)
+	put16(r.Interval.Level)
+	put32(r.ParentStart)
+	put16(uint16(len(r.Tag)))
+	buf = append(buf, r.Tag...)
+	put32(uint32(len(r.Content)))
+	buf = append(buf, r.Content...)
+	put16(uint16(len(r.Attrs)))
+	for _, a := range r.Attrs {
+		put16(uint16(len(a.Name)))
+		buf = append(buf, a.Name...)
+		put32(uint32(len(a.Value)))
+		buf = append(buf, a.Value...)
+	}
+	return buf
+}
+
+var errCorruptRecord = errors.New("storage: corrupt node record")
+
+// decodeRecord parses a stored node record.
+func decodeRecord(b []byte) (*NodeRecord, error) {
+	r := &NodeRecord{}
+	off := 0
+	need := func(n int) bool { return off+n <= len(b) }
+	get32 := func() uint32 {
+		v := binary.LittleEndian.Uint32(b[off:])
+		off += 4
+		return v
+	}
+	get16 := func() uint16 {
+		v := binary.LittleEndian.Uint16(b[off:])
+		off += 2
+		return v
+	}
+	if !need(20) { // fixed header (18 bytes) + tag length (2 bytes)
+		return nil, errCorruptRecord
+	}
+	r.Interval.Doc = xmltree.DocID(get32())
+	r.Interval.Start = get32()
+	r.Interval.End = get32()
+	r.Interval.Level = get16()
+	r.ParentStart = get32()
+	tagLen := int(get16())
+	if !need(tagLen + 4) {
+		return nil, errCorruptRecord
+	}
+	r.Tag = string(b[off : off+tagLen])
+	off += tagLen
+	contentLen := int(get32())
+	if !need(contentLen + 2) {
+		return nil, errCorruptRecord
+	}
+	r.Content = string(b[off : off+contentLen])
+	off += contentLen
+	nattrs := int(get16())
+	for i := 0; i < nattrs; i++ {
+		if !need(2) {
+			return nil, errCorruptRecord
+		}
+		nameLen := int(get16())
+		if !need(nameLen + 4) {
+			return nil, errCorruptRecord
+		}
+		name := string(b[off : off+nameLen])
+		off += nameLen
+		valLen := int(get32())
+		if !need(valLen) {
+			return nil, errCorruptRecord
+		}
+		val := string(b[off : off+valLen])
+		off += valLen
+		r.Attrs = append(r.Attrs, xmltree.Attr{Name: name, Value: val})
+	}
+	return r, nil
+}
+
+// Posting is one index entry for a node: its interval plus the record's
+// physical location. Postings are what pattern matching operates on —
+// bindings "in terms of node identifiers, obtained from the index look
+// up" (Sec. 5.2) — and the RID is what a later value population uses to
+// reach the record without another locator probe.
+type Posting struct {
+	Interval xmltree.Interval
+	RID      pagestore.RID
+}
+
+// ID returns the posting's node identifier.
+func (p Posting) ID() xmltree.NodeID { return p.Interval.ID() }
+
+// Index key layouts. All multi-byte integers in keys are big endian so
+// that lexicographic byte order equals numeric order; postings therefore
+// come out of prefix scans already sorted by (doc, start), which is
+// exactly the input order the structural join algorithms need. Tags and
+// contents cannot contain NUL in well-formed XML, so 0x00 separates
+// variable-length components.
+
+func be32(v uint32) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	return b[:]
+}
+
+// locatorKey is the node-locator key: doc, start.
+func locatorKey(id xmltree.NodeID) []byte {
+	k := make([]byte, 0, 8)
+	k = append(k, be32(uint32(id.Doc))...)
+	k = append(k, be32(id.Start)...)
+	return k
+}
+
+// tagKey is the tag-index key: tag, 0x00, doc, start.
+func tagKey(tag string, id xmltree.NodeID) []byte {
+	k := make([]byte, 0, len(tag)+9)
+	k = append(k, tag...)
+	k = append(k, 0)
+	k = append(k, be32(uint32(id.Doc))...)
+	k = append(k, be32(id.Start)...)
+	return k
+}
+
+// tagPrefix is the scan prefix for every node with the given tag.
+func tagPrefix(tag string) []byte {
+	k := make([]byte, 0, len(tag)+1)
+	k = append(k, tag...)
+	k = append(k, 0)
+	return k
+}
+
+// valueKey is the value-index key: tag, 0x00, content, 0x00, doc, start.
+// Contents longer than maxIndexedContent are not indexed (callers fall
+// back to tag postings plus a record check).
+func valueKey(tag, content string, id xmltree.NodeID) []byte {
+	k := make([]byte, 0, len(tag)+len(content)+10)
+	k = append(k, tag...)
+	k = append(k, 0)
+	k = append(k, content...)
+	k = append(k, 0)
+	k = append(k, be32(uint32(id.Doc))...)
+	k = append(k, be32(id.Start)...)
+	return k
+}
+
+func valuePrefix(tag, content string) []byte {
+	k := make([]byte, 0, len(tag)+len(content)+2)
+	k = append(k, tag...)
+	k = append(k, 0)
+	k = append(k, content...)
+	k = append(k, 0)
+	return k
+}
+
+// maxIndexedContent bounds the content portion of value-index keys.
+const maxIndexedContent = 512
+
+// postingValue encodes the non-key part of an index posting:
+// end u32, level u16, rid.page u32, rid.slot u16 (little endian).
+func postingValue(iv xmltree.Interval, rid pagestore.RID) []byte {
+	b := make([]byte, 12)
+	binary.LittleEndian.PutUint32(b[0:], iv.End)
+	binary.LittleEndian.PutUint16(b[4:], iv.Level)
+	binary.LittleEndian.PutUint32(b[6:], uint32(rid.Page))
+	binary.LittleEndian.PutUint16(b[10:], uint16(rid.Slot))
+	return b
+}
+
+// decodePosting reassembles a posting from an index key's (doc, start)
+// suffix and the stored value.
+func decodePosting(keySuffix, value []byte) (Posting, error) {
+	if len(keySuffix) != 8 || len(value) != 12 {
+		return Posting{}, fmt.Errorf("storage: corrupt index posting (key %d, value %d bytes)", len(keySuffix), len(value))
+	}
+	var p Posting
+	p.Interval.Doc = xmltree.DocID(binary.BigEndian.Uint32(keySuffix[0:]))
+	p.Interval.Start = binary.BigEndian.Uint32(keySuffix[4:])
+	p.Interval.End = binary.LittleEndian.Uint32(value[0:])
+	p.Interval.Level = binary.LittleEndian.Uint16(value[4:])
+	p.RID.Page = pagestore.PageID(binary.LittleEndian.Uint32(value[6:]))
+	p.RID.Slot = pagestore.Slot(binary.LittleEndian.Uint16(value[10:]))
+	return p, nil
+}
+
+// ridValue encodes a bare RID (locator value).
+func ridValue(rid pagestore.RID) []byte {
+	b := make([]byte, 6)
+	binary.LittleEndian.PutUint32(b[0:], uint32(rid.Page))
+	binary.LittleEndian.PutUint16(b[4:], uint16(rid.Slot))
+	return b
+}
+
+func decodeRID(b []byte) (pagestore.RID, error) {
+	if len(b) != 6 {
+		return pagestore.RID{}, fmt.Errorf("storage: corrupt RID value (%d bytes)", len(b))
+	}
+	return pagestore.RID{
+		Page: pagestore.PageID(binary.LittleEndian.Uint32(b[0:])),
+		Slot: pagestore.Slot(binary.LittleEndian.Uint16(b[4:])),
+	}, nil
+}

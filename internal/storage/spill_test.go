@@ -1,0 +1,100 @@
+package storage
+
+import (
+	"testing"
+
+	"timber/internal/paperdata"
+	"timber/internal/xmltree"
+)
+
+func TestSpillTreesRoundTrip(t *testing.T) {
+	db := testDB(t, Options{})
+	if _, err := db.LoadDocument("base", paperdata.SampleDatabase()); err != nil {
+		t.Fatal(err)
+	}
+	before := db.NumPages()
+
+	trees := []*xmltree.Node{
+		paperdata.SampleDatabase(),
+		xmltree.E("TAX_prod_root",
+			xmltree.E("doc_root", xmltree.Elem("author", "Jack")),
+			xmltree.E("article", xmltree.Elem("title", "T")).WithAttr("k", "v"),
+		),
+		xmltree.Elem("leaf", "x"),
+	}
+	want := make([]*xmltree.Node, len(trees))
+	for i, tr := range trees {
+		want[i] = tr.Clone()
+	}
+	got, err := db.SpillTrees(trees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(trees) {
+		t.Fatalf("rebuilt %d trees", len(got))
+	}
+	for i := range got {
+		if !xmltree.Equal(got[i], want[i]) {
+			t.Errorf("tree %d mismatch:\n got %s\nwant %s", i, got[i], want[i])
+		}
+	}
+	if db.NumPages() != before {
+		t.Errorf("temporary pages not released: %d -> %d", before, db.NumPages())
+	}
+	// The base data is untouched.
+	posts, err := db.TagPostings("author")
+	if err != nil || len(posts) != 5 {
+		t.Errorf("base data damaged: %d postings, %v", len(posts), err)
+	}
+}
+
+func TestSpillTreesEmpty(t *testing.T) {
+	db := testDB(t, Options{})
+	got, err := db.SpillTrees(nil)
+	if err != nil || got != nil {
+		t.Errorf("empty spill = %v, %v", got, err)
+	}
+}
+
+func TestSpillChargesBufferPool(t *testing.T) {
+	db := testDB(t, Options{})
+	if _, err := db.LoadDocument("base", paperdata.SampleDatabase()); err != nil {
+		t.Fatal(err)
+	}
+	db.ResetStats()
+	if _, err := db.SpillTrees([]*xmltree.Node{paperdata.SampleDatabase()}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().Fetches == 0 {
+		t.Error("spill should flow through the buffer pool")
+	}
+}
+
+func TestBulkVsIncrementalLoadEquivalent(t *testing.T) {
+	// Document 1 bulk-loads, document 2 inserts incrementally; both
+	// must be fully queryable.
+	db := testDB(t, Options{})
+	if _, err := db.LoadDocument("one", paperdata.SampleDatabase()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.LoadDocument("two", paperdata.SampleDatabase()); err != nil {
+		t.Fatal(err)
+	}
+	posts, err := db.TagPostings("author")
+	if err != nil || len(posts) != 10 {
+		t.Fatalf("authors across bulk+incremental = %d, %v", len(posts), err)
+	}
+	vj, err := db.ValuePostings("author", "Jack")
+	if err != nil || len(vj) != 4 {
+		t.Fatalf("Jack postings = %d, %v", len(vj), err)
+	}
+	for _, doc := range []xmltree.DocID{1, 2} {
+		sub, err := db.GetSubtree(xmltree.NodeID{Doc: doc, Start: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !xmltree.Equal(sub, paperdata.SampleDatabase()) {
+			t.Errorf("doc %d round trip failed", doc)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package tax
+
+import (
+	"strconv"
+
+	"timber/internal/match"
+	"timber/internal/pattern"
+	"timber/internal/xmltree"
+)
+
+// AggFunc is an aggregate function mapping a collection of values to a
+// summary value (Sec. 4.3).
+type AggFunc int
+
+// The aggregate functions the paper names: MIN, MAX, COUNT, SUM — plus
+// AVG for completeness.
+const (
+	Count AggFunc = iota
+	Sum
+	Min
+	Max
+	Avg
+)
+
+func (f AggFunc) String() string {
+	switch f {
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	default:
+		return "AVG"
+	}
+}
+
+// Placement says where the computed aggregate node is inserted relative
+// to the update-spec node.
+type Placement int
+
+// Placements from the paper's examples: after lastChild($i),
+// precedes($i), follows($i).
+const (
+	// AfterLastChild appends the aggregate node as the last child of
+	// the node matching the anchor label.
+	AfterLastChild Placement = iota
+	// Precedes inserts the aggregate node as the left sibling of the
+	// node matching the anchor label.
+	Precedes
+	// Follows inserts the aggregate node as the right sibling of the
+	// node matching the anchor label.
+	Follows
+)
+
+func (p Placement) String() string {
+	switch p {
+	case AfterLastChild:
+		return "afterLastChild"
+	case Precedes:
+		return "precedes"
+	default:
+		return "follows"
+	}
+}
+
+// AggSpec parameterizes the aggregation operator: which bound node's
+// values to aggregate, what to call the result, and where to put it.
+type AggSpec struct {
+	// Fn is the aggregate function.
+	Fn AggFunc
+	// SrcLabel names the pattern node whose values feed the function;
+	// SrcAttr selects an attribute of it (empty = content). For Count
+	// the values are ignored — witnesses are counted.
+	SrcLabel string
+	SrcAttr  string
+	// NewTag is the element name of the created aggregate node
+	// (aggAttr in the paper's notation).
+	NewTag string
+	// AnchorLabel names the pattern node the placement is relative to.
+	AnchorLabel string
+	// Place positions the new node.
+	Place Placement
+}
+
+// Aggregate applies an aggregate function over each input tree's
+// witnesses and inserts the computed value as a new node (Sec. 4.3).
+// The output contains one tree per input tree, identical to the input
+// except for the inserted node. When the pattern does not match a tree,
+// COUNT still attaches a 0 node to the tree root (count of an empty
+// collection); other functions leave the tree unchanged, as there is no
+// value and no anchor.
+func Aggregate(c Collection, pt *pattern.Tree, spec AggSpec) Collection {
+	var out Collection
+	for _, tree := range c.Trees {
+		bindings := match.Match(pt, []*xmltree.Node{tree})
+		cp := tree.Clone()
+		switch {
+		case len(bindings) > 0:
+			anchor := findInClone(cp, bindings[0][spec.AnchorLabel])
+			if anchor == nil {
+				anchor = cp
+			}
+			node := xmltree.Elem(spec.NewTag, computeAggregate(bindings, spec))
+			insertAt(anchor, node, spec.Place)
+		case spec.Fn == Count:
+			// COUNT over zero witnesses is 0; with no binding there is
+			// no anchor, so attach to the tree root.
+			cp.Append(xmltree.Elem(spec.NewTag, "0"))
+		}
+		out.Trees = append(out.Trees, cp)
+	}
+	out.renumber()
+	return out
+}
+
+// computeAggregate folds the witnesses' source values.
+func computeAggregate(bindings []match.Binding, spec AggSpec) string {
+	if spec.Fn == Count {
+		return strconv.Itoa(len(bindings))
+	}
+	var nums []float64
+	var strs []string
+	for _, b := range bindings {
+		n := b[spec.SrcLabel]
+		if n == nil {
+			continue
+		}
+		v := n.Content
+		if spec.SrcAttr != "" {
+			v, _ = n.Attr(spec.SrcAttr)
+		}
+		strs = append(strs, v)
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			nums = append(nums, f)
+		}
+	}
+	switch spec.Fn {
+	case Sum:
+		total := 0.0
+		for _, f := range nums {
+			total += f
+		}
+		return formatNumber(total)
+	case Avg:
+		if len(nums) == 0 {
+			return ""
+		}
+		total := 0.0
+		for _, f := range nums {
+			total += f
+		}
+		return formatNumber(total / float64(len(nums)))
+	case Min, Max:
+		// Numeric when every value is numeric, else lexicographic.
+		if len(nums) == len(strs) && len(nums) > 0 {
+			best := nums[0]
+			for _, f := range nums[1:] {
+				if (spec.Fn == Min && f < best) || (spec.Fn == Max && f > best) {
+					best = f
+				}
+			}
+			return formatNumber(best)
+		}
+		if len(strs) == 0 {
+			return ""
+		}
+		best := strs[0]
+		for _, s := range strs[1:] {
+			if (spec.Fn == Min && s < best) || (spec.Fn == Max && s > best) {
+				best = s
+			}
+		}
+		return best
+	default:
+		return ""
+	}
+}
+
+func formatNumber(f float64) string {
+	if f == float64(int64(f)) {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// findInClone locates, inside a cloned tree, the node corresponding to
+// orig in the original tree, using the interval numbers Clone preserves.
+func findInClone(cloneRoot, orig *xmltree.Node) *xmltree.Node {
+	if orig == nil {
+		return nil
+	}
+	return xmltree.NodeByID(cloneRoot, orig.Interval.ID())
+}
+
+// insertAt places node relative to anchor.
+func insertAt(anchor, node *xmltree.Node, place Placement) {
+	switch place {
+	case AfterLastChild:
+		anchor.Append(node)
+	case Precedes, Follows:
+		parent := anchor.Parent
+		if parent == nil {
+			// No sibling position exists at a root; fall back to last
+			// child, keeping the operator total.
+			anchor.Append(node)
+			return
+		}
+		idx := 0
+		for i, c := range parent.Children {
+			if c == anchor {
+				idx = i
+				break
+			}
+		}
+		if place == Follows {
+			idx++
+		}
+		node.Parent = parent
+		parent.Children = append(parent.Children, nil)
+		copy(parent.Children[idx+1:], parent.Children[idx:])
+		parent.Children[idx] = node
+	}
+}

@@ -1,0 +1,152 @@
+// Package tax implements the TAX bulk tree algebra (Jagadish et al.,
+// "TAX: A Tree Algebra for XML", DBPL 2001) as used by the paper
+// "Grouping in XML": every operator takes collections of data trees as
+// input and produces a collection of data trees as output, so the
+// algebra is proper — composable and closed (Sec. 2).
+//
+// The operators implemented here are the ones the paper's translation
+// and rewriting pipeline needs: selection, projection, duplicate
+// elimination, value-based left outer join, stitching (full outer join
+// on argument position), renaming, and — the paper's contribution —
+// grouping (Sec. 3) and aggregation (Sec. 4.3).
+//
+// This package is the *logical* algebra: it operates on in-memory
+// trees and defines the semantics. The physical counterpart over the
+// storage layer, with identifier-only processing and deferred value
+// population (Sec. 5.3), lives in package exec; its results must agree
+// with this package's, which the integration tests check.
+package tax
+
+import (
+	"timber/internal/xmltree"
+)
+
+// Tags of the structural nodes the operators introduce, matching the
+// paper's figures.
+const (
+	// GroupRootTag labels the root of each groupby output tree.
+	GroupRootTag = "TAX_group_root"
+	// GroupingBasisTag labels the left child holding the basis values.
+	GroupingBasisTag = "TAX_grouping_basis"
+	// GroupSubrootTag labels the right child holding the group members.
+	GroupSubrootTag = "TAX_group_subroot"
+	// ProdRootTag labels join/product output trees.
+	ProdRootTag = "TAX_prod_root"
+)
+
+// Collection is an ordered multiset of data trees — the carrier of the
+// algebra. Trees in a collection must be interval-numbered with
+// distinct document IDs; NewCollection and the operators maintain this.
+type Collection struct {
+	Trees []*xmltree.Node
+}
+
+// NewCollection numbers the given trees (assigning document IDs in
+// order, starting at 1) and wraps them in a collection. The trees are
+// used as-is, not cloned: callers who need the originals intact should
+// pass clones.
+func NewCollection(trees ...*xmltree.Node) Collection {
+	c := Collection{Trees: trees}
+	c.renumber()
+	return c
+}
+
+// Renumber re-assigns document IDs 1..n and fresh interval numbers to
+// every tree. Operators call it after constructing output trees so the
+// next operator can pattern-match the result; external code that builds
+// collections tree-by-tree must call it before matching.
+func (c *Collection) Renumber() {
+	for i, t := range c.Trees {
+		xmltree.Number(t, xmltree.DocID(i+1))
+	}
+}
+
+func (c *Collection) renumber() { c.Renumber() }
+
+// Len returns the number of trees in the collection.
+func (c Collection) Len() int { return len(c.Trees) }
+
+// Clone returns a deep copy of the collection.
+func (c Collection) Clone() Collection {
+	out := Collection{Trees: make([]*xmltree.Node, len(c.Trees))}
+	for i, t := range c.Trees {
+		out.Trees[i] = t.Clone()
+	}
+	return out
+}
+
+// Strings renders each tree in compact form; a convenience for tests
+// and debugging.
+func (c Collection) Strings() []string {
+	out := make([]string, len(c.Trees))
+	for i, t := range c.Trees {
+		out[i] = t.String()
+	}
+	return out
+}
+
+// Item names a pattern node in a selection, projection or grouping
+// basis list, optionally starred: a starred item includes the entire
+// subtree rooted at the match, an unstarred one just the node itself.
+type Item struct {
+	Label string
+	Star  bool
+}
+
+// L is shorthand for an unstarred list item.
+func L(label string) Item { return Item{Label: label} }
+
+// LS is shorthand for a starred list item ("$i*").
+func LS(label string) Item { return Item{Label: label, Star: true} }
+
+func (it Item) String() string {
+	if it.Star {
+		return it.Label + "*"
+	}
+	return it.Label
+}
+
+// Direction orders group members in a groupby ordering list.
+type Direction int
+
+const (
+	// Ascending sorts smallest first.
+	Ascending Direction = iota
+	// Descending sorts largest first.
+	Descending
+)
+
+func (d Direction) String() string {
+	if d == Ascending {
+		return "ASCENDING"
+	}
+	return "DESCENDING"
+}
+
+// OrderItem is one component of a groupby ordering list: a direction
+// plus the pattern node (and optionally attribute) whose value sorts
+// the group members.
+type OrderItem struct {
+	Direction Direction
+	Label     string
+	Attr      string // empty = element content
+}
+
+// BasisItem is one component of a grouping basis: a pattern node label,
+// optionally an attribute of it, optionally starred.
+type BasisItem struct {
+	Label string
+	Attr  string // empty = element content
+	Star  bool
+}
+
+func (b BasisItem) String() string {
+	s := b.Label
+	if b.Attr != "" {
+		s += "." + b.Attr
+	}
+	if b.Star {
+		s += "*"
+	}
+	return s
+}

@@ -1,0 +1,73 @@
+package tax
+
+import (
+	"strings"
+
+	"timber/internal/match"
+	"timber/internal/pattern"
+	"timber/internal/xmltree"
+)
+
+// DupElim removes trees whose key repeats an earlier tree's key,
+// keeping the first occurrence (input order is otherwise preserved).
+// The key function receives each tree's root.
+func DupElim(c Collection, key func(*xmltree.Node) string) Collection {
+	var out Collection
+	seen := map[string]bool{}
+	for _, t := range c.Trees {
+		k := key(t)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.Trees = append(out.Trees, t.Clone())
+	}
+	out.renumber()
+	return out
+}
+
+// DupElimByContent eliminates duplicates "based on the content of the
+// bound variable" (Sec. 4.1 naive parsing, step 1): trees are keyed by
+// the content of the node the pattern binds to label; trees the pattern
+// does not match key to the empty string.
+func DupElimByContent(c Collection, pt *pattern.Tree, label string) Collection {
+	return DupElim(c, func(root *xmltree.Node) string {
+		bs := match.Match(pt, []*xmltree.Node{root})
+		if len(bs) == 0 {
+			return ""
+		}
+		return bs[0][label].Content
+	})
+}
+
+// DupElimByTree eliminates structurally identical trees (same tags,
+// contents, attributes and ordering) — "duplicate elimination based on
+// articles" in the naive plan's join step.
+func DupElimByTree(c Collection) Collection {
+	return DupElim(c, TreeKey)
+}
+
+// TreeKey serializes a tree into a canonical string key for duplicate
+// detection.
+func TreeKey(n *xmltree.Node) string {
+	var b strings.Builder
+	var walk func(*xmltree.Node)
+	walk = func(m *xmltree.Node) {
+		b.WriteByte(0x01)
+		b.WriteString(m.Tag)
+		b.WriteByte(0x02)
+		b.WriteString(m.Content)
+		for _, a := range m.Attrs {
+			b.WriteByte(0x03)
+			b.WriteString(a.Name)
+			b.WriteByte(0x04)
+			b.WriteString(a.Value)
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+		b.WriteByte(0x05)
+	}
+	walk(n)
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package tax
+
+import (
+	"sort"
+
+	"timber/internal/match"
+	"timber/internal/pattern"
+	"timber/internal/xmltree"
+)
+
+// This file implements the generalizations Sec. 3 sketches but does not
+// elaborate: "one could use a generic function mapping trees to values
+// rather than an attribute list to perform the needed grouping, one can
+// have a more sophisticated ordering function, and so forth."
+
+// KeyFunc maps a witness (a binding of pattern labels to nodes) to its
+// grouping key. The BasisItem-based GroupBy is the special case that
+// concatenates bound-node values.
+type KeyFunc func(match.Binding) string
+
+// LessFunc orders two witnesses within a group; it replaces the
+// ordering list. Returning false for both (a,b) and (b,a) keeps the
+// witnesses' document order (the sort is stable).
+type LessFunc func(a, b match.Binding) bool
+
+// GroupByFunc is GroupBy with a generic grouping function and an
+// optional generic ordering function. The output tree shape is the same
+// (TAX_group_root over TAX_grouping_basis and TAX_group_subroot), with
+// the grouping basis holding a single synthetic element tagged
+// TAX_group_key that carries the computed key — a function's result has
+// no source node to display, so the key value stands in for it.
+func GroupByFunc(c Collection, pt *pattern.Tree, key KeyFunc, less LessFunc) Collection {
+	witnesses := match.Match(pt, c.Trees)
+
+	type member struct {
+		binding match.Binding
+		source  *xmltree.Node
+	}
+	type group struct {
+		key     string
+		members []member
+	}
+	var order []string
+	groups := map[string]*group{}
+	for _, b := range witnesses {
+		k := key(b)
+		g, ok := groups[k]
+		if !ok {
+			g = &group{key: k}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.members = append(g.members, member{binding: b, source: b[pt.Root.Label].Root()})
+	}
+
+	var out Collection
+	for _, k := range order {
+		g := groups[k]
+		if less != nil {
+			sort.SliceStable(g.members, func(i, j int) bool {
+				return less(g.members[i].binding, g.members[j].binding)
+			})
+		}
+		root := xmltree.E(GroupRootTag,
+			xmltree.E(GroupingBasisTag, xmltree.Elem(GroupKeyTag, g.key)),
+			xmltree.E(GroupSubrootTag),
+		)
+		sub := root.Children[1]
+		for _, m := range g.members {
+			sub.Append(m.source.Clone())
+		}
+		out.Trees = append(out.Trees, root)
+	}
+	out.renumber()
+	return out
+}
+
+// GroupKeyTag labels the synthetic grouping-key element GroupByFunc
+// places under the grouping basis.
+const GroupKeyTag = "TAX_group_key"

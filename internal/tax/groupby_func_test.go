@@ -1,0 +1,121 @@
+package tax
+
+import (
+	"strings"
+	"testing"
+
+	"timber/internal/match"
+	"timber/internal/paperdata"
+	"timber/internal/pattern"
+	"timber/internal/xmltree"
+)
+
+func TestGroupByFuncMatchesBasisGrouping(t *testing.T) {
+	// A key function that returns the author content must reproduce
+	// exactly the BasisItem-based grouping's partitioning and order.
+	pt := paperdata.Query1GroupByPattern()
+	articles := splitSampleArticles()
+
+	byBasis := GroupBy(articles, pt, []BasisItem{{Label: "$2"}}, nil)
+	byFunc := GroupByFunc(articles, pt, func(b match.Binding) string {
+		return b["$2"].Content
+	}, nil)
+
+	if byFunc.Len() != byBasis.Len() {
+		t.Fatalf("group counts differ: %d vs %d", byFunc.Len(), byBasis.Len())
+	}
+	for i := range byFunc.Trees {
+		keyNode := byFunc.Trees[i].Children[0].Children[0]
+		if keyNode.Tag != GroupKeyTag {
+			t.Fatalf("basis child = %s", keyNode.Tag)
+		}
+		wantKey := byBasis.Trees[i].Children[0].Children[0].Content
+		if keyNode.Content != wantKey {
+			t.Errorf("group %d key = %s, want %s", i, keyNode.Content, wantKey)
+		}
+		got := len(byFunc.Trees[i].Children[1].Children)
+		want := len(byBasis.Trees[i].Children[1].Children)
+		if got != want {
+			t.Errorf("group %d members = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestGroupByFuncComputedKey(t *testing.T) {
+	// Group articles by the INITIAL of the author name — impossible
+	// with an attribute list, the motivating case for the generic
+	// function (Sec. 3's "several dimensions").
+	pt := paperdata.Query1GroupByPattern()
+	articles := splitSampleArticles()
+	out := GroupByFunc(articles, pt, func(b match.Binding) string {
+		return b["$2"].Content[:1]
+	}, nil)
+	// Jack, John, Jill all start with J: one group, five members.
+	if out.Len() != 1 {
+		t.Fatalf("initial groups = %d, want 1", out.Len())
+	}
+	if got := out.Trees[0].Children[0].Children[0].Content; got != "J" {
+		t.Errorf("key = %s", got)
+	}
+	if got := len(out.Trees[0].Children[1].Children); got != 5 {
+		t.Errorf("members = %d, want 5", got)
+	}
+}
+
+func TestGroupByFuncCustomOrdering(t *testing.T) {
+	// Order members by title LENGTH — a "more sophisticated ordering
+	// function" than value comparison.
+	root := pattern.NewNode("$1", pattern.TagEq{Tag: "article"})
+	root.AddChild(pattern.Child, pattern.NewNode("$2", pattern.TagEq{Tag: "author"}))
+	root.AddChild(pattern.Child, pattern.NewNode("$3", pattern.TagEq{Tag: "title"}))
+	pt := pattern.MustTree(root)
+	articles := splitSampleArticles()
+
+	out := GroupByFunc(articles, pt,
+		func(match.Binding) string { return "all" },
+		func(a, b match.Binding) bool {
+			return len(a["$3"].Content) < len(b["$3"].Content)
+		})
+	if out.Len() != 1 {
+		t.Fatalf("groups = %d", out.Len())
+	}
+	var lens []int
+	for _, m := range out.Trees[0].Children[1].Children {
+		lens = append(lens, len(m.Child("title").Content))
+	}
+	sorted := append([]int(nil), lens...)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] < sorted[i-1] {
+			t.Errorf("member titles not sorted by length: %v", lens)
+			break
+		}
+	}
+}
+
+func TestGroupByFuncEmpty(t *testing.T) {
+	pt := paperdata.Query1GroupByPattern()
+	out := GroupByFunc(Collection{}, pt, func(match.Binding) string { return "x" }, nil)
+	if out.Len() != 0 {
+		t.Errorf("groups of empty = %d", out.Len())
+	}
+}
+
+// splitSampleArticles projects the Figure 6 database into one tree per
+// article.
+func splitSampleArticles() Collection {
+	c := NewCollection(paperdata.SampleDatabase())
+	root := pattern.NewNode("$1", pattern.TagEq{Tag: "doc_root"})
+	root.AddChild(pattern.Descendant, pattern.NewNode("$2", pattern.TagEq{Tag: "article"}))
+	return Project(c, pattern.MustTree(root), []Item{LS("$2")})
+}
+
+func TestGroupKeySerializable(t *testing.T) {
+	pt := paperdata.Query1GroupByPattern()
+	out := GroupByFunc(splitSampleArticles(), pt, func(b match.Binding) string {
+		return strings.ToUpper(b["$2"].Content)
+	}, nil)
+	s := xmltree.SerializeString(out.Trees[0])
+	if !strings.Contains(s, GroupKeyTag) || !strings.Contains(s, "JACK") {
+		t.Errorf("serialized group:\n%s", s)
+	}
+}

@@ -1,0 +1,215 @@
+package tax
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"timber/internal/match"
+	"timber/internal/paperdata"
+	"timber/internal/pattern"
+	"timber/internal/xmltree"
+)
+
+// randomArticles builds a random collection of article trees with
+// repeated and missing sub-elements — the heterogeneity grouping must
+// handle.
+func randomArticles(rng *rand.Rand) Collection {
+	n := rng.Intn(8) + 1
+	var trees []*xmltree.Node
+	for i := 0; i < n; i++ {
+		art := xmltree.E("article")
+		for a := 0; a < rng.Intn(4); a++ { // possibly zero authors
+			art.Append(xmltree.Elem("author", fmt.Sprintf("A%d", rng.Intn(4))))
+		}
+		art.Append(xmltree.Elem("title", fmt.Sprintf("T%d", rng.Intn(6))))
+		if rng.Intn(2) == 0 {
+			art.Append(xmltree.Elem("year", fmt.Sprintf("%d", 1995+rng.Intn(10))))
+		}
+		trees = append(trees, art)
+	}
+	return NewCollection(trees...)
+}
+
+// TestGroupByPartitionProperty checks the core grouping invariants on
+// random collections:
+//
+//  1. Total membership equals the witness count (each witness lands in
+//     exactly one group — source trees may repeat across groups, but
+//     witnesses do not).
+//  2. Every member of a group has the group's basis value.
+//  3. Group basis values are pairwise distinct.
+//  4. Groups appear in first-witness order.
+func TestGroupByPartitionProperty(t *testing.T) {
+	pt := paperdata.Query1GroupByPattern() // article -pc-> author
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomArticles(rng)
+		witnesses := match.Match(pt, c.Trees)
+		out := GroupBy(c, pt, []BasisItem{{Label: "$2"}}, nil)
+
+		// (3) distinct basis values, (4) first-appearance order.
+		var groupVals []string
+		seen := map[string]bool{}
+		for _, g := range out.Trees {
+			v := g.Children[0].Children[0].Content
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+			groupVals = append(groupVals, v)
+		}
+		var firstOrder []string
+		seenW := map[string]bool{}
+		for _, w := range witnesses {
+			v := w["$2"].Content
+			if !seenW[v] {
+				seenW[v] = true
+				firstOrder = append(firstOrder, v)
+			}
+		}
+		if len(firstOrder) != len(groupVals) {
+			return false
+		}
+		for i := range firstOrder {
+			if firstOrder[i] != groupVals[i] {
+				return false
+			}
+		}
+
+		// (1) total membership = witness count.
+		total := 0
+		for _, g := range out.Trees {
+			total += len(g.Children[1].Children)
+		}
+		if total != len(witnesses) {
+			return false
+		}
+
+		// (2) members carry the group's value: every member tree must
+		// contain an author child with the group's basis value.
+		for _, g := range out.Trees {
+			v := g.Children[0].Children[0].Content
+			for _, m := range g.Children[1].Children {
+				found := false
+				for _, au := range m.ChildrenTagged("author") {
+					if au.Content == v {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGroupByOverlapProperty: a source tree appears in exactly as many
+// groups as it has distinct basis values (multiple authorship ⇒
+// membership in multiple groups), and within a group once per witness.
+func TestGroupByOverlapProperty(t *testing.T) {
+	pt := paperdata.Query1GroupByPattern()
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomArticles(rng)
+		out := GroupBy(c, pt, []BasisItem{{Label: "$2"}}, nil)
+
+		// Count appearances of each source tree across groups.
+		appearances := map[string]int{} // tree key -> total member slots
+		for _, g := range out.Trees {
+			for _, m := range g.Children[1].Children {
+				appearances[TreeKey(m)]++
+			}
+		}
+		// Expected: for each input tree, its author multiset size (one
+		// witness per author occurrence). Identical trees accumulate.
+		expected := map[string]int{}
+		for _, tr := range c.Trees {
+			expected[TreeKey(tr)] += len(tr.ChildrenTagged("author"))
+		}
+		if len(appearances) > len(expected) {
+			return false
+		}
+		for k, n := range appearances {
+			if expected[k] != n {
+				return false
+			}
+		}
+		// Trees with zero authors appear in no group.
+		for k, n := range expected {
+			if n == 0 && appearances[k] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGroupByOrderingProperty: with an ordering list, members within
+// each group are sorted by the ordering value with the requested
+// direction; ties keep witness order.
+func TestGroupByOrderingProperty(t *testing.T) {
+	root := pattern.NewNode("$1", pattern.TagEq{Tag: "article"})
+	root.AddChild(pattern.Child, pattern.NewNode("$2", pattern.TagEq{Tag: "author"}))
+	root.AddChild(pattern.Child, pattern.NewNode("$3", pattern.TagEq{Tag: "title"}))
+	pt := pattern.MustTree(root)
+	prop := func(seed int64, desc bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomArticles(rng)
+		dir := Ascending
+		if desc {
+			dir = Descending
+		}
+		out := GroupBy(c, pt, []BasisItem{{Label: "$2"}},
+			[]OrderItem{{Direction: dir, Label: "$3"}})
+		for _, g := range out.Trees {
+			var prev string
+			for i, m := range g.Children[1].Children {
+				title := m.Child("title").Content
+				if i > 0 {
+					if dir == Ascending && title < prev {
+						return false
+					}
+					if dir == Descending && title > prev {
+						return false
+					}
+				}
+				prev = title
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSelectProjectConsistency: projecting the pattern's own nodes from
+// a selection result keeps every witness representable — Select then
+// Project with all labels equals Select alone in tree count when the
+// pattern root is in the projection list with a root-anchored pattern.
+func TestSelectProjectConsistency(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomArticles(rng)
+		pt := paperdata.Query1GroupByPattern()
+		sel := Select(c, pt, nil)
+		proj := Project(sel, pt, []Item{L("$1"), LS("$2")})
+		// Each selected witness tree has exactly one article root that
+		// the projection retains, so counts match.
+		return proj.Len() == sel.Len()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,135 @@
+package tax
+
+import (
+	"timber/internal/match"
+	"timber/internal/pattern"
+	"timber/internal/xmltree"
+)
+
+// JoinSpec parameterizes a value-based left outer join between two
+// collections, in the shape the naive translation produces (Sec. 4.1,
+// Figure 4.b): a pattern is matched on each side and the join condition
+// equates the contents of two bound nodes ($3.content = $6.content in
+// the figure).
+type JoinSpec struct {
+	// LeftPattern binds nodes in each left tree; LeftLabel names the
+	// node whose content is the left join value.
+	LeftPattern *pattern.Tree
+	LeftLabel   string
+	// RightPattern binds nodes in each right tree; RightLabel names the
+	// node whose content is the right join value.
+	RightPattern *pattern.Tree
+	RightLabel   string
+	// SL lists the right-side pattern nodes emitted into the output for
+	// each matching right witness, mirroring selection's adornment list
+	// (labels keep their full subtrees).
+	SL []Item
+}
+
+// LeftOuterJoin joins each left tree against all right trees: the
+// output contains one TAX_prod_root tree per left input tree, holding a
+// copy of the left tree followed by the SL subtrees of every right
+// witness whose join value equals one of the left tree's join values —
+// in right-witness document order. Left trees with no match still
+// produce an output tree (the "outer" in left outer join); this
+// reproduces Figure 8 exactly.
+func LeftOuterJoin(left, right Collection, spec JoinSpec) Collection {
+	// Index right witnesses by join value once.
+	type rightHit struct {
+		order int
+		trees []*xmltree.Node // SL materializations
+	}
+	byValue := map[string][]rightHit{}
+	order := 0
+	for _, rt := range right.Trees {
+		for _, rb := range match.Match(spec.RightPattern, []*xmltree.Node{rt}) {
+			v := rb[spec.RightLabel].Content
+			hit := rightHit{order: order}
+			for _, it := range spec.SL {
+				n := rb[it.Label]
+				if n == nil {
+					continue
+				}
+				hit.trees = append(hit.trees, n.Clone())
+			}
+			byValue[v] = append(byValue[v], hit)
+			order++
+		}
+	}
+
+	var out Collection
+	for _, lt := range left.Trees {
+		prod := xmltree.E(ProdRootTag)
+		prod.Append(lt.Clone())
+		seen := map[int]bool{}
+		for _, lb := range match.Match(spec.LeftPattern, []*xmltree.Node{lt}) {
+			v := lb[spec.LeftLabel].Content
+			for _, hit := range byValue[v] {
+				if seen[hit.order] {
+					continue
+				}
+				seen[hit.order] = true
+				for _, tr := range hit.trees {
+					prod.Append(tr.Clone())
+				}
+			}
+		}
+		out.Trees = append(out.Trees, prod)
+	}
+	out.renumber()
+	return out
+}
+
+// Stitch is the naive plan's final step: the results computed for each
+// RETURN-clause argument are combined positionally — a full outer join
+// on argument index — under a common root with the given tag, then
+// typically renamed. parts[k][i] is argument k's result for outer
+// binding i; missing entries (a shorter collection) simply contribute
+// nothing, which is the "full outer" behaviour.
+func Stitch(rootTag string, parts ...Collection) Collection {
+	maxLen := 0
+	for _, p := range parts {
+		if p.Len() > maxLen {
+			maxLen = p.Len()
+		}
+	}
+	var out Collection
+	for i := 0; i < maxLen; i++ {
+		root := xmltree.E(rootTag)
+		for _, p := range parts {
+			if i < p.Len() {
+				root.Append(p.Trees[i].Clone())
+			}
+		}
+		out.Trees = append(out.Trees, root)
+	}
+	out.renumber()
+	return out
+}
+
+// StitchChildren behaves like Stitch but splices the *children* of each
+// part's tree under the new root instead of the tree itself, which is
+// what element constructors like <authorpubs>{$a}{...}</authorpubs>
+// need when the parts are themselves wrapped results.
+func StitchChildren(rootTag string, parts ...Collection) Collection {
+	maxLen := 0
+	for _, p := range parts {
+		if p.Len() > maxLen {
+			maxLen = p.Len()
+		}
+	}
+	var out Collection
+	for i := 0; i < maxLen; i++ {
+		root := xmltree.E(rootTag)
+		for _, p := range parts {
+			if i < p.Len() {
+				for _, c := range p.Trees[i].Children {
+					root.Append(c.Clone())
+				}
+			}
+		}
+		out.Trees = append(out.Trees, root)
+	}
+	out.renumber()
+	return out
+}

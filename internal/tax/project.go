@@ -1,0 +1,88 @@
+package tax
+
+import (
+	"timber/internal/match"
+	"timber/internal/pattern"
+	"timber/internal/xmltree"
+)
+
+// Project is TAX projection (Sec. 2): nodes other than those named in
+// the projection list are eliminated, and the surviving nodes keep the
+// (partial) hierarchical relationships they had in the input. A starred
+// list item retains the whole subtree under each match.
+//
+// One input tree contributes zero output trees (no witness), one, or
+// several: retained nodes with no ancestor-descendant relationship
+// among them become separate output trees, in document order.
+func Project(c Collection, pt *pattern.Tree, pl []Item) Collection {
+	var out Collection
+	for _, tree := range c.Trees {
+		out.Trees = append(out.Trees, projectTree(tree, pt, pl)...)
+	}
+	out.renumber()
+	return out
+}
+
+func projectTree(tree *xmltree.Node, pt *pattern.Tree, pl []Item) []*xmltree.Node {
+	bindings := match.Match(pt, []*xmltree.Node{tree})
+	if len(bindings) == 0 {
+		return nil
+	}
+	// keep is the set of retained input nodes; starSubtree marks roots
+	// whose whole subtree is retained.
+	keep := map[*xmltree.Node]bool{}
+	starSubtree := map[*xmltree.Node]bool{}
+	for _, b := range bindings {
+		for _, it := range pl {
+			n := b[it.Label]
+			if n == nil {
+				continue
+			}
+			keep[n] = true
+			if it.Star {
+				starSubtree[n] = true
+			}
+		}
+	}
+
+	// Rebuild the induced forest in one document-order pass: each kept
+	// node attaches to its nearest kept ancestor; nodes inside a
+	// starred subtree are copied wholesale.
+	var roots []*xmltree.Node
+	type frame struct {
+		in  *xmltree.Node // input node
+		out *xmltree.Node // its copy in the output
+	}
+	var stack []frame
+	var walk func(n *xmltree.Node)
+	walk = func(n *xmltree.Node) {
+		// Pop ancestors that do not contain n.
+		for len(stack) > 0 && !stack[len(stack)-1].in.Interval.Contains(n.Interval) {
+			stack = stack[:len(stack)-1]
+		}
+		if keep[n] {
+			var cp *xmltree.Node
+			if starSubtree[n] {
+				cp = n.Clone()
+			} else {
+				cp = shallowClone(n)
+			}
+			if len(stack) == 0 {
+				roots = append(roots, cp)
+			} else {
+				stack[len(stack)-1].out.Append(cp)
+			}
+			if starSubtree[n] {
+				// The whole subtree is already in the output; kept
+				// descendants are necessarily inside it, so skip them.
+				return
+			}
+			stack = append(stack, frame{in: n, out: cp})
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(tree)
+	return roots
+}

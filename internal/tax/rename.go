@@ -1,0 +1,36 @@
+package tax
+
+import (
+	"timber/internal/match"
+	"timber/internal/pattern"
+	"timber/internal/xmltree"
+)
+
+// RenameRoot renames the root element of every tree in the collection.
+// The naive plan and the groupby rewrite both end with such a rename,
+// turning the operator-introduced dummy roots into the tag the RETURN
+// clause's element constructor specifies (e.g. authorpubs).
+func RenameRoot(c Collection, newTag string) Collection {
+	var out Collection
+	for _, t := range c.Trees {
+		cp := t.Clone()
+		cp.Tag = newTag
+		out.Trees = append(out.Trees, cp)
+	}
+	out.renumber()
+	return out
+}
+
+// Rename renames, in every tree, each node the pattern binds to label.
+func Rename(c Collection, pt *pattern.Tree, label, newTag string) Collection {
+	var out Collection
+	for _, t := range c.Trees {
+		cp := t.Clone()
+		for _, b := range match.Match(pt, []*xmltree.Node{cp}) {
+			b[label].Tag = newTag
+		}
+		out.Trees = append(out.Trees, cp)
+	}
+	out.renumber()
+	return out
+}

@@ -1,0 +1,56 @@
+package tax
+
+import (
+	"timber/internal/match"
+	"timber/internal/pattern"
+	"timber/internal/xmltree"
+)
+
+// Select is TAX selection (Sec. 2): it returns one output tree per
+// embedding of the pattern into the collection — the witness tree,
+// which records not just that a tree satisfied the predicate but how.
+// The adornment list sl names pattern nodes whose descendants are also
+// returned (starring is implicit: any label in sl keeps the full
+// subtree, per the paper's "not just the nodes themselves, but all
+// descendants"). Contents of all nodes are preserved; the relative
+// order among nodes is preserved; because a pattern can match many
+// times in one tree, selection is one-many.
+func Select(c Collection, pt *pattern.Tree, sl []Item) Collection {
+	starred := make(map[string]bool, len(sl))
+	for _, it := range sl {
+		starred[it.Label] = true // adornment-list labels keep subtrees
+	}
+	var out Collection
+	for _, b := range match.Match(pt, c.Trees) {
+		out.Trees = append(out.Trees, witnessTree(pt.Root, b, starred))
+	}
+	out.renumber()
+	return out
+}
+
+// witnessTree materializes one witness: the pattern shape instantiated
+// with the bound nodes. A node whose label is starred carries its full
+// input subtree (which already contains any descendant matches); an
+// unstarred node carries only itself plus the witness subtrees of its
+// pattern children.
+func witnessTree(pn *pattern.Node, b match.Binding, starred map[string]bool) *xmltree.Node {
+	bound := b[pn.Label]
+	if starred[pn.Label] {
+		return bound.Clone()
+	}
+	n := shallowClone(bound)
+	for _, pc := range pn.Children {
+		n.Append(witnessTree(pc, b, starred))
+	}
+	return n
+}
+
+// shallowClone copies a node without its children.
+func shallowClone(n *xmltree.Node) *xmltree.Node {
+	c := &xmltree.Node{Tag: n.Tag, Content: n.Content, Interval: n.Interval}
+	if len(n.Attrs) > 0 {
+		c.Attrs = make([]xmltree.Attr, len(n.Attrs))
+		copy(c.Attrs, n.Attrs)
+	}
+	return c
+}

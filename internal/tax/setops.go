@@ -1,0 +1,123 @@
+package tax
+
+import (
+	"sort"
+
+	"timber/internal/xmltree"
+)
+
+// This file implements the remaining bulk operators of the TAX algebra
+// (Jagadish et al., DBPL 2001 — the paper's reference [8]) that
+// "Grouping in XML" builds on but does not re-describe: the set
+// operations, the product underlying joins, and reordering. Collections
+// are ordered multisets, so the set operations use bag semantics keyed
+// by structural tree equality (TreeKey).
+
+// Union concatenates two collections: every tree of a, then every tree
+// of b (bag union — duplicates are preserved, matching the multiset
+// carrier).
+func Union(a, b Collection) Collection {
+	var out Collection
+	for _, t := range a.Trees {
+		out.Trees = append(out.Trees, t.Clone())
+	}
+	for _, t := range b.Trees {
+		out.Trees = append(out.Trees, t.Clone())
+	}
+	out.renumber()
+	return out
+}
+
+// Intersect returns the trees of a that are structurally equal to some
+// tree of b, with bag semantics: each occurrence in a consumes one
+// occurrence in b. Input order (of a) is preserved.
+func Intersect(a, b Collection) Collection {
+	avail := map[string]int{}
+	for _, t := range b.Trees {
+		avail[TreeKey(t)]++
+	}
+	var out Collection
+	for _, t := range a.Trees {
+		k := TreeKey(t)
+		if avail[k] > 0 {
+			avail[k]--
+			out.Trees = append(out.Trees, t.Clone())
+		}
+	}
+	out.renumber()
+	return out
+}
+
+// Difference returns the trees of a not matched by an occurrence in b
+// (bag difference). Input order is preserved.
+func Difference(a, b Collection) Collection {
+	avail := map[string]int{}
+	for _, t := range b.Trees {
+		avail[TreeKey(t)]++
+	}
+	var out Collection
+	for _, t := range a.Trees {
+		k := TreeKey(t)
+		if avail[k] > 0 {
+			avail[k]--
+			continue
+		}
+		out.Trees = append(out.Trees, t.Clone())
+	}
+	out.renumber()
+	return out
+}
+
+// Product pairs every tree of a with every tree of b under a
+// TAX_prod_root, in (a-major) order — the cartesian product joins are
+// derived from. |a|×|b| output trees.
+func Product(a, b Collection) Collection {
+	var out Collection
+	for _, ta := range a.Trees {
+		for _, tb := range b.Trees {
+			out.Trees = append(out.Trees, xmltree.E(ProdRootTag, ta.Clone(), tb.Clone()))
+		}
+	}
+	out.renumber()
+	return out
+}
+
+// Reorder sorts the collection's trees by a key function, stably (equal
+// keys keep input order). TAX's reordering operator generalizes
+// relational ORDER BY to collections of trees; the key function plays
+// the ordering list's role.
+func Reorder(c Collection, key func(*xmltree.Node) string, dir Direction) Collection {
+	type keyed struct {
+		tree *xmltree.Node
+		key  string
+	}
+	ks := make([]keyed, len(c.Trees))
+	for i, t := range c.Trees {
+		ks[i] = keyed{tree: t.Clone(), key: key(t)}
+	}
+	sort.SliceStable(ks, func(i, j int) bool {
+		cmp := compareValues(ks[i].key, ks[j].key)
+		if dir == Descending {
+			cmp = -cmp
+		}
+		return cmp < 0
+	})
+	var out Collection
+	for _, k := range ks {
+		out.Trees = append(out.Trees, k.tree)
+	}
+	out.renumber()
+	return out
+}
+
+// ReorderByContent sorts trees by the content of the first node the
+// pattern-free tag lookup finds ("" when absent) — the common case of
+// ordering a collection of records by one child element.
+func ReorderByContent(c Collection, tag string, dir Direction) Collection {
+	return Reorder(c, func(t *xmltree.Node) string {
+		if n := t.FindFirst(tag); n != nil {
+			return n.Content
+		}
+		return ""
+	}, dir)
+}

@@ -1,0 +1,167 @@
+package tax
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"timber/internal/xmltree"
+)
+
+func leafColl(vals ...string) Collection {
+	trees := make([]*xmltree.Node, len(vals))
+	for i, v := range vals {
+		trees[i] = xmltree.Elem("v", v)
+	}
+	return NewCollection(trees...)
+}
+
+func contents(c Collection) []string {
+	out := make([]string, c.Len())
+	for i, t := range c.Trees {
+		out[i] = t.Content
+	}
+	return out
+}
+
+func TestUnion(t *testing.T) {
+	got := Union(leafColl("a", "b"), leafColl("b", "c"))
+	want := []string{"a", "b", "b", "c"}
+	if !reflect.DeepEqual(contents(got), want) {
+		t.Errorf("union = %v, want %v", contents(got), want)
+	}
+}
+
+func TestIntersectBagSemantics(t *testing.T) {
+	got := Intersect(leafColl("a", "a", "b", "c"), leafColl("a", "b", "b"))
+	// a appears twice in left, once in right -> once; b once; c never.
+	want := []string{"a", "b"}
+	if !reflect.DeepEqual(contents(got), want) {
+		t.Errorf("intersect = %v, want %v", contents(got), want)
+	}
+}
+
+func TestDifferenceBagSemantics(t *testing.T) {
+	got := Difference(leafColl("a", "a", "b", "c"), leafColl("a", "x"))
+	// one 'a' consumed.
+	want := []string{"a", "b", "c"}
+	if !reflect.DeepEqual(contents(got), want) {
+		t.Errorf("difference = %v, want %v", contents(got), want)
+	}
+}
+
+func TestSetOpsUseStructuralEquality(t *testing.T) {
+	a := NewCollection(
+		xmltree.E("r", xmltree.Elem("x", "1"), xmltree.Elem("y", "2")),
+	)
+	sameShape := NewCollection(
+		xmltree.E("r", xmltree.Elem("x", "1"), xmltree.Elem("y", "2")),
+	)
+	otherOrder := NewCollection(
+		xmltree.E("r", xmltree.Elem("y", "2"), xmltree.Elem("x", "1")),
+	)
+	if Intersect(a, sameShape).Len() != 1 {
+		t.Error("structurally equal trees should intersect")
+	}
+	if Intersect(a, otherOrder).Len() != 0 {
+		t.Error("sibling order matters for tree equality")
+	}
+}
+
+// TestSetOpsLawsProperty checks bag-algebra laws on random collections:
+// |a ∪ b| = |a| + |b|, |a ∩ b| = |b ∩ a|,
+// |a \ b| = |a| - |a ∩ b|.
+func TestSetOpsLawsProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() Collection {
+			n := rng.Intn(8)
+			vals := make([]string, n)
+			for i := range vals {
+				vals[i] = string(rune('a' + rng.Intn(4)))
+			}
+			return leafColl(vals...)
+		}
+		a, b := mk(), mk()
+		if Union(a, b).Len() != a.Len()+b.Len() {
+			return false
+		}
+		if Intersect(a, b).Len() != Intersect(b, a).Len() {
+			return false
+		}
+		if Difference(a, b).Len() != a.Len()-Intersect(a, b).Len() {
+			return false
+		}
+		// a \ a is empty; a ∩ a is a.
+		if Difference(a, a).Len() != 0 || Intersect(a, a).Len() != a.Len() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProduct(t *testing.T) {
+	got := Product(leafColl("a", "b"), leafColl("x", "y", "z"))
+	if got.Len() != 6 {
+		t.Fatalf("product size = %d", got.Len())
+	}
+	first := got.Trees[0]
+	if first.Tag != ProdRootTag || len(first.Children) != 2 {
+		t.Fatalf("product tree = %s", first)
+	}
+	if first.Children[0].Content != "a" || first.Children[1].Content != "x" {
+		t.Errorf("first pair = %s", first)
+	}
+	// a-major order: (a,x) (a,y) (a,z) (b,x) ...
+	if got.Trees[3].Children[0].Content != "b" || got.Trees[3].Children[1].Content != "x" {
+		t.Errorf("fourth pair = %s", got.Trees[3])
+	}
+	if Product(leafColl(), leafColl("x")).Len() != 0 {
+		t.Error("empty product")
+	}
+}
+
+func TestReorderByContent(t *testing.T) {
+	c := NewCollection(
+		xmltree.E("article", xmltree.Elem("year", "1999"), xmltree.Elem("title", "B")),
+		xmltree.E("article", xmltree.Elem("year", "201"), xmltree.Elem("title", "A")),
+		xmltree.E("article", xmltree.Elem("year", "1989"), xmltree.Elem("title", "C")),
+	)
+	asc := ReorderByContent(c, "year", Ascending)
+	var years []string
+	for _, tr := range asc.Trees {
+		years = append(years, tr.Child("year").Content)
+	}
+	// Numeric comparison: 201 < 1989 < 1999.
+	if !reflect.DeepEqual(years, []string{"201", "1989", "1999"}) {
+		t.Errorf("ascending years = %v", years)
+	}
+	desc := ReorderByContent(c, "year", Descending)
+	if desc.Trees[0].Child("year").Content != "1999" {
+		t.Errorf("descending first = %s", desc.Trees[0])
+	}
+	// Missing tag sorts as empty string (first ascending).
+	withMissing := Union(c, NewCollection(xmltree.E("article", xmltree.Elem("title", "D"))))
+	out := ReorderByContent(withMissing, "year", Ascending)
+	if out.Trees[0].Child("year") != nil {
+		t.Error("tree lacking the key should sort first ascending")
+	}
+}
+
+func TestReorderStable(t *testing.T) {
+	c := NewCollection(
+		xmltree.E("r", xmltree.Elem("k", "x"), xmltree.Elem("id", "1")),
+		xmltree.E("r", xmltree.Elem("k", "x"), xmltree.Elem("id", "2")),
+		xmltree.E("r", xmltree.Elem("k", "x"), xmltree.Elem("id", "3")),
+	)
+	out := ReorderByContent(c, "k", Ascending)
+	for i, tr := range out.Trees {
+		if want := string(rune('1' + i)); tr.Child("id").Content != want {
+			t.Errorf("tie order broken at %d: %s", i, tr)
+		}
+	}
+}

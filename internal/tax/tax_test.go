@@ -1,0 +1,647 @@
+package tax
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"timber/internal/paperdata"
+	"timber/internal/pattern"
+	"timber/internal/xmltree"
+)
+
+func sampleCollection() Collection {
+	return NewCollection(paperdata.SampleDatabase())
+}
+
+func TestNewCollectionNumbersTrees(t *testing.T) {
+	c := NewCollection(paperdata.SampleDatabase(), paperdata.TransactionArticles())
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if c.Trees[0].Interval.Doc != 1 || c.Trees[1].Interval.Doc != 2 {
+		t.Error("trees not numbered with sequential doc IDs")
+	}
+	if !xmltree.Numbered(c.Trees[0]) {
+		t.Error("tree 0 not numbered")
+	}
+}
+
+func TestCollectionClone(t *testing.T) {
+	c := sampleCollection()
+	cp := c.Clone()
+	cp.Trees[0].Children[0].Children[0].Content = "X"
+	if c.Trees[0].Children[0].Children[0].Content == "X" {
+		t.Error("clone aliases original")
+	}
+	if len(c.Strings()) != 1 {
+		t.Error("Strings length")
+	}
+}
+
+func TestItemStrings(t *testing.T) {
+	if L("$2").String() != "$2" || LS("$2").String() != "$2*" {
+		t.Error("item strings")
+	}
+	if (BasisItem{Label: "$3", Attr: "id", Star: true}).String() != "$3.id*" {
+		t.Error("basis item string")
+	}
+	if Ascending.String() != "ASCENDING" || Descending.String() != "DESCENDING" {
+		t.Error("direction strings")
+	}
+}
+
+func articleAuthorPattern() *pattern.Tree {
+	root := pattern.NewNode("$1", pattern.TagEq{Tag: "article"})
+	root.AddChild(pattern.Child, pattern.NewNode("$2", pattern.TagEq{Tag: "author"}))
+	return pattern.MustTree(root)
+}
+
+func TestSelectWitnessTrees(t *testing.T) {
+	c := sampleCollection()
+	out := Select(c, articleAuthorPattern(), nil)
+	// 5 author bindings → 5 witness trees of shape article[author].
+	if out.Len() != 5 {
+		t.Fatalf("Select produced %d trees, want 5", out.Len())
+	}
+	want := []string{
+		`article[author:"Jack"]`,
+		`article[author:"John"]`,
+		`article[author:"Jill"]`,
+		`article[author:"Jack"]`,
+		`article[author:"John"]`,
+	}
+	for i, s := range out.Strings() {
+		if s != want[i] {
+			t.Errorf("witness %d = %s, want %s", i, s, want[i])
+		}
+	}
+}
+
+func TestSelectWithAdornment(t *testing.T) {
+	c := sampleCollection()
+	// Adorning $1 returns the article's full subtree.
+	out := Select(c, articleAuthorPattern(), []Item{LS("$1")})
+	if out.Len() != 5 {
+		t.Fatalf("len = %d", out.Len())
+	}
+	first := out.Trees[0]
+	if first.Child("title") == nil || first.Child("year") == nil {
+		t.Errorf("adorned witness lost subtree: %s", first)
+	}
+	// The two witnesses of the first article are identical full trees.
+	if TreeKey(out.Trees[0]) != TreeKey(out.Trees[1]) {
+		t.Error("adorned witnesses of same article should be equal")
+	}
+}
+
+func TestSelectPreservesInputOrderAndContents(t *testing.T) {
+	c := sampleCollection()
+	pt := pattern.MustTree(pattern.NewNode("$1", pattern.TagEq{Tag: "title"}))
+	out := Select(c, pt, nil)
+	var titles []string
+	for _, tr := range out.Trees {
+		titles = append(titles, tr.Content)
+	}
+	want := []string{"Querying XML", "XML and the Web", "Hack HTML"}
+	if !reflect.DeepEqual(titles, want) {
+		t.Errorf("titles = %v", titles)
+	}
+}
+
+func TestProjectKeepsHierarchy(t *testing.T) {
+	c := sampleCollection()
+	// Project doc_root//article with article starred: one output tree
+	// per input tree (root in PL), with articles as children.
+	root := pattern.NewNode("$1", pattern.TagEq{Tag: "doc_root"})
+	root.AddChild(pattern.Descendant, pattern.NewNode("$2", pattern.TagEq{Tag: "article"}))
+	pt := pattern.MustTree(root)
+	out := Project(c, pt, []Item{L("$1"), LS("$2")})
+	if out.Len() != 1 {
+		t.Fatalf("project output = %d trees", out.Len())
+	}
+	got := out.Trees[0]
+	if got.Tag != "doc_root" || len(got.Children) != 3 {
+		t.Fatalf("projected tree = %s", got)
+	}
+	// Starred articles keep full subtrees.
+	if got.Children[0].Child("publisher") == nil {
+		t.Error("starred article lost its subtree")
+	}
+}
+
+func TestProjectMultipleOutputTrees(t *testing.T) {
+	c := sampleCollection()
+	// Keep only authors: no retained ancestors, so each author becomes
+	// its own output tree (Sec. 2: "could be more than one").
+	pt := pattern.MustTree(pattern.NewNode("$1", pattern.TagEq{Tag: "author"}))
+	out := Project(c, pt, []Item{L("$1")})
+	if out.Len() != 5 {
+		t.Fatalf("project output = %d trees, want 5", out.Len())
+	}
+	if out.Trees[0].Tag != "author" || out.Trees[0].Content != "Jack" {
+		t.Errorf("first = %s", out.Trees[0])
+	}
+}
+
+func TestProjectNoWitnessNoOutput(t *testing.T) {
+	c := sampleCollection()
+	pt := pattern.MustTree(pattern.NewNode("$1", pattern.TagEq{Tag: "nonexistent"}))
+	if out := Project(c, pt, []Item{L("$1")}); out.Len() != 0 {
+		t.Errorf("output = %d trees, want 0", out.Len())
+	}
+}
+
+func TestProjectDeduplicatesSharedNodes(t *testing.T) {
+	// An article with two authors yields two witnesses, but the article
+	// node must appear once in the projection.
+	c := sampleCollection()
+	out := Project(c, articleAuthorPattern(), []Item{L("$1"), L("$2")})
+	// Articles have no retained ancestors: 3 article output trees.
+	if out.Len() != 3 {
+		t.Fatalf("output trees = %d, want 3", out.Len())
+	}
+	first := out.Trees[0]
+	if len(first.ChildrenTagged("author")) != 2 {
+		t.Errorf("first article should keep both authors: %s", first)
+	}
+	if first.Child("title") != nil {
+		t.Error("title should be projected away")
+	}
+}
+
+func TestDupElim(t *testing.T) {
+	c := sampleCollection()
+	// All authors as single-node trees, then dedupe by content.
+	pt := pattern.MustTree(pattern.NewNode("$1", pattern.TagEq{Tag: "author"}))
+	authors := Select(c, pt, nil)
+	if authors.Len() != 5 {
+		t.Fatalf("authors = %d", authors.Len())
+	}
+	distinct := DupElim(authors, func(n *xmltree.Node) string { return n.Content })
+	var got []string
+	for _, tr := range distinct.Trees {
+		got = append(got, tr.Content)
+	}
+	want := []string{"Jack", "John", "Jill"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("distinct authors = %v, want %v (first occurrence order)", got, want)
+	}
+}
+
+func TestDupElimByContentAndByTree(t *testing.T) {
+	c := sampleCollection()
+	pt := pattern.MustTree(pattern.NewNode("$1", pattern.TagEq{Tag: "author"}))
+	authors := Select(c, pt, nil)
+	d1 := DupElimByContent(authors, pt, "$1")
+	if d1.Len() != 3 {
+		t.Errorf("DupElimByContent = %d trees", d1.Len())
+	}
+	d2 := DupElimByTree(authors)
+	if d2.Len() != 3 {
+		t.Errorf("DupElimByTree = %d trees", d2.Len())
+	}
+}
+
+// TestFigure3GroupByAuthor reproduces Figure 3: grouping the witness
+// trees of Figure 2 by author ($3.content), ordering each group by
+// DESCENDING title ($2.content).
+func TestFigure3GroupByAuthor(t *testing.T) {
+	pt := paperdata.Figure1Pattern()
+	// Figure 2: the witness trees of the Figure 1 pattern against the
+	// DBLP fragment. These witness trees are the collection grouped in
+	// Figure 3 ("Grouping the witness trees of Figure 2 by author").
+	witnesses := Select(NewCollection(paperdata.TransactionArticles()), pt, nil)
+	if witnesses.Len() != 4 {
+		t.Fatalf("figure 2 witnesses = %d, want 4", witnesses.Len())
+	}
+	out := GroupBy(witnesses, pt,
+		[]BasisItem{{Label: "$3"}},
+		[]OrderItem{{Direction: Descending, Label: "$2"}})
+
+	// Three groups: Silberschatz, Garcia-Molina, Thompson — in first-
+	// appearance order per the figure.
+	if out.Len() != 3 {
+		t.Fatalf("groups = %d, want 3", out.Len())
+	}
+	type group struct {
+		author string
+		titles []string
+	}
+	var got []group
+	for _, g := range out.Trees {
+		if g.Tag != GroupRootTag || len(g.Children) != 2 {
+			t.Fatalf("malformed group tree: %s", g)
+		}
+		basis := g.Children[0]
+		sub := g.Children[1]
+		if basis.Tag != GroupingBasisTag || sub.Tag != GroupSubrootTag {
+			t.Fatalf("wrong structural tags: %s", g)
+		}
+		if len(basis.Children) != 1 || basis.Children[0].Tag != "author" {
+			t.Fatalf("basis children: %s", basis)
+		}
+		gr := group{author: basis.Children[0].Content}
+		for _, member := range sub.Children {
+			if member.Tag != "article" {
+				t.Fatalf("group member should be the source article tree, got %s", member.Tag)
+			}
+			gr.titles = append(gr.titles, member.Child("title").Content)
+		}
+		got = append(got, gr)
+	}
+	want := []group{
+		{author: "Silberschatz", titles: []string{"Transaction Mng ...", "Overview of Transaction Mng"}},
+		{author: "Garcia-Molina", titles: []string{"Overview of Transaction Mng"}},
+		{author: "Thompson", titles: []string{"Transaction Mng ..."}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("groups:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestFigure10GroupBy reproduces Figure 10: grouping the article
+// collection of Figure 9 by author, yielding overlapping groups for
+// Jack, John and Jill.
+func TestFigure10GroupBy(t *testing.T) {
+	// Figure 9's collection: the three articles (with full subtrees).
+	sample := NewCollection(paperdata.SampleDatabase())
+	root := pattern.NewNode("$1", pattern.TagEq{Tag: "doc_root"})
+	root.AddChild(pattern.Descendant, pattern.NewNode("$2", pattern.TagEq{Tag: "article"}))
+	selPT := pattern.MustTree(root)
+	articles := Project(sample, selPT, []Item{LS("$2")})
+	if articles.Len() != 3 {
+		t.Fatalf("figure 9 collection = %d trees", articles.Len())
+	}
+
+	out := GroupBy(articles, paperdata.Query1GroupByPattern(),
+		[]BasisItem{{Label: "$2"}}, nil)
+	if out.Len() != 3 {
+		t.Fatalf("groups = %d, want 3 (Jack, John, Jill)", out.Len())
+	}
+	wantTitles := map[string][]string{
+		"Jack": {"Querying XML", "XML and the Web"},
+		"John": {"Querying XML", "Hack HTML"},
+		"Jill": {"XML and the Web"},
+	}
+	order := []string{"Jack", "John", "Jill"}
+	for i, g := range out.Trees {
+		author := g.Children[0].Children[0].Content
+		if author != order[i] {
+			t.Errorf("group %d author = %s, want %s", i, author, order[i])
+		}
+		var titles []string
+		for _, m := range g.Children[1].Children {
+			titles = append(titles, m.Child("title").Content)
+		}
+		if !reflect.DeepEqual(titles, wantTitles[author]) {
+			t.Errorf("%s titles = %v, want %v", author, titles, wantTitles[author])
+		}
+	}
+}
+
+func TestGroupByStarredBasis(t *testing.T) {
+	c := sampleCollection()
+	out := GroupBy(c, paperdata.Query1GroupByPattern(),
+		[]BasisItem{{Label: "$2", Star: true}}, nil)
+	if out.Len() != 3 {
+		t.Fatalf("groups = %d", out.Len())
+	}
+	// Starred basis items include the subtree of the matching node; an
+	// author element is a leaf, so just verify content survives.
+	if out.Trees[0].Children[0].Children[0].Content != "Jack" {
+		t.Errorf("basis = %s", out.Trees[0].Children[0])
+	}
+}
+
+func TestGroupByAttrBasis(t *testing.T) {
+	r := xmltree.E("root",
+		xmltree.E("item").WithAttr("cat", "a"),
+		xmltree.E("item").WithAttr("cat", "b"),
+		xmltree.E("item").WithAttr("cat", "a"),
+	)
+	c := NewCollection(r)
+	pt := pattern.MustTree(pattern.NewNode("$1", pattern.TagEq{Tag: "item"}))
+	out := GroupBy(c, pt, []BasisItem{{Label: "$1", Attr: "cat"}}, nil)
+	if out.Len() != 2 {
+		t.Fatalf("attr groups = %d, want 2", out.Len())
+	}
+	if len(out.Trees[0].Children[1].Children) != 2 {
+		t.Error("group 'a' should have two members")
+	}
+}
+
+func TestGroupByOrderingAscendingAndTies(t *testing.T) {
+	c := NewCollection(
+		xmltree.E("article", xmltree.Elem("author", "A"), xmltree.Elem("year", "2001"), xmltree.Elem("title", "t1")),
+		xmltree.E("article", xmltree.Elem("author", "A"), xmltree.Elem("year", "1999"), xmltree.Elem("title", "t2")),
+		xmltree.E("article", xmltree.Elem("author", "A"), xmltree.Elem("year", "2001"), xmltree.Elem("title", "t0")),
+	)
+	root := pattern.NewNode("$1", pattern.TagEq{Tag: "article"})
+	root.AddChild(pattern.Child, pattern.NewNode("$2", pattern.TagEq{Tag: "author"}))
+	root.AddChild(pattern.Child, pattern.NewNode("$3", pattern.TagEq{Tag: "year"}))
+	pt := pattern.MustTree(root)
+	out := GroupBy(c, pt, []BasisItem{{Label: "$2"}},
+		[]OrderItem{{Direction: Ascending, Label: "$3"}})
+	if out.Len() != 1 {
+		t.Fatalf("groups = %d", out.Len())
+	}
+	var titles []string
+	for _, m := range out.Trees[0].Children[1].Children {
+		titles = append(titles, m.Child("title").Content)
+	}
+	// 1999 first; the two 2001 articles keep document order (t1, t0).
+	want := []string{"t2", "t1", "t0"}
+	if !reflect.DeepEqual(titles, want) {
+		t.Errorf("ordered titles = %v, want %v", titles, want)
+	}
+}
+
+func TestGroupByNumericOrdering(t *testing.T) {
+	c := NewCollection(
+		xmltree.E("a", xmltree.Elem("k", "g"), xmltree.Elem("v", "9")),
+		xmltree.E("a", xmltree.Elem("k", "g"), xmltree.Elem("v", "100")),
+	)
+	root := pattern.NewNode("$1", pattern.TagEq{Tag: "a"})
+	root.AddChild(pattern.Child, pattern.NewNode("$2", pattern.TagEq{Tag: "k"}))
+	root.AddChild(pattern.Child, pattern.NewNode("$3", pattern.TagEq{Tag: "v"}))
+	pt := pattern.MustTree(root)
+	out := GroupBy(c, pt, []BasisItem{{Label: "$2"}},
+		[]OrderItem{{Direction: Ascending, Label: "$3"}})
+	vs := out.Trees[0].Children[1].Children
+	if vs[0].Child("v").Content != "9" || vs[1].Child("v").Content != "100" {
+		t.Errorf("numeric ordering failed: %s, %s", vs[0], vs[1])
+	}
+}
+
+func TestGroupByMultiItemBasis(t *testing.T) {
+	r := xmltree.E("root",
+		xmltree.E("rec", xmltree.Elem("x", "1"), xmltree.Elem("y", "a")),
+		xmltree.E("rec", xmltree.Elem("x", "1"), xmltree.Elem("y", "b")),
+		xmltree.E("rec", xmltree.Elem("x", "1"), xmltree.Elem("y", "a")),
+	)
+	c := NewCollection(r)
+	root := pattern.NewNode("$1", pattern.TagEq{Tag: "rec"})
+	root.AddChild(pattern.Child, pattern.NewNode("$2", pattern.TagEq{Tag: "x"}))
+	root.AddChild(pattern.Child, pattern.NewNode("$3", pattern.TagEq{Tag: "y"}))
+	pt := pattern.MustTree(root)
+	out := GroupBy(c, pt, []BasisItem{{Label: "$2"}, {Label: "$3"}}, nil)
+	if out.Len() != 2 {
+		t.Fatalf("(x,y) groups = %d, want 2", out.Len())
+	}
+	basis := out.Trees[0].Children[0]
+	if len(basis.Children) != 2 {
+		t.Errorf("basis should hold both items: %s", basis)
+	}
+}
+
+func TestGroupByEmptyCollection(t *testing.T) {
+	out := GroupBy(Collection{}, paperdata.Query1GroupByPattern(), []BasisItem{{Label: "$2"}}, nil)
+	if out.Len() != 0 {
+		t.Errorf("groups of empty = %d", out.Len())
+	}
+}
+
+func TestLeftOuterJoinFigure8(t *testing.T) {
+	// Left: distinct author trees under doc_root (Figure 7).
+	// Right: the database. Join on author content, SL = $5 (article*).
+	sample := paperdata.SampleDatabase()
+	left := NewCollection(
+		xmltree.E("doc_root", xmltree.Elem("author", "Jack")),
+		xmltree.E("doc_root", xmltree.Elem("author", "John")),
+		xmltree.E("doc_root", xmltree.Elem("author", "Jill")),
+		xmltree.E("doc_root", xmltree.Elem("author", "Nobody")),
+	)
+	right := NewCollection(sample)
+
+	lroot := pattern.NewNode("$2", pattern.TagEq{Tag: "doc_root"})
+	lroot.AddChild(pattern.Child, pattern.NewNode("$3", pattern.TagEq{Tag: "author"}))
+	rroot := pattern.NewNode("$4", pattern.TagEq{Tag: "doc_root"})
+	art := rroot.AddChild(pattern.Descendant, pattern.NewNode("$5", pattern.TagEq{Tag: "article"}))
+	art.AddChild(pattern.Child, pattern.NewNode("$6", pattern.TagEq{Tag: "author"}))
+
+	out := LeftOuterJoin(left, right, JoinSpec{
+		LeftPattern:  pattern.MustTree(lroot),
+		LeftLabel:    "$3",
+		RightPattern: pattern.MustTree(rroot),
+		RightLabel:   "$6",
+		SL:           []Item{LS("$5")},
+	})
+	if out.Len() != 4 {
+		t.Fatalf("join output = %d trees, want 4 (one per left tree)", out.Len())
+	}
+	// Jack: 2 articles; John: 2; Jill: 1; Nobody: 0 (outer semantics).
+	wantCounts := []int{2, 2, 1, 0}
+	for i, tr := range out.Trees {
+		if tr.Tag != ProdRootTag {
+			t.Fatalf("output root = %s", tr.Tag)
+		}
+		arts := tr.ChildrenTagged("article")
+		if len(arts) != wantCounts[i] {
+			t.Errorf("tree %d has %d articles, want %d", i, len(arts), wantCounts[i])
+		}
+		if tr.Children[0].Tag != "doc_root" {
+			t.Errorf("tree %d should start with the left tree", i)
+		}
+	}
+	// Articles carry their full subtrees (SL starred).
+	if out.Trees[0].ChildrenTagged("article")[0].Child("title") == nil {
+		t.Error("article lost subtree through join")
+	}
+}
+
+func TestLeftOuterJoinDedupesSharedWitness(t *testing.T) {
+	// A left tree with TWO identical author bindings must not duplicate
+	// right matches (the witness-order dedupe).
+	left := NewCollection(
+		xmltree.E("doc_root", xmltree.Elem("author", "Jack"), xmltree.Elem("author", "Jack")),
+	)
+	right := NewCollection(paperdata.SampleDatabase())
+	lroot := pattern.NewNode("$1", pattern.TagEq{Tag: "doc_root"})
+	lroot.AddChild(pattern.Child, pattern.NewNode("$2", pattern.TagEq{Tag: "author"}))
+	rroot := pattern.NewNode("$4", pattern.TagEq{Tag: "doc_root"})
+	art := rroot.AddChild(pattern.Descendant, pattern.NewNode("$5", pattern.TagEq{Tag: "article"}))
+	art.AddChild(pattern.Child, pattern.NewNode("$6", pattern.TagEq{Tag: "author"}))
+	out := LeftOuterJoin(left, right, JoinSpec{
+		LeftPattern:  pattern.MustTree(lroot),
+		LeftLabel:    "$2",
+		RightPattern: pattern.MustTree(rroot),
+		RightLabel:   "$6",
+		SL:           []Item{LS("$5")},
+	})
+	if got := len(out.Trees[0].ChildrenTagged("article")); got != 2 {
+		t.Errorf("articles = %d, want 2 (each right witness once)", got)
+	}
+}
+
+func TestStitch(t *testing.T) {
+	a := NewCollection(xmltree.Elem("author", "Jack"), xmltree.Elem("author", "Jill"))
+	b := NewCollection(xmltree.Elem("title", "T1"))
+	out := Stitch("authorpubs", a, b)
+	if out.Len() != 2 {
+		t.Fatalf("stitch len = %d", out.Len())
+	}
+	if len(out.Trees[0].Children) != 2 {
+		t.Errorf("first stitched tree = %s", out.Trees[0])
+	}
+	// Full outer: second tree has only the author part.
+	if len(out.Trees[1].Children) != 1 || out.Trees[1].Children[0].Content != "Jill" {
+		t.Errorf("second stitched tree = %s", out.Trees[1])
+	}
+}
+
+func TestStitchChildren(t *testing.T) {
+	a := NewCollection(xmltree.E("w", xmltree.Elem("author", "Jack")))
+	b := NewCollection(xmltree.E("w", xmltree.Elem("title", "T1"), xmltree.Elem("title", "T2")))
+	out := StitchChildren("authorpubs", a, b)
+	if out.Len() != 1 {
+		t.Fatalf("len = %d", out.Len())
+	}
+	got := out.Trees[0]
+	if got.Tag != "authorpubs" || len(got.Children) != 3 {
+		t.Errorf("stitched = %s", got)
+	}
+}
+
+func TestRenameRoot(t *testing.T) {
+	c := NewCollection(xmltree.E(ProdRootTag, xmltree.Elem("author", "Jack")))
+	out := RenameRoot(c, "authorpubs")
+	if out.Trees[0].Tag != "authorpubs" {
+		t.Errorf("root tag = %s", out.Trees[0].Tag)
+	}
+	// Children survive.
+	if out.Trees[0].Children[0].Content != "Jack" {
+		t.Error("children lost in rename")
+	}
+}
+
+func TestRenameByPattern(t *testing.T) {
+	c := sampleCollection()
+	pt := pattern.MustTree(pattern.NewNode("$1", pattern.TagEq{Tag: "author"}))
+	out := Rename(c, pt, "$1", "writer")
+	if len(out.Trees[0].Find("writer")) != 5 || len(out.Trees[0].Find("author")) != 0 {
+		t.Error("pattern rename failed")
+	}
+}
+
+func TestAggregateCount(t *testing.T) {
+	c := sampleCollection()
+	// Count authors per document, appended under doc_root.
+	root := pattern.NewNode("$1", pattern.TagEq{Tag: "doc_root"})
+	root.AddChild(pattern.Descendant, pattern.NewNode("$2", pattern.TagEq{Tag: "author"}))
+	pt := pattern.MustTree(root)
+	out := Aggregate(c, pt, AggSpec{
+		Fn: Count, SrcLabel: "$2", NewTag: "authorCount",
+		AnchorLabel: "$1", Place: AfterLastChild,
+	})
+	if out.Len() != 1 {
+		t.Fatalf("len = %d", out.Len())
+	}
+	got := out.Trees[0].Child("authorCount")
+	if got == nil || got.Content != "5" {
+		t.Errorf("authorCount = %v", got)
+	}
+	// Original children still present before the new node.
+	if out.Trees[0].Children[len(out.Trees[0].Children)-1] != got {
+		t.Error("aggregate node should be the last child")
+	}
+}
+
+func TestAggregateSumMinMaxAvg(t *testing.T) {
+	r := xmltree.E("doc",
+		xmltree.Elem("v", "4"), xmltree.Elem("v", "1"), xmltree.Elem("v", "7"),
+	)
+	c := NewCollection(r)
+	root := pattern.NewNode("$1", pattern.TagEq{Tag: "doc"})
+	root.AddChild(pattern.Child, pattern.NewNode("$2", pattern.TagEq{Tag: "v"}))
+	pt := pattern.MustTree(root)
+	cases := []struct {
+		fn   AggFunc
+		want string
+	}{
+		{Sum, "12"}, {Min, "1"}, {Max, "7"}, {Avg, "4"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fn.String(), func(t *testing.T) {
+			out := Aggregate(c, pt, AggSpec{
+				Fn: tc.fn, SrcLabel: "$2", NewTag: "agg",
+				AnchorLabel: "$1", Place: AfterLastChild,
+			})
+			got := out.Trees[0].Child("agg")
+			if got == nil || got.Content != tc.want {
+				t.Errorf("%s = %v, want %s", tc.fn, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestAggregateMinMaxLexicographic(t *testing.T) {
+	r := xmltree.E("doc", xmltree.Elem("v", "pear"), xmltree.Elem("v", "apple"))
+	c := NewCollection(r)
+	root := pattern.NewNode("$1", pattern.TagEq{Tag: "doc"})
+	root.AddChild(pattern.Child, pattern.NewNode("$2", pattern.TagEq{Tag: "v"}))
+	pt := pattern.MustTree(root)
+	out := Aggregate(c, pt, AggSpec{Fn: Min, SrcLabel: "$2", NewTag: "m", AnchorLabel: "$1", Place: AfterLastChild})
+	if got := out.Trees[0].Child("m").Content; got != "apple" {
+		t.Errorf("lexicographic MIN = %s", got)
+	}
+}
+
+func TestAggregatePlacements(t *testing.T) {
+	r := xmltree.E("doc", xmltree.Elem("a", "x"), xmltree.Elem("b", "y"))
+	root := pattern.NewNode("$1", pattern.TagEq{Tag: "doc"})
+	root.AddChild(pattern.Child, pattern.NewNode("$2", pattern.TagEq{Tag: "b"}))
+	pt := pattern.MustTree(root)
+
+	before := Aggregate(NewCollection(r.Clone()), pt, AggSpec{
+		Fn: Count, NewTag: "n", AnchorLabel: "$2", Place: Precedes,
+	})
+	tags := childTags(before.Trees[0])
+	if !reflect.DeepEqual(tags, []string{"a", "n", "b"}) {
+		t.Errorf("precedes tags = %v", tags)
+	}
+
+	after := Aggregate(NewCollection(r.Clone()), pt, AggSpec{
+		Fn: Count, NewTag: "n", AnchorLabel: "$2", Place: Follows,
+	})
+	tags = childTags(after.Trees[0])
+	if !reflect.DeepEqual(tags, []string{"a", "b", "n"}) {
+		t.Errorf("follows tags = %v", tags)
+	}
+}
+
+func TestAggregateCountZeroWitnesses(t *testing.T) {
+	r := xmltree.E("doc", xmltree.Elem("a", "x"))
+	root := pattern.NewNode("$1", pattern.TagEq{Tag: "doc"})
+	root.AddChild(pattern.Child, pattern.NewNode("$2", pattern.TagEq{Tag: "zzz"}))
+	pt := pattern.MustTree(root)
+	out := Aggregate(NewCollection(r), pt, AggSpec{
+		Fn: Count, SrcLabel: "$2", NewTag: "n", AnchorLabel: "$1", Place: AfterLastChild,
+	})
+	got := out.Trees[0].Child("n")
+	if got == nil || got.Content != "0" {
+		t.Errorf("count of nothing = %v, want 0", got)
+	}
+}
+
+func childTags(n *xmltree.Node) []string {
+	var out []string
+	for _, c := range n.Children {
+		out = append(out, c.Tag)
+	}
+	return out
+}
+
+func TestTreeKeyDistinguishes(t *testing.T) {
+	a := xmltree.E("x", xmltree.Elem("a", "1"), xmltree.Elem("b", ""))
+	b := xmltree.E("x", xmltree.Elem("a", "1b"), xmltree.E("b"))
+	if TreeKey(a) == TreeKey(b) {
+		t.Error("TreeKey collision on structurally different trees")
+	}
+	if TreeKey(a) != TreeKey(a.Clone()) {
+		t.Error("TreeKey should be stable under clone")
+	}
+	if !strings.Contains(TreeKey(a), "a") {
+		t.Error("key should embed tags")
+	}
+}

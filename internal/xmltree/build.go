@@ -1,0 +1,30 @@
+package xmltree
+
+// This file provides a tiny construction DSL used pervasively by tests,
+// examples and the synthetic data generator. E("article", E("title").Text(
+// "Querying XML"), E("author").Text("Jack")) builds the obvious tree.
+
+// E constructs an element with the given tag and children.
+func E(tag string, children ...*Node) *Node {
+	n := &Node{Tag: tag}
+	n.Append(children...)
+	return n
+}
+
+// Text sets the node's content and returns the node, for chaining with E.
+func (n *Node) Text(content string) *Node {
+	n.Content = content
+	return n
+}
+
+// WithAttr adds an attribute and returns the node, for chaining with E.
+func (n *Node) WithAttr(name, value string) *Node {
+	n.SetAttr(name, value)
+	return n
+}
+
+// Elem constructs a leaf element carrying text content: Elem("author",
+// "Jack") is E("author").Text("Jack").
+func Elem(tag, content string) *Node {
+	return &Node{Tag: tag, Content: content}
+}

@@ -1,0 +1,294 @@
+// Package xmltree implements the ordered, labelled tree data model that
+// underlies the TAX algebra and the TIMBER-style storage layer.
+//
+// An XML document is a tree: each edge represents element nesting
+// (containment). Following the paper (Sec. 2), every node carries a tag
+// and an optional textual content; attributes are name/value pairs on
+// elements. Pattern-tree predicates address these as $i.tag, $i.content
+// and $i.attr, so content is modelled as a property of the element node
+// rather than as separate text nodes. This matches how TIMBER's pattern
+// predicates are written in the paper (e.g. `$2.content = "*Transaction*"`)
+// and keeps the interval numbering scheme element-granular.
+//
+// Nodes are assigned interval numbers (Start, End, Level) by Number; the
+// numbers support O(1) structural containment tests and drive the
+// structural join algorithms in package sjoin.
+package xmltree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Attr is a single XML attribute.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Node is one element of an XML tree. The zero value is an empty,
+// unnumbered element with no tag.
+type Node struct {
+	// Tag is the element name, e.g. "article".
+	Tag string
+	// Content is the character data directly contained in the element,
+	// with surrounding whitespace trimmed. For elements with both text
+	// and child elements, Content holds the concatenated trimmed text.
+	Content string
+	// Attrs are the element's attributes in document order.
+	Attrs []Attr
+	// Children are the child elements in document order.
+	Children []*Node
+	// Parent is the containing element, or nil for a root.
+	Parent *Node
+
+	// Interval holds the node's interval numbers once the tree has been
+	// numbered with Number. It is the zero Interval otherwise.
+	Interval Interval
+}
+
+// Interval is the positional encoding of a node: a (DocID, Start, End,
+// Level) quadruple. Start and End delimit the node's extent in a
+// depth-first traversal, so that node d is a descendant of node a iff
+// they are in the same document and a.Start < d.Start && d.End < a.End.
+// Level is the depth of the node (roots have level 0), which upgrades a
+// descendant test to a child test.
+type Interval struct {
+	Doc   DocID
+	Start uint32
+	End   uint32
+	Level uint16
+}
+
+// DocID identifies a document (a loaded tree) within a database.
+type DocID uint32
+
+// NodeID identifies a numbered node: the document plus the node's start
+// number, which is unique within the document.
+type NodeID struct {
+	Doc   DocID
+	Start uint32
+}
+
+// ID returns the node identifier portion of the interval.
+func (iv Interval) ID() NodeID { return NodeID{Doc: iv.Doc, Start: iv.Start} }
+
+// Contains reports whether iv strictly contains other, i.e. whether the
+// node with interval iv is a proper ancestor of the node with interval
+// other.
+func (iv Interval) Contains(other Interval) bool {
+	return iv.Doc == other.Doc && iv.Start < other.Start && other.End < iv.End
+}
+
+// ParentOf reports whether iv is the interval of the parent of other.
+func (iv Interval) ParentOf(other Interval) bool {
+	return iv.Contains(other) && iv.Level+1 == other.Level
+}
+
+// Before reports whether iv precedes other in document order. Nodes in
+// lower-numbered documents precede nodes in higher-numbered documents.
+func (iv Interval) Before(other Interval) bool {
+	if iv.Doc != other.Doc {
+		return iv.Doc < other.Doc
+	}
+	return iv.Start < other.Start
+}
+
+// Less orders node IDs by document, then by position within the document.
+func (id NodeID) Less(other NodeID) bool {
+	if id.Doc != other.Doc {
+		return id.Doc < other.Doc
+	}
+	return id.Start < other.Start
+}
+
+func (id NodeID) String() string { return fmt.Sprintf("%d:%d", id.Doc, id.Start) }
+
+// Attr returns the value of the named attribute and whether it exists.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// SetAttr sets the named attribute, replacing an existing value.
+func (n *Node) SetAttr(name, value string) {
+	for i := range n.Attrs {
+		if n.Attrs[i].Name == name {
+			n.Attrs[i].Value = value
+			return
+		}
+	}
+	n.Attrs = append(n.Attrs, Attr{Name: name, Value: value})
+}
+
+// Append adds children to n, setting their Parent pointers. It returns n
+// to allow chaining during tree construction.
+func (n *Node) Append(children ...*Node) *Node {
+	for _, c := range children {
+		c.Parent = n
+		n.Children = append(n.Children, c)
+	}
+	return n
+}
+
+// Root returns the root of the tree containing n.
+func (n *Node) Root() *Node {
+	for n.Parent != nil {
+		n = n.Parent
+	}
+	return n
+}
+
+// Walk calls fn for every node of the subtree rooted at n in document
+// order (pre-order). If fn returns false the walk skips the node's
+// subtree but continues with its siblings.
+func (n *Node) Walk(fn func(*Node) bool) {
+	if !fn(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// Find returns all nodes in the subtree rooted at n (including n itself)
+// with the given tag, in document order.
+func (n *Node) Find(tag string) []*Node {
+	var out []*Node
+	n.Walk(func(m *Node) bool {
+		if m.Tag == tag {
+			out = append(out, m)
+		}
+		return true
+	})
+	return out
+}
+
+// FindFirst returns the first node in document order in the subtree of n
+// with the given tag, or nil.
+func (n *Node) FindFirst(tag string) *Node {
+	var found *Node
+	n.Walk(func(m *Node) bool {
+		if found != nil {
+			return false
+		}
+		if m.Tag == tag {
+			found = m
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Child returns the first direct child with the given tag, or nil.
+func (n *Node) Child(tag string) *Node {
+	for _, c := range n.Children {
+		if c.Tag == tag {
+			return c
+		}
+	}
+	return nil
+}
+
+// ChildrenTagged returns all direct children with the given tag.
+func (n *Node) ChildrenTagged(tag string) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Tag == tag {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Size returns the number of nodes in the subtree rooted at n.
+func (n *Node) Size() int {
+	total := 0
+	n.Walk(func(*Node) bool { total++; return true })
+	return total
+}
+
+// Clone returns a deep copy of the subtree rooted at n. The copy's
+// Parent is nil; interval numbers are copied verbatim.
+func (n *Node) Clone() *Node {
+	c := &Node{
+		Tag:      n.Tag,
+		Content:  n.Content,
+		Interval: n.Interval,
+	}
+	if len(n.Attrs) > 0 {
+		c.Attrs = make([]Attr, len(n.Attrs))
+		copy(c.Attrs, n.Attrs)
+	}
+	for _, child := range n.Children {
+		cc := child.Clone()
+		cc.Parent = c
+		c.Children = append(c.Children, cc)
+	}
+	return c
+}
+
+// Equal reports whether the subtrees rooted at a and b have the same
+// tags, contents, attributes and child ordering. Interval numbers and
+// parents are ignored. Both nil is true; one nil is false.
+func Equal(a, b *Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Tag != b.Tag || a.Content != b.Content || len(a.Attrs) != len(b.Attrs) || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Attrs {
+		if a.Attrs[i] != b.Attrs[i] {
+			return false
+		}
+	}
+	for i := range a.Children {
+		if !Equal(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the subtree in a compact single-line form intended for
+// tests and debugging, e.g. `article[title:"Hack HTML" author:"John"]`.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.writeCompact(&b)
+	return b.String()
+}
+
+func (n *Node) writeCompact(b *strings.Builder) {
+	b.WriteString(n.Tag)
+	for _, a := range n.Attrs {
+		fmt.Fprintf(b, "@%s=%q", a.Name, a.Value)
+	}
+	if n.Content != "" {
+		fmt.Fprintf(b, ":%q", n.Content)
+	}
+	if len(n.Children) > 0 {
+		b.WriteByte('[')
+		for i, c := range n.Children {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			c.writeCompact(b)
+		}
+		b.WriteByte(']')
+	}
+}
+
+// SortNodesByDocOrder sorts nodes in place by their interval numbers
+// (document, then start). Nodes must have been numbered.
+func SortNodesByDocOrder(nodes []*Node) {
+	sort.Slice(nodes, func(i, j int) bool {
+		return nodes[i].Interval.Before(nodes[j].Interval)
+	})
+}

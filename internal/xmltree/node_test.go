@@ -1,0 +1,489 @@
+package xmltree
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTree() *Node {
+	return E("doc_root",
+		E("article",
+			Elem("author", "Jack"),
+			Elem("author", "John"),
+			Elem("title", "Querying XML"),
+		),
+		E("article",
+			Elem("author", "Jill"),
+			Elem("title", "Hack HTML"),
+		),
+	)
+}
+
+func TestAppendSetsParent(t *testing.T) {
+	root := sampleTree()
+	root.Walk(func(n *Node) bool {
+		for _, c := range n.Children {
+			if c.Parent != n {
+				t.Errorf("child %s of %s has parent %v", c.Tag, n.Tag, c.Parent)
+			}
+		}
+		return true
+	})
+}
+
+func TestRoot(t *testing.T) {
+	root := sampleTree()
+	leaf := root.Children[0].Children[2]
+	if leaf.Tag != "title" {
+		t.Fatalf("expected title leaf, got %s", leaf.Tag)
+	}
+	if got := leaf.Root(); got != root {
+		t.Errorf("Root() = %v, want doc_root", got.Tag)
+	}
+	if got := root.Root(); got != root {
+		t.Errorf("root.Root() = %v, want itself", got.Tag)
+	}
+}
+
+func TestWalkOrderIsPreOrder(t *testing.T) {
+	root := sampleTree()
+	var tags []string
+	root.Walk(func(n *Node) bool { tags = append(tags, n.Tag); return true })
+	want := []string{"doc_root", "article", "author", "author", "title", "article", "author", "title"}
+	if !reflect.DeepEqual(tags, want) {
+		t.Errorf("walk order = %v, want %v", tags, want)
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	root := sampleTree()
+	var tags []string
+	root.Walk(func(n *Node) bool {
+		tags = append(tags, n.Tag)
+		return n.Tag != "article" // do not descend into articles
+	})
+	want := []string{"doc_root", "article", "article"}
+	if !reflect.DeepEqual(tags, want) {
+		t.Errorf("pruned walk = %v, want %v", tags, want)
+	}
+}
+
+func TestFind(t *testing.T) {
+	root := sampleTree()
+	authors := root.Find("author")
+	if len(authors) != 3 {
+		t.Fatalf("Find(author) returned %d nodes, want 3", len(authors))
+	}
+	contents := []string{authors[0].Content, authors[1].Content, authors[2].Content}
+	want := []string{"Jack", "John", "Jill"}
+	if !reflect.DeepEqual(contents, want) {
+		t.Errorf("authors = %v, want %v", contents, want)
+	}
+	if root.Find("missing") != nil {
+		t.Error("Find(missing) should be nil")
+	}
+}
+
+func TestFindFirst(t *testing.T) {
+	root := sampleTree()
+	if got := root.FindFirst("title"); got == nil || got.Content != "Querying XML" {
+		t.Errorf("FindFirst(title) = %v", got)
+	}
+	if got := root.FindFirst("nope"); got != nil {
+		t.Errorf("FindFirst(nope) = %v, want nil", got)
+	}
+}
+
+func TestChildAndChildrenTagged(t *testing.T) {
+	art := sampleTree().Children[0]
+	if c := art.Child("title"); c == nil || c.Content != "Querying XML" {
+		t.Errorf("Child(title) = %v", c)
+	}
+	if c := art.Child("publisher"); c != nil {
+		t.Errorf("Child(publisher) = %v, want nil", c)
+	}
+	if got := len(art.ChildrenTagged("author")); got != 2 {
+		t.Errorf("ChildrenTagged(author) len = %d, want 2", got)
+	}
+}
+
+func TestAttrAccess(t *testing.T) {
+	n := E("item").WithAttr("id", "7").WithAttr("lang", "en")
+	if v, ok := n.Attr("id"); !ok || v != "7" {
+		t.Errorf("Attr(id) = %q, %v", v, ok)
+	}
+	n.SetAttr("id", "8")
+	if v, _ := n.Attr("id"); v != "8" {
+		t.Errorf("after SetAttr, Attr(id) = %q", v)
+	}
+	if _, ok := n.Attr("missing"); ok {
+		t.Error("Attr(missing) should not exist")
+	}
+	if len(n.Attrs) != 2 {
+		t.Errorf("SetAttr on existing name grew Attrs to %d", len(n.Attrs))
+	}
+}
+
+func TestSize(t *testing.T) {
+	if got := sampleTree().Size(); got != 8 {
+		t.Errorf("Size = %d, want 8", got)
+	}
+	if got := Elem("a", "x").Size(); got != 1 {
+		t.Errorf("leaf Size = %d, want 1", got)
+	}
+}
+
+func TestCloneIsDeepAndEqual(t *testing.T) {
+	root := sampleTree()
+	Number(root, 3)
+	c := root.Clone()
+	if !Equal(root, c) {
+		t.Fatal("clone is not Equal to original")
+	}
+	if c.Parent != nil {
+		t.Error("clone parent should be nil")
+	}
+	if c.Interval != root.Interval {
+		t.Error("clone should copy interval numbers")
+	}
+	// Mutating the clone must not affect the original.
+	c.Children[0].Children[0].Content = "Changed"
+	if root.Children[0].Children[0].Content != "Jack" {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := sampleTree()
+	tests := []struct {
+		name   string
+		mutate func(*Node)
+		want   bool
+	}{
+		{"identical", func(*Node) {}, true},
+		{"different tag", func(n *Node) { n.Children[0].Tag = "book" }, false},
+		{"different content", func(n *Node) { n.Children[0].Children[0].Content = "X" }, false},
+		{"extra child", func(n *Node) { n.Append(Elem("extra", "")) }, false},
+		{"different attr", func(n *Node) { n.Children[0].SetAttr("k", "v") }, false},
+		{"reordered children", func(n *Node) {
+			cs := n.Children[0].Children
+			cs[0], cs[1] = cs[1], cs[0]
+		}, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			b := sampleTree()
+			tc.mutate(b)
+			if got := Equal(a, b); got != tc.want {
+				t.Errorf("Equal = %v, want %v", got, tc.want)
+			}
+		})
+	}
+	if !Equal(nil, nil) {
+		t.Error("Equal(nil, nil) should be true")
+	}
+	if Equal(a, nil) || Equal(nil, a) {
+		t.Error("Equal with one nil should be false")
+	}
+}
+
+func TestStringCompact(t *testing.T) {
+	n := E("article", Elem("title", "T")).WithAttr("id", "1")
+	got := n.String()
+	want := `article@id="1"[title:"T"]`
+	if got != want {
+		t.Errorf("String() = %s, want %s", got, want)
+	}
+}
+
+func TestIntervalPredicates(t *testing.T) {
+	root := sampleTree()
+	Number(root, 1)
+	art := root.Children[0]
+	author := art.Children[0]
+	title := art.Children[2]
+
+	if !root.Interval.Contains(author.Interval) {
+		t.Error("root should contain author")
+	}
+	if !art.Interval.ParentOf(author.Interval) {
+		t.Error("article should be parent of author")
+	}
+	if root.Interval.ParentOf(author.Interval) {
+		t.Error("root is not parent of author")
+	}
+	if author.Interval.Contains(art.Interval) {
+		t.Error("author must not contain article")
+	}
+	if author.Interval.Contains(author.Interval) {
+		t.Error("containment is strict")
+	}
+	if !author.Interval.Before(title.Interval) {
+		t.Error("author precedes title in document order")
+	}
+
+	other := sampleTree()
+	Number(other, 2)
+	if root.Interval.Contains(other.Children[0].Interval) {
+		t.Error("containment must not cross documents")
+	}
+	if !root.Interval.Before(other.Interval) {
+		t.Error("doc 1 sorts before doc 2")
+	}
+}
+
+func TestNodeIDLessAndString(t *testing.T) {
+	a := NodeID{Doc: 1, Start: 5}
+	b := NodeID{Doc: 1, Start: 9}
+	c := NodeID{Doc: 2, Start: 1}
+	if !a.Less(b) || b.Less(a) {
+		t.Error("Less within a document should order by start")
+	}
+	if !b.Less(c) {
+		t.Error("Less should order by document first")
+	}
+	if a.String() != "1:5" {
+		t.Errorf("String = %s", a.String())
+	}
+}
+
+func TestSortNodesByDocOrder(t *testing.T) {
+	root := sampleTree()
+	Number(root, 1)
+	nodes := root.Find("author")
+	shuffled := []*Node{nodes[2], nodes[0], nodes[1]}
+	SortNodesByDocOrder(shuffled)
+	if !reflect.DeepEqual(shuffled, nodes) {
+		t.Error("SortNodesByDocOrder did not restore document order")
+	}
+}
+
+// randomTree builds a pseudo-random tree with n nodes, used by the
+// property tests below.
+func randomTree(rng *rand.Rand, n int) *Node {
+	root := E("r")
+	nodes := []*Node{root}
+	for i := 1; i < n; i++ {
+		parent := nodes[rng.Intn(len(nodes))]
+		child := Elem("n", "")
+		parent.Append(child)
+		nodes = append(nodes, child)
+	}
+	return root
+}
+
+// TestNumberContainmentProperty checks, on random trees, that the
+// interval predicates agree exactly with the pointer structure: for all
+// node pairs (a, b), a.Contains(b) iff b is a proper descendant of a.
+func TestNumberContainmentProperty(t *testing.T) {
+	prop := func(seed int64, sz uint8) bool {
+		n := int(sz%60) + 2
+		rng := rand.New(rand.NewSource(seed))
+		root := randomTree(rng, n)
+		Number(root, 1)
+		var all []*Node
+		root.Walk(func(m *Node) bool { all = append(all, m); return true })
+		for _, a := range all {
+			for _, b := range all {
+				isDesc := false
+				for p := b.Parent; p != nil; p = p.Parent {
+					if p == a {
+						isDesc = true
+						break
+					}
+				}
+				if a.Interval.Contains(b.Interval) != isDesc {
+					return false
+				}
+				if a.Interval.ParentOf(b.Interval) != (b.Parent == a) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNumberDocOrderProperty checks that start numbers enumerate nodes
+// in pre-order (document order) densely from 1.
+func TestNumberDocOrderProperty(t *testing.T) {
+	prop := func(seed int64, sz uint8) bool {
+		n := int(sz%60) + 2
+		rng := rand.New(rand.NewSource(seed))
+		root := randomTree(rng, n)
+		last := Number(root, 9)
+		if last != uint32(2*n) {
+			return false
+		}
+		if !Numbered(root) {
+			return false
+		}
+		prev := uint32(0)
+		ok := true
+		root.Walk(func(m *Node) bool {
+			if m.Interval.Start <= prev {
+				ok = false
+			}
+			prev = m.Interval.Start
+			return true
+		})
+		return ok && root.Interval.Start == 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumberedRejectsCorruption(t *testing.T) {
+	root := sampleTree()
+	if Numbered(root) {
+		t.Error("unnumbered tree should not pass Numbered")
+	}
+	Number(root, 1)
+	if !Numbered(root) {
+		t.Fatal("freshly numbered tree should pass")
+	}
+	root.Children[1].Interval.Level = 5
+	if Numbered(root) {
+		t.Error("corrupted level should fail Numbered")
+	}
+}
+
+func TestNodeByID(t *testing.T) {
+	root := sampleTree()
+	Number(root, 4)
+	var all []*Node
+	root.Walk(func(m *Node) bool { all = append(all, m); return true })
+	for _, n := range all {
+		got := NodeByID(root, n.Interval.ID())
+		if got != n {
+			t.Errorf("NodeByID(%v) = %v, want %v", n.Interval.ID(), got, n)
+		}
+	}
+	if NodeByID(root, NodeID{Doc: 4, Start: 999}) != nil {
+		t.Error("NodeByID with bogus start should be nil")
+	}
+	if NodeByID(root, NodeID{Doc: 5, Start: 1}) != nil {
+		t.Error("NodeByID with wrong doc should be nil")
+	}
+}
+
+func TestParseBasic(t *testing.T) {
+	root, err := ParseString(`
+		<doc_root>
+			<article id="a1">
+				<author>Jack</author>
+				<title>Querying &amp; Indexing</title>
+			</article>
+		</doc_root>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := root.Child("article")
+	if art == nil {
+		t.Fatal("no article parsed")
+	}
+	if v, _ := art.Attr("id"); v != "a1" {
+		t.Errorf("attr id = %q", v)
+	}
+	if got := art.Child("title").Content; got != "Querying & Indexing" {
+		t.Errorf("title content = %q", got)
+	}
+	if got := art.Child("author").Content; got != "Jack" {
+		t.Errorf("author content = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"unterminated", "<a><b></b>"},
+		{"garbage", "<a></b>"},
+		{"two roots", "<a/><b/>"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseString(tc.in); err == nil {
+				t.Errorf("ParseString(%q) succeeded, want error", tc.in)
+			}
+		})
+	}
+}
+
+func TestParseIgnoresCommentsAndPIs(t *testing.T) {
+	root, err := ParseString(`<?xml version="1.0"?><!-- hi --><a><!-- x --><b>t</b></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Tag != "a" || root.Child("b").Content != "t" {
+		t.Errorf("parsed %s", root)
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	orig := E("doc_root",
+		E("article",
+			Elem("author", "Jack & Jill"),
+			Elem("title", "a <b> c"),
+		).WithAttr("id", `q"1`),
+		E("empty"),
+	)
+	s := SerializeString(orig)
+	back, err := ParseString(s)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, s)
+	}
+	if !Equal(orig, back) {
+		t.Errorf("round trip mismatch:\norig %s\nback %s\nxml:\n%s", orig, back, s)
+	}
+}
+
+func TestSerializeRoundTripProperty(t *testing.T) {
+	tags := []string{"a", "b", "c"}
+	contents := []string{"", "x", "two words", "sym&<>"}
+	prop := func(seed int64, sz uint8) bool {
+		n := int(sz%30) + 1
+		rng := rand.New(rand.NewSource(seed))
+		root := randomTree(rng, n)
+		root.Walk(func(m *Node) bool {
+			m.Tag = tags[rng.Intn(len(tags))]
+			m.Content = contents[rng.Intn(len(contents))]
+			if rng.Intn(3) == 0 {
+				m.SetAttr("k", contents[rng.Intn(len(contents))])
+			}
+			return true
+		})
+		back, err := ParseString(SerializeString(root))
+		return err == nil && Equal(root, back)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on invalid input should panic")
+		}
+	}()
+	MustParse("<a>")
+}
+
+func TestSerializeContentBeforeChildren(t *testing.T) {
+	n := E("mixed", Elem("child", "c")).Text("hello")
+	s := SerializeString(n)
+	if !strings.Contains(s, "hello") || !strings.Contains(s, "<child>c</child>") {
+		t.Errorf("serialized form missing parts:\n%s", s)
+	}
+	back, err := ParseString(s)
+	if err != nil || !Equal(n, back) {
+		t.Errorf("mixed round trip failed: %v\n%s", err, s)
+	}
+}

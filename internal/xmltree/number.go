@@ -1,0 +1,87 @@
+package xmltree
+
+// Number assigns interval numbers to every node of the tree rooted at
+// root, for the given document ID. Numbers are assigned by a single
+// depth-first traversal: a node's Start is taken on entry and its End on
+// exit from a shared counter, so for any two nodes a and d of the tree,
+//
+//	d is a descendant of a  ⇔  a.Start < d.Start && d.End < a.End
+//	d is a child of a       ⇔  the above && d.Level == a.Level+1
+//
+// Start numbers are dense in document order (root gets 1), which lets a
+// NodeID double as a document-order sort key. Number returns the counter
+// after the last node, i.e. 2×(number of nodes).
+func Number(root *Node, doc DocID) uint32 {
+	var counter uint32
+	var walk func(n *Node, level uint16)
+	walk = func(n *Node, level uint16) {
+		counter++
+		n.Interval.Doc = doc
+		n.Interval.Start = counter
+		n.Interval.Level = level
+		for _, c := range n.Children {
+			walk(c, level+1)
+		}
+		counter++
+		n.Interval.End = counter
+	}
+	walk(root, 0)
+	return counter
+}
+
+// Numbered reports whether the tree rooted at root carries a consistent
+// interval numbering: every node has Start < End, children are nested
+// strictly inside their parent in order, and levels increase by one.
+// It is used by tests and by the storage layer's loading invariants.
+func Numbered(root *Node) bool {
+	ok := true
+	var walk func(n *Node) bool
+	walk = func(n *Node) bool {
+		if n.Interval.Start == 0 || n.Interval.Start >= n.Interval.End {
+			return false
+		}
+		prevEnd := n.Interval.Start
+		for _, c := range n.Children {
+			if c.Interval.Doc != n.Interval.Doc ||
+				c.Interval.Level != n.Interval.Level+1 ||
+				c.Interval.Start <= prevEnd ||
+				c.Interval.End >= n.Interval.End {
+				return false
+			}
+			if !walk(c) {
+				return false
+			}
+			prevEnd = c.Interval.End
+		}
+		return true
+	}
+	ok = walk(root)
+	return ok
+}
+
+// NodeByID returns the node of the numbered tree rooted at root whose
+// start number equals id.Start, or nil if there is no such node or the
+// document IDs differ. It descends using the interval nesting, so the
+// cost is proportional to tree depth times fan-out.
+func NodeByID(root *Node, id NodeID) *Node {
+	if root.Interval.Doc != id.Doc {
+		return nil
+	}
+	n := root
+	for {
+		if n.Interval.Start == id.Start {
+			return n
+		}
+		next := (*Node)(nil)
+		for _, c := range n.Children {
+			if c.Interval.Start <= id.Start && id.Start < c.Interval.End {
+				next = c
+				break
+			}
+		}
+		if next == nil {
+			return nil
+		}
+		n = next
+	}
+}

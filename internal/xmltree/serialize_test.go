@@ -1,0 +1,61 @@
+package xmltree
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// failWriter fails after n bytes.
+type failWriter struct{ left int }
+
+var errWriterFull = errors.New("writer full")
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.left <= 0 {
+		return 0, errWriterFull
+	}
+	n := len(p)
+	if n > w.left {
+		n = w.left
+	}
+	w.left -= n
+	if n < len(p) {
+		return n, errWriterFull
+	}
+	return n, nil
+}
+
+func TestSerializeWriterError(t *testing.T) {
+	tree := E("doc_root",
+		E("article", Elem("author", "Jack"), Elem("title", "T")),
+	)
+	// The error must surface regardless of where the writer fails.
+	for limit := 0; limit < 40; limit += 7 {
+		err := Serialize(&failWriter{left: limit}, tree)
+		if !errors.Is(err, errWriterFull) {
+			t.Errorf("limit %d: err = %v, want writer error", limit, err)
+		}
+	}
+	// A big enough writer succeeds.
+	if err := Serialize(&failWriter{left: 1 << 20}, tree); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestSerializeEscaping(t *testing.T) {
+	n := E("a", Elem("b", `x < y & z > w`)).WithAttr("q", `say "hi" & <bye>`)
+	s := SerializeString(n)
+	for _, banned := range []string{`<y`, `& z`, `"hi"`} {
+		if strings.Contains(s, banned) {
+			t.Errorf("unescaped %q in output:\n%s", banned, s)
+		}
+	}
+	back, err := ParseString(s)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, s)
+	}
+	if !Equal(n, back) {
+		t.Errorf("escape round trip mismatch:\n%s\n%s", n, back)
+	}
+}

@@ -1,0 +1,217 @@
+// Package xq implements the XQuery subset the paper exercises: FLWR
+// expressions (FOR / LET / WHERE / RETURN) with nesting, XPath-style
+// paths over document() and variables with child (/) and descendant
+// (//) steps and equality predicates ([author = $a]), the
+// distinct-values and count functions, and element constructors with
+// enclosed expressions.
+//
+// Every query in the paper — Query 1, the unnested Query 2, the
+// institution variants of the introduction, and the count variant of
+// Sec. 6 — parses with this package. The AST deliberately mirrors the
+// surface syntax; translation into TAX algebra plans is package plan's
+// job.
+package xq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is any expression node.
+type Expr interface {
+	exprNode()
+	// String renders the expression in (re-parseable) XQuery syntax.
+	String() string
+}
+
+// FLWR is a FOR/LET/WHERE/ORDER BY/RETURN expression. Clauses preserve
+// source order, which matters: later clauses may reference earlier
+// variables.
+type FLWR struct {
+	Clauses []Clause
+	Where   []Comparison // conjunction; empty = no WHERE
+	OrderBy []OrderKey   // empty = document order
+	Return  Expr
+}
+
+// OrderKey is one ORDER BY component.
+type OrderKey struct {
+	Expr       Expr // typically a path on a FOR variable
+	Descending bool
+}
+
+// ClauseKind distinguishes FOR from LET.
+type ClauseKind int
+
+// Clause kinds.
+const (
+	ForClause ClauseKind = iota
+	LetClause
+)
+
+// Clause is one variable binding: FOR $v IN expr or LET $v := expr.
+type Clause struct {
+	Kind ClauseKind
+	Var  string // without the $
+	Expr Expr
+}
+
+// Comparison is one WHERE conjunct: left op right.
+type Comparison struct {
+	Left  Expr
+	Op    string // "=", "!=", "<", "<=", ">", ">="
+	Right Expr
+}
+
+// PathExpr is a path: a source followed by steps, e.g.
+// document("bib.xml")//article[author = $a]/title or $b/author.
+type PathExpr struct {
+	Source Expr // DocCall or VarRef
+	Steps  []Step
+}
+
+// Step is one path step.
+type Step struct {
+	// Descendant is true for // (descendant-or-self::node()/child in
+	// full XPath; here simply "descendant"), false for / (child).
+	Descendant bool
+	// Name is the element name test.
+	Name string
+	// Pred is an optional equality predicate [relpath = expr].
+	Pred *StepPred
+}
+
+// StepPred is a step predicate [path op expr], e.g. [author = $a].
+type StepPred struct {
+	Path []Step // relative path inside the predicate
+	Op   string
+	Rhs  Expr // VarRef or StringLit
+}
+
+// DocCall is document("name").
+type DocCall struct {
+	Name string
+}
+
+// VarRef references a bound variable, e.g. $a.
+type VarRef struct {
+	Name string // without the $
+}
+
+// StringLit is a quoted string literal.
+type StringLit struct {
+	Value string
+}
+
+// DistinctValues is distinct-values(expr).
+type DistinctValues struct {
+	Arg Expr
+}
+
+// CountCall is count(expr).
+type CountCall struct {
+	Arg Expr
+}
+
+// ElemCtor is an element constructor <tag>parts</tag>; parts are
+// enclosed expressions ({...}) or nested constructors. Literal text
+// inside constructors is not supported (the paper's queries have none).
+type ElemCtor struct {
+	Tag   string
+	Parts []Expr
+}
+
+func (*FLWR) exprNode()           {}
+func (*PathExpr) exprNode()       {}
+func (*DocCall) exprNode()        {}
+func (*VarRef) exprNode()         {}
+func (*StringLit) exprNode()      {}
+func (*DistinctValues) exprNode() {}
+func (*CountCall) exprNode()      {}
+func (*ElemCtor) exprNode()       {}
+
+func (f *FLWR) String() string {
+	var b strings.Builder
+	for _, c := range f.Clauses {
+		if c.Kind == ForClause {
+			fmt.Fprintf(&b, "FOR $%s IN %s ", c.Var, c.Expr)
+		} else {
+			fmt.Fprintf(&b, "LET $%s := %s ", c.Var, c.Expr)
+		}
+	}
+	if len(f.Where) > 0 {
+		b.WriteString("WHERE ")
+		for i, w := range f.Where {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			fmt.Fprintf(&b, "%s %s %s", w.Left, w.Op, w.Right)
+		}
+		b.WriteString(" ")
+	}
+	if len(f.OrderBy) > 0 {
+		b.WriteString("ORDER BY ")
+		for i, k := range f.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(k.Expr.String())
+			if k.Descending {
+				b.WriteString(" DESCENDING")
+			}
+		}
+		b.WriteString(" ")
+	}
+	fmt.Fprintf(&b, "RETURN %s", f.Return)
+	return b.String()
+}
+
+func (p *PathExpr) String() string {
+	var b strings.Builder
+	b.WriteString(p.Source.String())
+	for _, s := range p.Steps {
+		b.WriteString(s.String())
+	}
+	return b.String()
+}
+
+func (s Step) String() string {
+	sep := "/"
+	if s.Descendant {
+		sep = "//"
+	}
+	out := sep + s.Name
+	if s.Pred != nil {
+		var pb strings.Builder
+		for i, ps := range s.Pred.Path {
+			if i == 0 {
+				pb.WriteString(ps.Name) // leading step is relative
+			} else {
+				pb.WriteString(ps.String())
+			}
+		}
+		out += fmt.Sprintf("[%s %s %s]", pb.String(), s.Pred.Op, s.Pred.Rhs)
+	}
+	return out
+}
+
+func (d *DocCall) String() string   { return fmt.Sprintf("document(%q)", d.Name) }
+func (v *VarRef) String() string    { return "$" + v.Name }
+func (s *StringLit) String() string { return fmt.Sprintf("%q", s.Value) }
+
+func (d *DistinctValues) String() string { return fmt.Sprintf("distinct-values(%s)", d.Arg) }
+func (c *CountCall) String() string      { return fmt.Sprintf("count(%s)", c.Arg) }
+
+func (e *ElemCtor) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<%s>", e.Tag)
+	for _, p := range e.Parts {
+		if nested, ok := p.(*ElemCtor); ok {
+			b.WriteString(nested.String())
+		} else {
+			fmt.Fprintf(&b, "{%s}", p)
+		}
+	}
+	fmt.Fprintf(&b, "</%s>", e.Tag)
+	return b.String()
+}

@@ -1,0 +1,516 @@
+package xq
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses one XQuery expression from src. Keywords (FOR, LET,
+// WHERE, RETURN, IN, AND) are case-insensitive, matching the paper's
+// uppercase style and XQuery's lowercase style alike.
+func Parse(src string) (Expr, error) {
+	p := &parser{src: src}
+	p.skipSpace()
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return nil, p.errorf("unexpected trailing input %q", p.rest(20))
+	}
+	return e, nil
+}
+
+// MustParse parses a query literal, panicking on error; for tests.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+// ParseError reports a syntax error with its byte offset.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("xq: parse error at offset %d: %s", e.Pos, e.Msg)
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &ParseError{Pos: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) rest(n int) string {
+	r := p.src[p.pos:]
+	if len(r) > n {
+		r = r[:n]
+	}
+	return r
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+// peekByte returns the next byte without consuming it (0 at EOF).
+func (p *parser) peekByte() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+// eat consumes the literal s if present.
+func (p *parser) eat(s string) bool {
+	if strings.HasPrefix(p.src[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+// eatKeyword consumes a case-insensitive keyword followed by a
+// non-identifier character.
+func (p *parser) eatKeyword(kw string) bool {
+	if len(p.src)-p.pos < len(kw) {
+		return false
+	}
+	if !strings.EqualFold(p.src[p.pos:p.pos+len(kw)], kw) {
+		return false
+	}
+	end := p.pos + len(kw)
+	if end < len(p.src) && isIdentByte(p.src[end]) {
+		return false
+	}
+	p.pos = end
+	p.skipSpace()
+	return true
+}
+
+func (p *parser) peekKeyword(kw string) bool {
+	save := p.pos
+	ok := p.eatKeyword(kw)
+	p.pos = save
+	return ok
+}
+
+func isIdentByte(b byte) bool {
+	return b == '_' || b == '-' || b == '.' ||
+		('a' <= b && b <= 'z') || ('A' <= b && b <= 'Z') || ('0' <= b && b <= '9')
+}
+
+// ident consumes an identifier (letters, digits, _, -, .), which covers
+// XML names and hyphenated function names like distinct-values.
+func (p *parser) ident() (string, error) {
+	start := p.pos
+	for p.pos < len(p.src) && isIdentByte(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errorf("expected identifier, found %q", p.rest(10))
+	}
+	return p.src[start:p.pos], nil
+}
+
+// stringLit consumes a double-quoted string (no escapes; the paper's
+// queries need none) or the typographic quotes that appear in the
+// paper's typesetting.
+func (p *parser) stringLit() (string, error) {
+	openers := []struct{ open, close string }{
+		{`"`, `"`}, {"“", "”"}, {"”", "”"},
+	}
+	for _, q := range openers {
+		if !p.eat(q.open) {
+			continue
+		}
+		end := strings.Index(p.src[p.pos:], q.close)
+		if end < 0 {
+			return "", p.errorf("unterminated string")
+		}
+		s := p.src[p.pos : p.pos+end]
+		p.pos += end + len(q.close)
+		return s, nil
+	}
+	return "", p.errorf("expected string literal, found %q", p.rest(10))
+}
+
+// parseExpr parses any expression.
+func (p *parser) parseExpr() (Expr, error) {
+	p.skipSpace()
+	switch {
+	case p.peekKeyword("for"), p.peekKeyword("let"):
+		return p.parseFLWR()
+	case p.peekByte() == '<':
+		return p.parseElemCtor()
+	default:
+		return p.parsePrimary()
+	}
+}
+
+// parseFLWR parses FOR/LET clauses, optional WHERE, and RETURN.
+func (p *parser) parseFLWR() (Expr, error) {
+	f := &FLWR{}
+	for {
+		p.skipSpace()
+		switch {
+		case p.eatKeyword("for"):
+			for {
+				c, err := p.parseForBinding()
+				if err != nil {
+					return nil, err
+				}
+				f.Clauses = append(f.Clauses, c)
+				p.skipSpace()
+				if !p.eat(",") {
+					break
+				}
+			}
+		case p.eatKeyword("let"):
+			c, err := p.parseLetBinding()
+			if err != nil {
+				return nil, err
+			}
+			f.Clauses = append(f.Clauses, c)
+		default:
+			goto clausesDone
+		}
+	}
+clausesDone:
+	if len(f.Clauses) == 0 {
+		return nil, p.errorf("FLWR without FOR or LET clause")
+	}
+	p.skipSpace()
+	if p.eatKeyword("where") {
+		for {
+			cmp, err := p.parseComparison()
+			if err != nil {
+				return nil, err
+			}
+			f.Where = append(f.Where, cmp)
+			p.skipSpace()
+			if !p.eatKeyword("and") {
+				break
+			}
+		}
+	}
+	p.skipSpace()
+	if p.eatKeyword("order") {
+		if !p.eatKeyword("by") {
+			return nil, p.errorf("expected BY after ORDER")
+		}
+		for {
+			key, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			ok := OrderKey{Expr: key}
+			p.skipSpace()
+			if p.eatKeyword("descending") {
+				ok.Descending = true
+			} else {
+				p.eatKeyword("ascending") // explicit default
+			}
+			f.OrderBy = append(f.OrderBy, ok)
+			p.skipSpace()
+			if !p.eat(",") {
+				break
+			}
+		}
+	}
+	p.skipSpace()
+	if !p.eatKeyword("return") {
+		return nil, p.errorf("expected RETURN, found %q", p.rest(10))
+	}
+	ret, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	f.Return = ret
+	return f, nil
+}
+
+func (p *parser) parseForBinding() (Clause, error) {
+	p.skipSpace()
+	v, err := p.varName()
+	if err != nil {
+		return Clause{}, err
+	}
+	p.skipSpace()
+	if !p.eatKeyword("in") {
+		return Clause{}, p.errorf("expected IN after FOR $%s", v)
+	}
+	e, err := p.parsePrimary()
+	if err != nil {
+		return Clause{}, err
+	}
+	return Clause{Kind: ForClause, Var: v, Expr: e}, nil
+}
+
+func (p *parser) parseLetBinding() (Clause, error) {
+	p.skipSpace()
+	v, err := p.varName()
+	if err != nil {
+		return Clause{}, err
+	}
+	p.skipSpace()
+	if !p.eat(":=") {
+		return Clause{}, p.errorf("expected := after LET $%s", v)
+	}
+	e, err := p.parsePrimary()
+	if err != nil {
+		return Clause{}, err
+	}
+	return Clause{Kind: LetClause, Var: v, Expr: e}, nil
+}
+
+func (p *parser) varName() (string, error) {
+	if !p.eat("$") {
+		return "", p.errorf("expected variable, found %q", p.rest(10))
+	}
+	return p.ident()
+}
+
+// parseComparison parses operand op operand.
+func (p *parser) parseComparison() (Comparison, error) {
+	left, err := p.parsePrimary()
+	if err != nil {
+		return Comparison{}, err
+	}
+	p.skipSpace()
+	op, err := p.compareOp()
+	if err != nil {
+		return Comparison{}, err
+	}
+	right, err := p.parsePrimary()
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Comparison{Left: left, Op: op, Right: right}, nil
+}
+
+func (p *parser) compareOp() (string, error) {
+	for _, op := range []string{"!=", "<=", ">=", "=", "<", ">"} {
+		if p.eat(op) {
+			return op, nil
+		}
+	}
+	return "", p.errorf("expected comparison operator, found %q", p.rest(10))
+}
+
+// parsePrimary parses a non-FLWR, non-constructor expression: function
+// calls, document() paths, variable paths, string literals.
+func (p *parser) parsePrimary() (Expr, error) {
+	p.skipSpace()
+	switch {
+	case p.peekByte() == '$':
+		v, err := p.varName()
+		if err != nil {
+			return nil, err
+		}
+		return p.parseSteps(&VarRef{Name: v})
+	case p.peekByte() == '"' || strings.HasPrefix(p.src[p.pos:], "“") || strings.HasPrefix(p.src[p.pos:], "”"):
+		s, err := p.stringLit()
+		if err != nil {
+			return nil, err
+		}
+		return &StringLit{Value: s}, nil
+	default:
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if !p.eat("(") {
+			return nil, p.errorf("expected ( after %s", name)
+		}
+		switch strings.ToLower(name) {
+		case "document", "doc":
+			p.skipSpace()
+			docName, err := p.stringLit()
+			if err != nil {
+				return nil, err
+			}
+			p.skipSpace()
+			if !p.eat(")") {
+				return nil, p.errorf("expected ) to close document(...)")
+			}
+			return p.parseSteps(&DocCall{Name: docName})
+		case "distinct-values":
+			arg, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			p.skipSpace()
+			if !p.eat(")") {
+				return nil, p.errorf("expected ) to close distinct-values(...)")
+			}
+			return &DistinctValues{Arg: arg}, nil
+		case "count":
+			arg, err := p.parseExpr() // count(...) may wrap a whole FLWR
+			if err != nil {
+				return nil, err
+			}
+			p.skipSpace()
+			if !p.eat(")") {
+				return nil, p.errorf("expected ) to close count(...)")
+			}
+			return &CountCall{Arg: arg}, nil
+		default:
+			return nil, p.errorf("unknown function %s", name)
+		}
+	}
+}
+
+// parseSteps parses the trailing path steps after a source.
+func (p *parser) parseSteps(source Expr) (Expr, error) {
+	var steps []Step
+	for {
+		desc := false
+		switch {
+		case p.eat("//"):
+			desc = true
+		case p.eat("/"):
+		default:
+			if len(steps) == 0 {
+				return source, nil
+			}
+			return &PathExpr{Source: source, Steps: steps}, nil
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st := Step{Descendant: desc, Name: name}
+		if p.eat("[") {
+			pred, err := p.parseStepPred()
+			if err != nil {
+				return nil, err
+			}
+			st.Pred = pred
+		}
+		steps = append(steps, st)
+	}
+}
+
+// parseStepPred parses the inside of [relpath op rhs].
+func (p *parser) parseStepPred() (*StepPred, error) {
+	p.skipSpace()
+	// Relative path: name (/name | //name)*.
+	var path []Step
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	path = append(path, Step{Name: name})
+	for {
+		desc := false
+		if p.eat("//") {
+			desc = true
+		} else if !p.eat("/") {
+			break
+		}
+		n, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		path = append(path, Step{Descendant: desc, Name: n})
+	}
+	p.skipSpace()
+	op, err := p.compareOp()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	var rhs Expr
+	if p.peekByte() == '$' {
+		v, err := p.varName()
+		if err != nil {
+			return nil, err
+		}
+		rhs = &VarRef{Name: v}
+	} else {
+		s, err := p.stringLit()
+		if err != nil {
+			return nil, err
+		}
+		rhs = &StringLit{Value: s}
+	}
+	p.skipSpace()
+	if !p.eat("]") {
+		return nil, p.errorf("expected ] to close predicate")
+	}
+	return &StepPred{Path: path, Op: op, Rhs: rhs}, nil
+}
+
+// parseElemCtor parses <tag> parts </tag> where parts are enclosed
+// expressions or nested constructors; whitespace between parts is
+// skipped and literal text is rejected.
+func (p *parser) parseElemCtor() (Expr, error) {
+	if !p.eat("<") {
+		return nil, p.errorf("expected <")
+	}
+	tag, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !p.eat(">") {
+		return nil, p.errorf("expected > after <%s", tag)
+	}
+	ctor := &ElemCtor{Tag: tag}
+	for {
+		p.skipSpace()
+		switch {
+		case p.eat("</"):
+			p.skipSpace()
+			closeTag, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if closeTag != tag {
+				return nil, p.errorf("mismatched closing tag </%s> for <%s>", closeTag, tag)
+			}
+			p.skipSpace()
+			if !p.eat(">") {
+				return nil, p.errorf("expected > after </%s", closeTag)
+			}
+			return ctor, nil
+		case p.peekByte() == '{':
+			p.eat("{")
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			p.skipSpace()
+			if !p.eat("}") {
+				return nil, p.errorf("expected } to close enclosed expression")
+			}
+			ctor.Parts = append(ctor.Parts, e)
+		case p.peekByte() == '<':
+			nested, err := p.parseElemCtor()
+			if err != nil {
+				return nil, err
+			}
+			ctor.Parts = append(ctor.Parts, nested)
+		case p.eof():
+			return nil, p.errorf("unterminated element constructor <%s>", tag)
+		default:
+			return nil, p.errorf("literal text inside constructors is not supported (found %q)", p.rest(10))
+		}
+	}
+}

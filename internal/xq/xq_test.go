@@ -1,0 +1,291 @@
+package xq
+
+import (
+	"strings"
+	"testing"
+)
+
+// Query1 is the paper's Query 1 (group by author, nested FLWR).
+const Query1 = `
+FOR $a IN distinct-values(document("bib.xml")//author)
+RETURN
+<authorpubs>
+  {$a}
+  {
+    FOR $b IN document("bib.xml")//article
+    WHERE $a = $b/author
+    RETURN $b/title
+  }
+</authorpubs>`
+
+// Query2 is the paper's unnested formulation using LET (Sec. 4.2).
+const Query2 = `
+FOR $a IN distinct-values(document("bib.xml")//author)
+LET $t := document("bib.xml")//article[author = $a]/title
+RETURN
+<authorpubs>
+  {$a} {$t}
+</authorpubs>`
+
+// QueryCount is the Sec. 6 count variant.
+const QueryCount = `
+FOR $a IN distinct-values(document("bib.xml")//author)
+LET $t := document("bib.xml")//article[author = $a]/title
+RETURN
+<authorpubs>
+  {$a} {count($t)}
+</authorpubs>`
+
+func TestParseQuery1(t *testing.T) {
+	e, err := Parse(Query1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := e.(*FLWR)
+	if !ok {
+		t.Fatalf("top level = %T", e)
+	}
+	if len(f.Clauses) != 1 || f.Clauses[0].Kind != ForClause || f.Clauses[0].Var != "a" {
+		t.Fatalf("clauses = %+v", f.Clauses)
+	}
+	dv, ok := f.Clauses[0].Expr.(*DistinctValues)
+	if !ok {
+		t.Fatalf("for source = %T", f.Clauses[0].Expr)
+	}
+	path, ok := dv.Arg.(*PathExpr)
+	if !ok || len(path.Steps) != 1 || !path.Steps[0].Descendant || path.Steps[0].Name != "author" {
+		t.Fatalf("distinct-values arg = %v", dv.Arg)
+	}
+	if doc, ok := path.Source.(*DocCall); !ok || doc.Name != "bib.xml" {
+		t.Fatalf("source = %v", path.Source)
+	}
+
+	ctor, ok := f.Return.(*ElemCtor)
+	if !ok || ctor.Tag != "authorpubs" || len(ctor.Parts) != 2 {
+		t.Fatalf("return = %v", f.Return)
+	}
+	if v, ok := ctor.Parts[0].(*VarRef); !ok || v.Name != "a" {
+		t.Fatalf("first part = %v", ctor.Parts[0])
+	}
+	inner, ok := ctor.Parts[1].(*FLWR)
+	if !ok {
+		t.Fatalf("second part = %T", ctor.Parts[1])
+	}
+	if len(inner.Where) != 1 || inner.Where[0].Op != "=" {
+		t.Fatalf("inner where = %+v", inner.Where)
+	}
+	if _, ok := inner.Where[0].Left.(*VarRef); !ok {
+		t.Errorf("where left = %T", inner.Where[0].Left)
+	}
+	rp, ok := inner.Where[0].Right.(*PathExpr)
+	if !ok || rp.Steps[0].Name != "author" || rp.Steps[0].Descendant {
+		t.Errorf("where right = %v", inner.Where[0].Right)
+	}
+	ret, ok := inner.Return.(*PathExpr)
+	if !ok || ret.Steps[0].Name != "title" {
+		t.Errorf("inner return = %v", inner.Return)
+	}
+}
+
+func TestParseQuery2(t *testing.T) {
+	e, err := Parse(Query2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := e.(*FLWR)
+	if len(f.Clauses) != 2 || f.Clauses[1].Kind != LetClause || f.Clauses[1].Var != "t" {
+		t.Fatalf("clauses = %+v", f.Clauses)
+	}
+	p, ok := f.Clauses[1].Expr.(*PathExpr)
+	if !ok || len(p.Steps) != 2 {
+		t.Fatalf("let expr = %v", f.Clauses[1].Expr)
+	}
+	art := p.Steps[0]
+	if art.Name != "article" || !art.Descendant || art.Pred == nil {
+		t.Fatalf("article step = %+v", art)
+	}
+	if art.Pred.Path[0].Name != "author" || art.Pred.Op != "=" {
+		t.Fatalf("pred = %+v", art.Pred)
+	}
+	if v, ok := art.Pred.Rhs.(*VarRef); !ok || v.Name != "a" {
+		t.Fatalf("pred rhs = %v", art.Pred.Rhs)
+	}
+	if p.Steps[1].Name != "title" || p.Steps[1].Descendant {
+		t.Fatalf("title step = %+v", p.Steps[1])
+	}
+}
+
+func TestParseQueryCount(t *testing.T) {
+	e, err := Parse(QueryCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctor := e.(*FLWR).Return.(*ElemCtor)
+	cnt, ok := ctor.Parts[1].(*CountCall)
+	if !ok {
+		t.Fatalf("second part = %T", ctor.Parts[1])
+	}
+	if v, ok := cnt.Arg.(*VarRef); !ok || v.Name != "t" {
+		t.Fatalf("count arg = %v", cnt.Arg)
+	}
+}
+
+func TestParseInstitutionQuery(t *testing.T) {
+	// The introduction's group-by-institution query.
+	src := `
+FOR $i IN distinct-values(document("bib.xml")//institution)
+RETURN
+<instpubs>
+  {$i}
+  {
+    FOR $b IN document("bib.xml")//article
+    WHERE $i = $b/author/institution
+    RETURN $b/title
+  }
+</instpubs>`
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := e.(*FLWR).Return.(*ElemCtor).Parts[1].(*FLWR)
+	rp := inner.Where[0].Right.(*PathExpr)
+	if len(rp.Steps) != 2 || rp.Steps[0].Name != "author" || rp.Steps[1].Name != "institution" {
+		t.Fatalf("where path = %v", rp)
+	}
+}
+
+func TestParseNestedConstructors(t *testing.T) {
+	// The doubly-nested author+institution query shape.
+	src := `
+FOR $i IN distinct-values(document("bib.xml")//institution)
+RETURN
+<instpubs>
+  {$i}
+  {
+    FOR $a IN distinct-values(document("bib.xml")//author)
+    WHERE $i = $a/institution
+    RETURN
+    <authorpubs>
+      {$a}
+      {
+        FOR $b IN document("bib.xml")//article
+        WHERE $a = $b/author
+        RETURN $b/title
+      }
+    </authorpubs>
+  }
+</instpubs>`
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := e.(*FLWR).Return.(*ElemCtor)
+	mid := outer.Parts[1].(*FLWR)
+	midCtor, ok := mid.Return.(*ElemCtor)
+	if !ok || midCtor.Tag != "authorpubs" {
+		t.Fatalf("mid return = %v", mid.Return)
+	}
+	if _, ok := midCtor.Parts[1].(*FLWR); !ok {
+		t.Fatalf("innermost = %T", midCtor.Parts[1])
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, src := range []string{Query1, Query2, QueryCount} {
+		e, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// String() must re-parse to the same String().
+		again, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", e.String(), err)
+		}
+		if again.String() != e.String() {
+			t.Errorf("round trip:\n 1st %s\n 2nd %s", e, again)
+		}
+	}
+}
+
+func TestParseWhereConjunction(t *testing.T) {
+	src := `FOR $b IN document("d")//article WHERE $b/year = "1999" AND $b/author = "Jack" RETURN $b/title`
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := e.(*FLWR)
+	if len(f.Where) != 2 {
+		t.Fatalf("where conjuncts = %d", len(f.Where))
+	}
+	if s, ok := f.Where[0].Right.(*StringLit); !ok || s.Value != "1999" {
+		t.Errorf("first rhs = %v", f.Where[0].Right)
+	}
+}
+
+func TestParseMultipleForBindings(t *testing.T) {
+	src := `FOR $a IN document("d")//author, $b IN document("d")//article RETURN $b/title`
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := e.(*FLWR)
+	if len(f.Clauses) != 2 || f.Clauses[0].Var != "a" || f.Clauses[1].Var != "b" {
+		t.Fatalf("clauses = %+v", f.Clauses)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"empty", ""},
+		{"for without in", `FOR $a document("d")//x RETURN $a`},
+		{"missing return", `FOR $a IN document("d")//x`},
+		{"bad function", `FOR $a IN mystery(document("d")//x) RETURN $a`},
+		{"unterminated string", `FOR $a IN document("d//x RETURN $a`},
+		{"unterminated ctor", `FOR $a IN document("d")//x RETURN <y>{$a}`},
+		{"mismatched close", `FOR $a IN document("d")//x RETURN <y>{$a}</z>`},
+		{"text in ctor", `FOR $a IN document("d")//x RETURN <y>hello</y>`},
+		{"trailing junk", `FOR $a IN document("d")//x RETURN $a junk`},
+		{"bad predicate", `FOR $a IN document("d")//x[author = ] RETURN $a`},
+		{"unclosed predicate", `FOR $a IN document("d")//x[author = $a RETURN $a`},
+		{"let without assign", `LET $t document("d")//x RETURN $t`},
+		{"unclosed enclosed", `FOR $a IN document("d")//x RETURN <y>{$a </y>`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse(tc.src); err == nil {
+				t.Errorf("Parse(%q) succeeded, want error", tc.src)
+			} else if !strings.Contains(err.Error(), "xq: parse error") {
+				t.Errorf("error %v should be a ParseError", err)
+			}
+		})
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic")
+		}
+	}()
+	MustParse("not a query")
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	src := `for $a in distinct-values(document("d")//author) return <x>{$a}</x>`
+	if _, err := Parse(src); err != nil {
+		t.Errorf("lowercase keywords: %v", err)
+	}
+}
+
+func TestIdentifierNotKeywordPrefix(t *testing.T) {
+	// An element named "formula" must not be lexed as FOR.
+	src := `FOR $a IN document("d")//formula RETURN $a`
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := e.(*FLWR).Clauses[0].Expr.(*PathExpr)
+	if p.Steps[0].Name != "formula" {
+		t.Errorf("step = %v", p.Steps[0])
+	}
+}
