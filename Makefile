@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test vet race check bench experiments
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the full gate: static analysis plus the whole suite under
+# the race detector (the plain suite is a subset of the race run).
+check: vet race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+experiments:
+	$(GO) run ./cmd/experiments -parfile BENCH_parallel.json

@@ -135,6 +135,21 @@ func BenchmarkE1GroupByTitles(b *testing.B) {
 	runPlan(b, titles, exec.GroupByExec)
 }
 
+// BenchmarkE1GroupByTitlesParallel sweeps the executor's worker bound
+// over the titles groupby plan. Results are byte-identical at every
+// setting; only wall time moves (and only on multi-core hosts — the
+// fetch counts stay constant everywhere).
+func BenchmarkE1GroupByTitlesParallel(b *testing.B) {
+	_, titles, _ := setupBench(b)
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			q := *titles
+			q.Spec.Parallelism = p
+			runPlan(b, &q, exec.GroupByExec)
+		})
+	}
+}
+
 // --- E2: the Sec. 6 count query -------------------------------------
 
 func BenchmarkE2DirectCount(b *testing.B) {

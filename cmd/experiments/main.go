@@ -28,16 +28,17 @@ func main() {
 	poolMB := flag.Int("poolmb", 32, "buffer pool size in MiB (paper: 32)")
 	expSel := flag.String("exp", "all", "which experiment to run: e1 (titles), e2 (count), all")
 	seed := flag.Int64("seed", 2002, "generator seed")
+	parFile := flag.String("parfile", "", "also sweep E1 groupby over parallelism 1,2,4,8 and write the JSON scaling report here (e.g. BENCH_parallel.json)")
 	verbose := flag.Bool("v", false, "print loading progress")
 	flag.Parse()
 
-	if err := run(*articles, *poolMB, *expSel, *seed, *verbose); err != nil {
+	if err := run(*articles, *poolMB, *expSel, *seed, *parFile, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(articles, poolMB int, expSel string, seed int64, verbose bool) error {
+func run(articles, poolMB int, expSel string, seed int64, parFile string, verbose bool) error {
 	poolPages := poolMB * 1024 * 1024 / pagestore.DefaultPageSize
 	db, err := bench.SetupDB(poolPages)
 	if err != nil {
@@ -84,6 +85,30 @@ func run(articles, poolMB int, expSel string, seed int64, verbose bool) error {
 		fmt.Print(bench.Table(ms, bench.StratDirectNaive))
 		fmt.Println(e.headline)
 		fmt.Println()
+	}
+
+	if parFile != "" {
+		q, err := bench.BuildQuery(bench.Query1Text)
+		if err != nil {
+			return err
+		}
+		rep, err := bench.RunParallelScaling(db, q, []int{1, 2, 4, 8}, 3)
+		if err != nil {
+			return err
+		}
+		rep.Articles = articles
+		if err := rep.WriteJSON(parFile); err != nil {
+			return err
+		}
+		fmt.Printf("parallel scaling (E1 groupby titles, best of %d):\n", rep.Reps)
+		for _, pt := range rep.Points {
+			fmt.Printf("  p=%d  %10v  %.2fx  (%d fetches)\n",
+				pt.Parallelism, time.Duration(pt.WallNS).Round(time.Microsecond), pt.Speedup, pt.Fetches)
+		}
+		if rep.Note != "" {
+			fmt.Println("  note:", rep.Note)
+		}
+		fmt.Println("wrote", parFile)
 	}
 	return nil
 }

@@ -34,6 +34,7 @@ func main() {
 	queryFile := flag.String("f", "", "read the query from this file")
 	strategy := flag.String("plan", "groupby", "execution strategy: logical, physical, direct, groupby")
 	poolMB := flag.Int("poolmb", 32, "buffer pool size in MiB")
+	parallel := flag.Int("parallel", 0, "worker bound for the physical executors (0 = GOMAXPROCS, 1 = sequential)")
 	showPlans := flag.Bool("plans", true, "print the naive and rewritten plans")
 	quiet := flag.Bool("q", false, "suppress result trees (print timing only)")
 	flag.Parse()
@@ -54,13 +55,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(*dbPath, query, *strategy, *poolMB, *showPlans, *quiet); err != nil {
+	if err := run(*dbPath, query, *strategy, *poolMB, *parallel, *showPlans, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "timber-query:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dbPath, query, strategy string, poolMB int, showPlans, quiet bool) error {
+func run(dbPath, query, strategy string, poolMB, parallel int, showPlans, quiet bool) error {
 	ast, err := xq.Parse(query)
 	if err != nil {
 		return err
@@ -106,7 +107,7 @@ func run(dbPath, query, strategy string, poolMB int, showPlans, quiet bool) erro
 		if applied {
 			op = rewritten
 		}
-		out, err := exec.ExecPhysical(db, op)
+		out, err := exec.ExecPhysicalPar(db, op, parallel)
 		if err != nil {
 			return err
 		}
@@ -119,6 +120,7 @@ func run(dbPath, query, strategy string, poolMB int, showPlans, quiet bool) erro
 		if err != nil {
 			return err
 		}
+		spec.Parallelism = parallel
 		var res *exec.Result
 		if strategy == "direct" {
 			res, err = exec.DirectMaterialized(db, spec)

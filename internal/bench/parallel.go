@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"timber/internal/exec"
+	"timber/internal/storage"
+)
+
+// ParallelPoint is one parallelism setting's measurement of the
+// identifier-processing groupby plan.
+type ParallelPoint struct {
+	// Parallelism is the worker bound (exec.Spec.Parallelism).
+	Parallelism int `json:"parallelism"`
+	// WallNS is the best-of-reps wall time in nanoseconds.
+	WallNS int64 `json:"wall_ns"`
+	// Speedup is p=1 wall over this point's wall.
+	Speedup float64 `json:"speedup"`
+	// Fetches is the buffer-pool fetch count of the measured run —
+	// identical across parallelism settings, pinning counter exactness.
+	Fetches uint64 `json:"fetches"`
+	// Groups is the result group count, identical across settings.
+	Groups int `json:"groups"`
+}
+
+// ParallelReport is the machine-readable scaling record the
+// experiments binary writes (BENCH_parallel.json).
+type ParallelReport struct {
+	Benchmark  string          `json:"benchmark"`
+	Articles   int             `json:"articles"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	NumCPU     int             `json:"num_cpu"`
+	Reps       int             `json:"reps"`
+	Points     []ParallelPoint `json:"points"`
+	// Note records measurement caveats (e.g. the host's core count
+	// bounding any possible wall-clock speedup).
+	Note string `json:"note,omitempty"`
+}
+
+// RunParallelScaling measures the groupby plan at each parallelism
+// setting, cold pool per run, taking the best of reps runs per point.
+// Speedups are relative to the first setting (conventionally 1).
+func RunParallelScaling(db *storage.DB, q *Query, settings []int, reps int) (*ParallelReport, error) {
+	if reps <= 0 {
+		reps = 3
+	}
+	rep := &ParallelReport{
+		Benchmark:  "E1 groupby titles",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Reps:       reps,
+	}
+	var base time.Duration
+	for _, p := range settings {
+		spec := q.Spec
+		spec.Parallelism = p
+		var best Measurement
+		for r := 0; r < reps; r++ {
+			m, err := Measure(db, fmt.Sprintf("p=%d", p), func() (*exec.Result, error) {
+				return exec.GroupByExec(db, spec)
+			})
+			if err != nil {
+				return nil, err
+			}
+			if r == 0 || m.Wall < best.Wall {
+				best = m
+			}
+		}
+		if base == 0 {
+			base = best.Wall
+		}
+		rep.Points = append(rep.Points, ParallelPoint{
+			Parallelism: p,
+			WallNS:      best.Wall.Nanoseconds(),
+			Speedup:     float64(base) / float64(best.Wall),
+			Fetches:     best.Pool.Fetches,
+			Groups:      best.Groups,
+		})
+	}
+	if rep.NumCPU == 1 {
+		rep.Note = "single-CPU host: worker pools interleave on one core, so CPU-bound speedup cannot manifest; any gain above 1x comes from overlapping page-store I/O. See DESIGN.md Concurrency model"
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report, indented, to path.
+func (r *ParallelReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -234,7 +234,7 @@ func DirectBatch(db *storage.DB, spec Spec) (*Result, error) {
 		return nil, err
 	}
 	res.Stats.IndexPostings += len(members)
-	witnesses, err := pathPairs(db, members, spec.JoinPath)
+	witnesses, err := pathPairs(db, members, spec.JoinPath, spec.workers())
 	if err != nil {
 		return nil, err
 	}
@@ -258,7 +258,7 @@ func DirectBatch(db *storage.DB, spec Spec) (*Result, error) {
 	}
 
 	// Value path, index-only.
-	valuePairs, err := pathPairs(db, members, spec.ValuePath)
+	valuePairs, err := pathPairs(db, members, spec.ValuePath, spec.workers())
 	if err != nil {
 		return nil, err
 	}
@@ -266,7 +266,7 @@ func DirectBatch(db *storage.DB, spec Spec) (*Result, error) {
 	valuesOf := groupPairsByMember(valuePairs)
 
 	if spec.OrderPath != nil {
-		ov, err := orderValues(db, members, spec.OrderPath, res)
+		ov, err := orderValues(db, members, spec.OrderPath, res, spec.workers())
 		if err != nil {
 			return nil, err
 		}

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strconv"
 
+	"timber/internal/par"
 	"timber/internal/storage"
 	"timber/internal/xmltree"
 )
@@ -49,8 +50,15 @@ type ExecStats struct {
 // Groups are emitted in ascending grouping-value order — the order the
 // sort of Sec. 5.3 produces (the logical GroupBy's first-appearance
 // order differs; see the package tests).
+//
+// The value-population phases (steps 2 and 4) fan out over
+// spec.Parallelism workers; every worker writes into its own
+// pre-assigned slot and the stats are added in bulk afterwards, so the
+// result trees, group order and ExecStats are identical for any
+// parallelism setting.
 func GroupByExec(db *storage.DB, spec Spec) (*Result, error) {
 	res := &Result{}
+	workers := spec.workers()
 
 	// Step 1: identifier-only pattern match.
 	members, err := db.TagPostings(spec.MemberTag)
@@ -58,13 +66,13 @@ func GroupByExec(db *storage.DB, spec Spec) (*Result, error) {
 		return nil, err
 	}
 	res.Stats.IndexPostings += len(members)
-	witnesses, err := pathPairs(db, members, spec.JoinPath)
+	witnesses, err := pathPairs(db, members, spec.JoinPath, workers)
 	if err != nil {
 		return nil, err
 	}
 	res.Stats.IndexPostings += len(witnesses)
 
-	valuePairs, err := pathPairs(db, members, spec.ValuePath)
+	valuePairs, err := pathPairs(db, members, spec.ValuePath, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -72,26 +80,32 @@ func GroupByExec(db *storage.DB, spec Spec) (*Result, error) {
 	valuesOf := groupPairsByMember(valuePairs)
 
 	// Step 2: populate only the grouping values, in document order.
+	// Witness i's value lands in slot i regardless of which worker
+	// fetches it.
 	type witness struct {
 		member storage.Posting
 		value  string
 		seq    int
 	}
 	ws := make([]witness, len(witnesses))
-	for i, p := range witnesses {
+	if err := par.Do(len(witnesses), workers, func(i int) error {
+		p := witnesses[i]
 		v, err := db.Content(p.leaf)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Stats.ValueLookups++
 		ws[i] = witness{member: p.member, value: v, seq: i}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+	res.Stats.ValueLookups += len(witnesses)
 
 	// Step 3: sort by value; the ordering-list values (populated on
 	// identifiers like the grouping values, per Sec. 5.3) order members
 	// within a group, and witness order breaks remaining ties.
 	if spec.OrderPath != nil {
-		ov, err := orderValues(db, members, spec.OrderPath, res)
+		ov, err := orderValues(db, members, spec.OrderPath, res, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -105,35 +119,56 @@ func GroupByExec(db *storage.DB, spec Spec) (*Result, error) {
 		sort.SliceStable(ws, func(i, j int) bool { return ws[i].value < ws[j].value })
 	}
 
-	// Step 4: emit one tree per run of equal values.
+	// Step 4: emit one tree per run of equal values. Runs are found
+	// sequentially; in Titles mode the per-group output materialization
+	// (the content fetches) runs one group per worker slot.
 	basisTag := spec.BasisTag()
+	type run struct{ i, j int }
+	var runs []run
 	for i := 0; i < len(ws); {
 		j := i
 		for j < len(ws) && ws[j].value == ws[i].value {
 			j++
 		}
-		out := xmltree.E(spec.OutTag, xmltree.Elem(basisTag, ws[i].value))
-		switch spec.Mode {
-		case Titles:
-			for _, w := range ws[i:j] {
+		runs = append(runs, run{i: i, j: j})
+		i = j
+	}
+	trees := make([]*xmltree.Node, len(runs))
+	looks := make([]int, len(runs))
+	switch spec.Mode {
+	case Titles:
+		if err := par.Do(len(runs), workers, func(g int) error {
+			r := runs[g]
+			out := xmltree.E(spec.OutTag, xmltree.Elem(basisTag, ws[r.i].value))
+			for _, w := range ws[r.i:r.j] {
 				for _, tp := range valuesOf[w.member.ID()] {
 					content, err := db.Content(tp)
 					if err != nil {
-						return nil, err
+						return err
 					}
-					res.Stats.ValueLookups++
+					looks[g]++
 					out.Append(xmltree.Elem(spec.ValuePath.LastTag(), content))
 				}
 			}
-		case Count:
+			trees[g] = out
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	case Count:
+		for g, r := range runs {
+			out := xmltree.E(spec.OutTag, xmltree.Elem(basisTag, ws[r.i].value))
 			total := 0
-			for _, w := range ws[i:j] {
+			for _, w := range ws[r.i:r.j] {
 				total += len(valuesOf[w.member.ID()])
 			}
 			out.Append(xmltree.Elem("count", strconv.Itoa(total)))
+			trees[g] = out
 		}
-		res.Trees = append(res.Trees, out)
-		i = j
+	}
+	for g := range runs {
+		res.Trees = append(res.Trees, trees[g])
+		res.Stats.ValueLookups += looks[g]
 	}
 	if err := finishResult(db, res); err != nil {
 		return nil, err

@@ -77,7 +77,7 @@ func DirectMaterialized(db *storage.DB, spec Spec) (*Result, error) {
 		return nil, err
 	}
 	res.Stats.IndexPostings += len(members)
-	pairs, err := pathPairs(db, members, spec.JoinPath)
+	pairs, err := pathPairs(db, members, spec.JoinPath, spec.workers())
 	if err != nil {
 		return nil, err
 	}

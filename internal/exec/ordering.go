@@ -3,6 +3,7 @@ package exec
 import (
 	"sort"
 
+	"timber/internal/par"
 	"timber/internal/storage"
 	"timber/internal/tax"
 	"timber/internal/xmltree"
@@ -17,24 +18,40 @@ import (
 // the member's ordering value: the content of the first order-path
 // match. Members without a match are absent from the map (they sort
 // with the empty key by convention, matching the logical operator).
-func orderValues(db *storage.DB, members []storage.Posting, path Path, res *Result) (map[xmltree.NodeID]string, error) {
-	pairs, err := pathPairs(db, members, path)
+// The selection of each member's first (document-order) match is
+// sequential and deterministic; only the value fetches fan out over
+// the worker pool.
+func orderValues(db *storage.DB, members []storage.Posting, path Path, res *Result, workers int) (map[xmltree.NodeID]string, error) {
+	pairs, err := pathPairs(db, members, path, workers)
 	if err != nil {
 		return nil, err
 	}
 	res.Stats.IndexPostings += len(pairs)
-	out := map[xmltree.NodeID]string{}
+	var firsts []pair
+	seen := map[xmltree.NodeID]bool{}
 	for _, p := range pairs {
 		id := p.member.ID()
-		if _, ok := out[id]; ok {
+		if seen[id] {
 			continue // keep the first (document-order) match
 		}
-		v, err := db.Content(p.leaf)
+		seen[id] = true
+		firsts = append(firsts, p)
+	}
+	values := make([]string, len(firsts))
+	if err := par.Do(len(firsts), workers, func(i int) error {
+		v, err := db.Content(firsts[i].leaf)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Stats.ValueLookups++
-		out[id] = v
+		values[i] = v
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	res.Stats.ValueLookups += len(firsts)
+	out := make(map[xmltree.NodeID]string, len(firsts))
+	for i, p := range firsts {
+		out[p.member.ID()] = values[i]
 	}
 	return out, nil
 }

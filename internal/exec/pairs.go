@@ -22,8 +22,9 @@ type pair struct {
 // are in document order of (member, leaf). The ancestor side of each
 // step join uses the previous step's distinct leaves, so the whole path
 // costs one tag-index scan plus one single-pass structural join per
-// step.
-func pathPairs(db *storage.DB, members []storage.Posting, path Path) ([]pair, error) {
+// step. The joins partition by document and run on up to workers
+// goroutines; the output is identical for any worker count.
+func pathPairs(db *storage.DB, members []storage.Posting, path Path, workers int) ([]pair, error) {
 	cur := make([]pair, len(members))
 	for i, m := range members {
 		cur[i] = pair{member: m, leaf: m}
@@ -37,7 +38,7 @@ func pathPairs(db *storage.DB, members []storage.Posting, path Path) ([]pair, er
 		if st.Descendant {
 			axis = sjoin.AncestorDescendant
 		}
-		cur = stepJoin(cur, next, axis)
+		cur = stepJoin(cur, next, axis, workers)
 		if len(cur) == 0 {
 			return nil, nil
 		}
@@ -47,7 +48,7 @@ func pathPairs(db *storage.DB, members []storage.Posting, path Path) ([]pair, er
 
 // stepJoin extends each pair's leaf by one structural step into the
 // candidate postings.
-func stepJoin(cur []pair, cands []storage.Posting, axis sjoin.Axis) []pair {
+func stepJoin(cur []pair, cands []storage.Posting, axis sjoin.Axis, workers int) []pair {
 	// Distinct, sorted current leaves form the ancestor list.
 	leaves := make([]storage.Posting, 0, len(cur))
 	seen := map[xmltree.NodeID]bool{}
@@ -68,7 +69,7 @@ func stepJoin(cur []pair, cands []storage.Posting, axis sjoin.Axis) []pair {
 	for i, c := range cands {
 		dIvs[i] = c.Interval
 	}
-	joined := sjoin.StackTree(aIvs, dIvs, axis)
+	joined := sjoin.StackTreePar(aIvs, dIvs, axis, workers)
 
 	children := map[xmltree.NodeID][]storage.Posting{}
 	for _, pr := range joined {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"timber/internal/match"
+	"timber/internal/par"
 	"timber/internal/pattern"
 	"timber/internal/plan"
 	"timber/internal/storage"
@@ -27,7 +28,15 @@ import (
 // ExecPhysical is the general-purpose path that keeps arbitrary
 // translatable queries off the full-scan route.
 func ExecPhysical(db *storage.DB, op plan.Op) (tax.Collection, error) {
-	rewritten, err := substituteLeaves(db, op)
+	return ExecPhysicalPar(db, op, 0)
+}
+
+// ExecPhysicalPar is ExecPhysical with an explicit parallelism bound
+// for the index-matching and witness-materialization phases (<= 0
+// means GOMAXPROCS, 1 forces the sequential path). The result is
+// identical for any setting.
+func ExecPhysicalPar(db *storage.DB, op plan.Op, parallelism int) (tax.Collection, error) {
+	rewritten, err := substituteLeaves(db, op, parallelism)
 	if err != nil {
 		return tax.Collection{}, err
 	}
@@ -38,13 +47,14 @@ func ExecPhysical(db *storage.DB, op plan.Op) (tax.Collection, error) {
 // collections computed from the indices, and any remaining DBScan with
 // the materialized documents. Shared sub-plans (the rewrite's common
 // GroupBy) stay shared: substitution is memoized per input operator.
-func substituteLeaves(db *storage.DB, op plan.Op) (plan.Op, error) {
-	return (&substituter{db: db, memo: map[plan.Op]plan.Op{}}).sub(op)
+func substituteLeaves(db *storage.DB, op plan.Op, parallelism int) (plan.Op, error) {
+	return (&substituter{db: db, parallelism: parallelism, memo: map[plan.Op]plan.Op{}}).sub(op)
 }
 
 type substituter struct {
-	db   *storage.DB
-	memo map[plan.Op]plan.Op
+	db          *storage.DB
+	parallelism int
+	memo        map[plan.Op]plan.Op
 }
 
 func (s *substituter) sub(op plan.Op) (plan.Op, error) {
@@ -64,7 +74,7 @@ func (s *substituter) subUncached(op plan.Op) (plan.Op, error) {
 	switch o := op.(type) {
 	case *plan.Select:
 		if _, ok := o.In.(*plan.DBScan); ok {
-			c, err := physSelect(db, o.Pattern, o.SL)
+			c, err := physSelect(db, o.Pattern, o.SL, s.parallelism)
 			if err != nil {
 				return nil, err
 			}
@@ -151,23 +161,32 @@ func (s *substituter) rebuild1(in plan.Op, mk func(plan.Op) plan.Op) (plan.Op, e
 // physSelect evaluates a selection against the stored database: the
 // index matcher computes the witnesses as node identifiers, and only
 // the witness nodes are materialized (adorned labels with their whole
-// subtrees).
-func physSelect(db *storage.DB, pt *pattern.Tree, sl []tax.Item) (tax.Collection, error) {
+// subtrees). Witness materialization is the record-fetch-heavy phase,
+// so each binding's tree is built by whichever worker claims its slot;
+// slot order preserves the sequential output exactly.
+func physSelect(db *storage.DB, pt *pattern.Tree, sl []tax.Item, parallelism int) (tax.Collection, error) {
 	starred := make(map[string]bool, len(sl))
 	for _, it := range sl {
 		starred[it.Label] = true
 	}
-	bindings, _, err := match.MatchDB(db, pt)
+	bindings, _, err := match.MatchDBPar(db, pt, parallelism)
 	if err != nil {
 		return tax.Collection{}, err
 	}
 	var out tax.Collection
-	for _, b := range bindings {
-		tree, err := materializeWitness(db, pt.Root, b, starred)
-		if err != nil {
+	if len(bindings) > 0 {
+		trees := make([]*xmltree.Node, len(bindings))
+		if err := par.Do(len(bindings), par.Workers(parallelism), func(i int) error {
+			tree, err := materializeWitness(db, pt.Root, bindings[i], starred)
+			if err != nil {
+				return err
+			}
+			trees[i] = tree
+			return nil
+		}); err != nil {
 			return tax.Collection{}, err
 		}
-		out.Trees = append(out.Trees, tree)
+		out.Trees = trees
 	}
 	out.Renumber()
 	return out, nil

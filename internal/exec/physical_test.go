@@ -144,7 +144,7 @@ func TestExecPhysicalSharedGroupBySubplan(t *testing.T) {
 	// plan must keep sharing it (pointer equality after substitution).
 	db := sampleDB(t)
 	_, rewritten, _ := plansFor(t, query1Src)
-	sub, err := substituteLeaves(db, rewritten)
+	sub, err := substituteLeaves(db, rewritten, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,7 +25,7 @@ func GroupByReplicating(db *storage.DB, spec Spec) (*Result, error) {
 		return nil, err
 	}
 	res.Stats.IndexPostings += len(members)
-	witnesses, err := pathPairs(db, members, spec.JoinPath)
+	witnesses, err := pathPairs(db, members, spec.JoinPath, spec.workers())
 	if err != nil {
 		return nil, err
 	}

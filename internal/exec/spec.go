@@ -19,6 +19,7 @@ package exec
 import (
 	"fmt"
 
+	"timber/internal/par"
 	"timber/internal/pattern"
 	"timber/internal/plan"
 	"timber/internal/tax"
@@ -62,7 +63,16 @@ type Spec struct {
 	// document-order positions.
 	OrderPath Path
 	OrderDesc bool
+	// Parallelism bounds the worker pool the executors use for their
+	// hot phases (witness value population, output materialization,
+	// per-document structural joins). 0 means GOMAXPROCS; 1 forces the
+	// sequential path. Any setting produces byte-identical results —
+	// partial results merge in document order.
+	Parallelism int
 }
+
+// workers resolves the spec's parallelism knob to a worker count.
+func (s Spec) workers() int { return par.Workers(s.Parallelism) }
 
 // BasisTag returns the tag of the grouping-value element.
 func (s Spec) BasisTag() string { return s.JoinPath.LastTag() }

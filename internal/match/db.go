@@ -3,6 +3,7 @@ package match
 import (
 	"sort"
 
+	"timber/internal/par"
 	"timber/internal/pattern"
 	"timber/internal/sjoin"
 	"timber/internal/storage"
@@ -49,7 +50,20 @@ func RecordFields(r *storage.NodeRecord) pattern.Fields { return recFields{r} }
 // candidate postings for each pattern node from the indices, then
 // resolve structural relationships one pattern edge at a time with
 // single-pass containment joins. Witness order is identical to Match's.
+// It parallelizes across every core; use MatchDBPar to bound (or
+// disable) the parallelism.
 func MatchDB(db *storage.DB, pt *pattern.Tree) ([]DBBinding, *DBStats, error) {
+	return MatchDBPar(db, pt, 0)
+}
+
+// MatchDBPar is MatchDB with an explicit parallelism bound (<= 0 means
+// GOMAXPROCS). Candidate postings come from sequential index scans;
+// the structural-join phase is then partitioned by document — edges
+// never cross documents — and the per-document witness sets are merged
+// in document order, so the output is identical to the sequential
+// path's for any parallelism. MatchDBPar only reads the database and is
+// safe to call concurrently with other readers.
+func MatchDBPar(db *storage.DB, pt *pattern.Tree, parallelism int) ([]DBBinding, *DBStats, error) {
 	order := preorder(pt.Root)
 	stats := &DBStats{}
 
@@ -72,8 +86,64 @@ func MatchDB(db *storage.DB, pt *pattern.Tree) ([]DBBinding, *DBStats, error) {
 		cands[i] = cs
 	}
 
-	// Seed rows with the root candidates, then extend one edge at a
-	// time. rows[r][i] is the posting bound to order[i] in row r.
+	// Partition every candidate list by document: pattern edges relate
+	// nodes of one document, so each document's witnesses derive from
+	// its own candidate segments alone. Documents whose segment is
+	// empty for any pattern node produce no witnesses.
+	docs := candidateDocs(cands[0])
+	workers := par.Workers(parallelism)
+	rowsByDoc := make([][][]storage.Posting, len(docs))
+	par.Do(len(docs), workers, func(k int) error {
+		docCands := make([][]storage.Posting, len(order))
+		for i := range cands {
+			docCands[i] = docSegment(cands[i], docs[k])
+			if len(docCands[i]) == 0 {
+				return nil
+			}
+		}
+		rowsByDoc[k] = matchRows(order, colOf, docCands)
+		return nil
+	})
+
+	// Merge in document order (candidate lists are (doc, start)-sorted,
+	// so concatenation preserves the sequential row order).
+	var rows [][]storage.Posting
+	for _, rs := range rowsByDoc {
+		rows = append(rows, rs...)
+	}
+	if len(rows) == 0 {
+		return nil, stats, nil
+	}
+
+	// Sort lexicographically by node IDs in pre-order, then convert.
+	sort.SliceStable(rows, func(a, b int) bool {
+		for i := range order {
+			x, y := rows[a][i].ID(), rows[b][i].ID()
+			if x != y {
+				return x.Less(y)
+			}
+		}
+		return false
+	})
+	out := make([]DBBinding, len(rows))
+	for r, row := range rows {
+		bind := make(DBBinding, len(order))
+		for i, pn := range order {
+			bind[pn.Label] = row[i]
+		}
+		out[r] = bind
+	}
+	stats.Witnesses = len(out)
+	return out, stats, nil
+}
+
+// matchRows runs the edge-at-a-time structural-join pipeline of
+// Sec. 5.2 over one document's candidate segments: seed rows with the
+// root candidates, then extend one pattern edge at a time with
+// single-pass containment joins. rows[r][i] is the posting bound to
+// order[i] in row r. Pure in-memory computation — no database access —
+// so per-document invocations run concurrently without coordination.
+func matchRows(order []*pattern.Node, colOf map[string]int, cands [][]storage.Posting) [][]storage.Posting {
 	rows := make([][]storage.Posting, len(cands[0]))
 	for r, p := range cands[0] {
 		row := make([]storage.Posting, len(order))
@@ -118,30 +188,32 @@ func MatchDB(db *storage.DB, pt *pattern.Tree) ([]DBBinding, *DBStats, error) {
 		}
 		rows = next
 		if len(rows) == 0 {
-			return nil, stats, nil
+			return nil
 		}
 	}
+	return rows
+}
 
-	// Sort lexicographically by node IDs in pre-order, then convert.
-	sort.SliceStable(rows, func(a, b int) bool {
-		for i := range order {
-			x, y := rows[a][i].ID(), rows[b][i].ID()
-			if x != y {
-				return x.Less(y)
-			}
+// candidateDocs lists the distinct documents of a (doc, start)-sorted
+// posting list, in document order.
+func candidateDocs(posts []storage.Posting) []xmltree.DocID {
+	var docs []xmltree.DocID
+	for i := 0; i < len(posts); {
+		d := posts[i].Interval.Doc
+		docs = append(docs, d)
+		for i < len(posts) && posts[i].Interval.Doc == d {
+			i++
 		}
-		return false
-	})
-	out := make([]DBBinding, len(rows))
-	for r, row := range rows {
-		bind := make(DBBinding, len(order))
-		for i, pn := range order {
-			bind[pn.Label] = row[i]
-		}
-		out[r] = bind
 	}
-	stats.Witnesses = len(out)
-	return out, stats, nil
+	return docs
+}
+
+// docSegment returns the contiguous slice of a (doc, start)-sorted
+// posting list belonging to doc.
+func docSegment(posts []storage.Posting, doc xmltree.DocID) []storage.Posting {
+	lo := sort.Search(len(posts), func(i int) bool { return posts[i].Interval.Doc >= doc })
+	hi := sort.Search(len(posts), func(i int) bool { return posts[i].Interval.Doc > doc })
+	return posts[lo:hi]
 }
 
 // candidates produces the sorted candidate postings for one pattern

@@ -332,3 +332,46 @@ func TestSortDBBindings(t *testing.T) {
 		}
 	}
 }
+
+// TestMatchDBParMatchesSequentialProperty: the per-document parallel
+// matcher must return exactly the sequential witness list — same
+// bindings, same order, same stats — for any parallelism.
+func TestMatchDBParMatchesSequentialProperty(t *testing.T) {
+	prop := func(seed int64, workers uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db, err := storage.CreateTemp(storage.Options{PageSize: 512, PoolPages: 256})
+		if err != nil {
+			return false
+		}
+		defer db.Close()
+		docs := rng.Intn(3) + 1
+		for i := 0; i < docs; i++ {
+			if _, err := db.LoadDocument(fmt.Sprintf("d%d", i), randomDocument(rng)); err != nil {
+				return false
+			}
+		}
+		pt := randomPattern(rng)
+		seq, seqStats, err := MatchDBPar(db, pt, 1)
+		if err != nil {
+			return false
+		}
+		par, parStats, err := MatchDBPar(db, pt, int(workers%8)+2)
+		if err != nil {
+			return false
+		}
+		if len(seq) != len(par) || *seqStats != *parStats {
+			return false
+		}
+		for i := range seq {
+			for _, l := range pt.Labels() {
+				if seq[i][l] != par[i][l] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -9,6 +9,11 @@
 // logical I/O is counted, so the experiment harness can report buffer
 // behaviour alongside wall-clock time.
 //
+// The buffer pool is sharded for concurrency: pages hash to one of N
+// shards, each with its own mutex, frame table and LRU list, so
+// concurrent readers on different shards never contend. Counters are
+// atomic. See DESIGN.md "Concurrency model".
+//
 // Two record-level abstractions are built on top of raw pages:
 // slotted pages (slotted.go) and heap files (heap.go).
 package pagestore
@@ -20,10 +25,15 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultPageSize is the page size used by the paper's experiments.
 const DefaultPageSize = 8192
+
+// DefaultShards is the default buffer pool shard count (clamped so that
+// every shard holds at least one frame).
+const DefaultShards = 16
 
 // PageID identifies a page within a store. Pages are numbered densely
 // from 0 in allocation order.
@@ -40,6 +50,11 @@ type Options struct {
 	// PoolPages is the buffer pool capacity in pages. Defaults to 4096
 	// pages (32 MB at the default page size, matching the paper).
 	PoolPages int
+	// Shards is the number of buffer pool shards. Defaults to
+	// DefaultShards, clamped to PoolPages so each shard holds at least
+	// one frame. Shards: 1 reproduces the single-lock pool exactly
+	// (one global LRU).
+	Shards int
 }
 
 func (o Options) withDefaults() Options {
@@ -48,6 +63,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PoolPages == 0 {
 		o.PoolPages = 4096
+	}
+	if o.Shards == 0 {
+		o.Shards = DefaultShards
+	}
+	if o.Shards > o.PoolPages {
+		o.Shards = o.PoolPages
+	}
+	if o.Shards < 1 {
+		o.Shards = 1
 	}
 	return o
 }
@@ -83,8 +107,42 @@ func (s Stats) String() string {
 		s.Fetches, s.Hits, 100*s.HitRate(), s.PhysicalReads, s.PhysicalWrites, s.Evictions, s.Allocations)
 }
 
-// ErrPoolExhausted is returned when every frame in the buffer pool is
-// pinned and a new page must be brought in.
+// counters is the atomic backing for Stats. Counters are updated with
+// atomic adds on the fetch path, so concurrent readers never serialize
+// on a stats lock; Stats() takes per-counter snapshots (individually
+// exact, though two counters loaded mid-burst may be from instants a
+// few operations apart).
+type counters struct {
+	fetches        atomic.Uint64
+	hits           atomic.Uint64
+	physicalReads  atomic.Uint64
+	physicalWrites atomic.Uint64
+	evictions      atomic.Uint64
+	allocations    atomic.Uint64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Fetches:        c.fetches.Load(),
+		Hits:           c.hits.Load(),
+		PhysicalReads:  c.physicalReads.Load(),
+		PhysicalWrites: c.physicalWrites.Load(),
+		Evictions:      c.evictions.Load(),
+		Allocations:    c.allocations.Load(),
+	}
+}
+
+func (c *counters) reset() {
+	c.fetches.Store(0)
+	c.hits.Store(0)
+	c.physicalReads.Store(0)
+	c.physicalWrites.Store(0)
+	c.evictions.Store(0)
+	c.allocations.Store(0)
+}
+
+// ErrPoolExhausted is returned when every frame in the buffer pool
+// shard a page hashes to is pinned and the page must be brought in.
 var ErrPoolExhausted = errors.New("pagestore: buffer pool exhausted (all frames pinned)")
 
 // ErrClosed is returned by operations on a closed store.
@@ -113,19 +171,29 @@ type frame struct {
 	lruElem *list.Element // non-nil iff pins == 0 (frame is evictable)
 }
 
-// Store is a paged file with a buffer pool. It is safe for concurrent
-// use by multiple goroutines; operations are serialized by an internal
-// mutex (the paper's experiments are single-user, so a coarse lock is
-// adequate and keeps the replacement policy exact).
+// shard is one independently locked slice of the buffer pool. Pages
+// hash to shards by ID, so a shard caches only pages with
+// id % nshards == index, up to cap frames, evicting LRU within itself.
+type shard struct {
+	mu     sync.Mutex
+	frames map[PageID]*frame
+	lru    *list.List // of *frame; front = least recently used
+	cap    int
+}
+
+// Store is a paged file with a sharded buffer pool. It is safe for
+// concurrent use by multiple goroutines: each page operation takes only
+// its shard's lock, disk I/O uses positioned reads/writes, and the
+// counters are atomic. Whole-pool operations (DropCache, Truncate,
+// Flush, Close) lock every shard and must not race with writers.
 type Store struct {
-	mu       sync.Mutex
 	file     *os.File
 	opts     Options
-	numPages uint32
-	frames   map[PageID]*frame
-	lru      *list.List // of *frame; front = least recently used
-	stats    Stats
-	closed   bool
+	shards   []shard
+	numPages atomic.Uint32
+	allocMu  sync.Mutex // serializes page-ID assignment (Allocate vs Allocate)
+	stats    counters
+	closed   atomic.Bool
 }
 
 // Create creates (or truncates) the file at path and opens a store over
@@ -186,13 +254,22 @@ func newStore(f *os.File, opts Options, numPages uint32) (*Store, error) {
 		f.Close()
 		return nil, fmt.Errorf("pagestore: pool must hold at least one page")
 	}
-	return &Store{
-		file:     f,
-		opts:     o,
-		numPages: numPages,
-		frames:   make(map[PageID]*frame),
-		lru:      list.New(),
-	}, nil
+	s := &Store{file: f, opts: o, shards: make([]shard, o.Shards)}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.frames = make(map[PageID]*frame)
+		sh.lru = list.New()
+		// Shard i caches pages with id % Shards == i; its capacity is
+		// the number of such ids among any PoolPages consecutive dense
+		// ids, so a fully pinned dense working set fills the pool
+		// exactly as the single-lock pool did.
+		sh.cap = o.PoolPages / o.Shards
+		if i < o.PoolPages%o.Shards {
+			sh.cap++
+		}
+	}
+	s.numPages.Store(numPages)
+	return s, nil
 }
 
 // PageSize returns the store's page size in bytes.
@@ -201,106 +278,127 @@ func (s *Store) PageSize() int { return s.opts.PageSize }
 // PoolPages returns the buffer pool capacity in pages.
 func (s *Store) PoolPages() int { return s.opts.PoolPages }
 
+// Shards returns the number of buffer pool shards.
+func (s *Store) Shards() int { return len(s.shards) }
+
 // NumPages returns the number of allocated pages.
-func (s *Store) NumPages() uint32 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.numPages
+func (s *Store) NumPages() uint32 { return s.numPages.Load() }
+
+func (s *Store) shardFor(id PageID) *shard {
+	return &s.shards[uint32(id)%uint32(len(s.shards))]
+}
+
+// lockAll acquires every shard lock in index order (the only multi-lock
+// order used, so whole-pool operations cannot deadlock with each other;
+// page operations hold a single shard lock at a time).
+func (s *Store) lockAll() {
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+}
+
+func (s *Store) unlockAll() {
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		s.shards[i].mu.Unlock()
+	}
 }
 
 // Stats returns a snapshot of the I/O counters.
-func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
-}
+func (s *Store) Stats() Stats { return s.stats.snapshot() }
 
 // ResetStats zeroes the I/O counters. The buffer pool contents are left
 // untouched; use DropCache to also empty the pool (cold-cache runs).
-func (s *Store) ResetStats() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats = Stats{}
-}
+func (s *Store) ResetStats() { s.stats.reset() }
 
 // DropCache flushes all dirty pages and empties the buffer pool, so the
 // next fetches hit the disk. It fails if any page is still pinned.
 func (s *Store) DropCache() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
-	for id, fr := range s.frames {
-		if fr.pins > 0 {
-			return fmt.Errorf("pagestore: drop cache: page %d still pinned", id)
-		}
-	}
-	for id, fr := range s.frames {
-		if fr.dirty {
-			if err := s.writeFrame(fr); err != nil {
-				return err
+	s.lockAll()
+	defer s.unlockAll()
+	for i := range s.shards {
+		for id, fr := range s.shards[i].frames {
+			if fr.pins > 0 {
+				return fmt.Errorf("pagestore: drop cache: page %d still pinned", id)
 			}
 		}
-		if fr.lruElem != nil {
-			s.lru.Remove(fr.lruElem)
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		for id, fr := range sh.frames {
+			if fr.dirty {
+				if err := s.writeFrame(fr); err != nil {
+					return err
+				}
+			}
+			if fr.lruElem != nil {
+				sh.lru.Remove(fr.lruElem)
+			}
+			delete(sh.frames, id)
 		}
-		delete(s.frames, id)
 	}
 	return nil
 }
 
 // Allocate appends a zeroed page to the store and returns it pinned.
 func (s *Store) Allocate() (*Page, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return nil, ErrClosed
 	}
-	id := PageID(s.numPages)
-	fr, err := s.freeFrame(id)
+	s.allocMu.Lock()
+	defer s.allocMu.Unlock()
+	id := PageID(s.numPages.Load())
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fr, err := s.freeFrame(sh, id)
 	if err != nil {
 		return nil, err
 	}
-	s.numPages++
-	s.stats.Allocations++
+	s.numPages.Add(1)
+	s.stats.allocations.Add(1)
 	fr.pins = 1
 	fr.dirty = true // a new page must eventually reach disk
-	s.frames[id] = fr
+	sh.frames[id] = fr
 	return &Page{id: id, frame: fr}, nil
 }
 
 // Fetch returns the page with the given ID, pinned. The caller must
-// Unpin it when finished.
+// Unpin it when finished. Fetch is safe for concurrent use; two
+// goroutines fetching the same uncached page serialize on its shard, so
+// the page is read from disk exactly once.
 func (s *Store) Fetch(id PageID) (*Page, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return nil, ErrClosed
 	}
-	if id >= PageID(s.numPages) {
-		return nil, fmt.Errorf("pagestore: fetch: page %d out of range (have %d)", id, s.numPages)
+	if id >= PageID(s.numPages.Load()) {
+		return nil, fmt.Errorf("pagestore: fetch: page %d out of range (have %d)", id, s.numPages.Load())
 	}
-	s.stats.Fetches++
-	if fr, ok := s.frames[id]; ok {
-		s.stats.Hits++
+	s.stats.fetches.Add(1)
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if fr, ok := sh.frames[id]; ok {
+		s.stats.hits.Add(1)
 		if fr.lruElem != nil {
-			s.lru.Remove(fr.lruElem)
+			sh.lru.Remove(fr.lruElem)
 			fr.lruElem = nil
 		}
 		fr.pins++
 		return &Page{id: id, frame: fr}, nil
 	}
-	fr, err := s.freeFrame(id)
+	fr, err := s.freeFrame(sh, id)
 	if err != nil {
 		return nil, err
 	}
 	if err := s.readInto(id, fr.data); err != nil {
 		return nil, err
 	}
-	s.stats.PhysicalReads++
+	s.stats.physicalReads.Add(1)
 	fr.pins = 1
-	s.frames[id] = fr
+	sh.frames[id] = fr
 	return &Page{id: id, frame: fr}, nil
 }
 
@@ -309,8 +407,9 @@ func (s *Store) Fetch(id PageID) (*Page, error) {
 // flush or close. Unpinning an unpinned page panics: that is a
 // use-after-release programming error, not a runtime condition.
 func (s *Store) Unpin(p *Page, dirty bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sh := s.shardFor(p.id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	fr := p.frame
 	if fr.pins <= 0 {
 		panic(fmt.Sprintf("pagestore: unpin of unpinned page %d", p.id))
@@ -318,30 +417,31 @@ func (s *Store) Unpin(p *Page, dirty bool) {
 	fr.dirty = fr.dirty || dirty
 	fr.pins--
 	if fr.pins == 0 {
-		fr.lruElem = s.lru.PushBack(fr)
+		fr.lruElem = sh.lru.PushBack(fr)
 	}
 }
 
 // freeFrame returns a frame for the given new page id, evicting the
-// least recently used unpinned page if the pool is full. Caller holds mu.
-func (s *Store) freeFrame(id PageID) (*frame, error) {
-	if len(s.frames) < s.opts.PoolPages {
+// shard's least recently used unpinned page if the shard is full.
+// Caller holds sh.mu.
+func (s *Store) freeFrame(sh *shard, id PageID) (*frame, error) {
+	if len(sh.frames) < sh.cap {
 		return &frame{id: id, data: make([]byte, s.opts.PageSize)}, nil
 	}
-	el := s.lru.Front()
+	el := sh.lru.Front()
 	if el == nil {
 		return nil, ErrPoolExhausted
 	}
 	victim := el.Value.(*frame)
-	s.lru.Remove(el)
+	sh.lru.Remove(el)
 	victim.lruElem = nil
 	if victim.dirty {
 		if err := s.writeFrame(victim); err != nil {
 			return nil, err
 		}
 	}
-	delete(s.frames, victim.id)
-	s.stats.Evictions++
+	delete(sh.frames, victim.id)
+	s.stats.evictions.Add(1)
 	// Reuse the victim's buffer.
 	for i := range victim.data {
 		victim.data[i] = 0
@@ -365,7 +465,7 @@ func (s *Store) writeFrame(fr *frame) error {
 	if _, err := s.file.WriteAt(fr.data, off); err != nil {
 		return fmt.Errorf("pagestore: write page %d: %w", fr.id, err)
 	}
-	s.stats.PhysicalWrites++
+	s.stats.physicalWrites.Add(1)
 	fr.dirty = false
 	return nil
 }
@@ -376,50 +476,59 @@ func (s *Store) writeFrame(fr *frame) error {
 // reclaim temporary pages (materialized intermediate collections) after
 // a run.
 func (s *Store) Truncate(keep uint32) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
-	if keep > s.numPages {
-		return fmt.Errorf("pagestore: truncate to %d beyond %d pages", keep, s.numPages)
+	s.allocMu.Lock()
+	defer s.allocMu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
+	if keep > s.numPages.Load() {
+		return fmt.Errorf("pagestore: truncate to %d beyond %d pages", keep, s.numPages.Load())
 	}
-	for id, fr := range s.frames {
-		if uint32(id) < keep {
-			continue
-		}
-		if fr.pins > 0 {
-			return fmt.Errorf("pagestore: truncate: page %d still pinned", id)
+	for i := range s.shards {
+		for id, fr := range s.shards[i].frames {
+			if uint32(id) < keep {
+				continue
+			}
+			if fr.pins > 0 {
+				return fmt.Errorf("pagestore: truncate: page %d still pinned", id)
+			}
 		}
 	}
-	for id, fr := range s.frames {
-		if uint32(id) < keep {
-			continue
+	for i := range s.shards {
+		sh := &s.shards[i]
+		for id, fr := range sh.frames {
+			if uint32(id) < keep {
+				continue
+			}
+			if fr.lruElem != nil {
+				sh.lru.Remove(fr.lruElem)
+			}
+			delete(sh.frames, id)
 		}
-		if fr.lruElem != nil {
-			s.lru.Remove(fr.lruElem)
-		}
-		delete(s.frames, id)
 	}
 	if err := s.file.Truncate(int64(keep) * int64(s.opts.PageSize)); err != nil {
 		return fmt.Errorf("pagestore: truncate: %w", err)
 	}
-	s.numPages = keep
+	s.numPages.Store(keep)
 	return nil
 }
 
 // Flush writes every dirty page in the pool back to disk. Pages remain
 // cached and pinned pages are flushed in place.
 func (s *Store) Flush() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
-	for _, fr := range s.frames {
-		if fr.dirty {
-			if err := s.writeFrame(fr); err != nil {
-				return err
+	s.lockAll()
+	defer s.unlockAll()
+	for i := range s.shards {
+		for _, fr := range s.shards[i].frames {
+			if fr.dirty {
+				if err := s.writeFrame(fr); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -429,26 +538,40 @@ func (s *Store) Flush() error {
 // Close flushes dirty pages and closes the underlying file. It is an
 // error to close a store with pinned pages.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
-	for id, fr := range s.frames {
-		if fr.pins > 0 {
-			return fmt.Errorf("pagestore: close: page %d still pinned", id)
-		}
-	}
-	for _, fr := range s.frames {
-		if fr.dirty {
-			if err := s.writeFrame(fr); err != nil {
-				return err
+	s.lockAll()
+	defer s.unlockAll()
+	for i := range s.shards {
+		for id, fr := range s.shards[i].frames {
+			if fr.pins > 0 {
+				return fmt.Errorf("pagestore: close: page %d still pinned", id)
 			}
 		}
 	}
-	s.closed = true
+	for i := range s.shards {
+		for _, fr := range s.shards[i].frames {
+			if fr.dirty {
+				if err := s.writeFrame(fr); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	s.closed.Store(true)
 	if err := s.file.Close(); err != nil {
 		return fmt.Errorf("pagestore: close: %w", err)
 	}
 	return nil
+}
+
+// cached reports whether the page currently resides in the pool
+// (test/diagnostic helper; racy by nature under concurrency).
+func (s *Store) cached(id PageID) bool {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.frames[id]
+	return ok
 }

@@ -18,7 +18,7 @@ func tempStore(t *testing.T, opts Options) *Store {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() {
-		if !st.closed {
+		if !st.closed.Load() {
 			if err := st.Close(); err != nil {
 				t.Errorf("close: %v", err)
 			}
@@ -144,7 +144,8 @@ func TestUnpinUnpinnedPanics(t *testing.T) {
 }
 
 func TestLRUOrder(t *testing.T) {
-	st := tempStore(t, Options{PageSize: 256, PoolPages: 2})
+	// One shard = one global LRU, so eviction order is exact.
+	st := tempStore(t, Options{PageSize: 256, PoolPages: 2, Shards: 1})
 	a, _ := st.Allocate()
 	st.Unpin(a, true)
 	b, _ := st.Allocate()
@@ -157,10 +158,10 @@ func TestLRUOrder(t *testing.T) {
 	st.Unpin(p, false)
 	c, _ := st.Allocate() // must evict b, not a
 	st.Unpin(c, true)
-	if _, ok := st.frames[a.ID()]; !ok {
+	if !st.cached(a.ID()) {
 		t.Error("recently used page a was evicted")
 	}
-	if _, ok := st.frames[b.ID()]; ok {
+	if st.cached(b.ID()) {
 		t.Error("LRU page b was not evicted")
 	}
 }

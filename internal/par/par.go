@@ -1,0 +1,84 @@
+// Package par provides the bounded worker pool used by the parallel
+// physical-execution layer. The design keeps determinism trivial:
+// callers index a pre-sized result slice by work-item position, so any
+// scheduling order produces the same output, and a parallelism of 1
+// degenerates to a plain loop with zero goroutine overhead (the p=1
+// path must not regress against the sequential seed).
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a parallelism knob to a concrete worker count:
+// values <= 0 mean "use every core" (GOMAXPROCS).
+func Workers(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// Do calls fn(i) for every i in [0, n), using at most workers
+// goroutines. With workers <= 1 (or n <= 1) it runs inline on the
+// calling goroutine. Work is handed out in contiguous chunks from an
+// atomic cursor, so cheap items amortize the synchronization. The first
+// error cancels remaining work (items already started still finish) and
+// is returned; which error wins under concurrency is scheduling-
+// dependent, so callers must treat any returned error as fatal for the
+// whole batch.
+func Do(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	chunk := n / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var (
+		cursor   atomic.Int64
+		failed   atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				hi := int(cursor.Add(int64(chunk)))
+				lo := hi - chunk
+				if lo >= n {
+					return
+				}
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					if failed.Load() {
+						return
+					}
+					if err := fn(i); err != nil {
+						errOnce.Do(func() { firstErr = err })
+						failed.Store(true)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,87 @@
+package par
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}
+
+// TestDoCoversEveryIndexOnce is the core contract: regardless of n and
+// worker count, every index in [0, n) is visited exactly once.
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	prop := func(rawN uint8, rawW uint8) bool {
+		n := int(rawN % 200)
+		workers := int(rawW%12) + 1
+		visits := make([]atomic.Int32, n)
+		if err := Do(n, workers, func(i int) error {
+			visits[i].Add(1)
+			return nil
+		}); err != nil {
+			return false
+		}
+		for i := range visits {
+			if visits[i].Load() != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDoSequentialStopsAtFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var visited []int
+	err := Do(10, 1, func(i int) error {
+		visited = append(visited, i)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(visited) != 4 {
+		t.Errorf("visited %v, want exactly [0 1 2 3]", visited)
+	}
+}
+
+func TestDoParallelReturnsError(t *testing.T) {
+	boom := errors.New("boom")
+	err := Do(1000, 8, func(i int) error {
+		if i == 500 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDoZeroItems(t *testing.T) {
+	called := false
+	if err := Do(0, 4, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("fn called for empty range")
+	}
+}

@@ -16,7 +16,12 @@
 // in which the storage layer's tag index yields postings.
 package sjoin
 
-import "timber/internal/xmltree"
+import (
+	"sort"
+
+	"timber/internal/par"
+	"timber/internal/xmltree"
+)
 
 // Axis selects the structural relationship to join on.
 type Axis int
@@ -83,6 +88,70 @@ func popClosed(ancs []xmltree.Interval, stack *[]int, pos xmltree.Interval) {
 		s = s[:len(s)-1]
 	}
 	*stack = s
+}
+
+// segment is one document's contiguous slice of a sorted interval list.
+type segment struct {
+	doc    xmltree.DocID
+	lo, hi int
+}
+
+// docSegments splits a (doc, start)-sorted interval list into its
+// per-document contiguous segments.
+func docSegments(ivs []xmltree.Interval) []segment {
+	var segs []segment
+	for lo := 0; lo < len(ivs); {
+		doc := ivs[lo].Doc
+		hi := lo + 1
+		for hi < len(ivs) && ivs[hi].Doc == doc {
+			hi++
+		}
+		segs = append(segs, segment{doc: doc, lo: lo, hi: hi})
+		lo = hi
+	}
+	return segs
+}
+
+// StackTreePar is StackTree partitioned by document and evaluated with
+// up to workers goroutines: containment never crosses documents, so
+// each document's (ancestor, descendant) segments join independently
+// and the per-document outputs concatenate in document order. The
+// result is byte-identical to StackTree — same pairs, same order —
+// because StackTree itself processes descendants in document order and
+// a descendant's matching ancestors always come from its own document.
+// Inputs follow the StackTree contract: sorted by (doc, start).
+func StackTreePar(ancs, descs []xmltree.Interval, axis Axis, workers int) []Pair {
+	dsegs := docSegments(descs)
+	if workers <= 1 || len(dsegs) <= 1 {
+		return StackTree(ancs, descs, axis)
+	}
+	asegs := docSegments(ancs)
+	parts := make([][]Pair, len(dsegs))
+	par.Do(len(dsegs), workers, func(k int) error {
+		ds := dsegs[k]
+		// Locate this document's ancestor segment (may be absent).
+		i := sort.Search(len(asegs), func(i int) bool { return asegs[i].doc >= ds.doc })
+		if i == len(asegs) || asegs[i].doc != ds.doc {
+			return nil
+		}
+		as := asegs[i]
+		pairs := StackTree(ancs[as.lo:as.hi], descs[ds.lo:ds.hi], axis)
+		for p := range pairs {
+			pairs[p].A += as.lo
+			pairs[p].D += ds.lo
+		}
+		parts[k] = pairs
+		return nil
+	})
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]Pair, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
 }
 
 // NestedLoop is the O(|A|·|D|) baseline with identical output semantics

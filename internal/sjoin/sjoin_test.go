@@ -220,3 +220,32 @@ func benchLists() (arts, authors []xmltree.Interval) {
 	return intervalsOf([]*xmltree.Node{root}, "article"),
 		intervalsOf([]*xmltree.Node{root}, "author")
 }
+
+// TestStackTreeParMatchesSequentialProperty: the per-document parallel
+// join must return exactly the sequential pairs, in the same order,
+// for any worker count — compare element-wise (the parallel path
+// returns an empty non-nil slice where the sequential returns nil).
+func TestStackTreeParMatchesSequentialProperty(t *testing.T) {
+	prop := func(seed int64, pc bool, workers uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alist, dlist := randomForest(rng)
+		axis := AncestorDescendant
+		if pc {
+			axis = ParentChild
+		}
+		want := StackTree(alist, dlist, axis)
+		got := StackTreePar(alist, dlist, axis, int(workers%8)+1)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

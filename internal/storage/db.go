@@ -33,6 +33,17 @@ type DocInfo struct {
 // DB is a TIMBER-style native XML database: a page store holding node
 // records (Data Manager), B+tree indices (Index Manager) and a catalog
 // (Metadata Manager).
+//
+// Concurrency: the read paths — GetNode, GetNodeAt, GetSubtree,
+// Content, TagPostings, ValuePostings, LocateRID, DocRootPosting,
+// ScanRange, ScanDocument, Tags, Documents, Stats — are safe for
+// concurrent use from multiple goroutines. They only fetch pages
+// through the sharded buffer pool (pin, copy out, unpin) and never
+// mutate DB state: the B+tree root/height fields and the docs catalog
+// are written at load time only. Mutating operations — LoadDocument,
+// LoadXML, SpillTrees, DropCache, ResetStats, Flush, Truncate via
+// SpillTrees, Close — require exclusive access: no reader or other
+// writer may run concurrently with them.
 type DB struct {
 	st      *pagestore.Store
 	heap    *pagestore.Heap
