@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench experiments
+.PHONY: all build test vet race check bench experiments fuzz-smoke trace-check
 
 all: build
 
@@ -25,3 +25,19 @@ bench:
 
 experiments:
 	$(GO) run ./cmd/experiments -parfile BENCH_parallel.json
+
+# fuzz-smoke runs each native fuzz target briefly — enough to catch
+# parser panics on the corpus plus a short random exploration.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 5s ./internal/xq/
+	$(GO) test -run '^$$' -fuzz '^FuzzParseTree$$' -fuzztime 5s ./internal/pattern/
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 5s ./internal/xmltree/
+
+# trace-check runs one traced query end to end; timber-query verifies
+# the exactness invariant (span deltas ≡ global counters) and exits
+# nonzero on any mismatch.
+trace-check:
+	$(GO) run ./cmd/dblpgen -articles 2000 -db /tmp/timber-trace-check.db
+	$(GO) run ./cmd/timber-query -db /tmp/timber-trace-check.db -plans=false -q -trace \
+		'FOR $$a IN distinct-values(document("bib.xml")//author) RETURN <authorpubs>{$$a}{FOR $$b IN document("bib.xml")//article WHERE $$a = $$b/author RETURN $$b/title}</authorpubs>'
+	rm -f /tmp/timber-trace-check.db

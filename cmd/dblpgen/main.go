@@ -32,19 +32,21 @@ func main() {
 	}
 }
 
-func run(cfg dblpgen.Config, dbPath string) error {
+func run(cfg dblpgen.Config, dbPath string) (err error) {
 	if dbPath != "" {
 		db, err := storage.Create(dbPath, storage.Options{})
 		if err != nil {
 			return err
 		}
-		stats, err := dblpgen.GenerateToDB(db, cfg)
-		if err != nil {
-			db.Close()
-			return err
+		stats, gerr := dblpgen.GenerateToDB(db, cfg)
+		// Close even on generation failure, and never let a failed
+		// Close (lost metadata or dirty pages) report success.
+		cerr := db.Close()
+		if gerr != nil {
+			return gerr
 		}
-		if err := db.Close(); err != nil {
-			return err
+		if cerr != nil {
+			return cerr
 		}
 		fmt.Fprintf(os.Stderr, "loaded %v into %s\n", stats, dbPath)
 		return nil

@@ -15,6 +15,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
@@ -29,22 +31,37 @@ func main() {
 	expSel := flag.String("exp", "all", "which experiment to run: e1 (titles), e2 (count), all")
 	seed := flag.Int64("seed", 2002, "generator seed")
 	parFile := flag.String("parfile", "", "also sweep E1 groupby over parallelism 1,2,4,8 and write the JSON scaling report here (e.g. BENCH_parallel.json)")
+	traceFile := flag.String("tracefile", "", "run each strategy under a verified per-operator tracer and write the JSON trace report here (e.g. BENCH_traces.json)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	verbose := flag.Bool("v", false, "print loading progress")
 	flag.Parse()
 
-	if err := run(*articles, *poolMB, *expSel, *seed, *parFile, *verbose); err != nil {
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: pprof:", err)
+			}
+		}()
+	}
+	// run owns the database lifecycle; the deferred Close runs (and its
+	// error propagates) before any exit here.
+	if err := run(*articles, *poolMB, *expSel, *seed, *parFile, *traceFile, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(articles, poolMB int, expSel string, seed int64, parFile string, verbose bool) error {
+func run(articles, poolMB int, expSel string, seed int64, parFile, traceFile string, verbose bool) (err error) {
 	poolPages := poolMB * 1024 * 1024 / pagestore.DefaultPageSize
 	db, err := bench.SetupDB(poolPages)
 	if err != nil {
 		return err
 	}
-	defer db.Close()
+	defer func() {
+		if cerr := db.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 
 	start := time.Now()
 	stats, err := dblpgen.GenerateToDB(db, dblpgen.Config{Articles: articles, Seed: seed})
@@ -69,6 +86,8 @@ func run(articles, poolMB int, expSel string, seed int64, parFile string, verbos
 			bench.QueryCountText,
 			"paper band: groupby wins by several-fold when only counts are produced"},
 	}
+	var traces bench.TraceReport
+	traces.Articles = articles
 	for _, e := range experiments {
 		if expSel != "all" && expSel != e.id {
 			continue
@@ -78,13 +97,38 @@ func run(articles, poolMB int, expSel string, seed int64, parFile string, verbos
 		if err != nil {
 			return err
 		}
-		ms, err := bench.RunExperiment(db, q)
+		var ms []bench.Measurement
+		if traceFile != "" {
+			// Traced runs: every strategy executes under a tracer whose
+			// span deltas are verified against the global counters, and
+			// the paper's two measured plans get their per-operator
+			// breakdown inlined into the BENCH output.
+			ms, err = bench.RunExperimentTraced(db, q)
+		} else {
+			ms, err = bench.RunExperiment(db, q)
+		}
 		if err != nil {
 			return err
 		}
 		fmt.Print(bench.Table(ms, bench.StratDirectNaive))
+		if traceFile != "" {
+			traces.AddMeasurements(e.id, ms)
+			for _, m := range ms {
+				if m.Name != bench.StratDirectNaive && m.Name != bench.StratGroupBy {
+					continue
+				}
+				fmt.Printf("per-operator breakdown — %s:\n", m.Name)
+				fmt.Print(m.Trace.Text())
+			}
+		}
 		fmt.Println(e.headline)
 		fmt.Println()
+	}
+	if traceFile != "" {
+		if err := traces.WriteJSON(traceFile); err != nil {
+			return err
+		}
+		fmt.Println("wrote", traceFile)
 	}
 
 	if parFile != "" {

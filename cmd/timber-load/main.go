@@ -31,13 +31,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// run owns the database lifecycle; os.Exit only happens after its
+	// deferred Close (which persists metadata and dirty pages) has run
+	// and its error has been folded into run's result.
 	if err := run(*dbPath, *pageSize, *poolMB, *noValueIdx, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "timber-load:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dbPath string, pageSize, poolMB int, noValueIdx bool, inputs []string) error {
+func run(dbPath string, pageSize, poolMB int, noValueIdx bool, inputs []string) (err error) {
 	db, err := storage.Create(dbPath, storage.Options{
 		PageSize:     pageSize,
 		PoolPages:    poolMB * 1024 * 1024 / pageSize,
@@ -46,7 +49,11 @@ func run(dbPath string, pageSize, poolMB int, noValueIdx bool, inputs []string) 
 	if err != nil {
 		return err
 	}
-	defer db.Close()
+	defer func() {
+		if cerr := db.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 
 	for _, path := range inputs {
 		f, err := os.Open(path)

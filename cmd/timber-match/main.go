@@ -49,7 +49,7 @@ func main() {
 	}
 }
 
-func run(dbPath, src string, limit int) error {
+func run(dbPath, src string, limit int) (err error) {
 	pt, err := pattern.ParseTree(src)
 	if err != nil {
 		return err
@@ -60,7 +60,11 @@ func run(dbPath, src string, limit int) error {
 	if err != nil {
 		return err
 	}
-	defer db.Close()
+	defer func() {
+		if cerr := db.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 
 	witnesses, stats, err := match.MatchDB(db, pt)
 	if err != nil {

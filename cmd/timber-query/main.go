@@ -7,21 +7,32 @@
 //
 //	timber-query -db bib.timber 'FOR $a IN distinct-values(...) ...'
 //	timber-query -db bib.timber -f query.xq -plan groupby
+//	timber-query -db bib.timber -trace -f query.xq
 //
 // -plan selects the execution strategy: logical (reference in-memory
 // evaluation), physical (generic index-accelerated evaluation of any
 // translatable query), direct (the naive plan with materialized
 // intermediates), or groupby (identifier processing; the default when
 // the rewrite applies).
+//
+// -trace prints an EXPLAIN-ANALYZE-style per-operator tree to stderr:
+// one span per operator phase with wall time, buffer-pool deltas
+// (fetches / hits / physical I/O), index-traversal deltas and operator
+// counters. -tracefile writes the same tree as JSON. Either flag also
+// verifies the exactness invariant — the span deltas must sum to the
+// database's global counters — and fails the command if they do not.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
 	"timber/internal/exec"
+	"timber/internal/obs"
 	"timber/internal/opt"
 	"timber/internal/plan"
 	"timber/internal/storage"
@@ -37,6 +48,9 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker bound for the physical executors (0 = GOMAXPROCS, 1 = sequential)")
 	showPlans := flag.Bool("plans", true, "print the naive and rewritten plans")
 	quiet := flag.Bool("q", false, "suppress result trees (print timing only)")
+	trace := flag.Bool("trace", false, "print a per-operator EXPLAIN ANALYZE tree to stderr")
+	traceFile := flag.String("tracefile", "", "write the per-operator trace as JSON to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	query := ""
@@ -55,13 +69,30 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(*dbPath, query, *strategy, *poolMB, *parallel, *showPlans, *quiet); err != nil {
+	servePprof(*pprofAddr)
+	// run owns the database lifecycle: by the time it returns, the
+	// deferred Close has executed (and its error has been folded into
+	// run's), so exiting here never skips cleanup.
+	if err := run(*dbPath, query, *strategy, *poolMB, *parallel, *showPlans, *quiet, *trace, *traceFile); err != nil {
 		fmt.Fprintln(os.Stderr, "timber-query:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dbPath, query, strategy string, poolMB, parallel int, showPlans, quiet bool) error {
+// servePprof starts the opt-in pprof listener. Failures to serve are
+// reported but never fail the query.
+func servePprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "timber-query: pprof:", err)
+		}
+	}()
+}
+
+func run(dbPath, query, strategy string, poolMB, parallel int, showPlans, quiet, trace bool, traceFile string) (err error) {
 	ast, err := xq.Parse(query)
 	if err != nil {
 		return err
@@ -89,7 +120,19 @@ func run(dbPath, query, strategy string, poolMB, parallel int, showPlans, quiet 
 	if err != nil {
 		return err
 	}
-	defer db.Close()
+	defer func() {
+		if cerr := db.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+
+	// The tracer snapshots the global counters at span boundaries, so
+	// they must start from zero for the exactness invariant to hold.
+	var tr *obs.Tracer
+	if trace || traceFile != "" {
+		db.ResetStats()
+		tr = db.NewTracer("query")
+	}
 
 	start := time.Now()
 	var trees []*xmltree.Node
@@ -107,7 +150,7 @@ func run(dbPath, query, strategy string, poolMB, parallel int, showPlans, quiet 
 		if applied {
 			op = rewritten
 		}
-		out, err := exec.ExecPhysicalPar(db, op, parallel)
+		out, err := exec.ExecPhysicalTraced(db, op, parallel, tr)
 		if err != nil {
 			return err
 		}
@@ -121,6 +164,7 @@ func run(dbPath, query, strategy string, poolMB, parallel int, showPlans, quiet 
 			return err
 		}
 		spec.Parallelism = parallel
+		spec.Tracer = tr
 		var res *exec.Result
 		if strategy == "direct" {
 			res, err = exec.DirectMaterialized(db, spec)
@@ -135,6 +179,26 @@ func run(dbPath, query, strategy string, poolMB, parallel int, showPlans, quiet 
 		return fmt.Errorf("unknown strategy %q", strategy)
 	}
 	elapsed := time.Since(start)
+
+	if tr != nil {
+		data := tr.Finish()
+		// Exactness invariant: the per-span deltas must telescope to
+		// the database's global counters. A violation means the trace
+		// is lying about where the work went — fail loudly so CI
+		// catches instrumentation drift.
+		if verr := data.Verify(db.TraceCounters()); verr != nil {
+			return fmt.Errorf("trace verification: %w", verr)
+		}
+		if trace {
+			fmt.Fprint(os.Stderr, data.Text())
+		}
+		if traceFile != "" {
+			if werr := data.WriteJSONFile(traceFile); werr != nil {
+				return werr
+			}
+			fmt.Fprintln(os.Stderr, "trace written to", traceFile)
+		}
+	}
 
 	if !quiet {
 		for _, tr := range trees {

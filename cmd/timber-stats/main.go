@@ -25,12 +25,16 @@ func main() {
 	}
 }
 
-func run(dbPath string, showTags bool) error {
+func run(dbPath string, showTags bool) (err error) {
 	db, err := storage.Open(dbPath, storage.Options{})
 	if err != nil {
 		return err
 	}
-	defer db.Close()
+	defer func() {
+		if cerr := db.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 
 	fmt.Printf("database: %s\n", dbPath)
 	fmt.Printf("pages:    %d (%.1f MiB at 8 KiB)\n", db.NumPages(), float64(db.NumPages())*8/1024)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"timber/internal/exec"
+	"timber/internal/obs"
 	"timber/internal/opt"
 	"timber/internal/pagestore"
 	"timber/internal/plan"
@@ -81,6 +82,9 @@ type Measurement struct {
 	Pool   pagestore.Stats // counter delta for this run
 	Exec   exec.ExecStats
 	Groups int
+	// Trace is the per-operator span tree when the run was traced
+	// (MeasureObs / RunExperimentTraced); nil otherwise.
+	Trace *obs.SpanData
 }
 
 // Measure runs fn against the database with a cold buffer pool and

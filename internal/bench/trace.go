@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"timber/internal/exec"
+	"timber/internal/obs"
+	"timber/internal/storage"
+)
+
+// MeasureObs is Measure with per-operator tracing: the run starts from
+// a cold pool and zeroed counters, executes under a fresh tracer, and
+// the finished span tree is verified against the database's global
+// counters before the measurement is returned — a benchmark run whose
+// trace does not telescope to the global stats is an instrumentation
+// bug, not a data point.
+func MeasureObs(db *storage.DB, name string, fn func(tr *obs.Tracer) (*exec.Result, error)) (Measurement, error) {
+	if err := db.DropCache(); err != nil {
+		return Measurement{}, err
+	}
+	db.ResetStats()
+	tr := db.NewTracer(name)
+	start := time.Now()
+	res, err := fn(tr)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("bench: %s: %w", name, err)
+	}
+	wall := time.Since(start)
+	data := tr.Finish()
+	if verr := data.Verify(db.TraceCounters()); verr != nil {
+		return Measurement{}, fmt.Errorf("bench: %s: trace verification: %w", name, verr)
+	}
+	return Measurement{
+		Name:   name,
+		Wall:   wall,
+		Pool:   db.Stats(),
+		Exec:   res.Stats,
+		Groups: res.Stats.Groups,
+		Trace:  data,
+	}, nil
+}
+
+// RunExperimentTraced is RunExperiment with every strategy executed
+// under a verified tracer; each Measurement carries its span tree.
+func RunExperimentTraced(db *storage.DB, q *Query) ([]Measurement, error) {
+	strategies := []struct {
+		name string
+		fn   func(*storage.DB, exec.Spec) (*exec.Result, error)
+	}{
+		{StratDirectNaive, exec.DirectMaterialized},
+		{StratDirectNested, exec.DirectNestedLoops},
+		{StratDirectBatch, exec.DirectBatch},
+		{StratGroupBy, exec.GroupByExec},
+		{StratGroupByReplic, exec.GroupByReplicating},
+	}
+	var out []Measurement
+	for _, s := range strategies {
+		fn := s.fn
+		m, err := MeasureObs(db, s.name, func(tr *obs.Tracer) (*exec.Result, error) {
+			spec := q.Spec
+			spec.Tracer = tr
+			return fn(db, spec)
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// TraceEntry pairs one strategy's measurement with its span tree in
+// the JSON trace report.
+type TraceEntry struct {
+	Experiment string        `json:"experiment"`
+	Strategy   string        `json:"strategy"`
+	WallNS     int64         `json:"wall_ns"`
+	Groups     int           `json:"groups"`
+	Trace      *obs.SpanData `json:"trace"`
+}
+
+// TraceReport is the JSON document cmd/experiments writes next to the
+// BENCH_*.json files: per-operator breakdowns for every strategy of
+// every experiment run.
+type TraceReport struct {
+	Articles int          `json:"articles,omitempty"`
+	Entries  []TraceEntry `json:"entries"`
+}
+
+// AddMeasurements appends the traced measurements of one experiment.
+func (r *TraceReport) AddMeasurements(experiment string, ms []Measurement) {
+	for _, m := range ms {
+		if m.Trace == nil {
+			continue
+		}
+		r.Entries = append(r.Entries, TraceEntry{
+			Experiment: experiment,
+			Strategy:   m.Name,
+			WallNS:     int64(m.Wall),
+			Groups:     m.Groups,
+			Trace:      m.Trace,
+		})
+	}
+}
+
+// WriteJSON writes the report to path, indented for diffing.
+func (r *TraceReport) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

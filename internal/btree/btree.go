@@ -41,6 +41,7 @@ const (
 type Tree struct {
 	st   *pagestore.Store
 	root pagestore.PageID
+	m    *Metrics // optional traversal counters; nil = uninstrumented
 }
 
 // New creates an empty tree in the store.
@@ -191,6 +192,7 @@ func (t *Tree) readNode(id pagestore.PageID) (*node, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.m.visit()
 	defer t.st.Unpin(p, false)
 	return decode(p.Data())
 }

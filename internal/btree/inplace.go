@@ -69,6 +69,7 @@ func (t *Tree) getFast(key []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
+		t.m.visit()
 		data := p.Data()
 		if data[0]&flagLeaf != 0 {
 			valOff, valLen, found := leafSearchEncoded(data, key)

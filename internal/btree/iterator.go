@@ -38,8 +38,10 @@ func (t *Tree) Seek(key []byte) *Iterator {
 			it.fail(err)
 			return it
 		}
+		t.m.visit()
 		data := p.Data()
 		if data[0]&flagLeaf != 0 {
+			t.m.leaf()
 			it.page = p
 			it.data = data
 			it.num = int(uint16(data[1]) | uint16(data[2])<<8)
@@ -75,6 +77,8 @@ func (it *Iterator) loadCell() {
 			it.fail(err)
 			return
 		}
+		it.t.m.visit()
+		it.t.m.leaf()
 		it.page = p
 		it.data = p.Data()
 		it.num = int(uint16(it.data[1]) | uint16(it.data[2])<<8)

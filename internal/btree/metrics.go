@@ -1,0 +1,62 @@
+package btree
+
+import "sync/atomic"
+
+// Metrics counts index-traversal work across one or more trees, for
+// the observability layer: the storage DB attaches a single Metrics to
+// its locator, tag and value trees, and the tracer snapshots it at
+// span boundaries. Counters are atomic, so concurrent readers update
+// them without coordination; a tree with no Metrics attached (m == nil)
+// pays only a nil-check.
+type Metrics struct {
+	nodeVisits atomic.Uint64
+	leafScans  atomic.Uint64
+}
+
+// MetricsSnapshot is a point-in-time copy of the counters.
+type MetricsSnapshot struct {
+	// NodeVisits is the number of tree pages examined: every page a
+	// point lookup, descent or scan touched.
+	NodeVisits uint64
+	// LeafScans is the number of leaf pages cursored by iterators
+	// (range and prefix scans); descents that terminate at a leaf count
+	// it here too.
+	LeafScans uint64
+}
+
+// Snapshot returns the current counter values. Safe on a nil Metrics
+// (all zeros).
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	if m == nil {
+		return MetricsSnapshot{}
+	}
+	return MetricsSnapshot{
+		NodeVisits: m.nodeVisits.Load(),
+		LeafScans:  m.leafScans.Load(),
+	}
+}
+
+// Reset zeroes the counters. Safe on a nil Metrics.
+func (m *Metrics) Reset() {
+	if m == nil {
+		return
+	}
+	m.nodeVisits.Store(0)
+	m.leafScans.Store(0)
+}
+
+func (m *Metrics) visit() {
+	if m != nil {
+		m.nodeVisits.Add(1)
+	}
+}
+
+func (m *Metrics) leaf() {
+	if m != nil {
+		m.leafScans.Add(1)
+	}
+}
+
+// SetMetrics attaches a counter sink to the tree; nil detaches. Several
+// trees may share one Metrics. Attach before concurrent use begins.
+func (t *Tree) SetMetrics(m *Metrics) { t.m = m }

@@ -25,9 +25,12 @@ func DirectNestedLoops(db *storage.DB, spec Spec) (*Result, error) {
 	}
 	res := &Result{}
 	basisTag := spec.BasisTag()
+	sp := spec.trace("exec: direct nested-loops")
+	defer sp.End()
 
 	// Outer: distinct-values(//basisTag) — identify nodes by index,
 	// look up the actual data values, eliminate duplicates.
+	outerSp := sp.Child("scan: distinct outer values")
 	outerPosts, err := db.TagPostings(basisTag)
 	if err != nil {
 		return nil, err
@@ -46,6 +49,10 @@ func DirectNestedLoops(db *storage.DB, spec Spec) (*Result, error) {
 			distinct = append(distinct, v)
 		}
 	}
+	outerSp.Add("postings", int64(len(outerPosts)))
+	outerSp.Add("value_lookups", int64(len(outerPosts)))
+	outerSp.Add("distinct", int64(len(distinct)))
+	outerSp.End()
 
 	// The upward chain from the grouping-value node to the member:
 	// reverse of the join path with the member tag at the end. A child
@@ -60,6 +67,9 @@ func DirectNestedLoops(db *storage.DB, spec Spec) (*Result, error) {
 	// Inner loop, once per distinct value: probe the value index,
 	// navigate up to members, order them if requested, and navigate
 	// down for values.
+	innerSp := sp.Child("nested loop: probe + navigate")
+	probesBefore := res.Stats.IndexPostings
+	lookupsBefore := res.Stats.ValueLookups
 	for _, v := range distinct {
 		probes, err := db.ValuePostings(basisTag, v)
 		if err != nil {
@@ -115,7 +125,12 @@ func DirectNestedLoops(db *storage.DB, spec Spec) (*Result, error) {
 		}
 		res.Trees = append(res.Trees, out)
 	}
-	if err := finishResult(db, res); err != nil {
+	innerSp.Add("probe_postings", int64(res.Stats.IndexPostings-probesBefore))
+	innerSp.Add("value_lookups", int64(res.Stats.ValueLookups-lookupsBefore))
+	innerSp.Add("locator_probes", int64(res.Stats.LocatorProbes))
+	innerSp.Add("groups", int64(len(res.Trees)))
+	innerSp.End()
+	if err := finishResult(db, res, sp); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -206,8 +221,11 @@ func (r *Result) navigateDown(db *storage.DB, member *storage.NodeRecord, path P
 func DirectBatch(db *storage.DB, spec Spec) (*Result, error) {
 	res := &Result{}
 	basisTag := spec.BasisTag()
+	sp := spec.trace("exec: direct batch")
+	defer sp.End()
 
 	// Outer values, first-occurrence order.
+	outerSp := sp.Child("scan: distinct outer values")
 	outerPosts, err := db.TagPostings(basisTag)
 	if err != nil {
 		return nil, err
@@ -226,19 +244,27 @@ func DirectBatch(db *storage.DB, spec Spec) (*Result, error) {
 			distinct = append(distinct, v)
 		}
 	}
+	outerSp.Add("postings", int64(len(outerPosts)))
+	outerSp.Add("value_lookups", int64(len(outerPosts)))
+	outerSp.Add("distinct", int64(len(distinct)))
+	outerSp.End()
 
 	// Member/value-node pairs, index-only; then one value look-up per
 	// pair to build the hash join table.
+	joinSp := sp.Child("sjoin: join path")
 	members, err := db.TagPostings(spec.MemberTag)
 	if err != nil {
 		return nil, err
 	}
 	res.Stats.IndexPostings += len(members)
-	witnesses, err := pathPairs(db, members, spec.JoinPath, spec.workers())
+	joinSp.Add("postings", int64(len(members)))
+	witnesses, err := pathPairs(db, members, spec.JoinPath, spec.workers(), joinSp)
+	joinSp.End()
 	if err != nil {
 		return nil, err
 	}
 	res.Stats.IndexPostings += len(witnesses)
+	hashSp := sp.Child("hash join: build")
 	byValue := map[string][]storage.Posting{}
 	dedup := map[string]map[xmltree.NodeID]bool{}
 	for _, w := range witnesses {
@@ -256,9 +282,13 @@ func DirectBatch(db *storage.DB, spec Spec) (*Result, error) {
 		dedup[v][w.member.ID()] = true
 		byValue[v] = append(byValue[v], w.member)
 	}
+	hashSp.Add("value_lookups", int64(len(witnesses)))
+	hashSp.End()
 
 	// Value path, index-only.
-	valuePairs, err := pathPairs(db, members, spec.ValuePath, spec.workers())
+	valSp := sp.Child("sjoin: value path")
+	valuePairs, err := pathPairs(db, members, spec.ValuePath, spec.workers(), valSp)
+	valSp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -266,7 +296,7 @@ func DirectBatch(db *storage.DB, spec Spec) (*Result, error) {
 	valuesOf := groupPairsByMember(valuePairs)
 
 	if spec.OrderPath != nil {
-		ov, err := orderValues(db, members, spec.OrderPath, res, spec.workers())
+		ov, err := orderValues(db, members, spec.OrderPath, res, spec.workers(), sp)
 		if err != nil {
 			return nil, err
 		}
@@ -275,6 +305,8 @@ func DirectBatch(db *storage.DB, spec Spec) (*Result, error) {
 		}
 	}
 
+	matSp := sp.Child("materialize: groups")
+	lookupsBefore := res.Stats.ValueLookups
 	for _, v := range distinct {
 		out := xmltree.E(spec.OutTag, xmltree.Elem(basisTag, v))
 		switch spec.Mode {
@@ -298,7 +330,10 @@ func DirectBatch(db *storage.DB, spec Spec) (*Result, error) {
 		}
 		res.Trees = append(res.Trees, out)
 	}
-	if err := finishResult(db, res); err != nil {
+	matSp.Add("groups", int64(len(res.Trees)))
+	matSp.Add("value_lookups", int64(res.Stats.ValueLookups-lookupsBefore))
+	matSp.End()
+	if err := finishResult(db, res, sp); err != nil {
 		return nil, err
 	}
 	return res, nil

@@ -1,6 +1,9 @@
 package exec
 
-import "timber/internal/storage"
+import (
+	"timber/internal/obs"
+	"timber/internal/storage"
+)
 
 // finishResult materializes the output collection through the storage
 // engine. TIMBER query results are stored trees, so every plan pays to
@@ -15,12 +18,15 @@ import "timber/internal/storage"
 // must not run concurrently against one database; the read-only storage
 // paths (postings, record fetches, subtree scans) remain safe for
 // concurrent use.
-func finishResult(db *storage.DB, res *Result) error {
+func finishResult(db *storage.DB, res *Result, sp *obs.Span) error {
+	finSp := sp.Child("spill: result trees")
+	defer finSp.End()
 	trees, err := db.SpillTrees(res.Trees)
 	if err != nil {
 		return err
 	}
 	res.Trees = trees
 	res.Stats.Groups = len(trees)
+	finSp.Add("trees", int64(len(trees)))
 	return nil
 }

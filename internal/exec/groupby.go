@@ -59,20 +59,30 @@ type ExecStats struct {
 func GroupByExec(db *storage.DB, spec Spec) (*Result, error) {
 	res := &Result{}
 	workers := spec.workers()
+	sp := spec.trace("exec: groupby")
+	defer sp.End()
 
 	// Step 1: identifier-only pattern match.
+	scanSp := sp.Child("scan: member postings")
 	members, err := db.TagPostings(spec.MemberTag)
 	if err != nil {
 		return nil, err
 	}
 	res.Stats.IndexPostings += len(members)
-	witnesses, err := pathPairs(db, members, spec.JoinPath, workers)
+	scanSp.Add("postings", int64(len(members)))
+	scanSp.End()
+
+	joinSp := sp.Child("sjoin: join path")
+	witnesses, err := pathPairs(db, members, spec.JoinPath, workers, joinSp)
+	joinSp.End()
 	if err != nil {
 		return nil, err
 	}
 	res.Stats.IndexPostings += len(witnesses)
 
-	valuePairs, err := pathPairs(db, members, spec.ValuePath, workers)
+	valSp := sp.Child("sjoin: value path")
+	valuePairs, err := pathPairs(db, members, spec.ValuePath, workers, valSp)
+	valSp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -87,6 +97,7 @@ func GroupByExec(db *storage.DB, spec Spec) (*Result, error) {
 		value  string
 		seq    int
 	}
+	popSp := sp.Child("populate: grouping values")
 	ws := make([]witness, len(witnesses))
 	if err := par.Do(len(witnesses), workers, func(i int) error {
 		p := witnesses[i]
@@ -97,26 +108,35 @@ func GroupByExec(db *storage.DB, spec Spec) (*Result, error) {
 		ws[i] = witness{member: p.member, value: v, seq: i}
 		return nil
 	}); err != nil {
+		popSp.End()
 		return nil, err
 	}
 	res.Stats.ValueLookups += len(witnesses)
+	popSp.Add("value_lookups", int64(len(witnesses)))
+	popSp.End()
 
 	// Step 3: sort by value; the ordering-list values (populated on
 	// identifiers like the grouping values, per Sec. 5.3) order members
 	// within a group, and witness order breaks remaining ties.
 	if spec.OrderPath != nil {
-		ov, err := orderValues(db, members, spec.OrderPath, res, workers)
+		ov, err := orderValues(db, members, spec.OrderPath, res, workers, sp)
 		if err != nil {
 			return nil, err
 		}
+		sortSp := sp.Child("sort: witnesses")
 		sort.SliceStable(ws, func(i, j int) bool {
 			if ws[i].value != ws[j].value {
 				return ws[i].value < ws[j].value
 			}
 			return orderLess(ov[ws[i].member.ID()], ov[ws[j].member.ID()], spec.OrderDesc)
 		})
+		sortSp.Add("witnesses", int64(len(ws)))
+		sortSp.End()
 	} else {
+		sortSp := sp.Child("sort: witnesses")
 		sort.SliceStable(ws, func(i, j int) bool { return ws[i].value < ws[j].value })
+		sortSp.Add("witnesses", int64(len(ws)))
+		sortSp.End()
 	}
 
 	// Step 4: emit one tree per run of equal values. Runs are found
@@ -133,6 +153,7 @@ func GroupByExec(db *storage.DB, spec Spec) (*Result, error) {
 		runs = append(runs, run{i: i, j: j})
 		i = j
 	}
+	matSp := sp.Child("materialize: groups")
 	trees := make([]*xmltree.Node, len(runs))
 	looks := make([]int, len(runs))
 	switch spec.Mode {
@@ -153,6 +174,7 @@ func GroupByExec(db *storage.DB, spec Spec) (*Result, error) {
 			trees[g] = out
 			return nil
 		}); err != nil {
+			matSp.End()
 			return nil, err
 		}
 	case Count:
@@ -166,11 +188,16 @@ func GroupByExec(db *storage.DB, spec Spec) (*Result, error) {
 			trees[g] = out
 		}
 	}
+	totalLooks := 0
 	for g := range runs {
 		res.Trees = append(res.Trees, trees[g])
 		res.Stats.ValueLookups += looks[g]
+		totalLooks += looks[g]
 	}
-	if err := finishResult(db, res); err != nil {
+	matSp.Add("groups", int64(len(runs)))
+	matSp.Add("value_lookups", int64(totalLooks))
+	matSp.End()
+	if err := finishResult(db, res, sp); err != nil {
 		return nil, err
 	}
 	return res, nil

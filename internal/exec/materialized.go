@@ -32,8 +32,11 @@ import (
 func DirectMaterialized(db *storage.DB, spec Spec) (*Result, error) {
 	res := &Result{}
 	basisTag := spec.BasisTag()
+	sp := spec.trace("exec: direct materialized")
+	defer sp.End()
 
 	// Step 1: outer selection + projection (Figure 7), materialized.
+	outerSp := sp.Child("materialize: outer selection")
 	outerPosts, err := db.TagPostings(basisTag)
 	if err != nil {
 		return nil, err
@@ -67,17 +70,24 @@ func DirectMaterialized(db *storage.DB, spec Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	outerSp.Add("postings", int64(len(outerPosts)))
+	outerSp.Add("value_lookups", int64(len(outerPosts)))
+	outerSp.Add("distinct", int64(len(distinct)))
+	outerSp.End()
 
 	// Step 2: the left outer join (Figure 8). Identify member/value
 	// pairs from the indices, look up the join values, then build one
 	// product tree per outer tree with fully materialized member
 	// replicas.
+	joinSp := sp.Child("sjoin: join path")
 	members, err := db.TagPostings(spec.MemberTag)
 	if err != nil {
 		return nil, err
 	}
 	res.Stats.IndexPostings += len(members)
-	pairs, err := pathPairs(db, members, spec.JoinPath, spec.workers())
+	joinSp.Add("postings", int64(len(members)))
+	pairs, err := pathPairs(db, members, spec.JoinPath, spec.workers(), joinSp)
+	joinSp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -100,6 +110,8 @@ func DirectMaterialized(db *storage.DB, spec Spec) (*Result, error) {
 		byValue[v] = append(byValue[v], w.member)
 	}
 
+	prodSp := sp.Child("materialize: product trees")
+	lookupsBefore := res.Stats.ValueLookups
 	prods := make([]*xmltree.Node, 0, len(distinct))
 	for _, tr := range distinct {
 		v := tr.Children[0].Content
@@ -128,10 +140,15 @@ func DirectMaterialized(db *storage.DB, spec Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	prodSp.Add("product_trees", int64(len(prods)))
+	prodSp.Add("value_lookups", int64(res.Stats.ValueLookups-lookupsBefore))
+	prodSp.Add("locator_probes", int64(res.Stats.LocatorProbes))
+	prodSp.End()
 
 	// Step 3: RETURN arguments against the materialized product trees,
 	// stitched under the output tag. An ORDER BY sorts each product
 	// tree's member replicas first.
+	retSp := sp.Child("eval: RETURN arguments")
 	valueTag := spec.ValuePath.LastTag()
 	for _, prod := range prods {
 		if spec.OrderPath != nil && len(prod.Children) > 1 {
@@ -154,7 +171,9 @@ func DirectMaterialized(db *storage.DB, spec Spec) (*Result, error) {
 		}
 		res.Trees = append(res.Trees, out)
 	}
-	if err := finishResult(db, res); err != nil {
+	retSp.Add("groups", int64(len(res.Trees)))
+	retSp.End()
+	if err := finishResult(db, res, sp); err != nil {
 		return nil, err
 	}
 	return res, nil

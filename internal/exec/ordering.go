@@ -3,6 +3,7 @@ package exec
 import (
 	"sort"
 
+	"timber/internal/obs"
 	"timber/internal/par"
 	"timber/internal/storage"
 	"timber/internal/tax"
@@ -21,8 +22,10 @@ import (
 // The selection of each member's first (document-order) match is
 // sequential and deterministic; only the value fetches fan out over
 // the worker pool.
-func orderValues(db *storage.DB, members []storage.Posting, path Path, res *Result, workers int) (map[xmltree.NodeID]string, error) {
-	pairs, err := pathPairs(db, members, path, workers)
+func orderValues(db *storage.DB, members []storage.Posting, path Path, res *Result, workers int, sp *obs.Span) (map[xmltree.NodeID]string, error) {
+	ordSp := sp.Child("populate: ordering values")
+	defer ordSp.End()
+	pairs, err := pathPairs(db, members, path, workers, ordSp)
 	if err != nil {
 		return nil, err
 	}
@@ -49,6 +52,7 @@ func orderValues(db *storage.DB, members []storage.Posting, path Path, res *Resu
 		return nil, err
 	}
 	res.Stats.ValueLookups += len(firsts)
+	ordSp.Add("value_lookups", int64(len(firsts)))
 	out := make(map[xmltree.NodeID]string, len(firsts))
 	for i, p := range firsts {
 		out[p.member.ID()] = values[i]

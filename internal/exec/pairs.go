@@ -3,6 +3,7 @@ package exec
 import (
 	"sort"
 
+	"timber/internal/obs"
 	"timber/internal/sjoin"
 	"timber/internal/storage"
 	"timber/internal/xmltree"
@@ -24,21 +25,39 @@ type pair struct {
 // costs one tag-index scan plus one single-pass structural join per
 // step. The joins partition by document and run on up to workers
 // goroutines; the output is identical for any worker count.
-func pathPairs(db *storage.DB, members []storage.Posting, path Path, workers int) ([]pair, error) {
+//
+// When sp is non-nil, each step becomes a child span carrying the
+// step's posting scan, join input/output and surviving-pair counts.
+// Steps run sequentially on the calling goroutine, so the spans nest
+// without synchronization.
+func pathPairs(db *storage.DB, members []storage.Posting, path Path, workers int, sp *obs.Span) ([]pair, error) {
 	cur := make([]pair, len(members))
 	for i, m := range members {
 		cur[i] = pair{member: m, leaf: m}
 	}
 	for _, st := range path {
+		stepSp := sp.Child("sjoin: step " + st.Tag)
 		next, err := db.TagPostings(st.Tag)
 		if err != nil {
+			stepSp.End()
 			return nil, err
 		}
+		stepSp.Add("postings", int64(len(next)))
 		axis := sjoin.ParentChild
 		if st.Descendant {
 			axis = sjoin.AncestorDescendant
 		}
-		cur = stepJoin(cur, next, axis, workers)
+		var jm *sjoin.Metrics
+		if stepSp != nil {
+			jm = &sjoin.Metrics{}
+		}
+		cur = stepJoin(cur, next, axis, workers, jm)
+		if jm != nil {
+			stepSp.Add("join_inputs", jm.Ancestors.Load()+jm.Descendants.Load())
+			stepSp.Add("join_pairs", jm.Pairs.Load())
+		}
+		stepSp.Add("pairs", int64(len(cur)))
+		stepSp.End()
 		if len(cur) == 0 {
 			return nil, nil
 		}
@@ -48,7 +67,7 @@ func pathPairs(db *storage.DB, members []storage.Posting, path Path, workers int
 
 // stepJoin extends each pair's leaf by one structural step into the
 // candidate postings.
-func stepJoin(cur []pair, cands []storage.Posting, axis sjoin.Axis, workers int) []pair {
+func stepJoin(cur []pair, cands []storage.Posting, axis sjoin.Axis, workers int, jm *sjoin.Metrics) []pair {
 	// Distinct, sorted current leaves form the ancestor list.
 	leaves := make([]storage.Posting, 0, len(cur))
 	seen := map[xmltree.NodeID]bool{}
@@ -69,7 +88,7 @@ func stepJoin(cur []pair, cands []storage.Posting, axis sjoin.Axis, workers int)
 	for i, c := range cands {
 		dIvs[i] = c.Interval
 	}
-	joined := sjoin.StackTreePar(aIvs, dIvs, axis, workers)
+	joined := sjoin.StackTreeParM(aIvs, dIvs, axis, workers, jm)
 
 	children := map[xmltree.NodeID][]storage.Posting{}
 	for _, pr := range joined {

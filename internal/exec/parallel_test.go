@@ -191,7 +191,7 @@ func TestConcurrentReaders(t *testing.T) {
 					if err != nil {
 						return err
 					}
-					pairs, err := pathPairs(db, members, spec.JoinPath, 1+g%4)
+					pairs, err := pathPairs(db, members, spec.JoinPath, 1+g%4, nil)
 					if err != nil {
 						return err
 					}

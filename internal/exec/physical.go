@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"timber/internal/match"
+	"timber/internal/obs"
 	"timber/internal/par"
 	"timber/internal/pattern"
 	"timber/internal/plan"
@@ -36,10 +37,21 @@ func ExecPhysical(db *storage.DB, op plan.Op) (tax.Collection, error) {
 // means GOMAXPROCS, 1 forces the sequential path). The result is
 // identical for any setting.
 func ExecPhysicalPar(db *storage.DB, op plan.Op, parallelism int) (tax.Collection, error) {
-	rewritten, err := substituteLeaves(db, op, parallelism)
+	return ExecPhysicalTraced(db, op, parallelism, nil)
+}
+
+// ExecPhysicalTraced is ExecPhysicalPar with an optional tracer: each
+// indexed leaf selection records a pattern-match span and a witness-
+// materialization span, and the residual logical evaluation gets its
+// own span. A nil tracer costs a few nil checks and the result is
+// identical.
+func ExecPhysicalTraced(db *storage.DB, op plan.Op, parallelism int, tr *obs.Tracer) (tax.Collection, error) {
+	rewritten, err := substituteLeaves(db, op, parallelism, tr)
 	if err != nil {
 		return tax.Collection{}, err
 	}
+	evalSp := tr.Start("eval: logical operators")
+	defer evalSp.End()
 	return plan.Eval(tax.Collection{}, rewritten)
 }
 
@@ -47,13 +59,14 @@ func ExecPhysicalPar(db *storage.DB, op plan.Op, parallelism int) (tax.Collectio
 // collections computed from the indices, and any remaining DBScan with
 // the materialized documents. Shared sub-plans (the rewrite's common
 // GroupBy) stay shared: substitution is memoized per input operator.
-func substituteLeaves(db *storage.DB, op plan.Op, parallelism int) (plan.Op, error) {
-	return (&substituter{db: db, parallelism: parallelism, memo: map[plan.Op]plan.Op{}}).sub(op)
+func substituteLeaves(db *storage.DB, op plan.Op, parallelism int, tr *obs.Tracer) (plan.Op, error) {
+	return (&substituter{db: db, parallelism: parallelism, tr: tr, memo: map[plan.Op]plan.Op{}}).sub(op)
 }
 
 type substituter struct {
 	db          *storage.DB
 	parallelism int
+	tr          *obs.Tracer
 	memo        map[plan.Op]plan.Op
 }
 
@@ -74,7 +87,7 @@ func (s *substituter) subUncached(op plan.Op) (plan.Op, error) {
 	switch o := op.(type) {
 	case *plan.Select:
 		if _, ok := o.In.(*plan.DBScan); ok {
-			c, err := physSelect(db, o.Pattern, o.SL, s.parallelism)
+			c, err := physSelect(db, o.Pattern, o.SL, s.parallelism, s.tr)
 			if err != nil {
 				return nil, err
 			}
@@ -86,7 +99,9 @@ func (s *substituter) subUncached(op plan.Op) (plan.Op, error) {
 		}
 		return &plan.Select{In: in, Pattern: o.Pattern, SL: o.SL}, nil
 	case *plan.DBScan:
+		scanSp := s.tr.Start("scan: full database")
 		c, err := LoadCollection(db)
+		scanSp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -164,17 +179,20 @@ func (s *substituter) rebuild1(in plan.Op, mk func(plan.Op) plan.Op) (plan.Op, e
 // subtrees). Witness materialization is the record-fetch-heavy phase,
 // so each binding's tree is built by whichever worker claims its slot;
 // slot order preserves the sequential output exactly.
-func physSelect(db *storage.DB, pt *pattern.Tree, sl []tax.Item, parallelism int) (tax.Collection, error) {
+func physSelect(db *storage.DB, pt *pattern.Tree, sl []tax.Item, parallelism int, tr *obs.Tracer) (tax.Collection, error) {
 	starred := make(map[string]bool, len(sl))
 	for _, it := range sl {
 		starred[it.Label] = true
 	}
-	bindings, _, err := match.MatchDBPar(db, pt, parallelism)
+	matchSp := tr.Start("match: pattern")
+	bindings, _, err := match.MatchDBObs(db, pt, parallelism, matchSp)
+	matchSp.End()
 	if err != nil {
 		return tax.Collection{}, err
 	}
 	var out tax.Collection
 	if len(bindings) > 0 {
+		matSp := tr.Start("materialize: witnesses")
 		trees := make([]*xmltree.Node, len(bindings))
 		if err := par.Do(len(bindings), par.Workers(parallelism), func(i int) error {
 			tree, err := materializeWitness(db, pt.Root, bindings[i], starred)
@@ -184,9 +202,12 @@ func physSelect(db *storage.DB, pt *pattern.Tree, sl []tax.Item, parallelism int
 			trees[i] = tree
 			return nil
 		}); err != nil {
+			matSp.End()
 			return tax.Collection{}, err
 		}
 		out.Trees = trees
+		matSp.Add("witnesses", int64(len(trees)))
+		matSp.End()
 	}
 	out.Renumber()
 	return out, nil

@@ -19,13 +19,18 @@ import (
 // design argument.
 func GroupByReplicating(db *storage.DB, spec Spec) (*Result, error) {
 	res := &Result{}
+	sp := spec.trace("exec: groupby replicating")
+	defer sp.End()
 
+	joinSp := sp.Child("sjoin: join path")
 	members, err := db.TagPostings(spec.MemberTag)
 	if err != nil {
 		return nil, err
 	}
 	res.Stats.IndexPostings += len(members)
-	witnesses, err := pathPairs(db, members, spec.JoinPath, spec.workers())
+	joinSp.Add("postings", int64(len(members)))
+	witnesses, err := pathPairs(db, members, spec.JoinPath, spec.workers(), joinSp)
+	joinSp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -39,6 +44,7 @@ func GroupByReplicating(db *storage.DB, spec Spec) (*Result, error) {
 		tree     *xmltree.Node
 		seq      int
 	}
+	repSp := sp.Child("materialize: replicas")
 	reps := make([]replica, 0, len(witnesses))
 	for i, w := range witnesses {
 		sub, err := db.GetSubtree(w.member.ID())
@@ -60,9 +66,13 @@ func GroupByReplicating(db *storage.DB, spec Spec) (*Result, error) {
 		}
 		reps = append(reps, r)
 	}
+	repSp.Add("replicas", int64(len(reps)))
+	repSp.Add("value_lookups", int64(res.Stats.ValueLookups))
+	repSp.End()
 
 	// Standard sort-based grouping over the replicas; the replicas
 	// already carry everything an ordering list needs.
+	sortSp := sp.Child("sort: replicas")
 	sort.SliceStable(reps, func(i, j int) bool {
 		if reps[i].value != reps[j].value {
 			return reps[i].value < reps[j].value
@@ -72,7 +82,10 @@ func GroupByReplicating(db *storage.DB, spec Spec) (*Result, error) {
 		}
 		return false
 	})
+	sortSp.Add("replicas", int64(len(reps)))
+	sortSp.End()
 
+	matSp := sp.Child("materialize: groups")
 	basisTag := spec.BasisTag()
 	valueTag := spec.ValuePath.LastTag()
 	for i := 0; i < len(reps); {
@@ -97,7 +110,9 @@ func GroupByReplicating(db *storage.DB, spec Spec) (*Result, error) {
 		res.Trees = append(res.Trees, out)
 		i = j
 	}
-	if err := finishResult(db, res); err != nil {
+	matSp.Add("groups", int64(len(res.Trees)))
+	matSp.End()
+	if err := finishResult(db, res, sp); err != nil {
 		return nil, err
 	}
 	return res, nil

@@ -19,6 +19,7 @@ package exec
 import (
 	"fmt"
 
+	"timber/internal/obs"
 	"timber/internal/par"
 	"timber/internal/pattern"
 	"timber/internal/plan"
@@ -69,7 +70,16 @@ type Spec struct {
 	// sequential path. Any setting produces byte-identical results —
 	// partial results merge in document order.
 	Parallelism int
+	// Tracer, when non-nil, records one span per operator phase of the
+	// execution (EXPLAIN ANALYZE style). Executors create and end spans
+	// only on the orchestrating goroutine — worker pools never touch the
+	// tracer — and a nil Tracer reduces every span operation to a nil
+	// check, so results are byte-identical with tracing on or off.
+	Tracer *obs.Tracer
 }
+
+// trace starts a top-level executor span (no-op when untraced).
+func (s Spec) trace(name string) *obs.Span { return s.Tracer.Start(name) }
 
 // workers resolves the spec's parallelism knob to a worker count.
 func (s Spec) workers() int { return par.Workers(s.Parallelism) }

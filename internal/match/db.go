@@ -3,6 +3,7 @@ package match
 import (
 	"sort"
 
+	"timber/internal/obs"
 	"timber/internal/par"
 	"timber/internal/pattern"
 	"timber/internal/sjoin"
@@ -64,6 +65,15 @@ func MatchDB(db *storage.DB, pt *pattern.Tree) ([]DBBinding, *DBStats, error) {
 // path's for any parallelism. MatchDBPar only reads the database and is
 // safe to call concurrently with other readers.
 func MatchDBPar(db *storage.DB, pt *pattern.Tree, parallelism int) ([]DBBinding, *DBStats, error) {
+	return MatchDBObs(db, pt, parallelism, nil)
+}
+
+// MatchDBObs is MatchDBPar with an observability span: when sp is
+// non-nil, candidate scanning and the structural-join phase become
+// child spans carrying candidate, fetch, join and witness counts. A
+// nil span costs nothing and the witness output is identical either
+// way.
+func MatchDBObs(db *storage.DB, pt *pattern.Tree, parallelism int, sp *obs.Span) ([]DBBinding, *DBStats, error) {
 	order := preorder(pt.Root)
 	stats := &DBStats{}
 
@@ -74,17 +84,25 @@ func MatchDBPar(db *storage.DB, pt *pattern.Tree, parallelism int) ([]DBBinding,
 	}
 
 	// Candidate postings per pattern node.
+	candSp := sp.Child("scan: candidates")
 	cands := make([][]storage.Posting, len(order))
 	for i, pn := range order {
 		cs, err := candidates(db, pn, stats)
 		if err != nil {
+			candSp.End()
 			return nil, nil, err
 		}
 		if len(cs) == 0 {
+			candSp.Add("candidates", int64(stats.Candidates))
+			candSp.Add("record_filter_fetches", int64(stats.RecordFilterFetches))
+			candSp.End()
 			return nil, stats, nil // some node has no match at all
 		}
 		cands[i] = cs
 	}
+	candSp.Add("candidates", int64(stats.Candidates))
+	candSp.Add("record_filter_fetches", int64(stats.RecordFilterFetches))
+	candSp.End()
 
 	// Partition every candidate list by document: pattern edges relate
 	// nodes of one document, so each document's witnesses derive from
@@ -92,6 +110,11 @@ func MatchDBPar(db *storage.DB, pt *pattern.Tree, parallelism int) ([]DBBinding,
 	// empty for any pattern node produce no witnesses.
 	docs := candidateDocs(cands[0])
 	workers := par.Workers(parallelism)
+	joinSp := sp.Child("sjoin: pattern edges")
+	var jm *sjoin.Metrics
+	if joinSp != nil {
+		jm = &sjoin.Metrics{}
+	}
 	rowsByDoc := make([][][]storage.Posting, len(docs))
 	par.Do(len(docs), workers, func(k int) error {
 		docCands := make([][]storage.Posting, len(order))
@@ -101,7 +124,7 @@ func MatchDBPar(db *storage.DB, pt *pattern.Tree, parallelism int) ([]DBBinding,
 				return nil
 			}
 		}
-		rowsByDoc[k] = matchRows(order, colOf, docCands)
+		rowsByDoc[k] = matchRows(order, colOf, docCands, jm)
 		return nil
 	})
 
@@ -111,6 +134,13 @@ func MatchDBPar(db *storage.DB, pt *pattern.Tree, parallelism int) ([]DBBinding,
 	for _, rs := range rowsByDoc {
 		rows = append(rows, rs...)
 	}
+	if jm != nil {
+		joinSp.Add("joins", jm.Joins.Load())
+		joinSp.Add("join_inputs", jm.Ancestors.Load()+jm.Descendants.Load())
+		joinSp.Add("join_pairs", jm.Pairs.Load())
+		joinSp.Add("witness_rows", int64(len(rows)))
+	}
+	joinSp.End()
 	if len(rows) == 0 {
 		return nil, stats, nil
 	}
@@ -134,6 +164,7 @@ func MatchDBPar(db *storage.DB, pt *pattern.Tree, parallelism int) ([]DBBinding,
 		out[r] = bind
 	}
 	stats.Witnesses = len(out)
+	sp.Add("witnesses", int64(len(out)))
 	return out, stats, nil
 }
 
@@ -143,7 +174,7 @@ func MatchDBPar(db *storage.DB, pt *pattern.Tree, parallelism int) ([]DBBinding,
 // single-pass containment joins. rows[r][i] is the posting bound to
 // order[i] in row r. Pure in-memory computation — no database access —
 // so per-document invocations run concurrently without coordination.
-func matchRows(order []*pattern.Node, colOf map[string]int, cands [][]storage.Posting) [][]storage.Posting {
+func matchRows(order []*pattern.Node, colOf map[string]int, cands [][]storage.Posting, jm *sjoin.Metrics) [][]storage.Posting {
 	rows := make([][]storage.Posting, len(cands[0]))
 	for r, p := range cands[0] {
 		row := make([]storage.Posting, len(order))
@@ -168,7 +199,7 @@ func matchRows(order []*pattern.Node, colOf map[string]int, cands [][]storage.Po
 		if pn.Axis == pattern.Child {
 			axis = sjoin.ParentChild
 		}
-		pairs := sjoin.StackTree(pIvs, cIvs, axis)
+		pairs := sjoin.StackTreeM(pIvs, cIvs, axis, jm)
 
 		// children[parentID] lists matching candidate indices in
 		// document order.

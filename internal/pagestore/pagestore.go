@@ -559,6 +559,13 @@ func (s *Store) Close() error {
 			}
 		}
 	}
+	// fsync before closing: without it a crash shortly after a
+	// "successful" Close can lose the just-written pages (the writes
+	// above only reach the kernel cache). Flush always synced; Close
+	// must too — closing an fd does not flush the page cache.
+	if err := s.file.Sync(); err != nil {
+		return fmt.Errorf("pagestore: close: sync: %w", err)
+	}
 	s.closed.Store(true)
 	if err := s.file.Close(); err != nil {
 		return fmt.Errorf("pagestore: close: %w", err)

@@ -1,0 +1,89 @@
+package par
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDoNoNewChunkAfterError pins the cancellation contract: once an
+// error is recorded (and the cursor poisoned), no worker may claim
+// another chunk — even a worker that already passed the loop-top
+// failed check and is about to hit the cursor. The hooks build that
+// exact interleaving deterministically:
+//
+//  1. Two workers start; one claims chunk 0, one claims chunk 1.
+//  2. The chunk-0 owner blocks inside fn(0..) until released.
+//  3. The chunk-1 owner finishes its chunk, passes the loop-top
+//     failed check, and parks in the claim window (hook call #3 —
+//     the chunk-0 owner is still inside fn, so call #3 is
+//     necessarily the chunk-1 owner's second iteration).
+//  4. Parking releases the chunk-0 owner, whose error poisons the
+//     cursor and unparks the waiter.
+//  5. The waiter's claim must now be rejected; a pre-fix cursor
+//     would hand it chunk 2.
+func TestDoNoNewChunkAfterError(t *testing.T) {
+	const n, workers = 1000, 2
+	chunk := n / (workers * 8)
+	errBoom := errors.New("boom")
+	errReady := make(chan struct{})
+	recorded := make(chan struct{})
+	var hookCalls atomic.Int64
+	var cancelled atomic.Bool
+	var mu sync.Mutex
+	var lateClaims []int
+
+	testHookBeforeClaim = func() {
+		if hookCalls.Add(1) == 3 {
+			close(errReady)
+			<-recorded
+		}
+	}
+	testHookClaim = func(lo int) {
+		if cancelled.Load() {
+			mu.Lock()
+			lateClaims = append(lateClaims, lo)
+			mu.Unlock()
+		}
+	}
+	testHookCancel = func() {
+		cancelled.Store(true)
+		close(recorded)
+	}
+	defer func() {
+		testHookBeforeClaim, testHookClaim, testHookCancel = nil, nil, nil
+	}()
+
+	err := Do(n, workers, func(i int) error {
+		if i < chunk {
+			<-errReady
+			return errBoom
+		}
+		return nil
+	})
+	if err != errBoom {
+		t.Fatalf("Do returned %v, want %v", err, errBoom)
+	}
+	if len(lateClaims) > 0 {
+		t.Fatalf("chunks claimed after cancellation was recorded: %v", lateClaims)
+	}
+}
+
+// TestDoPoisonedCursorStillReturnsFirstError makes sure poisoning the
+// cursor does not disturb error selection or completion when several
+// items fail back to back.
+func TestDoPoisonedCursorStillReturnsFirstError(t *testing.T) {
+	errBoom := errors.New("boom")
+	var calls atomic.Int64
+	err := Do(500, 4, func(i int) error {
+		calls.Add(1)
+		return errBoom
+	})
+	if err != errBoom {
+		t.Fatalf("Do returned %v, want %v", err, errBoom)
+	}
+	if c := calls.Load(); c == 0 || c > 500 {
+		t.Fatalf("fn ran %d times, want between 1 and 500", c)
+	}
+}

@@ -21,14 +21,26 @@ func Workers(p int) int {
 	return p
 }
 
+// Test hooks for deterministic cancellation testing. testHookCancel
+// runs right after an error is recorded and the cursor is poisoned;
+// testHookBeforeClaim runs between a worker's loop-top failed check
+// and its cursor claim (the race window the poisoned cursor closes);
+// testHookClaim observes every accepted chunk claim.
+var (
+	testHookCancel      func()
+	testHookBeforeClaim func()
+	testHookClaim       func(lo int)
+)
+
 // Do calls fn(i) for every i in [0, n), using at most workers
 // goroutines. With workers <= 1 (or n <= 1) it runs inline on the
 // calling goroutine. Work is handed out in contiguous chunks from an
 // atomic cursor, so cheap items amortize the synchronization. The first
-// error cancels remaining work (items already started still finish) and
-// is returned; which error wins under concurrency is scheduling-
-// dependent, so callers must treat any returned error as fatal for the
-// whole batch.
+// error cancels remaining work — the cursor is poisoned past n, so no
+// worker claims another chunk after the error is recorded (items
+// already started still finish). Which error wins under concurrency is
+// scheduling-dependent, so callers must treat any returned error as
+// fatal for the whole batch.
 func Do(n, workers int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
@@ -53,15 +65,37 @@ func Do(n, workers int, fn func(i int) error) error {
 		firstErr error
 		wg       sync.WaitGroup
 	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			failed.Store(true)
+			// Poison the cursor: every Add past this point claims a
+			// range at or beyond n and is rejected by the lo >= n
+			// check, so cancellation stops chunk hand-out immediately
+			// rather than only after the per-item failed check. The
+			// cursor growing beyond n is harmless — it is never read
+			// except through claimed ranges.
+			cursor.Store(int64(n))
+			if testHookCancel != nil {
+				testHookCancel()
+			}
+		})
+	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for !failed.Load() {
+				if testHookBeforeClaim != nil {
+					testHookBeforeClaim()
+				}
 				hi := int(cursor.Add(int64(chunk)))
 				lo := hi - chunk
 				if lo >= n {
 					return
+				}
+				if testHookClaim != nil {
+					testHookClaim(lo)
 				}
 				if hi > n {
 					hi = n
@@ -71,8 +105,7 @@ func Do(n, workers int, fn func(i int) error) error {
 						return
 					}
 					if err := fn(i); err != nil {
-						errOnce.Do(func() { firstErr = err })
-						failed.Store(true)
+						fail(err)
 						return
 					}
 				}

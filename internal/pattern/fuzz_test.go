@@ -1,0 +1,36 @@
+package pattern
+
+import "testing"
+
+// FuzzParseTree asserts the figure-notation parser never panics: every
+// input yields a tree or an error. Seeds exercise the notation's
+// grammar — labels, axes, predicate conjunctions, content globs — and
+// malformed fragments of each.
+func FuzzParseTree(f *testing.F) {
+	seeds := []string{
+		"",
+		"$1 [tag=article]",
+		"$1 [tag=article]\n  pc $2 [tag=title & content~\"*XML*\"]\n  pc $3 [tag=author]",
+		"$1 [tag=article]\n  ad $2 [tag=author]",
+		"$1 [tag=a]\n  pc $2 [tag=b]\n    pc $3 [tag=c]",
+		"$1",
+		"$1 [",
+		"$1 [tag=]",
+		"pc $2 [tag=title]",
+		"$1 [tag=article]\n      pc $9 [tag=x]",
+		"$1 [tag=a & content=\"v\"]",
+		"$1 [attr:id=\"7\"]",
+		"$1 [tag=a]\n  xx $2 [tag=b]",
+		"$1 [tag=a]\r\n  pc $2 [tag=b]",
+		"$1 [tag=\x00]",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		pt, err := ParseTree(src)
+		if err == nil && pt == nil {
+			t.Errorf("ParseTree(%q) returned nil tree and nil error", src)
+		}
+	})
+}

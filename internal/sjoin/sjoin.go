@@ -18,10 +18,36 @@ package sjoin
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"timber/internal/par"
 	"timber/internal/xmltree"
 )
+
+// Metrics accumulates structural-join work counts for the
+// observability layer. Counters are atomic so per-document joins
+// running on a worker pool record into one shared Metrics without
+// coordination; a nil *Metrics records nothing (a nil-check per join,
+// not per pair).
+type Metrics struct {
+	// Joins is the number of single-pass joins performed.
+	Joins atomic.Int64
+	// Ancestors and Descendants count input-list entries consumed.
+	Ancestors   atomic.Int64
+	Descendants atomic.Int64
+	// Pairs counts output pairs produced.
+	Pairs atomic.Int64
+}
+
+func (m *Metrics) note(na, nd, np int) {
+	if m == nil {
+		return
+	}
+	m.Joins.Add(1)
+	m.Ancestors.Add(int64(na))
+	m.Descendants.Add(int64(nd))
+	m.Pairs.Add(int64(np))
+}
 
 // Axis selects the structural relationship to join on.
 type Axis int
@@ -151,6 +177,23 @@ func StackTreePar(ancs, descs []xmltree.Interval, axis Axis, workers int) []Pair
 	for _, p := range parts {
 		out = append(out, p...)
 	}
+	return out
+}
+
+// StackTreeM is StackTree recording its input and output sizes into m
+// (nil m records nothing).
+func StackTreeM(ancs, descs []xmltree.Interval, axis Axis, m *Metrics) []Pair {
+	out := StackTree(ancs, descs, axis)
+	m.note(len(ancs), len(descs), len(out))
+	return out
+}
+
+// StackTreeParM is StackTreePar recording the join's total input and
+// output sizes into m as one logical join (the per-document partitions
+// are an implementation detail; nil m records nothing).
+func StackTreeParM(ancs, descs []xmltree.Interval, axis Axis, workers int, m *Metrics) []Pair {
+	out := StackTreePar(ancs, descs, axis, workers)
+	m.note(len(ancs), len(descs), len(out))
 	return out
 }
 

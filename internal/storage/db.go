@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"timber/internal/btree"
+	"timber/internal/obs"
 	"timber/internal/pagestore"
 	"timber/internal/xmltree"
 )
@@ -53,6 +54,9 @@ type DB struct {
 	valIdx  *btree.Tree // nil when NoValueIndex
 	docs    []DocInfo
 	opts    Options
+	// idxMetrics counts B+tree traversal work across all three indices;
+	// the observability layer snapshots it at span boundaries.
+	idxMetrics btree.Metrics
 }
 
 const (
@@ -120,7 +124,18 @@ func initDB(st *pagestore.Store, opts Options) (*DB, error) {
 		st.Close()
 		return nil, err
 	}
+	db.attachMetrics()
 	return db, nil
+}
+
+// attachMetrics points every index tree at the DB's shared traversal
+// counters.
+func (db *DB) attachMetrics() {
+	db.locator.SetMetrics(&db.idxMetrics)
+	db.tagIdx.SetMetrics(&db.idxMetrics)
+	if db.valIdx != nil {
+		db.valIdx.SetMetrics(&db.idxMetrics)
+	}
 }
 
 // Open reopens an existing database file. The page size must match the
@@ -139,6 +154,7 @@ func Open(path string, opts Options) (*DB, error) {
 		st.Close()
 		return nil, err
 	}
+	db.attachMetrics()
 	return db, nil
 }
 
@@ -264,8 +280,40 @@ func (db *DB) HasValueIndex() bool { return db.valIdx != nil }
 // Stats returns the underlying buffer pool counters.
 func (db *DB) Stats() pagestore.Stats { return db.st.Stats() }
 
-// ResetStats zeroes the buffer pool counters.
-func (db *DB) ResetStats() { db.st.ResetStats() }
+// IndexMetrics returns the B+tree traversal counters shared by the
+// locator, tag and value indices.
+func (db *DB) IndexMetrics() btree.MetricsSnapshot { return db.idxMetrics.Snapshot() }
+
+// TraceCounters snapshots the combined pool and index counters in the
+// form the observability layer consumes. Reading it is a handful of
+// atomic loads — no pages are touched, so it never perturbs what it
+// measures.
+func (db *DB) TraceCounters() obs.Counters {
+	st := db.st.Stats()
+	im := db.idxMetrics.Snapshot()
+	return obs.Counters{
+		Fetches:        st.Fetches,
+		Hits:           st.Hits,
+		PhysicalReads:  st.PhysicalReads,
+		PhysicalWrites: st.PhysicalWrites,
+		NodeVisits:     im.NodeVisits,
+		LeafScans:      im.LeafScans,
+	}
+}
+
+// NewTracer builds an enabled query tracer wired to this database's
+// counters. The caller typically ResetStats first, attaches the tracer
+// to an exec.Spec, and verifies the finished trace against
+// TraceCounters — the exactness invariant of DESIGN.md "Observability".
+func (db *DB) NewTracer(name string) *obs.Tracer {
+	return obs.New(name, db.TraceCounters)
+}
+
+// ResetStats zeroes the buffer pool and index-traversal counters.
+func (db *DB) ResetStats() {
+	db.st.ResetStats()
+	db.idxMetrics.Reset()
+}
 
 // DropCache empties the buffer pool so subsequent measurements start
 // cold, after persisting the metadata.

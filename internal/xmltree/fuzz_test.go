@@ -1,0 +1,39 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the XML reader never panics on malformed input —
+// unbalanced tags, bad entities, illegal characters, truncated
+// documents all must come back as errors.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"<a/>",
+		"<a><b>text</b></a>",
+		`<bib><article key="1"><title>XML</title><author>A</author></article></bib>`,
+		"<a>",
+		"</a>",
+		"<a><b></a></b>",
+		"<a>&unknown;</a>",
+		"<a>&#xZZ;</a>",
+		"<a attr=>x</a>",
+		"<a><![CDATA[raw]]></a>",
+		"<?xml version=\"1.0\"?><a/>",
+		"<a>\x00</a>",
+		"<a xmlns:x=\"u\"><x:b/></a>",
+		"<a><!-- comment --></a>",
+		strings.Repeat("<a>", 1000),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		root, err := ParseString(src)
+		if err == nil && root == nil {
+			t.Errorf("ParseString(%q) returned nil root and nil error", src)
+		}
+	})
+}

@@ -1,0 +1,35 @@
+package xq
+
+import "testing"
+
+// FuzzParse asserts the parser's total-function contract: any input —
+// truncated keywords, stray braces, embedded NULs — must produce an
+// Expr or an error, never a panic. Seeds cover the grammar's corners
+// plus known-tricky shapes (unterminated strings, nested braces).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"FOR",
+		`FOR $a IN distinct-values(document("bib.xml")//author) RETURN <r>{$a}</r>`,
+		`FOR $a IN distinct-values(document("bib.xml")//author)
+LET $t := document("bib.xml")//article[author = $a]/title
+RETURN <authorpubs>{$a} {count($t)}</authorpubs>`,
+		`FOR $b IN document("bib.xml")//article WHERE $a = $b/author RETURN $b/title`,
+		`RETURN <x>{`,
+		`FOR $a IN RETURN`,
+		`FOR $a IN document("x")// RETURN $a`,
+		"FOR $a IN document(\"bib.xml\")//author RETURN <x>{$a}\x00</x>",
+		`FOR $a IN document("unterminated`,
+		`<a><b>{{}}</b></a>`,
+		`FOR $a IN distinct-values(document("bib.xml")//author ORDER BY $a RETURN <r/>`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		expr, err := Parse(src)
+		if err == nil && expr == nil {
+			t.Errorf("Parse(%q) returned nil expr and nil error", src)
+		}
+	})
+}
