@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench experiments fuzz-smoke trace-check
+.PHONY: all build test vet race check bench experiments fuzz-smoke trace-check serve-check
 
 all: build
 
@@ -32,6 +32,13 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 5s ./internal/xq/
 	$(GO) test -run '^$$' -fuzz '^FuzzParseTree$$' -fuzztime 5s ./internal/pattern/
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 5s ./internal/xmltree/
+
+# serve-check gates the service layer: timber-serve must build, and
+# the engine + HTTP suites (concurrent-client hammer, plan cache,
+# cancellation, backpressure) must pass under the race detector.
+serve-check:
+	$(GO) build ./cmd/timber-serve
+	$(GO) test -race ./internal/engine/ ./cmd/timber-serve/
 
 # trace-check runs one traced query end to end; timber-query verifies
 # the exactness invariant (span deltas ≡ global counters) and exits

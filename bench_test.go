@@ -89,8 +89,10 @@ func setupBench(b *testing.B) (*storage.DB, *bench.Query, *bench.Query) {
 
 // runPlan benchmarks one physical strategy with a cold pool per
 // iteration, reporting deterministic fetch counts alongside time.
-func runPlan(b *testing.B, q *bench.Query, fn func(*storage.DB, exec.Spec) (*exec.Result, error)) {
+func runPlan(b *testing.B, q *bench.Query, strat exec.Strategy, o exec.Options) {
 	db, _, _ := setupBench(b)
+	spec := q.Spec
+	spec.Strategy = strat
 	b.ReportAllocs()
 	b.ResetTimer()
 	var fetches uint64
@@ -101,7 +103,7 @@ func runPlan(b *testing.B, q *bench.Query, fn func(*storage.DB, exec.Spec) (*exe
 		}
 		db.ResetStats()
 		b.StartTimer()
-		res, err := fn(db, q.Spec)
+		res, err := exec.Run(db, spec, o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -117,22 +119,22 @@ func runPlan(b *testing.B, q *bench.Query, fn func(*storage.DB, exec.Spec) (*exe
 
 func BenchmarkE1DirectTitles(b *testing.B) {
 	_, titles, _ := setupBench(b)
-	runPlan(b, titles, exec.DirectMaterialized)
+	runPlan(b, titles, exec.StrategyDirect, exec.Options{})
 }
 
 func BenchmarkE1DirectNestedLoopsTitles(b *testing.B) {
 	_, titles, _ := setupBench(b)
-	runPlan(b, titles, exec.DirectNestedLoops)
+	runPlan(b, titles, exec.StrategyDirectNested, exec.Options{})
 }
 
 func BenchmarkE1DirectBatchTitles(b *testing.B) {
 	_, titles, _ := setupBench(b)
-	runPlan(b, titles, exec.DirectBatch)
+	runPlan(b, titles, exec.StrategyDirectBatch, exec.Options{})
 }
 
 func BenchmarkE1GroupByTitles(b *testing.B) {
 	_, titles, _ := setupBench(b)
-	runPlan(b, titles, exec.GroupByExec)
+	runPlan(b, titles, exec.StrategyGroupBy, exec.Options{})
 }
 
 // BenchmarkE1GroupByTitlesParallel sweeps the executor's worker bound
@@ -143,9 +145,7 @@ func BenchmarkE1GroupByTitlesParallel(b *testing.B) {
 	_, titles, _ := setupBench(b)
 	for _, p := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
-			q := *titles
-			q.Spec.Parallelism = p
-			runPlan(b, &q, exec.GroupByExec)
+			runPlan(b, titles, exec.StrategyGroupBy, exec.Options{Parallelism: p})
 		})
 	}
 }
@@ -154,34 +154,34 @@ func BenchmarkE1GroupByTitlesParallel(b *testing.B) {
 
 func BenchmarkE2DirectCount(b *testing.B) {
 	_, _, count := setupBench(b)
-	runPlan(b, count, exec.DirectMaterialized)
+	runPlan(b, count, exec.StrategyDirect, exec.Options{})
 }
 
 func BenchmarkE2DirectNestedLoopsCount(b *testing.B) {
 	_, _, count := setupBench(b)
-	runPlan(b, count, exec.DirectNestedLoops)
+	runPlan(b, count, exec.StrategyDirectNested, exec.Options{})
 }
 
 func BenchmarkE2DirectBatchCount(b *testing.B) {
 	_, _, count := setupBench(b)
-	runPlan(b, count, exec.DirectBatch)
+	runPlan(b, count, exec.StrategyDirectBatch, exec.Options{})
 }
 
 func BenchmarkE2GroupByCount(b *testing.B) {
 	_, _, count := setupBench(b)
-	runPlan(b, count, exec.GroupByExec)
+	runPlan(b, count, exec.StrategyGroupBy, exec.Options{})
 }
 
 // --- A1: early replication vs identifier processing (Sec. 5.3) ------
 
 func BenchmarkAblationReplicating(b *testing.B) {
 	_, titles, _ := setupBench(b)
-	runPlan(b, titles, exec.GroupByReplicating)
+	runPlan(b, titles, exec.StrategyReplicating, exec.Options{})
 }
 
 func BenchmarkAblationIdentifier(b *testing.B) {
 	_, titles, _ := setupBench(b)
-	runPlan(b, titles, exec.GroupByExec)
+	runPlan(b, titles, exec.StrategyGroupBy, exec.Options{})
 }
 
 // --- A2: buffer pool size sensitivity -------------------------------
@@ -215,7 +215,7 @@ func BenchmarkAblationPoolSize(b *testing.B) {
 				}
 				db.ResetStats()
 				b.StartTimer()
-				if _, err := exec.GroupByExec(db, q.Spec); err != nil {
+				if _, err := exec.Run(db, q.Spec, exec.Options{}); err != nil {
 					b.Fatal(err)
 				}
 				reads += db.Stats().PhysicalReads

@@ -14,9 +14,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"timber/internal/match"
 	"timber/internal/pattern"
@@ -66,7 +69,10 @@ func run(dbPath, src string, limit int) (err error) {
 		}
 	}()
 
-	witnesses, stats, err := match.MatchDB(db, pt)
+	// Ctrl-C abandons the match promptly instead of finishing the scan.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	witnesses, stats, err := match.MatchDBObs(ctx, db, pt, 0, nil)
 	if err != nil {
 		return err
 	}

@@ -9,11 +9,13 @@
 //	timber-query -db bib.timber -f query.xq -plan groupby
 //	timber-query -db bib.timber -trace -f query.xq
 //
-// -plan selects the execution strategy: logical (reference in-memory
-// evaluation), physical (generic index-accelerated evaluation of any
-// translatable query), direct (the naive plan with materialized
-// intermediates), or groupby (identifier processing; the default when
-// the rewrite applies).
+// -plan selects the execution strategy (exec.ParseStrategy names):
+// logical (reference in-memory evaluation), physical (generic
+// index-accelerated evaluation of any translatable query), direct
+// (the naive plan with materialized intermediates), direct-nested,
+// direct-batch, groupby (identifier processing; the default), or
+// replicating. Strategies that need the grouping rewrite fall back to
+// the physical plan, with a note, when the idiom is not detected.
 //
 // -trace prints an EXPLAIN-ANALYZE-style per-operator tree to stderr:
 // one span per operator phase with wall time, buffer-pool deltas
@@ -24,26 +26,28 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"timber/internal/engine"
 	"timber/internal/exec"
 	"timber/internal/obs"
-	"timber/internal/opt"
 	"timber/internal/plan"
 	"timber/internal/storage"
 	"timber/internal/xmltree"
-	"timber/internal/xq"
 )
 
 func main() {
 	dbPath := flag.String("db", "timber.db", "database file")
 	queryFile := flag.String("f", "", "read the query from this file")
-	strategy := flag.String("plan", "groupby", "execution strategy: logical, physical, direct, groupby")
+	strategy := flag.String("plan", "groupby", "execution strategy: logical, physical, direct, direct-nested, direct-batch, groupby, replicating")
 	poolMB := flag.Int("poolmb", 32, "buffer pool size in MiB")
 	parallel := flag.Int("parallel", 0, "worker bound for the physical executors (0 = GOMAXPROCS, 1 = sequential)")
 	showPlans := flag.Bool("plans", true, "print the naive and rewritten plans")
@@ -93,27 +97,9 @@ func servePprof(addr string) {
 }
 
 func run(dbPath, query, strategy string, poolMB, parallel int, showPlans, quiet, trace bool, traceFile string) (err error) {
-	ast, err := xq.Parse(query)
+	strat, err := exec.ParseStrategy(strategy)
 	if err != nil {
 		return err
-	}
-	naive, err := plan.Translate(ast)
-	if err != nil {
-		return err
-	}
-	rewritten, applied, err := opt.Rewrite(naive)
-	if err != nil {
-		return err
-	}
-	if showPlans {
-		fmt.Println("--- naive plan (Sec. 4.1) ---")
-		fmt.Print(plan.Format(naive))
-		if applied {
-			fmt.Println("--- GROUPBY rewrite (Sec. 4.1 Phase 2) ---")
-			fmt.Print(plan.Format(rewritten))
-		} else {
-			fmt.Println("--- grouping idiom not detected; no rewrite ---")
-		}
 	}
 
 	db, err := storage.Open(dbPath, storage.Options{PoolPages: poolMB * 1024 * 1024 / 8192})
@@ -126,6 +112,25 @@ func run(dbPath, query, strategy string, poolMB, parallel int, showPlans, quiet,
 		}
 	}()
 
+	// Prepare through the engine facade: the same parse + rewrite +
+	// cache pipeline timber-serve runs, so one query gives the same
+	// bytes here and over HTTP.
+	eng := engine.New(db, engine.Options{Parallelism: parallel})
+	pq, err := eng.Prepare(query)
+	if err != nil {
+		return err
+	}
+	if showPlans {
+		fmt.Println("--- naive plan (Sec. 4.1) ---")
+		fmt.Print(plan.Format(pq.Naive))
+		if pq.Applied {
+			fmt.Println("--- GROUPBY rewrite (Sec. 4.1 Phase 2) ---")
+			fmt.Print(plan.Format(pq.Rewritten))
+		} else {
+			fmt.Println("--- grouping idiom not detected; no rewrite ---")
+		}
+	}
+
 	// The tracer snapshots the global counters at span boundaries, so
 	// they must start from zero for the exactness invariant to hold.
 	var tr *obs.Tracer
@@ -134,51 +139,20 @@ func run(dbPath, query, strategy string, poolMB, parallel int, showPlans, quiet,
 		tr = db.NewTracer("query")
 	}
 
+	// Ctrl-C cancels the run promptly instead of waiting it out.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
-	var trees []*xmltree.Node
-	switch strategy {
-	case "logical":
-		out, err := exec.ExecLogical(db, naive)
-		if err != nil {
-			return err
-		}
-		trees = out.Trees
-	case "physical":
-		// Generic index-accelerated evaluation; prefers the rewritten
-		// plan when the grouping idiom was detected.
-		op := naive
-		if applied {
-			op = rewritten
-		}
-		out, err := exec.ExecPhysicalTraced(db, op, parallel, tr)
-		if err != nil {
-			return err
-		}
-		trees = out.Trees
-	case "direct", "groupby":
-		if !applied {
-			return fmt.Errorf("physical strategy %q needs the grouping rewrite; use -plan logical", strategy)
-		}
-		spec, err := exec.SpecFromPlan(rewritten)
-		if err != nil {
-			return err
-		}
-		spec.Parallelism = parallel
-		spec.Tracer = tr
-		var res *exec.Result
-		if strategy == "direct" {
-			res, err = exec.DirectMaterialized(db, spec)
-		} else {
-			res, err = exec.GroupByExec(db, spec)
-		}
-		if err != nil {
-			return err
-		}
-		trees = res.Trees
-	default:
-		return fmt.Errorf("unknown strategy %q", strategy)
+	res, err := pq.Execute(ctx, engine.ExecOptions{Strategy: strat, Parallelism: parallel, Tracer: tr})
+	if err != nil {
+		return err
 	}
 	elapsed := time.Since(start)
+	trees := res.Trees
+	if res.Strategy != strat {
+		fmt.Fprintf(os.Stderr, "note: grouping idiom not detected; ran the %s plan instead of %s\n", res.Strategy, strat)
+	}
 
 	if tr != nil {
 		data := tr.Finish()

@@ -1,0 +1,105 @@
+// Command timber-serve is the long-lived query service over a timber
+// database: it opens the database once, compiles queries through the
+// engine facade's LRU plan cache, and serves concurrent clients over
+// HTTP/JSON with per-request timeouts, admission control and graceful
+// drain on SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	timber-serve -db bib.timber -addr :8080
+//	curl -s 'localhost:8080/query?q=FOR+$a+IN+...'
+//	curl -s localhost:8080/query -d '{"query": "FOR $a IN ...", "strategy": "groupby"}'
+//	curl -s localhost:8080/stats
+//	curl -s localhost:8080/metrics
+//
+// Endpoints:
+//
+//	POST /query  {"query": ..., "strategy"?: ..., "timeout_ms"?: ..., "parallelism"?: ...}
+//	GET  /query?q=...&strategy=...&timeout_ms=...
+//	     200 JSON result; 400 malformed query/strategy; 504 per-request
+//	     timeout exceeded; 429 admission limit reached (Retry-After: 1).
+//	GET  /stats    buffer-pool, plan-cache and catalog state as JSON.
+//	GET  /metrics  service and storage counters, text exposition format.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"timber/internal/engine"
+	"timber/internal/storage"
+)
+
+func main() {
+	dbPath := flag.String("db", "timber.db", "database file")
+	addr := flag.String("addr", "localhost:8080", "listen address")
+	poolMB := flag.Int("poolmb", 32, "buffer pool size in MiB")
+	parallel := flag.Int("parallel", 0, "per-query worker bound (0 = GOMAXPROCS, 1 = sequential)")
+	cacheSize := flag.Int("cache", engine.DefaultCacheSize, "prepared-plan cache capacity (distinct query texts)")
+	maxInFlight := flag.Int("maxinflight", 64, "admission limit on concurrently executing queries (0 = unlimited)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request timeout")
+	maxTimeout := flag.Duration("maxtimeout", 5*time.Minute, "cap on client-requested timeouts")
+	drainTimeout := flag.Duration("drain", 30*time.Second, "shutdown drain deadline for in-flight requests")
+	flag.Parse()
+
+	if err := run(*dbPath, *addr, *poolMB, *parallel, *cacheSize, *maxInFlight, *timeout, *maxTimeout, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "timber-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dbPath, addr string, poolMB, parallel, cacheSize, maxInFlight int, timeout, maxTimeout, drainTimeout time.Duration) (err error) {
+	db, err := storage.Open(dbPath, storage.Options{PoolPages: poolMB * 1024 * 1024 / 8192})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := db.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+
+	eng := engine.New(db, engine.Options{CacheSize: cacheSize, Parallelism: parallel})
+	srv := newServer(eng, config{
+		maxInFlight:    maxInFlight,
+		defaultTimeout: timeout,
+		maxTimeout:     maxTimeout,
+		parallelism:    parallel,
+	})
+	httpSrv := &http.Server{Addr: addr, Handler: srv.handler()}
+
+	// Graceful drain: on SIGTERM/SIGINT stop accepting connections,
+	// let in-flight queries finish (bounded by drainTimeout), then
+	// close the database.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "timber-serve: serving %s (%d documents) on http://%s\n",
+			dbPath, len(db.Documents()), addr)
+		if serr := httpSrv.ListenAndServe(); serr != nil && serr != http.ErrServerClosed {
+			errc <- serr
+			return
+		}
+		errc <- nil
+	}()
+
+	select {
+	case serr := <-errc:
+		return serr
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "timber-serve: draining...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if serr := httpSrv.Shutdown(shutdownCtx); serr != nil {
+		return fmt.Errorf("drain: %w", serr)
+	}
+	return <-errc
+}

@@ -1,0 +1,267 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"timber/internal/engine"
+	"timber/internal/exec"
+	"timber/internal/obs"
+)
+
+// config carries the service knobs from flags (or tests) to the server.
+type config struct {
+	// maxInFlight bounds concurrently executing queries; requests past
+	// the bound are rejected with 429 rather than queued, so a burst
+	// degrades loudly instead of stacking latency. <= 0 means no bound.
+	maxInFlight int
+	// defaultTimeout applies to requests that do not set timeout_ms.
+	defaultTimeout time.Duration
+	// maxTimeout caps client-requested timeouts.
+	maxTimeout time.Duration
+	// parallelism is the per-query worker bound (0 = GOMAXPROCS).
+	parallelism int
+}
+
+// server is the HTTP face of an engine. Handlers are safe for
+// concurrent use — all mutable state is the admission semaphore and
+// registry counters.
+type server struct {
+	eng *engine.Engine
+	cfg config
+	sem chan struct{}
+
+	requests *obs.Metric
+	okCount  *obs.Metric
+	badReqs  *obs.Metric
+	timeouts *obs.Metric
+	rejected *obs.Metric
+
+	// execute runs a prepared query; tests replace it to script
+	// timeouts and backpressure deterministically.
+	execute func(ctx context.Context, pq *engine.PreparedQuery, o engine.ExecOptions) (*engine.Result, error)
+}
+
+func newServer(eng *engine.Engine, cfg config) *server {
+	if cfg.defaultTimeout <= 0 {
+		cfg.defaultTimeout = 30 * time.Second
+	}
+	if cfg.maxTimeout <= 0 {
+		cfg.maxTimeout = 5 * time.Minute
+	}
+	s := &server{
+		eng:      eng,
+		cfg:      cfg,
+		requests: eng.Registry().Counter("serve_requests"),
+		okCount:  eng.Registry().Counter("serve_ok"),
+		badReqs:  eng.Registry().Counter("serve_bad_request"),
+		timeouts: eng.Registry().Counter("serve_timeout"),
+		rejected: eng.Registry().Counter("serve_rejected"),
+		execute: func(ctx context.Context, pq *engine.PreparedQuery, o engine.ExecOptions) (*engine.Result, error) {
+			return pq.Execute(ctx, o)
+		},
+	}
+	if cfg.maxInFlight > 0 {
+		s.sem = make(chan struct{}, cfg.maxInFlight)
+	}
+	return s
+}
+
+// handler builds the route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// queryRequest is the /query request body (POST) or query-parameter
+// set (GET: q, strategy, timeout_ms).
+type queryRequest struct {
+	// Query is the XQuery-subset text to run.
+	Query string `json:"query"`
+	// Strategy names an exec.Strategy ("" = the engine default:
+	// groupby when the rewrite applies, physical otherwise).
+	Strategy string `json:"strategy,omitempty"`
+	// TimeoutMS overrides the service's default per-request timeout,
+	// capped at the configured maximum.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Parallelism overrides the per-query worker bound.
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// queryResponse is the /query success body. Trees carries the result
+// serialized exactly as timber-query prints it, so the two paths are
+// byte-comparable.
+type queryResponse struct {
+	Trees     string  `json:"trees"`
+	Count     int     `json:"count"`
+	Strategy  string  `json:"strategy"`
+	CacheHit  bool    `json:"cache_hit"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *server) parseRequest(r *http.Request) (queryRequest, error) {
+	var req queryRequest
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query()
+		req.Query = q.Get("q")
+		req.Strategy = q.Get("strategy")
+		if v := q.Get("timeout_ms"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return req, fmt.Errorf("bad timeout_ms %q", v)
+			}
+			req.TimeoutMS = n
+		}
+		if v := q.Get("parallelism"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return req, fmt.Errorf("bad parallelism %q", v)
+			}
+			req.Parallelism = n
+		}
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			return req, fmt.Errorf("bad request body: %v", err)
+		}
+	default:
+		return req, fmt.Errorf("method %s not allowed", r.Method)
+	}
+	if req.Query == "" {
+		return req, errors.New("missing query (POST {\"query\": ...} or GET ?q=...)")
+	}
+	return req, nil
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	req, err := s.parseRequest(r)
+	if err != nil {
+		s.badReqs.Inc()
+		status := http.StatusBadRequest
+		if r.Method != http.MethodGet && r.Method != http.MethodPost {
+			status = http.StatusMethodNotAllowed
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+
+	// Admission control before any work: a full service sheds load
+	// with 429 + Retry-After instead of queueing unboundedly.
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			s.rejected.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "server at capacity (%d queries in flight)", s.cfg.maxInFlight)
+			return
+		}
+	}
+
+	var eo engine.ExecOptions
+	if req.Strategy != "" {
+		strat, err := exec.ParseStrategy(req.Strategy)
+		if err != nil {
+			s.badReqs.Inc()
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		eo.Strategy = strat
+	}
+	eo.Parallelism = req.Parallelism
+	if eo.Parallelism == 0 {
+		eo.Parallelism = s.cfg.parallelism
+	}
+
+	timeout := s.cfg.defaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.maxTimeout {
+		timeout = s.cfg.maxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	pq, cacheHit, err := s.eng.PrepareCached(req.Query)
+	if err != nil {
+		s.badReqs.Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	start := time.Now()
+	res, err := s.execute(ctx, pq, eo)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.timeouts.Inc()
+			writeError(w, http.StatusGatewayTimeout, "query timed out after %v", timeout)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.okCount.Inc()
+	writeJSON(w, http.StatusOK, queryResponse{
+		Trees:     res.Serialize(),
+		Count:     len(res.Trees),
+		Strategy:  res.Strategy.String(),
+		CacheHit:  cacheHit,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+// statsResponse is the /stats body: buffer-pool counters, plan-cache
+// state and catalog size.
+type statsResponse struct {
+	Pool      any               `json:"pool"`
+	Cache     engine.CacheStats `json:"plan_cache"`
+	Documents int               `json:"documents"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		Pool:      s.eng.DB().Stats(),
+		Cache:     s.eng.CacheStats(),
+		Documents: len(s.eng.DB().Documents()),
+	})
+}
+
+// handleMetrics renders the counter registry plus the storage-layer
+// counters in text exposition format.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = s.eng.Registry().WriteText(w)
+	c := s.eng.DB().TraceCounters()
+	fmt.Fprintf(w, "pool_fetches %d\n", c.Fetches)
+	fmt.Fprintf(w, "pool_hits %d\n", c.Hits)
+	fmt.Fprintf(w, "pool_physical_reads %d\n", c.PhysicalReads)
+	fmt.Fprintf(w, "pool_physical_writes %d\n", c.PhysicalWrites)
+	fmt.Fprintf(w, "index_node_visits %d\n", c.NodeVisits)
+	fmt.Fprintf(w, "index_leaf_scans %d\n", c.LeafScans)
+}

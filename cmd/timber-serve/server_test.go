@@ -1,0 +1,356 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"timber/internal/engine"
+	"timber/internal/exec"
+	"timber/internal/paperdata"
+	"timber/internal/storage"
+	"timber/internal/xmltree"
+)
+
+const query1 = `
+FOR $a IN distinct-values(document("bib.xml")//author)
+RETURN
+<authorpubs>
+  {$a}
+  {
+    FOR $b IN document("bib.xml")//article
+    WHERE $a = $b/author
+    RETURN $b/title
+  }
+</authorpubs>`
+
+func testServer(t *testing.T, cfg config) *server {
+	t.Helper()
+	db, err := storage.CreateTemp(storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if _, err := db.LoadDocument("bib.xml", paperdata.SampleDatabase()); err != nil {
+		t.Fatal(err)
+	}
+	return newServer(engine.New(db, engine.Options{}), cfg)
+}
+
+func postQuery(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf strings.Builder
+	if _, err := io.Copy(&buf, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, []byte(buf.String())
+}
+
+func decodeQueryResponse(t *testing.T, b []byte) queryResponse {
+	t.Helper()
+	var qr queryResponse
+	if err := json.Unmarshal(b, &qr); err != nil {
+		t.Fatalf("bad response %s: %v", b, err)
+	}
+	return qr
+}
+
+// TestQueryGolden: the success path returns the result trees exactly
+// as timber-query serializes them, reports the strategy that ran, and
+// flips cache_hit on the second request.
+func TestQueryGolden(t *testing.T) {
+	s := testServer(t, config{})
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	// The reference bytes: what timber-query prints for this query.
+	pq, err := s.eng.Prepare(query1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := pq.Execute(context.Background(), engine.ExecOptions{Strategy: exec.StrategyGroupBy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	for _, tr := range ref.Trees {
+		if err := xmltree.Serialize(&want, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	body, _ := json.Marshal(queryRequest{Query: query1, Strategy: "groupby"})
+	resp, raw := postQuery(t, ts, string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, raw)
+	}
+	qr := decodeQueryResponse(t, raw)
+	if qr.Trees != want.String() {
+		t.Errorf("served trees differ from timber-query serialization:\n%q\nwant:\n%q", qr.Trees, want.String())
+	}
+	if qr.Strategy != "groupby" || qr.Count != len(ref.Trees) {
+		t.Errorf("response meta = %+v", qr)
+	}
+
+	// Second request: the prepared plan is reused.
+	resp2, raw2 := postQuery(t, ts, string(body))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp2.StatusCode)
+	}
+	if qr2 := decodeQueryResponse(t, raw2); !qr2.CacheHit {
+		t.Error("second request should report cache_hit")
+	}
+
+	// GET form agrees with POST.
+	u := ts.URL + "/query?strategy=groupby&q=" + url.QueryEscape(query1)
+	getResp, err := http.Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer getResp.Body.Close()
+	var getQR queryResponse
+	if err := json.NewDecoder(getResp.Body).Decode(&getQR); err != nil {
+		t.Fatal(err)
+	}
+	if getQR.Trees != qr.Trees {
+		t.Error("GET and POST served different bytes")
+	}
+}
+
+// TestQueryBadRequest: malformed queries, bad strategies and missing
+// parameters are 400s, not 500s.
+func TestQueryBadRequest(t *testing.T) {
+	s := testServer(t, config{})
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+	for name, body := range map[string]string{
+		"malformed query": `{"query": "this is not xquery"}`,
+		"bad strategy":    fmt.Sprintf(`{"query": %q, "strategy": "turbo"}`, query1),
+		"missing query":   `{}`,
+		"bad json":        `{"query": `,
+	} {
+		resp, raw := postQuery(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, body %s", name, resp.StatusCode, raw)
+		}
+		var er errorResponse
+		if err := json.Unmarshal(raw, &er); err != nil || er.Error == "" {
+			t.Errorf("%s: error body %s", name, raw)
+		}
+	}
+	if got := s.badReqs.Load(); got != 4 {
+		t.Errorf("bad-request counter = %d, want 4", got)
+	}
+}
+
+// TestQueryTimeout: a request whose deadline expires mid-execution
+// returns 504. The execute hook parks until the context dies, standing
+// in for a long query deterministically.
+func TestQueryTimeout(t *testing.T) {
+	s := testServer(t, config{})
+	s.execute = func(ctx context.Context, pq *engine.PreparedQuery, o engine.ExecOptions) (*engine.Result, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+	body, _ := json.Marshal(queryRequest{Query: query1, TimeoutMS: 20})
+	resp, raw := postQuery(t, ts, string(body))
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, raw)
+	}
+	if s.timeouts.Load() != 1 {
+		t.Errorf("timeout counter = %d, want 1", s.timeouts.Load())
+	}
+}
+
+// TestQueryBackpressure: with the admission limit saturated, the next
+// request is rejected with 429 + Retry-After, and succeeds once the
+// limit frees up.
+func TestQueryBackpressure(t *testing.T) {
+	s := testServer(t, config{maxInFlight: 1})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	realExec := s.execute
+	s.execute = func(ctx context.Context, pq *engine.PreparedQuery, o engine.ExecOptions) (*engine.Result, error) {
+		close(entered)
+		<-release
+		return realExec(ctx, pq, o)
+	}
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(queryRequest{Query: query1})
+	firstDone := make(chan int, 1)
+	go func() {
+		resp, _ := postQuery(t, ts, string(body))
+		firstDone <- resp.StatusCode
+	}()
+	<-entered // the first request holds the only admission slot
+
+	resp, raw := postQuery(t, ts, string(body))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if s.rejected.Load() != 1 {
+		t.Errorf("rejected counter = %d, want 1", s.rejected.Load())
+	}
+
+	close(release)
+	if code := <-firstDone; code != http.StatusOK {
+		t.Errorf("first request status = %d", code)
+	}
+	// The slot is free again: a fresh request is admitted.
+	s.execute = realExec
+	resp3, raw3 := postQuery(t, ts, string(body))
+	if resp3.StatusCode != http.StatusOK {
+		t.Errorf("post-drain status = %d, body %s", resp3.StatusCode, raw3)
+	}
+}
+
+// TestConcurrentClients: 16 clients hammer /query concurrently (run
+// under -race by make serve-check); every response is byte-identical
+// to the solo reference for its strategy.
+func TestConcurrentClients(t *testing.T) {
+	s := testServer(t, config{maxInFlight: 32})
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	strategies := []string{"groupby", "direct", "direct-nested", "direct-batch", "replicating", "physical"}
+	want := map[string]string{}
+	for _, name := range strategies {
+		body, _ := json.Marshal(queryRequest{Query: query1, Strategy: name})
+		resp, raw := postQuery(t, ts, string(body))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("baseline %s: status %d body %s", name, resp.StatusCode, raw)
+		}
+		want[name] = decodeQueryResponse(t, raw).Trees
+	}
+
+	const clients, iters = 16, 3
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				name := strategies[(c+i)%len(strategies)]
+				body, _ := json.Marshal(queryRequest{Query: query1, Strategy: name, Parallelism: 1 + c%4})
+				resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(string(body)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var qr queryResponse
+				err = json.NewDecoder(resp.Body).Decode(&qr)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("client %d iter %d (%s): status %d", c, i, name, resp.StatusCode)
+					return
+				}
+				if qr.Trees != want[name] {
+					errs <- fmt.Errorf("client %d iter %d (%s): bytes differ from solo reference", c, i, name)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestStatsAndMetrics: the observability endpoints expose the plan
+// cache and service counters.
+func TestStatsAndMetrics(t *testing.T) {
+	s := testServer(t, config{})
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(queryRequest{Query: query1})
+	for i := 0; i < 3; i++ {
+		if resp, raw := postQuery(t, ts, string(body)); resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d, body %s", resp.StatusCode, raw)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache.Misses != 1 || st.Cache.Hits != 2 {
+		t.Errorf("plan cache stats = %+v, want 1 miss + 2 hits", st.Cache)
+	}
+	if st.Documents != 1 {
+		t.Errorf("documents = %d", st.Documents)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var buf strings.Builder
+	if _, err := io.Copy(&buf, mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"engine_plan_cache_hits 2", "engine_plan_cache_misses 1",
+		"serve_requests 3", "serve_ok 3", "pool_fetches ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestTimeoutCapped: client-requested timeouts cannot exceed the
+// configured maximum.
+func TestTimeoutCapped(t *testing.T) {
+	s := testServer(t, config{maxTimeout: 50 * time.Millisecond})
+	s.execute = func(ctx context.Context, pq *engine.PreparedQuery, o engine.ExecOptions) (*engine.Result, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+	body, _ := json.Marshal(queryRequest{Query: query1, TimeoutMS: 60_000})
+	start := time.Now()
+	resp, _ := postQuery(t, ts, string(body))
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cap not applied; request took %v", elapsed)
+	}
+}

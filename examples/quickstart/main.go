@@ -79,11 +79,13 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	direct, err := exec.DirectMaterialized(db, spec)
+	spec.Strategy = exec.StrategyDirect
+	direct, err := exec.Run(db, spec, exec.Options{})
 	if err != nil {
 		return err
 	}
-	group, err := exec.GroupByExec(db, spec)
+	spec.Strategy = exec.StrategyGroupBy
+	group, err := exec.Run(db, spec, exec.Options{})
 	if err != nil {
 		return err
 	}

@@ -118,6 +118,19 @@ const (
 	StratGroupByReplic = "groupby (replicating)"
 )
 
+// strategies maps each report row to its exec.Strategy, in table
+// order (the paper's two measured plans bracketed by the variants).
+var strategies = []struct {
+	name  string
+	strat exec.Strategy
+}{
+	{StratDirectNaive, exec.StrategyDirect},
+	{StratDirectNested, exec.StrategyDirectNested},
+	{StratDirectBatch, exec.StrategyDirectBatch},
+	{StratGroupBy, exec.StrategyGroupBy},
+	{StratGroupByReplic, exec.StrategyReplicating},
+}
+
 // RunExperiment executes every strategy for one query. The paper's two
 // measured plans are StratDirectNaive (the naive algebra plan with
 // materialized intermediates — the "direct execution of the XQuery as
@@ -126,19 +139,13 @@ const (
 // direct plan, a modern batch direct plan, and the Sec. 5.3
 // replicating-grouping strawman.
 func RunExperiment(db *storage.DB, q *Query) ([]Measurement, error) {
-	strategies := []struct {
-		name string
-		fn   func(*storage.DB, exec.Spec) (*exec.Result, error)
-	}{
-		{StratDirectNaive, exec.DirectMaterialized},
-		{StratDirectNested, exec.DirectNestedLoops},
-		{StratDirectBatch, exec.DirectBatch},
-		{StratGroupBy, exec.GroupByExec},
-		{StratGroupByReplic, exec.GroupByReplicating},
-	}
 	var out []Measurement
 	for _, s := range strategies {
-		m, err := Measure(db, s.name, func() (*exec.Result, error) { return s.fn(db, q.Spec) })
+		spec := q.Spec
+		spec.Strategy = s.strat
+		m, err := Measure(db, s.name, func() (*exec.Result, error) {
+			return exec.Run(db, spec, exec.Options{})
+		})
 		if err != nil {
 			return nil, err
 		}

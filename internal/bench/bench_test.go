@@ -113,32 +113,22 @@ func TestResultsMatchAcrossStrategies(t *testing.T) {
 		sort.Strings(out)
 		return out
 	}
-	dnl, err := exec.DirectNestedLoops(db, q.Spec)
-	if err != nil {
-		t.Fatal(err)
+	runStrat := func(strat exec.Strategy) *exec.Result {
+		t.Helper()
+		spec := q.Spec
+		spec.Strategy = strat
+		res, err := exec.Run(db, spec, exec.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
 	}
-	dmt, err := exec.DirectMaterialized(db, q.Spec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	dbt, err := exec.DirectBatch(db, q.Spec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	gb, err := exec.GroupByExec(db, q.Spec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	rep, err := exec.GroupByReplicating(db, q.Spec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := render(dnl)
-	for name, got := range map[string][]string{
-		"materialized": render(dmt), "batch": render(dbt),
-		"groupby": render(gb), "replicating": render(rep),
+	want := render(runStrat(exec.StrategyDirectNested))
+	for name, strat := range map[string]exec.Strategy{
+		"materialized": exec.StrategyDirect, "batch": exec.StrategyDirectBatch,
+		"groupby": exec.StrategyGroupBy, "replicating": exec.StrategyReplicating,
 	} {
-		if !reflect.DeepEqual(got, want) {
+		if got := render(runStrat(strat)); !reflect.DeepEqual(got, want) {
 			t.Errorf("%s result differs from nested-loops direct result", name)
 		}
 	}
@@ -185,10 +175,10 @@ func TestMeasureColdCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Warm everything.
-	if _, err := exec.GroupByExec(db, q.Spec); err != nil {
+	if _, err := exec.Run(db, q.Spec, exec.Options{}); err != nil {
 		t.Fatal(err)
 	}
-	m, err := Measure(db, "x", func() (*exec.Result, error) { return exec.GroupByExec(db, q.Spec) })
+	m, err := Measure(db, "x", func() (*exec.Result, error) { return exec.Run(db, q.Spec, exec.Options{}) })
 	if err != nil {
 		t.Fatal(err)
 	}

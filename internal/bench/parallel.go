@@ -14,7 +14,7 @@ import (
 // ParallelPoint is one parallelism setting's measurement of the
 // identifier-processing groupby plan.
 type ParallelPoint struct {
-	// Parallelism is the worker bound (exec.Spec.Parallelism).
+	// Parallelism is the worker bound (exec.Options.Parallelism).
 	Parallelism int `json:"parallelism"`
 	// WallNS is the best-of-reps wall time in nanoseconds.
 	WallNS int64 `json:"wall_ns"`
@@ -57,11 +57,11 @@ func RunParallelScaling(db *storage.DB, q *Query, settings []int, reps int) (*Pa
 	var base time.Duration
 	for _, p := range settings {
 		spec := q.Spec
-		spec.Parallelism = p
+		spec.Strategy = exec.StrategyGroupBy
 		var best Measurement
 		for r := 0; r < reps; r++ {
 			m, err := Measure(db, fmt.Sprintf("p=%d", p), func() (*exec.Result, error) {
-				return exec.GroupByExec(db, spec)
+				return exec.Run(db, spec, exec.Options{Parallelism: p})
 			})
 			if err != nil {
 				return nil, err

@@ -46,23 +46,12 @@ func MeasureObs(db *storage.DB, name string, fn func(tr *obs.Tracer) (*exec.Resu
 // RunExperimentTraced is RunExperiment with every strategy executed
 // under a verified tracer; each Measurement carries its span tree.
 func RunExperimentTraced(db *storage.DB, q *Query) ([]Measurement, error) {
-	strategies := []struct {
-		name string
-		fn   func(*storage.DB, exec.Spec) (*exec.Result, error)
-	}{
-		{StratDirectNaive, exec.DirectMaterialized},
-		{StratDirectNested, exec.DirectNestedLoops},
-		{StratDirectBatch, exec.DirectBatch},
-		{StratGroupBy, exec.GroupByExec},
-		{StratGroupByReplic, exec.GroupByReplicating},
-	}
 	var out []Measurement
 	for _, s := range strategies {
-		fn := s.fn
+		spec := q.Spec
+		spec.Strategy = s.strat
 		m, err := MeasureObs(db, s.name, func(tr *obs.Tracer) (*exec.Result, error) {
-			spec := q.Spec
-			spec.Tracer = tr
-			return fn(db, spec)
+			return exec.Run(db, spec, exec.Options{Tracer: tr})
 		})
 		if err != nil {
 			return nil, err

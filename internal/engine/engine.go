@@ -1,0 +1,331 @@
+// Package engine is the unified query facade: the one entry point that
+// owns the whole pipeline of the paper — parse (internal/xq), naive
+// TAX plan (internal/plan), GROUPBY rewrite (internal/opt), physical
+// execution (internal/exec) — behind a prepare/execute split. Prepare
+// runs the one-time compilation stages and caches the result in an LRU
+// keyed by query text; Execute runs a prepared plan under per-call
+// options (strategy, parallelism, tracing, context cancellation), so a
+// long-lived server pays parse + optimize once per distinct query and
+// pure execution cost thereafter.
+//
+// Concurrency: an Engine and its PreparedQueries are safe for
+// concurrent use. Compiled plans are immutable after Prepare; per-run
+// state lives in the executors, and the storage layer's read paths and
+// spill region are concurrency-safe (see storage.DB).
+package engine
+
+import (
+	"container/list"
+	"context"
+	"strings"
+	"sync"
+
+	"timber/internal/exec"
+	"timber/internal/obs"
+	"timber/internal/opt"
+	"timber/internal/plan"
+	"timber/internal/storage"
+	"timber/internal/xmltree"
+	"timber/internal/xq"
+)
+
+// DefaultCacheSize is the prepared-plan cache capacity when Options
+// does not set one.
+const DefaultCacheSize = 128
+
+// Options configures an Engine.
+type Options struct {
+	// CacheSize bounds the prepared-plan LRU (distinct query texts).
+	// 0 means DefaultCacheSize; negative disables caching.
+	CacheSize int
+	// Parallelism is the default worker bound for executions that do
+	// not set their own (0 = GOMAXPROCS, 1 = sequential).
+	Parallelism int
+	// Metrics receives the engine's counters (cache hits/misses/
+	// evictions, executions, errors). Nil means the engine counts into
+	// a private registry; Registry() returns whichever is in use.
+	Metrics *obs.Registry
+}
+
+// Engine binds a database to a prepared-plan cache. Create with New.
+type Engine struct {
+	db   *storage.DB
+	opts Options
+	reg  *obs.Registry
+
+	mu     sync.Mutex
+	lru    *list.List // *PreparedQuery, front = most recently used
+	byText map[string]*list.Element
+
+	hits      *obs.Metric
+	misses    *obs.Metric
+	evictions *obs.Metric
+	execs     *obs.Metric
+	execErrs  *obs.Metric
+}
+
+// New creates an engine over db.
+func New(db *storage.DB, opts Options) *Engine {
+	if opts.CacheSize == 0 {
+		opts.CacheSize = DefaultCacheSize
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Engine{
+		db:        db,
+		opts:      opts,
+		reg:       reg,
+		lru:       list.New(),
+		byText:    map[string]*list.Element{},
+		hits:      reg.Counter("engine_plan_cache_hits"),
+		misses:    reg.Counter("engine_plan_cache_misses"),
+		evictions: reg.Counter("engine_plan_cache_evictions"),
+		execs:     reg.Counter("engine_executions"),
+		execErrs:  reg.Counter("engine_execution_errors"),
+	}
+}
+
+// DB returns the engine's database.
+func (e *Engine) DB() *storage.DB { return e.db }
+
+// Registry returns the registry the engine counts into — the one from
+// Options.Metrics, or the engine's private one.
+func (e *Engine) Registry() *obs.Registry { return e.reg }
+
+// CacheStats is a point-in-time view of the prepared-plan cache.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Size      int   `json:"size"`
+	Capacity  int   `json:"capacity"`
+}
+
+// CacheStats returns the cache counters and current occupancy.
+func (e *Engine) CacheStats() CacheStats {
+	e.mu.Lock()
+	size := e.lru.Len()
+	e.mu.Unlock()
+	return CacheStats{
+		Hits:      e.hits.Load(),
+		Misses:    e.misses.Load(),
+		Evictions: e.evictions.Load(),
+		Size:      size,
+		Capacity:  e.opts.CacheSize,
+	}
+}
+
+// PreparedQuery is a compiled query: the parse and optimize stages run
+// once, at Prepare time, and the results are immutable thereafter.
+type PreparedQuery struct {
+	eng *Engine
+	// Text is the source query.
+	Text string
+	// Naive is the Sec. 4.1 translation of the query.
+	Naive plan.Op
+	// Rewritten is the GROUPBY rewrite of Naive when Applied, else
+	// Naive itself.
+	Rewritten plan.Op
+	// Applied reports whether the grouping idiom was detected and the
+	// rewrite produced Rewritten.
+	Applied bool
+	// Spec is the physical grouping-query description derived from
+	// Rewritten; valid only when Applied.
+	Spec exec.Spec
+}
+
+// Prepare compiles the query, consulting the plan cache: a hit returns
+// the previously compiled PreparedQuery without re-running parse or
+// optimize.
+func (e *Engine) Prepare(query string) (*PreparedQuery, error) {
+	pq, _, err := e.PrepareCached(query)
+	return pq, err
+}
+
+// PrepareCached is Prepare plus a report of whether the plan came from
+// the cache.
+func (e *Engine) PrepareCached(query string) (*PreparedQuery, bool, error) {
+	if pq := e.lookup(query); pq != nil {
+		e.hits.Inc()
+		return pq, true, nil
+	}
+	e.misses.Inc()
+	pq, err := e.compile(query)
+	if err != nil {
+		return nil, false, err
+	}
+	return e.insert(pq), false, nil
+}
+
+func (e *Engine) lookup(query string) *PreparedQuery {
+	if e.opts.CacheSize < 0 {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	el, ok := e.byText[query]
+	if !ok {
+		return nil
+	}
+	e.lru.MoveToFront(el)
+	return el.Value.(*PreparedQuery)
+}
+
+// insert files a freshly compiled plan, evicting the least recently
+// used entry past capacity. If a concurrent Prepare of the same text
+// got there first, its entry wins and is returned — both plans are
+// equivalent, and keeping the incumbent preserves pointer identity for
+// earlier callers.
+func (e *Engine) insert(pq *PreparedQuery) *PreparedQuery {
+	if e.opts.CacheSize < 0 {
+		return pq
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if el, ok := e.byText[pq.Text]; ok {
+		e.lru.MoveToFront(el)
+		return el.Value.(*PreparedQuery)
+	}
+	e.byText[pq.Text] = e.lru.PushFront(pq)
+	for e.lru.Len() > e.opts.CacheSize {
+		victim := e.lru.Back()
+		e.lru.Remove(victim)
+		delete(e.byText, victim.Value.(*PreparedQuery).Text)
+		e.evictions.Inc()
+	}
+	return pq
+}
+
+// compile runs the one-time pipeline stages: parse, translate,
+// rewrite, and (when the rewrite applies) Spec derivation.
+func (e *Engine) compile(query string) (*PreparedQuery, error) {
+	ast, err := xq.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	naive, err := plan.Translate(ast)
+	if err != nil {
+		return nil, err
+	}
+	rewritten, applied, err := opt.Rewrite(naive)
+	if err != nil {
+		return nil, err
+	}
+	pq := &PreparedQuery{eng: e, Text: query, Naive: naive, Rewritten: rewritten, Applied: applied}
+	if !applied {
+		pq.Rewritten = naive
+		return pq, nil
+	}
+	spec, err := exec.SpecFromPlan(rewritten)
+	if err != nil {
+		// The rewrite applied but the physical Spec does not cover the
+		// query shape; the generic physical plan still can.
+		pq.Applied = false
+		return pq, nil
+	}
+	pq.Spec = spec
+	return pq, nil
+}
+
+// ExecOptions are the per-execution knobs of a prepared query.
+type ExecOptions struct {
+	// Strategy selects the physical plan. Spec-level strategies
+	// (groupby, direct, ...) require the grouping rewrite; when it did
+	// not apply they fall back to the generic physical plan, so the
+	// zero value always works. StrategyLogical forces the in-memory
+	// reference evaluator.
+	Strategy exec.Strategy
+	// Parallelism overrides the engine default when non-zero.
+	Parallelism int
+	// Tracer, when non-nil, collects the run's span tree. Use only on
+	// solo runs over reset counters — the exactness invariant cannot
+	// hold when concurrent queries share the storage counters.
+	Tracer *obs.Tracer
+}
+
+// Result is one execution's outcome.
+type Result struct {
+	// Trees are the materialized result elements.
+	Trees []*xmltree.Node
+	// Stats itemizes the plan's data accesses (Spec-level strategies
+	// only; zero for logical/physical plan evaluation).
+	Stats exec.ExecStats
+	// Strategy is the plan that actually ran (after fallback).
+	Strategy exec.Strategy
+}
+
+// Execute runs the prepared plan. ctx cancellation and deadlines are
+// observed promptly — between operator phases, between worker chunk
+// claims, and per item inside sequential scans — and a cancelled run
+// returns ctx.Err() without corrupting shared storage state.
+func (pq *PreparedQuery) Execute(ctx context.Context, o ExecOptions) (*Result, error) {
+	res, err := pq.execute(ctx, o)
+	pq.eng.execs.Inc()
+	if err != nil {
+		pq.eng.execErrs.Inc()
+		return nil, err
+	}
+	return res, nil
+}
+
+func (pq *PreparedQuery) execute(ctx context.Context, o ExecOptions) (*Result, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	par := o.Parallelism
+	if par == 0 {
+		par = pq.eng.opts.Parallelism
+	}
+	xo := exec.Options{Parallelism: par, Tracer: o.Tracer, Ctx: ctx}
+	strat := o.Strategy
+	if !pq.Applied && strat != exec.StrategyLogical && strat != exec.StrategyPhysical {
+		strat = exec.StrategyPhysical
+	}
+	switch strat {
+	case exec.StrategyLogical:
+		out, err := exec.ExecLogical(pq.eng.db, pq.Naive)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Trees: out.Trees, Strategy: strat}, nil
+	case exec.StrategyPhysical:
+		out, err := exec.ExecPhysical(pq.eng.db, pq.Rewritten, xo)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Trees: out.Trees, Strategy: strat}, nil
+	default:
+		spec := pq.Spec
+		spec.Strategy = strat
+		res, err := exec.Run(pq.eng.db, spec, xo)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Trees: res.Trees, Stats: res.Stats, Strategy: strat}, nil
+	}
+}
+
+// Query is Prepare + Execute in one call — the convenience path for
+// callers that do not hold on to the prepared plan.
+func (e *Engine) Query(ctx context.Context, query string, o ExecOptions) (*Result, error) {
+	pq, err := e.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return pq.Execute(ctx, o)
+}
+
+// Serialize renders the result trees as concatenated XML documents —
+// the byte format timber-query prints and timber-serve returns, kept
+// in one place so the two agree byte for byte.
+func (r *Result) Serialize() string {
+	var b strings.Builder
+	for _, tr := range r.Trees {
+		b.WriteString(xmltree.SerializeString(tr))
+	}
+	return b.String()
+}

@@ -90,10 +90,12 @@ func TestDescendantAxisAllPlansAgree(t *testing.T) {
 		if !reflect.DeepEqual(sorted(rows(lr.Trees)), sorted(nRows)) {
 			return false
 		}
-		for _, fn := range []func(*storage.DB, Spec) (*Result, error){
-			DirectMaterialized, DirectNestedLoops, DirectBatch, GroupByExec, GroupByReplicating,
+		for _, strat := range []Strategy{
+			StrategyDirect, StrategyDirectNested, StrategyDirectBatch, StrategyGroupBy, StrategyReplicating,
 		} {
-			res, err := fn(db, spec)
+			spec := spec
+			spec.Strategy = strat
+			res, err := Run(db, spec, Options{})
 			if err != nil {
 				return false
 			}
@@ -101,7 +103,7 @@ func TestDescendantAxisAllPlansAgree(t *testing.T) {
 				return false
 			}
 		}
-		phys, err := ExecPhysical(db, rewritten)
+		phys, err := ExecPhysical(db, rewritten, Options{})
 		if err != nil {
 			return false
 		}
@@ -127,7 +129,7 @@ func TestDescendantAxisGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, _, spec := plansFor(t, queryDescSrc)
-	res, err := GroupByExec(db, spec)
+	res, err := groupByExec(db, spec, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +139,7 @@ func TestDescendantAxisGolden(t *testing.T) {
 	}
 	// The child-axis query must NOT see the nested pair.
 	_, _, childSpec := plansFor(t, query1Src)
-	res2, err := GroupByExec(db, childSpec)
+	res2, err := groupByExec(db, childSpec, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,13 +19,13 @@ import (
 //
 // Output trees appear in first-occurrence order of the distinct values,
 // matching the logical naive plan. Requires the value index.
-func DirectNestedLoops(db *storage.DB, spec Spec) (*Result, error) {
+func directNestedLoops(db *storage.DB, spec Spec, o Options) (*Result, error) {
 	if !db.HasValueIndex() {
 		return nil, fmt.Errorf("exec: direct nested-loops plan needs the value index")
 	}
 	res := &Result{}
 	basisTag := spec.BasisTag()
-	sp := spec.trace("exec: direct nested-loops")
+	sp := o.trace("exec: direct nested-loops")
 	defer sp.End()
 
 	// Outer: distinct-values(//basisTag) — identify nodes by index,
@@ -39,6 +39,9 @@ func DirectNestedLoops(db *storage.DB, spec Spec) (*Result, error) {
 	var distinct []string
 	seen := map[string]bool{}
 	for _, p := range outerPosts {
+		if err := o.err(); err != nil {
+			return nil, err
+		}
 		v, err := db.Content(p)
 		if err != nil {
 			return nil, err
@@ -71,6 +74,11 @@ func DirectNestedLoops(db *storage.DB, spec Spec) (*Result, error) {
 	probesBefore := res.Stats.IndexPostings
 	lookupsBefore := res.Stats.ValueLookups
 	for _, v := range distinct {
+		// One cancellation probe per outer binding: each iteration is a
+		// probe-plus-navigation burst of record fetches.
+		if err := o.err(); err != nil {
+			return nil, err
+		}
 		probes, err := db.ValuePostings(basisTag, v)
 		if err != nil {
 			return nil, err
@@ -217,11 +225,11 @@ func (r *Result) navigateDown(db *storage.DB, member *storage.NodeRecord, path P
 // (hash) join with the latter, then output per distinct value. It does
 // the same data-value look-ups twice (dedupe pass and join pass) but
 // avoids the per-binding navigation of the nested-loops plan, so it
-// sits between DirectNestedLoops and GroupByExec.
-func DirectBatch(db *storage.DB, spec Spec) (*Result, error) {
+// sits between the nested-loops and groupby plans.
+func directBatch(db *storage.DB, spec Spec, o Options) (*Result, error) {
 	res := &Result{}
 	basisTag := spec.BasisTag()
-	sp := spec.trace("exec: direct batch")
+	sp := o.trace("exec: direct batch")
 	defer sp.End()
 
 	// Outer values, first-occurrence order.
@@ -234,6 +242,9 @@ func DirectBatch(db *storage.DB, spec Spec) (*Result, error) {
 	var distinct []string
 	seen := map[string]bool{}
 	for _, p := range outerPosts {
+		if err := o.err(); err != nil {
+			return nil, err
+		}
 		v, err := db.Content(p)
 		if err != nil {
 			return nil, err
@@ -258,7 +269,7 @@ func DirectBatch(db *storage.DB, spec Spec) (*Result, error) {
 	}
 	res.Stats.IndexPostings += len(members)
 	joinSp.Add("postings", int64(len(members)))
-	witnesses, err := pathPairs(db, members, spec.JoinPath, spec.workers(), joinSp)
+	witnesses, err := pathPairs(o.Ctx, db, members, spec.JoinPath, o.workers(), joinSp)
 	joinSp.End()
 	if err != nil {
 		return nil, err
@@ -268,6 +279,10 @@ func DirectBatch(db *storage.DB, spec Spec) (*Result, error) {
 	byValue := map[string][]storage.Posting{}
 	dedup := map[string]map[xmltree.NodeID]bool{}
 	for _, w := range witnesses {
+		if err := o.err(); err != nil {
+			hashSp.End()
+			return nil, err
+		}
 		v, err := db.Content(w.leaf)
 		if err != nil {
 			return nil, err
@@ -287,7 +302,7 @@ func DirectBatch(db *storage.DB, spec Spec) (*Result, error) {
 
 	// Value path, index-only.
 	valSp := sp.Child("sjoin: value path")
-	valuePairs, err := pathPairs(db, members, spec.ValuePath, spec.workers(), valSp)
+	valuePairs, err := pathPairs(o.Ctx, db, members, spec.ValuePath, o.workers(), valSp)
 	valSp.End()
 	if err != nil {
 		return nil, err
@@ -296,7 +311,7 @@ func DirectBatch(db *storage.DB, spec Spec) (*Result, error) {
 	valuesOf := groupPairsByMember(valuePairs)
 
 	if spec.OrderPath != nil {
-		ov, err := orderValues(db, members, spec.OrderPath, res, spec.workers(), sp)
+		ov, err := orderValues(o.Ctx, db, members, spec.OrderPath, res, o.workers(), sp)
 		if err != nil {
 			return nil, err
 		}

@@ -138,7 +138,7 @@ var wantSample = []string{
 func TestGroupByExecSample(t *testing.T) {
 	db := sampleDB(t)
 	_, _, spec := plansFor(t, query1Src)
-	res, err := GroupByExec(db, spec)
+	res, err := groupByExec(db, spec, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +167,7 @@ func TestGroupByExecSample(t *testing.T) {
 func TestGroupByExecCountIdentifierOnly(t *testing.T) {
 	db := sampleDB(t)
 	_, _, spec := plansFor(t, queryCountSrc)
-	res, err := GroupByExec(db, spec)
+	res, err := groupByExec(db, spec, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +185,7 @@ func TestGroupByExecCountIdentifierOnly(t *testing.T) {
 func TestDirectNestedLoopsSample(t *testing.T) {
 	db := sampleDB(t)
 	_, _, spec := plansFor(t, query1Src)
-	res, err := DirectNestedLoops(db, spec)
+	res, err := directNestedLoops(db, spec, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +201,7 @@ func TestDirectNestedLoopsSample(t *testing.T) {
 func TestDirectBatchSample(t *testing.T) {
 	db := sampleDB(t)
 	_, _, spec := plansFor(t, query1Src)
-	res, err := DirectBatch(db, spec)
+	res, err := directBatch(db, spec, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,14 +214,14 @@ func TestDirectCountSample(t *testing.T) {
 	db := sampleDB(t)
 	_, _, spec := plansFor(t, queryCountSrc)
 	want := []string{"Jack:2", "John:2", "Jill:1"}
-	nl, err := DirectNestedLoops(db, spec)
+	nl, err := directNestedLoops(db, spec, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := rows(nl.Trees); !reflect.DeepEqual(got, want) {
 		t.Errorf("nested-loops count = %v, want %v", got, want)
 	}
-	bt, err := DirectBatch(db, spec)
+	bt, err := directBatch(db, spec, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +240,7 @@ func TestDirectNestedLoopsNeedsValueIndex(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, _, spec := plansFor(t, query1Src)
-	if _, err := DirectNestedLoops(db, spec); err == nil {
+	if _, err := directNestedLoops(db, spec, Options{}); err == nil {
 		t.Error("nested-loops without value index should fail")
 	}
 }
@@ -257,11 +257,11 @@ func TestLogicalOracleAgreement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct, err := DirectNestedLoops(db, spec)
+	direct, err := directNestedLoops(db, spec, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	group, err := GroupByExec(db, spec)
+	group, err := groupByExec(db, spec, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,23 +340,23 @@ func TestAllPlansAgreeProperty(t *testing.T) {
 			if err != nil {
 				return false
 			}
-			dnl, err := DirectNestedLoops(db, tc.spec)
+			dnl, err := directNestedLoops(db, tc.spec, Options{})
 			if err != nil {
 				return false
 			}
-			dmt, err := DirectMaterialized(db, tc.spec)
+			dmt, err := directMaterialized(db, tc.spec, Options{})
 			if err != nil {
 				return false
 			}
-			dbt, err := DirectBatch(db, tc.spec)
+			dbt, err := directBatch(db, tc.spec, Options{})
 			if err != nil {
 				return false
 			}
-			rep, err := GroupByReplicating(db, tc.spec)
+			rep, err := groupByReplicating(db, tc.spec, Options{})
 			if err != nil {
 				return false
 			}
-			gb, err := GroupByExec(db, tc.spec)
+			gb, err := groupByExec(db, tc.spec, Options{})
 			if err != nil {
 				return false
 			}
@@ -423,7 +423,7 @@ RETURN
 		t.Fatal(err)
 	}
 
-	gb, err := GroupByExec(db, spec)
+	gb, err := groupByExec(db, spec, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -431,7 +431,7 @@ RETURN
 	if got := rows(gb.Trees); !reflect.DeepEqual(got, want) {
 		t.Errorf("groupby institution = %v, want %v", got, want)
 	}
-	dnl, err := DirectNestedLoops(db, spec)
+	dnl, err := directNestedLoops(db, spec, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

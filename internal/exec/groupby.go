@@ -33,7 +33,7 @@ type ExecStats struct {
 	Groups int
 }
 
-// GroupByExec runs the TIMBER groupby plan (Sec. 5.3):
+// groupByExec runs the TIMBER groupby plan (Sec. 5.3):
 //
 //  1. The pattern-tree match — members, the join path and the value
 //     path — is computed from indices alone, as witness pairs of node
@@ -52,14 +52,14 @@ type ExecStats struct {
 // order differs; see the package tests).
 //
 // The value-population phases (steps 2 and 4) fan out over
-// spec.Parallelism workers; every worker writes into its own
+// o.Parallelism workers; every worker writes into its own
 // pre-assigned slot and the stats are added in bulk afterwards, so the
 // result trees, group order and ExecStats are identical for any
 // parallelism setting.
-func GroupByExec(db *storage.DB, spec Spec) (*Result, error) {
+func groupByExec(db *storage.DB, spec Spec, o Options) (*Result, error) {
 	res := &Result{}
-	workers := spec.workers()
-	sp := spec.trace("exec: groupby")
+	workers := o.workers()
+	sp := o.trace("exec: groupby")
 	defer sp.End()
 
 	// Step 1: identifier-only pattern match.
@@ -73,7 +73,7 @@ func GroupByExec(db *storage.DB, spec Spec) (*Result, error) {
 	scanSp.End()
 
 	joinSp := sp.Child("sjoin: join path")
-	witnesses, err := pathPairs(db, members, spec.JoinPath, workers, joinSp)
+	witnesses, err := pathPairs(o.Ctx, db, members, spec.JoinPath, workers, joinSp)
 	joinSp.End()
 	if err != nil {
 		return nil, err
@@ -81,7 +81,7 @@ func GroupByExec(db *storage.DB, spec Spec) (*Result, error) {
 	res.Stats.IndexPostings += len(witnesses)
 
 	valSp := sp.Child("sjoin: value path")
-	valuePairs, err := pathPairs(db, members, spec.ValuePath, workers, valSp)
+	valuePairs, err := pathPairs(o.Ctx, db, members, spec.ValuePath, workers, valSp)
 	valSp.End()
 	if err != nil {
 		return nil, err
@@ -99,7 +99,7 @@ func GroupByExec(db *storage.DB, spec Spec) (*Result, error) {
 	}
 	popSp := sp.Child("populate: grouping values")
 	ws := make([]witness, len(witnesses))
-	if err := par.Do(len(witnesses), workers, func(i int) error {
+	if err := par.Do(o.Ctx, len(witnesses), workers, func(i int) error {
 		p := witnesses[i]
 		v, err := db.Content(p.leaf)
 		if err != nil {
@@ -119,7 +119,7 @@ func GroupByExec(db *storage.DB, spec Spec) (*Result, error) {
 	// identifiers like the grouping values, per Sec. 5.3) order members
 	// within a group, and witness order breaks remaining ties.
 	if spec.OrderPath != nil {
-		ov, err := orderValues(db, members, spec.OrderPath, res, workers, sp)
+		ov, err := orderValues(o.Ctx, db, members, spec.OrderPath, res, workers, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -158,7 +158,7 @@ func GroupByExec(db *storage.DB, spec Spec) (*Result, error) {
 	looks := make([]int, len(runs))
 	switch spec.Mode {
 	case Titles:
-		if err := par.Do(len(runs), workers, func(g int) error {
+		if err := par.Do(o.Ctx, len(runs), workers, func(g int) error {
 			r := runs[g]
 			out := xmltree.E(spec.OutTag, xmltree.Elem(basisTag, ws[r.i].value))
 			for _, w := range ws[r.i:r.j] {

@@ -29,10 +29,10 @@ import (
 //
 // Output order matches the logical naive plan: distinct values in
 // first-occurrence order, members in document order.
-func DirectMaterialized(db *storage.DB, spec Spec) (*Result, error) {
+func directMaterialized(db *storage.DB, spec Spec, o Options) (*Result, error) {
 	res := &Result{}
 	basisTag := spec.BasisTag()
-	sp := spec.trace("exec: direct materialized")
+	sp := o.trace("exec: direct materialized")
 	defer sp.End()
 
 	// Step 1: outer selection + projection (Figure 7), materialized.
@@ -44,6 +44,9 @@ func DirectMaterialized(db *storage.DB, spec Spec) (*Result, error) {
 	res.Stats.IndexPostings += len(outerPosts)
 	outer := make([]*xmltree.Node, 0, len(outerPosts))
 	for _, p := range outerPosts {
+		if err := o.err(); err != nil {
+			return nil, err
+		}
 		v, err := db.Content(p)
 		if err != nil {
 			return nil, err
@@ -86,7 +89,7 @@ func DirectMaterialized(db *storage.DB, spec Spec) (*Result, error) {
 	}
 	res.Stats.IndexPostings += len(members)
 	joinSp.Add("postings", int64(len(members)))
-	pairs, err := pathPairs(db, members, spec.JoinPath, spec.workers(), joinSp)
+	pairs, err := pathPairs(o.Ctx, db, members, spec.JoinPath, o.workers(), joinSp)
 	joinSp.End()
 	if err != nil {
 		return nil, err
@@ -95,6 +98,9 @@ func DirectMaterialized(db *storage.DB, spec Spec) (*Result, error) {
 	byValue := map[string][]storage.Posting{}
 	dedup := map[string]map[xmltree.NodeID]bool{}
 	for _, w := range pairs {
+		if err := o.err(); err != nil {
+			return nil, err
+		}
 		v, err := db.Content(w.leaf)
 		if err != nil {
 			return nil, err
@@ -114,6 +120,11 @@ func DirectMaterialized(db *storage.DB, spec Spec) (*Result, error) {
 	lookupsBefore := res.Stats.ValueLookups
 	prods := make([]*xmltree.Node, 0, len(distinct))
 	for _, tr := range distinct {
+		// The product-tree loop is the dominant record-fetch phase of
+		// this plan; probe once per outer tree.
+		if err := o.err(); err != nil {
+			return nil, err
+		}
 		v := tr.Children[0].Content
 		prod := xmltree.E(tax.ProdRootTag, tr.Clone())
 		// "Duplicate elimination based on articles" is structural in

@@ -11,7 +11,7 @@ import (
 func TestDirectMaterializedSample(t *testing.T) {
 	db := sampleDB(t)
 	_, _, spec := plansFor(t, query1Src)
-	res, err := DirectMaterialized(db, spec)
+	res, err := directMaterialized(db, spec, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +31,7 @@ func TestDirectMaterializedSample(t *testing.T) {
 func TestDirectMaterializedCount(t *testing.T) {
 	db := sampleDB(t)
 	_, _, spec := plansFor(t, queryCountSrc)
-	res, err := DirectMaterialized(db, spec)
+	res, err := directMaterialized(db, spec, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +68,7 @@ RETURN
 	if _, err := db.LoadDocument("bib.xml", root); err != nil {
 		t.Fatal(err)
 	}
-	res, err := DirectMaterialized(db, spec)
+	res, err := directMaterialized(db, spec, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestStructuralDedupCaveat(t *testing.T) {
 	if got := rows(ln.Trees); !reflect.DeepEqual(got, []string{"A:Same"}) {
 		t.Errorf("logical naive = %v, want structural dedup", got)
 	}
-	dm, err := DirectMaterialized(db, spec)
+	dm, err := directMaterialized(db, spec, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestStructuralDedupCaveat(t *testing.T) {
 	if got := rows(lr.Trees); !reflect.DeepEqual(got, []string{"A:Same,Same"}) {
 		t.Errorf("rewritten = %v, want both witnesses", got)
 	}
-	gb, err := GroupByExec(db, spec)
+	gb, err := groupByExec(db, spec, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,10 +137,10 @@ func TestExecutorsNoTemporaryPageLeak(t *testing.T) {
 	_, _, spec := plansFor(t, query1Src)
 	before := db.NumPages()
 	for i := 0; i < 3; i++ {
-		if _, err := DirectMaterialized(db, spec); err != nil {
+		if _, err := directMaterialized(db, spec, Options{}); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := GroupByExec(db, spec); err != nil {
+		if _, err := groupByExec(db, spec, Options{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -163,19 +163,19 @@ func TestExecutorsOnClosedDB(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Every executor must surface the storage failure, not panic.
-	if _, err := GroupByExec(db, spec); err == nil {
+	if _, err := groupByExec(db, spec, Options{}); err == nil {
 		t.Error("GroupByExec on closed db should fail")
 	}
-	if _, err := DirectMaterialized(db, spec); err == nil {
+	if _, err := directMaterialized(db, spec, Options{}); err == nil {
 		t.Error("DirectMaterialized on closed db should fail")
 	}
-	if _, err := DirectBatch(db, spec); err == nil {
+	if _, err := directBatch(db, spec, Options{}); err == nil {
 		t.Error("DirectBatch on closed db should fail")
 	}
-	if _, err := DirectNestedLoops(db, spec); err == nil {
+	if _, err := directNestedLoops(db, spec, Options{}); err == nil {
 		t.Error("DirectNestedLoops on closed db should fail")
 	}
-	if _, err := GroupByReplicating(db, spec); err == nil {
+	if _, err := groupByReplicating(db, spec, Options{}); err == nil {
 		t.Error("GroupByReplicating on closed db should fail")
 	}
 }

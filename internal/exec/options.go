@@ -1,0 +1,60 @@
+package exec
+
+import (
+	"context"
+
+	"timber/internal/obs"
+	"timber/internal/par"
+)
+
+// Options carries the run-time knobs of one execution: how wide the
+// worker pools fan out, whether the run is traced, and the context
+// that can cancel it. The zero value is a valid default — every core,
+// untraced, never cancelled. Options deliberately lives outside Spec:
+// a Spec describes *what* the query computes (and is cached by the
+// engine's plan cache), while Options describes *how one run* of it
+// behaves.
+type Options struct {
+	// Parallelism bounds the worker pools the executors use for their
+	// hot phases (witness value population, output materialization,
+	// per-document structural joins). 0 means GOMAXPROCS; 1 forces the
+	// sequential path. Any setting produces byte-identical results —
+	// partial results merge in document order.
+	Parallelism int
+	// Tracer, when non-nil, records one span per operator phase of the
+	// execution (EXPLAIN ANALYZE style). Executors create and end spans
+	// only on the orchestrating goroutine — worker pools never touch
+	// the tracer — and a nil Tracer reduces every span operation to a
+	// nil check, so results are byte-identical with tracing on or off.
+	Tracer *obs.Tracer
+	// Ctx, when non-nil, cancels the execution: executors check it at
+	// phase boundaries and inside their record-fetch loops (including
+	// mid-chunk inside worker pools), so a timed-out query stops
+	// issuing buffer-pool fetches promptly. A cancelled run returns
+	// ctx.Err() and no result. Nil means "never cancelled".
+	Ctx context.Context
+}
+
+// trace starts a top-level executor span (no-op when untraced).
+func (o Options) trace(name string) *obs.Span { return o.Tracer.Start(name) }
+
+// workers resolves the parallelism knob to a worker count.
+func (o Options) workers() int { return par.Workers(o.Parallelism) }
+
+// err reports the options context's cancellation state without
+// blocking; a nil context never cancels.
+func (o Options) err() error { return ctxErr(o.Ctx) }
+
+// ctxErr is the non-blocking cancellation probe the sequential hot
+// loops use between record fetches.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}

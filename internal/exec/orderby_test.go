@@ -55,7 +55,7 @@ func TestOrderBySpec(t *testing.T) {
 func TestOrderByDescendingTitles(t *testing.T) {
 	db := sampleDB(t)
 	_, _, spec := plansFor(t, queryOrderedSrc)
-	res, err := GroupByExec(db, spec)
+	res, err := groupByExec(db, spec, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestOrderByYearAscending(t *testing.T) {
 	naive, rewritten, spec := plansFor(t, queryOrderedByYearSrc)
 
 	want := []string{"A:oldest,middle,newest"}
-	gb, err := GroupByExec(db, spec)
+	gb, err := groupByExec(db, spec, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,10 +157,12 @@ func TestOrderByAllPlansAgreeProperty(t *testing.T) {
 		if !reflect.DeepEqual(sorted(rows(lr.Trees)), sorted(nRows)) {
 			return false
 		}
-		for _, fn := range []func(*storage.DB, Spec) (*Result, error){
-			DirectMaterialized, DirectNestedLoops, DirectBatch, GroupByExec, GroupByReplicating,
+		for _, strat := range []Strategy{
+			StrategyDirect, StrategyDirectNested, StrategyDirectBatch, StrategyGroupBy, StrategyReplicating,
 		} {
-			res, err := fn(db, spec)
+			spec := spec
+			spec.Strategy = strat
+			res, err := Run(db, spec, Options{})
 			if err != nil {
 				return false
 			}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"sort"
 
 	"timber/internal/obs"
@@ -22,10 +23,10 @@ import (
 // The selection of each member's first (document-order) match is
 // sequential and deterministic; only the value fetches fan out over
 // the worker pool.
-func orderValues(db *storage.DB, members []storage.Posting, path Path, res *Result, workers int, sp *obs.Span) (map[xmltree.NodeID]string, error) {
+func orderValues(ctx context.Context, db *storage.DB, members []storage.Posting, path Path, res *Result, workers int, sp *obs.Span) (map[xmltree.NodeID]string, error) {
 	ordSp := sp.Child("populate: ordering values")
 	defer ordSp.End()
-	pairs, err := pathPairs(db, members, path, workers, ordSp)
+	pairs, err := pathPairs(ctx, db, members, path, workers, ordSp)
 	if err != nil {
 		return nil, err
 	}
@@ -41,7 +42,7 @@ func orderValues(db *storage.DB, members []storage.Posting, path Path, res *Resu
 		firsts = append(firsts, p)
 	}
 	values := make([]string, len(firsts))
-	if err := par.Do(len(firsts), workers, func(i int) error {
+	if err := par.Do(ctx, len(firsts), workers, func(i int) error {
 		v, err := db.Content(firsts[i].leaf)
 		if err != nil {
 			return err

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"sort"
 
 	"timber/internal/obs"
@@ -29,8 +30,9 @@ type pair struct {
 // When sp is non-nil, each step becomes a child span carrying the
 // step's posting scan, join input/output and surviving-pair counts.
 // Steps run sequentially on the calling goroutine, so the spans nest
-// without synchronization.
-func pathPairs(db *storage.DB, members []storage.Posting, path Path, workers int, sp *obs.Span) ([]pair, error) {
+// without synchronization. A non-nil ctx cancels between steps and
+// inside each step's per-document join pool.
+func pathPairs(ctx context.Context, db *storage.DB, members []storage.Posting, path Path, workers int, sp *obs.Span) ([]pair, error) {
 	cur := make([]pair, len(members))
 	for i, m := range members {
 		cur[i] = pair{member: m, leaf: m}
@@ -51,7 +53,11 @@ func pathPairs(db *storage.DB, members []storage.Posting, path Path, workers int
 		if stepSp != nil {
 			jm = &sjoin.Metrics{}
 		}
-		cur = stepJoin(cur, next, axis, workers, jm)
+		cur, err = stepJoin(ctx, cur, next, axis, workers, jm)
+		if err != nil {
+			stepSp.End()
+			return nil, err
+		}
 		if jm != nil {
 			stepSp.Add("join_inputs", jm.Ancestors.Load()+jm.Descendants.Load())
 			stepSp.Add("join_pairs", jm.Pairs.Load())
@@ -67,7 +73,7 @@ func pathPairs(db *storage.DB, members []storage.Posting, path Path, workers int
 
 // stepJoin extends each pair's leaf by one structural step into the
 // candidate postings.
-func stepJoin(cur []pair, cands []storage.Posting, axis sjoin.Axis, workers int, jm *sjoin.Metrics) []pair {
+func stepJoin(ctx context.Context, cur []pair, cands []storage.Posting, axis sjoin.Axis, workers int, jm *sjoin.Metrics) ([]pair, error) {
 	// Distinct, sorted current leaves form the ancestor list.
 	leaves := make([]storage.Posting, 0, len(cur))
 	seen := map[xmltree.NodeID]bool{}
@@ -88,7 +94,10 @@ func stepJoin(cur []pair, cands []storage.Posting, axis sjoin.Axis, workers int,
 	for i, c := range cands {
 		dIvs[i] = c.Interval
 	}
-	joined := sjoin.StackTreeParM(aIvs, dIvs, axis, workers, jm)
+	joined, err := sjoin.StackTreeParM(ctx, aIvs, dIvs, axis, workers, jm)
+	if err != nil {
+		return nil, err
+	}
 
 	children := map[xmltree.NodeID][]storage.Posting{}
 	for _, pr := range joined {
@@ -101,7 +110,7 @@ func stepJoin(cur []pair, cands []storage.Posting, axis sjoin.Axis, workers int,
 			out = append(out, pair{member: p.member, leaf: c})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // groupPairsByMember turns pairs into a member-ID-keyed multimap,

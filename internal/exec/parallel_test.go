@@ -53,14 +53,12 @@ func TestGroupByExecParallelEquivalence(t *testing.T) {
 	db := multiDocDB(t, 7, 11, 13)
 	for _, src := range []string{query1Src, queryCountSrc, queryOrderedSrc} {
 		_, _, spec := plansFor(t, src)
-		spec.Parallelism = 1
-		seq, err := GroupByExec(db, spec)
+		seq, err := groupByExec(db, spec, Options{Parallelism: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, p := range []int{2, 4, 8, 0} {
-			spec.Parallelism = p
-			par, err := GroupByExec(db, spec)
+			par, err := groupByExec(db, spec, Options{Parallelism: p})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -99,13 +97,11 @@ func TestGroupByExecParallelRandomized(t *testing.T) {
 		if rng.Intn(2) == 0 {
 			spec.Mode = Count
 		}
-		spec.Parallelism = 1
-		seq, err := GroupByExec(db, spec)
+		seq, err := groupByExec(db, spec, Options{Parallelism: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
-		spec.Parallelism = 2 + rng.Intn(7)
-		par, err := GroupByExec(db, spec)
+		par, err := groupByExec(db, spec, Options{Parallelism: 2 + rng.Intn(7)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -120,12 +116,12 @@ func TestExecPhysicalParEquivalence(t *testing.T) {
 	db := multiDocDB(t, 19, 23)
 	for _, src := range []string{query1Src, queryCountSrc} {
 		_, rewritten, _ := plansFor(t, src)
-		seq, err := ExecPhysicalPar(db, rewritten, 1)
+		seq, err := ExecPhysical(db, rewritten, Options{Parallelism: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, p := range []int{4, 0} {
-			par, err := ExecPhysicalPar(db, rewritten, p)
+			par, err := ExecPhysical(db, rewritten, Options{Parallelism: p})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -155,9 +151,8 @@ func TestParallelStatsExact(t *testing.T) {
 			t.Fatal(err)
 		}
 		_, _, spec := plansFor(t, query1Src)
-		spec.Parallelism = parallelism
 		db.ResetStats()
-		res, err := GroupByExec(db, spec)
+		res, err := groupByExec(db, spec, Options{Parallelism: parallelism})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -191,7 +186,7 @@ func TestConcurrentReaders(t *testing.T) {
 					if err != nil {
 						return err
 					}
-					pairs, err := pathPairs(db, members, spec.JoinPath, 1+g%4, nil)
+					pairs, err := pathPairs(nil, db, members, spec.JoinPath, 1+g%4, nil)
 					if err != nil {
 						return err
 					}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"timber/internal/match"
-	"timber/internal/obs"
 	"timber/internal/par"
 	"timber/internal/pattern"
 	"timber/internal/plan"
@@ -24,33 +23,27 @@ import (
 // Plans that consume the database other than through a leaf selection
 // (the naive plan's join does) fall back to materializing the documents
 // for that leaf, which is correct but unindexed; the specialized
-// executors in this package (DirectMaterialized, GroupByExec, ...) are
-// the measured physical plans for the paper's query family, while
+// Spec executors in this package (dispatched through Run) are the
+// measured physical plans for the paper's query family, while
 // ExecPhysical is the general-purpose path that keeps arbitrary
 // translatable queries off the full-scan route.
-func ExecPhysical(db *storage.DB, op plan.Op) (tax.Collection, error) {
-	return ExecPhysicalPar(db, op, 0)
-}
-
-// ExecPhysicalPar is ExecPhysical with an explicit parallelism bound
-// for the index-matching and witness-materialization phases (<= 0
-// means GOMAXPROCS, 1 forces the sequential path). The result is
-// identical for any setting.
-func ExecPhysicalPar(db *storage.DB, op plan.Op, parallelism int) (tax.Collection, error) {
-	return ExecPhysicalTraced(db, op, parallelism, nil)
-}
-
-// ExecPhysicalTraced is ExecPhysicalPar with an optional tracer: each
-// indexed leaf selection records a pattern-match span and a witness-
-// materialization span, and the residual logical evaluation gets its
-// own span. A nil tracer costs a few nil checks and the result is
-// identical.
-func ExecPhysicalTraced(db *storage.DB, op plan.Op, parallelism int, tr *obs.Tracer) (tax.Collection, error) {
-	rewritten, err := substituteLeaves(db, op, parallelism, tr)
+//
+// Options carries the run-time knobs: o.Parallelism bounds the
+// index-matching and witness-materialization pools (results are
+// identical for any setting), o.Tracer records per-phase spans (each
+// indexed leaf selection gets a pattern-match span and a witness-
+// materialization span, the residual logical evaluation its own), and
+// o.Ctx cancels the run between leaves and inside the match/
+// materialization pools.
+func ExecPhysical(db *storage.DB, op plan.Op, o Options) (tax.Collection, error) {
+	rewritten, err := substituteLeaves(db, op, o)
 	if err != nil {
 		return tax.Collection{}, err
 	}
-	evalSp := tr.Start("eval: logical operators")
+	if err := o.err(); err != nil {
+		return tax.Collection{}, err
+	}
+	evalSp := o.Tracer.Start("eval: logical operators")
 	defer evalSp.End()
 	return plan.Eval(tax.Collection{}, rewritten)
 }
@@ -59,15 +52,14 @@ func ExecPhysicalTraced(db *storage.DB, op plan.Op, parallelism int, tr *obs.Tra
 // collections computed from the indices, and any remaining DBScan with
 // the materialized documents. Shared sub-plans (the rewrite's common
 // GroupBy) stay shared: substitution is memoized per input operator.
-func substituteLeaves(db *storage.DB, op plan.Op, parallelism int, tr *obs.Tracer) (plan.Op, error) {
-	return (&substituter{db: db, parallelism: parallelism, tr: tr, memo: map[plan.Op]plan.Op{}}).sub(op)
+func substituteLeaves(db *storage.DB, op plan.Op, o Options) (plan.Op, error) {
+	return (&substituter{db: db, o: o, memo: map[plan.Op]plan.Op{}}).sub(op)
 }
 
 type substituter struct {
-	db          *storage.DB
-	parallelism int
-	tr          *obs.Tracer
-	memo        map[plan.Op]plan.Op
+	db   *storage.DB
+	o    Options
+	memo map[plan.Op]plan.Op
 }
 
 func (s *substituter) sub(op plan.Op) (plan.Op, error) {
@@ -87,7 +79,7 @@ func (s *substituter) subUncached(op plan.Op) (plan.Op, error) {
 	switch o := op.(type) {
 	case *plan.Select:
 		if _, ok := o.In.(*plan.DBScan); ok {
-			c, err := physSelect(db, o.Pattern, o.SL, s.parallelism, s.tr)
+			c, err := physSelect(db, o.Pattern, o.SL, s.o)
 			if err != nil {
 				return nil, err
 			}
@@ -99,7 +91,7 @@ func (s *substituter) subUncached(op plan.Op) (plan.Op, error) {
 		}
 		return &plan.Select{In: in, Pattern: o.Pattern, SL: o.SL}, nil
 	case *plan.DBScan:
-		scanSp := s.tr.Start("scan: full database")
+		scanSp := s.o.Tracer.Start("scan: full database")
 		c, err := LoadCollection(db)
 		scanSp.End()
 		if err != nil {
@@ -179,22 +171,22 @@ func (s *substituter) rebuild1(in plan.Op, mk func(plan.Op) plan.Op) (plan.Op, e
 // subtrees). Witness materialization is the record-fetch-heavy phase,
 // so each binding's tree is built by whichever worker claims its slot;
 // slot order preserves the sequential output exactly.
-func physSelect(db *storage.DB, pt *pattern.Tree, sl []tax.Item, parallelism int, tr *obs.Tracer) (tax.Collection, error) {
+func physSelect(db *storage.DB, pt *pattern.Tree, sl []tax.Item, o Options) (tax.Collection, error) {
 	starred := make(map[string]bool, len(sl))
 	for _, it := range sl {
 		starred[it.Label] = true
 	}
-	matchSp := tr.Start("match: pattern")
-	bindings, _, err := match.MatchDBObs(db, pt, parallelism, matchSp)
+	matchSp := o.Tracer.Start("match: pattern")
+	bindings, _, err := match.MatchDBObs(o.Ctx, db, pt, o.Parallelism, matchSp)
 	matchSp.End()
 	if err != nil {
 		return tax.Collection{}, err
 	}
 	var out tax.Collection
 	if len(bindings) > 0 {
-		matSp := tr.Start("materialize: witnesses")
+		matSp := o.Tracer.Start("materialize: witnesses")
 		trees := make([]*xmltree.Node, len(bindings))
-		if err := par.Do(len(bindings), par.Workers(parallelism), func(i int) error {
+		if err := par.Do(o.Ctx, len(bindings), o.workers(), func(i int) error {
 			tree, err := materializeWitness(db, pt.Root, bindings[i], starred)
 			if err != nil {
 				return err

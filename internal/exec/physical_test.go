@@ -22,7 +22,7 @@ func TestExecPhysicalMatchesLogicalQuery1(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		physical, err := ExecPhysical(db, op)
+		physical, err := ExecPhysical(db, op, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -42,7 +42,7 @@ func TestExecPhysicalNonGroupingQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := ExecPhysical(db, naive)
+	out, err := ExecPhysical(db, naive, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestExecPhysicalAvoidsFullLoadForLeafSelect(t *testing.T) {
 		t.Fatal(err)
 	}
 	db.ResetStats()
-	if _, err := ExecPhysical(db, naive); err != nil {
+	if _, err := ExecPhysical(db, naive, Options{}); err != nil {
 		t.Fatal(err)
 	}
 	phys := db.Stats().Fetches
@@ -124,7 +124,7 @@ func TestExecPhysicalProperty(t *testing.T) {
 			if err != nil {
 				return false
 			}
-			physical, err := ExecPhysical(db, p)
+			physical, err := ExecPhysical(db, p, Options{})
 			if err != nil {
 				return false
 			}
@@ -144,7 +144,7 @@ func TestExecPhysicalSharedGroupBySubplan(t *testing.T) {
 	// plan must keep sharing it (pointer equality after substitution).
 	db := sampleDB(t)
 	_, rewritten, _ := plansFor(t, query1Src)
-	sub, err := substituteLeaves(db, rewritten, 1, nil)
+	sub, err := substituteLeaves(db, rewritten, Options{Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestExecPhysicalSharedGroupBySubplan(t *testing.T) {
 func TestExecPhysicalUnknownOp(t *testing.T) {
 	db := sampleDB(t)
 	type bogus struct{ plan.Op }
-	if _, err := ExecPhysical(db, bogus{}); err == nil {
+	if _, err := ExecPhysical(db, bogus{}, Options{}); err == nil {
 		t.Error("unknown op should error")
 	}
 }
@@ -199,7 +199,7 @@ func BenchmarkExecPhysicalVsLogical(b *testing.B) {
 	}
 	b.Run("physical", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := ExecPhysical(db, naive); err != nil {
+			if _, err := ExecPhysical(db, naive, Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -14,12 +14,12 @@ import (
 // It materializes the full member subtree once per witness — a
 // two-author article is physically instantiated twice — before any
 // grouping happens, so "large amounts of data may be replicated early
-// in the process". GroupByExec is the identifier-processing variant
-// that defers materialization; benchmarking the two reproduces the
-// design argument.
-func GroupByReplicating(db *storage.DB, spec Spec) (*Result, error) {
+// in the process". The groupby plan is the identifier-processing
+// variant that defers materialization; benchmarking the two reproduces
+// the design argument.
+func groupByReplicating(db *storage.DB, spec Spec, o Options) (*Result, error) {
 	res := &Result{}
-	sp := spec.trace("exec: groupby replicating")
+	sp := o.trace("exec: groupby replicating")
 	defer sp.End()
 
 	joinSp := sp.Child("sjoin: join path")
@@ -29,7 +29,7 @@ func GroupByReplicating(db *storage.DB, spec Spec) (*Result, error) {
 	}
 	res.Stats.IndexPostings += len(members)
 	joinSp.Add("postings", int64(len(members)))
-	witnesses, err := pathPairs(db, members, spec.JoinPath, spec.workers(), joinSp)
+	witnesses, err := pathPairs(o.Ctx, db, members, spec.JoinPath, o.workers(), joinSp)
 	joinSp.End()
 	if err != nil {
 		return nil, err
@@ -47,6 +47,10 @@ func GroupByReplicating(db *storage.DB, spec Spec) (*Result, error) {
 	repSp := sp.Child("materialize: replicas")
 	reps := make([]replica, 0, len(witnesses))
 	for i, w := range witnesses {
+		// Each replica materializes a whole subtree; probe per witness.
+		if err := o.err(); err != nil {
+			return nil, err
+		}
 		sub, err := db.GetSubtree(w.member.ID())
 		if err != nil {
 			return nil, err

@@ -19,8 +19,6 @@ package exec
 import (
 	"fmt"
 
-	"timber/internal/obs"
-	"timber/internal/par"
 	"timber/internal/pattern"
 	"timber/internal/plan"
 	"timber/internal/tax"
@@ -64,25 +62,13 @@ type Spec struct {
 	// document-order positions.
 	OrderPath Path
 	OrderDesc bool
-	// Parallelism bounds the worker pool the executors use for their
-	// hot phases (witness value population, output materialization,
-	// per-document structural joins). 0 means GOMAXPROCS; 1 forces the
-	// sequential path. Any setting produces byte-identical results —
-	// partial results merge in document order.
-	Parallelism int
-	// Tracer, when non-nil, records one span per operator phase of the
-	// execution (EXPLAIN ANALYZE style). Executors create and end spans
-	// only on the orchestrating goroutine — worker pools never touch the
-	// tracer — and a nil Tracer reduces every span operation to a nil
-	// check, so results are byte-identical with tracing on or off.
-	Tracer *obs.Tracer
+	// Strategy selects the physical plan Run dispatches to. The zero
+	// value is StrategyGroupBy — the plan the optimizer rewrite
+	// targets. Run-time knobs (parallelism, tracing, cancellation) are
+	// NOT part of the Spec; they travel in Options so one cached Spec
+	// serves many differently-configured runs.
+	Strategy Strategy
 }
-
-// trace starts a top-level executor span (no-op when untraced).
-func (s Spec) trace(name string) *obs.Span { return s.Tracer.Start(name) }
-
-// workers resolves the spec's parallelism knob to a worker count.
-func (s Spec) workers() int { return par.Workers(s.Parallelism) }
 
 // BasisTag returns the tag of the grouping-value element.
 func (s Spec) BasisTag() string { return s.JoinPath.LastTag() }

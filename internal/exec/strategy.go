@@ -1,0 +1,96 @@
+package exec
+
+import (
+	"fmt"
+
+	"timber/internal/storage"
+)
+
+// Strategy names one of the physical evaluation plans. It lives on
+// Spec — the strategy is part of the compiled query description — and
+// Run dispatches on it, replacing the old per-variant exported
+// functions.
+type Strategy int
+
+const (
+	// StrategyGroupBy is the TIMBER groupby plan with identifier-only
+	// processing and deferred value population (Sec. 5.3) — the default
+	// and the plan the optimizer's rewrite targets.
+	StrategyGroupBy Strategy = iota
+	// StrategyDirect is the fully materialized direct execution of the
+	// naive plan (Sec. 4.1 / Sec. 6 "direct").
+	StrategyDirect
+	// StrategyDirectNested is the nested-loops direct plan probing the
+	// value index per outer binding.
+	StrategyDirectNested
+	// StrategyDirectBatch is the batch direct variant (index
+	// identification + hash join).
+	StrategyDirectBatch
+	// StrategyReplicating is the early-replication grouping strawman
+	// Sec. 5.3 argues against.
+	StrategyReplicating
+	// StrategyLogical evaluates the logical plan over fully loaded
+	// documents — the reference semantics. It needs the plan itself,
+	// not a Spec, so Run rejects it; the engine facade (or ExecLogical)
+	// is the path that runs it.
+	StrategyLogical
+	// StrategyPhysical is the generic index-accelerated evaluation of
+	// an arbitrary logical plan. Like StrategyLogical it needs the
+	// plan, so Run rejects it; the engine facade (or ExecPhysical) runs
+	// it.
+	StrategyPhysical
+)
+
+// strategyNames maps each Strategy to its canonical flag spelling.
+var strategyNames = map[Strategy]string{
+	StrategyGroupBy:      "groupby",
+	StrategyDirect:       "direct",
+	StrategyDirectNested: "direct-nested",
+	StrategyDirectBatch:  "direct-batch",
+	StrategyReplicating:  "replicating",
+	StrategyLogical:      "logical",
+	StrategyPhysical:     "physical",
+}
+
+func (s Strategy) String() string {
+	if n, ok := strategyNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// ParseStrategy maps a flag spelling to its Strategy — the inverse of
+// String, used by the CLIs and the serve daemon.
+func ParseStrategy(name string) (Strategy, error) {
+	for s, n := range strategyNames {
+		if n == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("exec: unknown strategy %q (want groupby, direct, direct-nested, direct-batch, replicating, logical or physical)", name)
+}
+
+// Run executes a Spec with the strategy it names. It is the single
+// public Spec-execution path: the per-strategy functions are package
+// internals and the engine facade builds on Run. Plan-level strategies
+// (logical, physical) need the logical plan rather than a Spec, so Run
+// rejects them — the engine dispatches those to ExecLogical and
+// ExecPhysical with its cached plans.
+func Run(db *storage.DB, spec Spec, o Options) (*Result, error) {
+	switch spec.Strategy {
+	case StrategyGroupBy:
+		return groupByExec(db, spec, o)
+	case StrategyDirect:
+		return directMaterialized(db, spec, o)
+	case StrategyDirectNested:
+		return directNestedLoops(db, spec, o)
+	case StrategyDirectBatch:
+		return directBatch(db, spec, o)
+	case StrategyReplicating:
+		return groupByReplicating(db, spec, o)
+	case StrategyLogical, StrategyPhysical:
+		return nil, fmt.Errorf("exec: strategy %v evaluates a logical plan, not a Spec; use the engine facade (or ExecLogical/ExecPhysical)", spec.Strategy)
+	default:
+		return nil, fmt.Errorf("exec: unknown strategy %v", spec.Strategy)
+	}
+}

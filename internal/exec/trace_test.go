@@ -31,22 +31,19 @@ func TestTracingPreservesResults(t *testing.T) {
 	db := sampleDB(t)
 	executors := []struct {
 		name string
-		fn   func(*storage.DB, Spec) (*Result, error)
+		fn   func(*storage.DB, Spec, Options) (*Result, error)
 	}{
-		{"groupby", GroupByExec},
-		{"direct-materialized", DirectMaterialized},
-		{"direct-nested-loops", DirectNestedLoops},
-		{"direct-batch", DirectBatch},
-		{"groupby-replicating", GroupByReplicating},
+		{"groupby", groupByExec},
+		{"direct-materialized", directMaterialized},
+		{"direct-nested-loops", directNestedLoops},
+		{"direct-batch", directBatch},
+		{"groupby-replicating", groupByReplicating},
 	}
 	for _, src := range []string{query1Src, queryCountSrc} {
 		_, _, spec := plansFor(t, src)
 		for _, ex := range executors {
 			for _, p := range []int{1, 4} {
-				spec := spec
-				spec.Parallelism = p
-				spec.Tracer = nil
-				base, err := ex.fn(db, spec)
+				base, err := ex.fn(db, spec, Options{Parallelism: p})
 				if err != nil {
 					t.Fatalf("%s p=%d untraced: %v", ex.name, p, err)
 				}
@@ -54,8 +51,7 @@ func TestTracingPreservesResults(t *testing.T) {
 
 				db.ResetStats()
 				tr := db.NewTracer("test")
-				spec.Tracer = tr
-				traced, err := ex.fn(db, spec)
+				traced, err := ex.fn(db, spec, Options{Parallelism: p, Tracer: tr})
 				if err != nil {
 					t.Fatalf("%s p=%d traced: %v", ex.name, p, err)
 				}
@@ -79,13 +75,13 @@ func TestTracingPreservesResults(t *testing.T) {
 }
 
 // TestTracingPreservesPhysicalEval covers the generic physical path:
-// ExecPhysicalTraced must match ExecPhysicalPar byte for byte and
+// a traced ExecPhysical must match the untraced run byte for byte and
 // produce a verifiable trace.
 func TestTracingPreservesPhysicalEval(t *testing.T) {
 	db := sampleDB(t)
 	_, rewritten, _ := plansFor(t, query1Src)
 	for _, p := range []int{1, 4} {
-		base, err := ExecPhysicalPar(db, rewritten, p)
+		base, err := ExecPhysical(db, rewritten, Options{Parallelism: p})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -93,7 +89,7 @@ func TestTracingPreservesPhysicalEval(t *testing.T) {
 
 		db.ResetStats()
 		tr := db.NewTracer("physical")
-		traced, err := ExecPhysicalTraced(db, rewritten, p, tr)
+		traced, err := ExecPhysical(db, rewritten, Options{Parallelism: p, Tracer: tr})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -107,12 +103,13 @@ func TestTracingPreservesPhysicalEval(t *testing.T) {
 	}
 }
 
-// TestNilTracerSpecIsInert pins the zero-cost-when-disabled contract
-// at the Spec level: a nil Tracer must produce nil spans everywhere.
-func TestNilTracerSpecIsInert(t *testing.T) {
-	var s Spec
-	if sp := s.trace("anything"); sp != nil {
-		t.Fatalf("nil-tracer spec produced span %v", sp)
+// TestNilTracerOptionsAreInert pins the zero-cost-when-disabled
+// contract at the Options level: a nil Tracer must produce nil spans
+// everywhere.
+func TestNilTracerOptionsAreInert(t *testing.T) {
+	var o Options
+	if sp := o.trace("anything"); sp != nil {
+		t.Fatalf("nil-tracer options produced span %v", sp)
 	}
 	var tr *obs.Tracer
 	if tr.Finish() != nil {

@@ -1,6 +1,7 @@
 package match
 
 import (
+	"context"
 	"sort"
 
 	"timber/internal/obs"
@@ -65,15 +66,17 @@ func MatchDB(db *storage.DB, pt *pattern.Tree) ([]DBBinding, *DBStats, error) {
 // path's for any parallelism. MatchDBPar only reads the database and is
 // safe to call concurrently with other readers.
 func MatchDBPar(db *storage.DB, pt *pattern.Tree, parallelism int) ([]DBBinding, *DBStats, error) {
-	return MatchDBObs(db, pt, parallelism, nil)
+	return MatchDBObs(nil, db, pt, parallelism, nil)
 }
 
-// MatchDBObs is MatchDBPar with an observability span: when sp is
-// non-nil, candidate scanning and the structural-join phase become
-// child spans carrying candidate, fetch, join and witness counts. A
-// nil span costs nothing and the witness output is identical either
-// way.
-func MatchDBObs(db *storage.DB, pt *pattern.Tree, parallelism int, sp *obs.Span) ([]DBBinding, *DBStats, error) {
+// MatchDBObs is MatchDBPar with a cancellation context and an
+// observability span. A non-nil ctx cancels the match between
+// candidate scans and inside the per-document join pool; a cancelled
+// match returns ctx.Err() and no bindings. When sp is non-nil,
+// candidate scanning and the structural-join phase become child spans
+// carrying candidate, fetch, join and witness counts. A nil span costs
+// nothing and the witness output is identical either way.
+func MatchDBObs(ctx context.Context, db *storage.DB, pt *pattern.Tree, parallelism int, sp *obs.Span) ([]DBBinding, *DBStats, error) {
 	order := preorder(pt.Root)
 	stats := &DBStats{}
 
@@ -87,6 +90,14 @@ func MatchDBObs(db *storage.DB, pt *pattern.Tree, parallelism int, sp *obs.Span)
 	candSp := sp.Child("scan: candidates")
 	cands := make([][]storage.Posting, len(order))
 	for i, pn := range order {
+		if ctx != nil {
+			select {
+			case <-ctx.Done():
+				candSp.End()
+				return nil, nil, ctx.Err()
+			default:
+			}
+		}
 		cs, err := candidates(db, pn, stats)
 		if err != nil {
 			candSp.End()
@@ -116,7 +127,7 @@ func MatchDBObs(db *storage.DB, pt *pattern.Tree, parallelism int, sp *obs.Span)
 		jm = &sjoin.Metrics{}
 	}
 	rowsByDoc := make([][][]storage.Posting, len(docs))
-	par.Do(len(docs), workers, func(k int) error {
+	if err := par.Do(ctx, len(docs), workers, func(k int) error {
 		docCands := make([][]storage.Posting, len(order))
 		for i := range cands {
 			docCands[i] = docSegment(cands[i], docs[k])
@@ -126,7 +137,10 @@ func MatchDBObs(db *storage.DB, pt *pattern.Tree, parallelism int, sp *obs.Span)
 		}
 		rowsByDoc[k] = matchRows(order, colOf, docCands, jm)
 		return nil
-	})
+	}); err != nil {
+		joinSp.End()
+		return nil, nil, err
+	}
 
 	// Merge in document order (candidate lists are (doc, start)-sorted,
 	// so concatenation preserves the sequential row order).

@@ -1,6 +1,8 @@
 package match
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -103,6 +105,25 @@ func newTestDB(t *testing.T) *storage.DB {
 	}
 	t.Cleanup(func() { db.Close() })
 	return db
+}
+
+// TestMatchDBCancelled: an already-cancelled context aborts the match
+// before the candidate scans and returns ctx.Err() with no bindings.
+func TestMatchDBCancelled(t *testing.T) {
+	db := newTestDB(t)
+	root := paperdata.TransactionArticles()
+	if _, err := db.LoadDocument("dblp", root); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ws, _, err := MatchDBObs(ctx, db, paperdata.Figure1Pattern(), 1, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ws != nil {
+		t.Fatalf("cancelled match returned %d bindings, want none", len(ws))
+	}
 }
 
 func TestMatchDBFigure1(t *testing.T) {

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Metric is one named monotonic counter in a Registry. All methods are
+// safe for concurrent use; a Metric is obtained once (Registry.Counter)
+// and bumped on hot paths with a single atomic add.
+type Metric struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name returns the metric's registered name.
+func (m *Metric) Name() string { return m.name }
+
+// Add increments the counter by n.
+func (m *Metric) Add(n int64) { m.v.Add(n) }
+
+// Inc increments the counter by one.
+func (m *Metric) Inc() { m.v.Add(1) }
+
+// Load returns the current value.
+func (m *Metric) Load() int64 { return m.v.Load() }
+
+// Registry is a flat namespace of named counters — the service-level
+// complement of the per-query span tree. Long-lived components (the
+// engine's plan cache, the HTTP service) register counters once and
+// bump them per event; an endpoint renders the whole registry for
+// scraping. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*Metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]*Metric{}}
+}
+
+// Counter returns the metric with the given name, creating it at zero
+// on first use. Nil-safe: a nil registry hands out an unregistered
+// metric, so components can count unconditionally whether or not
+// anyone is scraping.
+func (r *Registry) Counter(name string) *Metric {
+	if r == nil {
+		return &Metric{name: name}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.metrics[name]
+	if !ok {
+		m = &Metric{name: name}
+		r.metrics[name] = m
+	}
+	return m
+}
+
+// Snapshot returns the current value of every metric, keyed by name.
+func (r *Registry) Snapshot() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.metrics))
+	for name, m := range r.metrics {
+		out[name] = m.Load()
+	}
+	return out
+}
+
+// WriteText renders the registry in the text exposition format
+// scrapers expect: one "name value" line per metric, sorted by name.
+func (r *Registry) WriteText(w io.Writer) error {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, snap[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryCounter(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits")
+	a.Inc()
+	a.Add(2)
+	if got := r.Counter("hits"); got != a {
+		t.Error("Counter should return the same metric for the same name")
+	}
+	if a.Load() != 3 {
+		t.Errorf("hits = %d, want 3", a.Load())
+	}
+	snap := r.Snapshot()
+	if snap["hits"] != 3 {
+		t.Errorf("snapshot = %v", snap)
+	}
+}
+
+func TestRegistryWriteTextSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz").Add(2)
+	r.Counter("aa").Add(1)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "aa 1\nzz 2\n" {
+		t.Errorf("text = %q", b.String())
+	}
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	m := r.Counter("orphan")
+	m.Inc()
+	if m.Load() != 1 {
+		t.Error("nil-registry metric should still count")
+	}
+	if r.Snapshot() != nil {
+		t.Error("nil registry snapshot should be nil")
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil || b.String() != "" {
+		t.Errorf("nil registry text = %q, %v", b.String(), err)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("shared").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Load(); got != 8000 {
+		t.Errorf("shared = %d, want 8000", got)
+	}
+}

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -55,7 +56,7 @@ func TestDoNoNewChunkAfterError(t *testing.T) {
 		testHookBeforeClaim, testHookClaim, testHookCancel = nil, nil, nil
 	}()
 
-	err := Do(n, workers, func(i int) error {
+	err := Do(nil, n, workers, func(i int) error {
 		if i < chunk {
 			<-errReady
 			return errBoom
@@ -76,7 +77,7 @@ func TestDoNoNewChunkAfterError(t *testing.T) {
 func TestDoPoisonedCursorStillReturnsFirstError(t *testing.T) {
 	errBoom := errors.New("boom")
 	var calls atomic.Int64
-	err := Do(500, 4, func(i int) error {
+	err := Do(nil, 500, 4, func(i int) error {
 		calls.Add(1)
 		return errBoom
 	})
@@ -85,5 +86,109 @@ func TestDoPoisonedCursorStillReturnsFirstError(t *testing.T) {
 	}
 	if c := calls.Load(); c == 0 || c > 500 {
 		t.Fatalf("fn ran %d times, want between 1 and 500", c)
+	}
+}
+
+// TestDoContextCancelSequential pins the workers<=1 inline path: the
+// context is checked before every item, so cancelling inside fn(2)
+// means items 3.. never run and Do reports ctx.Err().
+func TestDoContextCancelSequential(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var visited []int
+	err := Do(ctx, 100, 1, func(i int) error {
+		visited = append(visited, i)
+		if i == 2 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do returned %v, want context.Canceled", err)
+	}
+	if len(visited) != 3 || visited[2] != 2 {
+		t.Fatalf("visited %v, want exactly [0 1 2]", visited)
+	}
+}
+
+// TestDoContextCancelMidChunk is the bugfix's core property: a worker
+// must observe cancellation *between items of an already-claimed
+// chunk*, not only when claiming the next one. Item 0 cancels the
+// context; items 1..chunk-1 live in the same chunk and run on the same
+// goroutine strictly after fn(0), so with the per-item check none of
+// them may execute. (Other chunks may have been claimed concurrently
+// before the cancel — only chunk 0's tail is deterministic.)
+func TestDoContextCancelMidChunk(t *testing.T) {
+	const n, workers = 1000, 2
+	chunk := n / (workers * 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var chunkZeroTail atomic.Int64
+	err := Do(ctx, n, workers, func(i int) error {
+		if i == 0 {
+			cancel()
+		} else if i < chunk {
+			chunkZeroTail.Add(1)
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do returned %v, want context.Canceled", err)
+	}
+	if c := chunkZeroTail.Load(); c != 0 {
+		t.Fatalf("%d items of chunk 0 ran after their own chunk cancelled the context", c)
+	}
+}
+
+// TestDoNoNewChunkAfterContextCancel mirrors TestDoNoNewChunkAfterError
+// for external cancellation: a worker parked in the claim window when
+// the context is cancelled must re-check it and refuse to claim. The
+// interleaving is the same hook dance as the error-path test, with the
+// blocked fn cancelling the context instead of returning an error.
+func TestDoNoNewChunkAfterContextCancel(t *testing.T) {
+	const n, workers = 1000, 2
+	chunk := n / (workers * 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cancelReady := make(chan struct{})
+	recorded := make(chan struct{})
+	var hookCalls atomic.Int64
+	var cancelled atomic.Bool
+	var mu sync.Mutex
+	var lateClaims []int
+
+	testHookBeforeClaim = func() {
+		if hookCalls.Add(1) == 3 {
+			close(cancelReady)
+			<-recorded
+		}
+	}
+	testHookClaim = func(lo int) {
+		if cancelled.Load() {
+			mu.Lock()
+			lateClaims = append(lateClaims, lo)
+			mu.Unlock()
+		}
+	}
+	testHookCancel = func() {
+		cancelled.Store(true)
+		close(recorded)
+	}
+	defer func() {
+		testHookBeforeClaim, testHookClaim, testHookCancel = nil, nil, nil
+	}()
+
+	err := Do(ctx, n, workers, func(i int) error {
+		if i < chunk {
+			<-cancelReady
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do returned %v, want context.Canceled", err)
+	}
+	if len(lateClaims) > 0 {
+		t.Fatalf("chunks claimed after context cancellation was recorded: %v", lateClaims)
 	}
 }

@@ -7,6 +7,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -41,12 +42,38 @@ var (
 // already started still finish). Which error wins under concurrency is
 // scheduling-dependent, so callers must treat any returned error as
 // fatal for the whole batch.
-func Do(n, workers int, fn func(i int) error) error {
+//
+// A non-nil ctx cancels the pool externally: workers observe it both
+// in the claim loop (no new chunk is handed out after cancellation)
+// and between items inside a claimed chunk, so a timed-out query stops
+// issuing buffer-pool fetches mid-chunk rather than draining the chunk
+// first. When cancellation wins the race against item errors, Do
+// returns ctx.Err(). A nil ctx means "never cancelled" and costs
+// nothing on the hot path.
+func Do(ctx context.Context, n, workers int, fn func(i int) error) error {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	cancelled := func() bool {
+		if done == nil {
+			return false
+		}
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if cancelled() {
+				return ctx.Err()
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -89,6 +116,10 @@ func Do(n, workers int, fn func(i int) error) error {
 				if testHookBeforeClaim != nil {
 					testHookBeforeClaim()
 				}
+				if cancelled() {
+					fail(ctx.Err())
+					return
+				}
 				hi := int(cursor.Add(int64(chunk)))
 				lo := hi - chunk
 				if lo >= n {
@@ -102,6 +133,10 @@ func Do(n, workers int, fn func(i int) error) error {
 				}
 				for i := lo; i < hi; i++ {
 					if failed.Load() {
+						return
+					}
+					if cancelled() {
+						fail(ctx.Err())
 						return
 					}
 					if err := fn(i); err != nil {

@@ -27,7 +27,7 @@ func TestDoCoversEveryIndexOnce(t *testing.T) {
 		n := int(rawN % 200)
 		workers := int(rawW%12) + 1
 		visits := make([]atomic.Int32, n)
-		if err := Do(n, workers, func(i int) error {
+		if err := Do(nil, n, workers, func(i int) error {
 			visits[i].Add(1)
 			return nil
 		}); err != nil {
@@ -48,7 +48,7 @@ func TestDoCoversEveryIndexOnce(t *testing.T) {
 func TestDoSequentialStopsAtFirstError(t *testing.T) {
 	boom := errors.New("boom")
 	var visited []int
-	err := Do(10, 1, func(i int) error {
+	err := Do(nil, 10, 1, func(i int) error {
 		visited = append(visited, i)
 		if i == 3 {
 			return boom
@@ -65,7 +65,7 @@ func TestDoSequentialStopsAtFirstError(t *testing.T) {
 
 func TestDoParallelReturnsError(t *testing.T) {
 	boom := errors.New("boom")
-	err := Do(1000, 8, func(i int) error {
+	err := Do(nil, 1000, 8, func(i int) error {
 		if i == 500 {
 			return boom
 		}
@@ -78,7 +78,7 @@ func TestDoParallelReturnsError(t *testing.T) {
 
 func TestDoZeroItems(t *testing.T) {
 	called := false
-	if err := Do(0, 4, func(int) error { called = true; return nil }); err != nil {
+	if err := Do(nil, 0, 4, func(int) error { called = true; return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if called {

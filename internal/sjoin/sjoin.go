@@ -17,6 +17,7 @@
 package sjoin
 
 import (
+	"context"
 	"sort"
 	"sync/atomic"
 
@@ -146,14 +147,26 @@ func docSegments(ivs []xmltree.Interval) []segment {
 // because StackTree itself processes descendants in document order and
 // a descendant's matching ancestors always come from its own document.
 // Inputs follow the StackTree contract: sorted by (doc, start).
-func StackTreePar(ancs, descs []xmltree.Interval, axis Axis, workers int) []Pair {
+//
+// A non-nil ctx cancels the join between document partitions (and, on
+// the parallel path, mid-batch inside the worker pool); a cancelled
+// join returns ctx.Err() and no pairs — never a silently truncated
+// pair list.
+func StackTreePar(ctx context.Context, ancs, descs []xmltree.Interval, axis Axis, workers int) ([]Pair, error) {
 	dsegs := docSegments(descs)
 	if workers <= 1 || len(dsegs) <= 1 {
-		return StackTree(ancs, descs, axis)
+		if ctx != nil {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			default:
+			}
+		}
+		return StackTree(ancs, descs, axis), nil
 	}
 	asegs := docSegments(ancs)
 	parts := make([][]Pair, len(dsegs))
-	par.Do(len(dsegs), workers, func(k int) error {
+	err := par.Do(ctx, len(dsegs), workers, func(k int) error {
 		ds := dsegs[k]
 		// Locate this document's ancestor segment (may be absent).
 		i := sort.Search(len(asegs), func(i int) bool { return asegs[i].doc >= ds.doc })
@@ -169,6 +182,9 @@ func StackTreePar(ancs, descs []xmltree.Interval, axis Axis, workers int) []Pair
 		parts[k] = pairs
 		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	total := 0
 	for _, p := range parts {
 		total += len(p)
@@ -177,7 +193,7 @@ func StackTreePar(ancs, descs []xmltree.Interval, axis Axis, workers int) []Pair
 	for _, p := range parts {
 		out = append(out, p...)
 	}
-	return out
+	return out, nil
 }
 
 // StackTreeM is StackTree recording its input and output sizes into m
@@ -190,11 +206,15 @@ func StackTreeM(ancs, descs []xmltree.Interval, axis Axis, m *Metrics) []Pair {
 
 // StackTreeParM is StackTreePar recording the join's total input and
 // output sizes into m as one logical join (the per-document partitions
-// are an implementation detail; nil m records nothing).
-func StackTreeParM(ancs, descs []xmltree.Interval, axis Axis, workers int, m *Metrics) []Pair {
-	out := StackTreePar(ancs, descs, axis, workers)
+// are an implementation detail; nil m records nothing). A cancelled
+// join records nothing.
+func StackTreeParM(ctx context.Context, ancs, descs []xmltree.Interval, axis Axis, workers int, m *Metrics) ([]Pair, error) {
+	out, err := StackTreePar(ctx, ancs, descs, axis, workers)
+	if err != nil {
+		return nil, err
+	}
 	m.note(len(ancs), len(descs), len(out))
-	return out
+	return out, nil
 }
 
 // NestedLoop is the O(|A|·|D|) baseline with identical output semantics

@@ -1,6 +1,8 @@
 package sjoin
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -234,7 +236,10 @@ func TestStackTreeParMatchesSequentialProperty(t *testing.T) {
 			axis = ParentChild
 		}
 		want := StackTree(alist, dlist, axis)
-		got := StackTreePar(alist, dlist, axis, int(workers%8)+1)
+		got, err := StackTreePar(nil, alist, dlist, axis, int(workers%8)+1)
+		if err != nil {
+			return false
+		}
 		if len(got) != len(want) {
 			return false
 		}
@@ -247,5 +252,31 @@ func TestStackTreeParMatchesSequentialProperty(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestStackTreeParCancelled: an already-cancelled context must yield
+// ctx.Err() and no pairs on both the single-worker fallback and the
+// pooled path, and a metrics-recording join must record nothing for
+// the cancelled run.
+func TestStackTreeParCancelled(t *testing.T) {
+	arts, authors := benchLists()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		pairs, err := StackTreePar(ctx, arts, authors, AncestorDescendant, workers)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err=%v, want context.Canceled", workers, err)
+		}
+		if pairs != nil {
+			t.Fatalf("workers=%d: cancelled join returned %d pairs, want none", workers, len(pairs))
+		}
+	}
+	var m Metrics
+	if _, err := StackTreeParM(ctx, arts, authors, AncestorDescendant, 4, &m); !errors.Is(err, context.Canceled) {
+		t.Fatalf("StackTreeParM err=%v, want context.Canceled", err)
+	}
+	if m.Joins.Load() != 0 || m.Pairs.Load() != 0 {
+		t.Fatalf("cancelled join recorded metrics: joins=%d pairs=%d", m.Joins.Load(), m.Pairs.Load())
 	}
 }

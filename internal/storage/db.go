@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"timber/internal/btree"
 	"timber/internal/obs"
@@ -41,10 +42,14 @@ type DocInfo struct {
 // concurrent use from multiple goroutines. They only fetch pages
 // through the sharded buffer pool (pin, copy out, unpin) and never
 // mutate DB state: the B+tree root/height fields and the docs catalog
-// are written at load time only. Mutating operations — LoadDocument,
-// LoadXML, SpillTrees, DropCache, ResetStats, Flush, Truncate via
-// SpillTrees, Close — require exclusive access: no reader or other
-// writer may run concurrently with them.
+// are written at load time only. SpillTrees allocates and truncates a
+// temporary page region past the loaded data; spillMu serializes
+// spills against each other, making SpillTrees safe to call
+// concurrently with the read paths (and hence whole queries safe to
+// run concurrently — the engine facade relies on this). The remaining
+// mutating operations — LoadDocument, LoadXML, DropCache, ResetStats,
+// Flush, Close — still require exclusive access: no reader, spiller or
+// other writer may run concurrently with them.
 type DB struct {
 	st      *pagestore.Store
 	heap    *pagestore.Heap
@@ -57,6 +62,11 @@ type DB struct {
 	// idxMetrics counts B+tree traversal work across all three indices;
 	// the observability layer snapshots it at span boundaries.
 	idxMetrics btree.Metrics
+	// spillMu serializes SpillTrees calls: each spill assumes exclusive
+	// ownership of the page region past its NumPages mark between the
+	// allocation and the Truncate that releases it, so two interleaved
+	// spills would free each other's live pages.
+	spillMu sync.Mutex
 }
 
 const (

@@ -20,10 +20,17 @@ import (
 //
 // The input trees are renumbered in place (documents 1..n) so the
 // records carry rebuildable positions; the returned trees are fresh.
+//
+// Safe for concurrent use: spillMu gives each spill exclusive
+// ownership of the page region past its mark until the Truncate that
+// releases it. Concurrent readers are unaffected — they only touch
+// pages below every spill mark.
 func (db *DB) SpillTrees(trees []*xmltree.Node) ([]*xmltree.Node, error) {
 	if len(trees) == 0 {
 		return nil, nil
 	}
+	db.spillMu.Lock()
+	defer db.spillMu.Unlock()
 	mark := db.st.NumPages()
 	heap, err := pagestore.NewHeap(db.st)
 	if err != nil {
