@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench experiments fuzz-smoke trace-check serve-check
+.PHONY: all build test vet race check bench experiments fuzz-smoke trace-check serve-check metrics-check serve-bench
 
 all: build
 
@@ -48,3 +48,24 @@ trace-check:
 	$(GO) run ./cmd/timber-query -db /tmp/timber-trace-check.db -plans=false -q -trace \
 		'FOR $$a IN distinct-values(document("bib.xml")//author) RETURN <authorpubs>{$$a}{FOR $$b IN document("bib.xml")//article WHERE $$a = $$b/author RETURN $$b/title}</authorpubs>'
 	rm -f /tmp/timber-trace-check.db
+
+# metrics-check gates the telemetry pipeline end to end: start a real
+# timber-serve over a generated database, run a query, scrape /metrics,
+# and validate the Prometheus exposition with the built-in linter
+# (cmd/metricslint, no external tooling). Fails on any format violation
+# or when the exposition lacks a counter, a gauge or a labeled
+# histogram.
+metrics-check:
+	$(GO) run ./cmd/dblpgen -articles 500 -db /tmp/timber-metrics-check.db
+	$(GO) build -o /tmp/timber-serve-metrics-check ./cmd/timber-serve
+	$(GO) run ./cmd/metricslint -serve /tmp/timber-serve-metrics-check -db /tmp/timber-metrics-check.db
+	rm -f /tmp/timber-metrics-check.db /tmp/timber-serve-metrics-check
+
+# serve-bench hammers an in-process timber-serve with concurrent
+# clients and writes the server-side latency quantiles (read from the
+# http_request_seconds histogram) to BENCH_serve.json.
+serve-bench:
+	$(GO) run ./cmd/dblpgen -articles 2000 -db /tmp/timber-serve-bench.db
+	$(GO) run ./cmd/timber-serve -db /tmp/timber-serve-bench.db \
+		-hammer 200 -hammerclients 8 -hammerfile BENCH_serve.json
+	rm -f /tmp/timber-serve-bench.db

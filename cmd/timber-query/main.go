@@ -33,6 +33,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,6 +55,7 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress result trees (print timing only)")
 	trace := flag.Bool("trace", false, "print a per-operator EXPLAIN ANALYZE tree to stderr")
 	traceFile := flag.String("tracefile", "", "write the per-operator trace as JSON to this file")
+	metricsFile := flag.String("metricsfile", "", "write the engine's metric registry as Prometheus text exposition to this file after the run")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
@@ -77,7 +79,7 @@ func main() {
 	// run owns the database lifecycle: by the time it returns, the
 	// deferred Close has executed (and its error has been folded into
 	// run's), so exiting here never skips cleanup.
-	if err := run(*dbPath, query, *strategy, *poolMB, *parallel, *showPlans, *quiet, *trace, *traceFile); err != nil {
+	if err := run(*dbPath, query, *strategy, *poolMB, *parallel, *showPlans, *quiet, *trace, *traceFile, *metricsFile); err != nil {
 		fmt.Fprintln(os.Stderr, "timber-query:", err)
 		os.Exit(1)
 	}
@@ -96,7 +98,7 @@ func servePprof(addr string) {
 	}()
 }
 
-func run(dbPath, query, strategy string, poolMB, parallel int, showPlans, quiet, trace bool, traceFile string) (err error) {
+func run(dbPath, query, strategy string, poolMB, parallel int, showPlans, quiet, trace bool, traceFile, metricsFile string) (err error) {
 	strat, err := exec.ParseStrategy(strategy)
 	if err != nil {
 		return err
@@ -172,6 +174,20 @@ func run(dbPath, query, strategy string, poolMB, parallel int, showPlans, quiet,
 			}
 			fmt.Fprintln(os.Stderr, "trace written to", traceFile)
 		}
+	}
+
+	// The one-shot analogue of scraping a live timber-serve: the same
+	// registry families (engine latency histograms, strategy counters,
+	// pool gauges), frozen after this run.
+	if metricsFile != "" {
+		var b strings.Builder
+		if werr := eng.Registry().WritePrometheus(&b); werr != nil {
+			return werr
+		}
+		if werr := os.WriteFile(metricsFile, []byte(b.String()), 0o644); werr != nil {
+			return werr
+		}
+		fmt.Fprintln(os.Stderr, "metrics written to", metricsFile)
 	}
 
 	if !quiet {

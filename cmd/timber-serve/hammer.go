@@ -1,0 +1,115 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"timber/internal/bench"
+	"timber/internal/engine"
+	"timber/internal/obs"
+	"timber/internal/storage"
+)
+
+// runHammer is the self-benchmark mode: it stands the full service up
+// on an ephemeral loopback port — real HTTP, real handler stack, real
+// instrument middleware — fires total /query requests from clients
+// concurrent goroutines, and reports the server-side latency
+// distribution from the http_request_seconds histogram (the same
+// series a Prometheus scrape would show). The per-request log is
+// discarded: at hammer rates it would swamp stderr and distort the
+// numbers.
+func runHammer(dbPath string, poolMB, cacheSize int, cfg config, total, clients int, outFile string) (err error) {
+	db, err := storage.Open(dbPath, storage.Options{PoolPages: poolMB * 1024 * 1024 / 8192})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := db.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+
+	eng := engine.New(db, engine.Options{CacheSize: cacheSize, Parallelism: cfg.parallelism})
+	cfg.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	srv := newServer(eng, cfg)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
+
+	if clients < 1 {
+		clients = 1
+	}
+	url := "http://" + ln.Addr().String() + "/query"
+	body := fmt.Sprintf(`{"query": %q}`, bench.Query1Text)
+
+	var errors atomic.Int64
+	var wg sync.WaitGroup
+	next := atomic.Int64{}
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for next.Add(1) <= int64(total) {
+				resp, rerr := http.Post(url, "application/json", strings.NewReader(body))
+				if rerr != nil {
+					errors.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errors.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	// The report reads the histogram the middleware filled — server
+	// truth, byte-compatible with what /metrics exposes.
+	h := eng.Registry().HistogramVec("http_request_seconds", "",
+		obs.DefaultLatencyBuckets, "path").With("/query")
+	rep := &bench.ServeReport{
+		Benchmark:     "timber-serve /query hammer (paper Query 1)",
+		Requests:      total,
+		Errors:        int(errors.Load()),
+		Clients:       clients,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		WallNS:        wall.Nanoseconds(),
+		ThroughputRPS: float64(total) / wall.Seconds(),
+		P50MS:         1000 * h.Quantile(0.50),
+		P95MS:         1000 * h.Quantile(0.95),
+		P99MS:         1000 * h.Quantile(0.99),
+	}
+	if n := h.Count(); n > 0 {
+		rep.MeanMS = 1000 * h.Sum() / float64(n)
+	}
+	if runtime.NumCPU() == 1 {
+		rep.Note = "single-CPU host: concurrent clients interleave on one core, so latency under load includes scheduling delay"
+	}
+	fmt.Fprintf(os.Stderr, "timber-serve: hammer %d requests, %d clients: %.0f req/s, p50 %.2fms p95 %.2fms p99 %.2fms (%d errors)\n",
+		total, clients, rep.ThroughputRPS, rep.P50MS, rep.P95MS, rep.P99MS, rep.Errors)
+	if outFile != "" {
+		if err := rep.WriteJSON(outFile); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "timber-serve: wrote %s\n", outFile)
+	}
+	return nil
+}

@@ -7,6 +7,8 @@
 // Usage:
 //
 //	timber-serve -db bib.timber -addr :8080
+//	timber-serve -db bib.timber -slowquery 250ms -logjson
+//	timber-serve -db bib.timber -hammer 200 -hammerclients 8 -hammerfile BENCH_serve.json
 //	curl -s 'localhost:8080/query?q=FOR+$a+IN+...'
 //	curl -s localhost:8080/query -d '{"query": "FOR $a IN ...", "strategy": "groupby"}'
 //	curl -s localhost:8080/stats
@@ -17,15 +19,30 @@
 //	POST /query  {"query": ..., "strategy"?: ..., "timeout_ms"?: ..., "parallelism"?: ...}
 //	GET  /query?q=...&strategy=...&timeout_ms=...
 //	     200 JSON result; 400 malformed query/strategy; 504 per-request
-//	     timeout exceeded; 429 admission limit reached (Retry-After: 1).
+//	     timeout exceeded; 429 admission limit reached (Retry-After: 1);
+//	     405 for other methods. Every response carries an X-Query-ID
+//	     header that matches the structured request log.
 //	GET  /stats    buffer-pool, plan-cache and catalog state as JSON.
-//	GET  /metrics  service and storage counters, text exposition format.
+//	GET  /metrics  Prometheus text exposition (counters, gauges, latency
+//	               histograms, Go runtime stats); ?format=text selects
+//	               the terse name-value format instead.
+//
+// Observability: every request is logged as one structured log/slog
+// line (text by default, JSON with -logjson) carrying the query ID,
+// method, path, status and latency. With -slowquery D, each query is
+// traced and any execution taking at least D additionally logs a
+// "slow query" line whose trace field holds the full per-operator
+// span tree, root named by the same query ID. -hammer N runs the
+// self-benchmark: serve in-process, fire N concurrent /query
+// requests, and report the server-side latency quantiles from the
+// http_request_seconds histogram.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -46,15 +63,40 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request timeout")
 	maxTimeout := flag.Duration("maxtimeout", 5*time.Minute, "cap on client-requested timeouts")
 	drainTimeout := flag.Duration("drain", 30*time.Second, "shutdown drain deadline for in-flight requests")
+	slowQuery := flag.Duration("slowquery", 0, "trace every query and log one structured line with the full operator trace for executions at or above this duration (0 = disabled, e.g. 250ms)")
+	logJSON := flag.Bool("logjson", false, "write the structured request log as JSON lines (default logfmt-style text)")
+	hammer := flag.Int("hammer", 0, "benchmark mode: serve in-process, fire this many /query requests, report server-side latency quantiles, exit")
+	hammerClients := flag.Int("hammerclients", 8, "concurrent clients in -hammer mode")
+	hammerFile := flag.String("hammerfile", "", "write the -hammer JSON report here (e.g. BENCH_serve.json)")
 	flag.Parse()
 
-	if err := run(*dbPath, *addr, *poolMB, *parallel, *cacheSize, *maxInFlight, *timeout, *maxTimeout, *drainTimeout); err != nil {
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+
+	cfg := config{
+		maxInFlight:    *maxInFlight,
+		defaultTimeout: *timeout,
+		maxTimeout:     *maxTimeout,
+		parallelism:    *parallel,
+		slowQuery:      *slowQuery,
+		logger:         logger,
+	}
+	var err error
+	if *hammer > 0 {
+		err = runHammer(*dbPath, *poolMB, *cacheSize, cfg, *hammer, *hammerClients, *hammerFile)
+	} else {
+		err = run(*dbPath, *addr, *poolMB, *cacheSize, cfg, *drainTimeout)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "timber-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dbPath, addr string, poolMB, parallel, cacheSize, maxInFlight int, timeout, maxTimeout, drainTimeout time.Duration) (err error) {
+func run(dbPath, addr string, poolMB, cacheSize int, cfg config, drainTimeout time.Duration) (err error) {
 	db, err := storage.Open(dbPath, storage.Options{PoolPages: poolMB * 1024 * 1024 / 8192})
 	if err != nil {
 		return err
@@ -65,13 +107,8 @@ func run(dbPath, addr string, poolMB, parallel, cacheSize, maxInFlight int, time
 		}
 	}()
 
-	eng := engine.New(db, engine.Options{CacheSize: cacheSize, Parallelism: parallel})
-	srv := newServer(eng, config{
-		maxInFlight:    maxInFlight,
-		defaultTimeout: timeout,
-		maxTimeout:     maxTimeout,
-		parallelism:    parallel,
-	})
+	eng := engine.New(db, engine.Options{CacheSize: cacheSize, Parallelism: cfg.parallelism})
+	srv := newServer(eng, cfg)
 	httpSrv := &http.Server{Addr: addr, Handler: srv.handler()}
 
 	// Graceful drain: on SIGTERM/SIGINT stop accepting connections,
@@ -95,7 +132,7 @@ func run(dbPath, addr string, poolMB, parallel, cacheSize, maxInFlight int, time
 		return serr
 	case <-ctx.Done():
 	}
-	fmt.Fprintln(os.Stderr, "timber-serve: draining...")
+	srv.setDraining()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if serr := httpSrv.Shutdown(shutdownCtx); serr != nil {

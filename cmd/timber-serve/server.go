@@ -5,8 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"timber/internal/engine"
@@ -26,11 +29,18 @@ type config struct {
 	maxTimeout time.Duration
 	// parallelism is the per-query worker bound (0 = GOMAXPROCS).
 	parallelism int
+	// slowQuery, when positive, traces every query and emits one
+	// structured log line — query ID, query text, full operator trace —
+	// for each execution at or above this duration.
+	slowQuery time.Duration
+	// logger receives the structured request log. Nil discards (tests,
+	// hammer mode); main wires os.Stderr.
+	logger *slog.Logger
 }
 
 // server is the HTTP face of an engine. Handlers are safe for
 // concurrent use — all mutable state is the admission semaphore and
-// registry counters.
+// registry metrics.
 type server struct {
 	eng *engine.Engine
 	cfg config
@@ -41,6 +51,15 @@ type server struct {
 	badReqs  *obs.Metric
 	timeouts *obs.Metric
 	rejected *obs.Metric
+
+	// httpSeconds and httpResponses are the request-level families
+	// every endpoint reports into through the instrument middleware;
+	// inFlight/draining are the liveness gauges a dashboard alerts on.
+	httpSeconds   *obs.HistogramVec
+	httpResponses *obs.CounterVec
+	inFlight      *obs.Gauge
+	draining      *obs.Gauge
+	logger        *slog.Logger
 
 	// execute runs a prepared query; tests replace it to script
 	// timeouts and backpressure deterministically.
@@ -54,14 +73,26 @@ func newServer(eng *engine.Engine, cfg config) *server {
 	if cfg.maxTimeout <= 0 {
 		cfg.maxTimeout = 5 * time.Minute
 	}
+	if cfg.logger == nil {
+		cfg.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	reg := eng.Registry()
+	obs.RegisterRuntimeMetrics(reg)
 	s := &server{
 		eng:      eng,
 		cfg:      cfg,
-		requests: eng.Registry().Counter("serve_requests"),
-		okCount:  eng.Registry().Counter("serve_ok"),
-		badReqs:  eng.Registry().Counter("serve_bad_request"),
-		timeouts: eng.Registry().Counter("serve_timeout"),
-		rejected: eng.Registry().Counter("serve_rejected"),
+		requests: reg.Counter("serve_requests"),
+		okCount:  reg.Counter("serve_ok"),
+		badReqs:  reg.Counter("serve_bad_request"),
+		timeouts: reg.Counter("serve_timeout"),
+		rejected: reg.Counter("serve_rejected"),
+		httpSeconds: reg.HistogramVec("http_request_seconds",
+			"HTTP request latency by endpoint.", obs.DefaultLatencyBuckets, "path"),
+		httpResponses: reg.CounterVec("http_responses_total",
+			"HTTP responses by endpoint and status code.", "path", "code"),
+		inFlight: reg.Gauge("serve_in_flight", "Requests currently being served."),
+		draining: reg.Gauge("serve_draining", "1 while the server drains for shutdown."),
+		logger:   cfg.logger,
 		execute: func(ctx context.Context, pq *engine.PreparedQuery, o engine.ExecOptions) (*engine.Result, error) {
 			return pq.Execute(ctx, o)
 		},
@@ -72,13 +103,86 @@ func newServer(eng *engine.Engine, cfg config) *server {
 	return s
 }
 
-// handler builds the route table.
+// handler builds the route table, wrapped in the instrument middleware.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	return mux
+	return s.instrument(mux)
+}
+
+// setDraining flips the drain gauge; main calls it when shutdown
+// begins so a scraper can tell a draining instance from a dead one.
+func (s *server) setDraining() {
+	s.draining.Set(1)
+	s.logger.Info("draining")
+}
+
+// metricPath maps a request path to its metric label. Only the fixed
+// route set appears verbatim — arbitrary client paths must not mint
+// unbounded label values.
+func metricPath(p string) string {
+	switch p {
+	case "/query", "/stats", "/metrics":
+		return p
+	}
+	return "other"
+}
+
+// statusRecorder captures the response status for the request log and
+// the http_responses_total code label.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (rec *statusRecorder) WriteHeader(code int) {
+	if rec.code == 0 {
+		rec.code = code
+	}
+	rec.ResponseWriter.WriteHeader(code)
+}
+
+func (rec *statusRecorder) Write(b []byte) (int, error) {
+	if rec.code == 0 {
+		rec.code = http.StatusOK
+	}
+	return rec.ResponseWriter.Write(b)
+}
+
+func (rec *statusRecorder) status() int {
+	if rec.code == 0 {
+		return http.StatusOK
+	}
+	return rec.code
+}
+
+// instrument is the request middleware: it mints the query ID (echoed
+// in the X-Query-ID header and carried through the context into the
+// engine), times the request into http_request_seconds{path}, counts
+// the response into http_responses_total{path,code}, tracks the
+// in-flight gauge, and writes one structured log line per request.
+func (s *server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		qid := obs.NewQueryID()
+		w.Header().Set("X-Query-ID", qid)
+		rec := &statusRecorder{ResponseWriter: w}
+		s.inFlight.Inc()
+		next.ServeHTTP(rec, r.WithContext(obs.WithQueryID(r.Context(), qid)))
+		s.inFlight.Dec()
+		elapsed := time.Since(start)
+		path := metricPath(r.URL.Path)
+		s.httpSeconds.With(path).ObserveDuration(elapsed)
+		s.httpResponses.With(path, strconv.Itoa(rec.status())).Inc()
+		s.logger.Info("request",
+			"qid", qid,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status(),
+			"elapsed_ms", float64(elapsed.Microseconds())/1000)
+	})
 }
 
 // queryRequest is the /query request body (POST) or query-parameter
@@ -165,6 +269,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		status := http.StatusBadRequest
 		if r.Method != http.MethodGet && r.Method != http.MethodPost {
 			status = http.StatusMethodNotAllowed
+			w.Header().Set("Allow", "GET, POST")
 		}
 		writeError(w, status, "%v", err)
 		return
@@ -215,8 +320,26 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+
+	// With a slow-query threshold configured, every execution runs
+	// under a private wall-clock-only tracer whose root span is named
+	// by the request's query ID — the EXPLAIN-ANALYZE trace is already
+	// in hand if the run turns out slow, with no second execution.
+	qid := obs.QueryIDFrom(r.Context())
+	var tracer *obs.Tracer
+	if s.cfg.slowQuery > 0 {
+		tracer = obs.New(qid, nil)
+		eo.Tracer = tracer
+	}
+
 	start := time.Now()
 	res, err := s.execute(ctx, pq, eo)
+	elapsed := time.Since(start)
+	strategy := ""
+	if res != nil {
+		strategy = res.Strategy.String()
+	}
+	s.observeTrace(tracer, qid, req.Query, strategy, elapsed)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			s.timeouts.Inc()
@@ -232,8 +355,42 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Count:     len(res.Trees),
 		Strategy:  res.Strategy.String(),
 		CacheHit:  cacheHit,
-		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
 	})
+}
+
+// observeTrace finishes a slow-query tracer: its operator spans fold
+// into the cumulative exec_operator_seconds histograms (children only
+// — the root is named by query ID, an unbounded label value), and an
+// execution at or above the threshold emits exactly one structured log
+// line carrying the query ID, the query text and the full span tree as
+// JSON, whose root name is that same query ID.
+func (s *server) observeTrace(tracer *obs.Tracer, qid, query, strategy string, elapsed time.Duration) {
+	if tracer == nil {
+		return
+	}
+	d := tracer.Finish()
+	if d == nil {
+		return
+	}
+	for _, c := range d.Children {
+		obs.RecordTree(s.eng.Registry(), c)
+	}
+	if elapsed < s.cfg.slowQuery {
+		return
+	}
+	var trace strings.Builder
+	if err := d.WriteJSON(&trace); err != nil {
+		trace.Reset()
+		trace.WriteString(d.Text())
+	}
+	s.logger.Warn("slow query",
+		"qid", qid,
+		"elapsed_ms", float64(elapsed.Microseconds())/1000,
+		"threshold_ms", float64(s.cfg.slowQuery.Microseconds())/1000,
+		"strategy", strategy,
+		"query", query,
+		"trace", strings.TrimRight(trace.String(), "\n"))
 }
 
 // statsResponse is the /stats body: buffer-pool counters, plan-cache
@@ -245,6 +402,9 @@ type statsResponse struct {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
 	writeJSON(w, http.StatusOK, statsResponse{
 		Pool:      s.eng.DB().Stats(),
 		Cache:     s.eng.CacheStats(),
@@ -252,16 +412,29 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics renders the counter registry plus the storage-layer
-// counters in text exposition format.
+// requireGet rejects non-GET methods on the read-only endpoints with
+// 405 plus the Allow header the RFC demands.
+func requireGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method == http.MethodGet || r.Method == http.MethodHead {
+		return true
+	}
+	w.Header().Set("Allow", "GET, HEAD")
+	writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	return false
+}
+
+// handleMetrics renders the full registry — service, engine, storage
+// and runtime families — in the Prometheus text exposition format.
+// ?format=text selects the terse human-facing name/value rendering.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	_ = s.eng.Registry().WriteText(w)
-	c := s.eng.DB().TraceCounters()
-	fmt.Fprintf(w, "pool_fetches %d\n", c.Fetches)
-	fmt.Fprintf(w, "pool_hits %d\n", c.Hits)
-	fmt.Fprintf(w, "pool_physical_reads %d\n", c.PhysicalReads)
-	fmt.Fprintf(w, "pool_physical_writes %d\n", c.PhysicalWrites)
-	fmt.Fprintf(w, "index_node_visits %d\n", c.NodeVisits)
-	fmt.Fprintf(w, "index_leaf_scans %d\n", c.LeafScans)
+	if !requireGet(w, r) {
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = s.eng.Registry().WriteText(w)
+		return
+	}
+	w.Header().Set("Content-Type", obs.ExpositionContentType)
+	_ = s.eng.Registry().WritePrometheus(w)
 }

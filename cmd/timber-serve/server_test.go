@@ -13,8 +13,11 @@ import (
 	"testing"
 	"time"
 
+	"log/slog"
+
 	"timber/internal/engine"
 	"timber/internal/exec"
+	"timber/internal/obs"
 	"timber/internal/paperdata"
 	"timber/internal/storage"
 	"timber/internal/xmltree"
@@ -352,5 +355,237 @@ func TestTimeoutCapped(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Errorf("cap not applied; request took %v", elapsed)
+	}
+}
+
+// TestMethodNotAllowed: the read-only endpoints reject non-GET with
+// 405 and an Allow header; /query allows GET and POST only.
+func TestMethodNotAllowed(t *testing.T) {
+	s := testServer(t, config{})
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		method, path, allow string
+	}{
+		{http.MethodPost, "/metrics", "GET, HEAD"},
+		{http.MethodDelete, "/metrics", "GET, HEAD"},
+		{http.MethodPost, "/stats", "GET, HEAD"},
+		{http.MethodPut, "/query", "GET, POST"},
+		{http.MethodDelete, "/query", "GET, POST"},
+	} {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status = %d, want 405", tc.method, tc.path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Allow"); got != tc.allow {
+			t.Errorf("%s %s: Allow = %q, want %q", tc.method, tc.path, got, tc.allow)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s %s: Content-Type = %q", tc.method, tc.path, ct)
+		}
+	}
+}
+
+// TestPrometheusExposition: /metrics serves a lint-clean Prometheus
+// exposition with the right content type, at least one counter family,
+// one gauge and one labeled histogram, and every response carries an
+// X-Query-ID header.
+func TestPrometheusExposition(t *testing.T) {
+	s := testServer(t, config{})
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(queryRequest{Query: query1})
+	if resp, raw := postQuery(t, ts, string(body)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, raw)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ExpositionContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, obs.ExpositionContentType)
+	}
+	if resp.Header.Get("X-Query-ID") == "" {
+		t.Error("missing X-Query-ID header")
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, errs := obs.LintExposition(data)
+	for _, e := range errs {
+		t.Error(e)
+	}
+	if sum.Counters < 1 || sum.Gauges < 1 || sum.LabeledHistograms < 1 {
+		t.Errorf("exposition coverage too thin: %v", sum)
+	}
+	for _, want := range []string{
+		"# TYPE http_request_seconds histogram",
+		`http_request_seconds_bucket{path="/query",le="+Inf"} 1`,
+		"# TYPE engine_query_seconds histogram",
+		`engine_strategy_total{strategy="groupby"} 1`,
+		"# TYPE pool_hit_ratio gauge",
+		"serve_in_flight ",
+		"go_goroutines ",
+		"exec_operator_seconds_bucket",
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// The terse rendering is still available for humans.
+	tresp, err := http.Get(ts.URL + "/metrics?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	tdata, _ := io.ReadAll(tresp.Body)
+	if ct := tresp.Header.Get("Content-Type"); ct != "text/plain; charset=utf-8" {
+		t.Errorf("text Content-Type = %q", ct)
+	}
+	if !strings.Contains(string(tdata), "serve_requests 1") {
+		t.Errorf("text rendering missing serve_requests:\n%s", tdata)
+	}
+}
+
+// TestSlowQueryLog: with -slowquery configured, a query at or above
+// the threshold emits exactly one structured log line whose query ID
+// matches both the X-Query-ID response header and the root span of the
+// dumped trace; a fast query emits none.
+func TestSlowQueryLog(t *testing.T) {
+	var logBuf syncBuffer
+	s := testServer(t, config{
+		slowQuery: time.Nanosecond, // every query is "slow"
+		logger:    slog.New(slog.NewJSONHandler(&logBuf, nil)),
+	})
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(queryRequest{Query: query1, Strategy: "groupby"})
+	resp, raw := postQuery(t, ts, string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, raw)
+	}
+	qid := resp.Header.Get("X-Query-ID")
+	if qid == "" {
+		t.Fatal("missing X-Query-ID")
+	}
+
+	var slow []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(logBuf.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("unparsable log line %q: %v", line, err)
+		}
+		if rec["msg"] == "slow query" {
+			slow = append(slow, rec)
+		}
+	}
+	if len(slow) != 1 {
+		t.Fatalf("got %d slow-query lines, want exactly 1\nlog:\n%s", len(slow), logBuf.String())
+	}
+	rec := slow[0]
+	if rec["qid"] != qid {
+		t.Errorf("slow-query qid = %v, header qid = %q", rec["qid"], qid)
+	}
+	trace, _ := rec["trace"].(string)
+	var root struct {
+		Name     string `json:"name"`
+		Children []any  `json:"children"`
+	}
+	if err := json.Unmarshal([]byte(trace), &root); err != nil {
+		t.Fatalf("trace is not JSON: %v\n%s", err, trace)
+	}
+	if root.Name != qid {
+		t.Errorf("trace root = %q, want query ID %q", root.Name, qid)
+	}
+	if len(root.Children) == 0 {
+		t.Error("trace has no operator spans")
+	}
+	if rec["strategy"] != "groupby" || rec["query"] == "" {
+		t.Errorf("slow-query line missing fields: %v", rec)
+	}
+
+	// Below threshold: no line. Raise the bar and re-query.
+	logBuf.Reset()
+	s.cfg.slowQuery = time.Hour
+	if resp2, raw2 := postQuery(t, ts, string(body)); resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp2.StatusCode, raw2)
+	}
+	if got := logBuf.String(); strings.Contains(got, "slow query") {
+		t.Errorf("fast query logged as slow:\n%s", got)
+	}
+}
+
+// syncBuffer is a mutex-guarded strings.Builder for concurrent slog
+// handlers.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func (s *syncBuffer) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.b.Reset()
+}
+
+// TestRequestLogAndGauges: the middleware logs every request with its
+// query ID, and the in-flight gauge returns to zero when idle.
+func TestRequestLogAndGauges(t *testing.T) {
+	var logBuf syncBuffer
+	s := testServer(t, config{logger: slog.New(slog.NewJSONHandler(&logBuf, nil))})
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(queryRequest{Query: query1})
+	resp, raw := postQuery(t, ts, string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, raw)
+	}
+	qid := resp.Header.Get("X-Query-ID")
+
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(logBuf.String())), &rec); err != nil {
+		t.Fatalf("request log not one JSON line: %v\n%s", err, logBuf.String())
+	}
+	if rec["msg"] != "request" || rec["qid"] != qid || rec["path"] != "/query" || rec["status"] != float64(200) {
+		t.Errorf("request log line = %v", rec)
+	}
+	if got := s.inFlight.Value(); got != 0 {
+		t.Errorf("in-flight gauge = %v after requests drained", got)
+	}
+	if got := s.draining.Value(); got != 0 {
+		t.Errorf("draining gauge = %v before shutdown", got)
+	}
+	s.setDraining()
+	if got := s.draining.Value(); got != 1 {
+		t.Errorf("draining gauge = %v after setDraining", got)
 	}
 }

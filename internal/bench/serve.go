@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// ServeReport is the machine-readable record of timber-serve's hammer
+// mode (BENCH_serve.json): end-to-end /query latency under concurrent
+// HTTP load. The quantiles come from the server's own
+// http_request_seconds histogram — the same series a Prometheus
+// scrape sees — not from client-side timers, so the report and the
+// exposition agree by construction.
+type ServeReport struct {
+	Benchmark string `json:"benchmark"`
+	// Requests is the number of /query requests fired; Errors counts
+	// non-200 responses and transport failures among them.
+	Requests int `json:"requests"`
+	Errors   int `json:"errors"`
+	// Clients is the concurrent client count.
+	Clients    int `json:"clients"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// WallNS is the whole hammer's wall time; ThroughputRPS is
+	// Requests/Wall.
+	WallNS        int64   `json:"wall_ns"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// MeanMS and the quantiles describe the server-side request
+	// latency distribution. Quantiles are histogram estimates
+	// (linear interpolation within a log-spaced bucket).
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	// Note records measurement caveats.
+	Note string `json:"note,omitempty"`
+}
+
+// WriteJSON writes the report, indented, to path.
+func (r *ServeReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

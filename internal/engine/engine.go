@@ -19,6 +19,7 @@ import (
 	"context"
 	"strings"
 	"sync"
+	"time"
 
 	"timber/internal/exec"
 	"timber/internal/obs"
@@ -62,6 +63,16 @@ type Engine struct {
 	evictions *obs.Metric
 	execs     *obs.Metric
 	execErrs  *obs.Metric
+
+	// Latency families (all in seconds, log-bucketed):
+	// querySeconds is end-to-end Execute latency labeled by the
+	// strategy that actually ran; prepareSeconds splits Prepare latency
+	// by plan-cache outcome, making cache effectiveness visible as a
+	// latency distribution rather than just a hit count; strategyTotal
+	// counts executions per chosen strategy (after fallback).
+	querySeconds   *obs.HistogramVec
+	prepareSeconds *obs.HistogramVec
+	strategyTotal  *obs.CounterVec
 }
 
 // New creates an engine over db.
@@ -73,6 +84,7 @@ func New(db *storage.DB, opts Options) *Engine {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	db.RegisterMetrics(reg)
 	return &Engine{
 		db:        db,
 		opts:      opts,
@@ -84,6 +96,14 @@ func New(db *storage.DB, opts Options) *Engine {
 		evictions: reg.Counter("engine_plan_cache_evictions"),
 		execs:     reg.Counter("engine_executions"),
 		execErrs:  reg.Counter("engine_execution_errors"),
+		querySeconds: reg.HistogramVec("engine_query_seconds",
+			"End-to-end Execute latency by the strategy that ran.",
+			obs.DefaultLatencyBuckets, "strategy"),
+		prepareSeconds: reg.HistogramVec("engine_prepare_seconds",
+			"Prepare latency split by plan-cache outcome.",
+			obs.DefaultLatencyBuckets, "cache"),
+		strategyTotal: reg.CounterVec("engine_strategy_total",
+			"Executions by chosen strategy (after fallback).", "strategy"),
 	}
 }
 
@@ -147,8 +167,10 @@ func (e *Engine) Prepare(query string) (*PreparedQuery, error) {
 // PrepareCached is Prepare plus a report of whether the plan came from
 // the cache.
 func (e *Engine) PrepareCached(query string) (*PreparedQuery, bool, error) {
+	start := time.Now()
 	if pq := e.lookup(query); pq != nil {
 		e.hits.Inc()
+		e.prepareSeconds.With("hit").ObserveDuration(time.Since(start))
 		return pq, true, nil
 	}
 	e.misses.Inc()
@@ -156,6 +178,7 @@ func (e *Engine) PrepareCached(query string) (*PreparedQuery, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
+	e.prepareSeconds.With("miss").ObserveDuration(time.Since(start))
 	return e.insert(pq), false, nil
 }
 
@@ -261,12 +284,16 @@ type Result struct {
 // claims, and per item inside sequential scans — and a cancelled run
 // returns ctx.Err() without corrupting shared storage state.
 func (pq *PreparedQuery) Execute(ctx context.Context, o ExecOptions) (*Result, error) {
+	start := time.Now()
 	res, err := pq.execute(ctx, o)
 	pq.eng.execs.Inc()
 	if err != nil {
 		pq.eng.execErrs.Inc()
 		return nil, err
 	}
+	strat := res.Strategy.String()
+	pq.eng.querySeconds.With(strat).ObserveDuration(time.Since(start))
+	pq.eng.strategyTotal.With(strat).Inc()
 	return res, nil
 }
 
@@ -280,7 +307,7 @@ func (pq *PreparedQuery) execute(ctx context.Context, o ExecOptions) (*Result, e
 	if par == 0 {
 		par = pq.eng.opts.Parallelism
 	}
-	xo := exec.Options{Parallelism: par, Tracer: o.Tracer, Ctx: ctx}
+	xo := exec.Options{Parallelism: par, Tracer: o.Tracer, Ctx: ctx, Metrics: pq.eng.reg}
 	strat := o.Strategy
 	if !pq.Applied && strat != exec.StrategyLogical && strat != exec.StrategyPhysical {
 		strat = exec.StrategyPhysical

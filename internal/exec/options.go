@@ -33,6 +33,32 @@ type Options struct {
 	// issuing buffer-pool fetches promptly. A cancelled run returns
 	// ctx.Err() and no result. Nil means "never cancelled".
 	Ctx context.Context
+	// Metrics, when non-nil, receives always-on cumulative telemetry:
+	// each operator phase's wall time folds into the registry's
+	// exec_operator_seconds{op=...} histograms after the run. Unlike
+	// Tracer — which snapshots the shared storage counters and is only
+	// exact on solo runs — Metrics records wall time alone through
+	// lock-free histogram adds, so it stays correct under concurrent
+	// executions and never changes results. When the caller supplies
+	// its own Tracer, it owns Finish and any folding; otherwise the
+	// run creates a private wall-clock-only tracer to collect spans.
+	Metrics *obs.Registry
+}
+
+// foldSpans arranges for the run's operator spans to fold into
+// o.Metrics. When the caller did not attach a tracer it installs a
+// private wall-clock-only one (counter snapshots would be wrong under
+// concurrency) and returns the new options plus a finish func for the
+// caller to defer; with no Metrics, or a caller-owned tracer, it
+// returns o unchanged and a no-op.
+func (o Options) foldSpans(root string) (Options, func()) {
+	if o.Metrics == nil || o.Tracer != nil {
+		return o, func() {}
+	}
+	t := obs.New(root, nil)
+	o.Tracer = t
+	reg := o.Metrics
+	return o, func() { obs.RecordTree(reg, t.Finish()) }
 }
 
 // trace starts a top-level executor span (no-op when untraced).

@@ -36,6 +36,8 @@ import (
 // o.Ctx cancels the run between leaves and inside the match/
 // materialization pools.
 func ExecPhysical(db *storage.DB, op plan.Op, o Options) (tax.Collection, error) {
+	o, fold := o.foldSpans("exec: physical")
+	defer fold()
 	rewritten, err := substituteLeaves(db, op, o)
 	if err != nil {
 		return tax.Collection{}, err

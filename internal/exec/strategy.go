@@ -77,6 +77,8 @@ func ParseStrategy(name string) (Strategy, error) {
 // rejects them — the engine dispatches those to ExecLogical and
 // ExecPhysical with its cached plans.
 func Run(db *storage.DB, spec Spec, o Options) (*Result, error) {
+	o, fold := o.foldSpans("exec: " + spec.Strategy.String())
+	defer fold()
 	switch spec.Strategy {
 	case StrategyGroupBy:
 		return groupByExec(db, spec, o)

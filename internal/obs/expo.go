@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ExpositionContentType is the Content-Type of the Prometheus text
+// exposition format rendered by WritePrometheus.
+const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every family in the Prometheus text
+// exposition format: a # HELP line (when help text is registered), a
+// # TYPE line, then one sample per child — counters and gauges as
+// `name{labels} value`, histograms as cumulative `name_bucket` series
+// with `le` bounds plus `name_sum` and `name_count`. Families are
+// sorted by name and children by label values, and callback families
+// are invoked exactly once, so two scrapes of an idle registry are
+// byte-identical — the property the golden exposition test pins.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+	for _, f := range r.sortedFamilies() {
+		b.Reset()
+		f.render(&b)
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) render(b *strings.Builder) {
+	if f.help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
+	if f.fn != nil {
+		fmt.Fprintf(b, "%s %s\n", f.name, formatSample(f.fn()))
+		return
+	}
+	for _, ce := range f.sortedChildren() {
+		values := splitLabels(ce.key)
+		switch m := ce.metric.(type) {
+		case *Metric:
+			fmt.Fprintf(b, "%s%s %d\n", f.name, labelBlock(f.labels, values, ""), m.Load())
+		case *Gauge:
+			fmt.Fprintf(b, "%s%s %s\n", f.name, labelBlock(f.labels, values, ""), formatSample(m.Value()))
+		case *Histogram:
+			renderHistogram(b, f.name, f.labels, values, m)
+		}
+	}
+}
+
+// renderHistogram writes the cumulative bucket series from one bucket
+// snapshot, so _count always equals the +Inf bucket even while other
+// goroutines keep observing mid-scrape.
+func renderHistogram(b *strings.Builder, name string, labels, values []string, h *Histogram) {
+	snap := h.snapshot()
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += snap[i]
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, labelBlock(labels, values, formatSample(bound)), cum)
+	}
+	cum += snap[len(snap)-1]
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, labelBlock(labels, values, "+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, labelBlock(labels, values, ""), formatSample(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labelBlock(labels, values, ""), cum)
+}
+
+// labelBlock renders `{k1="v1",k2="v2"}` (plus le when non-empty), or
+// the empty string for an unlabeled sample without le.
+func labelBlock(labels, values []string, le string) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		b.WriteString(l)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(v))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatLabels renders the k="v" list without braces — the terse
+// WriteText form shares it with labelBlock's contents.
+func formatLabels(labels, values []string, le string) string {
+	s := labelBlock(labels, values, le)
+	return strings.TrimSuffix(strings.TrimPrefix(s, "{"), "}")
+}
+
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes HELP text per the exposition format: backslash
+// and newline (quotes are legal in help text).
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// formatSample renders a float sample value: integral values without
+// an exponent, +Inf/NaN in exposition spelling, everything else in
+// Go's shortest round-trip form.
+func formatSample(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry exercising every family kind and
+// the tricky exposition corners: label values needing escaping, help
+// text with newlines and backslashes, label ordering, histograms with
+// and without labels, callback families.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("seed_requests").Add(3)
+	r.SetHelp("seed_requests", "Requests since start.")
+
+	cv := r.CounterVec("http_responses_total", "Responses by path and status code.", "path", "code")
+	cv.With("/query", "200").Add(12)
+	cv.With("/query", "400").Add(2)
+	cv.With("/metrics", "200").Inc()
+
+	tricky := r.CounterVec("tricky_total", "Help with a \\ backslash\nand a newline.", "q")
+	tricky.With(`he said "hi" \ there` + "\nnext").Inc()
+
+	r.Gauge("pool_occupancy_pages", "Pages currently cached.").Set(42)
+	r.GaugeFunc("pool_hit_ratio", "Fraction of fetches served from the pool.", func() float64 { return 0.75 })
+	r.CounterFunc("pool_fetches", "Logical page reads.", func() float64 { return 12345 })
+
+	h := r.Histogram("op_seconds", "Unlabeled operator latency.", ExpBuckets(0.001, 10, 3))
+	h.Observe(0.0005)
+	h.Observe(0.02)
+	h.Observe(5)
+
+	hv := r.HistogramVec("query_seconds", "Query latency by strategy.", ExpBuckets(0.01, 10, 2), "strategy")
+	hv.With("groupby").Observe(0.002)
+	hv.With("groupby").Observe(0.05)
+	hv.With("direct").Observe(0.5)
+	return r
+}
+
+// TestWritePrometheusGolden pins the exposition byte-for-byte:
+// HELP/TYPE lines, escaping, label ordering, cumulative buckets, and
+// deterministic family/child ordering.
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition differs from golden (run with -update to regenerate):\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Two renders must be byte-identical: scrapers diff expositions.
+	var b2 strings.Builder
+	if err := goldenRegistry().WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != got {
+		t.Error("two renders of identical registries differ")
+	}
+}
+
+// TestGoldenExpositionLints: the writer and the linter must agree on
+// the format — the golden registry's output is clean and the summary
+// sees every family kind.
+func TestGoldenExpositionLints(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	sum, errs := LintExposition([]byte(b.String()))
+	for _, err := range errs {
+		t.Error(err)
+	}
+	if sum.Counters != 4 || sum.Gauges != 2 || sum.Histograms != 2 {
+		t.Errorf("summary = %v, want 4 counters / 2 gauges / 2 histograms", sum)
+	}
+	if sum.LabeledHistograms != 1 || sum.LabeledCounters != 2 {
+		t.Errorf("summary = %v, want 1 labeled histogram and 2 labeled counters", sum)
+	}
+}
+
+// TestExpositionEscaping checks the escape rules directly.
+func TestExpositionEscaping(t *testing.T) {
+	if got := escapeLabelValue("a\\b\"c\nd"); got != `a\\b\"c\nd` {
+		t.Errorf("label escape = %q", got)
+	}
+	if got := escapeHelp("a\\b\"c\nd"); got != "a\\\\b\"c\\nd" {
+		t.Errorf("help escape = %q", got)
+	}
+	// Round trip through the linter's unescaper.
+	val, rest, ok := unescapeLabelValue(escapeLabelValue("a\\b\"c\nd") + `"tail`)
+	if !ok || val != "a\\b\"c\nd" || rest != "tail" {
+		t.Errorf("unescape = %q, %q, %v", val, rest, ok)
+	}
+}
+
+// TestScrapeWhileHammering runs 16 goroutines mutating histograms,
+// gauges and counters while the main goroutine scrapes continuously;
+// under -race this pins the lock-free scrape path, and every scrape
+// must stay lint-clean (cumulative buckets, count == +Inf) even
+// mid-burst.
+func TestScrapeWhileHammering(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("lat_seconds", "latency", ExpBuckets(1e-6, 4, 10), "op")
+	g := r.Gauge("inflight", "in flight")
+	cv := r.CounterVec("events_total", "events", "kind")
+	r.GaugeFunc("derived", "callback", func() float64 { return g.Value() * 2 })
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ops := []string{"scan", "join", "sort", "materialize"}
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				hv.With(ops[(w+i)%len(ops)]).Observe(float64(i%1000) * 1e-6)
+				g.Add(1)
+				cv.With(ops[i%len(ops)]).Inc()
+				g.Add(-1)
+				i++
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		if _, errs := LintExposition([]byte(b.String())); len(errs) > 0 {
+			t.Fatalf("scrape %d not lint-clean under concurrency: %v", i, errs)
+		}
+		if err := r.WriteText(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,43 @@
+package obs
+
+// Gauge is a metric that can go up and down — occupancy, in-flight
+// requests, drain state. All methods are atomic and nil-safe; obtain
+// gauges through Registry.Gauge (or register a callback with
+// Registry.GaugeFunc for values derived from existing state).
+type Gauge struct {
+	name string
+	v    atomicFloat
+}
+
+// Name returns the gauge's registered name.
+func (g *Gauge) Name() string { return g.name }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add increments the gauge by d (negative to decrement).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Inc increments the gauge by one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec decrements the gauge by one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// atomicFloat is a float64 updated with compare-and-swap on its bit
+// pattern — the standard lock-free accumulator for metric sums, where
+// contention is rare and a mutex per Observe would serialize hot paths.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) Load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+// ExpBuckets returns n exponentially spaced histogram upper bounds
+// starting at start: start, start*factor, start*factor², … — the fixed
+// log-bucketed layout every Histogram in this package uses. start must
+// be positive and factor > 1.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DefaultLatencyBuckets spans 10µs to ~84s in powers of two — wide
+// enough for both a sub-millisecond plan-cache hit and a paper-scale
+// minutes-long direct plan, in 24 buckets.
+var DefaultLatencyBuckets = ExpBuckets(10e-6, 2, 24)
+
+// Histogram is a fixed-bucket histogram with lock-free atomic buckets:
+// an Observe is one binary search over the (small, immutable) bound
+// slice plus two atomic adds, so any number of goroutines can record
+// into one histogram without serializing. Bounds are upper bounds in
+// ascending order (Prometheus `le` semantics: bucket i counts
+// observations <= bounds[i]); values above the last bound land in an
+// implicit +Inf overflow bucket. Create through Registry.Histogram or
+// Registry.HistogramVec so the histogram is rendered at scrape time.
+type Histogram struct {
+	name    string
+	bounds  []float64
+	buckets []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum     atomicFloat
+}
+
+func newHistogram(name string, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obs: histogram bounds must be sorted ascending")
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{name: name, bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Name returns the histogram's registered name.
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records one value. Safe for concurrent use.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.buckets[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records a duration in seconds — the unit every
+// *_seconds histogram exposes.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Bounds returns the bucket upper bounds (shared; do not modify).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// snapshot copies the bucket counts at one instant. Individual loads
+// are exact; a snapshot taken mid-burst may split an Observe between
+// its bucket and the sum, which is the usual scrape-consistency
+// contract for lock-free metrics.
+func (h *Histogram) snapshot() []uint64 {
+	out := make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation inside the bucket holding the target rank — the
+// standard bucketed estimate, exact to within one bucket's width.
+// Returns NaN when the histogram is empty; observations in the +Inf
+// overflow bucket are reported as the last finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	snap := h.snapshot()
+	var total uint64
+	for _, c := range snap {
+		total += c
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range snap {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i == len(h.bounds) {
+			// Overflow bucket: no finite upper bound to interpolate to.
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		frac := (rank - float64(cum-c)) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return h.bounds[len(h.bounds)-1]
+}

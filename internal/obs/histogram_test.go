@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	if len(got) != len(want) {
+		t.Fatalf("ExpBuckets = %v", got)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("bucket %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	for _, bad := range []func(){
+		func() { ExpBuckets(0, 2, 3) },
+		func() { ExpBuckets(1, 1, 3) },
+		func() { ExpBuckets(1, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad ExpBuckets args should panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := newHistogram("h", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 1.5, 10, 50, 99, 100, 101, 1e9} {
+		h.Observe(v)
+	}
+	snap := h.snapshot()
+	// le semantics: bucket i counts v <= bounds[i]; last is overflow.
+	want := []uint64{2, 2, 3, 2} // {0.5,1}, {1.5,10}, {50,99,100}, {101,1e9}
+	for i := range want {
+		if snap[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d (snap %v)", i, snap[i], want[i], snap)
+		}
+	}
+	if h.Count() != 9 {
+		t.Errorf("count = %d, want 9", h.Count())
+	}
+	wantSum := 0.5 + 1 + 1.5 + 10 + 50 + 99 + 100 + 101 + 1e9
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Errorf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram("h", []float64{10, 20, 40})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram quantile should be NaN")
+	}
+	// 10 observations in (10, 20]: quantiles interpolate linearly
+	// within the bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(15)
+	}
+	if q := h.Quantile(0.5); q < 10 || q > 20 {
+		t.Errorf("p50 = %v, want within (10, 20]", q)
+	}
+	// Half below 10, half in (20, 40]: p50 stays in the low bucket,
+	// p99 lands in the high one.
+	h2 := newHistogram("h2", []float64{10, 20, 40})
+	for i := 0; i < 50; i++ {
+		h2.Observe(5)
+		h2.Observe(30)
+	}
+	if q := h2.Quantile(0.25); q > 10 {
+		t.Errorf("p25 = %v, want <= 10", q)
+	}
+	if q := h2.Quantile(0.99); q < 20 || q > 40 {
+		t.Errorf("p99 = %v, want within (20, 40]", q)
+	}
+	// Overflow observations report the last finite bound.
+	h3 := newHistogram("h3", []float64{1})
+	h3.Observe(1e12)
+	if q := h3.Quantile(0.5); q != 1 {
+		t.Errorf("overflow quantile = %v, want last bound 1", q)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := newHistogram("h", DefaultLatencyBuckets)
+	h.ObserveDuration(250 * time.Millisecond)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-0.25) > 1e-9 {
+		t.Errorf("sum = %v, want 0.25", h.Sum())
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 || !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("nil histogram should be inert")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g", "help")
+	g.Set(3.5)
+	g.Add(1.5)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %v, want 5", got)
+	}
+	if again := r.Gauge("g", "help"); again != g {
+		t.Error("Gauge should return the same child for the same name")
+	}
+	var nilG *Gauge
+	nilG.Set(1)
+	nilG.Add(1)
+	if nilG.Value() != 0 {
+		t.Error("nil gauge should be inert")
+	}
+}
+
+func TestVecChildren(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("responses", "by code", "path", "code")
+	cv.With("/query", "200").Add(2)
+	cv.With("/query", "400").Inc()
+	if got := cv.With("/query", "200").Load(); got != 2 {
+		t.Errorf("child = %d, want 2", got)
+	}
+	hv := r.HistogramVec("lat", "latency", []float64{1, 10}, "strategy")
+	hv.With("groupby").Observe(0.5)
+	hv.With("direct").Observe(5)
+	if hv.With("groupby").Count() != 1 || hv.With("direct").Count() != 1 {
+		t.Error("histogram children should be independent")
+	}
+	// Wrong arity is a programmer error.
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong label arity should panic")
+		}
+	}()
+	cv.With("/query")
+}
+
+func TestFamilySchemaMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge should panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+// TestHistogramConcurrent hammers one histogram from 16 goroutines and
+// checks nothing is lost: the bucket total and count agree with the
+// number of observations. Run under -race by make check.
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram("h", ExpBuckets(1e-6, 2, 20))
+	const goroutines, per = 16, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(g*per+i) * 1e-6)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*per {
+		t.Errorf("count = %d, want %d", got, goroutines*per)
+	}
+}

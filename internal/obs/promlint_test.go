@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+const validExposition = `# HELP requests_total Total requests.
+# TYPE requests_total counter
+requests_total{path="/query",code="200"} 12
+requests_total{path="/query",code="400"} 2
+# TYPE inflight gauge
+inflight 3
+# HELP lat_seconds Latency.
+# TYPE lat_seconds histogram
+lat_seconds_bucket{op="scan",le="0.01"} 1
+lat_seconds_bucket{op="scan",le="0.1"} 4
+lat_seconds_bucket{op="scan",le="+Inf"} 5
+lat_seconds_sum{op="scan"} 0.42
+lat_seconds_count{op="scan"} 5
+`
+
+func TestLintValidExposition(t *testing.T) {
+	sum, errs := LintExposition([]byte(validExposition))
+	for _, err := range errs {
+		t.Error(err)
+	}
+	if sum.Counters != 1 || sum.Gauges != 1 || sum.Histograms != 1 {
+		t.Errorf("summary = %v", sum)
+	}
+	if sum.LabeledCounters != 1 || sum.LabeledHistograms != 1 {
+		t.Errorf("summary = %v, want labeled counter and histogram seen", sum)
+	}
+	if sum.Samples != 8 {
+		t.Errorf("samples = %d, want 8", sum.Samples)
+	}
+}
+
+// lintErrs returns the joined error text for a broken exposition and
+// fails the test when it lints clean.
+func lintErrs(t *testing.T, broken, wantSubstr string) {
+	t.Helper()
+	_, errs := LintExposition([]byte(broken))
+	if len(errs) == 0 {
+		t.Fatalf("exposition should not lint clean:\n%s", broken)
+	}
+	var all []string
+	for _, err := range errs {
+		all = append(all, err.Error())
+	}
+	joined := strings.Join(all, "; ")
+	if !strings.Contains(joined, wantSubstr) {
+		t.Errorf("errors %q do not mention %q", joined, wantSubstr)
+	}
+}
+
+func TestLintCatchesBrokenExpositions(t *testing.T) {
+	t.Run("non-cumulative buckets", func(t *testing.T) {
+		lintErrs(t, `# TYPE h histogram
+h_bucket{le="1"} 5
+h_bucket{le="2"} 3
+h_bucket{le="+Inf"} 5
+h_sum 1
+h_count 5
+`, "not cumulative")
+	})
+	t.Run("bounds not increasing", func(t *testing.T) {
+		lintErrs(t, `# TYPE h histogram
+h_bucket{le="2"} 1
+h_bucket{le="1"} 2
+h_bucket{le="+Inf"} 2
+h_sum 1
+h_count 2
+`, "not increasing")
+	})
+	t.Run("missing +Inf", func(t *testing.T) {
+		lintErrs(t, `# TYPE h histogram
+h_bucket{le="1"} 1
+h_sum 1
+h_count 1
+`, "no +Inf")
+	})
+	t.Run("count disagrees with +Inf", func(t *testing.T) {
+		lintErrs(t, `# TYPE h histogram
+h_bucket{le="1"} 1
+h_bucket{le="+Inf"} 2
+h_sum 1
+h_count 7
+`, "_count 7 != +Inf bucket 2")
+	})
+	t.Run("missing sum", func(t *testing.T) {
+		lintErrs(t, `# TYPE h histogram
+h_bucket{le="+Inf"} 1
+h_count 1
+`, "no _sum")
+	})
+	t.Run("bad escape", func(t *testing.T) {
+		lintErrs(t, `# TYPE c counter
+c{v="a\qb"} 1
+`, "broken escape")
+	})
+	t.Run("unterminated quote", func(t *testing.T) {
+		lintErrs(t, `# TYPE c counter
+c{v="abc} 1
+`, "broken escape or unterminated")
+	})
+	t.Run("duplicate sample", func(t *testing.T) {
+		lintErrs(t, `# TYPE c counter
+c{v="a"} 1
+c{v="a"} 2
+`, "duplicate sample")
+	})
+	t.Run("TYPE after samples", func(t *testing.T) {
+		lintErrs(t, `c 1
+# TYPE c counter
+`, "after its samples")
+	})
+	t.Run("duplicate TYPE", func(t *testing.T) {
+		lintErrs(t, `# TYPE c counter
+# TYPE c counter
+c 1
+`, "duplicate TYPE")
+	})
+	t.Run("bad metric name", func(t *testing.T) {
+		lintErrs(t, `0bad 1
+`, "invalid metric name")
+	})
+	t.Run("bad label name", func(t *testing.T) {
+		lintErrs(t, `# TYPE c counter
+c{0bad="x"} 1
+`, "invalid label name")
+	})
+	t.Run("bad value", func(t *testing.T) {
+		lintErrs(t, `# TYPE c counter
+c potato
+`, "bad sample value")
+	})
+	t.Run("unknown type", func(t *testing.T) {
+		lintErrs(t, `# TYPE c widget
+c 1
+`, "unknown TYPE")
+	})
+}
+
+func TestLintAllowsFormatLegalities(t *testing.T) {
+	// Timestamps, escaped label values, +Inf/NaN values and untyped
+	// samples are all legal.
+	_, errs := LintExposition([]byte(`# TYPE c counter
+c{v="a\\b\"c\nd"} 1 1712345678000
+untyped_thing 3
+weird NaN
+edge +Inf
+`))
+	for _, err := range errs {
+		t.Error(err)
+	}
+}

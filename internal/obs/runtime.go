@@ -1,0 +1,38 @@
+package obs
+
+import "runtime"
+
+// RegisterRuntimeMetrics registers Go runtime health metrics —
+// goroutine count, heap size and GC activity — as callback families
+// evaluated at scrape time. Call once per registry; re-registration is
+// a no-op. Each callback reads runtime.MemStats independently, which
+// costs a few stop-the-world microseconds per scrape — negligible at
+// scrape cadence, and it keeps the callbacks stateless.
+func RegisterRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("go_goroutines", "Number of goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.", func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.HeapAlloc)
+	})
+	r.GaugeFunc("go_heap_objects", "Number of allocated heap objects.", func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.HeapObjects)
+	})
+	r.CounterFunc("go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.", func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.PauseTotalNs) / 1e9
+	})
+	r.CounterFunc("go_gcs_total", "Completed GC cycles.", func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.NumGC)
+	})
+}

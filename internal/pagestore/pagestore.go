@@ -24,8 +24,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DefaultPageSize is the page size used by the paper's experiments.
@@ -306,6 +308,21 @@ func (s *Store) unlockAll() {
 // Stats returns a snapshot of the I/O counters.
 func (s *Store) Stats() Stats { return s.stats.snapshot() }
 
+// Occupancy returns the number of pages currently resident in the
+// buffer pool. It takes each shard lock briefly in turn, so the result
+// is a consistent per-shard sum but may straddle concurrent fetches —
+// fine for the gauge it feeds, wrong for invariant checks.
+func (s *Store) Occupancy() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.frames)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
 // ResetStats zeroes the I/O counters. The buffer pool contents are left
 // untouched; use DropCache to also empty the pool (cold-cache runs).
 func (s *Store) ResetStats() { s.stats.reset() }
@@ -351,6 +368,19 @@ func (s *Store) Allocate() (*Page, error) {
 	defer s.allocMu.Unlock()
 	id := PageID(s.numPages.Load())
 	sh := s.shardFor(id)
+	// Same transient-exhaustion retry as Fetch: concurrent fetchers may
+	// briefly pin every frame in the new page's shard.
+	for attempt := 0; ; attempt++ {
+		p, err := s.allocShard(sh, id)
+		if err != ErrPoolExhausted || !pinWait(attempt) {
+			return p, err
+		}
+	}
+}
+
+// allocShard is one attempt of Allocate under the shard lock; the
+// caller holds allocMu.
+func (s *Store) allocShard(sh *shard, id PageID) (*Page, error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	fr, err := s.freeFrame(sh, id)
@@ -378,6 +408,21 @@ func (s *Store) Fetch(id PageID) (*Page, error) {
 	}
 	s.stats.fetches.Add(1)
 	sh := s.shardFor(id)
+	// A shard whose frames are all pinned is almost always a transient
+	// state — concurrent fetchers hold pins only across a copy — so
+	// yield and retry before surfacing ErrPoolExhausted. The counters
+	// stay exact: the fetch is counted once above, and hit/read are
+	// only counted on the attempt that acquires a frame.
+	for attempt := 0; ; attempt++ {
+		p, err := s.fetchShard(sh, id)
+		if err != ErrPoolExhausted || !pinWait(attempt) {
+			return p, err
+		}
+	}
+}
+
+// fetchShard is one attempt of Fetch under the shard lock.
+func (s *Store) fetchShard(sh *shard, id PageID) (*Page, error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if fr, ok := sh.frames[id]; ok {
@@ -400,6 +445,24 @@ func (s *Store) Fetch(id PageID) (*Page, error) {
 	fr.pins = 1
 	sh.frames[id] = fr
 	return &Page{id: id, frame: fr}, nil
+}
+
+// pinWait paces retries after an all-frames-pinned attempt: mostly a
+// scheduler yield so the pin holders can run (essential on a single
+// CPU), a short sleep every 64th try. It reports false once the budget
+// is spent — generous for pin churn, bounded so a genuine pin leak
+// still fails with ErrPoolExhausted instead of spinning forever.
+func pinWait(attempt int) bool {
+	const maxAttempts = 4096
+	if attempt >= maxAttempts {
+		return false
+	}
+	if attempt%64 == 63 {
+		time.Sleep(50 * time.Microsecond)
+	} else {
+		runtime.Gosched()
+	}
+	return true
 }
 
 // Unpin releases one pin on the page. dirty records whether the caller

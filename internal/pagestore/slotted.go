@@ -98,7 +98,11 @@ func MaxRecord(pageSize int) int { return pageSize - slottedHeaderSize - slotSiz
 // Insert appends a record to the page, returning its slot. ok is false
 // if the page lacks space. Records of length 0 are allowed.
 func (sp SlottedPage) Insert(rec []byte) (Slot, bool) {
-	if len(rec) > sp.FreeSpace() {
+	// Check the raw gap, not FreeSpace: FreeSpace clamps to 0 when the
+	// gap is smaller than a slot entry, which would let a zero-length
+	// record pass the check and write its directory entry over the
+	// lowest record's bytes.
+	if len(rec)+slotSize > int(sp.freeEnd())-int(sp.freeStart()) {
 		return 0, false
 	}
 	n := sp.numSlots()

@@ -125,6 +125,33 @@ func TestSlottedNextLink(t *testing.T) {
 // TestSlottedProperty checks random insert sequences against a slice
 // oracle: every inserted record reads back intact and FreeSpace only
 // decreases.
+// TestSlottedZeroLengthInsertNearFull pins the regression where a
+// zero-length record passed the FreeSpace check on a page whose
+// directory-to-data gap was smaller than a slot entry (FreeSpace clamps
+// to 0), so its directory entry overwrote the lowest record's bytes.
+func TestSlottedZeroLengthInsertNearFull(t *testing.T) {
+	_, _, sp := slottedPage(t, 512)
+	// One 495-byte record leaves a 3-byte gap: header 10 + slot 4 +
+	// record 495 = 509 of 512. A slot entry needs 4.
+	rec := bytes.Repeat([]byte{0xAB}, 495)
+	if _, ok := sp.Insert(rec); !ok {
+		t.Fatal("setup insert failed")
+	}
+	if free := sp.FreeSpace(); free != 0 {
+		t.Fatalf("FreeSpace = %d, want 0", free)
+	}
+	if _, ok := sp.Insert(nil); ok {
+		t.Error("zero-length insert into a 3-byte gap should be refused")
+	}
+	got, err := sp.Read(Slot(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, rec) {
+		t.Error("record corrupted by refused insert")
+	}
+}
+
 func TestSlottedProperty(t *testing.T) {
 	prop := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))

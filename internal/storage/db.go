@@ -319,6 +319,39 @@ func (db *DB) NewTracer(name string) *obs.Tracer {
 	return obs.New(name, db.TraceCounters)
 }
 
+// RegisterMetrics exports the database's storage health into r as
+// scrape-time callback families: the pool's cumulative I/O counters,
+// derived hit-ratio and occupancy gauges, and the B+tree traversal
+// counters. Callbacks read the same atomic counters Stats does, so
+// registration adds no per-operation cost; re-registration (a second
+// engine over the same DB and registry) is a no-op. Nil-safe.
+func (db *DB) RegisterMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	st := db.st
+	r.CounterFunc("pool_fetches", "Logical page reads (buffer pool fetch calls).",
+		func() float64 { return float64(st.Stats().Fetches) })
+	r.CounterFunc("pool_hits", "Fetches served from the buffer pool.",
+		func() float64 { return float64(st.Stats().Hits) })
+	r.CounterFunc("pool_physical_reads", "Pages read from disk.",
+		func() float64 { return float64(st.Stats().PhysicalReads) })
+	r.CounterFunc("pool_physical_writes", "Pages written to disk.",
+		func() float64 { return float64(st.Stats().PhysicalWrites) })
+	r.CounterFunc("pool_evictions", "Pages evicted from the buffer pool.",
+		func() float64 { return float64(st.Stats().Evictions) })
+	r.GaugeFunc("pool_hit_ratio", "Fraction of fetches served from the pool (1 when idle).",
+		func() float64 { return st.Stats().HitRate() })
+	r.GaugeFunc("pool_occupancy_pages", "Pages currently resident in the buffer pool.",
+		func() float64 { return float64(st.Occupancy()) })
+	r.GaugeFunc("pool_capacity_pages", "Buffer pool capacity in pages.",
+		func() float64 { return float64(st.PoolPages()) })
+	r.CounterFunc("index_node_visits", "B+tree interior/leaf nodes visited across all indices.",
+		func() float64 { return float64(db.idxMetrics.Snapshot().NodeVisits) })
+	r.CounterFunc("index_leaf_scans", "B+tree leaf records scanned across all indices.",
+		func() float64 { return float64(db.idxMetrics.Snapshot().LeafScans) })
+}
+
 // ResetStats zeroes the buffer pool and index-traversal counters.
 func (db *DB) ResetStats() {
 	db.st.ResetStats()
