@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench experiments fuzz-smoke trace-check serve-check metrics-check serve-bench
+.PHONY: all build test vet race check bench experiments fuzz-smoke trace-check serve-check metrics-check serve-bench stream-check
 
 all: build
 
@@ -60,6 +60,15 @@ metrics-check:
 	$(GO) build -o /tmp/timber-serve-metrics-check ./cmd/timber-serve
 	$(GO) run ./cmd/metricslint -serve /tmp/timber-serve-metrics-check -db /tmp/timber-metrics-check.db
 	rm -f /tmp/timber-metrics-check.db /tmp/timber-serve-metrics-check
+
+# stream-check gates the streaming executor: every corpus query must
+# produce byte-identical trees and stats to the materializing
+# reference (groupby-mat), at parallelism 1 and 4 and across batch
+# sizes, under the race detector — plus the spill-equivalence and
+# materialize-budget suites and the facade-level equivalence.
+stream-check:
+	$(GO) test -race -run 'Streaming|Materialize|GroupByMat|FacadeStreaming|FacadeMaterialize' \
+		./internal/exec/ ./internal/engine/
 
 # serve-bench hammers an in-process timber-serve with concurrent
 # clients and writes the server-side latency quantiles (read from the

@@ -32,6 +32,7 @@ func main() {
 	seed := flag.Int64("seed", 2002, "generator seed")
 	parFile := flag.String("parfile", "", "also sweep E1 groupby over parallelism 1,2,4,8 and write the JSON scaling report here (e.g. BENCH_parallel.json)")
 	traceFile := flag.String("tracefile", "", "run each strategy under a verified per-operator tracer and write the JSON trace report here (e.g. BENCH_traces.json)")
+	streamFile := flag.String("streamfile", "", "compare the streaming iterator executor against the materializing plans (pool fetches + peak heap) and write the JSON report here (e.g. BENCH_streaming.json)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	verbose := flag.Bool("v", false, "print loading progress")
 	flag.Parse()
@@ -45,13 +46,13 @@ func main() {
 	}
 	// run owns the database lifecycle; the deferred Close runs (and its
 	// error propagates) before any exit here.
-	if err := run(*articles, *poolMB, *expSel, *seed, *parFile, *traceFile, *verbose); err != nil {
+	if err := run(*articles, *poolMB, *expSel, *seed, *parFile, *traceFile, *streamFile, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(articles, poolMB int, expSel string, seed int64, parFile, traceFile string, verbose bool) (err error) {
+func run(articles, poolMB int, expSel string, seed int64, parFile, traceFile, streamFile string, verbose bool) (err error) {
 	poolPages := poolMB * 1024 * 1024 / pagestore.DefaultPageSize
 	db, err := bench.SetupDB(poolPages)
 	if err != nil {
@@ -153,6 +154,19 @@ func run(articles, poolMB int, expSel string, seed int64, parFile, traceFile str
 			fmt.Println("  note:", rep.Note)
 		}
 		fmt.Println("wrote", parFile)
+	}
+
+	if streamFile != "" {
+		rep, err := bench.RunStreamExperiment(db, articles, poolMB*1024*1024/pagestore.DefaultPageSize)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSONFile(streamFile); err != nil {
+			return err
+		}
+		fmt.Println("streaming executor vs materializing plans:")
+		fmt.Print(bench.StreamTable(rep))
+		fmt.Println("wrote", streamFile)
 	}
 	return nil
 }

@@ -13,9 +13,14 @@
 // logical (reference in-memory evaluation), physical (generic
 // index-accelerated evaluation of any translatable query), direct
 // (the naive plan with materialized intermediates), direct-nested,
-// direct-batch, groupby (identifier processing; the default), or
+// direct-batch, groupby (streaming identifier processing; the
+// default), groupby-mat (the materializing groupby reference), or
 // replicating. Strategies that need the grouping rewrite fall back to
 // the physical plan, with a note, when the idiom is not detected.
+//
+// -maxmem caps, in bytes, the output content the streaming executor's
+// late-materialize sink may fetch; a query that would exceed the cap
+// fails cleanly — no partial output is printed.
 //
 // -trace prints an EXPLAIN-ANALYZE-style per-operator tree to stderr:
 // one span per operator phase with wall time, buffer-pool deltas
@@ -48,9 +53,10 @@ import (
 func main() {
 	dbPath := flag.String("db", "timber.db", "database file")
 	queryFile := flag.String("f", "", "read the query from this file")
-	strategy := flag.String("plan", "groupby", "execution strategy: logical, physical, direct, direct-nested, direct-batch, groupby, replicating")
+	strategy := flag.String("plan", "groupby", "execution strategy: logical, physical, direct, direct-nested, direct-batch, groupby, groupby-mat, replicating")
 	poolMB := flag.Int("poolmb", 32, "buffer pool size in MiB")
 	parallel := flag.Int("parallel", 0, "worker bound for the physical executors (0 = GOMAXPROCS, 1 = sequential)")
+	maxMem := flag.Int64("maxmem", 0, "cap, in bytes, on the output content the streaming executor materializes; the query fails cleanly (no partial output) past it (0 = unlimited)")
 	showPlans := flag.Bool("plans", true, "print the naive and rewritten plans")
 	quiet := flag.Bool("q", false, "suppress result trees (print timing only)")
 	trace := flag.Bool("trace", false, "print a per-operator EXPLAIN ANALYZE tree to stderr")
@@ -79,7 +85,7 @@ func main() {
 	// run owns the database lifecycle: by the time it returns, the
 	// deferred Close has executed (and its error has been folded into
 	// run's), so exiting here never skips cleanup.
-	if err := run(*dbPath, query, *strategy, *poolMB, *parallel, *showPlans, *quiet, *trace, *traceFile, *metricsFile); err != nil {
+	if err := run(*dbPath, query, *strategy, *poolMB, *parallel, *maxMem, *showPlans, *quiet, *trace, *traceFile, *metricsFile); err != nil {
 		fmt.Fprintln(os.Stderr, "timber-query:", err)
 		os.Exit(1)
 	}
@@ -98,7 +104,7 @@ func servePprof(addr string) {
 	}()
 }
 
-func run(dbPath, query, strategy string, poolMB, parallel int, showPlans, quiet, trace bool, traceFile, metricsFile string) (err error) {
+func run(dbPath, query, strategy string, poolMB, parallel int, maxMem int64, showPlans, quiet, trace bool, traceFile, metricsFile string) (err error) {
 	strat, err := exec.ParseStrategy(strategy)
 	if err != nil {
 		return err
@@ -146,8 +152,10 @@ func run(dbPath, query, strategy string, poolMB, parallel int, showPlans, quiet,
 	defer stop()
 
 	start := time.Now()
-	res, err := pq.Execute(ctx, engine.ExecOptions{Strategy: strat, Parallelism: parallel, Tracer: tr})
+	res, err := pq.Execute(ctx, engine.ExecOptions{Strategy: strat, Parallelism: parallel, MaxMaterializeBytes: maxMem, Tracer: tr})
 	if err != nil {
+		// Nothing has been printed yet: a run that exceeds -maxmem (or
+		// fails any other way) produces no partial output.
 		return err
 	}
 	elapsed := time.Since(start)

@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"timber/internal/exec"
+	"timber/internal/storage"
+)
+
+// This file measures the streaming-executor memory claim of the
+// iterator refactor: identifier-only batches with late value
+// materialization should cut both the buffer-pool fetch count and the
+// peak live heap of the groupby plan against the naive materializing
+// plan — and a counts-only query must finish without materializing a
+// single title value ("we can perform the count without physically
+// instantiating the elements", Sec. 5.3).
+
+// StreamPlanMeasure is one plan's measurement under the streaming
+// experiment.
+type StreamPlanMeasure struct {
+	Plan          string  `json:"plan"`
+	WallMS        float64 `json:"wall_ms"`
+	PoolFetches   uint64  `json:"pool_fetches"`
+	PhysicalReads uint64  `json:"physical_reads"`
+	// PeakHeapBytes is the sampled peak of runtime HeapAlloc above the
+	// pre-run (post-GC) baseline — the live intermediate state the plan
+	// holds, since the shared buffer pool is allocated up front.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+	ValueLookups  int    `json:"value_lookups"`
+	IndexPostings int    `json:"index_postings"`
+	Groups        int    `json:"groups"`
+}
+
+// StreamQueryReport compares the plans on one query.
+type StreamQueryReport struct {
+	Query string              `json:"query"`
+	Plans []StreamPlanMeasure `json:"plans"`
+	// Reductions of the streaming groupby versus the naive direct plan.
+	FetchReductionVsNaivePct float64 `json:"fetch_reduction_vs_naive_pct"`
+	HeapReductionVsNaivePct  float64 `json:"heap_reduction_vs_naive_pct"`
+}
+
+// StreamReport is the machine-readable record the experiments binary
+// writes as BENCH_streaming.json.
+type StreamReport struct {
+	Benchmark string              `json:"benchmark"`
+	Articles  int                 `json:"articles"`
+	PoolPages int                 `json:"pool_pages"`
+	Queries   []StreamQueryReport `json:"queries"`
+	// CountNoTitleMaterialization asserts the identifier-only count:
+	// the count query's streaming value look-ups equal the
+	// materializing reference's (grouping values only) and sit far
+	// below the titles query's, which pays one look-up per output
+	// title.
+	CountNoTitleMaterialization bool   `json:"count_no_title_materialization"`
+	Note                        string `json:"note,omitempty"`
+}
+
+// streamPlans are the three compared plans: the naive materializing
+// direct plan, the materializing groupby reference, and the streaming
+// iterator groupby.
+var streamPlans = []struct {
+	name  string
+	strat exec.Strategy
+}{
+	{"direct (naive, materializing)", exec.StrategyDirect},
+	{"groupby (materializing reference)", exec.StrategyGroupByMat},
+	{"groupby (streaming iterators)", exec.StrategyGroupBy},
+}
+
+// heapSampler polls the runtime heap while a measurement runs and
+// records the peak HeapAlloc above its post-GC baseline.
+type heapSampler struct {
+	base uint64
+	peak uint64
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+func startHeapSampler() *heapSampler {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	h := &heapSampler{base: ms.HeapAlloc, peak: ms.HeapAlloc, stop: make(chan struct{})}
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		tick := time.NewTicker(200 * time.Microsecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-tick.C:
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > h.peak {
+					h.peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+	return h
+}
+
+// finish stops sampling and returns the peak heap growth in bytes.
+func (h *heapSampler) finish() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > h.peak {
+		h.peak = ms.HeapAlloc
+	}
+	close(h.stop)
+	h.wg.Wait()
+	if h.peak < h.base {
+		return 0
+	}
+	return h.peak - h.base
+}
+
+// measureStreamPlan runs one plan cold (pool dropped, counters reset)
+// under the heap sampler.
+func measureStreamPlan(db *storage.DB, q *Query, name string, strat exec.Strategy) (StreamPlanMeasure, error) {
+	if err := db.DropCache(); err != nil {
+		return StreamPlanMeasure{}, err
+	}
+	db.ResetStats()
+	spec := q.Spec
+	spec.Strategy = strat
+	h := startHeapSampler()
+	start := time.Now()
+	res, err := exec.Run(db, spec, exec.Options{})
+	wall := time.Since(start)
+	peak := h.finish()
+	if err != nil {
+		return StreamPlanMeasure{}, fmt.Errorf("bench: %s: %w", name, err)
+	}
+	pool := db.Stats()
+	return StreamPlanMeasure{
+		Plan:          name,
+		WallMS:        float64(wall.Microseconds()) / 1000,
+		PoolFetches:   pool.Fetches,
+		PhysicalReads: pool.PhysicalReads,
+		PeakHeapBytes: peak,
+		ValueLookups:  res.Stats.ValueLookups,
+		IndexPostings: res.Stats.IndexPostings,
+		Groups:        res.Stats.Groups,
+	}, nil
+}
+
+// RunStreamExperiment measures the three plans on the titles and count
+// queries and derives the reduction figures.
+func RunStreamExperiment(db *storage.DB, articles, poolPages int) (*StreamReport, error) {
+	rep := &StreamReport{
+		Benchmark: "streaming executor: identifier batches + late materialization",
+		Articles:  articles,
+		PoolPages: poolPages,
+		Note:      "peak_heap_bytes samples HeapAlloc above a post-GC baseline; pool_fetches are logical buffer-pool reads",
+	}
+	queries := []struct{ name, text string }{
+		{"titles", Query1Text},
+		{"count", QueryCountText},
+	}
+	byQuery := map[string]map[string]StreamPlanMeasure{}
+	for _, qd := range queries {
+		q, err := BuildQuery(qd.text)
+		if err != nil {
+			return nil, err
+		}
+		qr := StreamQueryReport{Query: qd.name}
+		byQuery[qd.name] = map[string]StreamPlanMeasure{}
+		for _, p := range streamPlans {
+			m, err := measureStreamPlan(db, q, p.name, p.strat)
+			if err != nil {
+				return nil, err
+			}
+			qr.Plans = append(qr.Plans, m)
+			byQuery[qd.name][p.name] = m
+		}
+		naive := qr.Plans[0]
+		streaming := qr.Plans[len(qr.Plans)-1]
+		if naive.PoolFetches > 0 {
+			qr.FetchReductionVsNaivePct = 100 * (1 - float64(streaming.PoolFetches)/float64(naive.PoolFetches))
+		}
+		if naive.PeakHeapBytes > 0 {
+			qr.HeapReductionVsNaivePct = 100 * (1 - float64(streaming.PeakHeapBytes)/float64(naive.PeakHeapBytes))
+		}
+		rep.Queries = append(rep.Queries, qr)
+	}
+	countStream := byQuery["count"]["groupby (streaming iterators)"]
+	countMat := byQuery["count"]["groupby (materializing reference)"]
+	titlesStream := byQuery["titles"]["groupby (streaming iterators)"]
+	rep.CountNoTitleMaterialization = countStream.ValueLookups == countMat.ValueLookups &&
+		countStream.ValueLookups < titlesStream.ValueLookups
+	return rep, nil
+}
+
+// WriteJSONFile writes the report, indented, to path.
+func (r *StreamReport) WriteJSONFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// StreamTable renders the report as an aligned text table.
+func StreamTable(r *StreamReport) string {
+	var b []byte
+	for _, qr := range r.Queries {
+		b = append(b, fmt.Sprintf("--- %s ---\n", qr.Query)...)
+		b = append(b, fmt.Sprintf("%-36s %10s %12s %14s %13s %8s\n",
+			"plan", "wall ms", "pool fetches", "peak heap KiB", "value lookups", "groups")...)
+		for _, m := range qr.Plans {
+			b = append(b, fmt.Sprintf("%-36s %10.1f %12d %14.1f %13d %8d\n",
+				m.Plan, m.WallMS, m.PoolFetches, float64(m.PeakHeapBytes)/1024, m.ValueLookups, m.Groups)...)
+		}
+		b = append(b, fmt.Sprintf("streaming vs naive: fetches %+.1f%%, peak heap %+.1f%%\n",
+			-qr.FetchReductionVsNaivePct, -qr.HeapReductionVsNaivePct)...)
+	}
+	b = append(b, fmt.Sprintf("count identifier-only (no title materialization): %v\n", r.CountNoTitleMaterialization)...)
+	return string(b)
+}

@@ -66,8 +66,11 @@ func (it *Iterator) loadCell() {
 	for it.idx >= it.num {
 		// Leaf exhausted: follow the chain.
 		next := pagestore.PageID(uint32(it.data[3]) | uint32(it.data[4])<<8 | uint32(it.data[5])<<16 | uint32(it.data[6])<<24)
-		it.t.st.Unpin(it.page, false)
-		it.page = nil
+		it.release()
+		if it.err != nil {
+			it.done = true
+			return
+		}
 		if next == pagestore.InvalidPage {
 			it.done = true
 			return
@@ -102,10 +105,20 @@ func (it *Iterator) advance() {
 func (it *Iterator) fail(err error) {
 	it.err = err
 	it.done = true
-	if it.page != nil {
-		it.t.st.Unpin(it.page, false)
-		it.page = nil
+	it.release()
+}
+
+// release drops the pinned page, folding a pin-accounting fault into
+// the iterator's sticky error instead of swallowing it (or panicking
+// mid-scan the way Store.Unpin would).
+func (it *Iterator) release() {
+	if it.page == nil {
+		return
 	}
+	if rerr := it.t.st.Release(it.page, false); rerr != nil && it.err == nil {
+		it.err = rerr
+	}
+	it.page = nil
 }
 
 // Valid reports whether the iterator is positioned on a cell.
@@ -130,15 +143,18 @@ func (it *Iterator) Next() {
 	it.advance()
 }
 
-// Close releases the iterator's pinned page. Iterators that ran to
-// exhaustion are already closed; Close is safe to call regardless, and
-// callers that may stop early must call it (typically via defer).
-func (it *Iterator) Close() {
-	if it.page != nil {
-		it.t.st.Unpin(it.page, false)
-		it.page = nil
-	}
+// Close releases the iterator's pinned page and returns the iterator's
+// first error — a scan fault or a pin-release fault, whichever came
+// first. Iterators that ran to exhaustion are already closed; Close is
+// safe to call regardless (idempotent), and callers that may stop
+// early must call it (typically via defer) and check the error: a
+// failed release means the buffer pool's pin accounting is off, which
+// a later Truncate or DropCache would otherwise report far from the
+// culprit.
+func (it *Iterator) Close() error {
+	it.release()
 	it.done = true
+	return it.err
 }
 
 // ScanPrefix calls fn for every cell whose key begins with prefix, in
@@ -146,7 +162,6 @@ func (it *Iterator) Close() {
 // slices passed to fn alias the page; fn must copy to retain them.
 func (t *Tree) ScanPrefix(prefix []byte, fn func(key, value []byte) bool) error {
 	it := t.Seek(prefix)
-	defer it.Close()
 	for it.Valid() {
 		if !bytes.HasPrefix(it.Key(), prefix) {
 			break
@@ -156,7 +171,7 @@ func (t *Tree) ScanPrefix(prefix []byte, fn func(key, value []byte) bool) error 
 		}
 		it.Next()
 	}
-	return it.Err()
+	return it.Close()
 }
 
 // ScanRange calls fn for every cell with lo <= key < hi (hi nil means no
@@ -164,7 +179,6 @@ func (t *Tree) ScanPrefix(prefix []byte, fn func(key, value []byte) bool) error 
 // slices passed to fn alias the page; fn must copy to retain them.
 func (t *Tree) ScanRange(lo, hi []byte, fn func(key, value []byte) bool) error {
 	it := t.Seek(lo)
-	defer it.Close()
 	for it.Valid() {
 		if hi != nil && bytes.Compare(it.Key(), hi) >= 0 {
 			break
@@ -174,5 +188,5 @@ func (t *Tree) ScanRange(lo, hi []byte, fn func(key, value []byte) bool) error {
 		}
 		it.Next()
 	}
-	return it.Err()
+	return it.Close()
 }

@@ -262,6 +262,15 @@ type ExecOptions struct {
 	Strategy exec.Strategy
 	// Parallelism overrides the engine default when non-zero.
 	Parallelism int
+	// MaxMaterializeBytes caps the output content the streaming
+	// executor's late-materialize sink may fetch; a run that would
+	// exceed it fails with exec.ErrMaterializeLimit and returns no
+	// partial output. 0 means unlimited.
+	MaxMaterializeBytes int64
+	// SortMemRows bounds the streaming GROUPBY sort's in-memory
+	// buffer; past it, sorted runs spill through the storage spool.
+	// 0 means never spill.
+	SortMemRows int
 	// Tracer, when non-nil, collects the run's span tree. Use only on
 	// solo runs over reset counters — the exactness invariant cannot
 	// hold when concurrent queries share the storage counters.
@@ -307,7 +316,14 @@ func (pq *PreparedQuery) execute(ctx context.Context, o ExecOptions) (*Result, e
 	if par == 0 {
 		par = pq.eng.opts.Parallelism
 	}
-	xo := exec.Options{Parallelism: par, Tracer: o.Tracer, Ctx: ctx, Metrics: pq.eng.reg}
+	xo := exec.Options{
+		Parallelism:         par,
+		MaxMaterializeBytes: o.MaxMaterializeBytes,
+		SortMemRows:         o.SortMemRows,
+		Tracer:              o.Tracer,
+		Ctx:                 ctx,
+		Metrics:             pq.eng.reg,
+	}
 	strat := o.Strategy
 	if !pq.Applied && strat != exec.StrategyLogical && strat != exec.StrategyPhysical {
 		strat = exec.StrategyPhysical

@@ -183,8 +183,9 @@ func TestExecuteStrategiesAgree(t *testing.T) {
 	}
 	want := groupRows(logical)
 	for _, strat := range []exec.Strategy{
-		exec.StrategyPhysical, exec.StrategyGroupBy, exec.StrategyReplicating,
-		exec.StrategyDirect, exec.StrategyDirectNested, exec.StrategyDirectBatch,
+		exec.StrategyPhysical, exec.StrategyGroupBy, exec.StrategyGroupByMat,
+		exec.StrategyReplicating, exec.StrategyDirect, exec.StrategyDirectNested,
+		exec.StrategyDirectBatch,
 	} {
 		res, err := pq.Execute(ctx, ExecOptions{Strategy: strat})
 		if err != nil {

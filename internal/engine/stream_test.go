@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"timber/internal/exec"
+	"timber/internal/xmltree"
+)
+
+// The facade is unchanged by the streaming executor refactor: the
+// default groupby strategy now runs the iterator pipeline, and its
+// results must be byte-identical to the materializing reference
+// (groupby-mat) through Prepare/Execute, at every parallelism.
+func TestFacadeStreamingMatchesMaterialized(t *testing.T) {
+	e := sampleEngine(t, Options{})
+	pq, err := e.Prepare(query1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	want, err := pq.Execute(ctx, ExecOptions{Strategy: exec.StrategyGroupByMat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialize := func(trees []*xmltree.Node) string {
+		var s string
+		for _, tr := range trees {
+			s += xmltree.SerializeString(tr)
+		}
+		return s
+	}
+	for _, p := range []int{1, 4} {
+		got, err := pq.Execute(ctx, ExecOptions{Strategy: exec.StrategyGroupBy, Parallelism: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serialize(got.Trees) != serialize(want.Trees) {
+			t.Errorf("p=%d: streaming trees differ from materialized", p)
+		}
+		if got.Stats != want.Stats {
+			t.Errorf("p=%d: stats = %+v, want %+v", p, got.Stats, want.Stats)
+		}
+	}
+}
+
+// TestFacadeMaterializeLimit pins the -maxmem plumbing: the cap
+// travels ExecOptions → exec.Options, an exceeded budget surfaces
+// exec.ErrMaterializeLimit with no result, and a spill-enabled run
+// still matches.
+func TestFacadeMaterializeLimit(t *testing.T) {
+	e := sampleEngine(t, Options{})
+	pq, err := e.Prepare(query1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	res, err := pq.Execute(ctx, ExecOptions{MaxMaterializeBytes: 1})
+	if !errors.Is(err, exec.ErrMaterializeLimit) {
+		t.Fatalf("err = %v, want ErrMaterializeLimit", err)
+	}
+	if res != nil {
+		t.Fatalf("partial result: %+v", res)
+	}
+	full, err := pq.Execute(ctx, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spilled, err := pq.Execute(ctx, ExecOptions{SortMemRows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spilled.Trees) != len(full.Trees) || spilled.Stats != full.Stats {
+		t.Errorf("spilled run diverged: %+v vs %+v", spilled.Stats, full.Stats)
+	}
+}

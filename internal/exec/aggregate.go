@@ -1,0 +1,87 @@
+package exec
+
+// aggregateIter is the streaming AGGREGATE operator for count-mode
+// queries: it consumes the stitched stream (rowGroup boundaries
+// followed by their binding rows), swallows the binding rows while
+// counting value matches, and emits each group's rowCount row once the
+// group's bindings are exhausted. The output stream is pairs of
+// (rowGroup, rowCount) — the sink renders the count without ever
+// touching value content, the identifier-only aggregation win of
+// Sec. 5.3.
+//
+// Output rows are staged through a small queue (state transitions
+// happen at enqueue time), so a batch boundary can split a
+// (rowCount, rowGroup) pair without corrupting the running count.
+type aggregateIter struct {
+	child  Iterator
+	counts *opCounts
+
+	opened  bool
+	rdr     *rowReader
+	inGroup bool
+	n       int64
+	q       []Row
+	qPos    int
+	done    bool
+}
+
+func newAggregate(child Iterator, batchSize int, counts *opCounts) *aggregateIter {
+	return &aggregateIter{child: child, counts: counts, rdr: newRowReader(child, batchSize)}
+}
+
+func (a *aggregateIter) Open() error {
+	if a.opened {
+		return nil
+	}
+	a.opened = true
+	return a.child.Open()
+}
+
+func (a *aggregateIter) Next(b *Batch) error {
+	b.Reset()
+	for !b.full() {
+		if a.qPos < len(a.q) {
+			b.Rows = append(b.Rows, a.q[a.qPos])
+			a.qPos++
+			continue
+		}
+		if a.done {
+			break
+		}
+		a.q = a.q[:0]
+		a.qPos = 0
+		r, ok, err := a.rdr.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			a.done = true
+			if a.inGroup {
+				a.inGroup = false
+				a.q = append(a.q, Row{Kind: rowCount, Ord: a.n})
+			}
+			continue
+		}
+		a.counts.in(1)
+		switch r.Kind {
+		case rowGroup:
+			if a.inGroup {
+				a.q = append(a.q, Row{Kind: rowCount, Ord: a.n})
+			}
+			a.inGroup = true
+			a.n = 0
+			a.q = append(a.q, r)
+		default:
+			if r.HasAux {
+				a.n++
+			}
+		}
+	}
+	a.counts.out(len(b.Rows))
+	if len(b.Rows) > 0 {
+		a.counts.batch()
+	}
+	return nil
+}
+
+func (a *aggregateIter) Close() error { return a.child.Close() }

@@ -1,0 +1,226 @@
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"timber/internal/pagestore"
+	"timber/internal/storage"
+	"timber/internal/xmltree"
+)
+
+// This file defines the streaming executor's data plane: fixed-size
+// batches of identifier-only rows flowing through pull-based operator
+// iterators (Sec. 5.3's "identifier-only processing with late value
+// materialization", in Volcano form). A Row never carries node content
+// except the populated grouping value — output values are fetched by
+// the late-materialize sink, only for rows that survive to output.
+
+// rowKind tags a row's role in the stream. Binding rows flow through
+// the match pipeline; group and count rows appear only downstream of
+// the stitching/aggregation operators, shaping the output.
+type rowKind uint8
+
+const (
+	// rowBinding is a (member, aux) identifier pair: aux is the current
+	// path position (a grouping-basis leaf, a value leaf, ...).
+	rowBinding rowKind = iota
+	// rowGroup opens a new output group; Key holds the grouping value.
+	rowGroup
+	// rowCount carries a group's aggregate; Ord holds the count.
+	rowCount
+)
+
+// Row is one identifier-only tuple. Postings are node identifiers plus
+// record locations — no content. Key is the populated grouping value
+// (the one value Sec. 5.3 populates early); Ord is the row's global
+// arrival order, the sort's final tie-breaker.
+type Row struct {
+	Kind   rowKind
+	Member storage.Posting
+	Aux    storage.Posting
+	HasAux bool
+	Key    string
+	Ord    int64
+}
+
+// Batch is a reusable fixed-capacity slice of rows. Operators fill the
+// caller's batch up to capacity; an empty batch after Next signals
+// end-of-stream.
+type Batch struct {
+	Rows []Row
+}
+
+// defaultBatchSize is the rows-per-batch default; Options.BatchSize
+// overrides it.
+const defaultBatchSize = 256
+
+func newBatch(capacity int) *Batch {
+	if capacity <= 0 {
+		capacity = defaultBatchSize
+	}
+	return &Batch{Rows: make([]Row, 0, capacity)}
+}
+
+// Reset empties the batch, keeping its capacity.
+func (b *Batch) Reset() { b.Rows = b.Rows[:0] }
+
+func (b *Batch) full() bool { return len(b.Rows) == cap(b.Rows) }
+
+// Iterator is the physical-operator interface of the streaming
+// executor: a pull-based Volcano iterator over ID batches. Open
+// prepares the operator (opening its inputs first; Open is
+// idempotent, so a driver may also open lower stages explicitly to
+// attribute their work to a trace span). Next fills the caller's batch
+// with up to cap(b.Rows) rows; an empty batch means the stream is
+// exhausted. Close releases resources (cursors, spill regions) and is
+// idempotent; it must be called on every opened iterator, including
+// after errors.
+type Iterator interface {
+	Open() error
+	Next(b *Batch) error
+	Close() error
+}
+
+// opCounts is the per-operator observability record: rows in, rows
+// out and batches produced. Fragment copies are summed by operator
+// name after the exchange joins its workers, then folded into the
+// trace as per-operator report spans.
+type opCounts struct {
+	name    string
+	rowsIn  int64
+	rowsOut int64
+	batches int64
+}
+
+func (c *opCounts) in(n int) {
+	if c != nil {
+		c.rowsIn += int64(n)
+	}
+}
+
+func (c *opCounts) out(n int) {
+	if c != nil {
+		c.rowsOut += int64(n)
+	}
+}
+
+func (c *opCounts) batch() {
+	if c != nil {
+		c.batches++
+	}
+}
+
+func (c *opCounts) add(o *opCounts) {
+	c.rowsIn += o.rowsIn
+	c.rowsOut += o.rowsOut
+	c.batches += o.batches
+}
+
+// rowReader adapts a batch iterator to row-at-a-time pulls for
+// operators whose logic is inherently per-row (chunked joins, merges).
+// It owns one batch and refills it on demand.
+type rowReader struct {
+	it   Iterator
+	b    *Batch
+	pos  int
+	done bool
+}
+
+func newRowReader(it Iterator, batchSize int) *rowReader {
+	return &rowReader{it: it, b: newBatch(batchSize)}
+}
+
+// next returns the next row, or ok=false at end of stream.
+func (r *rowReader) next() (Row, bool, error) {
+	if r.done {
+		return Row{}, false, nil
+	}
+	for r.pos >= len(r.b.Rows) {
+		if err := r.it.Next(r.b); err != nil {
+			r.done = true
+			return Row{}, false, err
+		}
+		if len(r.b.Rows) == 0 {
+			r.done = true
+			return Row{}, false, nil
+		}
+		r.pos = 0
+	}
+	row := r.b.Rows[r.pos]
+	r.pos++
+	return row, true, nil
+}
+
+// Row spill codec. Blocking operators that exceed their memory budget
+// write sorted runs of encoded rows through storage.Spool; the layout
+// is fixed-width fields plus a length-prefixed key.
+const rowFixedLen = 1 + 1 + postingLen + postingLen + 8 + 4
+
+const postingLen = 4 + 4 + 4 + 2 + 4 + 2
+
+func appendPosting(b []byte, p storage.Posting) []byte {
+	var tmp [postingLen]byte
+	binary.LittleEndian.PutUint32(tmp[0:], uint32(p.Interval.Doc))
+	binary.LittleEndian.PutUint32(tmp[4:], p.Interval.Start)
+	binary.LittleEndian.PutUint32(tmp[8:], p.Interval.End)
+	binary.LittleEndian.PutUint16(tmp[12:], p.Interval.Level)
+	binary.LittleEndian.PutUint32(tmp[14:], uint32(p.RID.Page))
+	binary.LittleEndian.PutUint16(tmp[18:], uint16(p.RID.Slot))
+	return append(b, tmp[:]...)
+}
+
+func decodePostingAt(b []byte) storage.Posting {
+	var p storage.Posting
+	p.Interval.Doc = xmltree.DocID(binary.LittleEndian.Uint32(b[0:]))
+	p.Interval.Start = binary.LittleEndian.Uint32(b[4:])
+	p.Interval.End = binary.LittleEndian.Uint32(b[8:])
+	p.Interval.Level = binary.LittleEndian.Uint16(b[12:])
+	p.RID.Page = pagestore.PageID(binary.LittleEndian.Uint32(b[14:]))
+	p.RID.Slot = pagestore.Slot(binary.LittleEndian.Uint16(b[18:]))
+	return p
+}
+
+// encodeRow appends the spill encoding of r to dst.
+func encodeRow(dst []byte, r Row) []byte {
+	dst = append(dst, byte(r.Kind))
+	var aux byte
+	if r.HasAux {
+		aux = 1
+	}
+	dst = append(dst, aux)
+	dst = appendPosting(dst, r.Member)
+	dst = appendPosting(dst, r.Aux)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], uint64(r.Ord))
+	dst = append(dst, tmp[:]...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(r.Key)))
+	dst = append(dst, tmp[:4]...)
+	dst = append(dst, r.Key...)
+	return dst
+}
+
+// decodeRow parses a spilled row. The key is copied, so the input may
+// alias a pinned page.
+func decodeRow(b []byte) (Row, error) {
+	if len(b) < rowFixedLen {
+		return Row{}, fmt.Errorf("exec: corrupt spilled row (%d bytes)", len(b))
+	}
+	var r Row
+	r.Kind = rowKind(b[0])
+	r.HasAux = b[1] == 1
+	off := 2
+	r.Member = decodePostingAt(b[off:])
+	off += postingLen
+	r.Aux = decodePostingAt(b[off:])
+	off += postingLen
+	r.Ord = int64(binary.LittleEndian.Uint64(b[off:]))
+	off += 8
+	klen := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	if len(b) != rowFixedLen+klen {
+		return Row{}, fmt.Errorf("exec: corrupt spilled row (%d bytes, key %d)", len(b), klen)
+	}
+	r.Key = string(b[off : off+klen])
+	return r, nil
+}

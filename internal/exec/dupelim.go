@@ -1,0 +1,62 @@
+package exec
+
+import "timber/internal/xmltree"
+
+// dupElimIter is the streaming duplicate-elimination operator: its
+// input arrives member-major (all rows of one member contiguous, in
+// document order), so keeping the first row per member needs only one
+// identifier of state. The ordering pipeline uses it to reduce the
+// order-path matches to each member's first (document-order) match —
+// the GROUPBY ordering-list convention.
+type dupElimIter struct {
+	child  Iterator
+	counts *opCounts
+
+	opened bool
+	have   bool
+	last   xmltree.NodeID
+}
+
+func newDupElim(child Iterator, counts *opCounts) *dupElimIter {
+	return &dupElimIter{child: child, counts: counts}
+}
+
+func (d *dupElimIter) Open() error {
+	if d.opened {
+		return nil
+	}
+	d.opened = true
+	return d.child.Open()
+}
+
+func (d *dupElimIter) Next(b *Batch) error {
+	for {
+		if err := d.child.Next(b); err != nil {
+			return err
+		}
+		if len(b.Rows) == 0 {
+			return nil
+		}
+		d.counts.in(len(b.Rows))
+		kept := b.Rows[:0]
+		for _, r := range b.Rows {
+			id := r.Member.ID()
+			if d.have && id == d.last {
+				continue
+			}
+			d.have = true
+			d.last = id
+			kept = append(kept, r)
+		}
+		b.Rows = kept
+		if len(b.Rows) > 0 {
+			d.counts.out(len(b.Rows))
+			d.counts.batch()
+			return nil
+		}
+		// Everything in this batch was a duplicate; pull again rather
+		// than signal a false end-of-stream.
+	}
+}
+
+func (d *dupElimIter) Close() error { return d.child.Close() }

@@ -1,10 +1,6 @@
 package exec
 
 import (
-	"sort"
-	"strconv"
-
-	"timber/internal/par"
 	"timber/internal/storage"
 	"timber/internal/xmltree"
 )
@@ -33,170 +29,106 @@ type ExecStats struct {
 	Groups int
 }
 
-// groupByExec runs the TIMBER groupby plan (Sec. 5.3):
+// groupByExec runs the TIMBER groupby plan (Sec. 5.3) as a streaming
+// iterator pipeline over identifier-only batches:
 //
-//  1. The pattern-tree match — members, the join path and the value
-//     path — is computed from indices alone, as witness pairs of node
-//     identifiers.
-//  2. Only the grouping-basis values are populated: one record fetch
-//     per witness, by RID, in document order.
-//  3. Witnesses are sorted by (grouping value, witness order); runs of
-//     equal values are the groups.
-//  4. Output is populated lazily: title contents are fetched only in
-//     Titles mode, and counts are computed from node identifiers alone
-//     ("we can perform the count without physically instantiating the
-//     elements").
+//	exchange (per-document fragments, merged in document order)
+//	  fragment: scan → select* (join path) → populate ─┐
+//	            scan replay → select* (value path) ────┤→ merge-LOJ
+//	→ groupsort (blocking: arrival-ordered total sort, spillable)
+//	→ stitch (group boundaries)            [streaming]
+//	→ aggregate (Count mode only)          [streaming]
+//	→ late-materialize sink
 //
-// Groups are emitted in ascending grouping-value order — the order the
-// sort of Sec. 5.3 produces (the logical GroupBy's first-appearance
-// order differs; see the package tests).
+// Only the sink reads output value content — and only in Titles mode;
+// a count query finishes without a single output-value fetch ("we can
+// perform the count without physically instantiating the elements").
+// The populated grouping and ordering values (the early population
+// Sec. 5.3 allows) are fetched inside the fragments, per batch.
 //
-// The value-population phases (steps 2 and 4) fan out over
-// o.Parallelism workers; every worker writes into its own
-// pre-assigned slot and the stats are added in bulk afterwards, so the
-// result trees, group order and ExecStats are identical for any
-// parallelism setting.
+// Groups are emitted in ascending grouping-value order, and the result
+// trees, group order and ExecStats are byte-identical to
+// groupByMaterialized for every parallelism and batch size: the
+// exchange merges fragment rows in document order, the sort's
+// comparator is a total order (arrival position breaks every tie), and
+// each operator preserves its input's row order.
 func groupByExec(db *storage.DB, spec Spec, o Options) (*Result, error) {
+	if err := o.err(); err != nil {
+		return nil, err
+	}
 	res := &Result{}
-	workers := o.workers()
 	sp := o.trace("exec: groupby")
 	defer sp.End()
+	bs := o.BatchSize
+	ops := newOpSet()
 
-	// Step 1: identifier-only pattern match.
-	scanSp := sp.Child("scan: member postings")
-	members, err := db.TagPostings(spec.MemberTag)
-	if err != nil {
+	// Phase 1: parallel match. The exchange barrier is also the span
+	// boundary — fragments never touch the tracer.
+	ex := newExchange(db, spec, o.Ctx, o.workers(), bs, ops)
+	exSp := sp.Child("exchange: match fragments")
+	if err := ex.Open(); err != nil {
+		exSp.End()
 		return nil, err
 	}
-	res.Stats.IndexPostings += len(members)
-	scanSp.Add("postings", int64(len(members)))
-	scanSp.End()
+	exSp.Add("rows", int64(len(ex.rows)))
+	exSp.Add("fragment_ops", int64(len(ops.order)))
+	exSp.End()
 
-	joinSp := sp.Child("sjoin: join path")
-	witnesses, err := pathPairs(o.Ctx, db, members, spec.JoinPath, workers, joinSp)
-	joinSp.End()
-	if err != nil {
-		return nil, err
-	}
-	res.Stats.IndexPostings += len(witnesses)
-
-	valSp := sp.Child("sjoin: value path")
-	valuePairs, err := pathPairs(o.Ctx, db, members, spec.ValuePath, workers, valSp)
-	valSp.End()
-	if err != nil {
-		return nil, err
-	}
-	res.Stats.IndexPostings += len(valuePairs)
-	valuesOf := groupPairsByMember(valuePairs)
-
-	// Step 2: populate only the grouping values, in document order.
-	// Witness i's value lands in slot i regardless of which worker
-	// fetches it.
-	type witness struct {
-		member storage.Posting
-		value  string
-		seq    int
-	}
-	popSp := sp.Child("populate: grouping values")
-	ws := make([]witness, len(witnesses))
-	if err := par.Do(o.Ctx, len(witnesses), workers, func(i int) error {
-		p := witnesses[i]
-		v, err := db.Content(p.leaf)
-		if err != nil {
-			return err
-		}
-		ws[i] = witness{member: p.member, value: v, seq: i}
-		return nil
-	}); err != nil {
-		popSp.End()
-		return nil, err
-	}
-	res.Stats.ValueLookups += len(witnesses)
-	popSp.Add("value_lookups", int64(len(witnesses)))
-	popSp.End()
-
-	// Step 3: sort by value; the ordering-list values (populated on
-	// identifiers like the grouping values, per Sec. 5.3) order members
-	// within a group, and witness order breaks remaining ties.
+	// Phase 2..4: sort, stitch, aggregate, materialize. The chain is
+	// closed bottom-up through the root before the result spill below
+	// (the sort's spill region shares the temporary-page latch with it).
+	var ordVals func() map[xmltree.NodeID]string
 	if spec.OrderPath != nil {
-		ov, err := orderValues(o.Ctx, db, members, spec.OrderPath, res, workers, sp)
-		if err != nil {
-			return nil, err
-		}
-		sortSp := sp.Child("sort: witnesses")
-		sort.SliceStable(ws, func(i, j int) bool {
-			if ws[i].value != ws[j].value {
-				return ws[i].value < ws[j].value
-			}
-			return orderLess(ov[ws[i].member.ID()], ov[ws[j].member.ID()], spec.OrderDesc)
-		})
-		sortSp.Add("witnesses", int64(len(ws)))
-		sortSp.End()
-	} else {
-		sortSp := sp.Child("sort: witnesses")
-		sort.SliceStable(ws, func(i, j int) bool { return ws[i].value < ws[j].value })
-		sortSp.Add("witnesses", int64(len(ws)))
-		sortSp.End()
+		ordVals = func() map[xmltree.NodeID]string { return ex.ord }
+	}
+	gs := newGroupSort(ex, db, ordVals, spec.OrderDesc, o.SortMemRows, ops.get("sort: witnesses"))
+	var top Iterator = newStitch(gs, bs, ops.get("stitch: group boundaries"))
+	if spec.Mode == Count {
+		top = newAggregate(top, bs, ops.get("aggregate: group counts"))
 	}
 
-	// Step 4: emit one tree per run of equal values. Runs are found
-	// sequentially; in Titles mode the per-group output materialization
-	// (the content fetches) runs one group per worker slot.
-	basisTag := spec.BasisTag()
-	type run struct{ i, j int }
-	var runs []run
-	for i := 0; i < len(ws); {
-		j := i
-		for j < len(ws) && ws[j].value == ws[i].value {
-			j++
-		}
-		runs = append(runs, run{i: i, j: j})
-		i = j
+	sortSp := sp.Child("sort: witnesses")
+	err := gs.Open()
+	sortSp.Add("witnesses", gs.counts.rowsIn)
+	if gs.spool != nil {
+		sortSp.Add("spilled_runs", int64(len(gs.runs)))
 	}
+	sortSp.End()
+	if err != nil {
+		top.Close()
+		return nil, err
+	}
+
 	matSp := sp.Child("materialize: groups")
-	trees := make([]*xmltree.Node, len(runs))
-	looks := make([]int, len(runs))
-	switch spec.Mode {
-	case Titles:
-		if err := par.Do(o.Ctx, len(runs), workers, func(g int) error {
-			r := runs[g]
-			out := xmltree.E(spec.OutTag, xmltree.Elem(basisTag, ws[r.i].value))
-			for _, w := range ws[r.i:r.j] {
-				for _, tp := range valuesOf[w.member.ID()] {
-					content, err := db.Content(tp)
-					if err != nil {
-						return err
-					}
-					looks[g]++
-					out.Append(xmltree.Elem(spec.ValuePath.LastTag(), content))
-				}
-			}
-			trees[g] = out
-			return nil
-		}); err != nil {
-			matSp.End()
-			return nil, err
-		}
-	case Count:
-		for g, r := range runs {
-			out := xmltree.E(spec.OutTag, xmltree.Elem(basisTag, ws[r.i].value))
-			total := 0
-			for _, w := range ws[r.i:r.j] {
-				total += len(valuesOf[w.member.ID()])
-			}
-			out.Append(xmltree.Elem("count", strconv.Itoa(total)))
-			trees[g] = out
-		}
+	snk := newSink(db, spec, o.Ctx, o.MaxMaterializeBytes)
+	err = snk.drain(top, bs)
+	if cerr := top.Close(); err == nil {
+		err = cerr
 	}
-	totalLooks := 0
-	for g := range runs {
-		res.Trees = append(res.Trees, trees[g])
-		res.Stats.ValueLookups += looks[g]
-		totalLooks += looks[g]
+	if err != nil {
+		matSp.End()
+		return nil, err
 	}
-	matSp.Add("groups", int64(len(runs)))
-	matSp.Add("value_lookups", int64(totalLooks))
+	matSp.Add("groups", int64(len(snk.trees)))
+	matSp.Add("value_lookups", int64(snk.looks))
 	matSp.End()
+
+	res.Trees = snk.trees
+	res.Stats = ex.stats
+	res.Stats.ValueLookups += snk.looks
+
+	// Per-operator report spans: rows in/out and batch counts for every
+	// operator of the run, aggregated across fragments. The spans carry
+	// no counter deltas of their own (they open and close immediately on
+	// the orchestrating goroutine), so trace verification still holds.
+	for _, c := range ops.all() {
+		opSp := sp.Child("op: " + c.name)
+		opSp.Add("rows_in", c.rowsIn)
+		opSp.Add("rows_out", c.rowsOut)
+		opSp.Add("batches", c.batches)
+		opSp.End()
+	}
+
 	if err := finishResult(db, res, sp); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,179 @@
+package exec
+
+import (
+	"sort"
+	"strconv"
+
+	"timber/internal/par"
+	"timber/internal/storage"
+	"timber/internal/xmltree"
+)
+
+// groupByMaterialized is the pre-streaming groupby executor: the same
+// TIMBER plan (Sec. 5.3) evaluated by materializing each phase — all
+// witness pairs, all value pairs, the full sorted witness array —
+// before the next begins. It is kept as the reference the streaming
+// executor is tested byte-identical against (and as the baseline of
+// the streaming-memory experiment); `-strategy groupby-mat` selects it.
+//
+//  1. The pattern-tree match — members, the join path and the value
+//     path — is computed from indices alone, as witness pairs of node
+//     identifiers.
+//  2. Only the grouping-basis values are populated: one record fetch
+//     per witness, by RID, in document order.
+//  3. Witnesses are sorted by (grouping value, witness order); runs of
+//     equal values are the groups.
+//  4. Output is populated lazily: title contents are fetched only in
+//     Titles mode, and counts are computed from node identifiers alone.
+//
+// The value-population phases (steps 2 and 4) fan out over
+// o.Parallelism workers; every worker writes into its own
+// pre-assigned slot and the stats are added in bulk afterwards, so the
+// result trees, group order and ExecStats are identical for any
+// parallelism setting.
+func groupByMaterialized(db *storage.DB, spec Spec, o Options) (*Result, error) {
+	res := &Result{}
+	workers := o.workers()
+	sp := o.trace("exec: groupby")
+	defer sp.End()
+
+	// Step 1: identifier-only pattern match.
+	scanSp := sp.Child("scan: member postings")
+	members, err := db.TagPostings(spec.MemberTag)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.IndexPostings += len(members)
+	scanSp.Add("postings", int64(len(members)))
+	scanSp.End()
+
+	joinSp := sp.Child("sjoin: join path")
+	witnesses, err := pathPairs(o.Ctx, db, members, spec.JoinPath, workers, joinSp)
+	joinSp.End()
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.IndexPostings += len(witnesses)
+
+	valSp := sp.Child("sjoin: value path")
+	valuePairs, err := pathPairs(o.Ctx, db, members, spec.ValuePath, workers, valSp)
+	valSp.End()
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.IndexPostings += len(valuePairs)
+	valuesOf := groupPairsByMember(valuePairs)
+
+	// Step 2: populate only the grouping values, in document order.
+	// Witness i's value lands in slot i regardless of which worker
+	// fetches it.
+	type witness struct {
+		member storage.Posting
+		value  string
+		seq    int
+	}
+	popSp := sp.Child("populate: grouping values")
+	ws := make([]witness, len(witnesses))
+	if err := par.Do(o.Ctx, len(witnesses), workers, func(i int) error {
+		p := witnesses[i]
+		v, err := db.Content(p.leaf)
+		if err != nil {
+			return err
+		}
+		ws[i] = witness{member: p.member, value: v, seq: i}
+		return nil
+	}); err != nil {
+		popSp.End()
+		return nil, err
+	}
+	res.Stats.ValueLookups += len(witnesses)
+	popSp.Add("value_lookups", int64(len(witnesses)))
+	popSp.End()
+
+	// Step 3: sort by value; the ordering-list values (populated on
+	// identifiers like the grouping values, per Sec. 5.3) order members
+	// within a group, and witness order breaks remaining ties.
+	if spec.OrderPath != nil {
+		ov, err := orderValues(o.Ctx, db, members, spec.OrderPath, res, workers, sp)
+		if err != nil {
+			return nil, err
+		}
+		sortSp := sp.Child("sort: witnesses")
+		sort.SliceStable(ws, func(i, j int) bool {
+			if ws[i].value != ws[j].value {
+				return ws[i].value < ws[j].value
+			}
+			return orderLess(ov[ws[i].member.ID()], ov[ws[j].member.ID()], spec.OrderDesc)
+		})
+		sortSp.Add("witnesses", int64(len(ws)))
+		sortSp.End()
+	} else {
+		sortSp := sp.Child("sort: witnesses")
+		sort.SliceStable(ws, func(i, j int) bool { return ws[i].value < ws[j].value })
+		sortSp.Add("witnesses", int64(len(ws)))
+		sortSp.End()
+	}
+
+	// Step 4: emit one tree per run of equal values. Runs are found
+	// sequentially; in Titles mode the per-group output materialization
+	// (the content fetches) runs one group per worker slot.
+	basisTag := spec.BasisTag()
+	type run struct{ i, j int }
+	var runs []run
+	for i := 0; i < len(ws); {
+		j := i
+		for j < len(ws) && ws[j].value == ws[i].value {
+			j++
+		}
+		runs = append(runs, run{i: i, j: j})
+		i = j
+	}
+	matSp := sp.Child("materialize: groups")
+	trees := make([]*xmltree.Node, len(runs))
+	looks := make([]int, len(runs))
+	switch spec.Mode {
+	case Titles:
+		if err := par.Do(o.Ctx, len(runs), workers, func(g int) error {
+			r := runs[g]
+			out := xmltree.E(spec.OutTag, xmltree.Elem(basisTag, ws[r.i].value))
+			for _, w := range ws[r.i:r.j] {
+				for _, tp := range valuesOf[w.member.ID()] {
+					content, err := db.Content(tp)
+					if err != nil {
+						return err
+					}
+					looks[g]++
+					out.Append(xmltree.Elem(spec.ValuePath.LastTag(), content))
+				}
+			}
+			trees[g] = out
+			return nil
+		}); err != nil {
+			matSp.End()
+			return nil, err
+		}
+	case Count:
+		for g, r := range runs {
+			out := xmltree.E(spec.OutTag, xmltree.Elem(basisTag, ws[r.i].value))
+			total := 0
+			for _, w := range ws[r.i:r.j] {
+				total += len(valuesOf[w.member.ID()])
+			}
+			out.Append(xmltree.Elem("count", strconv.Itoa(total)))
+			trees[g] = out
+		}
+	}
+	totalLooks := 0
+	for g := range runs {
+		res.Trees = append(res.Trees, trees[g])
+		res.Stats.ValueLookups += looks[g]
+		totalLooks += looks[g]
+	}
+	matSp.Add("groups", int64(len(runs)))
+	matSp.Add("value_lookups", int64(totalLooks))
+	matSp.End()
+	if err := finishResult(db, res, sp); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

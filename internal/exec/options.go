@@ -33,6 +33,24 @@ type Options struct {
 	// issuing buffer-pool fetches promptly. A cancelled run returns
 	// ctx.Err() and no result. Nil means "never cancelled".
 	Ctx context.Context
+	// BatchSize is the rows-per-batch capacity of the streaming
+	// executor's identifier batches. 0 means the package default (256).
+	// Any setting produces byte-identical results — batch boundaries
+	// never change row order.
+	BatchSize int
+	// SortMemRows bounds the streaming GROUPBY sort's in-memory buffer:
+	// when more rows than this accumulate, the buffer is sorted and
+	// spilled as a run through the storage spool (temporary pages that
+	// compete with base data in the buffer pool), and the output is a
+	// k-way merge over the runs. 0 means never spill. Any setting
+	// produces byte-identical results — the sort comparator is a total
+	// order.
+	SortMemRows int
+	// MaxMaterializeBytes, when positive, caps the bytes of output
+	// content the late-materialize sink may fetch; a run that exceeds
+	// it fails with ErrMaterializeLimit and returns no partial output.
+	// 0 means unlimited.
+	MaxMaterializeBytes int64
 	// Metrics, when non-nil, receives always-on cumulative telemetry:
 	// each operator phase's wall time folds into the registry's
 	// exec_operator_seconds{op=...} histograms after the run. Unlike

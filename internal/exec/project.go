@@ -1,0 +1,62 @@
+package exec
+
+import (
+	"timber/internal/storage"
+)
+
+// populateIter is the projection operator of the streaming pipeline:
+// it projects each row's Aux identifier to its content, storing it in
+// Key — the one early population Sec. 5.3 allows (grouping and
+// sorting values), done per batch through the batched
+// late-materialization API so same-page postings share a fetch. Rows
+// pass through otherwise unchanged; no other content is touched.
+type populateIter struct {
+	child  Iterator
+	db     *storage.DB
+	counts *opCounts
+
+	opened bool
+	ps     []storage.Posting
+	vals   []string
+}
+
+func newPopulate(child Iterator, db *storage.DB, counts *opCounts) *populateIter {
+	return &populateIter{child: child, db: db, counts: counts}
+}
+
+func (p *populateIter) Open() error {
+	if p.opened {
+		return nil
+	}
+	p.opened = true
+	return p.child.Open()
+}
+
+func (p *populateIter) Next(b *Batch) error {
+	if err := p.child.Next(b); err != nil {
+		return err
+	}
+	if len(b.Rows) == 0 {
+		return nil
+	}
+	p.ps = p.ps[:0]
+	for _, r := range b.Rows {
+		p.ps = append(p.ps, r.Aux)
+	}
+	if cap(p.vals) < len(p.ps) {
+		p.vals = make([]string, len(p.ps))
+	}
+	p.vals = p.vals[:len(p.ps)]
+	if err := p.db.ContentsBatch(p.ps, p.vals); err != nil {
+		return err
+	}
+	for i := range b.Rows {
+		b.Rows[i].Key = p.vals[i]
+	}
+	p.counts.in(len(b.Rows))
+	p.counts.out(len(b.Rows))
+	p.counts.batch()
+	return nil
+}
+
+func (p *populateIter) Close() error { return p.child.Close() }

@@ -1,0 +1,218 @@
+package exec
+
+import (
+	"sort"
+
+	"timber/internal/sjoin"
+	"timber/internal/storage"
+	"timber/internal/xmltree"
+)
+
+// stepIter is the streaming selection operator: it extends each input
+// row's path position (Aux) by one structural step — child or
+// descendant — into the postings of the step's tag, keeping only rows
+// whose position structurally matches. It is the iterator form of
+// stepJoin, producing the identical row sequence, but instead of
+// materializing both sides it joins bounded chunks of input rows
+// against a candidate cursor with the incremental stack-tree.
+//
+// Chunk safety: input rows arrive member-major with non-decreasing
+// member starts, and a row's leaf (Aux) starts at or after its member.
+// A chunk closes when the NEXT row's member starts past chunkMaxEnd,
+// the maximum end of the chunk's leaves. At that point (a) every later
+// leaf starts past every chunk leaf's end, so no leaf spans chunks and
+// chunk-local leaf dedup equals global dedup; and (b) every candidate
+// a later leaf can contain starts past chunkMaxEnd, so candidates
+// pulled for this chunk (starts <= chunkMaxEnd) are discardable
+// afterwards and candidates a chunk needs were never consumed by an
+// earlier chunk.
+type stepIter struct {
+	child  Iterator
+	db     *storage.DB
+	tag    string
+	doc    xmltree.DocID
+	axis   sjoin.Axis
+	counts *opCounts
+
+	opened bool
+	rdr    *rowReader
+	cands  *storage.TagCursor
+	// one-posting candidate lookahead
+	candNext storage.Posting
+	candOk   bool
+	// one-row input lookahead (first row of the next chunk)
+	pendRow   Row
+	pendOk    bool
+	childDone bool
+	// joined rows of the current chunk, served in order
+	out    []Row
+	outPos int
+	// per-chunk scratch, reused across chunks
+	chunk    []Row
+	leaves   []storage.Posting
+	candBuf  []storage.Posting
+	children map[uint32][]storage.Posting
+	join     *sjoin.Stream
+}
+
+func newStep(child Iterator, db *storage.DB, st PathStep, doc xmltree.DocID, batchSize int, counts *opCounts) *stepIter {
+	axis := sjoin.ParentChild
+	if st.Descendant {
+		axis = sjoin.AncestorDescendant
+	}
+	it := &stepIter{
+		child:    child,
+		db:       db,
+		tag:      st.Tag,
+		doc:      doc,
+		axis:     axis,
+		counts:   counts,
+		rdr:      nil,
+		children: map[uint32][]storage.Posting{},
+	}
+	it.rdr = newRowReader(child, batchSize)
+	it.join = sjoin.NewStream(axis, nil, func(a, d int) {
+		lf := it.leaves[a]
+		it.children[lf.Interval.Start] = append(it.children[lf.Interval.Start], it.candBuf[d])
+	})
+	return it
+}
+
+func (s *stepIter) Open() error {
+	if s.opened {
+		return nil
+	}
+	s.opened = true
+	if err := s.child.Open(); err != nil {
+		return err
+	}
+	s.cands = s.db.OpenTagDocCursor(s.tag, s.doc)
+	s.candNext, s.candOk = s.cands.Next()
+	return s.cands.Err()
+}
+
+func (s *stepIter) Next(b *Batch) error {
+	b.Reset()
+	for !b.full() {
+		if s.outPos < len(s.out) {
+			n := len(s.out) - s.outPos
+			if room := cap(b.Rows) - len(b.Rows); n > room {
+				n = room
+			}
+			b.Rows = append(b.Rows, s.out[s.outPos:s.outPos+n]...)
+			s.outPos += n
+			continue
+		}
+		if s.childDone {
+			break
+		}
+		if err := s.buildChunk(); err != nil {
+			return err
+		}
+	}
+	s.counts.out(len(b.Rows))
+	if len(b.Rows) > 0 {
+		s.counts.batch()
+	}
+	return nil
+}
+
+// buildChunk pulls the next closed chunk of input rows, joins it
+// against the candidate cursor, and stages the expanded rows in s.out.
+func (s *stepIter) buildChunk() error {
+	s.chunk = s.chunk[:0]
+	s.out = s.out[:0]
+	s.outPos = 0
+
+	// Gather rows until the close condition.
+	var maxEnd uint32
+	for {
+		var row Row
+		if s.pendOk {
+			row, s.pendOk = s.pendRow, false
+		} else {
+			r, ok, err := s.rdr.next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				s.childDone = true
+				break
+			}
+			row = r
+		}
+		if len(s.chunk) > 0 && row.Member.Interval.Start > maxEnd {
+			s.pendRow, s.pendOk = row, true
+			break
+		}
+		s.chunk = append(s.chunk, row)
+		if row.Aux.Interval.End > maxEnd {
+			maxEnd = row.Aux.Interval.End
+		}
+	}
+	s.counts.in(len(s.chunk))
+	if len(s.chunk) == 0 {
+		return nil
+	}
+
+	// Distinct leaves, sorted by start (one document, so start is the
+	// full node order).
+	s.leaves = s.leaves[:0]
+	seen := map[uint32]bool{}
+	for _, r := range s.chunk {
+		st := r.Aux.Interval.Start
+		if !seen[st] {
+			seen[st] = true
+			s.leaves = append(s.leaves, r.Aux)
+		}
+	}
+	sort.Slice(s.leaves, func(i, j int) bool {
+		return s.leaves[i].Interval.Start < s.leaves[j].Interval.Start
+	})
+
+	// Pull the chunk's candidate window.
+	s.candBuf = s.candBuf[:0]
+	for s.candOk && s.candNext.Interval.Start <= maxEnd {
+		s.candBuf = append(s.candBuf, s.candNext)
+		s.candNext, s.candOk = s.cands.Next()
+	}
+	if err := s.cands.Err(); err != nil {
+		return err
+	}
+
+	// Incremental stack-tree over the merged (start) order; descendants
+	// first on ties, per the Stream contract.
+	for k := range s.children {
+		delete(s.children, k)
+	}
+	ai, di := 0, 0
+	for di < len(s.candBuf) {
+		if ai < len(s.leaves) && s.leaves[ai].Interval.Before(s.candBuf[di].Interval) {
+			s.join.PushAncestor(s.leaves[ai].Interval, ai)
+			ai++
+			continue
+		}
+		s.join.PushDescendant(s.candBuf[di].Interval, di)
+		di++
+	}
+	s.join.Flush()
+
+	// Expand row-major: input order × per-leaf candidate (document)
+	// order — exactly stepJoin's output order.
+	for _, r := range s.chunk {
+		for _, c := range s.children[r.Aux.Interval.Start] {
+			s.out = append(s.out, Row{Member: r.Member, Aux: c, HasAux: true})
+		}
+	}
+	return nil
+}
+
+func (s *stepIter) Close() error {
+	err := s.child.Close()
+	if s.cands != nil {
+		if cerr := s.cands.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

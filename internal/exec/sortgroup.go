@@ -1,0 +1,227 @@
+package exec
+
+import (
+	"sort"
+
+	"timber/internal/pagestore"
+	"timber/internal/storage"
+	"timber/internal/tax"
+	"timber/internal/xmltree"
+)
+
+// groupSortIter is the blocking GROUPBY operator: it drains its input,
+// assigns each row its arrival order (the stable-sort tie-breaker),
+// and sorts by (grouping value, member ordering value, arrival).
+// Downstream operators see runs of equal grouping values — the groups
+// — in ascending value order, exactly the sort of Sec. 5.3.
+//
+// Memory: with SortMemRows unset the sort is in-memory (identifier
+// rows only; values were never materialized). With a budget, full
+// buffers are sorted and spilled as encoded-row runs through the
+// storage spool — the spilled pages compete with base data in the
+// buffer pool, the TIMBER intermediate-collection cost model — and
+// Next serves a k-way merge over the runs. Each run's cursor pins one
+// pool frame for the duration of the merge, so the budget should be
+// sized to keep the run count well below the pool size. Either path emits the
+// byte-identical row order: the comparator is a total order (arrival
+// breaks every tie).
+type groupSortIter struct {
+	child   Iterator
+	db      *storage.DB
+	ordVals func() map[xmltree.NodeID]string
+	desc    bool
+	memRows int
+	counts  *opCounts
+
+	opened bool
+	ov     map[xmltree.NodeID]string
+	buf    []Row
+	// spill state
+	spool   *storage.Spool
+	runs    []*storage.SpoolRun
+	cursors []*pagestore.HeapCursor
+	heads   []Row
+	headOk  []bool
+	// in-memory serve state
+	pos  int
+	next int64 // arrival counter
+	enc  []byte
+}
+
+func newGroupSort(child Iterator, db *storage.DB, ordVals func() map[xmltree.NodeID]string, desc bool, memRows int, counts *opCounts) *groupSortIter {
+	return &groupSortIter{child: child, db: db, ordVals: ordVals, desc: desc, memRows: memRows, counts: counts}
+}
+
+// less is the total sort order: grouping value, then the member's
+// ordering value under the requested direction, then arrival order.
+func (g *groupSortIter) less(a, b *Row) bool {
+	if a.Key != b.Key {
+		return a.Key < b.Key
+	}
+	if g.ov != nil {
+		c := tax.CompareValues(g.ov[a.Member.ID()], g.ov[b.Member.ID()])
+		if g.desc {
+			c = -c
+		}
+		if c != 0 {
+			return c < 0
+		}
+	}
+	return a.Ord < b.Ord
+}
+
+func (g *groupSortIter) Open() error {
+	if g.opened {
+		return nil
+	}
+	g.opened = true
+	if err := g.child.Open(); err != nil {
+		return err
+	}
+	if g.ordVals != nil {
+		g.ov = g.ordVals()
+	}
+	b := newBatch(0)
+	for {
+		if err := g.child.Next(b); err != nil {
+			return err
+		}
+		if len(b.Rows) == 0 {
+			break
+		}
+		g.counts.in(len(b.Rows))
+		for _, r := range b.Rows {
+			r.Ord = g.next
+			g.next++
+			g.buf = append(g.buf, r)
+		}
+		if g.memRows > 0 && len(g.buf) >= g.memRows {
+			if err := g.spillRun(); err != nil {
+				return err
+			}
+		}
+	}
+	sort.Slice(g.buf, func(i, j int) bool { return g.less(&g.buf[i], &g.buf[j]) })
+	if len(g.runs) > 0 {
+		return g.openMerge()
+	}
+	return nil
+}
+
+// spillRun sorts the buffered rows and writes them as one run.
+func (g *groupSortIter) spillRun() error {
+	if g.spool == nil {
+		g.spool = g.db.NewSpool()
+	}
+	sort.Slice(g.buf, func(i, j int) bool { return g.less(&g.buf[i], &g.buf[j]) })
+	run, err := g.spool.NewRun()
+	if err != nil {
+		return err
+	}
+	for _, r := range g.buf {
+		g.enc = encodeRow(g.enc[:0], r)
+		if err := run.Append(g.enc); err != nil {
+			return err
+		}
+	}
+	g.runs = append(g.runs, run)
+	g.buf = g.buf[:0]
+	return nil
+}
+
+// openMerge opens a cursor per spilled run and primes the merge heads.
+// The in-memory tail (already sorted) merges as run index len(runs).
+func (g *groupSortIter) openMerge() error {
+	k := len(g.runs)
+	g.cursors = make([]*pagestore.HeapCursor, k)
+	g.heads = make([]Row, k+1)
+	g.headOk = make([]bool, k+1)
+	for i, run := range g.runs {
+		g.cursors[i] = run.Open()
+		if err := g.advanceRun(i); err != nil {
+			return err
+		}
+	}
+	return g.advanceRun(k)
+}
+
+// advanceRun refills the merge head for run i (the last index is the
+// in-memory tail).
+func (g *groupSortIter) advanceRun(i int) error {
+	if i == len(g.runs) {
+		if g.pos < len(g.buf) {
+			g.heads[i] = g.buf[g.pos]
+			g.pos++
+			g.headOk[i] = true
+		} else {
+			g.headOk[i] = false
+		}
+		return nil
+	}
+	rec, ok := g.cursors[i].Next()
+	if !ok {
+		g.headOk[i] = false
+		return g.cursors[i].Err()
+	}
+	r, err := decodeRow(rec)
+	if err != nil {
+		return err
+	}
+	g.heads[i] = r
+	g.headOk[i] = true
+	return nil
+}
+
+func (g *groupSortIter) Next(b *Batch) error {
+	b.Reset()
+	if len(g.runs) == 0 {
+		for !b.full() && g.pos < len(g.buf) {
+			b.Rows = append(b.Rows, g.buf[g.pos])
+			g.pos++
+		}
+	} else {
+		for !b.full() {
+			best := -1
+			for i := range g.heads {
+				if !g.headOk[i] {
+					continue
+				}
+				if best < 0 || g.less(&g.heads[i], &g.heads[best]) {
+					best = i
+				}
+			}
+			if best < 0 {
+				break
+			}
+			b.Rows = append(b.Rows, g.heads[best])
+			if err := g.advanceRun(best); err != nil {
+				return err
+			}
+		}
+	}
+	g.counts.out(len(b.Rows))
+	if len(b.Rows) > 0 {
+		g.counts.batch()
+	}
+	return nil
+}
+
+func (g *groupSortIter) Close() error {
+	err := g.child.Close()
+	for _, c := range g.cursors {
+		if c == nil {
+			continue
+		}
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	g.cursors = nil
+	if g.spool != nil {
+		if serr := g.spool.Close(); err == nil {
+			err = serr
+		}
+		g.spool = nil
+	}
+	return err
+}

@@ -1,0 +1,74 @@
+package exec
+
+// stitchIter is the stitching operator: it detects group boundaries in
+// the sorted row stream (a run of equal grouping values is a group)
+// and weaves in a rowGroup row carrying the grouping value ahead of
+// each run — the skeleton of the output trees, still identifier-only.
+// Binding rows pass through beneath their group row; the sink (or the
+// aggregation operator, in count mode) consumes the shaped stream.
+//
+// Boundary rows are staged through a small queue so a batch boundary
+// can fall anywhere — even between a group row and its first binding —
+// without changing the emitted sequence.
+type stitchIter struct {
+	child  Iterator
+	counts *opCounts
+
+	opened  bool
+	rdr     *rowReader
+	haveKey bool
+	lastKey string
+	q       []Row
+	qPos    int
+	done    bool
+}
+
+func newStitch(child Iterator, batchSize int, counts *opCounts) *stitchIter {
+	return &stitchIter{child: child, counts: counts, rdr: newRowReader(child, batchSize)}
+}
+
+func (s *stitchIter) Open() error {
+	if s.opened {
+		return nil
+	}
+	s.opened = true
+	return s.child.Open()
+}
+
+func (s *stitchIter) Next(b *Batch) error {
+	b.Reset()
+	for !b.full() {
+		if s.qPos < len(s.q) {
+			b.Rows = append(b.Rows, s.q[s.qPos])
+			s.qPos++
+			continue
+		}
+		if s.done {
+			break
+		}
+		s.q = s.q[:0]
+		s.qPos = 0
+		r, ok, err := s.rdr.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			s.done = true
+			break
+		}
+		s.counts.in(1)
+		if !s.haveKey || r.Key != s.lastKey {
+			s.haveKey = true
+			s.lastKey = r.Key
+			s.q = append(s.q, Row{Kind: rowGroup, Key: r.Key})
+		}
+		s.q = append(s.q, r)
+	}
+	s.counts.out(len(b.Rows))
+	if len(b.Rows) > 0 {
+		s.counts.batch()
+	}
+	return nil
+}
+
+func (s *stitchIter) Close() error { return s.child.Close() }

@@ -39,6 +39,10 @@ const (
 	// plan, so Run rejects it; the engine facade (or ExecPhysical) runs
 	// it.
 	StrategyPhysical
+	// StrategyGroupByMat is the materializing groupby executor the
+	// streaming pipeline replaced — kept as the byte-equality reference
+	// and the baseline of the streaming-memory experiment.
+	StrategyGroupByMat
 )
 
 // strategyNames maps each Strategy to its canonical flag spelling.
@@ -50,6 +54,7 @@ var strategyNames = map[Strategy]string{
 	StrategyReplicating:  "replicating",
 	StrategyLogical:      "logical",
 	StrategyPhysical:     "physical",
+	StrategyGroupByMat:   "groupby-mat",
 }
 
 func (s Strategy) String() string {
@@ -67,7 +72,7 @@ func ParseStrategy(name string) (Strategy, error) {
 			return s, nil
 		}
 	}
-	return 0, fmt.Errorf("exec: unknown strategy %q (want groupby, direct, direct-nested, direct-batch, replicating, logical or physical)", name)
+	return 0, fmt.Errorf("exec: unknown strategy %q (want groupby, groupby-mat, direct, direct-nested, direct-batch, replicating, logical or physical)", name)
 }
 
 // Run executes a Spec with the strategy it names. It is the single
@@ -82,6 +87,8 @@ func Run(db *storage.DB, spec Spec, o Options) (*Result, error) {
 	switch spec.Strategy {
 	case StrategyGroupBy:
 		return groupByExec(db, spec, o)
+	case StrategyGroupByMat:
+		return groupByMaterialized(db, spec, o)
 	case StrategyDirect:
 		return directMaterialized(db, spec, o)
 	case StrategyDirectNested:

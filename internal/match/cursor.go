@@ -1,0 +1,118 @@
+package match
+
+import (
+	"sort"
+
+	"timber/internal/pattern"
+	"timber/internal/storage"
+	"timber/internal/xmltree"
+)
+
+// Cursor streams a pattern's witnesses one binding at a time instead
+// of returning the full slice — the streaming-cursor face of MatchDB
+// the iterator executor builds on. Candidate postings (identifiers
+// only) are scanned up front, but the structural joins run one
+// document at a time, on demand: peak memory is one document's witness
+// set rather than the corpus's, and an early-terminating consumer
+// never joins the remaining documents. The binding sequence is
+// identical to MatchDB's — per-document witnesses sort
+// lexicographically by pre-order node identifiers, and documents
+// ascend, which is exactly the order the global sort produces.
+type Cursor struct {
+	db    *storage.DB
+	order []*pattern.Node
+	colOf map[string]int
+	cands [][]storage.Posting
+	docs  []xmltree.DocID
+	stats *DBStats
+
+	di  int
+	buf []DBBinding
+	pos int
+}
+
+// OpenCursor scans the pattern's candidate postings and positions the
+// cursor before the first witness. The returned cursor only reads the
+// database and is safe to use concurrently with other readers.
+func OpenCursor(db *storage.DB, pt *pattern.Tree) (*Cursor, error) {
+	order := preorder(pt.Root)
+	stats := &DBStats{}
+	colOf := make(map[string]int, len(order))
+	for i, pn := range order {
+		colOf[pn.Label] = i
+	}
+	cands := make([][]storage.Posting, len(order))
+	for i, pn := range order {
+		cs, err := candidates(db, pn, stats)
+		if err != nil {
+			return nil, err
+		}
+		if len(cs) == 0 {
+			// Some node has no match at all: an exhausted cursor.
+			return &Cursor{stats: stats}, nil
+		}
+		cands[i] = cs
+	}
+	return &Cursor{
+		db:    db,
+		order: order,
+		colOf: colOf,
+		cands: cands,
+		docs:  candidateDocs(cands[0]),
+		stats: stats,
+	}, nil
+}
+
+// Next returns the next witness binding, or ok=false when the stream
+// is exhausted. Joining happens lazily, one document per refill.
+func (c *Cursor) Next() (DBBinding, bool) {
+	for {
+		if c.pos < len(c.buf) {
+			b := c.buf[c.pos]
+			c.pos++
+			c.stats.Witnesses++
+			return b, true
+		}
+		if c.di >= len(c.docs) {
+			return nil, false
+		}
+		doc := c.docs[c.di]
+		c.di++
+		c.fillDoc(doc)
+	}
+}
+
+// fillDoc joins one document's candidate segments and stages its
+// bindings in MatchDB order.
+func (c *Cursor) fillDoc(doc xmltree.DocID) {
+	c.buf = c.buf[:0]
+	c.pos = 0
+	docCands := make([][]storage.Posting, len(c.order))
+	for i := range c.cands {
+		docCands[i] = docSegment(c.cands[i], doc)
+		if len(docCands[i]) == 0 {
+			return
+		}
+	}
+	rows := matchRows(c.order, c.colOf, docCands, nil)
+	sort.SliceStable(rows, func(a, b int) bool {
+		for i := range c.order {
+			x, y := rows[a][i].ID(), rows[b][i].ID()
+			if x != y {
+				return x.Less(y)
+			}
+		}
+		return false
+	})
+	for _, row := range rows {
+		bind := make(DBBinding, len(c.order))
+		for i, pn := range c.order {
+			bind[pn.Label] = row[i]
+		}
+		c.buf = append(c.buf, bind)
+	}
+}
+
+// Stats returns the cursor's access counters; Witnesses counts the
+// bindings returned so far.
+func (c *Cursor) Stats() *DBStats { return c.stats }

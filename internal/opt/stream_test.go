@@ -1,0 +1,41 @@
+package opt
+
+import (
+	"testing"
+
+	"timber/internal/plan"
+	"timber/internal/xq"
+)
+
+// TestRewriteIntroducesSingleBreaker pins the streaming shape of the
+// rewritten plan: the GROUPBY rewrite introduces exactly one pipeline
+// breaker (the grouping sort) — every other operator of the rewritten
+// tree lowers to a streaming iterator.
+func TestRewriteIntroducesSingleBreaker(t *testing.T) {
+	const src = `
+FOR $a IN distinct-values(document("bib.xml")//author)
+RETURN
+<authorpubs>
+  {$a}
+  {
+    FOR $b IN document("bib.xml")//article
+    WHERE $a = $b/author
+    RETURN $b/title
+  }
+</authorpubs>`
+	naive, err := plan.Translate(xq.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewritten, applied, err := Rewrite(naive)
+	if err != nil || !applied {
+		t.Fatalf("rewrite: applied=%v err=%v", applied, err)
+	}
+	breakers := plan.Breakers(rewritten)
+	if len(breakers) != 1 {
+		t.Fatalf("breakers = %d, want 1", len(breakers))
+	}
+	if _, ok := breakers[0].(*plan.GroupBy); !ok {
+		t.Errorf("breaker = %T, want *plan.GroupBy", breakers[0])
+	}
+}

@@ -470,18 +470,30 @@ func pinWait(attempt int) bool {
 // flush or close. Unpinning an unpinned page panics: that is a
 // use-after-release programming error, not a runtime condition.
 func (s *Store) Unpin(p *Page, dirty bool) {
+	if err := s.Release(p, dirty); err != nil {
+		panic(err.Error())
+	}
+}
+
+// Release is Unpin with an error return instead of a panic: releasing
+// an unpinned page reports the fault to the caller. Long-lived cursors
+// (B+tree iterators, heap readers) use Release so their Close methods
+// can surface a pin-accounting fault to the query instead of tearing
+// the process down mid-scan.
+func (s *Store) Release(p *Page, dirty bool) error {
 	sh := s.shardFor(p.id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	fr := p.frame
 	if fr.pins <= 0 {
-		panic(fmt.Sprintf("pagestore: unpin of unpinned page %d", p.id))
+		return fmt.Errorf("pagestore: unpin of unpinned page %d", p.id)
 	}
 	fr.dirty = fr.dirty || dirty
 	fr.pins--
 	if fr.pins == 0 {
 		fr.lruElem = sh.lru.PushBack(fr)
 	}
+	return nil
 }
 
 // freeFrame returns a frame for the given new page id, evicting the

@@ -1,0 +1,71 @@
+package plan
+
+// This file classifies the logical operators for the streaming
+// physical layer: when a plan lowers to the iterator executor
+// (exec.SpecFromPlan → the streaming groupby pipeline), each logical
+// operator maps to a pull-based iterator that is either streaming —
+// emits rows while consuming, holding O(batch) state — or blocking —
+// must drain its input before emitting, and therefore owns a spill
+// hook. The classification drives DESIGN.md §9 and lets the explain
+// surfaces annotate plans with their pipeline-breaker points.
+
+// StreamClass says whether an operator's physical lowering is
+// pipelined or a pipeline breaker.
+type StreamClass int
+
+const (
+	// Streaming operators emit output while consuming input, holding
+	// only bounded (per-batch or per-chunk) state.
+	Streaming StreamClass = iota
+	// Blocking operators must consume their whole input before the
+	// first output row (sorts, grouping); their buffers are bounded by
+	// a memory budget with spilling past it.
+	Blocking
+)
+
+func (c StreamClass) String() string {
+	if c == Blocking {
+		return "blocking"
+	}
+	return "streaming"
+}
+
+// Classify returns the stream class of one logical operator's physical
+// lowering. The only pipeline breakers of the plan family are GroupBy
+// (the grouping sort) and SortChildrenByPath (an ordering sort);
+// everything else — scans, selections, projections, duplicate
+// elimination over member-ordered streams, the merge left-outer-join,
+// stitching and aggregation over grouped streams — streams.
+func Classify(op Op) StreamClass {
+	switch op.(type) {
+	case *GroupBy, *SortChildrenByPath:
+		return Blocking
+	default:
+		return Streaming
+	}
+}
+
+// Breakers walks a plan and returns its pipeline-breaker operators in
+// evaluation (post-order, inputs-first) order — the points where the
+// streaming executor must buffer (and may spill). Plans are DAGs
+// (stitch parts share their grouped input), so each operator is
+// visited — and reported — once.
+func Breakers(op Op) []Op {
+	var out []Op
+	seen := map[Op]bool{}
+	var walk func(Op)
+	walk = func(o Op) {
+		if o == nil || seen[o] {
+			return
+		}
+		seen[o] = true
+		for _, in := range o.Inputs() {
+			walk(in)
+		}
+		if Classify(o) == Blocking {
+			out = append(out, o)
+		}
+	}
+	walk(op)
+	return out
+}

@@ -1,0 +1,56 @@
+package plan
+
+import (
+	"testing"
+
+	"timber/internal/xq"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want StreamClass
+	}{
+		{&DBScan{}, Streaming},
+		{&Select{}, Streaming},
+		{&ProjectPerTree{}, Streaming},
+		{&DupElimContent{}, Streaming},
+		{&LeftOuterJoin{}, Streaming},
+		{&Stitch{}, Streaming},
+		{&Aggregate{}, Streaming},
+		{&GroupBy{}, Blocking},
+		{&SortChildrenByPath{}, Blocking},
+	}
+	for _, c := range cases {
+		if got := Classify(c.op); got != c.want {
+			t.Errorf("Classify(%T) = %v, want %v", c.op, got, c.want)
+		}
+	}
+	if Streaming.String() != "streaming" || Blocking.String() != "blocking" {
+		t.Error("StreamClass strings")
+	}
+}
+
+// TestBreakersNaivePlan pins that the naive translated plan of Query 1
+// has no pipeline breakers (it is pure selection/projection/stitching)
+// — the breakers appear only after the GROUPBY rewrite.
+func TestBreakersNaivePlan(t *testing.T) {
+	const src = `
+FOR $a IN distinct-values(document("bib.xml")//author)
+RETURN
+<authorpubs>
+  {$a}
+  {
+    FOR $b IN document("bib.xml")//article
+    WHERE $a = $b/author
+    RETURN $b/title
+  }
+</authorpubs>`
+	naive, err := Translate(xq.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs := Breakers(naive); len(bs) != 0 {
+		t.Errorf("naive plan breakers = %v, want none", bs)
+	}
+}

@@ -1,0 +1,90 @@
+package sjoin
+
+import "timber/internal/xmltree"
+
+// Stream is the incremental, push-based form of the Stack-Tree join:
+// instead of taking both sorted lists up front and returning a pair
+// slice, the caller pushes ancestors and descendants one at a time in
+// merged (doc, start) order and pairs are emitted through a callback as
+// soon as they are known. The streaming executor's selection operator
+// uses it to join a chunk of pattern-node candidates against a cursor
+// without materializing either side.
+//
+// Push contract (mirroring StackTree's merge loop exactly):
+//
+//   - Overall push order is (doc, start) ascending.
+//   - When an ancestor and a descendant share a start position, push
+//     the DESCENDANT first: StackTree only advances ancestors that are
+//     strictly Before the current descendant, so an equal-start
+//     ancestor must not be on the stack when that descendant is
+//     processed.
+//
+// Under that contract the emitted pairs are identical to StackTree's,
+// in the same order: grouped by descendant in document order, ancestors
+// outermost first.
+type Stream struct {
+	axis  Axis
+	emit  func(aIdx, dIdx int)
+	stack []streamEntry
+	m     *Metrics
+	na    int
+	nd    int
+	np    int
+}
+
+type streamEntry struct {
+	iv  xmltree.Interval
+	idx int
+}
+
+// NewStream creates a streaming join that reports each (ancestor,
+// descendant) pair through emit, using the caller's own indices. A
+// non-nil m accumulates the join's input/output sizes when Flush is
+// called.
+func NewStream(axis Axis, m *Metrics, emit func(aIdx, dIdx int)) *Stream {
+	return &Stream{axis: axis, emit: emit, m: m}
+}
+
+// PushAncestor feeds the next potential ancestor.
+func (s *Stream) PushAncestor(iv xmltree.Interval, idx int) {
+	s.na++
+	s.popClosed(iv)
+	s.stack = append(s.stack, streamEntry{iv: iv, idx: idx})
+}
+
+// PushDescendant feeds the next potential descendant, emitting its
+// pairs immediately.
+func (s *Stream) PushDescendant(iv xmltree.Interval, idx int) {
+	s.nd++
+	s.popClosed(iv)
+	for _, e := range s.stack {
+		if e.iv.Start == iv.Start && e.iv.Doc == iv.Doc {
+			continue // same node appearing in both lists
+		}
+		if s.axis == ParentChild && e.iv.Level+1 != iv.Level {
+			continue
+		}
+		s.np++
+		s.emit(e.idx, idx)
+	}
+}
+
+// popClosed drops stack entries that do not contain pos.
+func (s *Stream) popClosed(pos xmltree.Interval) {
+	for len(s.stack) > 0 {
+		top := s.stack[len(s.stack)-1].iv
+		if top.Doc == pos.Doc && top.End > pos.Start {
+			break
+		}
+		s.stack = s.stack[:len(s.stack)-1]
+	}
+}
+
+// Flush ends the join: it records the accumulated input/output sizes
+// into the stream's Metrics (as one logical join) and resets the stack
+// so the Stream can be reused for the next chunk.
+func (s *Stream) Flush() {
+	s.m.note(s.na, s.nd, s.np)
+	s.na, s.nd, s.np = 0, 0, 0
+	s.stack = s.stack[:0]
+}

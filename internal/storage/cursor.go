@@ -1,0 +1,119 @@
+package storage
+
+import (
+	"bytes"
+
+	"timber/internal/btree"
+	"timber/internal/pagestore"
+	"timber/internal/xmltree"
+)
+
+// TagCursor streams the postings of one tag (optionally restricted to
+// one document) in document order, one at a time, instead of
+// materializing the whole posting list the way TagPostings does. The
+// streaming executor's scan operators are built on it: a pipeline pulls
+// postings as its batches demand them and an early-terminating query
+// never reads the tail of the list.
+type TagCursor struct {
+	it     *btree.Iterator
+	prefix []byte
+	err    error
+	done   bool
+}
+
+// OpenTagCursor positions a cursor at the first posting of tag across
+// all documents.
+func (db *DB) OpenTagCursor(tag string) *TagCursor {
+	prefix := tagPrefix(tag)
+	return &TagCursor{it: db.tagIdx.Seek(prefix), prefix: prefix}
+}
+
+// OpenTagDocCursor positions a cursor at the first posting of tag
+// within one document. Per-document cursors are what the exchange
+// operator hands each fragment: the key layout (tag, 0x00, doc, start)
+// makes a document a contiguous key range, so restricting the scan is
+// one longer prefix, not a filter.
+func (db *DB) OpenTagDocCursor(tag string, doc xmltree.DocID) *TagCursor {
+	prefix := tagPrefix(tag)
+	prefix = append(prefix, be32(uint32(doc))...)
+	return &TagCursor{it: db.tagIdx.Seek(prefix), prefix: prefix}
+}
+
+// Next returns the next posting, or ok=false at the end of the range
+// (or on error — check Err).
+func (c *TagCursor) Next() (Posting, bool) {
+	if c.done || c.err != nil {
+		return Posting{}, false
+	}
+	if !c.it.Valid() {
+		c.done = true
+		c.err = c.it.Err()
+		return Posting{}, false
+	}
+	k := c.it.Key()
+	if !bytes.HasPrefix(k, c.prefix) {
+		c.done = true
+		return Posting{}, false
+	}
+	// Keys end in the fixed-width (doc, start) pair regardless of how
+	// long the prefix was (tags cannot contain NUL).
+	p, err := decodePosting(k[len(k)-8:], c.it.Value())
+	if err != nil {
+		c.err = err
+		c.done = true
+		return Posting{}, false
+	}
+	c.it.Next()
+	return p, true
+}
+
+// Err reports the first error the cursor hit, if any.
+func (c *TagCursor) Err() error { return c.err }
+
+// Close releases the cursor's pinned index page and returns its first
+// error — a scan fault or a pin-release fault. Idempotent.
+func (c *TagCursor) Close() error {
+	cerr := c.it.Close()
+	c.done = true
+	if c.err == nil {
+		c.err = cerr
+	}
+	return c.err
+}
+
+// ContentsBatch populates out[i] with the stored content of ps[i] for a
+// whole batch of postings in one call — the late-materialization access
+// path of the streaming executor. Consecutive postings on the same heap
+// page share a single buffer-pool fetch (the page stays pinned across
+// them), so a batch of output rows clustered in document order costs
+// far fewer fetches than len(ps) individual Content calls. out must
+// have len(ps) slots.
+func (db *DB) ContentsBatch(ps []Posting, out []string) error {
+	for i := 0; i < len(ps); {
+		j := i + 1
+		for j < len(ps) && ps[j].RID.Page == ps[i].RID.Page {
+			j++
+		}
+		p, err := db.st.Fetch(ps[i].RID.Page)
+		if err != nil {
+			return err
+		}
+		sp := pagestore.ViewSlotted(p)
+		for k := i; k < j; k++ {
+			b, rerr := sp.Read(ps[k].RID.Slot)
+			if rerr != nil {
+				db.st.Unpin(p, false)
+				return rerr
+			}
+			rec, derr := decodeRecord(b)
+			if derr != nil {
+				db.st.Unpin(p, false)
+				return derr
+			}
+			out[k] = rec.Content
+		}
+		db.st.Unpin(p, false)
+		i = j
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package storage
+
+import (
+	"fmt"
+
+	"timber/internal/pagestore"
+)
+
+// Spool is a temporary page region for operator spill: a blocking
+// operator (the streaming executor's sort-based GROUPBY, duplicate
+// elimination over huge inputs) that exceeds its memory budget writes
+// sorted runs of encoded rows through the buffer pool and merges them
+// back with cursors. Like SpillTrees, the spilled pages compete with
+// the base data for buffer-pool capacity — that is the TIMBER cost
+// model — and the region past the creation mark is truncated when the
+// spool closes.
+//
+// A Spool owns the database's spill region exclusively from NewSpool
+// until Close (the same spillMu that serializes SpillTrees), so only
+// one spilling operator or result spill can be active at a time.
+// Callers must therefore Close the spool before the executor's result
+// spill runs, and must close every run cursor first — Close truncates
+// the region, which fails while spilled pages are pinned.
+type Spool struct {
+	db     *DB
+	mark   uint32
+	closed bool
+}
+
+// NewSpool claims the spill region and records the truncation mark.
+func (db *DB) NewSpool() *Spool {
+	db.spillMu.Lock()
+	return &Spool{db: db, mark: db.st.NumPages()}
+}
+
+// SpoolRun is one append-only run of records inside a spool.
+type SpoolRun struct {
+	sp   *Spool
+	heap *pagestore.Heap
+}
+
+// NewRun starts a fresh run.
+func (s *Spool) NewRun() (*SpoolRun, error) {
+	if s.closed {
+		return nil, fmt.Errorf("storage: spool is closed")
+	}
+	h, err := pagestore.NewHeap(s.db.st)
+	if err != nil {
+		return nil, err
+	}
+	return &SpoolRun{sp: s, heap: h}, nil
+}
+
+// Append writes one record to the run.
+func (r *SpoolRun) Append(rec []byte) error {
+	_, err := r.heap.Insert(rec)
+	return err
+}
+
+// Open returns a cursor over the run's records in write order, holding
+// one pinned page at a time. Close every cursor before closing the
+// spool.
+func (r *SpoolRun) Open() *pagestore.HeapCursor {
+	return pagestore.NewHeapCursor(r.sp.db.st, r.heap.FirstPage())
+}
+
+// Close releases the spilled pages and the spill region. Idempotent.
+func (s *Spool) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.db.st.Truncate(s.mark)
+	s.db.spillMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("storage: spool release: %w", err)
+	}
+	return nil
+}
