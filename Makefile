@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench experiments fuzz-smoke trace-check serve-check metrics-check serve-bench stream-check
+.PHONY: all build test vet race check bench experiments fuzz-smoke trace-check serve-check metrics-check serve-bench stream-check bench-check
 
 all: build
 
@@ -27,11 +27,17 @@ experiments:
 	$(GO) run ./cmd/experiments -parfile BENCH_parallel.json
 
 # fuzz-smoke runs each native fuzz target briefly — enough to catch
-# parser panics on the corpus plus a short random exploration.
+# parser panics on the corpus plus a short random exploration. The
+# storage and exec targets cover the compressed on-disk codecs
+# (posting blocks, compact records, LZ pages, spill rows).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 5s ./internal/xq/
 	$(GO) test -run '^$$' -fuzz '^FuzzParseTree$$' -fuzztime 5s ./internal/pattern/
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 5s ./internal/xmltree/
+	$(GO) test -run '^$$' -fuzz '^FuzzPostingBlock$$' -fuzztime 5s ./internal/storage/
+	$(GO) test -run '^$$' -fuzz '^FuzzRecordCompact$$' -fuzztime 5s ./internal/storage/
+	$(GO) test -run '^$$' -fuzz '^FuzzSpillRow$$' -fuzztime 5s ./internal/exec/
+	$(GO) test -run '^$$' -fuzz '^FuzzLZDecompress$$' -fuzztime 5s ./internal/pagestore/
 
 # serve-check gates the service layer: timber-serve must build, and
 # the engine + HTTP suites (concurrent-client hammer, plan cache,
@@ -69,6 +75,16 @@ metrics-check:
 stream-check:
 	$(GO) test -race -run 'Streaming|Materialize|GroupByMat|FacadeStreaming|FacadeMaterialize' \
 		./internal/exec/ ./internal/engine/
+
+# bench-check gates the compressed storage formats: a short full-scale
+# ladder run (compressed vs uncompressed database at a small article
+# count) that fails unless query results are byte-identical across
+# formats and the index bytes-on-disk shrank by at least 30% — the
+# acceptance floor the full BENCH_fullscale.json run must also clear.
+bench-check:
+	$(GO) run ./cmd/experiments -exp none -fullfile /tmp/timber-bench-check.json \
+		-fullarticles 4000 -assertreduction 30
+	rm -f /tmp/timber-bench-check.json
 
 # serve-bench hammers an in-process timber-serve with concurrent
 # clients and writes the server-side latency quantiles (read from the

@@ -207,5 +207,19 @@ func run(dbPath, query, strategy string, poolMB, parallel int, maxMem int64, sho
 	}
 	fmt.Fprintf(os.Stderr, "%d result trees in %v (%s strategy); pool: %v\n",
 		len(trees), elapsed.Round(time.Millisecond), strategy, db.Stats())
+	if info, ierr := db.SizeInfo(); ierr == nil {
+		size := fmt.Sprintf("size: %d bytes on disk (%d pages: %d heap, %d index)",
+			info.TotalBytes, info.TotalPages, info.HeapPages, info.IndexPages)
+		if info.Codec != "" {
+			size += fmt.Sprintf("; page codec %s", info.Codec)
+			if st := db.Stats(); st.UncompressedBytes > 0 {
+				size += fmt.Sprintf(", write ratio %.2f", st.CompressionRatio())
+			}
+		}
+		if info.Compact {
+			size += "; compact format v2"
+		}
+		fmt.Fprintln(os.Stderr, size)
+	}
 	return nil
 }

@@ -1,0 +1,263 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"time"
+
+	"timber/internal/dblpgen"
+	"timber/internal/exec"
+	"timber/internal/pagestore"
+	"timber/internal/storage"
+	"timber/internal/xmltree"
+)
+
+// The full-scale ladder measures what the compressed on-disk formats
+// (varint posting blocks, compact node records, page codec) buy at the
+// paper's DBLP scale: for each article count it builds the same
+// synthetic database twice — once with the compact+compressed default
+// and once Uncompressed — and records bytes on disk, posting decode
+// speed, and the GROUPBY experiments' wall time and pool fetches for
+// both. Result hashes pin byte-identical query output across formats.
+
+// FullScaleQuery is one timed GROUPBY run within a variant.
+type FullScaleQuery struct {
+	// ID is the experiment name: e1 (titles) or e2 (count).
+	ID string `json:"id"`
+	// WallNS is the cold-pool wall time of the streaming GROUPBY plan.
+	WallNS int64 `json:"wall_ns"`
+	// Fetches is the buffer-pool fetch count for the run.
+	Fetches uint64 `json:"pool_fetches"`
+	// Groups is the number of result trees.
+	Groups int `json:"groups"`
+	// ResultHash is the FNV-64a hash of the serialized result trees;
+	// the two variants of a scale must agree on it.
+	ResultHash string `json:"result_hash"`
+}
+
+// FullScaleVariant is one storage format's measurements at one scale.
+type FullScaleVariant struct {
+	Name string `json:"name"`
+	// LoadMS is the generate-and-bulk-load wall time.
+	LoadMS int64 `json:"load_ms"`
+	// Size is the bytes-on-disk breakdown.
+	Size storage.SizeInfo `json:"size"`
+	// AuthorPostings is the author posting-list length, and
+	// DecodeNSPerPosting the warm-pool cost of decoding one posting
+	// from it (index traversal included).
+	AuthorPostings     int              `json:"author_postings"`
+	DecodeNSPerPosting float64          `json:"decode_ns_per_posting"`
+	Queries            []FullScaleQuery `json:"queries"`
+}
+
+// FullScalePoint compares the two variants at one article count.
+type FullScalePoint struct {
+	Articles int `json:"articles"`
+	Nodes    int `json:"nodes"`
+
+	Compressed   FullScaleVariant `json:"compressed"`
+	Uncompressed FullScaleVariant `json:"uncompressed"`
+
+	// IndexReductionPct and TotalReductionPct are the compressed
+	// variant's bytes-on-disk savings (100 * (1 - compressed/plain)).
+	IndexReductionPct float64 `json:"index_reduction_pct"`
+	TotalReductionPct float64 `json:"total_reduction_pct"`
+	// GroupbyE1Speedup is uncompressed E1 wall over compressed E1 wall
+	// (>= 1 means compression did not cost query time).
+	GroupbyE1Speedup float64 `json:"groupby_e1_speedup"`
+}
+
+// FullScaleReport is the BENCH_fullscale.json document.
+type FullScaleReport struct {
+	PoolMB int              `json:"pool_mb"`
+	Seed   int64            `json:"seed"`
+	Scales []FullScalePoint `json:"scales"`
+}
+
+// fullScaleQueries are the two Sec. 6 experiments, run with the
+// streaming GROUPBY plan only — the ladder measures storage formats,
+// not plan choice.
+var fullScaleQueries = []struct{ id, text string }{
+	{"e1", Query1Text},
+	{"e2", QueryCountText},
+}
+
+// RunFullScale builds and measures both variants at every scale. logf,
+// when non-nil, receives progress lines (a full-paper-scale build
+// takes minutes).
+func RunFullScale(scales []int, poolMB int, seed int64, logf func(format string, args ...any)) (*FullScaleReport, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if poolMB <= 0 {
+		poolMB = 32
+	}
+	poolPages := poolMB * 1024 * 1024 / pagestore.DefaultPageSize
+	rep := &FullScaleReport{PoolMB: poolMB, Seed: seed}
+	for _, articles := range scales {
+		cfg := dblpgen.Config{Articles: articles, Seed: seed}
+		pt := FullScalePoint{Articles: articles}
+		var err error
+		if pt.Compressed, pt.Nodes, err = measureFullVariant("compressed", cfg, poolPages, false, logf); err != nil {
+			return nil, err
+		}
+		if pt.Uncompressed, _, err = measureFullVariant("uncompressed", cfg, poolPages, true, logf); err != nil {
+			return nil, err
+		}
+		for i, q := range pt.Compressed.Queries {
+			if u := pt.Uncompressed.Queries[i]; q.ResultHash != u.ResultHash {
+				return nil, fmt.Errorf("bench: fullscale %d articles %s: compressed result hash %s != uncompressed %s",
+					articles, q.ID, q.ResultHash, u.ResultHash)
+			}
+		}
+		pt.IndexReductionPct = reductionPct(pt.Compressed.Size.IndexBytes, pt.Uncompressed.Size.IndexBytes)
+		pt.TotalReductionPct = reductionPct(pt.Compressed.Size.TotalBytes, pt.Uncompressed.Size.TotalBytes)
+		if cw := pt.Compressed.Queries[0].WallNS; cw > 0 {
+			pt.GroupbyE1Speedup = float64(pt.Uncompressed.Queries[0].WallNS) / float64(cw)
+		}
+		logf("scale %d: index -%.1f%%, total -%.1f%%, E1 speedup %.2fx",
+			articles, pt.IndexReductionPct, pt.TotalReductionPct, pt.GroupbyE1Speedup)
+		rep.Scales = append(rep.Scales, pt)
+	}
+	return rep, nil
+}
+
+func reductionPct(compressed, plain uint64) float64 {
+	if plain == 0 {
+		return 0
+	}
+	return 100 * (1 - float64(compressed)/float64(plain))
+}
+
+func measureFullVariant(name string, cfg dblpgen.Config, poolPages int, uncompressed bool, logf func(string, ...any)) (v FullScaleVariant, nodes int, err error) {
+	v.Name = name
+	db, err := storage.CreateTemp(storage.Options{
+		PageSize:     pagestore.DefaultPageSize,
+		PoolPages:    poolPages,
+		Uncompressed: uncompressed,
+	})
+	if err != nil {
+		return v, 0, err
+	}
+	defer func() {
+		if cerr := db.Close(); err == nil {
+			err = cerr
+		}
+	}()
+
+	start := time.Now()
+	stats, err := dblpgen.GenerateToDB(db, cfg)
+	if err != nil {
+		return v, 0, err
+	}
+	v.LoadMS = time.Since(start).Milliseconds()
+	nodes = stats.Nodes
+	logf("%s %d articles: loaded %v in %v", name, cfg.Articles, stats, time.Since(start).Round(time.Millisecond))
+
+	if v.Size, err = db.SizeInfo(); err != nil {
+		return v, 0, err
+	}
+
+	// Posting decode cost: one warm-up pass faults the list in, the
+	// timed pass measures traversal + decode alone.
+	if _, err = db.TagPostings("author"); err != nil {
+		return v, 0, err
+	}
+	t0 := time.Now()
+	ps, err := db.TagPostings("author")
+	if err != nil {
+		return v, 0, err
+	}
+	decode := time.Since(t0)
+	v.AuthorPostings = len(ps)
+	if len(ps) > 0 {
+		v.DecodeNSPerPosting = float64(decode.Nanoseconds()) / float64(len(ps))
+	}
+
+	for _, fq := range fullScaleQueries {
+		q, err := BuildQuery(fq.text)
+		if err != nil {
+			return v, 0, err
+		}
+		spec := q.Spec
+		spec.Strategy = exec.StrategyGroupBy
+		var trees []*xmltree.Node
+		m, err := Measure(db, fq.id, func() (*exec.Result, error) {
+			res, err := exec.Run(db, spec, exec.Options{})
+			if res != nil {
+				trees = res.Trees
+			}
+			return res, err
+		})
+		if err != nil {
+			return v, 0, err
+		}
+		v.Queries = append(v.Queries, FullScaleQuery{
+			ID:         fq.id,
+			WallNS:     m.Wall.Nanoseconds(),
+			Fetches:    m.Pool.Fetches,
+			Groups:     m.Groups,
+			ResultHash: hashTrees(trees),
+		})
+		logf("%s %d articles %s: %v, %d fetches, %d groups",
+			name, cfg.Articles, fq.id, m.Wall.Round(time.Millisecond), m.Pool.Fetches, m.Groups)
+	}
+	return v, nodes, nil
+}
+
+// hashTrees fingerprints result trees byte-exactly (serialized form,
+// in order) for cross-format equality checks.
+func hashTrees(trees []*xmltree.Node) string {
+	h := fnv.New64a()
+	for _, tr := range trees {
+		if err := xmltree.Serialize(h, tr); err != nil {
+			// The fnv writer never fails; a serialize error means a
+			// malformed tree, which the hash mismatch will surface.
+			fmt.Fprintf(h, "!%v", err)
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// AssertIndexReduction fails unless every scale's index bytes-on-disk
+// shrank by at least minPct — the acceptance floor the bench-check
+// target enforces.
+func (r *FullScaleReport) AssertIndexReduction(minPct float64) error {
+	for _, pt := range r.Scales {
+		if pt.IndexReductionPct < minPct {
+			return fmt.Errorf("bench: fullscale %d articles: index reduction %.1f%% below the %.1f%% floor",
+				pt.Articles, pt.IndexReductionPct, minPct)
+		}
+	}
+	return nil
+}
+
+// FullScaleTable renders the report as an aligned text table.
+func FullScaleTable(r *FullScaleReport) string {
+	out := fmt.Sprintf("%-10s %-13s %12s %12s %10s %12s %12s %10s\n",
+		"articles", "variant", "disk MB", "index MB", "ns/post", "e1 wall", "e1 fetches", "e2 wall")
+	mb := func(b uint64) float64 { return float64(b) / (1 << 20) }
+	for _, pt := range r.Scales {
+		for _, v := range []FullScaleVariant{pt.Compressed, pt.Uncompressed} {
+			out += fmt.Sprintf("%-10d %-13s %12.2f %12.2f %10.1f %12v %12d %10v\n",
+				pt.Articles, v.Name, mb(v.Size.TotalBytes), mb(v.Size.IndexBytes),
+				v.DecodeNSPerPosting,
+				time.Duration(v.Queries[0].WallNS).Round(time.Millisecond), v.Queries[0].Fetches,
+				time.Duration(v.Queries[1].WallNS).Round(time.Millisecond))
+		}
+		out += fmt.Sprintf("%-10d reduction: index -%.1f%%, total -%.1f%%, E1 speedup %.2fx\n",
+			pt.Articles, pt.IndexReductionPct, pt.TotalReductionPct, pt.GroupbyE1Speedup)
+	}
+	return out
+}
+
+// WriteJSON writes the report, indented, to path.
+func (r *FullScaleReport) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -67,7 +67,11 @@ func (t *Tree) Root() pagestore.PageID { return t.root }
 
 // MaxCell returns the largest key+value byte total a tree in the store
 // can accept. It guarantees a post-split node can always host the cell.
-func (t *Tree) MaxCell() int { return (t.st.PageSize() - nodeOverhead) / 4 }
+func (t *Tree) MaxCell() int { return MaxCellFor(t.st.PageSize()) }
+
+// MaxCellFor returns the MaxCell bound for a given usable page size,
+// for callers that size cells before a tree exists (bulk-load planning).
+func MaxCellFor(pageSize int) int { return (pageSize - nodeOverhead) / 4 }
 
 // cell is one key/value pair in a leaf, or one separator/child pair in
 // an internal node (value unused there).

@@ -1,0 +1,50 @@
+package btree
+
+import "timber/internal/pagestore"
+
+// TreeStats is a size breakdown of a tree, produced by PageStats. Byte
+// figures count the usable page size for every page the tree occupies,
+// so they reflect the tree's claim on the store, not just live cells.
+type TreeStats struct {
+	// Pages is the total number of pages (leaf + internal).
+	Pages uint32
+	// LeafPages is the number of leaf pages.
+	LeafPages uint32
+	// Cells is the number of leaf cells (keys).
+	Cells uint64
+	// CellBytes is the total encoded key+value payload in leaf cells.
+	CellBytes uint64
+}
+
+// PageStats walks the whole tree and returns its size breakdown. Size
+// reporting only — it fetches every page in the tree.
+func (t *Tree) PageStats() (TreeStats, error) {
+	var st TreeStats
+	err := t.pageStats(t.root, &st)
+	return st, err
+}
+
+func (t *Tree) pageStats(id pagestore.PageID, st *TreeStats) error {
+	n, err := t.readNode(id)
+	if err != nil {
+		return err
+	}
+	st.Pages++
+	if n.leaf {
+		st.LeafPages++
+		st.Cells += uint64(len(n.cells))
+		for _, c := range n.cells {
+			st.CellBytes += uint64(len(c.key) + len(c.value))
+		}
+		return nil
+	}
+	if err := t.pageStats(n.left, st); err != nil {
+		return err
+	}
+	for _, c := range n.cells {
+		if err := t.pageStats(c.child, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -2,7 +2,9 @@ package exec
 
 import (
 	"encoding/binary"
-	"fmt"
+	"errors"
+	"math"
+	"sync"
 
 	"timber/internal/pagestore"
 	"timber/internal/storage"
@@ -62,6 +64,35 @@ func newBatch(capacity int) *Batch {
 	return &Batch{Rows: make([]Row, 0, capacity)}
 }
 
+// batchPool recycles row slices across operators and exchange
+// fragments. Reuse is strictly capacity-exact: a pooled batch whose
+// slice does not match the requested capacity gets a fresh slice
+// rather than a resized one, so batch-count telemetry (and therefore
+// result byte-identity across parallelism levels) never depends on
+// what happened to be in the pool.
+var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+
+func getBatch(capacity int) *Batch {
+	if capacity <= 0 {
+		capacity = defaultBatchSize
+	}
+	b := batchPool.Get().(*Batch)
+	if cap(b.Rows) != capacity {
+		b.Rows = make([]Row, 0, capacity)
+	}
+	return b
+}
+
+// putBatch zeroes the rows — dropping key-string and posting
+// references so pooled memory doesn't pin them — and returns the batch
+// for reuse.
+func putBatch(b *Batch) {
+	rows := b.Rows[:cap(b.Rows)]
+	clear(rows)
+	b.Rows = rows[:0]
+	batchPool.Put(b)
+}
+
 // Reset empties the batch, keeping its capacity.
 func (b *Batch) Reset() { b.Rows = b.Rows[:0] }
 
@@ -117,9 +148,11 @@ func (c *opCounts) add(o *opCounts) {
 	c.batches += o.batches
 }
 
-// rowReader adapts a batch iterator to row-at-a-time pulls for
-// operators whose logic is inherently per-row (chunked joins, merges).
-// It owns one batch and refills it on demand.
+// rowReader adapts a batch iterator to demand-driven pulls for
+// operators that consume at their own pace (chunked joins, merges).
+// It owns one pooled batch and refills it on demand; the owning
+// operator returns the batch to the pool by calling release from its
+// Close.
 type rowReader struct {
 	it   Iterator
 	b    *Batch
@@ -128,7 +161,7 @@ type rowReader struct {
 }
 
 func newRowReader(it Iterator, batchSize int) *rowReader {
-	return &rowReader{it: it, b: newBatch(batchSize)}
+	return &rowReader{it: it, b: getBatch(batchSize)}
 }
 
 // next returns the next row, or ok=false at end of stream.
@@ -152,75 +185,149 @@ func (r *rowReader) next() (Row, bool, error) {
 	return row, true, nil
 }
 
-// Row spill codec. Blocking operators that exceed their memory budget
-// write sorted runs of encoded rows through storage.Spool; the layout
-// is fixed-width fields plus a length-prefixed key.
-const rowFixedLen = 1 + 1 + postingLen + postingLen + 8 + 4
-
-const postingLen = 4 + 4 + 4 + 2 + 4 + 2
-
-func appendPosting(b []byte, p storage.Posting) []byte {
-	var tmp [postingLen]byte
-	binary.LittleEndian.PutUint32(tmp[0:], uint32(p.Interval.Doc))
-	binary.LittleEndian.PutUint32(tmp[4:], p.Interval.Start)
-	binary.LittleEndian.PutUint32(tmp[8:], p.Interval.End)
-	binary.LittleEndian.PutUint16(tmp[12:], p.Interval.Level)
-	binary.LittleEndian.PutUint32(tmp[14:], uint32(p.RID.Page))
-	binary.LittleEndian.PutUint16(tmp[18:], uint16(p.RID.Slot))
-	return append(b, tmp[:]...)
+// span returns the reader's unconsumed rows, refilling from the child
+// when none remain. A nil span signals end of stream. The slice
+// aliases the reader's batch: consume a prefix, report it via advance,
+// and do not retain the slice across another span or next call.
+func (r *rowReader) span() ([]Row, error) {
+	if r.done {
+		return nil, nil
+	}
+	for r.pos >= len(r.b.Rows) {
+		if err := r.it.Next(r.b); err != nil {
+			r.done = true
+			return nil, err
+		}
+		if len(r.b.Rows) == 0 {
+			r.done = true
+			return nil, nil
+		}
+		r.pos = 0
+	}
+	return r.b.Rows[r.pos:], nil
 }
 
-func decodePostingAt(b []byte) storage.Posting {
-	var p storage.Posting
-	p.Interval.Doc = xmltree.DocID(binary.LittleEndian.Uint32(b[0:]))
-	p.Interval.Start = binary.LittleEndian.Uint32(b[4:])
-	p.Interval.End = binary.LittleEndian.Uint32(b[8:])
-	p.Interval.Level = binary.LittleEndian.Uint16(b[12:])
-	p.RID.Page = pagestore.PageID(binary.LittleEndian.Uint32(b[14:]))
-	p.RID.Slot = pagestore.Slot(binary.LittleEndian.Uint16(b[18:]))
-	return p
+// advance marks the first n rows of the current span consumed.
+func (r *rowReader) advance(n int) { r.pos += n }
+
+// release returns the reader's batch to the pool and terminates the
+// reader. Idempotent; call from the owning operator's Close.
+func (r *rowReader) release() {
+	if r.b != nil {
+		putBatch(r.b)
+		r.b = nil
+	}
+	r.done = true
+}
+
+// Row spill codec. Blocking operators that exceed their memory budget
+// write sorted runs of encoded rows through storage.Spool. The layout
+// is all-varint (the v1 format was 54 fixed bytes plus the key): a
+// kind byte and a flags byte, the member and aux postings as
+// {doc, start, extent, level, page, slot}, Ord as a signed varint,
+// then the key as a uvarint length plus bytes. The posting extent
+// (End-Start) is signed so that every Row value — including inverted
+// intervals a fuzzer constructs — round-trips exactly. A row's byte
+// length comes from the spool's slotted records, not a fixed width.
+const rowFlagHasAux = 1 << 0
+
+var errCorruptRow = errors.New("exec: corrupt spilled row")
+
+func appendRowPosting(dst []byte, p storage.Posting) []byte {
+	dst = binary.AppendUvarint(dst, uint64(p.Interval.Doc))
+	dst = binary.AppendUvarint(dst, uint64(p.Interval.Start))
+	dst = binary.AppendVarint(dst, int64(p.Interval.End)-int64(p.Interval.Start))
+	dst = binary.AppendUvarint(dst, uint64(p.Interval.Level))
+	dst = binary.AppendUvarint(dst, uint64(p.RID.Page))
+	dst = binary.AppendUvarint(dst, uint64(p.RID.Slot))
+	return dst
 }
 
 // encodeRow appends the spill encoding of r to dst.
 func encodeRow(dst []byte, r Row) []byte {
 	dst = append(dst, byte(r.Kind))
-	var aux byte
+	var flags byte
 	if r.HasAux {
-		aux = 1
+		flags |= rowFlagHasAux
 	}
-	dst = append(dst, aux)
-	dst = appendPosting(dst, r.Member)
-	dst = appendPosting(dst, r.Aux)
-	var tmp [8]byte
-	binary.LittleEndian.PutUint64(tmp[:], uint64(r.Ord))
-	dst = append(dst, tmp[:]...)
-	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(r.Key)))
-	dst = append(dst, tmp[:4]...)
+	dst = append(dst, flags)
+	dst = appendRowPosting(dst, r.Member)
+	dst = appendRowPosting(dst, r.Aux)
+	dst = binary.AppendVarint(dst, r.Ord)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Key)))
 	dst = append(dst, r.Key...)
 	return dst
 }
 
-// decodeRow parses a spilled row. The key is copied, so the input may
-// alias a pinned page.
+// decodeRow parses a spilled row. It is a total function over byte
+// strings: corrupt input yields an error, never a panic, and the whole
+// input must be consumed. The key is copied, so the input may alias a
+// pinned page.
 func decodeRow(b []byte) (Row, error) {
-	if len(b) < rowFixedLen {
-		return Row{}, fmt.Errorf("exec: corrupt spilled row (%d bytes)", len(b))
+	if len(b) < 2 {
+		return Row{}, errCorruptRow
 	}
 	var r Row
 	r.Kind = rowKind(b[0])
-	r.HasAux = b[1] == 1
+	r.HasAux = b[1]&rowFlagHasAux != 0
 	off := 2
-	r.Member = decodePostingAt(b[off:])
-	off += postingLen
-	r.Aux = decodePostingAt(b[off:])
-	off += postingLen
-	r.Ord = int64(binary.LittleEndian.Uint64(b[off:]))
-	off += 8
-	klen := int(binary.LittleEndian.Uint32(b[off:]))
-	off += 4
-	if len(b) != rowFixedLen+klen {
-		return Row{}, fmt.Errorf("exec: corrupt spilled row (%d bytes, key %d)", len(b), klen)
+	bad := false
+	uv := func() uint64 {
+		v, n := binary.Uvarint(b[off:])
+		if n <= 0 {
+			bad = true
+			return 0
+		}
+		off += n
+		return v
 	}
-	r.Key = string(b[off : off+klen])
+	sv := func() int64 {
+		v, n := binary.Varint(b[off:])
+		if n <= 0 {
+			bad = true
+			return 0
+		}
+		off += n
+		return v
+	}
+	posting := func() (storage.Posting, bool) {
+		doc, start := uv(), uv()
+		extent := sv()
+		level, page, slot := uv(), uv(), uv()
+		var p storage.Posting
+		if bad || doc > math.MaxUint32 || start > math.MaxUint32 ||
+			level > math.MaxUint16 || page > math.MaxUint32 || slot > math.MaxUint16 {
+			return p, false
+		}
+		end := int64(start) + extent
+		if end < 0 || end > math.MaxUint32 {
+			return p, false
+		}
+		p.Interval = xmltree.Interval{
+			Doc:   xmltree.DocID(doc),
+			Start: uint32(start),
+			End:   uint32(end),
+			Level: uint16(level),
+		}
+		p.RID = pagestore.RID{Page: pagestore.PageID(page), Slot: pagestore.Slot(slot)}
+		return p, true
+	}
+	var ok bool
+	if r.Member, ok = posting(); !ok {
+		return Row{}, errCorruptRow
+	}
+	if r.Aux, ok = posting(); !ok {
+		return Row{}, errCorruptRow
+	}
+	r.Ord = sv()
+	klen := uv()
+	if bad || klen > uint64(len(b)-off) {
+		return Row{}, errCorruptRow
+	}
+	r.Key = string(b[off : off+int(klen)])
+	off += int(klen)
+	if off != len(b) {
+		return Row{}, errCorruptRow
+	}
 	return r, nil
 }

@@ -1,0 +1,117 @@
+package exec
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"timber/internal/dblpgen"
+	"timber/internal/obs"
+	"timber/internal/paperdata"
+	"timber/internal/storage"
+)
+
+// buildEquivDB loads the shared equivalence corpus — the paper's
+// sample database plus three generated DBLP fragments — into a fresh
+// temp database with the given storage options.
+func buildEquivDB(t *testing.T, opts storage.Options) *storage.DB {
+	t.Helper()
+	db, err := storage.CreateTemp(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if _, err := db.LoadDocument("bib.xml", paperdata.SampleDatabase()); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range []int64{7, 11, 13} {
+		root, _ := dblpgen.Generate(dblpgen.Config{Articles: 30, Seed: seed})
+		if _, err := db.LoadDocument(fmt.Sprintf("dblp-%d.xml", i), root); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// collectOps accumulates the per-operator row/batch counters from a
+// finished trace, keyed by span name.
+func collectOps(d *obs.SpanData, into map[string]map[string]int64) {
+	if len(d.Ops) > 0 {
+		m := into[d.Name]
+		if m == nil {
+			m = map[string]int64{}
+			into[d.Name] = m
+		}
+		for k, v := range d.Ops {
+			m[k] += v
+		}
+	}
+	for _, c := range d.Children {
+		collectOps(c, into)
+	}
+}
+
+// TestCompressedUncompressedEquivalence is the format-bump safety net:
+// the same corpus loaded under the compact+compressed default and
+// under Uncompressed must answer every corpus query with byte-identical
+// trees, identical ExecStats, and identical per-operator trace row
+// counts — at parallelism 1 and 4. The compressed formats may only
+// change where bytes live, never what flows through the executor.
+func TestCompressedUncompressedEquivalence(t *testing.T) {
+	comp := buildEquivDB(t, storage.Options{PageSize: 2048, PoolPages: 512})
+	unc := buildEquivDB(t, storage.Options{PageSize: 2048, PoolPages: 512, Uncompressed: true})
+	if !comp.Compact() || unc.Compact() {
+		t.Fatalf("Compact() = %v/%v, want true/false", comp.Compact(), unc.Compact())
+	}
+
+	// The compact formats must actually shrink the database.
+	ci, err := comp.SizeInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ui, err := unc.SizeInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.TotalPages >= ui.TotalPages {
+		t.Errorf("compact database is not smaller: %d pages vs %d", ci.TotalPages, ui.TotalPages)
+	}
+	if ci.IndexPages >= ui.IndexPages {
+		t.Errorf("compact indexes are not smaller: %d pages vs %d", ci.IndexPages, ui.IndexPages)
+	}
+
+	type outcome struct {
+		trees string
+		stats ExecStats
+		ops   map[string]map[string]int64
+	}
+	runOne := func(db *storage.DB, spec Spec, p int) outcome {
+		t.Helper()
+		db.ResetStats()
+		tr := db.NewTracer("equiv")
+		res, err := groupByExec(db, spec, Options{Parallelism: p, Tracer: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops := map[string]map[string]int64{}
+		collectOps(tr.Finish(), ops)
+		return outcome{trees: serializeTrees(res.Trees), stats: res.Stats, ops: ops}
+	}
+
+	for _, q := range streamCorpus {
+		_, _, spec := plansFor(t, q.src)
+		for _, p := range []int{1, 4} {
+			got := runOne(comp, spec, p)
+			want := runOne(unc, spec, p)
+			if got.trees != want.trees {
+				t.Errorf("%s p=%d: compressed trees differ from uncompressed", q.name, p)
+			}
+			if got.stats != want.stats {
+				t.Errorf("%s p=%d: stats %+v vs %+v", q.name, p, got.stats, want.stats)
+			}
+			if !reflect.DeepEqual(got.ops, want.ops) {
+				t.Errorf("%s p=%d: operator counts differ\ncompressed   %v\nuncompressed %v", q.name, p, got.ops, want.ops)
+			}
+		}
+	}
+}

@@ -38,8 +38,25 @@ func (d *dupElimIter) Next(b *Batch) error {
 			return nil
 		}
 		d.counts.in(len(b.Rows))
-		kept := b.Rows[:0]
-		for _, r := range b.Rows {
+		rows := b.Rows
+		// Duplicates are adjacent (the input is member-major), so one
+		// comparison scan detects a duplicate-free batch — the common
+		// case — and passes it through without copying a row.
+		dup := d.have && rows[0].Member.ID() == d.last
+		for i := 1; !dup && i < len(rows); i++ {
+			if rows[i].Member.ID() == rows[i-1].Member.ID() {
+				dup = true
+			}
+		}
+		if !dup {
+			d.have = true
+			d.last = rows[len(rows)-1].Member.ID()
+			d.counts.out(len(rows))
+			d.counts.batch()
+			return nil
+		}
+		kept := rows[:0]
+		for _, r := range rows {
 			id := r.Member.ID()
 			if d.have && id == d.last {
 				continue

@@ -218,7 +218,8 @@ func runFragment(db *storage.DB, spec Spec, doc xmltree.DocID, members []storage
 		if err := loj.Open(); err != nil {
 			return err
 		}
-		b := newBatch(batchSize)
+		b := getBatch(batchSize)
+		defer putBatch(b)
 		for {
 			if err := loj.Next(b); err != nil {
 				return err
@@ -253,7 +254,8 @@ func runFragment(db *storage.DB, spec Spec, doc xmltree.DocID, members []storage
 			if err := opp.Open(); err != nil {
 				return err
 			}
-			b := newBatch(batchSize)
+			b := getBatch(batchSize)
+			defer putBatch(b)
 			for {
 				if err := opp.Next(b); err != nil {
 					return err

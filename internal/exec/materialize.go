@@ -48,7 +48,8 @@ func (s *sink) drain(top Iterator, batchSize int) error {
 	if err := top.Open(); err != nil {
 		return err
 	}
-	b := newBatch(batchSize)
+	b := getBatch(batchSize)
+	defer putBatch(b)
 	basisTag := s.spec.BasisTag()
 	valueTag := s.spec.ValuePath.LastTag()
 	for {

@@ -93,41 +93,73 @@ func (m *mergeLOJIter) Next(b *Batch) error {
 		if m.done {
 			break
 		}
-		l, ok, err := m.lr.next()
+		span, err := m.lr.span()
 		if err != nil {
 			return err
 		}
-		if !ok {
+		if span == nil {
 			// Drain the right tail so the value-pair count is complete
 			// (the materializing executor always computed every pair).
-			for m.rOk {
-				if err := m.primeRight(); err != nil {
-					return err
-				}
+			if err := m.drainRight(); err != nil {
+				return err
 			}
 			m.done = true
 			break
 		}
-		m.counts.in(1)
-		mid := l.Member.ID()
-		if !m.haveBuf || m.bufMember != mid {
-			if err := m.advanceRight(mid); err != nil {
-				return err
+		// Process a run of left rows against the output batch directly;
+		// the m.out staging is only for an expansion that overflows the
+		// batch's remaining room.
+		consumed := 0
+		for consumed < len(span) && !b.full() {
+			l := span[consumed]
+			consumed++
+			mid := l.Member.ID()
+			if !m.haveBuf || m.bufMember != mid {
+				if err := m.advanceRight(mid); err != nil {
+					m.counts.in(consumed)
+					m.lr.advance(consumed)
+					return err
+				}
+			}
+			if len(m.buf) == 0 {
+				b.Rows = append(b.Rows, Row{Member: l.Member, Key: l.Key})
+			} else if len(m.buf) <= cap(b.Rows)-len(b.Rows) {
+				for _, v := range m.buf {
+					b.Rows = append(b.Rows, Row{Member: l.Member, Key: l.Key, Aux: v, HasAux: true})
+				}
+			} else {
+				m.out = m.out[:0]
+				m.outPos = 0
+				for _, v := range m.buf {
+					m.out = append(m.out, Row{Member: l.Member, Key: l.Key, Aux: v, HasAux: true})
+				}
+				break
 			}
 		}
-		m.out = m.out[:0]
-		m.outPos = 0
-		if len(m.buf) == 0 {
-			m.out = append(m.out, Row{Member: l.Member, Key: l.Key})
-		} else {
-			for _, v := range m.buf {
-				m.out = append(m.out, Row{Member: l.Member, Key: l.Key, Aux: v, HasAux: true})
-			}
-		}
+		m.counts.in(consumed)
+		m.lr.advance(consumed)
 	}
 	m.counts.out(len(b.Rows))
 	if len(b.Rows) > 0 {
 		m.counts.batch()
+	}
+	return nil
+}
+
+// drainRight consumes the rest of the right stream span-at-a-time,
+// counting the rows into rightRows.
+func (m *mergeLOJIter) drainRight() error {
+	for m.rOk {
+		span, err := m.rr.span()
+		if err != nil {
+			return err
+		}
+		if span == nil {
+			m.rOk = false
+			break
+		}
+		m.rightRows += int64(len(span))
+		m.rr.advance(len(span))
 	}
 	return nil
 }
@@ -154,5 +186,7 @@ func (m *mergeLOJIter) Close() error {
 	if cerr := m.right.Close(); err == nil {
 		err = cerr
 	}
+	m.lr.release()
+	m.rr.release()
 	return err
 }

@@ -38,11 +38,8 @@ type stepIter struct {
 	rdr    *rowReader
 	cands  *storage.TagCursor
 	// one-posting candidate lookahead
-	candNext storage.Posting
-	candOk   bool
-	// one-row input lookahead (first row of the next chunk)
-	pendRow   Row
-	pendOk    bool
+	candNext  storage.Posting
+	candOk    bool
 	childDone bool
 	// joined rows of the current chunk, served in order
 	out    []Row
@@ -124,31 +121,34 @@ func (s *stepIter) buildChunk() error {
 	s.out = s.out[:0]
 	s.outPos = 0
 
-	// Gather rows until the close condition.
+	// Gather rows until the close condition. The reader's span doubles
+	// as the one-row lookahead: a row that opens the next chunk is
+	// simply left unconsumed.
 	var maxEnd uint32
+gather:
 	for {
-		var row Row
-		if s.pendOk {
-			row, s.pendOk = s.pendRow, false
-		} else {
-			r, ok, err := s.rdr.next()
-			if err != nil {
-				return err
-			}
-			if !ok {
-				s.childDone = true
-				break
-			}
-			row = r
+		span, err := s.rdr.span()
+		if err != nil {
+			return err
 		}
-		if len(s.chunk) > 0 && row.Member.Interval.Start > maxEnd {
-			s.pendRow, s.pendOk = row, true
+		if span == nil {
+			s.childDone = true
 			break
 		}
-		s.chunk = append(s.chunk, row)
-		if row.Aux.Interval.End > maxEnd {
-			maxEnd = row.Aux.Interval.End
+		consumed := 0
+		for consumed < len(span) {
+			row := span[consumed]
+			if len(s.chunk) > 0 && row.Member.Interval.Start > maxEnd {
+				s.rdr.advance(consumed)
+				break gather
+			}
+			s.chunk = append(s.chunk, row)
+			if row.Aux.Interval.End > maxEnd {
+				maxEnd = row.Aux.Interval.End
+			}
+			consumed++
 		}
+		s.rdr.advance(consumed)
 	}
 	s.counts.in(len(s.chunk))
 	if len(s.chunk) == 0 {
@@ -156,19 +156,24 @@ func (s *stepIter) buildChunk() error {
 	}
 
 	// Distinct leaves, sorted by start (one document, so start is the
-	// full node order).
+	// full node order). Equal starts name the same node, so sorting and
+	// squeezing adjacent duplicates replaces the old per-chunk map —
+	// no per-chunk allocation, no hashing per row.
 	s.leaves = s.leaves[:0]
-	seen := map[uint32]bool{}
 	for _, r := range s.chunk {
-		st := r.Aux.Interval.Start
-		if !seen[st] {
-			seen[st] = true
-			s.leaves = append(s.leaves, r.Aux)
-		}
+		s.leaves = append(s.leaves, r.Aux)
 	}
 	sort.Slice(s.leaves, func(i, j int) bool {
 		return s.leaves[i].Interval.Start < s.leaves[j].Interval.Start
 	})
+	n := 0
+	for i, lf := range s.leaves {
+		if i == 0 || lf.Interval.Start != s.leaves[n-1].Interval.Start {
+			s.leaves[n] = lf
+			n++
+		}
+	}
+	s.leaves = s.leaves[:n]
 
 	// Pull the chunk's candidate window.
 	s.candBuf = s.candBuf[:0]
@@ -214,5 +219,6 @@ func (s *stepIter) Close() error {
 			err = cerr
 		}
 	}
+	s.rdr.release()
 	return err
 }

@@ -81,7 +81,8 @@ func (g *groupSortIter) Open() error {
 	if g.ordVals != nil {
 		g.ov = g.ordVals()
 	}
-	b := newBatch(0)
+	b := getBatch(0)
+	defer putBatch(b)
 	for {
 		if err := g.child.Next(b); err != nil {
 			return err
@@ -90,10 +91,13 @@ func (g *groupSortIter) Open() error {
 			break
 		}
 		g.counts.in(len(b.Rows))
-		for _, r := range b.Rows {
-			r.Ord = g.next
+		// Bulk-append the batch, then stamp arrival orders in a second
+		// pass — one grow decision per batch instead of per row.
+		base := len(g.buf)
+		g.buf = append(g.buf, b.Rows...)
+		for i := base; i < len(g.buf); i++ {
+			g.buf[i].Ord = g.next
 			g.next++
-			g.buf = append(g.buf, r)
 		}
 		if g.memRows > 0 && len(g.buf) >= g.memRows {
 			if err := g.spillRun(); err != nil {
@@ -175,10 +179,12 @@ func (g *groupSortIter) advanceRun(i int) error {
 func (g *groupSortIter) Next(b *Batch) error {
 	b.Reset()
 	if len(g.runs) == 0 {
-		for !b.full() && g.pos < len(g.buf) {
-			b.Rows = append(b.Rows, g.buf[g.pos])
-			g.pos++
+		n := len(g.buf) - g.pos
+		if room := cap(b.Rows) - len(b.Rows); n > room {
+			n = room
 		}
+		b.Rows = append(b.Rows, g.buf[g.pos:g.pos+n]...)
+		g.pos += n
 	} else {
 		for !b.full() {
 			best := -1

@@ -39,30 +39,52 @@ func (s *stitchIter) Next(b *Batch) error {
 	b.Reset()
 	for !b.full() {
 		if s.qPos < len(s.q) {
-			b.Rows = append(b.Rows, s.q[s.qPos])
-			s.qPos++
+			n := len(s.q) - s.qPos
+			if room := cap(b.Rows) - len(b.Rows); n > room {
+				n = room
+			}
+			b.Rows = append(b.Rows, s.q[s.qPos:s.qPos+n]...)
+			s.qPos += n
 			continue
 		}
 		if s.done {
 			break
 		}
-		s.q = s.q[:0]
-		s.qPos = 0
-		r, ok, err := s.rdr.next()
+		span, err := s.rdr.span()
 		if err != nil {
 			return err
 		}
-		if !ok {
+		if span == nil {
 			s.done = true
 			break
 		}
-		s.counts.in(1)
-		if !s.haveKey || r.Key != s.lastKey {
-			s.haveKey = true
-			s.lastKey = r.Key
-			s.q = append(s.q, Row{Kind: rowGroup, Key: r.Key})
+		// Weave a run of input rows straight into the output batch; the
+		// queue is only for a binding whose group row took the batch's
+		// last slot.
+		s.q = s.q[:0]
+		s.qPos = 0
+		consumed := 0
+		for consumed < len(span) {
+			room := cap(b.Rows) - len(b.Rows)
+			if room == 0 {
+				break
+			}
+			r := span[consumed]
+			if !s.haveKey || r.Key != s.lastKey {
+				s.haveKey = true
+				s.lastKey = r.Key
+				b.Rows = append(b.Rows, Row{Kind: rowGroup, Key: r.Key})
+				room--
+			}
+			consumed++
+			if room == 0 {
+				s.q = append(s.q, r)
+				break
+			}
+			b.Rows = append(b.Rows, r)
 		}
-		s.q = append(s.q, r)
+		s.counts.in(consumed)
+		s.rdr.advance(consumed)
 	}
 	s.counts.out(len(b.Rows))
 	if len(b.Rows) > 0 {
@@ -71,4 +93,7 @@ func (s *stitchIter) Next(b *Batch) error {
 	return nil
 }
 
-func (s *stitchIter) Close() error { return s.child.Close() }
+func (s *stitchIter) Close() error {
+	s.rdr.release()
+	return s.child.Close()
+}

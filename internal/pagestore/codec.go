@@ -1,0 +1,58 @@
+package pagestore
+
+// Per-page compression. A store created with Options.Codec writes each
+// page through the codec: the on-disk slot keeps the configured
+// PageSize (so page offsets stay a multiplication), but its payload is
+// the compressed page image behind a small header, and the in-memory
+// page the layers above see is codecHeaderLen bytes narrower. The
+// fixed slot means compression never moves a page — it shrinks the
+// bytes that cross the disk boundary (and the counters expose by how
+// much), not the file's address math.
+//
+// Slot layout with a codec:
+//
+//	[0]    flag: 0 = raw page image, 1 = compressed
+//	[1:5)  compressed payload length (little endian; 0 when raw)
+//	[5:]   payload — the compressed image, or the raw page when the
+//	       codec failed to shrink it (incompressible data never
+//	       expands on disk)
+//
+// A hole in the file (a slot allocated but never written) reads back
+// as zeros: flag 0, a zero raw page — exactly what an uncompressed
+// store returns for a never-written page.
+
+// codecHeaderLen is the per-slot framing overhead when a codec is set:
+// one flag byte plus the u32 compressed length.
+const codecHeaderLen = 5
+
+const (
+	slotFlagRaw        = 0
+	slotFlagCompressed = 1
+)
+
+// Codec is a byte-oriented page compressor. Compress appends the
+// compressed form of src to dst and returns the extended slice;
+// Decompress fills dst exactly from the compressed src. A codec must
+// round-trip any input (including incompressible data, where Compress
+// may return something longer than src — the store falls back to a raw
+// slot in that case). Implementations must be safe for concurrent use:
+// the sharded buffer pool compresses evicted pages from multiple
+// goroutines.
+type Codec interface {
+	// Name identifies the codec in metadata and metrics.
+	Name() string
+	// Compress appends the compressed src to dst.
+	Compress(dst, src []byte) []byte
+	// Decompress decodes src into dst, which must have exactly the
+	// original length. Any framing violation returns an error.
+	Decompress(dst, src []byte) error
+}
+
+// CodecName returns the configured codec's name, or "" when the store
+// is uncompressed.
+func (s *Store) CodecName() string {
+	if s.codec == nil {
+		return ""
+	}
+	return s.codec.Name()
+}

@@ -10,6 +10,19 @@ type Heap struct {
 	st    *Store
 	first PageID
 	last  PageID
+	raw   bool
+}
+
+// SetRaw excludes the heap's pages from the store's page codec: the
+// insertion page and every page chained from now on are written raw.
+// Record heaps hold payloads the upper layers already varint-encode,
+// and their access pattern (random point reads during late
+// materialization) makes per-fetch decompression the dominant cost —
+// while fixed-size slots mean compressing them saves no disk space.
+// Call it right after NewHeap/OpenHeap, before inserts.
+func (h *Heap) SetRaw() {
+	h.raw = true
+	h.st.SetRawPage(h.last)
 }
 
 // NewHeap allocates a fresh heap in the store.
@@ -68,6 +81,9 @@ func (h *Heap) Insert(rec []byte) (RID, error) {
 		h.st.Unpin(p, false)
 		return RID{}, err
 	}
+	if h.raw {
+		h.st.SetRawPage(np.ID())
+	}
 	nsp := InitSlotted(np)
 	sp.SetNext(np.ID())
 	h.st.Unpin(p, true)
@@ -111,6 +127,24 @@ func (h *Heap) View(rid RID, fn func(rec []byte) error) error {
 		return err
 	}
 	return fn(rec)
+}
+
+// Pages walks the heap's page chain and returns its length. Size
+// reporting only — it fetches every page in the chain.
+func (h *Heap) Pages() (uint32, error) {
+	var n uint32
+	id := h.first
+	for id != InvalidPage {
+		p, err := h.st.Fetch(id)
+		if err != nil {
+			return n, err
+		}
+		next := ViewSlotted(p).Next()
+		h.st.Unpin(p, false)
+		n++
+		id = next
+	}
+	return n, nil
 }
 
 // Scan visits every live record in the heap in (page, slot) order. The

@@ -1,0 +1,149 @@
+package pagestore
+
+import (
+	"errors"
+	"sync"
+)
+
+// lz is the built-in page codec: a byte-oriented LZ77 compressor in the
+// lz4/snappy family, implemented in-repo so the store has a compression
+// fallback without any dependency. The format is a token stream:
+//
+//	control c in 0x00..0x7f: a literal run of c+1 bytes follows
+//	control c in 0x80..0xff: a match of length (c & 0x7f) + 4, copied
+//	    from offset (u16 little endian, 1..65535 bytes back in the
+//	    output); the two offset bytes follow the control byte
+//
+// Matches need at least lzMinMatch bytes, so a match token (3 bytes)
+// never loses to the literals it replaces. The compressor is a greedy
+// single-pass hash-table matcher — the standard fast-LZ shape: good
+// ratios on the page images it sees (B+tree nodes full of shared key
+// prefixes, slotted pages of similar records), speed bounded by one
+// table probe per input byte.
+const (
+	lzMinMatch  = 4
+	lzMaxMatch  = 0x7f + lzMinMatch // 131: what one control byte can say
+	lzMaxOffset = 1<<16 - 1
+	lzTableBits = 12
+	lzTableSize = 1 << lzTableBits
+)
+
+var errLZCorrupt = errors.New("pagestore: corrupt lz stream")
+
+type lzCodec struct {
+	tables sync.Pool // of *[lzTableSize]int32
+}
+
+// LZ returns the built-in LZ77 page codec. The returned codec is safe
+// for concurrent use and may be shared between stores.
+func LZ() Codec {
+	c := &lzCodec{}
+	c.tables.New = func() any { return new([lzTableSize]int32) }
+	return c
+}
+
+func (c *lzCodec) Name() string { return "lz" }
+
+func lzLoad32(b []byte, i int) uint32 {
+	return uint32(b[i]) | uint32(b[i+1])<<8 | uint32(b[i+2])<<16 | uint32(b[i+3])<<24
+}
+
+func lzHash(v uint32) uint32 { return (v * 2654435761) >> (32 - lzTableBits) }
+
+// appendLiterals emits src as literal runs of at most 128 bytes each.
+func appendLiterals(dst, src []byte) []byte {
+	for len(src) > 0 {
+		n := len(src)
+		if n > 128 {
+			n = 128
+		}
+		dst = append(dst, byte(n-1))
+		dst = append(dst, src[:n]...)
+		src = src[n:]
+	}
+	return dst
+}
+
+func (c *lzCodec) Compress(dst, src []byte) []byte {
+	table := c.tables.Get().(*[lzTableSize]int32)
+	clear(table[:])
+	// Table entries store position+1 so the zeroed table means "empty".
+	lit := 0
+	i := 0
+	limit := len(src) - lzMinMatch
+	for i <= limit {
+		v := lzLoad32(src, i)
+		h := lzHash(v)
+		cand := int(table[h]) - 1
+		table[h] = int32(i + 1)
+		if cand < 0 || i-cand > lzMaxOffset || lzLoad32(src, cand) != v {
+			i++
+			continue
+		}
+		mlen := lzMinMatch
+		for i+mlen < len(src) && mlen < lzMaxMatch && src[cand+mlen] == src[i+mlen] {
+			mlen++
+		}
+		dst = appendLiterals(dst, src[lit:i])
+		off := i - cand
+		dst = append(dst, 0x80|byte(mlen-lzMinMatch), byte(off), byte(off>>8))
+		// Index the matched region so the next match can start inside it
+		// (runs and periodic data chain from match to match).
+		end := i + mlen
+		for j := i + 1; j < end && j <= limit; j++ {
+			table[lzHash(lzLoad32(src, j))] = int32(j + 1)
+		}
+		i = end
+		lit = end
+	}
+	dst = appendLiterals(dst, src[lit:])
+	c.tables.Put(table)
+	return dst
+}
+
+func (c *lzCodec) Decompress(dst, src []byte) error {
+	d, s := 0, 0
+	for s < len(src) {
+		ctrl := src[s]
+		s++
+		if ctrl < 0x80 {
+			n := int(ctrl) + 1
+			if s+n > len(src) || d+n > len(dst) {
+				return errLZCorrupt
+			}
+			copy(dst[d:], src[s:s+n])
+			s += n
+			d += n
+			continue
+		}
+		if s+2 > len(src) {
+			return errLZCorrupt
+		}
+		mlen := int(ctrl&0x7f) + lzMinMatch
+		off := int(src[s]) | int(src[s+1])<<8
+		s += 2
+		if off == 0 || off > d || d+mlen > len(dst) {
+			return errLZCorrupt
+		}
+		if off >= mlen {
+			// Disjoint source: one memmove. This is the hot path — a
+			// byte loop here dominates page-fault cost under a cold pool.
+			copy(dst[d:d+mlen], dst[d-off:])
+			d += mlen
+			continue
+		}
+		// Overlapping match (off < mlen encodes a repeating run): the
+		// readable source grows as output is produced, so copy in
+		// geometrically widening chunks (off, 2·off, 4·off, ...).
+		pos := d - off
+		n := copy(dst[d:d+mlen], dst[pos:d])
+		for n < mlen {
+			n += copy(dst[d+n:d+mlen], dst[pos:d+n])
+		}
+		d += mlen
+	}
+	if d != len(dst) {
+		return errLZCorrupt
+	}
+	return nil
+}

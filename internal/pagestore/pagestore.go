@@ -57,6 +57,12 @@ type Options struct {
 	// one frame. Shards: 1 reproduces the single-lock pool exactly
 	// (one global LRU).
 	Shards int
+	// Codec enables per-page compression (see codec.go). The on-disk
+	// slot stays PageSize bytes, the usable in-memory page shrinks by
+	// codecHeaderLen, and every page write records its compressed and
+	// uncompressed byte counts in Stats. Must match the codec (or its
+	// absence) the file was created with.
+	Codec Codec
 }
 
 func (o Options) withDefaults() Options {
@@ -93,6 +99,14 @@ type Stats struct {
 	Evictions uint64
 	// Allocations is the number of pages allocated.
 	Allocations uint64
+	// CompressedBytes is the total payload written to disk by page
+	// writes under a codec (header plus compressed image, or the full
+	// slot for incompressible pages). Zero without a codec.
+	CompressedBytes uint64
+	// UncompressedBytes is the total uncompressed size of those same
+	// page writes; CompressedBytes/UncompressedBytes is the effective
+	// write-volume compression ratio.
+	UncompressedBytes uint64
 }
 
 // HitRate returns the fraction of fetches served from the buffer pool,
@@ -104,9 +118,22 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Fetches)
 }
 
+// CompressionRatio returns CompressedBytes/UncompressedBytes, or 1
+// when no compressed writes happened.
+func (s Stats) CompressionRatio() float64 {
+	if s.UncompressedBytes == 0 {
+		return 1
+	}
+	return float64(s.CompressedBytes) / float64(s.UncompressedBytes)
+}
+
 func (s Stats) String() string {
-	return fmt.Sprintf("fetches=%d hits=%d (%.1f%%) reads=%d writes=%d evictions=%d allocs=%d",
+	out := fmt.Sprintf("fetches=%d hits=%d (%.1f%%) reads=%d writes=%d evictions=%d allocs=%d",
 		s.Fetches, s.Hits, 100*s.HitRate(), s.PhysicalReads, s.PhysicalWrites, s.Evictions, s.Allocations)
+	if s.UncompressedBytes > 0 {
+		out += fmt.Sprintf(" codec=%d/%d (%.1f%%)", s.CompressedBytes, s.UncompressedBytes, 100*s.CompressionRatio())
+	}
+	return out
 }
 
 // counters is the atomic backing for Stats. Counters are updated with
@@ -115,22 +142,26 @@ func (s Stats) String() string {
 // exact, though two counters loaded mid-burst may be from instants a
 // few operations apart).
 type counters struct {
-	fetches        atomic.Uint64
-	hits           atomic.Uint64
-	physicalReads  atomic.Uint64
-	physicalWrites atomic.Uint64
-	evictions      atomic.Uint64
-	allocations    atomic.Uint64
+	fetches           atomic.Uint64
+	hits              atomic.Uint64
+	physicalReads     atomic.Uint64
+	physicalWrites    atomic.Uint64
+	evictions         atomic.Uint64
+	allocations       atomic.Uint64
+	compressedBytes   atomic.Uint64
+	uncompressedBytes atomic.Uint64
 }
 
 func (c *counters) snapshot() Stats {
 	return Stats{
-		Fetches:        c.fetches.Load(),
-		Hits:           c.hits.Load(),
-		PhysicalReads:  c.physicalReads.Load(),
-		PhysicalWrites: c.physicalWrites.Load(),
-		Evictions:      c.evictions.Load(),
-		Allocations:    c.allocations.Load(),
+		Fetches:           c.fetches.Load(),
+		Hits:              c.hits.Load(),
+		PhysicalReads:     c.physicalReads.Load(),
+		PhysicalWrites:    c.physicalWrites.Load(),
+		Evictions:         c.evictions.Load(),
+		Allocations:       c.allocations.Load(),
+		CompressedBytes:   c.compressedBytes.Load(),
+		UncompressedBytes: c.uncompressedBytes.Load(),
 	}
 }
 
@@ -141,6 +172,8 @@ func (c *counters) reset() {
 	c.physicalWrites.Store(0)
 	c.evictions.Store(0)
 	c.allocations.Store(0)
+	c.compressedBytes.Store(0)
+	c.uncompressedBytes.Store(0)
 }
 
 // ErrPoolExhausted is returned when every frame in the buffer pool
@@ -166,8 +199,14 @@ func (p *Page) ID() PageID { return p.id }
 func (p *Page) Data() []byte { return p.frame.data }
 
 type frame struct {
-	id      PageID
-	data    []byte
+	id   PageID
+	data []byte
+	// slot, in codec stores, is the full on-disk slot image backing
+	// data (data aliases slot past the 5-byte header). Raw-flagged
+	// slots then read and write directly through the frame with no
+	// intermediate copy; only actually-compressed slots touch scratch
+	// buffers. Nil without a codec.
+	slot    []byte
 	pins    int
 	dirty   bool
 	lruElem *list.Element // non-nil iff pins == 0 (frame is evictable)
@@ -196,6 +235,20 @@ type Store struct {
 	allocMu  sync.Mutex // serializes page-ID assignment (Allocate vs Allocate)
 	stats    counters
 	closed   atomic.Bool
+
+	// codec, when non-nil, compresses page images on write and expands
+	// them on read; usable is the in-memory page size the layers above
+	// see (opts.PageSize minus the slot header). slotBufs pools
+	// scratch buffers for compress output and staged compressed
+	// payloads (raw slots move through the frame itself). rawPages
+	// holds pages excluded from the codec (SetRawPage): their slots are
+	// written with the raw flag, so reads — which dispatch on the slot's
+	// own flag byte — need no marking.
+	codec    Codec
+	usable   int
+	slotBufs sync.Pool
+	rawMu    sync.RWMutex
+	rawPages map[PageID]struct{}
 }
 
 // Create creates (or truncates) the file at path and opens a store over
@@ -256,7 +309,17 @@ func newStore(f *os.File, opts Options, numPages uint32) (*Store, error) {
 		f.Close()
 		return nil, fmt.Errorf("pagestore: pool must hold at least one page")
 	}
-	s := &Store{file: f, opts: o, shards: make([]shard, o.Shards)}
+	s := &Store{file: f, opts: o, shards: make([]shard, o.Shards), codec: o.Codec, usable: o.PageSize}
+	if s.codec != nil {
+		s.usable = o.PageSize - codecHeaderLen
+		// Compress output can exceed the input on incompressible data;
+		// give the scratch buffers headroom so Compress rarely grows.
+		scratch := o.PageSize + o.PageSize/8 + 64
+		s.slotBufs.New = func() any {
+			b := make([]byte, 0, scratch)
+			return &b
+		}
+	}
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.frames = make(map[PageID]*frame)
@@ -274,8 +337,46 @@ func newStore(f *os.File, opts Options, numPages uint32) (*Store, error) {
 	return s, nil
 }
 
-// PageSize returns the store's page size in bytes.
-func (s *Store) PageSize() int { return s.opts.PageSize }
+// PageSize returns the usable in-memory page size in bytes. Without a
+// codec this equals the on-disk slot size; with one it is the slot
+// minus the compression header.
+func (s *Store) PageSize() int { return s.usable }
+
+// SlotSize returns the on-disk bytes per page (the configured
+// PageSize). With a codec this exceeds PageSize() by the slot header;
+// file size is always NumPages * SlotSize.
+func (s *Store) SlotSize() int { return s.opts.PageSize }
+
+// SetRawPage excludes a page from the store's codec: future writes of
+// it store the raw image (slot flag raw) instead of compressing. Slots
+// are fixed-size, so the codec trims write I/O bytes, never the file —
+// pages whose payloads are already tightly encoded (varint-packed
+// records, spill runs) gain nothing from a second pass, while every
+// cold fetch of them would pay the decompression. Reads need no
+// marking: each slot self-describes via its flag byte. No-op without a
+// codec.
+func (s *Store) SetRawPage(id PageID) {
+	if s.codec == nil {
+		return
+	}
+	s.rawMu.Lock()
+	if s.rawPages == nil {
+		s.rawPages = make(map[PageID]struct{})
+	}
+	s.rawPages[id] = struct{}{}
+	s.rawMu.Unlock()
+}
+
+// rawPage reports whether the page is codec-exempt.
+func (s *Store) rawPage(id PageID) bool {
+	if s.codec == nil {
+		return false
+	}
+	s.rawMu.RLock()
+	_, ok := s.rawPages[id]
+	s.rawMu.RUnlock()
+	return ok
+}
 
 // PoolPages returns the buffer pool capacity in pages.
 func (s *Store) PoolPages() int { return s.opts.PoolPages }
@@ -387,6 +488,13 @@ func (s *Store) allocShard(sh *shard, id PageID) (*Page, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A new page must read as zeros (reused victim buffers hold stale
+	// images; fetchShard needs no such clear — readInto covers every
+	// byte).
+	clear(fr.data)
+	if fr.slot != nil {
+		clear(fr.slot[:codecHeaderLen])
+	}
 	s.numPages.Add(1)
 	s.stats.allocations.Add(1)
 	fr.pins = 1
@@ -438,7 +546,7 @@ func (s *Store) fetchShard(sh *shard, id PageID) (*Page, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := s.readInto(id, fr.data); err != nil {
+	if err := s.readInto(fr); err != nil {
 		return nil, err
 	}
 	s.stats.physicalReads.Add(1)
@@ -501,7 +609,14 @@ func (s *Store) Release(p *Page, dirty bool) error {
 // Caller holds sh.mu.
 func (s *Store) freeFrame(sh *shard, id PageID) (*frame, error) {
 	if len(sh.frames) < sh.cap {
-		return &frame{id: id, data: make([]byte, s.opts.PageSize)}, nil
+		fr := &frame{id: id}
+		if s.codec != nil {
+			fr.slot = make([]byte, s.opts.PageSize)
+			fr.data = fr.slot[codecHeaderLen : codecHeaderLen+s.usable]
+		} else {
+			fr.data = make([]byte, s.usable)
+		}
+		return fr, nil
 	}
 	el := sh.lru.Front()
 	if el == nil {
@@ -517,31 +632,137 @@ func (s *Store) freeFrame(sh *shard, id PageID) (*frame, error) {
 	}
 	delete(sh.frames, victim.id)
 	s.stats.evictions.Add(1)
-	// Reuse the victim's buffer.
-	for i := range victim.data {
-		victim.data[i] = 0
-	}
+	// The victim's buffer is reused as is: readInto overwrites (or
+	// zero-fills) every byte, and allocShard clears it for fresh pages.
 	victim.id = id
 	victim.pins = 0
 	victim.dirty = false
 	return victim, nil
 }
 
-func (s *Store) readInto(id PageID, buf []byte) error {
-	off := int64(id) * int64(s.opts.PageSize)
-	if _, err := s.file.ReadAt(buf, off); err != nil && err != io.EOF {
-		return fmt.Errorf("pagestore: read page %d: %w", id, err)
+func (s *Store) readInto(fr *frame) error {
+	off := int64(fr.id) * int64(s.opts.PageSize)
+	if s.codec == nil {
+		n, err := s.file.ReadAt(fr.data, off)
+		if err != nil && err != io.EOF {
+			return fmt.Errorf("pagestore: read page %d: %w", fr.id, err)
+		}
+		// A short read (io.EOF past the written tail) must leave a zero
+		// page; the reused frame buffer may hold a stale image.
+		clear(fr.data[n:])
+		return nil
 	}
-	return nil
+	// Read the whole slot straight into the frame's backing buffer. A
+	// raw flag means the page data is already in place (data aliases the
+	// slot payload) — the common case for record/spill pages, which
+	// costs exactly one positioned read, like a codec-less store. A hole
+	// (short read, zero-filled) decodes as flag 0, a raw zero page.
+	slot := fr.slot
+	n, err := s.file.ReadAt(slot, off)
+	if err != nil && err != io.EOF {
+		return fmt.Errorf("pagestore: read page %d: %w", fr.id, err)
+	}
+	clear(slot[n:])
+	switch slot[0] {
+	case slotFlagRaw:
+		return nil
+	case slotFlagCompressed:
+		clen := int(uint32(slot[1]) | uint32(slot[2])<<8 | uint32(slot[3])<<16 | uint32(slot[4])<<24)
+		if clen <= 0 || clen > s.opts.PageSize-codecHeaderLen {
+			return fmt.Errorf("pagestore: read page %d: corrupt compressed length %d", fr.id, clen)
+		}
+		// The compressed payload overlaps the decompress destination, so
+		// stage it in a scratch buffer first.
+		sp := s.slotBufs.Get().(*[]byte)
+		scratch := append((*sp)[:0], slot[codecHeaderLen:codecHeaderLen+clen]...)
+		derr := s.codec.Decompress(fr.data, scratch)
+		*sp = scratch
+		s.slotBufs.Put(sp)
+		if derr != nil {
+			return fmt.Errorf("pagestore: read page %d: %w", fr.id, derr)
+		}
+		return nil
+	default:
+		return fmt.Errorf("pagestore: read page %d: corrupt slot flag %d", fr.id, slot[0])
+	}
 }
 
 func (s *Store) writeFrame(fr *frame) error {
 	off := int64(fr.id) * int64(s.opts.PageSize)
-	if _, err := s.file.WriteAt(fr.data, off); err != nil {
+	if s.codec == nil {
+		if _, err := s.file.WriteAt(fr.data, off); err != nil {
+			return fmt.Errorf("pagestore: write page %d: %w", fr.id, err)
+		}
+		s.stats.physicalWrites.Add(1)
+		fr.dirty = false
+		return nil
+	}
+	if !s.rawPage(fr.id) {
+		sp := s.slotBufs.Get().(*[]byte)
+		slot := append((*sp)[:0], slotFlagCompressed, 0, 0, 0, 0)
+		slot = s.codec.Compress(slot, fr.data)
+		clen := len(slot) - codecHeaderLen
+		compressible := clen < s.usable
+		if compressible {
+			slot[1] = byte(clen)
+			slot[2] = byte(clen >> 8)
+			slot[3] = byte(clen >> 16)
+			slot[4] = byte(clen >> 24)
+			_, err := s.file.WriteAt(slot, off)
+			written := len(slot)
+			*sp = slot
+			s.slotBufs.Put(sp)
+			if err != nil {
+				return fmt.Errorf("pagestore: write page %d: %w", fr.id, err)
+			}
+			s.stats.physicalWrites.Add(1)
+			s.stats.compressedBytes.Add(uint64(written))
+			s.stats.uncompressedBytes.Add(uint64(s.usable))
+			fr.dirty = false
+			return nil
+		}
+		// Incompressible: fall through to the raw write so a slot never
+		// overflows. It still counts toward the codec's ratio — the codec
+		// handled the page, the page just did not shrink.
+		*sp = slot
+		s.slotBufs.Put(sp)
+		s.stats.compressedBytes.Add(uint64(s.opts.PageSize))
+		s.stats.uncompressedBytes.Add(uint64(s.usable))
+	}
+	// Raw write: the frame's backing buffer IS the on-disk slot (data
+	// aliases its payload), so stamp the header and write it out with no
+	// copy. Codec-exempt pages skip the codec counters — the ratio
+	// describes the pages the codec handles.
+	fr.slot[0] = slotFlagRaw
+	fr.slot[1], fr.slot[2], fr.slot[3], fr.slot[4] = 0, 0, 0, 0
+	if _, err := s.file.WriteAt(fr.slot, off); err != nil {
 		return fmt.Errorf("pagestore: write page %d: %w", fr.id, err)
 	}
 	s.stats.physicalWrites.Add(1)
 	fr.dirty = false
+	return nil
+}
+
+// extendFile pads the file out to the full slot of the last allocated
+// page. Compressed writes cover only their payload, so without the pad
+// a reopened file could fail the size-multiple check (and the final
+// slot would read short). No-op without a codec (raw writes always
+// cover whole slots).
+func (s *Store) extendFile() error {
+	if s.codec == nil {
+		return nil
+	}
+	want := int64(s.numPages.Load()) * int64(s.opts.PageSize)
+	fi, err := s.file.Stat()
+	if err != nil {
+		return fmt.Errorf("pagestore: extend: %w", err)
+	}
+	if fi.Size() >= want {
+		return nil
+	}
+	if err := s.file.Truncate(want); err != nil {
+		return fmt.Errorf("pagestore: extend: %w", err)
+	}
 	return nil
 }
 
@@ -586,6 +807,15 @@ func (s *Store) Truncate(keep uint32) error {
 	if err := s.file.Truncate(int64(keep) * int64(s.opts.PageSize)); err != nil {
 		return fmt.Errorf("pagestore: truncate: %w", err)
 	}
+	// Truncated ids may be reallocated for different purposes; drop any
+	// codec exemptions so a reused id starts with the default policy.
+	s.rawMu.Lock()
+	for id := range s.rawPages {
+		if uint32(id) >= keep {
+			delete(s.rawPages, id)
+		}
+	}
+	s.rawMu.Unlock()
 	s.numPages.Store(keep)
 	return nil
 }
@@ -606,6 +836,9 @@ func (s *Store) Flush() error {
 				}
 			}
 		}
+	}
+	if err := s.extendFile(); err != nil {
+		return err
 	}
 	return s.file.Sync()
 }
@@ -633,6 +866,9 @@ func (s *Store) Close() error {
 				}
 			}
 		}
+	}
+	if err := s.extendFile(); err != nil {
+		return err
 	}
 	// fsync before closing: without it a crash shortly after a
 	// "successful" Close can lose the just-written pages (the writes

@@ -51,7 +51,7 @@ func (db *DB) GetNodeAt(rid pagestore.RID) (*NodeRecord, error) {
 	var rec *NodeRecord
 	err := db.heap.View(rid, func(b []byte) error {
 		var err error
-		rec, err = decodeRecord(b)
+		rec, err = db.decodeNodeRecord(b)
 		return err
 	})
 	if err != nil {
@@ -80,6 +80,10 @@ func (db *DB) TagPostings(tag string) ([]Posting, error) {
 	var out []Posting
 	var inner error
 	err := db.tagIdx.ScanPrefix(prefix, func(k, v []byte) bool {
+		if db.compact {
+			out, inner = appendBlockPostings(out, k[len(k)-8:], v)
+			return inner == nil
+		}
 		p, perr := decodePosting(k[len(prefix):], v)
 		if perr != nil {
 			inner = perr
@@ -112,6 +116,10 @@ func (db *DB) ValuePostings(tag, content string) ([]Posting, error) {
 	var out []Posting
 	var inner error
 	err := db.valIdx.ScanPrefix(prefix, func(k, v []byte) bool {
+		if db.compact {
+			out, inner = appendBlockPostings(out, k[len(k)-8:], v)
+			return inner == nil
+		}
 		p, perr := decodePosting(k[len(prefix):], v)
 		if perr != nil {
 			inner = perr

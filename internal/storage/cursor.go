@@ -19,13 +19,19 @@ type TagCursor struct {
 	prefix []byte
 	err    error
 	done   bool
+
+	// compact cursors decode a whole posting block per index cell and
+	// serve it from buf; plain cursors decode one posting per cell.
+	compact bool
+	buf     []Posting
+	bufPos  int
 }
 
 // OpenTagCursor positions a cursor at the first posting of tag across
 // all documents.
 func (db *DB) OpenTagCursor(tag string) *TagCursor {
 	prefix := tagPrefix(tag)
-	return &TagCursor{it: db.tagIdx.Seek(prefix), prefix: prefix}
+	return &TagCursor{it: db.tagIdx.Seek(prefix), prefix: prefix, compact: db.compact}
 }
 
 // OpenTagDocCursor positions a cursor at the first posting of tag
@@ -36,12 +42,17 @@ func (db *DB) OpenTagCursor(tag string) *TagCursor {
 func (db *DB) OpenTagDocCursor(tag string, doc xmltree.DocID) *TagCursor {
 	prefix := tagPrefix(tag)
 	prefix = append(prefix, be32(uint32(doc))...)
-	return &TagCursor{it: db.tagIdx.Seek(prefix), prefix: prefix}
+	return &TagCursor{it: db.tagIdx.Seek(prefix), prefix: prefix, compact: db.compact}
 }
 
 // Next returns the next posting, or ok=false at the end of the range
 // (or on error — check Err).
 func (c *TagCursor) Next() (Posting, bool) {
+	if c.bufPos < len(c.buf) {
+		p := c.buf[c.bufPos]
+		c.bufPos++
+		return p, true
+	}
 	if c.done || c.err != nil {
 		return Posting{}, false
 	}
@@ -57,6 +68,20 @@ func (c *TagCursor) Next() (Posting, bool) {
 	}
 	// Keys end in the fixed-width (doc, start) pair regardless of how
 	// long the prefix was (tags cannot contain NUL).
+	if c.compact {
+		// One cell is a whole block; blocks never span documents, so a
+		// per-document prefix match covers every posting inside.
+		buf, err := appendBlockPostings(c.buf[:0], k[len(k)-8:], c.it.Value())
+		if err != nil || len(buf) == 0 {
+			c.err = err
+			c.done = true
+			return Posting{}, false
+		}
+		c.buf = buf
+		c.bufPos = 1
+		c.it.Next()
+		return buf[0], true
+	}
 	p, err := decodePosting(k[len(k)-8:], c.it.Value())
 	if err != nil {
 		c.err = err
@@ -105,12 +130,12 @@ func (db *DB) ContentsBatch(ps []Posting, out []string) error {
 				db.st.Unpin(p, false)
 				return rerr
 			}
-			rec, derr := decodeRecord(b)
+			content, derr := db.nodeContent(b)
 			if derr != nil {
 				db.st.Unpin(p, false)
 				return derr
 			}
-			out[k] = rec.Content
+			out[k] = content
 		}
 		db.st.Unpin(p, false)
 		i = j

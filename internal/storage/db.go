@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
+	"os"
 	"sync"
 
 	"timber/internal/btree"
@@ -22,6 +24,23 @@ type Options struct {
 	// NoValueIndex disables the (tag, content) value index, halving
 	// index build cost for workloads that never use value predicates.
 	NoValueIndex bool
+	// Uncompressed disables the compact on-disk formats: varint posting
+	// blocks and node records, and the page-level codec. The default
+	// (compressed) is what production databases should use; the
+	// uncompressed form exists for equivalence testing and A/B
+	// measurement. Open ignores this field — an existing file declares
+	// its own format.
+	Uncompressed bool
+}
+
+// psOptions maps storage options onto the page store's, attaching the
+// built-in LZ page codec unless the database is uncompressed.
+func (o Options) psOptions() pagestore.Options {
+	ps := pagestore.Options{PageSize: o.PageSize, PoolPages: o.PoolPages}
+	if !o.Uncompressed {
+		ps.Codec = pagestore.LZ()
+	}
+	return ps
 }
 
 // DocInfo describes one loaded document in the catalog.
@@ -59,6 +78,10 @@ type DB struct {
 	valIdx  *btree.Tree // nil when NoValueIndex
 	docs    []DocInfo
 	opts    Options
+	// compact selects the format-v2 codecs: varint posting blocks in
+	// the tag/value indices and varint node records in the heap. Fixed
+	// at creation (persisted in the meta flags byte), never per-call.
+	compact bool
 	// idxMetrics counts B+tree traversal work across all three indices;
 	// the observability layer snapshots it at span boundaries.
 	idxMetrics btree.Metrics
@@ -71,12 +94,26 @@ type DB struct {
 
 const (
 	metaMagic   = "TIMBERGO"
-	metaVersion = 1
+	metaVersion = 2
+
+	// Meta flags byte (offset 35): which format-v2 features the file
+	// uses. flagCompact covers the posting-block and varint-record
+	// codecs; flagPageCodec records that pages are written through the
+	// store's compression codec (also detectable by sniffing, which
+	// Open cross-checks).
+	metaFlagCompact   = 1 << 0
+	metaFlagPageCodec = 1 << 1
 )
+
+// ErrNeedsRebuild is returned by Open for a database written in an
+// older on-disk format. There is no in-place migration: rebuild the
+// database by reloading its source documents (timber-load, or the
+// generator that produced it).
+var ErrNeedsRebuild = errors.New("storage: database uses an old on-disk format; rebuild it from the source documents")
 
 // Create creates a new database file at path.
 func Create(path string, opts Options) (*DB, error) {
-	st, err := pagestore.Create(path, pagestore.Options{PageSize: opts.PageSize, PoolPages: opts.PoolPages})
+	st, err := pagestore.Create(path, opts.psOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -86,7 +123,7 @@ func Create(path string, opts Options) (*DB, error) {
 // CreateTemp creates a database backed by a temporary file that
 // disappears on Close. Tests and benches use this.
 func CreateTemp(opts Options) (*DB, error) {
-	st, err := pagestore.CreateTemp(pagestore.Options{PageSize: opts.PageSize, PoolPages: opts.PoolPages})
+	st, err := pagestore.CreateTemp(opts.psOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -107,11 +144,15 @@ func initDB(st *pagestore.Store, opts Options) (*DB, error) {
 	}
 	st.Unpin(meta, true)
 
-	db := &DB{st: st, opts: opts}
+	db := &DB{st: st, opts: opts, compact: !opts.Uncompressed}
 	if db.heap, err = pagestore.NewHeap(st); err != nil {
 		st.Close()
 		return nil, err
 	}
+	// Record pages carry varint-compact payloads and serve random point
+	// reads (late materialization); only the index trees go through the
+	// page codec.
+	db.heap.SetRaw()
 	if db.catalog, err = pagestore.NewHeap(st); err != nil {
 		st.Close()
 		return nil, err
@@ -148,10 +189,37 @@ func (db *DB) attachMetrics() {
 	}
 }
 
+// sniffPageCodec inspects the first bytes of a database file to decide
+// whether its pages are codec-framed. An uncompressed file starts with
+// the meta magic at offset 0; a codec file's slot 0 starts with the
+// slot flag byte (0 or 1), which no magic byte matches.
+func sniffPageCodec(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, fmt.Errorf("storage: open: %w", err)
+	}
+	defer f.Close()
+	var hdr [8]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return false, fmt.Errorf("storage: open: not a timber database (%d-byte file)", len(hdr))
+	}
+	return string(hdr[:]) != metaMagic, nil
+}
+
 // Open reopens an existing database file. The page size must match the
-// one used at creation.
+// one used at creation; whether the file is compressed is detected from
+// the file itself (opts.Uncompressed is ignored). Databases written by
+// older versions of this package return ErrNeedsRebuild.
 func Open(path string, opts Options) (*DB, error) {
-	st, err := pagestore.Open(path, pagestore.Options{PageSize: opts.PageSize, PoolPages: opts.PoolPages})
+	codec, err := sniffPageCodec(path)
+	if err != nil {
+		return nil, err
+	}
+	psOpts := pagestore.Options{PageSize: opts.PageSize, PoolPages: opts.PoolPages}
+	if codec {
+		psOpts.Codec = pagestore.LZ()
+	}
+	st, err := pagestore.Open(path, psOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -171,7 +239,7 @@ func Open(path string, opts Options) (*DB, error) {
 // writeMeta persists the storage roots to page 0. Layout (little
 // endian): magic(8), version u16, heapFirst u32, catalogFirst u32,
 // locatorRoot u32, tagRoot u32, hasValIdx u8, valRoot u32,
-// pageSize u32.
+// pageSize u32, flags u8.
 func (db *DB) writeMeta() error {
 	p, err := db.st.Fetch(0)
 	if err != nil {
@@ -191,6 +259,14 @@ func (db *DB) writeMeta() error {
 		b[26] = 0
 	}
 	binary.LittleEndian.PutUint32(b[31:], uint32(db.st.PageSize()))
+	var flags byte
+	if db.compact {
+		flags |= metaFlagCompact
+	}
+	if db.st.CodecName() != "" {
+		flags |= metaFlagPageCodec
+	}
+	b[35] = flags
 	db.st.Unpin(p, true)
 	return nil
 }
@@ -206,16 +282,26 @@ func (db *DB) readMeta() error {
 		return errors.New("storage: not a timber database (bad magic)")
 	}
 	if v := binary.LittleEndian.Uint16(b[8:]); v != metaVersion {
+		if v < metaVersion {
+			return fmt.Errorf("%w (file is format v%d, this build reads v%d)", ErrNeedsRebuild, v, metaVersion)
+		}
 		return fmt.Errorf("storage: unsupported version %d", v)
 	}
 	if ps := binary.LittleEndian.Uint32(b[31:]); ps != uint32(db.st.PageSize()) {
 		return fmt.Errorf("storage: database uses %d-byte pages, opened with %d (pass the matching PageSize)", ps, db.st.PageSize())
+	}
+	flags := b[35]
+	db.compact = flags&metaFlagCompact != 0
+	if hasCodec := flags&metaFlagPageCodec != 0; hasCodec != (db.st.CodecName() != "") {
+		return fmt.Errorf("storage: meta flags disagree with the file's page framing (flags 0x%02x, codec %q)", flags, db.st.CodecName())
 	}
 	heapFirst := pagestore.PageID(binary.LittleEndian.Uint32(b[10:]))
 	catalogFirst := pagestore.PageID(binary.LittleEndian.Uint32(b[14:]))
 	if db.heap, err = pagestore.OpenHeap(db.st, heapFirst); err != nil {
 		return err
 	}
+	// Keep appended record pages codec-exempt, matching initDB.
+	db.heap.SetRaw()
 	if db.catalog, err = pagestore.OpenHeap(db.st, catalogFirst); err != nil {
 		return err
 	}
@@ -350,6 +436,47 @@ func (db *DB) RegisterMetrics(r *obs.Registry) {
 		func() float64 { return float64(db.idxMetrics.Snapshot().NodeVisits) })
 	r.CounterFunc("index_leaf_scans", "B+tree leaf records scanned across all indices.",
 		func() float64 { return float64(db.idxMetrics.Snapshot().LeafScans) })
+	if st.CodecName() != "" {
+		r.CounterFunc("page_codec_uncompressed_bytes", "Uncompressed size of pages written through the page codec.",
+			func() float64 { return float64(st.Stats().UncompressedBytes) })
+		r.CounterFunc("page_codec_compressed_bytes", "On-disk payload written through the page codec.",
+			func() float64 { return float64(st.Stats().CompressedBytes) })
+		r.GaugeFunc("page_codec_ratio", "Compressed/uncompressed byte ratio of page writes (1 when idle).",
+			func() float64 { return st.Stats().CompressionRatio() })
+	}
+}
+
+// Compact reports whether the database uses the format-v2 compact
+// codecs (posting blocks and varint records).
+func (db *DB) Compact() bool { return db.compact }
+
+// encodeNodeRecord serializes a record in the database's format.
+func (db *DB) encodeNodeRecord(r *NodeRecord) []byte {
+	if db.compact {
+		return encodeRecordCompact(r)
+	}
+	return encodeRecord(r)
+}
+
+// decodeNodeRecord parses a stored record in the database's format.
+func (db *DB) decodeNodeRecord(b []byte) (*NodeRecord, error) {
+	if db.compact {
+		return decodeRecordCompact(b)
+	}
+	return decodeRecord(b)
+}
+
+// nodeContent extracts just the content field of a stored record —
+// what ContentsBatch materializes per output row.
+func (db *DB) nodeContent(b []byte) (string, error) {
+	if db.compact {
+		return recordContentCompact(b)
+	}
+	rec, err := decodeRecord(b)
+	if err != nil {
+		return "", err
+	}
+	return rec.Content, nil
 }
 
 // ResetStats zeroes the buffer pool and index-traversal counters.

@@ -1,0 +1,172 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+
+	"timber/internal/xmltree"
+)
+
+const formatTestDoc = `<bib>
+  <article key="a1"><author>A</author><title>T1</title><year>2000</year></article>
+  <article key="a2"><author>B</author><author>A</author><title>T2</title><year>2001</year></article>
+</bib>`
+
+func buildFormatDB(t *testing.T, path string, opts Options) {
+	t.Helper()
+	db, err := Create(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.LoadXML("bib.xml", strings.NewReader(formatTestDoc)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenSniffsFormat loads the same document into a compressed and an
+// uncompressed database and reopens both with plain options: Open must
+// detect each file's framing and produce identical query-visible data.
+func TestOpenSniffsFormat(t *testing.T) {
+	for _, tc := range []struct {
+		name         string
+		uncompressed bool
+	}{
+		{"compressed", false},
+		{"uncompressed", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := t.TempDir() + "/db"
+			buildFormatDB(t, path, Options{Uncompressed: tc.uncompressed})
+			db, err := Open(path, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			if db.Compact() == tc.uncompressed {
+				t.Errorf("Compact() = %v for %s file", db.Compact(), tc.name)
+			}
+			ps, err := db.TagPostings("author")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ps) != 3 {
+				t.Fatalf("got %d author postings, want 3", len(ps))
+			}
+			content, err := db.Content(ps[0])
+			if err != nil || content != "A" {
+				t.Fatalf("Content = %q, %v", content, err)
+			}
+			vp, err := db.ValuePostings("author", "A")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(vp) != 2 {
+				t.Fatalf("got %d value postings for author=A, want 2", len(vp))
+			}
+		})
+	}
+}
+
+// TestOpenOldFormat rewinds an uncompressed file's version field to 1
+// and expects ErrNeedsRebuild — the detect-and-rebuild contract of the
+// format bump.
+func TestOpenOldFormat(t *testing.T) {
+	path := t.TempDir() + "/old.db"
+	buildFormatDB(t, path, Options{Uncompressed: true})
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Version u16 lives at offset 8, after the magic.
+	if _, err := f.WriteAt([]byte{1, 0}, 8); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	_, err = Open(path, Options{})
+	if !errors.Is(err, ErrNeedsRebuild) {
+		t.Fatalf("Open of v1 file: %v, want ErrNeedsRebuild", err)
+	}
+}
+
+// TestIncrementalSecondDocument exercises the singleton-block insert
+// path: a second document goes through per-key inserts, and its
+// postings must interleave correctly with the bulk-loaded first.
+func TestIncrementalSecondDocument(t *testing.T) {
+	db, err := CreateTemp(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.LoadXML("one.xml", strings.NewReader(formatTestDoc)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.LoadXML("two.xml", strings.NewReader(formatTestDoc)); err != nil {
+		t.Fatal(err)
+	}
+	ps, err := db.TagPostings("author")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 6 {
+		t.Fatalf("got %d author postings, want 6", len(ps))
+	}
+	for i := 1; i < len(ps); i++ {
+		a, b := ps[i-1], ps[i]
+		if a.Interval.Doc > b.Interval.Doc ||
+			(a.Interval.Doc == b.Interval.Doc && a.Interval.Start >= b.Interval.Start) {
+			t.Fatalf("postings out of document order at %d: %+v then %+v", i, a, b)
+		}
+	}
+	// Per-document cursor sees only its document.
+	c := db.OpenTagDocCursor("author", xmltree.DocID(2))
+	n := 0
+	for {
+		p, ok := c.Next()
+		if !ok {
+			break
+		}
+		if p.Interval.Doc != 2 {
+			t.Fatalf("doc cursor returned doc %d", p.Interval.Doc)
+		}
+		n++
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("doc cursor saw %d postings, want 3", n)
+	}
+}
+
+// TestSizeInfo sanity-checks the bytes-on-disk breakdown.
+func TestSizeInfo(t *testing.T) {
+	db, err := CreateTemp(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.LoadXML("bib.xml", strings.NewReader(formatTestDoc)); err != nil {
+		t.Fatal(err)
+	}
+	info, err := db.SizeInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Compact || info.Codec != "lz" {
+		t.Errorf("default DB should be compact+lz, got %+v", info)
+	}
+	if info.HeapPages == 0 || info.IndexPages == 0 || info.TagCells == 0 {
+		t.Errorf("zero components: %+v", info)
+	}
+	if got := info.HeapPages + info.IndexPages; got > info.TotalPages {
+		t.Errorf("components (%d pages) exceed total %d", got, info.TotalPages)
+	}
+	if info.TotalBytes != uint64(info.TotalPages)*uint64(info.PageSize) {
+		t.Errorf("TotalBytes %d != pages %d * slot %d", info.TotalBytes, info.TotalPages, info.PageSize)
+	}
+}

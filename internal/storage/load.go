@@ -89,12 +89,18 @@ type indexEntries struct {
 // storeNode writes the record to the heap and either queues (bulk) or
 // inserts (incremental) its index entries.
 func (db *DB) storeNode(rec *NodeRecord, bulk *indexEntries) error {
-	rid, err := db.heap.Insert(encodeRecord(rec))
+	rid, err := db.heap.Insert(db.encodeNodeRecord(rec))
 	if err != nil {
 		return err
 	}
 	id := rec.ID()
+	// Bulk loads always queue the fixed-width v1 value; bulkBuildIndexes
+	// converts the sorted run into posting blocks in one pass. Only the
+	// incremental path writes the final form directly.
 	indexValue := postingValue(rec.Interval, rid)
+	if bulk == nil && db.compact {
+		indexValue = blockValue1(rec.Interval, rid)
+	}
 	if bulk != nil {
 		bulk.loc = append(bulk.loc, btree.KV{Key: locatorKey(id), Value: ridValue(rid)})
 		bulk.tag = append(bulk.tag, btree.KV{Key: tagKey(rec.Tag, id), Value: indexValue})
@@ -123,15 +129,28 @@ func (db *DB) storeNode(rec *NodeRecord, bulk *indexEntries) error {
 func (db *DB) bulkBuildIndexes(e *indexEntries) error {
 	sortKVs(e.tag)
 	sortKVs(e.val)
+	tag, val := e.tag, e.val
 	var err error
+	if db.compact {
+		// Pack the sorted posting runs into delta/varint blocks. The
+		// locator keeps per-node cells: its values are bare RIDs and its
+		// range scans address individual keys.
+		maxCell := btree.MaxCellFor(db.st.PageSize())
+		if tag, err = blockKVs(tag, maxCell); err != nil {
+			return fmt.Errorf("tag index blocks: %w", err)
+		}
+		if val, err = blockKVs(val, maxCell); err != nil {
+			return fmt.Errorf("value index blocks: %w", err)
+		}
+	}
 	if db.locator, err = btree.BulkLoad(db.st, e.loc); err != nil {
 		return fmt.Errorf("locator bulk load: %w", err)
 	}
-	if db.tagIdx, err = btree.BulkLoad(db.st, e.tag); err != nil {
+	if db.tagIdx, err = btree.BulkLoad(db.st, tag); err != nil {
 		return fmt.Errorf("tag index bulk load: %w", err)
 	}
 	if db.valIdx != nil {
-		if db.valIdx, err = btree.BulkLoad(db.st, e.val); err != nil {
+		if db.valIdx, err = btree.BulkLoad(db.st, val); err != nil {
 			return fmt.Errorf("value index bulk load: %w", err)
 		}
 	}

@@ -36,6 +36,9 @@ func (db *DB) SpillTrees(trees []*xmltree.Node) ([]*xmltree.Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Spill pages are written once and read back once; compressing them
+	// would cost a decompress on the read-back for no disk saving.
+	heap.SetRaw()
 
 	// Write.
 	for i, tr := range trees {
@@ -51,7 +54,7 @@ func (db *DB) SpillTrees(trees []*xmltree.Node) ([]*xmltree.Node, error) {
 			if n.Parent != nil {
 				rec.ParentStart = n.Parent.Interval.Start
 			}
-			if _, err := heap.Insert(encodeRecord(rec)); err != nil {
+			if _, err := heap.Insert(db.encodeNodeRecord(rec)); err != nil {
 				werr = err
 				return false
 			}
@@ -67,7 +70,7 @@ func (db *DB) SpillTrees(trees []*xmltree.Node) ([]*xmltree.Node, error) {
 	out := make([]*xmltree.Node, 0, len(trees))
 	var stack []*xmltree.Node
 	err = heap.Scan(func(_ pagestore.RID, b []byte) error {
-		rec, err := decodeRecord(b)
+		rec, err := db.decodeNodeRecord(b)
 		if err != nil {
 			return err
 		}

@@ -48,6 +48,9 @@ func (s *Spool) NewRun() (*SpoolRun, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Sort runs hold varint-encoded rows, written once and merged once —
+	// codec-exempt for the same reason as the record heap.
+	h.SetRaw()
 	return &SpoolRun{sp: s, heap: h}, nil
 }
 
