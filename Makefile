@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench experiments fuzz-smoke trace-check serve-check metrics-check serve-bench stream-check bench-check
+.PHONY: all build test vet race check bench experiments fuzz-smoke trace-check serve-check metrics-check serve-bench stream-check bench-check wal-check
 
 all: build
 
@@ -85,6 +85,16 @@ bench-check:
 	$(GO) run ./cmd/experiments -exp none -fullfile /tmp/timber-bench-check.json \
 		-fullarticles 4000 -assertreduction 30
 	rm -f /tmp/timber-bench-check.json
+
+# wal-check gates the durable write path: the crash-recovery harness
+# (torn writes and drop-unsynced power cuts at sampled WAL offsets,
+# write-fault aborts, recovery idempotence), the WAL and crashfs unit
+# suites, and the concurrent ingest-vs-query byte-identity and spool
+# cancellation hammers — all under the race detector.
+wal-check:
+	$(GO) test -race ./internal/wal/ ./internal/crashfs/
+	$(GO) test -race -run 'Crash|Ingest|Spool|Snapshot' \
+		./internal/storage/ ./internal/exec/ ./cmd/timber-serve/
 
 # serve-bench hammers an in-process timber-serve with concurrent
 # clients and writes the server-side latency quantiles (read from the

@@ -217,7 +217,7 @@ func run(dbPath, query, strategy string, poolMB, parallel int, maxMem int64, sho
 			}
 		}
 		if info.Compact {
-			size += "; compact format v2"
+			size += "; compact format v3"
 		}
 		fmt.Fprintln(os.Stderr, size)
 	}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"time"
+
+	"timber/internal/storage"
+	"timber/internal/xmltree"
+)
+
+// maxIngestBytes bounds an /ingest request body; a document is parsed
+// in memory before it is stored.
+const maxIngestBytes = 64 << 20
+
+// ingestResponse is the /ingest success body.
+type ingestResponse struct {
+	// Name and DocID identify the document in the catalog.
+	Name  string `json:"name"`
+	DocID uint32 `json:"doc_id,omitempty"`
+	// Nodes is the stored node count (insert only).
+	Nodes uint64 `json:"nodes,omitempty"`
+	// Epoch is the committed state's epoch after this write; a snapshot
+	// taken at or after it sees the change.
+	Epoch uint64 `json:"epoch"`
+	// Sync echoes the durability the write ran with.
+	Sync      string  `json:"sync"`
+	Deleted   bool    `json:"deleted,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// handleIngest is the durable write endpoint:
+//
+//	POST   /ingest?name=NAME[&sync=always|group|none]   body: XML document
+//	DELETE /ingest?name=NAME[&sync=always|group|none]
+//
+// Writes run under the same admission semaphore as queries — a full
+// service sheds ingest load with 429 just like query load — and the
+// sync parameter selects the WAL fsync policy per request (default:
+// the database's configured policy; "none" acknowledges before fsync
+// and may lose the tail of acknowledged writes in a crash, never
+// consistency).
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	if r.Method != http.MethodPost && r.Method != http.MethodDelete {
+		s.badReqs.Inc()
+		w.Header().Set("Allow", "POST, DELETE")
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	q := r.URL.Query()
+	name := q.Get("name")
+	if name == "" {
+		s.badReqs.Inc()
+		writeError(w, http.StatusBadRequest, "missing name (POST /ingest?name=doc.xml)")
+		return
+	}
+	pol, err := storage.ParseSyncPolicy(q.Get("sync"))
+	if err != nil {
+		s.badReqs.Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			s.rejected.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "server at capacity (%d requests in flight)", s.cfg.maxInFlight)
+			return
+		}
+	}
+
+	db := s.eng.DB()
+	start := time.Now()
+	switch r.Method {
+	case http.MethodPost:
+		root, err := xmltree.Parse(io.LimitReader(r.Body, maxIngestBytes))
+		if err != nil {
+			s.badReqs.Inc()
+			writeError(w, http.StatusBadRequest, "parse: %v", err)
+			return
+		}
+		info, err := db.InsertDocument(name, root, pol)
+		if err != nil {
+			if errors.Is(err, storage.ErrDuplicateDocument) {
+				s.badReqs.Inc()
+				writeError(w, http.StatusConflict, "%v", err)
+				return
+			}
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		s.okCount.Inc()
+		writeJSON(w, http.StatusOK, ingestResponse{
+			Name:      name,
+			DocID:     uint32(info.ID),
+			Nodes:     info.NodeCount,
+			Epoch:     db.Epoch(),
+			Sync:      resolvedPolicy(db, pol),
+			ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		})
+	case http.MethodDelete:
+		if err := db.DeleteDocument(name, pol); err != nil {
+			if _, ok := db.DocumentByName(name); !ok {
+				s.badReqs.Inc()
+				writeError(w, http.StatusNotFound, "%v", err)
+				return
+			}
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		s.okCount.Inc()
+		writeJSON(w, http.StatusOK, ingestResponse{
+			Name:      name,
+			Deleted:   true,
+			Epoch:     db.Epoch(),
+			Sync:      resolvedPolicy(db, pol),
+			ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		})
+	}
+}
+
+// resolvedPolicy names the sync policy a write actually used, for the
+// response body.
+func resolvedPolicy(db *storage.DB, pol storage.SyncPolicy) string {
+	if pol == storage.SyncDefault {
+		pol = db.DefaultSyncPolicy()
+	}
+	return pol.String()
+}

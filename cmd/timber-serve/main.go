@@ -13,6 +13,8 @@
 //	curl -s localhost:8080/query -d '{"query": "FOR $a IN ...", "strategy": "groupby"}'
 //	curl -s localhost:8080/stats
 //	curl -s localhost:8080/metrics
+//	curl -s -X POST --data-binary @new.xml 'localhost:8080/ingest?name=new.xml&sync=always'
+//	curl -s -X DELETE 'localhost:8080/ingest?name=new.xml'
 //
 // Endpoints:
 //
@@ -22,6 +24,13 @@
 //	     timeout exceeded; 429 admission limit reached (Retry-After: 1);
 //	     405 for other methods. Every response carries an X-Query-ID
 //	     header that matches the structured request log.
+//	POST   /ingest?name=NAME[&sync=always|group|none]  body: XML document.
+//	DELETE /ingest?name=NAME[&sync=always|group|none]
+//	     Durable writes through the WAL; queries already in flight keep
+//	     reading their pinned snapshot. sync selects the per-request
+//	     fsync policy (default: the -sync flag). 200 JSON receipt with
+//	     the committed epoch; 400 parse/bad sync; 404 unknown document
+//	     on DELETE; 409 duplicate name on POST; 429 admission limit.
 //	GET  /stats    buffer-pool, plan-cache and catalog state as JSON.
 //	GET  /metrics  Prometheus text exposition (counters, gauges, latency
 //	               histograms, Go runtime stats); ?format=text selects
@@ -65,6 +74,7 @@ func main() {
 	drainTimeout := flag.Duration("drain", 30*time.Second, "shutdown drain deadline for in-flight requests")
 	slowQuery := flag.Duration("slowquery", 0, "trace every query and log one structured line with the full operator trace for executions at or above this duration (0 = disabled, e.g. 250ms)")
 	logJSON := flag.Bool("logjson", false, "write the structured request log as JSON lines (default logfmt-style text)")
+	syncFlag := flag.String("sync", "group", "default WAL fsync policy for /ingest writes: always, group, or none (per-request ?sync= overrides)")
 	hammer := flag.Int("hammer", 0, "benchmark mode: serve in-process, fire this many /query requests, report server-side latency quantiles, exit")
 	hammerClients := flag.Int("hammerclients", 8, "concurrent clients in -hammer mode")
 	hammerFile := flag.String("hammerfile", "", "write the -hammer JSON report here (e.g. BENCH_serve.json)")
@@ -84,11 +94,15 @@ func main() {
 		slowQuery:      *slowQuery,
 		logger:         logger,
 	}
-	var err error
+	syncPol, err := storage.ParseSyncPolicy(*syncFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "timber-serve:", err)
+		os.Exit(2)
+	}
 	if *hammer > 0 {
 		err = runHammer(*dbPath, *poolMB, *cacheSize, cfg, *hammer, *hammerClients, *hammerFile)
 	} else {
-		err = run(*dbPath, *addr, *poolMB, *cacheSize, cfg, *drainTimeout)
+		err = run(*dbPath, *addr, *poolMB, *cacheSize, cfg, *drainTimeout, syncPol)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "timber-serve:", err)
@@ -96,8 +110,11 @@ func main() {
 	}
 }
 
-func run(dbPath, addr string, poolMB, cacheSize int, cfg config, drainTimeout time.Duration) (err error) {
-	db, err := storage.Open(dbPath, storage.Options{PoolPages: poolMB * 1024 * 1024 / 8192})
+func run(dbPath, addr string, poolMB, cacheSize int, cfg config, drainTimeout time.Duration, syncPol storage.SyncPolicy) (err error) {
+	db, err := storage.Open(dbPath, storage.Options{
+		PoolPages:  poolMB * 1024 * 1024 / 8192,
+		SyncPolicy: syncPol,
+	})
 	if err != nil {
 		return err
 	}

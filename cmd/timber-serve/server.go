@@ -107,6 +107,7 @@ func newServer(eng *engine.Engine, cfg config) *server {
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return s.instrument(mux)
@@ -124,7 +125,7 @@ func (s *server) setDraining() {
 // unbounded label values.
 func metricPath(p string) string {
 	switch p {
-	case "/query", "/stats", "/metrics":
+	case "/query", "/ingest", "/stats", "/metrics":
 		return p
 	}
 	return "other"

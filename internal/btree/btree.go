@@ -356,37 +356,18 @@ func (t *Tree) Insert(key, value []byte) error {
 	return nil
 }
 
-// Len returns the number of keys in the tree. It walks the leaf chain
-// and is intended for tests and statistics, not hot paths.
+// Len returns the number of keys in the tree. It iterates every cell
+// (through the parent stack, not the leaf chain — the chain is stale
+// on COW-updated trees) and is intended for tests and statistics, not
+// hot paths.
 func (t *Tree) Len() (int, error) {
-	id, err := t.leftmostLeaf()
-	if err != nil {
-		return 0, err
-	}
 	total := 0
-	for id != pagestore.InvalidPage {
-		n, err := t.readNode(id)
-		if err != nil {
-			return 0, err
-		}
-		total += len(n.cells)
-		id = n.next
+	it := t.Seek(nil)
+	for it.Valid() {
+		total++
+		it.Next()
 	}
-	return total, nil
-}
-
-func (t *Tree) leftmostLeaf() (pagestore.PageID, error) {
-	id := t.root
-	for {
-		n, err := t.readNode(id)
-		if err != nil {
-			return 0, err
-		}
-		if n.leaf {
-			return id, nil
-		}
-		id = n.left
-	}
+	return total, it.Close()
 }
 
 // Height returns the number of levels in the tree (1 for a lone leaf).

@@ -1,0 +1,232 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"timber/internal/pagestore"
+)
+
+func cowStore(t *testing.T) *pagestore.Store {
+	t.Helper()
+	st, err := pagestore.CreateTemp(pagestore.Options{PageSize: 256, PoolPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// TestCOWSnapshotIsolation: a COW mutation must leave the original
+// root's view byte-for-byte intact — including iteration order and
+// values — while the new root sees the mutation.
+func TestCOWSnapshotIsolation(t *testing.T) {
+	st := cowStore(t)
+	tr, err := New(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 300 // several levels at 256-byte pages
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(fmt.Appendf(nil, "key%06d", i*2), fmt.Appendf(nil, "val%d", i*2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oldRoot := tr.Root()
+
+	c := tr.BeginCOW()
+	for i := 0; i < n; i++ {
+		if err := c.Insert(fmt.Appendf(nil, "key%06d", i*2+1), fmt.Appendf(nil, "new%d", i*2+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i += 3 {
+		if err := c.Delete(fmt.Appendf(nil, "key%06d", i*2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Root() == oldRoot {
+		t.Fatal("COW mutation did not move the root")
+	}
+	if len(c.Allocated()) == 0 || len(c.Freed()) == 0 {
+		t.Fatalf("allocated %d / freed %d pages, want both nonzero", len(c.Allocated()), len(c.Freed()))
+	}
+	fresh := make(map[pagestore.PageID]struct{}, len(c.Allocated()))
+	for _, id := range c.Allocated() {
+		fresh[id] = struct{}{}
+	}
+	for _, id := range c.Freed() {
+		if _, ok := fresh[id]; ok {
+			t.Fatalf("freed page %d is also in the allocated set", id)
+		}
+	}
+
+	// The old root still iterates exactly the original contents.
+	oldView := Open(st, oldRoot)
+	var gotOld []string
+	it := oldView.Seek(nil)
+	for it.Valid() {
+		gotOld = append(gotOld, string(it.Key())+"="+string(it.Value()))
+		it.Next()
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(gotOld) != n {
+		t.Fatalf("old snapshot has %d keys, want %d", len(gotOld), n)
+	}
+	for i, kv := range gotOld {
+		want := fmt.Sprintf("key%06d=val%d", i*2, i*2)
+		if kv != want {
+			t.Fatalf("old snapshot [%d] = %q, want %q", i, kv, want)
+		}
+	}
+
+	// The new root sees inserts and deletes.
+	newView := Open(st, c.Root())
+	wantLen := n + n - (n+2)/3
+	if got, err := newView.Len(); err != nil || got != wantLen {
+		t.Fatalf("new snapshot Len = %d, %v, want %d", got, err, wantLen)
+	}
+	if _, err := newView.Get([]byte("key000000")); err == nil {
+		t.Fatal("deleted key still present in new root")
+	}
+	if v, err := newView.Get([]byte("key000001")); err != nil || string(v) != "new1" {
+		t.Fatalf("Get inserted key = %q, %v", v, err)
+	}
+	// Ordered iteration across the new root is still strictly sorted.
+	it2 := newView.Seek(nil)
+	var prev []byte
+	count := 0
+	for it2.Valid() {
+		if prev != nil && bytes.Compare(prev, it2.Key()) >= 0 {
+			t.Fatalf("iteration out of order: %q then %q", prev, it2.Key())
+		}
+		prev = append(prev[:0], it2.Key()...)
+		count++
+		it2.Next()
+	}
+	if err := it2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if count != wantLen {
+		t.Fatalf("new snapshot iterated %d cells, want %d", count, wantLen)
+	}
+}
+
+// TestCOWFreshPagesMutateInPlace: pages allocated inside the same COW
+// are reused, so k successive inserts do not allocate k full paths.
+func TestCOWFreshPagesMutateInPlace(t *testing.T) {
+	st := cowStore(t)
+	tr, err := New(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := tr.Insert(fmt.Appendf(nil, "key%06d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := tr.BeginCOW()
+	// Two inserts into the same leaf: the second must ride the first's
+	// shadow copies, so the allocation count must not double.
+	if err := c.Insert([]byte("key000000x"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	after1 := len(c.Allocated())
+	if err := c.Insert([]byte("key000000y"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Allocated()) != after1 {
+		t.Fatalf("second insert into a fresh path allocated %d new pages", len(c.Allocated())-after1)
+	}
+}
+
+// TestCOWDeleteToEmpty: deleting every key leaves a structurally valid
+// (possibly hollow) tree whose iteration is empty, and the old
+// snapshot still sees everything.
+func TestCOWDeleteToEmpty(t *testing.T) {
+	st := cowStore(t)
+	tr, err := New(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 150
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(fmt.Appendf(nil, "k%05d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oldRoot := tr.Root()
+	c := tr.BeginCOW()
+	perm := rand.New(rand.NewSource(7)).Perm(n)
+	for _, i := range perm {
+		if err := c.Delete(fmt.Appendf(nil, "k%05d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Delete([]byte("k00000")); err == nil {
+		t.Fatal("double delete should fail")
+	}
+	newView := Open(st, c.Root())
+	if got, err := newView.Len(); err != nil || got != 0 {
+		t.Fatalf("emptied tree Len = %d, %v", got, err)
+	}
+	if got, err := Open(st, oldRoot).Len(); err != nil || got != n {
+		t.Fatalf("old snapshot Len = %d, %v, want %d", got, err, n)
+	}
+}
+
+// TestStackIteratorMatchesChainFree: the iterator must produce the
+// same sequence as a recursive in-order walk on a randomly grown tree,
+// from every seek point.
+func TestStackIteratorSeekPoints(t *testing.T) {
+	st := cowStore(t)
+	tr, err := New(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	var keys []string
+	for i := 0; i < 400; i++ {
+		k := fmt.Sprintf("k%08d", rng.Intn(1_000_000))
+		if err := tr.Insert([]byte(k), []byte("v")); err != nil {
+			continue // duplicate
+		}
+		keys = append(keys, k)
+	}
+	// Sorted unique keys.
+	sorted := append([]string(nil), keys...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	for trial := 0; trial < 50; trial++ {
+		seek := fmt.Sprintf("k%08d", rng.Intn(1_000_000))
+		want := len(sorted)
+		for i, k := range sorted {
+			if k >= seek {
+				want = i
+				break
+			}
+		}
+		it := tr.Seek([]byte(seek))
+		got := 0
+		for it.Valid() {
+			if string(it.Key()) != sorted[want+got] {
+				t.Fatalf("seek %q: cell %d = %q, want %q", seek, got, it.Key(), sorted[want+got])
+			}
+			got++
+			it.Next()
+		}
+		if err := it.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got != len(sorted)-want {
+			t.Fatalf("seek %q: iterated %d, want %d", seek, got, len(sorted)-want)
+		}
+	}
+}

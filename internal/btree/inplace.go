@@ -39,6 +39,56 @@ func internalChildEncoded(data []byte, key []byte) pagestore.PageID {
 	return prev
 }
 
+// internalChildIndex is internalChildEncoded returning the child's
+// ordinal as well: 0 is the leftmost child, k is cells[k-1].child. The
+// iterator's parent stack stores the ordinal so it can resume the
+// descent one child to the right when a leaf is exhausted.
+func internalChildIndex(data []byte, key []byte) (int, pagestore.PageID) {
+	num := int(uint16(data[1]) | uint16(data[2])<<8)
+	left := pagestore.PageID(uint32(data[3]) | uint32(data[4])<<8 | uint32(data[5])<<16 | uint32(data[6])<<24)
+	off := nodeOverhead
+	prev, prevIdx := left, 0
+	for i := 0; i < num; i++ {
+		klen := int(uint16(data[off]) | uint16(data[off+1])<<8)
+		off += 2
+		cellKey := data[off : off+klen]
+		off += klen
+		child := pagestore.PageID(uint32(data[off]) | uint32(data[off+1])<<8 | uint32(data[off+2])<<16 | uint32(data[off+3])<<24)
+		off += 4
+		switch bytes.Compare(cellKey, key) {
+		case 0:
+			return i + 1, child
+		case 1:
+			return prevIdx, prev
+		}
+		prev, prevIdx = child, i+1
+	}
+	return prevIdx, prev
+}
+
+// internalChildAt returns child number i of an encoded internal node
+// (0 = leftmost child, k = cells[k-1].child).
+func internalChildAt(data []byte, i int) pagestore.PageID {
+	if i == 0 {
+		return pagestore.PageID(uint32(data[3]) | uint32(data[4])<<8 | uint32(data[5])<<16 | uint32(data[6])<<24)
+	}
+	off := nodeOverhead
+	for k := 1; ; k++ {
+		klen := int(uint16(data[off]) | uint16(data[off+1])<<8)
+		off += 2 + klen
+		if k == i {
+			return pagestore.PageID(uint32(data[off]) | uint32(data[off+1])<<8 | uint32(data[off+2])<<16 | uint32(data[off+3])<<24)
+		}
+		off += 4
+	}
+}
+
+// internalNumChildren returns the child count of an encoded internal
+// node (separator count plus one).
+func internalNumChildren(data []byte) int {
+	return int(uint16(data[1])|uint16(data[2])<<8) + 1
+}
+
 // leafSearchEncoded locates key in an encoded leaf, returning the value
 // bounds within data. found is false when the key is absent.
 func leafSearchEncoded(data []byte, key []byte) (valOff, valLen int, found bool) {

@@ -6,6 +6,13 @@ import (
 	"timber/internal/pagestore"
 )
 
+// level is one internal node on the iterator's descent path: the page
+// and the ordinal of the child the descent took.
+type level struct {
+	id  pagestore.PageID
+	idx int
+}
+
 // Iterator walks leaf cells in ascending key order without decoding
 // pages: it holds the current leaf pinned and cursors over the encoded
 // cells in place. Obtain one with Tree.Seek, advance with Next, and
@@ -13,17 +20,26 @@ import (
 // exhaustion is already closed). Key and Value alias the pinned page
 // and are valid only until the next Next/Close call — copy them to
 // retain. Concurrent inserts invalidate iterators.
+//
+// Leaf transitions climb a stack of parent positions and descend into
+// the next subtree instead of following the leaves' sibling links.
+// Under copy-on-write a shadowed leaf's left sibling still carries a
+// chain pointer to the superseded page, so the sibling links are not
+// trustworthy on any tree that has ever been COW-updated; the parent
+// stack only ever re-reads pages on the descent path, which are
+// immutable for the snapshot the iterator was opened on.
 type Iterator struct {
-	t    *Tree
-	page *pagestore.Page
-	data []byte
-	num  int // cells in the current leaf
-	idx  int // current cell index
-	off  int // byte offset of the current cell header
-	key  []byte
-	val  []byte
-	err  error
-	done bool
+	t     *Tree
+	stack []level
+	page  *pagestore.Page
+	data  []byte
+	num   int // cells in the current leaf
+	idx   int // current cell index
+	off   int // byte offset of the current cell header
+	key   []byte
+	val   []byte
+	err   error
+	done  bool
 }
 
 // Seek positions an iterator at the first key >= key. An empty key
@@ -54,45 +70,78 @@ func (t *Tree) Seek(key []byte) *Iterator {
 			}
 			return it
 		}
-		next := internalChildEncoded(data, key)
+		ci, next := internalChildIndex(data, key)
 		t.st.Unpin(p, false)
+		it.stack = append(it.stack, level{id: id, idx: ci})
 		id = next
 	}
 }
 
 // loadCell parses the cell at the cursor into key/val, or moves to the
-// next leaf (or completion) when the current leaf is exhausted.
+// next leaf (or completion) when the current leaf is exhausted. Leaves
+// emptied by deletion are skipped.
 func (it *Iterator) loadCell() {
 	for it.idx >= it.num {
-		// Leaf exhausted: follow the chain.
-		next := pagestore.PageID(uint32(it.data[3]) | uint32(it.data[4])<<8 | uint32(it.data[5])<<16 | uint32(it.data[6])<<24)
 		it.release()
-		if it.err != nil {
+		if it.err != nil || !it.nextLeaf() {
 			it.done = true
 			return
 		}
-		if next == pagestore.InvalidPage {
-			it.done = true
-			return
-		}
-		p, err := it.t.st.Fetch(next)
-		if err != nil {
-			it.fail(err)
-			return
-		}
-		it.t.m.visit()
-		it.t.m.leaf()
-		it.page = p
-		it.data = p.Data()
-		it.num = int(uint16(it.data[1]) | uint16(it.data[2])<<8)
-		it.idx = 0
-		it.off = nodeOverhead
 	}
 	klen := int(uint16(it.data[it.off]) | uint16(it.data[it.off+1])<<8)
 	vlen := int(uint16(it.data[it.off+2]) | uint16(it.data[it.off+3])<<8)
 	body := it.off + 4
 	it.key = it.data[body : body+klen]
 	it.val = it.data[body+klen : body+klen+vlen]
+}
+
+// nextLeaf climbs the parent stack to the nearest ancestor with an
+// unvisited child and descends to the leftmost leaf of that subtree.
+// It reports false (leaving the iterator unpinned) at the end of the
+// tree or on error.
+func (it *Iterator) nextLeaf() bool {
+	for len(it.stack) > 0 {
+		top := &it.stack[len(it.stack)-1]
+		p, err := it.t.st.Fetch(top.id)
+		if err != nil {
+			it.fail(err)
+			return false
+		}
+		it.t.m.visit()
+		data := p.Data()
+		if top.idx+1 >= internalNumChildren(data) {
+			it.t.st.Unpin(p, false)
+			it.stack = it.stack[:len(it.stack)-1]
+			continue
+		}
+		top.idx++
+		id := internalChildAt(data, top.idx)
+		it.t.st.Unpin(p, false)
+		// Descend along leftmost children to the subtree's first leaf.
+		for {
+			cp, err := it.t.st.Fetch(id)
+			if err != nil {
+				it.fail(err)
+				return false
+			}
+			it.t.m.visit()
+			cdata := cp.Data()
+			if cdata[0]&flagLeaf != 0 {
+				it.t.m.leaf()
+				it.page = cp
+				it.data = cdata
+				it.num = int(uint16(cdata[1]) | uint16(cdata[2])<<8)
+				it.idx = 0
+				it.off = nodeOverhead
+				return true
+			}
+			it.stack = append(it.stack, level{id: id, idx: 0})
+			next := internalChildAt(cdata, 0)
+			it.t.st.Unpin(cp, false)
+			id = next
+		}
+	}
+	return false
 }
 
 // advance moves the cursor one cell forward and loads it.

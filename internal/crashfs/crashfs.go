@@ -1,0 +1,442 @@
+// Package crashfs is an in-memory filesystem for crash-recovery
+// testing. Every write, truncate, and sync on every file of a Disk is
+// journaled with a single global sequence number, so a "power cut" can
+// be simulated at any point in the interleaved history of the database
+// file and its write-ahead log — including mid-write, producing a torn
+// page or torn WAL frame.
+//
+// Two loss models bracket what real hardware can do:
+//
+//   - CrashDisk (prefix loss): every write issued before the cut
+//     survives, the write straddling the cut is torn, everything after
+//     is gone. This is the kindest crash consistent with ordering and
+//     exercises torn-tail handling.
+//
+//   - CrashDiskDropUnsynced (volatile loss): only writes covered by an
+//     fsync barrier before the cut survive. This is the harshest crash
+//     allowed by POSIX and catches code that acknowledges commits
+//     before the fsync actually happened.
+//
+// Files additionally support fail and short-write injection after a
+// byte budget, for table-driven error-path tests.
+package crashfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// ErrInjected is returned by writes that exceed an injected fault
+// budget (see File.SetWriteLimit).
+var ErrInjected = errors.New("crashfs: injected write fault")
+
+type opKind uint8
+
+const (
+	opCreate opKind = iota
+	opWrite
+	opTruncate
+	opSync
+)
+
+type op struct {
+	seq  uint64
+	kind opKind
+	off  int64  // opWrite
+	data []byte // opWrite (owned copy)
+	size int64  // opTruncate
+}
+
+// Disk is a set of files sharing one operation clock. All methods are
+// safe for concurrent use; operations across files serialize, which is
+// exactly what gives crash points a well-defined global order.
+type Disk struct {
+	mu    sync.Mutex
+	seq   uint64 // next sequence number
+	files map[string]*File
+}
+
+// New returns an empty disk.
+func New() *Disk {
+	return &Disk{files: make(map[string]*File)}
+}
+
+// Create makes a new empty file. It fails if the name already exists.
+func (d *Disk) Create(name string) (*File, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.files[name]; ok {
+		return nil, fmt.Errorf("crashfs: %s already exists", name)
+	}
+	f := &File{d: d, name: name, failAfter: -1}
+	f.ops = append(f.ops, op{seq: d.nextSeq(), kind: opCreate})
+	d.files[name] = f
+	return f, nil
+}
+
+// Open returns the named file, or os.ErrNotExist.
+func (d *Disk) Open(name string) (*File, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	if !ok {
+		return nil, fmt.Errorf("crashfs: %s: %w", name, os.ErrNotExist)
+	}
+	f.closed = false
+	return f, nil
+}
+
+// Exists reports whether the named file is present.
+func (d *Disk) Exists(name string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.files[name]
+	return ok
+}
+
+// Ops returns the number of operations journaled so far. Any value in
+// [0, Ops()] is a valid crash point.
+func (d *Disk) Ops() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.seq
+}
+
+// Bytes returns the cumulative bytes written across all files, the
+// domain of CrashDiskAtBytes.
+func (d *Disk) Bytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var total int64
+	for _, f := range d.files {
+		for _, o := range f.ops {
+			if o.kind == opWrite {
+				total += int64(len(o.data))
+			}
+		}
+	}
+	return total
+}
+
+// nextSeq must be called with d.mu held.
+func (d *Disk) nextSeq() uint64 {
+	s := d.seq
+	d.seq++
+	return s
+}
+
+// orderedOps returns every op of every file in global sequence order,
+// tagged with its file name. Caller must hold d.mu.
+func (d *Disk) orderedOps() []struct {
+	name string
+	op
+} {
+	var all []struct {
+		name string
+		op
+	}
+	for name, f := range d.files {
+		for _, o := range f.ops {
+			all = append(all, struct {
+				name string
+				op
+			}{name, o})
+		}
+	}
+	// Sequence numbers are dense and unique: counting sort by seq.
+	out := make([]struct {
+		name string
+		op
+	}, len(all))
+	for _, e := range all {
+		out[e.seq] = e
+	}
+	return out
+}
+
+// CrashDisk returns a new Disk holding the state a power cut after
+// opBudget operations would leave behind: ops with seq < opBudget are
+// fully applied; if the op at seq == opBudget is a write, its first
+// tear bytes are applied (a torn write); everything later is lost.
+// Files whose creation is past the cut do not exist.
+func (d *Disk) CrashDisk(opBudget uint64, tear int) *Disk {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	nd := New()
+	for _, e := range d.orderedOps() {
+		if e.seq > opBudget {
+			break
+		}
+		torn := -1
+		if e.seq == opBudget {
+			if e.kind != opWrite || tear <= 0 {
+				break
+			}
+			torn = tear
+		}
+		nd.applyCrashOp(e.name, e.op, torn)
+	}
+	return nd
+}
+
+// CrashDiskAtBytes returns the state after a power cut once byteBudget
+// bytes have reached the disk, cutting mid-write at the boundary.
+// Non-write operations consume no budget and apply until the cut.
+func (d *Disk) CrashDiskAtBytes(byteBudget int64) *Disk {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	nd := New()
+	var cum int64
+	for _, e := range d.orderedOps() {
+		if e.kind == opWrite {
+			n := int64(len(e.data))
+			if cum+n > byteBudget {
+				if torn := int(byteBudget - cum); torn > 0 {
+					nd.applyCrashOp(e.name, e.op, torn)
+				}
+				break
+			}
+			cum += n
+		}
+		nd.applyCrashOp(e.name, e.op, -1)
+	}
+	return nd
+}
+
+// CrashDiskDropUnsynced returns the state a crash after opBudget
+// operations would leave if every unsynced write were lost: for each
+// file, only operations covered by a sync barrier at or before the cut
+// survive. Code that acknowledges a commit before fsync returns will
+// see that commit vanish here.
+func (d *Disk) CrashDiskDropUnsynced(opBudget uint64) *Disk {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// Per file: the latest sync barrier at or before the cut.
+	barrier := make(map[string]uint64)
+	for name, f := range d.files {
+		for _, o := range f.ops {
+			if o.kind == opSync && o.seq <= opBudget {
+				barrier[name] = o.seq
+			}
+		}
+	}
+	nd := New()
+	for _, e := range d.orderedOps() {
+		if e.seq > opBudget {
+			break
+		}
+		switch e.kind {
+		case opCreate:
+			nd.applyCrashOp(e.name, e.op, -1)
+		case opWrite, opTruncate:
+			if b, ok := barrier[e.name]; ok && e.seq < b {
+				nd.applyCrashOp(e.name, e.op, -1)
+			}
+		}
+	}
+	return nd
+}
+
+// applyCrashOp replays one journaled op into the reconstructed disk.
+// torn >= 0 limits a write to its first torn bytes. Caller guarantees
+// creates precede other ops on the same file (journal order).
+func (nd *Disk) applyCrashOp(name string, o op, torn int) {
+	switch o.kind {
+	case opCreate:
+		f := &File{d: nd, name: name, failAfter: -1}
+		f.ops = append(f.ops, op{seq: nd.nextSeq(), kind: opCreate})
+		nd.files[name] = f
+	case opWrite:
+		f, ok := nd.files[name]
+		if !ok {
+			return
+		}
+		data := o.data
+		if torn >= 0 && torn < len(data) {
+			data = data[:torn]
+		}
+		f.applyWrite(o.off, data)
+		f.ops = append(f.ops, op{seq: nd.nextSeq(), kind: opWrite, off: o.off, data: append([]byte(nil), data...)})
+	case opTruncate:
+		f, ok := nd.files[name]
+		if !ok {
+			return
+		}
+		f.applyTruncate(o.size)
+		f.ops = append(f.ops, op{seq: nd.nextSeq(), kind: opTruncate, size: o.size})
+	case opSync:
+		if f, ok := nd.files[name]; ok {
+			f.ops = append(f.ops, op{seq: nd.nextSeq(), kind: opSync})
+		}
+	}
+}
+
+// File is one journaled file. It implements pagestore.File.
+type File struct {
+	d      *Disk
+	name   string
+	cur    []byte // materialized current contents
+	ops    []op   // full history
+	closed bool
+
+	failAfter  int64 // write-byte budget before injection; -1 = off
+	written    int64 // bytes accepted so far (for failAfter)
+	shortWrite bool  // inject a short write instead of a clean failure
+	syncs      uint64
+}
+
+// Name returns the file's name on its disk.
+func (f *File) Name() string { return f.name }
+
+// SetWriteLimit arms fault injection: after n more accepted bytes,
+// writes fail with ErrInjected. With short set, the failing write
+// first applies as many bytes as the budget allows and reports a
+// short-write byte count alongside the error, as io.WriterAt demands.
+func (f *File) SetWriteLimit(n int64, short bool) {
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	f.failAfter = f.written + n
+	f.shortWrite = short
+}
+
+// ClearWriteLimit disarms fault injection.
+func (f *File) ClearWriteLimit() {
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	f.failAfter = -1
+}
+
+// Syncs returns how many Sync calls the file has absorbed.
+func (f *File) Syncs() uint64 {
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	return f.syncs
+}
+
+// Contents returns a copy of the file's current bytes.
+func (f *File) Contents() []byte {
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	return append([]byte(nil), f.cur...)
+}
+
+func (f *File) applyWrite(off int64, p []byte) {
+	if end := off + int64(len(p)); end > int64(len(f.cur)) {
+		grown := make([]byte, end)
+		copy(grown, f.cur)
+		f.cur = grown
+	}
+	copy(f.cur[off:], p)
+}
+
+func (f *File) applyTruncate(size int64) {
+	if size <= int64(len(f.cur)) {
+		f.cur = f.cur[:size]
+		return
+	}
+	grown := make([]byte, size)
+	copy(grown, f.cur)
+	f.cur = grown
+}
+
+// ReadAt implements io.ReaderAt over the current contents.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	if f.closed {
+		return 0, os.ErrClosed
+	}
+	if off < 0 {
+		return 0, errors.New("crashfs: negative offset")
+	}
+	if off >= int64(len(f.cur)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.cur[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt, journaling the write. Writes past
+// EOF zero-fill the gap, like an OS file.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	if f.closed {
+		return 0, os.ErrClosed
+	}
+	if off < 0 {
+		return 0, errors.New("crashfs: negative offset")
+	}
+	if f.failAfter >= 0 && f.written+int64(len(p)) > f.failAfter {
+		keep := 0
+		if f.shortWrite {
+			if avail := f.failAfter - f.written; avail > 0 {
+				keep = int(avail)
+			}
+		}
+		if keep > 0 {
+			part := p[:keep]
+			f.applyWrite(off, part)
+			f.ops = append(f.ops, op{seq: f.d.nextSeq(), kind: opWrite, off: off, data: append([]byte(nil), part...)})
+			f.written += int64(keep)
+		}
+		return keep, fmt.Errorf("%w after %d bytes", ErrInjected, f.written)
+	}
+	f.applyWrite(off, p)
+	f.ops = append(f.ops, op{seq: f.d.nextSeq(), kind: opWrite, off: off, data: append([]byte(nil), p...)})
+	f.written += int64(len(p))
+	return len(p), nil
+}
+
+// Truncate implements pagestore.File.
+func (f *File) Truncate(size int64) error {
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	if f.closed {
+		return os.ErrClosed
+	}
+	if size < 0 {
+		return errors.New("crashfs: negative size")
+	}
+	f.applyTruncate(size)
+	f.ops = append(f.ops, op{seq: f.d.nextSeq(), kind: opTruncate, size: size})
+	return nil
+}
+
+// Sync records a durability barrier: in the drop-unsynced crash model,
+// writes before this point survive a later crash.
+func (f *File) Sync() error {
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	if f.closed {
+		return os.ErrClosed
+	}
+	f.ops = append(f.ops, op{seq: f.d.nextSeq(), kind: opSync})
+	f.syncs++
+	return nil
+}
+
+// Close marks the handle closed. The file stays on the disk and can be
+// reopened with Disk.Open.
+func (f *File) Close() error {
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	f.closed = true
+	return nil
+}
+
+// Size implements pagestore.File.
+func (f *File) Size() (int64, error) {
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	if f.closed {
+		return 0, os.ErrClosed
+	}
+	return int64(len(f.cur)), nil
+}

@@ -1,0 +1,249 @@
+package crashfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestReadWriteTruncate(t *testing.T) {
+	d := New()
+	f, err := d.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Create("a"); err == nil {
+		t.Fatal("duplicate create should fail")
+	}
+	if n, err := f.WriteAt([]byte("hello world"), 0); n != 11 || err != nil {
+		t.Fatalf("WriteAt = %d, %v", n, err)
+	}
+	// Write past EOF zero-fills the gap.
+	if _, err := f.WriteAt([]byte("!"), 20); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := f.Size(); sz != 21 {
+		t.Fatalf("Size = %d", sz)
+	}
+	buf := make([]byte, 21)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte("hello world"), make([]byte, 9)...)
+	want = append(want, '!')
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("contents %q", buf)
+	}
+	// Short read at the tail returns io.EOF.
+	if n, err := f.ReadAt(make([]byte, 10), 15); n != 6 || err != io.EOF {
+		t.Fatalf("tail read = %d, %v", n, err)
+	}
+	if _, err := f.ReadAt(make([]byte, 1), 100); err != io.EOF {
+		t.Fatalf("past-EOF read err = %v", err)
+	}
+	if err := f.Truncate(5); err != nil {
+		t.Fatal(err)
+	}
+	if string(f.Contents()) != "hello" {
+		t.Fatalf("after truncate: %q", f.Contents())
+	}
+	if err := f.Truncate(8); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f.Contents(), append([]byte("hello"), 0, 0, 0)) {
+		t.Fatalf("grow-truncate: %q", f.Contents())
+	}
+}
+
+func TestOpenAndClose(t *testing.T) {
+	d := New()
+	f, _ := d.Create("x")
+	if _, err := f.WriteAt([]byte("abc"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("z"), 0); err == nil {
+		t.Fatal("write after close should fail")
+	}
+	g, err := d.Open("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(g.Contents()) != "abc" {
+		t.Fatalf("reopened contents %q", g.Contents())
+	}
+	if _, err := d.Open("missing"); err == nil {
+		t.Fatal("open of missing file should fail")
+	}
+}
+
+// TestCrashPrefix: a crash at op k keeps exactly the first k operations,
+// tearing the boundary write.
+func TestCrashPrefix(t *testing.T) {
+	d := New()
+	a, _ := d.Create("a") // seq 0
+	b, _ := d.Create("b") // seq 1
+	a.WriteAt([]byte("AAAA"), 0)
+	b.WriteAt([]byte("BBBB"), 0)
+	a.WriteAt([]byte("CCCC"), 4)
+
+	// Cut before anything: no files.
+	if nd := d.CrashDisk(0, 0); nd.Exists("a") || nd.Exists("b") {
+		t.Fatal("files exist before their creation")
+	}
+	// Cut after both creates and a's first write.
+	nd := d.CrashDisk(3, 0)
+	na, err := nd.Open("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(na.Contents()) != "AAAA" {
+		t.Fatalf("a = %q", na.Contents())
+	}
+	nb, _ := nd.Open("b")
+	if len(nb.Contents()) != 0 {
+		t.Fatalf("b = %q, want empty", nb.Contents())
+	}
+	// Torn write: op 4 (a's second write) cut at 2 bytes.
+	nd = d.CrashDisk(4, 2)
+	na, _ = nd.Open("a")
+	if string(na.Contents()) != "AAAACC" {
+		t.Fatalf("torn a = %q", na.Contents())
+	}
+	// Full history.
+	nd = d.CrashDisk(d.Ops(), 0)
+	na, _ = nd.Open("a")
+	if string(na.Contents()) != "AAAACCCC" {
+		t.Fatalf("full a = %q", na.Contents())
+	}
+}
+
+// TestCrashAtBytes cuts by cumulative written bytes across files,
+// interleaved in global order.
+func TestCrashAtBytes(t *testing.T) {
+	d := New()
+	a, _ := d.Create("a")
+	b, _ := d.Create("b")
+	a.WriteAt([]byte("1234"), 0) // bytes 0-3
+	b.WriteAt([]byte("5678"), 0) // bytes 4-7
+	a.WriteAt([]byte("9abc"), 4) // bytes 8-11
+	if got := d.Bytes(); got != 12 {
+		t.Fatalf("Bytes = %d", got)
+	}
+	for budget, want := range map[int64][2]string{
+		0:  {"", ""},
+		2:  {"12", ""},
+		4:  {"1234", ""},
+		6:  {"1234", "56"},
+		9:  {"12349", "5678"},
+		12: {"12349abc", "5678"},
+	} {
+		nd := d.CrashDiskAtBytes(budget)
+		na, errA := nd.Open("a")
+		nb, errB := nd.Open("b")
+		var gotA, gotB string
+		if errA == nil {
+			gotA = string(na.Contents())
+		}
+		if errB == nil {
+			gotB = string(nb.Contents())
+		}
+		if gotA != want[0] || gotB != want[1] {
+			t.Fatalf("budget %d: a=%q b=%q, want a=%q b=%q", budget, gotA, gotB, want[0], want[1])
+		}
+	}
+}
+
+// TestCrashDropUnsynced: without a sync barrier, writes vanish; with
+// one, everything before the barrier survives.
+func TestCrashDropUnsynced(t *testing.T) {
+	d := New()
+	f, _ := d.Create("f") // seq 0
+	f.WriteAt([]byte("keep"), 0)
+	f.Sync() // seq 2: barrier covering "keep"
+	f.WriteAt([]byte("lost"), 4)
+
+	nd := d.CrashDiskDropUnsynced(d.Ops())
+	nf, err := nd.Open("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(nf.Contents()) != "keep" {
+		t.Fatalf("contents %q, want only the synced prefix", nf.Contents())
+	}
+	// A cut before the sync barrier drops everything.
+	nd = d.CrashDiskDropUnsynced(1)
+	nf, _ = nd.Open("f")
+	if len(nf.Contents()) != 0 {
+		t.Fatalf("pre-barrier crash kept %q", nf.Contents())
+	}
+}
+
+func TestWriteLimitFail(t *testing.T) {
+	d := New()
+	f, _ := d.Create("f")
+	f.SetWriteLimit(5, false)
+	if n, err := f.WriteAt([]byte("abc"), 0); n != 3 || err != nil {
+		t.Fatalf("within budget: %d, %v", n, err)
+	}
+	n, err := f.WriteAt([]byte("defg"), 3)
+	if n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("over budget: %d, %v", n, err)
+	}
+	if string(f.Contents()) != "abc" {
+		t.Fatalf("failed write mutated file: %q", f.Contents())
+	}
+	f.ClearWriteLimit()
+	if _, err := f.WriteAt([]byte("defg"), 3); err != nil {
+		t.Fatal(err)
+	}
+	if string(f.Contents()) != "abcdefg" {
+		t.Fatalf("after clear: %q", f.Contents())
+	}
+}
+
+func TestWriteLimitShort(t *testing.T) {
+	d := New()
+	f, _ := d.Create("f")
+	f.SetWriteLimit(5, true)
+	n, err := f.WriteAt([]byte("abcdefgh"), 0)
+	if n != 5 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write: %d, %v", n, err)
+	}
+	if string(f.Contents()) != "abcde" {
+		t.Fatalf("contents %q", f.Contents())
+	}
+	// The partial bytes are journaled: a full-history crash image keeps
+	// them.
+	nf, _ := d.CrashDisk(d.Ops(), 0).Open("f")
+	if string(nf.Contents()) != "abcde" {
+		t.Fatalf("crash image %q", nf.Contents())
+	}
+}
+
+// TestCrashImageIndependence: mutating the original disk after taking
+// a crash image must not affect the image.
+func TestCrashImageIndependence(t *testing.T) {
+	d := New()
+	f, _ := d.Create("f")
+	f.WriteAt([]byte("before"), 0)
+	nd := d.CrashDisk(d.Ops(), 0)
+	f.WriteAt([]byte("AFTER!"), 0)
+	nf, _ := nd.Open("f")
+	if string(nf.Contents()) != "before" {
+		t.Fatalf("crash image changed: %q", nf.Contents())
+	}
+	// And the image is itself a working disk: writes journal anew.
+	nf.WriteAt([]byte("x"), 0)
+	if string(nf.Contents()) != "xefore" {
+		t.Fatalf("image write: %q", nf.Contents())
+	}
+	nd2 := nd.CrashDisk(nd.Ops(), 0)
+	nf2, _ := nd2.Open("f")
+	if string(nf2.Contents()) != "xefore" {
+		t.Fatalf("second-generation crash image: %q", nf2.Contents())
+	}
+}

@@ -19,7 +19,7 @@ import (
 //
 // Output trees appear in first-occurrence order of the distinct values,
 // matching the logical naive plan. Requires the value index.
-func directNestedLoops(db *storage.DB, spec Spec, o Options) (*Result, error) {
+func directNestedLoops(db storage.Reader, spec Spec, o Options) (*Result, error) {
 	if !db.HasValueIndex() {
 		return nil, fmt.Errorf("exec: direct nested-loops plan needs the value index")
 	}
@@ -149,7 +149,7 @@ func directNestedLoops(db *storage.DB, spec Spec, o Options) (*Result, error) {
 // child step must match the immediate parent; a descendant step climbs
 // until its tag appears (greedy matching, which is exact on the
 // single ancestor chain).
-func (r *Result) navigateUp(db *storage.DB, p storage.Posting, upSteps []PathStep) (*storage.NodeRecord, bool, error) {
+func (r *Result) navigateUp(db storage.Reader, p storage.Posting, upSteps []PathStep) (*storage.NodeRecord, bool, error) {
 	rec, err := db.GetNodeAt(p.RID)
 	if err != nil {
 		return nil, false, err
@@ -195,7 +195,7 @@ func (r *Result) navigateUp(db *storage.DB, p storage.Posting, upSteps []PathSte
 // relative path over it, returning the leaf contents in document order.
 // The scan reads every record in the subtree — the navigational cost of
 // "looking up the title" without an identifier-processed plan.
-func (r *Result) navigateDown(db *storage.DB, member *storage.NodeRecord, path Path) ([]string, error) {
+func (r *Result) navigateDown(db storage.Reader, member *storage.NodeRecord, path Path) ([]string, error) {
 	// Rebuild the member subtree from the range scan (the records
 	// arrive in document order), then walk the path with full axis
 	// semantics.
@@ -226,7 +226,7 @@ func (r *Result) navigateDown(db *storage.DB, member *storage.NodeRecord, path P
 // the same data-value look-ups twice (dedupe pass and join pass) but
 // avoids the per-binding navigation of the nested-loops plan, so it
 // sits between the nested-loops and groupby plans.
-func directBatch(db *storage.DB, spec Spec, o Options) (*Result, error) {
+func directBatch(db storage.Reader, spec Spec, o Options) (*Result, error) {
 	res := &Result{}
 	basisTag := spec.BasisTag()
 	sp := o.trace("exec: direct batch")

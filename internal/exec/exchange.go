@@ -63,7 +63,7 @@ type fragResult struct {
 // order, so the merged stream is byte-identical for any parallelism:
 // the exchange only reorders work, never rows.
 type exchangeIter struct {
-	db        *storage.DB
+	db        storage.Reader
 	spec      Spec
 	ctx       context.Context
 	workers   int
@@ -78,7 +78,7 @@ type exchangeIter struct {
 	stats  ExecStats
 }
 
-func newExchange(db *storage.DB, spec Spec, ctx context.Context, workers, batchSize int, ops *opSet) *exchangeIter {
+func newExchange(db storage.Reader, spec Spec, ctx context.Context, workers, batchSize int, ops *opSet) *exchangeIter {
 	return &exchangeIter{
 		db:        db,
 		spec:      spec,
@@ -198,7 +198,7 @@ func (e *exchangeIter) Close() error {
 // into the fragment's ordering-value map. All iterators are closed
 // before returning, so a fragment never holds cursors across the
 // exchange barrier.
-func runFragment(db *storage.DB, spec Spec, doc xmltree.DocID, members []storage.Posting, batchSize int) (*fragResult, error) {
+func runFragment(db storage.Reader, spec Spec, doc xmltree.DocID, members []storage.Posting, batchSize int) (*fragResult, error) {
 	ops := newOpSet()
 	fr := &fragResult{ops: ops}
 

@@ -18,7 +18,7 @@ import (
 // must not run concurrently against one database; the read-only storage
 // paths (postings, record fetches, subtree scans) remain safe for
 // concurrent use.
-func finishResult(db *storage.DB, res *Result, sp *obs.Span) error {
+func finishResult(db storage.Reader, res *Result, sp *obs.Span) error {
 	finSp := sp.Child("spill: result trees")
 	defer finSp.End()
 	trees, err := db.SpillTrees(res.Trees)

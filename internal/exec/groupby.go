@@ -52,7 +52,7 @@ type ExecStats struct {
 // exchange merges fragment rows in document order, the sort's
 // comparator is a total order (arrival position breaks every tie), and
 // each operator preserves its input's row order.
-func groupByExec(db *storage.DB, spec Spec, o Options) (*Result, error) {
+func groupByExec(db storage.Reader, spec Spec, o Options) (*Result, error) {
 	if err := o.err(); err != nil {
 		return nil, err
 	}

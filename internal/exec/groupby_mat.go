@@ -31,7 +31,7 @@ import (
 // pre-assigned slot and the stats are added in bulk afterwards, so the
 // result trees, group order and ExecStats are identical for any
 // parallelism setting.
-func groupByMaterialized(db *storage.DB, spec Spec, o Options) (*Result, error) {
+func groupByMaterialized(db storage.Reader, spec Spec, o Options) (*Result, error) {
 	res := &Result{}
 	workers := o.workers()
 	sp := o.trace("exec: groupby")

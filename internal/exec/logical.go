@@ -9,7 +9,9 @@ import (
 
 // LoadCollection materializes every document of the database as an
 // in-memory collection — the input the logical algebra operates on.
-func LoadCollection(db *storage.DB) (tax.Collection, error) {
+func LoadCollection(db storage.Reader) (tax.Collection, error) {
+	db, release := storage.Pin(db)
+	defer release()
 	var trees []*xmltree.Node
 	for _, d := range db.Documents() {
 		root, err := db.GetSubtree(xmltree.NodeID{Doc: d.ID, Start: d.RootStart})
@@ -26,7 +28,9 @@ func LoadCollection(db *storage.DB) (tax.Collection, error) {
 // the correctness oracle for the physical executors (and was how
 // queries would run with no physical optimization at all — every
 // experiment's result sets are checked against it at small scale).
-func ExecLogical(db *storage.DB, op plan.Op) (tax.Collection, error) {
+func ExecLogical(db storage.Reader, op plan.Op) (tax.Collection, error) {
+	db, release := storage.Pin(db)
+	defer release()
 	base, err := LoadCollection(db)
 	if err != nil {
 		return tax.Collection{}, err

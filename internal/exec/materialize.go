@@ -23,7 +23,7 @@ var ErrMaterializeLimit = errors.New("exec: materialization buffer limit exceede
 // late-materialization API, in Count mode counts come from the
 // aggregate rows and no value content is ever touched.
 type sink struct {
-	db    *storage.DB
+	db    storage.Reader
 	spec  Spec
 	ctx   context.Context
 	limit int64
@@ -39,7 +39,7 @@ type sink struct {
 	vals    []string
 }
 
-func newSink(db *storage.DB, spec Spec, ctx context.Context, limit int64) *sink {
+func newSink(db storage.Reader, spec Spec, ctx context.Context, limit int64) *sink {
 	return &sink{db: db, spec: spec, ctx: ctx, limit: limit}
 }
 

@@ -29,7 +29,7 @@ import (
 //
 // Output order matches the logical naive plan: distinct values in
 // first-occurrence order, members in document order.
-func directMaterialized(db *storage.DB, spec Spec, o Options) (*Result, error) {
+func directMaterialized(db storage.Reader, spec Spec, o Options) (*Result, error) {
 	res := &Result{}
 	basisTag := spec.BasisTag()
 	sp := o.trace("exec: direct materialized")

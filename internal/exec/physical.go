@@ -35,9 +35,11 @@ import (
 // materialization span, the residual logical evaluation its own), and
 // o.Ctx cancels the run between leaves and inside the match/
 // materialization pools.
-func ExecPhysical(db *storage.DB, op plan.Op, o Options) (tax.Collection, error) {
+func ExecPhysical(db storage.Reader, op plan.Op, o Options) (tax.Collection, error) {
 	o, fold := o.foldSpans("exec: physical")
 	defer fold()
+	db, release := storage.Pin(db)
+	defer release()
 	rewritten, err := substituteLeaves(db, op, o)
 	if err != nil {
 		return tax.Collection{}, err
@@ -54,12 +56,12 @@ func ExecPhysical(db *storage.DB, op plan.Op, o Options) (tax.Collection, error)
 // collections computed from the indices, and any remaining DBScan with
 // the materialized documents. Shared sub-plans (the rewrite's common
 // GroupBy) stay shared: substitution is memoized per input operator.
-func substituteLeaves(db *storage.DB, op plan.Op, o Options) (plan.Op, error) {
+func substituteLeaves(db storage.Reader, op plan.Op, o Options) (plan.Op, error) {
 	return (&substituter{db: db, o: o, memo: map[plan.Op]plan.Op{}}).sub(op)
 }
 
 type substituter struct {
-	db   *storage.DB
+	db   storage.Reader
 	o    Options
 	memo map[plan.Op]plan.Op
 }
@@ -173,7 +175,7 @@ func (s *substituter) rebuild1(in plan.Op, mk func(plan.Op) plan.Op) (plan.Op, e
 // subtrees). Witness materialization is the record-fetch-heavy phase,
 // so each binding's tree is built by whichever worker claims its slot;
 // slot order preserves the sequential output exactly.
-func physSelect(db *storage.DB, pt *pattern.Tree, sl []tax.Item, o Options) (tax.Collection, error) {
+func physSelect(db storage.Reader, pt *pattern.Tree, sl []tax.Item, o Options) (tax.Collection, error) {
 	starred := make(map[string]bool, len(sl))
 	for _, it := range sl {
 		starred[it.Label] = true
@@ -209,7 +211,7 @@ func physSelect(db *storage.DB, pt *pattern.Tree, sl []tax.Item, o Options) (tax
 
 // materializeWitness builds the witness tree for one binding, fetching
 // exactly the needed records.
-func materializeWitness(db *storage.DB, pn *pattern.Node, b match.DBBinding, starred map[string]bool) (*xmltree.Node, error) {
+func materializeWitness(db storage.Reader, pn *pattern.Node, b match.DBBinding, starred map[string]bool) (*xmltree.Node, error) {
 	post := b[pn.Label]
 	if starred[pn.Label] {
 		return db.GetSubtree(post.ID())

@@ -12,7 +12,7 @@ import (
 // pass through otherwise unchanged; no other content is touched.
 type populateIter struct {
 	child  Iterator
-	db     *storage.DB
+	db     storage.Reader
 	counts *opCounts
 
 	opened bool
@@ -20,7 +20,7 @@ type populateIter struct {
 	vals   []string
 }
 
-func newPopulate(child Iterator, db *storage.DB, counts *opCounts) *populateIter {
+func newPopulate(child Iterator, db storage.Reader, counts *opCounts) *populateIter {
 	return &populateIter{child: child, db: db, counts: counts}
 }
 

@@ -17,7 +17,7 @@ import (
 // in the process". The groupby plan is the identifier-processing
 // variant that defers materialization; benchmarking the two reproduces
 // the design argument.
-func groupByReplicating(db *storage.DB, spec Spec, o Options) (*Result, error) {
+func groupByReplicating(db storage.Reader, spec Spec, o Options) (*Result, error) {
 	res := &Result{}
 	sp := o.trace("exec: groupby replicating")
 	defer sp.End()

@@ -11,7 +11,7 @@ import (
 // member itself). An early-terminating consumer never reads the rest
 // of the posting list.
 type scanIter struct {
-	db     *storage.DB
+	db     storage.Reader
 	tag    string
 	doc    xmltree.DocID
 	counts *opCounts
@@ -20,7 +20,7 @@ type scanIter struct {
 	opened bool
 }
 
-func newScan(db *storage.DB, tag string, doc xmltree.DocID, counts *opCounts) *scanIter {
+func newScan(db storage.Reader, tag string, doc xmltree.DocID, counts *opCounts) *scanIter {
 	return &scanIter{db: db, tag: tag, doc: doc, counts: counts}
 }
 

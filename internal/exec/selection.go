@@ -28,7 +28,7 @@ import (
 // earlier chunk.
 type stepIter struct {
 	child  Iterator
-	db     *storage.DB
+	db     storage.Reader
 	tag    string
 	doc    xmltree.DocID
 	axis   sjoin.Axis
@@ -52,7 +52,7 @@ type stepIter struct {
 	join     *sjoin.Stream
 }
 
-func newStep(child Iterator, db *storage.DB, st PathStep, doc xmltree.DocID, batchSize int, counts *opCounts) *stepIter {
+func newStep(child Iterator, db storage.Reader, st PathStep, doc xmltree.DocID, batchSize int, counts *opCounts) *stepIter {
 	axis := sjoin.ParentChild
 	if st.Descendant {
 		axis = sjoin.AncestorDescendant

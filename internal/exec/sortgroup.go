@@ -27,7 +27,7 @@ import (
 // breaks every tie).
 type groupSortIter struct {
 	child   Iterator
-	db      *storage.DB
+	db      storage.Reader
 	ordVals func() map[xmltree.NodeID]string
 	desc    bool
 	memRows int
@@ -48,7 +48,7 @@ type groupSortIter struct {
 	enc  []byte
 }
 
-func newGroupSort(child Iterator, db *storage.DB, ordVals func() map[xmltree.NodeID]string, desc bool, memRows int, counts *opCounts) *groupSortIter {
+func newGroupSort(child Iterator, db storage.Reader, ordVals func() map[xmltree.NodeID]string, desc bool, memRows int, counts *opCounts) *groupSortIter {
 	return &groupSortIter{child: child, db: db, ordVals: ordVals, desc: desc, memRows: memRows, counts: counts}
 }
 

@@ -81,9 +81,15 @@ func ParseStrategy(name string) (Strategy, error) {
 // (logical, physical) need the logical plan rather than a Spec, so Run
 // rejects them — the engine dispatches those to ExecLogical and
 // ExecPhysical with its cached plans.
-func Run(db *storage.DB, spec Spec, o Options) (*Result, error) {
+func Run(db storage.Reader, spec Spec, o Options) (*Result, error) {
 	o, fold := o.foldSpans("exec: " + spec.Strategy.String())
 	defer fold()
+	// Pin one snapshot for the whole run: every operator of the query —
+	// including exchange fragments on other goroutines — reads the same
+	// committed epoch, so results are byte-identical to a quiesced run
+	// even while documents are inserted or deleted concurrently.
+	db, release := storage.Pin(db)
+	defer release()
 	switch spec.Strategy {
 	case StrategyGroupBy:
 		return groupByExec(db, spec, o)

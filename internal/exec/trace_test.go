@@ -31,7 +31,7 @@ func TestTracingPreservesResults(t *testing.T) {
 	db := sampleDB(t)
 	executors := []struct {
 		name string
-		fn   func(*storage.DB, Spec, Options) (*Result, error)
+		fn   func(storage.Reader, Spec, Options) (*Result, error)
 	}{
 		{"groupby", groupByExec},
 		{"direct-materialized", directMaterialized},

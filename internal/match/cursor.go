@@ -19,7 +19,7 @@ import (
 // lexicographically by pre-order node identifiers, and documents
 // ascend, which is exactly the order the global sort produces.
 type Cursor struct {
-	db    *storage.DB
+	db    storage.Reader
 	order []*pattern.Node
 	colOf map[string]int
 	cands [][]storage.Posting
@@ -34,7 +34,11 @@ type Cursor struct {
 // OpenCursor scans the pattern's candidate postings and positions the
 // cursor before the first witness. The returned cursor only reads the
 // database and is safe to use concurrently with other readers.
-func OpenCursor(db *storage.DB, pt *pattern.Tree) (*Cursor, error) {
+func OpenCursor(db storage.Reader, pt *pattern.Tree) (*Cursor, error) {
+	// Every database read happens here at open (candidate scans and
+	// predicate fetches); one pinned epoch covers them all.
+	db, release := storage.Pin(db)
+	defer release()
 	order := preorder(pt.Root)
 	stats := &DBStats{}
 	colOf := make(map[string]int, len(order))

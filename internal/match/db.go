@@ -54,7 +54,7 @@ func RecordFields(r *storage.NodeRecord) pattern.Fields { return recFields{r} }
 // single-pass containment joins. Witness order is identical to Match's.
 // It parallelizes across every core; use MatchDBPar to bound (or
 // disable) the parallelism.
-func MatchDB(db *storage.DB, pt *pattern.Tree) ([]DBBinding, *DBStats, error) {
+func MatchDB(db storage.Reader, pt *pattern.Tree) ([]DBBinding, *DBStats, error) {
 	return MatchDBPar(db, pt, 0)
 }
 
@@ -65,7 +65,7 @@ func MatchDB(db *storage.DB, pt *pattern.Tree) ([]DBBinding, *DBStats, error) {
 // in document order, so the output is identical to the sequential
 // path's for any parallelism. MatchDBPar only reads the database and is
 // safe to call concurrently with other readers.
-func MatchDBPar(db *storage.DB, pt *pattern.Tree, parallelism int) ([]DBBinding, *DBStats, error) {
+func MatchDBPar(db storage.Reader, pt *pattern.Tree, parallelism int) ([]DBBinding, *DBStats, error) {
 	return MatchDBObs(nil, db, pt, parallelism, nil)
 }
 
@@ -76,7 +76,10 @@ func MatchDBPar(db *storage.DB, pt *pattern.Tree, parallelism int) ([]DBBinding,
 // candidate scanning and the structural-join phase become child spans
 // carrying candidate, fetch, join and witness counts. A nil span costs
 // nothing and the witness output is identical either way.
-func MatchDBObs(ctx context.Context, db *storage.DB, pt *pattern.Tree, parallelism int, sp *obs.Span) ([]DBBinding, *DBStats, error) {
+func MatchDBObs(ctx context.Context, db storage.Reader, pt *pattern.Tree, parallelism int, sp *obs.Span) ([]DBBinding, *DBStats, error) {
+	// One pinned epoch for candidate scans and predicate fetches alike.
+	db, release := storage.Pin(db)
+	defer release()
 	order := preorder(pt.Root)
 	stats := &DBStats{}
 
@@ -263,7 +266,7 @@ func docSegment(posts []storage.Posting, doc xmltree.DocID) []storage.Posting {
 
 // candidates produces the sorted candidate postings for one pattern
 // node, preferring index-only access paths.
-func candidates(db *storage.DB, pn *pattern.Node, stats *DBStats) ([]storage.Posting, error) {
+func candidates(db storage.Reader, pn *pattern.Node, stats *DBStats) ([]storage.Posting, error) {
 	tag := pn.TagConstraint()
 	var posts []storage.Posting
 	var covered []pattern.Predicate // predicates the access path has answered
@@ -362,7 +365,7 @@ func predsMatch(preds []pattern.Predicate, f pattern.Fields) bool {
 	return true
 }
 
-func postingFor(db *storage.DB, rec *storage.NodeRecord) (storage.Posting, error) {
+func postingFor(db storage.Reader, rec *storage.NodeRecord) (storage.Posting, error) {
 	rid, err := db.LocateRID(rec.ID())
 	if err != nil {
 		return storage.Posting{}, err

@@ -11,6 +11,11 @@ type Heap struct {
 	first PageID
 	last  PageID
 	raw   bool
+	// tracked, when tracking is on, accumulates every page the heap
+	// allocates (chained tail pages, cut tails) so a transaction can
+	// log their images and reclaim them on abort.
+	tracking bool
+	tracked  []PageID
 }
 
 // SetRaw excludes the heap's pages from the store's page codec: the
@@ -55,8 +60,62 @@ func OpenHeap(st *Store, first PageID) (*Heap, error) {
 	return &Heap{st: st, first: first, last: last}, nil
 }
 
+// OpenHeapAt reopens a heap whose first and last pages are both known
+// (from committed metadata), skipping OpenHeap's chain walk. The
+// durable open path uses it: after a crash the chain's tail links may
+// run past the committed state, so walking them would resurrect
+// uncommitted pages.
+func OpenHeapAt(st *Store, first, last PageID) *Heap {
+	return &Heap{st: st, first: first, last: last}
+}
+
 // FirstPage returns the identifier of the heap's first page.
 func (h *Heap) FirstPage() PageID { return h.first }
+
+// LastPage returns the identifier of the heap's current insertion page.
+func (h *Heap) LastPage() PageID { return h.last }
+
+// Track makes the heap record every page it allocates from now on;
+// TakeTracked drains the record. Ingest transactions use the pair to
+// learn which pages need logging.
+func (h *Heap) Track() {
+	h.tracking = true
+	h.tracked = h.tracked[:0]
+}
+
+// TakeTracked returns the pages allocated since Track and stops
+// tracking.
+func (h *Heap) TakeTracked() []PageID {
+	h.tracking = false
+	out := h.tracked
+	h.tracked = nil
+	return out
+}
+
+// CutTail seals the heap's current insertion page and starts a fresh
+// one, returning the sealed page and the new tail. Unlike Insert's
+// chaining, CutTail does NOT link the sealed page to the new one — the
+// caller owns that link (an ingest transaction defers it until its WAL
+// records are durable, so concurrent readers walking the committed
+// chain never see uncommitted pages, and no committed page's bytes are
+// touched while unpinned readers may hold it).
+func (h *Heap) CutTail() (sealed, fresh PageID, err error) {
+	np, err := h.st.Allocate()
+	if err != nil {
+		return InvalidPage, InvalidPage, fmt.Errorf("pagestore: cut tail: %w", err)
+	}
+	if h.raw {
+		h.st.SetRawPage(np.ID())
+	}
+	InitSlotted(np)
+	h.st.Unpin(np, true)
+	sealed = h.last
+	h.last = np.ID()
+	if h.tracking {
+		h.tracked = append(h.tracked, np.ID())
+	}
+	return sealed, h.last, nil
+}
 
 // Insert appends a record and returns its RID. Records larger than
 // MaxRecord(pageSize) are rejected.
@@ -83,6 +142,9 @@ func (h *Heap) Insert(rec []byte) (RID, error) {
 	}
 	if h.raw {
 		h.st.SetRawPage(np.ID())
+	}
+	if h.tracking {
+		h.tracked = append(h.tracked, np.ID())
 	}
 	nsp := InitSlotted(np)
 	sp.SetNext(np.ID())

@@ -14,6 +14,11 @@
 // concurrent readers on different shards never contend. Counters are
 // atomic. See DESIGN.md "Concurrency model".
 //
+// Every slot carries a CRC-32C checksum (codec.go), so torn writes from
+// a crash surface as checksum errors instead of silently decoded
+// garbage; SlotImage/RestoreSlot expose the framed page images a
+// write-ahead log needs for redo.
+//
 // Two record-level abstractions are built on top of raw pages:
 // slotted pages (slotted.go) and heap files (heap.go).
 package pagestore
@@ -24,7 +29,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,10 +51,61 @@ type PageID uint32
 // InvalidPage is a sentinel PageID that no allocated page ever has.
 const InvalidPage = PageID(^uint32(0))
 
+// File is the byte-addressed backing of a Store: the subset of
+// *os.File behaviour the buffer pool needs, abstracted so
+// crash-injection tests can substitute an implementation that models
+// torn writes and lost unsynced data. ReadAt follows io.ReaderAt
+// semantics (a short read at the tail returns io.EOF); WriteAt must
+// extend the file when writing past its end.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+	Size() (int64, error)
+}
+
+// osFile adapts *os.File to the File interface.
+type osFile struct{ *os.File }
+
+func (f osFile) Size() (int64, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// OSFile adapts an *os.File to the File interface, for callers (the
+// WAL, recovery tooling) that layer on the same backing abstraction.
+func OSFile(f *os.File) File { return osFile{f} }
+
+// FsyncDir syncs a directory so a just-created, renamed or removed
+// entry in it survives a crash. Creating a file and syncing its data
+// is not enough — the directory entry itself lives in the parent and
+// needs its own fsync before recovery can rely on seeing the file.
+func FsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("pagestore: fsync dir: %w", err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("pagestore: fsync dir %s: %w", dir, serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("pagestore: fsync dir %s: %w", dir, cerr)
+	}
+	return nil
+}
+
 // Options configures a Store.
 type Options struct {
-	// PageSize is the size of each page in bytes. Defaults to
-	// DefaultPageSize. Must be at least 128.
+	// PageSize is the size of each on-disk page slot in bytes. Defaults
+	// to DefaultPageSize. Must be at least 128. The usable in-memory
+	// page is slotHeaderLen bytes smaller (see PageSize()).
 	PageSize int
 	// PoolPages is the buffer pool capacity in pages. Defaults to 4096
 	// pages (32 MB at the default page size, matching the paper).
@@ -57,11 +115,10 @@ type Options struct {
 	// one frame. Shards: 1 reproduces the single-lock pool exactly
 	// (one global LRU).
 	Shards int
-	// Codec enables per-page compression (see codec.go). The on-disk
-	// slot stays PageSize bytes, the usable in-memory page shrinks by
-	// codecHeaderLen, and every page write records its compressed and
-	// uncompressed byte counts in Stats. Must match the codec (or its
-	// absence) the file was created with.
+	// Codec enables per-page compression (see codec.go). Every page
+	// write records its compressed and uncompressed byte counts in
+	// Stats. Must match the codec (or its absence) the file was
+	// created with.
 	Codec Codec
 }
 
@@ -99,6 +156,14 @@ type Stats struct {
 	Evictions uint64
 	// Allocations is the number of pages allocated.
 	Allocations uint64
+	// FreedPages is the number of pages returned to the allocator with
+	// FreePages (whether recycled through the free list or truncated
+	// off the file tail).
+	FreedPages uint64
+	// ChecksumErrors is the number of page reads rejected because the
+	// slot checksum did not match its payload — each one is a torn or
+	// corrupted page that would previously have decoded silently.
+	ChecksumErrors uint64
 	// CompressedBytes is the total payload written to disk by page
 	// writes under a codec (header plus compressed image, or the full
 	// slot for incompressible pages). Zero without a codec.
@@ -133,6 +198,9 @@ func (s Stats) String() string {
 	if s.UncompressedBytes > 0 {
 		out += fmt.Sprintf(" codec=%d/%d (%.1f%%)", s.CompressedBytes, s.UncompressedBytes, 100*s.CompressionRatio())
 	}
+	if s.ChecksumErrors > 0 {
+		out += fmt.Sprintf(" crc-errors=%d", s.ChecksumErrors)
+	}
 	return out
 }
 
@@ -148,6 +216,8 @@ type counters struct {
 	physicalWrites    atomic.Uint64
 	evictions         atomic.Uint64
 	allocations       atomic.Uint64
+	freedPages        atomic.Uint64
+	checksumErrors    atomic.Uint64
 	compressedBytes   atomic.Uint64
 	uncompressedBytes atomic.Uint64
 }
@@ -160,6 +230,8 @@ func (c *counters) snapshot() Stats {
 		PhysicalWrites:    c.physicalWrites.Load(),
 		Evictions:         c.evictions.Load(),
 		Allocations:       c.allocations.Load(),
+		FreedPages:        c.freedPages.Load(),
+		ChecksumErrors:    c.checksumErrors.Load(),
 		CompressedBytes:   c.compressedBytes.Load(),
 		UncompressedBytes: c.uncompressedBytes.Load(),
 	}
@@ -172,6 +244,8 @@ func (c *counters) reset() {
 	c.physicalWrites.Store(0)
 	c.evictions.Store(0)
 	c.allocations.Store(0)
+	c.freedPages.Store(0)
+	c.checksumErrors.Store(0)
 	c.compressedBytes.Store(0)
 	c.uncompressedBytes.Store(0)
 }
@@ -182,6 +256,10 @@ var ErrPoolExhausted = errors.New("pagestore: buffer pool exhausted (all frames 
 
 // ErrClosed is returned by operations on a closed store.
 var ErrClosed = errors.New("pagestore: store is closed")
+
+// ErrChecksum is wrapped by page-read errors caused by a slot whose
+// CRC does not match its payload (a torn or corrupted write).
+var ErrChecksum = errors.New("pagestore: page checksum mismatch")
 
 // Page is a pinned page in the buffer pool. The caller may read and
 // write Data freely while the page is pinned and must call
@@ -199,14 +277,13 @@ func (p *Page) ID() PageID { return p.id }
 func (p *Page) Data() []byte { return p.frame.data }
 
 type frame struct {
-	id   PageID
-	data []byte
-	// slot, in codec stores, is the full on-disk slot image backing
-	// data (data aliases slot past the 5-byte header). Raw-flagged
-	// slots then read and write directly through the frame with no
-	// intermediate copy; only actually-compressed slots touch scratch
-	// buffers. Nil without a codec.
+	id PageID
+	// slot is the full on-disk slot image backing the frame; data
+	// aliases slot past the slotHeaderLen framing header. Raw slots
+	// read and write directly through the frame with no intermediate
+	// copy; only actually-compressed slots touch scratch buffers.
 	slot    []byte
+	data    []byte
 	pins    int
 	dirty   bool
 	lruElem *list.Element // non-nil iff pins == 0 (frame is evictable)
@@ -228,11 +305,16 @@ type shard struct {
 // counters are atomic. Whole-pool operations (DropCache, Truncate,
 // Flush, Close) lock every shard and must not race with writers.
 type Store struct {
-	file     *os.File
+	file     File
 	opts     Options
 	shards   []shard
 	numPages atomic.Uint32
-	allocMu  sync.Mutex // serializes page-ID assignment (Allocate vs Allocate)
+	allocMu  sync.Mutex // serializes page-ID assignment and the free list
+	// freeList holds interior page IDs returned by FreePages, popped
+	// LIFO by Allocate before the file is extended. In-memory only: a
+	// crash forgets it and the pages become unreferenced garbage until
+	// the next offline rebuild reclaims them.
+	freeList []PageID
 	stats    counters
 	closed   atomic.Bool
 
@@ -252,73 +334,94 @@ type Store struct {
 }
 
 // Create creates (or truncates) the file at path and opens a store over
-// it with the given options.
+// it with the given options. The parent directory is fsynced so the
+// new file's directory entry is durable before the store is used.
 func Create(path string, opts Options) (*Store, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("pagestore: create: %w", err)
 	}
+	if err := FsyncDir(filepath.Dir(path)); err != nil {
+		return nil, errors.Join(fmt.Errorf("pagestore: create: %w", err), f.Close())
+	}
+	return newStore(osFile{f}, opts, 0)
+}
+
+// CreateOn opens a store over a caller-supplied File, assuming an
+// empty (freshly truncated) backing. Crash-injection tests use it to
+// run the pool over a fault-modeling File.
+func CreateOn(f File, opts Options) (*Store, error) {
 	return newStore(f, opts, 0)
 }
 
 // Open opens an existing store file at path. The page size in opts must
-// match the size used at creation; the page count is derived from the
-// file length.
+// match the size used at creation. The page count is derived from the
+// file length rounded down to whole slots: a crash can leave a partial
+// slot at the tail (a torn append), which recovery discards rather
+// than refusing to open.
 func Open(path string, opts Options) (*Store, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("pagestore: open: %w", err)
 	}
-	fi, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("pagestore: open: %w", err)
-	}
-	o := opts.withDefaults()
-	if fi.Size()%int64(o.PageSize) != 0 {
-		f.Close()
-		return nil, fmt.Errorf("pagestore: open: file size %d is not a multiple of page size %d", fi.Size(), o.PageSize)
-	}
-	return newStore(f, opts, uint32(fi.Size()/int64(o.PageSize)))
+	return OpenOn(osFile{f}, opts)
 }
 
-// CreateTemp creates a store backed by a temporary file that is removed
-// when the store is closed. It is the usual way benches and tests obtain
-// a store.
+// OpenOn opens a store over an existing caller-supplied File. Like
+// newStore, it closes f on error.
+func OpenOn(f File, opts Options) (*Store, error) {
+	size, err := f.Size()
+	if err != nil {
+		return nil, errors.Join(fmt.Errorf("pagestore: open: %w", err), f.Close())
+	}
+	o := opts.withDefaults()
+	return newStore(f, opts, uint32(size/int64(o.PageSize)))
+}
+
+// CreateTemp creates a store backed by a temporary file in the system
+// temp directory that is unlinked immediately, so a crash leaves no
+// orphan behind. It is the usual way benches and tests obtain a store.
 func CreateTemp(opts Options) (*Store, error) {
-	f, err := os.CreateTemp("", "timber-pagestore-*.db")
+	return CreateTempIn(os.TempDir(), opts)
+}
+
+// CreateTempIn creates a store backed by a temporary file in dir —
+// typically next to the database it spills for, so scratch I/O lands
+// on the same filesystem. The file is unlinked as soon as it is open
+// (the fd keeps it alive until Close) and the directory is fsynced
+// afterwards, so recovery after a crash never sees a half-created or
+// orphaned scratch file.
+func CreateTempIn(dir string, opts Options) (*Store, error) {
+	f, err := os.CreateTemp(dir, "timber-scratch-*.db")
 	if err != nil {
 		return nil, fmt.Errorf("pagestore: create temp: %w", err)
 	}
-	// Unlink immediately; the fd keeps the file alive until Close.
 	name := f.Name()
 	if err := os.Remove(name); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("pagestore: create temp: %w", err)
+		return nil, errors.Join(fmt.Errorf("pagestore: create temp: %w", err), f.Close())
 	}
-	return newStore(f, opts, 0)
+	if err := FsyncDir(dir); err != nil {
+		return nil, errors.Join(fmt.Errorf("pagestore: create temp: %w", err), f.Close())
+	}
+	return newStore(osFile{f}, opts, 0)
 }
 
-func newStore(f *os.File, opts Options, numPages uint32) (*Store, error) {
+func newStore(f File, opts Options, numPages uint32) (*Store, error) {
 	o := opts.withDefaults()
 	if o.PageSize < 128 {
-		f.Close()
-		return nil, fmt.Errorf("pagestore: page size %d too small (min 128)", o.PageSize)
+		return nil, errors.Join(fmt.Errorf("pagestore: page size %d too small (min 128)", o.PageSize), f.Close())
 	}
 	if o.PoolPages < 1 {
-		f.Close()
-		return nil, fmt.Errorf("pagestore: pool must hold at least one page")
+		return nil, errors.Join(errors.New("pagestore: pool must hold at least one page"), f.Close())
 	}
-	s := &Store{file: f, opts: o, shards: make([]shard, o.Shards), codec: o.Codec, usable: o.PageSize}
-	if s.codec != nil {
-		s.usable = o.PageSize - codecHeaderLen
-		// Compress output can exceed the input on incompressible data;
-		// give the scratch buffers headroom so Compress rarely grows.
-		scratch := o.PageSize + o.PageSize/8 + 64
-		s.slotBufs.New = func() any {
-			b := make([]byte, 0, scratch)
-			return &b
-		}
+	s := &Store{file: f, opts: o, shards: make([]shard, o.Shards), codec: o.Codec}
+	s.usable = o.PageSize - slotHeaderLen
+	// Compress output can exceed the input on incompressible data;
+	// give the scratch buffers headroom so Compress rarely grows.
+	scratch := o.PageSize + o.PageSize/8 + 64
+	s.slotBufs.New = func() any {
+		b := make([]byte, 0, scratch)
+		return &b
 	}
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -337,14 +440,13 @@ func newStore(f *os.File, opts Options, numPages uint32) (*Store, error) {
 	return s, nil
 }
 
-// PageSize returns the usable in-memory page size in bytes. Without a
-// codec this equals the on-disk slot size; with one it is the slot
-// minus the compression header.
+// PageSize returns the usable in-memory page size in bytes: the
+// configured slot size minus the checksummed framing header.
 func (s *Store) PageSize() int { return s.usable }
 
 // SlotSize returns the on-disk bytes per page (the configured
-// PageSize). With a codec this exceeds PageSize() by the slot header;
-// file size is always NumPages * SlotSize.
+// PageSize). It exceeds PageSize() by the slot header; file size is
+// always NumPages * SlotSize.
 func (s *Store) SlotSize() int { return s.opts.PageSize }
 
 // SetRawPage excludes a page from the store's codec: future writes of
@@ -460,20 +562,33 @@ func (s *Store) DropCache() error {
 	return nil
 }
 
-// Allocate appends a zeroed page to the store and returns it pinned.
+// Allocate returns a zeroed page, pinned. Page IDs come from the free
+// list when FreePages has returned any, otherwise a fresh ID extends
+// the file.
 func (s *Store) Allocate() (*Page, error) {
 	if s.closed.Load() {
 		return nil, ErrClosed
 	}
 	s.allocMu.Lock()
 	defer s.allocMu.Unlock()
-	id := PageID(s.numPages.Load())
+	var id PageID
+	reused := false
+	if n := len(s.freeList); n > 0 {
+		id = s.freeList[n-1]
+		s.freeList = s.freeList[:n-1]
+		reused = true
+	} else {
+		id = PageID(s.numPages.Load())
+	}
 	sh := s.shardFor(id)
 	// Same transient-exhaustion retry as Fetch: concurrent fetchers may
 	// briefly pin every frame in the new page's shard.
 	for attempt := 0; ; attempt++ {
-		p, err := s.allocShard(sh, id)
+		p, err := s.allocShard(sh, id, reused)
 		if err != ErrPoolExhausted || !pinWait(attempt) {
+			if err != nil && reused {
+				s.freeList = append(s.freeList, id)
+			}
 			return p, err
 		}
 	}
@@ -481,7 +596,7 @@ func (s *Store) Allocate() (*Page, error) {
 
 // allocShard is one attempt of Allocate under the shard lock; the
 // caller holds allocMu.
-func (s *Store) allocShard(sh *shard, id PageID) (*Page, error) {
+func (s *Store) allocShard(sh *shard, id PageID, reused bool) (*Page, error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	fr, err := s.freeFrame(sh, id)
@@ -492,15 +607,83 @@ func (s *Store) allocShard(sh *shard, id PageID) (*Page, error) {
 	// images; fetchShard needs no such clear — readInto covers every
 	// byte).
 	clear(fr.data)
-	if fr.slot != nil {
-		clear(fr.slot[:codecHeaderLen])
+	clear(fr.slot[:slotHeaderLen])
+	if !reused {
+		s.numPages.Add(1)
 	}
-	s.numPages.Add(1)
 	s.stats.allocations.Add(1)
 	fr.pins = 1
 	fr.dirty = true // a new page must eventually reach disk
 	sh.frames[id] = fr
 	return &Page{id: id, frame: fr}, nil
+}
+
+// FreePages returns pages to the allocator: their frames are dropped
+// from the pool without write-back, any codec exemption is cleared,
+// and the IDs become available for reuse. IDs that form a contiguous
+// run at the file tail (counting previously freed pages) shorten the
+// file, so pure-scratch workloads release disk exactly as the old
+// Truncate-based reclaim did; interior IDs go on the in-memory free
+// list and are handed out again by Allocate. It fails without freeing
+// anything if any of the pages is pinned.
+func (s *Store) FreePages(ids []PageID) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	s.allocMu.Lock()
+	defer s.allocMu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
+	np := s.numPages.Load()
+	for _, id := range ids {
+		if uint32(id) >= np {
+			return fmt.Errorf("pagestore: free: page %d out of range (have %d)", id, np)
+		}
+		sh := s.shardFor(id)
+		if fr, ok := sh.frames[id]; ok && fr.pins > 0 {
+			return fmt.Errorf("pagestore: free: page %d still pinned", id)
+		}
+	}
+	for _, id := range ids {
+		sh := s.shardFor(id)
+		if fr, ok := sh.frames[id]; ok {
+			if fr.lruElem != nil {
+				sh.lru.Remove(fr.lruElem)
+			}
+			delete(sh.frames, id)
+		}
+	}
+	s.rawMu.Lock()
+	for _, id := range s.freeList {
+		delete(s.rawPages, id)
+	}
+	for _, id := range ids {
+		delete(s.rawPages, id)
+	}
+	s.rawMu.Unlock()
+	s.stats.freedPages.Add(uint64(len(ids)))
+
+	// Merge the new IDs with the existing free list and peel the
+	// contiguous run at the file tail off the merged set.
+	merged := append(slices.Clone(s.freeList), ids...)
+	slices.Sort(merged)
+	merged = slices.Compact(merged)
+	cut := np
+	for len(merged) > 0 && uint32(merged[len(merged)-1]) == cut-1 {
+		merged = merged[:len(merged)-1]
+		cut--
+	}
+	s.freeList = merged
+	if cut < np {
+		if err := s.file.Truncate(int64(cut) * int64(s.opts.PageSize)); err != nil {
+			return fmt.Errorf("pagestore: free: %w", err)
+		}
+		s.numPages.Store(cut)
+	}
+	return nil
 }
 
 // Fetch returns the page with the given ID, pinned. The caller must
@@ -610,12 +793,8 @@ func (s *Store) Release(p *Page, dirty bool) error {
 func (s *Store) freeFrame(sh *shard, id PageID) (*frame, error) {
 	if len(sh.frames) < sh.cap {
 		fr := &frame{id: id}
-		if s.codec != nil {
-			fr.slot = make([]byte, s.opts.PageSize)
-			fr.data = fr.slot[codecHeaderLen : codecHeaderLen+s.usable]
-		} else {
-			fr.data = make([]byte, s.usable)
-		}
+		fr.slot = make([]byte, s.opts.PageSize)
+		fr.data = fr.slot[slotHeaderLen : slotHeaderLen+s.usable]
 		return fr, nil
 	}
 	el := sh.lru.Front()
@@ -642,39 +821,48 @@ func (s *Store) freeFrame(sh *shard, id PageID) (*frame, error) {
 
 func (s *Store) readInto(fr *frame) error {
 	off := int64(fr.id) * int64(s.opts.PageSize)
-	if s.codec == nil {
-		n, err := s.file.ReadAt(fr.data, off)
-		if err != nil && err != io.EOF {
-			return fmt.Errorf("pagestore: read page %d: %w", fr.id, err)
-		}
-		// A short read (io.EOF past the written tail) must leave a zero
-		// page; the reused frame buffer may hold a stale image.
-		clear(fr.data[n:])
-		return nil
-	}
 	// Read the whole slot straight into the frame's backing buffer. A
 	// raw flag means the page data is already in place (data aliases the
-	// slot payload) — the common case for record/spill pages, which
-	// costs exactly one positioned read, like a codec-less store. A hole
-	// (short read, zero-filled) decodes as flag 0, a raw zero page.
+	// slot payload) — the common case — which costs exactly one
+	// positioned read. A hole (all-zero header, e.g. a short read past
+	// the written tail) is a zero page with nothing to checksum.
 	slot := fr.slot
 	n, err := s.file.ReadAt(slot, off)
 	if err != nil && err != io.EOF {
 		return fmt.Errorf("pagestore: read page %d: %w", fr.id, err)
 	}
 	clear(slot[n:])
-	switch slot[0] {
+	flag, clen, crc := slotHeader(slot)
+	if flag == slotFlagRaw && clen == 0 && crc == 0 {
+		clear(fr.data)
+		return nil
+	}
+	switch flag {
 	case slotFlagRaw:
+		if clen != s.usable {
+			return fmt.Errorf("pagestore: read page %d: corrupt raw slot length %d (want %d)", fr.id, clen, s.usable)
+		}
+		if got := slotCRC(fr.data); got != crc {
+			s.stats.checksumErrors.Add(1)
+			return fmt.Errorf("pagestore: read page %d: %w (stored %08x, computed %08x)", fr.id, ErrChecksum, crc, got)
+		}
 		return nil
 	case slotFlagCompressed:
-		clen := int(uint32(slot[1]) | uint32(slot[2])<<8 | uint32(slot[3])<<16 | uint32(slot[4])<<24)
-		if clen <= 0 || clen > s.opts.PageSize-codecHeaderLen {
+		if s.codec == nil {
+			return fmt.Errorf("pagestore: read page %d: compressed slot in a store with no codec", fr.id)
+		}
+		if clen <= 0 || clen > s.usable {
 			return fmt.Errorf("pagestore: read page %d: corrupt compressed length %d", fr.id, clen)
+		}
+		payload := slot[slotHeaderLen : slotHeaderLen+clen]
+		if got := slotCRC(payload); got != crc {
+			s.stats.checksumErrors.Add(1)
+			return fmt.Errorf("pagestore: read page %d: %w (stored %08x, computed %08x)", fr.id, ErrChecksum, crc, got)
 		}
 		// The compressed payload overlaps the decompress destination, so
 		// stage it in a scratch buffer first.
 		sp := s.slotBufs.Get().(*[]byte)
-		scratch := append((*sp)[:0], slot[codecHeaderLen:codecHeaderLen+clen]...)
+		scratch := append((*sp)[:0], payload...)
 		derr := s.codec.Decompress(fr.data, scratch)
 		*sp = scratch
 		s.slotBufs.Put(sp)
@@ -683,31 +871,19 @@ func (s *Store) readInto(fr *frame) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("pagestore: read page %d: corrupt slot flag %d", fr.id, slot[0])
+		return fmt.Errorf("pagestore: read page %d: corrupt slot flag %d", fr.id, flag)
 	}
 }
 
 func (s *Store) writeFrame(fr *frame) error {
 	off := int64(fr.id) * int64(s.opts.PageSize)
-	if s.codec == nil {
-		if _, err := s.file.WriteAt(fr.data, off); err != nil {
-			return fmt.Errorf("pagestore: write page %d: %w", fr.id, err)
-		}
-		s.stats.physicalWrites.Add(1)
-		fr.dirty = false
-		return nil
-	}
-	if !s.rawPage(fr.id) {
+	if s.codec != nil && !s.rawPage(fr.id) {
 		sp := s.slotBufs.Get().(*[]byte)
-		slot := append((*sp)[:0], slotFlagCompressed, 0, 0, 0, 0)
+		slot := append((*sp)[:0], make([]byte, slotHeaderLen)...)
 		slot = s.codec.Compress(slot, fr.data)
-		clen := len(slot) - codecHeaderLen
-		compressible := clen < s.usable
-		if compressible {
-			slot[1] = byte(clen)
-			slot[2] = byte(clen >> 8)
-			slot[3] = byte(clen >> 16)
-			slot[4] = byte(clen >> 24)
+		clen := len(slot) - slotHeaderLen
+		if clen < s.usable {
+			putSlotHeader(slot, slotFlagCompressed, clen, slotCRC(slot[slotHeaderLen:]))
 			_, err := s.file.WriteAt(slot, off)
 			written := len(slot)
 			*sp = slot
@@ -733,8 +909,7 @@ func (s *Store) writeFrame(fr *frame) error {
 	// aliases its payload), so stamp the header and write it out with no
 	// copy. Codec-exempt pages skip the codec counters — the ratio
 	// describes the pages the codec handles.
-	fr.slot[0] = slotFlagRaw
-	fr.slot[1], fr.slot[2], fr.slot[3], fr.slot[4] = 0, 0, 0, 0
+	putSlotHeader(fr.slot, slotFlagRaw, s.usable, slotCRC(fr.data))
 	if _, err := s.file.WriteAt(fr.slot, off); err != nil {
 		return fmt.Errorf("pagestore: write page %d: %w", fr.id, err)
 	}
@@ -743,21 +918,169 @@ func (s *Store) writeFrame(fr *frame) error {
 	return nil
 }
 
+// SlotImage returns the framed on-disk image (header plus payload) the
+// page's current in-memory contents would be written as — the byte
+// string a physical redo log records so recovery can recreate the page
+// with RestoreSlot. The image is freshly allocated and checksummed;
+// compressible pages under a codec return the compressed form.
+func (s *Store) SlotImage(id PageID) ([]byte, error) {
+	p, err := s.Fetch(id)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Unpin(p, false)
+	fr := p.frame
+	if s.codec != nil && !s.rawPage(id) {
+		buf := make([]byte, slotHeaderLen, s.opts.PageSize+s.opts.PageSize/8+64)
+		buf = s.codec.Compress(buf, fr.data)
+		if clen := len(buf) - slotHeaderLen; clen < s.usable {
+			putSlotHeader(buf, slotFlagCompressed, clen, slotCRC(buf[slotHeaderLen:]))
+			return buf, nil
+		}
+	}
+	out := make([]byte, slotHeaderLen+s.usable)
+	copy(out[slotHeaderLen:], fr.data)
+	putSlotHeader(out, slotFlagRaw, s.usable, slotCRC(out[slotHeaderLen:]))
+	return out, nil
+}
+
+// ValidateSlotImage checks the framing and checksum of a slot image
+// (as produced by SlotImage) against the given on-disk slot size. It
+// does not touch any store.
+func ValidateSlotImage(img []byte, slotSize int) error {
+	if len(img) < slotHeaderLen {
+		return fmt.Errorf("pagestore: slot image of %d bytes is shorter than its header", len(img))
+	}
+	flag, clen, crc := slotHeader(img)
+	usable := slotSize - slotHeaderLen
+	switch flag {
+	case slotFlagRaw:
+		if clen != usable || len(img) != slotHeaderLen+usable {
+			return fmt.Errorf("pagestore: raw slot image length %d/%d (want %d)", clen, len(img), usable)
+		}
+	case slotFlagCompressed:
+		if clen <= 0 || clen > usable || len(img) != slotHeaderLen+clen {
+			return fmt.Errorf("pagestore: compressed slot image length %d/%d", clen, len(img))
+		}
+	default:
+		return fmt.Errorf("pagestore: slot image has corrupt flag %d", flag)
+	}
+	if got := slotCRC(img[slotHeaderLen:]); got != crc {
+		return fmt.Errorf("pagestore: slot image %w (stored %08x, computed %08x)", ErrChecksum, crc, got)
+	}
+	return nil
+}
+
+// RestoreSlot writes a framed slot image (validated first) directly to
+// the page's on-disk slot, dropping any cached frame, and extends the
+// page count if the image lands past the current tail. Recovery replay
+// uses it to reapply logged page images; it must not race with queries
+// on the same store.
+func (s *Store) RestoreSlot(id PageID, img []byte) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if err := ValidateSlotImage(img, s.opts.PageSize); err != nil {
+		return fmt.Errorf("pagestore: restore page %d: %w", id, err)
+	}
+	s.allocMu.Lock()
+	defer s.allocMu.Unlock()
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	if fr, ok := sh.frames[id]; ok {
+		if fr.pins > 0 {
+			sh.mu.Unlock()
+			return fmt.Errorf("pagestore: restore page %d: still pinned", id)
+		}
+		if fr.lruElem != nil {
+			sh.lru.Remove(fr.lruElem)
+		}
+		delete(sh.frames, id)
+	}
+	sh.mu.Unlock()
+	if _, err := s.file.WriteAt(img, int64(id)*int64(s.opts.PageSize)); err != nil {
+		return fmt.Errorf("pagestore: restore page %d: %w", id, err)
+	}
+	s.stats.physicalWrites.Add(1)
+	if uint32(id) >= s.numPages.Load() {
+		s.numPages.Store(uint32(id) + 1)
+	}
+	if i := slices.Index(s.freeList, id); i >= 0 {
+		s.freeList = slices.Delete(s.freeList, i, i+1)
+	}
+	return nil
+}
+
+// SetNumPages declares the authoritative allocated-page count, as
+// recorded by committed metadata. Recovery calls it after replay: a
+// crash can leave the file longer than the committed state (allocated
+// but never-committed tail pages, or a torn final slot), which is
+// trimmed away, or shorter (holes read as zero pages). Frames at or
+// past the new count are dropped; it fails if any of them is pinned.
+func (s *Store) SetNumPages(n uint32) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.allocMu.Lock()
+	defer s.allocMu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
+	for i := range s.shards {
+		for id, fr := range s.shards[i].frames {
+			if uint32(id) >= n {
+				if fr.pins > 0 {
+					return fmt.Errorf("pagestore: set pages: page %d still pinned", id)
+				}
+			}
+		}
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		for id, fr := range sh.frames {
+			if uint32(id) < n {
+				continue
+			}
+			if fr.lruElem != nil {
+				sh.lru.Remove(fr.lruElem)
+			}
+			delete(sh.frames, id)
+		}
+	}
+	size, err := s.file.Size()
+	if err != nil {
+		return fmt.Errorf("pagestore: set pages: %w", err)
+	}
+	if want := int64(n) * int64(s.opts.PageSize); size > want {
+		if err := s.file.Truncate(want); err != nil {
+			return fmt.Errorf("pagestore: set pages: %w", err)
+		}
+	}
+	s.freeList = slices.DeleteFunc(s.freeList, func(id PageID) bool { return uint32(id) >= n })
+	s.rawMu.Lock()
+	for id := range s.rawPages {
+		if uint32(id) >= n {
+			delete(s.rawPages, id)
+		}
+	}
+	s.rawMu.Unlock()
+	s.numPages.Store(n)
+	return nil
+}
+
 // extendFile pads the file out to the full slot of the last allocated
 // page. Compressed writes cover only their payload, so without the pad
-// a reopened file could fail the size-multiple check (and the final
-// slot would read short). No-op without a codec (raw writes always
-// cover whole slots).
+// a reopened file could read the final slot short. Raw writes always
+// cover whole slots, so stores without a codec never need the pad.
 func (s *Store) extendFile() error {
 	if s.codec == nil {
 		return nil
 	}
 	want := int64(s.numPages.Load()) * int64(s.opts.PageSize)
-	fi, err := s.file.Stat()
+	size, err := s.file.Size()
 	if err != nil {
 		return fmt.Errorf("pagestore: extend: %w", err)
 	}
-	if fi.Size() >= want {
+	if size >= want {
 		return nil
 	}
 	if err := s.file.Truncate(want); err != nil {
@@ -808,7 +1131,8 @@ func (s *Store) Truncate(keep uint32) error {
 		return fmt.Errorf("pagestore: truncate: %w", err)
 	}
 	// Truncated ids may be reallocated for different purposes; drop any
-	// codec exemptions so a reused id starts with the default policy.
+	// codec exemptions so a reused id starts with the default policy,
+	// and forget free-list entries past the cut.
 	s.rawMu.Lock()
 	for id := range s.rawPages {
 		if uint32(id) >= keep {
@@ -816,12 +1140,13 @@ func (s *Store) Truncate(keep uint32) error {
 		}
 	}
 	s.rawMu.Unlock()
+	s.freeList = slices.DeleteFunc(s.freeList, func(id PageID) bool { return uint32(id) >= keep })
 	s.numPages.Store(keep)
 	return nil
 }
 
-// Flush writes every dirty page in the pool back to disk. Pages remain
-// cached and pinned pages are flushed in place.
+// Flush writes every dirty page in the pool back to disk and syncs the
+// file. Pages remain cached and pinned pages are flushed in place.
 func (s *Store) Flush() error {
 	if s.closed.Load() {
 		return ErrClosed
@@ -840,7 +1165,10 @@ func (s *Store) Flush() error {
 	if err := s.extendFile(); err != nil {
 		return err
 	}
-	return s.file.Sync()
+	if err := s.file.Sync(); err != nil {
+		return fmt.Errorf("pagestore: flush: sync: %w", err)
+	}
+	return nil
 }
 
 // Close flushes dirty pages and closes the underlying file. It is an
@@ -880,6 +1208,19 @@ func (s *Store) Close() error {
 	s.closed.Store(true)
 	if err := s.file.Close(); err != nil {
 		return fmt.Errorf("pagestore: close: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes the backing file's kernel buffers to stable storage
+// without touching the pool (dirty frames stay dirty). Checkpoint
+// sequencing uses it between write-back and metadata publication.
+func (s *Store) Sync() error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if err := s.file.Sync(); err != nil {
+		return fmt.Errorf("pagestore: sync: %w", err)
 	}
 	return nil
 }

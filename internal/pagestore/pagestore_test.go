@@ -29,8 +29,12 @@ func tempStore(t *testing.T, opts Options) *Store {
 
 func TestOptionsDefaults(t *testing.T) {
 	st := tempStore(t, Options{})
-	if st.PageSize() != DefaultPageSize {
-		t.Errorf("PageSize = %d, want %d", st.PageSize(), DefaultPageSize)
+	// The usable page is the slot minus the checksummed framing header.
+	if st.PageSize() != DefaultPageSize-slotHeaderLen {
+		t.Errorf("PageSize = %d, want %d", st.PageSize(), DefaultPageSize-slotHeaderLen)
+	}
+	if st.SlotSize() != DefaultPageSize {
+		t.Errorf("SlotSize = %d, want %d", st.SlotSize(), DefaultPageSize)
 	}
 	if st.PoolPages() != 4096 {
 		t.Errorf("PoolPages = %d, want 4096", st.PoolPages())
@@ -261,14 +265,24 @@ func TestPersistenceAcrossReopen(t *testing.T) {
 	st2.Unpin(q, false)
 }
 
-func TestOpenRejectsMisalignedFile(t *testing.T) {
+// TestOpenToleratesPartialTail: a crash can leave a torn partial slot
+// at the end of the file; Open rounds the page count down to whole
+// slots instead of refusing (recovery then discards the fragment).
+func TestOpenToleratesPartialTail(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "odd")
 	if err := writeFile(path, make([]byte, 300)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(path, Options{PageSize: 256}); err == nil {
-		t.Error("misaligned file should be rejected")
+	st, err := Open(path, Options{PageSize: 256})
+	if err != nil {
+		t.Fatalf("open with partial tail: %v", err)
+	}
+	if st.NumPages() != 1 {
+		t.Errorf("NumPages = %d, want 1 (partial slot discarded)", st.NumPages())
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
 	}
 	if _, err := Open(filepath.Join(dir, "missing"), Options{}); err == nil {
 		t.Error("missing file should be rejected")

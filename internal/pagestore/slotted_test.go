@@ -66,8 +66,8 @@ func TestSlottedFull(t *testing.T) {
 }
 
 func TestSlottedMaxRecord(t *testing.T) {
-	_, _, sp := slottedPage(t, 256)
-	max := MaxRecord(256)
+	st, _, sp := slottedPage(t, 256)
+	max := MaxRecord(st.PageSize())
 	if _, ok := sp.Insert(bytes.Repeat([]byte("a"), max)); !ok {
 		t.Error("record of exactly MaxRecord should fit an empty page")
 	}
@@ -130,10 +130,10 @@ func TestSlottedNextLink(t *testing.T) {
 // directory-to-data gap was smaller than a slot entry (FreeSpace clamps
 // to 0), so its directory entry overwrote the lowest record's bytes.
 func TestSlottedZeroLengthInsertNearFull(t *testing.T) {
-	_, _, sp := slottedPage(t, 512)
-	// One 495-byte record leaves a 3-byte gap: header 10 + slot 4 +
-	// record 495 = 509 of 512. A slot entry needs 4.
-	rec := bytes.Repeat([]byte{0xAB}, 495)
+	st, _, sp := slottedPage(t, 512)
+	// One record sized to leave a 3-byte gap: header 10 + slot 4 +
+	// record = usable-3. A slot entry needs 4.
+	rec := bytes.Repeat([]byte{0xAB}, st.PageSize()-slottedHeaderSize-slotSize-3)
 	if _, ok := sp.Insert(rec); !ok {
 		t.Fatal("setup insert failed")
 	}

@@ -13,11 +13,17 @@ import (
 // ErrNoSuchNode is returned when a node ID does not resolve.
 var ErrNoSuchNode = errors.New("storage: no such node")
 
+// The read path. Every access primitive is a method on Snapshot — a
+// pinned immutable view — and DB carries a pin-per-call wrapper for
+// each, so single-shot callers keep the old convenience while
+// long-running readers (the streaming executor, exchange fragments)
+// pin once and read consistently across many calls.
+
 // GetNode fetches the record for a node by identifier. It costs one
 // locator descent plus one heap page fetch — the "data value look-up"
 // whose count separates the paper's two evaluation plans.
-func (db *DB) GetNode(id xmltree.NodeID) (*NodeRecord, error) {
-	v, err := db.locator.Get(locatorKey(id))
+func (sn *Snapshot) GetNode(id xmltree.NodeID) (*NodeRecord, error) {
+	v, err := sn.locator.Get(locatorKey(id))
 	if err != nil {
 		if errors.Is(err, btree.ErrNotFound) {
 			return nil, fmt.Errorf("%w: %v", ErrNoSuchNode, id)
@@ -28,13 +34,20 @@ func (db *DB) GetNode(id xmltree.NodeID) (*NodeRecord, error) {
 	if err != nil {
 		return nil, err
 	}
-	return db.GetNodeAt(rid)
+	return sn.GetNodeAt(rid)
+}
+
+// GetNode is the pin-per-call form of Snapshot.GetNode.
+func (db *DB) GetNode(id xmltree.NodeID) (*NodeRecord, error) {
+	sn := db.Snapshot()
+	defer sn.Close()
+	return sn.GetNode(id)
 }
 
 // LocateRID resolves a node identifier to its physical record location
 // through the locator index, without fetching the record itself.
-func (db *DB) LocateRID(id xmltree.NodeID) (pagestore.RID, error) {
-	v, err := db.locator.Get(locatorKey(id))
+func (sn *Snapshot) LocateRID(id xmltree.NodeID) (pagestore.RID, error) {
+	v, err := sn.locator.Get(locatorKey(id))
 	if err != nil {
 		if errors.Is(err, btree.ErrNotFound) {
 			return pagestore.RID{}, fmt.Errorf("%w: %v", ErrNoSuchNode, id)
@@ -44,14 +57,21 @@ func (db *DB) LocateRID(id xmltree.NodeID) (pagestore.RID, error) {
 	return decodeRID(v)
 }
 
+// LocateRID is the pin-per-call form of Snapshot.LocateRID.
+func (db *DB) LocateRID(id xmltree.NodeID) (pagestore.RID, error) {
+	sn := db.Snapshot()
+	defer sn.Close()
+	return sn.LocateRID(id)
+}
+
 // GetNodeAt fetches a node record directly by its physical RID, skipping
 // the locator. Postings carry RIDs so matched nodes can be populated
 // this way.
-func (db *DB) GetNodeAt(rid pagestore.RID) (*NodeRecord, error) {
+func (sn *Snapshot) GetNodeAt(rid pagestore.RID) (*NodeRecord, error) {
 	var rec *NodeRecord
-	err := db.heap.View(rid, func(b []byte) error {
+	err := sn.heap.View(rid, func(b []byte) error {
 		var err error
-		rec, err = db.decodeNodeRecord(b)
+		rec, err = sn.db.decodeNodeRecord(b)
 		return err
 	})
 	if err != nil {
@@ -60,27 +80,41 @@ func (db *DB) GetNodeAt(rid pagestore.RID) (*NodeRecord, error) {
 	return rec, nil
 }
 
+// GetNodeAt is the pin-per-call form of Snapshot.GetNodeAt.
+func (db *DB) GetNodeAt(rid pagestore.RID) (*NodeRecord, error) {
+	sn := db.Snapshot()
+	defer sn.Close()
+	return sn.GetNodeAt(rid)
+}
+
 // Content returns the stored content of a node identified by posting,
 // using its RID. This is the narrow "populate only the grouping (and
 // sorting) list values" access path of Sec. 5.3.
-func (db *DB) Content(p Posting) (string, error) {
-	rec, err := db.GetNodeAt(p.RID)
+func (sn *Snapshot) Content(p Posting) (string, error) {
+	rec, err := sn.GetNodeAt(p.RID)
 	if err != nil {
 		return "", err
 	}
 	return rec.Content, nil
 }
 
+// Content is the pin-per-call form of Snapshot.Content.
+func (db *DB) Content(p Posting) (string, error) {
+	sn := db.Snapshot()
+	defer sn.Close()
+	return sn.Content(p)
+}
+
 // TagPostings returns the postings of every node with the given tag, in
 // document order (doc, then start). This is the tag-name index access
 // the paper's experiments use ("given a tag, we could efficiently list
 // (by node identifier) all nodes with that tag").
-func (db *DB) TagPostings(tag string) ([]Posting, error) {
+func (sn *Snapshot) TagPostings(tag string) ([]Posting, error) {
 	prefix := tagPrefix(tag)
 	var out []Posting
 	var inner error
-	err := db.tagIdx.ScanPrefix(prefix, func(k, v []byte) bool {
-		if db.compact {
+	err := sn.tagIdx.ScanPrefix(prefix, func(k, v []byte) bool {
+		if sn.db.compact {
 			out, inner = appendBlockPostings(out, k[len(k)-8:], v)
 			return inner == nil
 		}
@@ -101,12 +135,19 @@ func (db *DB) TagPostings(tag string) ([]Posting, error) {
 	return out, nil
 }
 
+// TagPostings is the pin-per-call form of Snapshot.TagPostings.
+func (db *DB) TagPostings(tag string) ([]Posting, error) {
+	sn := db.Snapshot()
+	defer sn.Close()
+	return sn.TagPostings(tag)
+}
+
 // ValuePostings returns the postings of nodes with the given tag whose
 // content equals content exactly, using the value index. It returns an
 // error if the database was created without a value index or the content
 // exceeds the indexable length.
-func (db *DB) ValuePostings(tag, content string) ([]Posting, error) {
-	if db.valIdx == nil {
+func (sn *Snapshot) ValuePostings(tag, content string) ([]Posting, error) {
+	if sn.valIdx == nil {
 		return nil, errors.New("storage: no value index")
 	}
 	if len(content) > maxIndexedContent {
@@ -115,8 +156,8 @@ func (db *DB) ValuePostings(tag, content string) ([]Posting, error) {
 	prefix := valuePrefix(tag, content)
 	var out []Posting
 	var inner error
-	err := db.valIdx.ScanPrefix(prefix, func(k, v []byte) bool {
-		if db.compact {
+	err := sn.valIdx.ScanPrefix(prefix, func(k, v []byte) bool {
+		if sn.db.compact {
 			out, inner = appendBlockPostings(out, k[len(k)-8:], v)
 			return inner == nil
 		}
@@ -137,14 +178,21 @@ func (db *DB) ValuePostings(tag, content string) ([]Posting, error) {
 	return out, nil
 }
 
+// ValuePostings is the pin-per-call form of Snapshot.ValuePostings.
+func (db *DB) ValuePostings(tag, content string) ([]Posting, error) {
+	sn := db.Snapshot()
+	defer sn.Close()
+	return sn.ValuePostings(tag, content)
+}
+
 // DocRootPosting returns the posting for a document's root node.
-func (db *DB) DocRootPosting(doc xmltree.DocID) (Posting, error) {
-	for _, d := range db.docs {
+func (sn *Snapshot) DocRootPosting(doc xmltree.DocID) (Posting, error) {
+	for _, d := range sn.s.docs {
 		if d.ID != doc {
 			continue
 		}
 		id := xmltree.NodeID{Doc: doc, Start: d.RootStart}
-		v, err := db.locator.Get(locatorKey(id))
+		v, err := sn.locator.Get(locatorKey(id))
 		if err != nil {
 			return Posting{}, err
 		}
@@ -152,7 +200,7 @@ func (db *DB) DocRootPosting(doc xmltree.DocID) (Posting, error) {
 		if err != nil {
 			return Posting{}, err
 		}
-		rec, err := db.GetNodeAt(rid)
+		rec, err := sn.GetNodeAt(rid)
 		if err != nil {
 			return Posting{}, err
 		}
@@ -161,21 +209,28 @@ func (db *DB) DocRootPosting(doc xmltree.DocID) (Posting, error) {
 	return Posting{}, fmt.Errorf("storage: unknown document %d", doc)
 }
 
+// DocRootPosting is the pin-per-call form of Snapshot.DocRootPosting.
+func (db *DB) DocRootPosting(doc xmltree.DocID) (Posting, error) {
+	sn := db.Snapshot()
+	defer sn.Close()
+	return sn.DocRootPosting(doc)
+}
+
 // ScanRange calls fn for every node of doc whose start number lies in
 // [lo, hi), in document order. fn receives the decoded record. This is
 // the subtree-scan primitive: a node's subtree is exactly the start
 // range (n.Start, n.End).
-func (db *DB) ScanRange(doc xmltree.DocID, lo, hi uint32, fn func(*NodeRecord) error) error {
+func (sn *Snapshot) ScanRange(doc xmltree.DocID, lo, hi uint32, fn func(*NodeRecord) error) error {
 	loKey := locatorKey(xmltree.NodeID{Doc: doc, Start: lo})
 	hiKey := locatorKey(xmltree.NodeID{Doc: doc, Start: hi})
 	var inner error
-	err := db.locator.ScanRange(loKey, hiKey, func(_, v []byte) bool {
+	err := sn.locator.ScanRange(loKey, hiKey, func(_, v []byte) bool {
 		rid, err := decodeRID(v)
 		if err != nil {
 			inner = err
 			return false
 		}
-		rec, err := db.GetNodeAt(rid)
+		rec, err := sn.GetNodeAt(rid)
 		if err != nil {
 			inner = err
 			return false
@@ -192,11 +247,18 @@ func (db *DB) ScanRange(doc xmltree.DocID, lo, hi uint32, fn func(*NodeRecord) e
 	return inner
 }
 
+// ScanRange is the pin-per-call form of Snapshot.ScanRange.
+func (db *DB) ScanRange(doc xmltree.DocID, lo, hi uint32, fn func(*NodeRecord) error) error {
+	sn := db.Snapshot()
+	defer sn.Close()
+	return sn.ScanRange(doc, lo, hi, fn)
+}
+
 // GetSubtree materializes the full subtree rooted at id as an xmltree,
 // reading every descendant record. Interval numbers on the returned
 // nodes are the stored ones.
-func (db *DB) GetSubtree(id xmltree.NodeID) (*xmltree.Node, error) {
-	rootRec, err := db.GetNode(id)
+func (sn *Snapshot) GetSubtree(id xmltree.NodeID) (*xmltree.Node, error) {
+	rootRec, err := sn.GetNode(id)
 	if err != nil {
 		return nil, err
 	}
@@ -209,7 +271,7 @@ func (db *DB) GetSubtree(id xmltree.NodeID) (*xmltree.Node, error) {
 	// Descendants have start numbers in (Start, End), appearing in
 	// document order; rebuild with a level stack.
 	stack := []*xmltree.Node{root}
-	err = db.ScanRange(id.Doc, rootRec.Interval.Start+1, rootRec.Interval.End, func(rec *NodeRecord) error {
+	err = sn.ScanRange(id.Doc, rootRec.Interval.Start+1, rootRec.Interval.End, func(rec *NodeRecord) error {
 		n := &xmltree.Node{
 			Tag:      rec.Tag,
 			Content:  rec.Content,
@@ -232,19 +294,33 @@ func (db *DB) GetSubtree(id xmltree.NodeID) (*xmltree.Node, error) {
 	return root, nil
 }
 
+// GetSubtree is the pin-per-call form of Snapshot.GetSubtree.
+func (db *DB) GetSubtree(id xmltree.NodeID) (*xmltree.Node, error) {
+	sn := db.Snapshot()
+	defer sn.Close()
+	return sn.GetSubtree(id)
+}
+
 // ScanDocument calls fn for every node of the document in document
 // order. It is the full-scan access path (the paper's "simplest way to
 // find matches for a pattern tree is to scan the entire database").
+func (sn *Snapshot) ScanDocument(doc xmltree.DocID, fn func(*NodeRecord) error) error {
+	return sn.ScanRange(doc, 0, ^uint32(0), fn)
+}
+
+// ScanDocument is the pin-per-call form of Snapshot.ScanDocument.
 func (db *DB) ScanDocument(doc xmltree.DocID, fn func(*NodeRecord) error) error {
-	return db.ScanRange(doc, 0, ^uint32(0), fn)
+	sn := db.Snapshot()
+	defer sn.Close()
+	return sn.ScanDocument(doc, fn)
 }
 
 // Tags returns every distinct tag present in the tag index, in
 // lexicographic order.
-func (db *DB) Tags() ([]string, error) {
+func (sn *Snapshot) Tags() ([]string, error) {
 	var tags []string
 	var last []byte
-	err := db.tagIdx.ScanPrefix(nil, func(k, _ []byte) bool {
+	err := sn.tagIdx.ScanPrefix(nil, func(k, _ []byte) bool {
 		i := bytes.IndexByte(k, 0)
 		if i < 0 {
 			return true
@@ -260,4 +336,11 @@ func (db *DB) Tags() ([]string, error) {
 		return nil, err
 	}
 	return tags, nil
+}
+
+// Tags is the pin-per-call form of Snapshot.Tags.
+func (db *DB) Tags() ([]string, error) {
+	sn := db.Snapshot()
+	defer sn.Close()
+	return sn.Tags()
 }

@@ -20,6 +20,11 @@ type TagCursor struct {
 	err    error
 	done   bool
 
+	// pin is the snapshot a DB-level open took for this cursor; Close
+	// releases it. Cursors opened on a caller-owned Snapshot leave it
+	// nil — the caller's pin outlives the cursor.
+	pin *Snapshot
+
 	// compact cursors decode a whole posting block per index cell and
 	// serve it from buf; plain cursors decode one posting per cell.
 	compact bool
@@ -29,9 +34,18 @@ type TagCursor struct {
 
 // OpenTagCursor positions a cursor at the first posting of tag across
 // all documents.
-func (db *DB) OpenTagCursor(tag string) *TagCursor {
+func (sn *Snapshot) OpenTagCursor(tag string) *TagCursor {
 	prefix := tagPrefix(tag)
-	return &TagCursor{it: db.tagIdx.Seek(prefix), prefix: prefix, compact: db.compact}
+	return &TagCursor{it: sn.tagIdx.Seek(prefix), prefix: prefix, compact: sn.db.compact}
+}
+
+// OpenTagCursor pins a snapshot for the cursor's lifetime; the pin is
+// released by the cursor's Close.
+func (db *DB) OpenTagCursor(tag string) *TagCursor {
+	sn := db.Snapshot()
+	c := sn.OpenTagCursor(tag)
+	c.pin = sn
+	return c
 }
 
 // OpenTagDocCursor positions a cursor at the first posting of tag
@@ -39,10 +53,19 @@ func (db *DB) OpenTagCursor(tag string) *TagCursor {
 // operator hands each fragment: the key layout (tag, 0x00, doc, start)
 // makes a document a contiguous key range, so restricting the scan is
 // one longer prefix, not a filter.
-func (db *DB) OpenTagDocCursor(tag string, doc xmltree.DocID) *TagCursor {
+func (sn *Snapshot) OpenTagDocCursor(tag string, doc xmltree.DocID) *TagCursor {
 	prefix := tagPrefix(tag)
 	prefix = append(prefix, be32(uint32(doc))...)
-	return &TagCursor{it: db.tagIdx.Seek(prefix), prefix: prefix, compact: db.compact}
+	return &TagCursor{it: sn.tagIdx.Seek(prefix), prefix: prefix, compact: sn.db.compact}
+}
+
+// OpenTagDocCursor pins a snapshot for the cursor's lifetime; the pin
+// is released by the cursor's Close.
+func (db *DB) OpenTagDocCursor(tag string, doc xmltree.DocID) *TagCursor {
+	sn := db.Snapshot()
+	c := sn.OpenTagDocCursor(tag, doc)
+	c.pin = sn
+	return c
 }
 
 // Next returns the next posting, or ok=false at the end of the range
@@ -95,11 +118,16 @@ func (c *TagCursor) Next() (Posting, bool) {
 // Err reports the first error the cursor hit, if any.
 func (c *TagCursor) Err() error { return c.err }
 
-// Close releases the cursor's pinned index page and returns its first
-// error — a scan fault or a pin-release fault. Idempotent.
+// Close releases the cursor's pinned index page (and its snapshot pin,
+// if the cursor owns one) and returns its first error — a scan fault
+// or a pin-release fault. Idempotent.
 func (c *TagCursor) Close() error {
 	cerr := c.it.Close()
 	c.done = true
+	if c.pin != nil {
+		c.pin.Close()
+		c.pin = nil
+	}
 	if c.err == nil {
 		c.err = cerr
 	}
@@ -113,13 +141,14 @@ func (c *TagCursor) Close() error {
 // them), so a batch of output rows clustered in document order costs
 // far fewer fetches than len(ps) individual Content calls. out must
 // have len(ps) slots.
-func (db *DB) ContentsBatch(ps []Posting, out []string) error {
+func (sn *Snapshot) ContentsBatch(ps []Posting, out []string) error {
+	st := sn.db.st
 	for i := 0; i < len(ps); {
 		j := i + 1
 		for j < len(ps) && ps[j].RID.Page == ps[i].RID.Page {
 			j++
 		}
-		p, err := db.st.Fetch(ps[i].RID.Page)
+		p, err := st.Fetch(ps[i].RID.Page)
 		if err != nil {
 			return err
 		}
@@ -127,18 +156,25 @@ func (db *DB) ContentsBatch(ps []Posting, out []string) error {
 		for k := i; k < j; k++ {
 			b, rerr := sp.Read(ps[k].RID.Slot)
 			if rerr != nil {
-				db.st.Unpin(p, false)
+				st.Unpin(p, false)
 				return rerr
 			}
-			content, derr := db.nodeContent(b)
+			content, derr := sn.db.nodeContent(b)
 			if derr != nil {
-				db.st.Unpin(p, false)
+				st.Unpin(p, false)
 				return derr
 			}
 			out[k] = content
 		}
-		db.st.Unpin(p, false)
+		st.Unpin(p, false)
 		i = j
 	}
 	return nil
+}
+
+// ContentsBatch is the pin-per-call form of Snapshot.ContentsBatch.
+func (db *DB) ContentsBatch(ps []Posting, out []string) error {
+	sn := db.Snapshot()
+	defer sn.Close()
+	return sn.ContentsBatch(ps, out)
 }

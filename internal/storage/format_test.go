@@ -72,24 +72,30 @@ func TestOpenSniffsFormat(t *testing.T) {
 	}
 }
 
-// TestOpenOldFormat rewinds an uncompressed file's version field to 1
-// and expects ErrNeedsRebuild — the detect-and-rebuild contract of the
-// format bump.
+// TestOpenOldFormat crafts files in the v2 layouts — magic at offset 0
+// (uncompressed) and the old 5-byte codec framing with the magic at
+// offset 5 — and expects ErrNeedsRebuild from both: the
+// detect-and-rebuild contract of the format bump.
 func TestOpenOldFormat(t *testing.T) {
-	path := t.TempDir() + "/old.db"
-	buildFormatDB(t, path, Options{Uncompressed: true})
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Version u16 lives at offset 8, after the magic.
-	if _, err := f.WriteAt([]byte{1, 0}, 8); err != nil {
-		t.Fatal(err)
-	}
-	f.Close()
-	_, err = Open(path, Options{})
-	if !errors.Is(err, ErrNeedsRebuild) {
-		t.Fatalf("Open of v1 file: %v, want ErrNeedsRebuild", err)
+	for _, tc := range []struct {
+		name string
+		head []byte
+	}{
+		{"uncompressed", []byte("TIMBERGO\x02\x00")},
+		{"page-codec", append([]byte{0, 0, 0, 0, 0}, []byte("TIMBERGO\x02\x00")...)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := t.TempDir() + "/old.db"
+			blob := make([]byte, 8192)
+			copy(blob, tc.head)
+			if err := os.WriteFile(path, blob, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := Open(path, Options{})
+			if !errors.Is(err, ErrNeedsRebuild) {
+				t.Fatalf("Open of v2 file: %v, want ErrNeedsRebuild", err)
+			}
+		})
 	}
 }
 

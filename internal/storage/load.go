@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"timber/internal/btree"
+	"timber/internal/pagestore"
 	"timber/internal/xmltree"
 )
 
@@ -16,15 +17,42 @@ import (
 // ID. Document IDs are assigned sequentially starting at 1. The tree is
 // numbered in place, so the caller can continue to use it with interval
 // operations; the database itself keeps no reference to it.
+//
+// LoadDocument is the OFFLINE bulk path: it mutates index pages in
+// place (the first document bulk-loads the trees bottom-up, orders of
+// magnitude faster than per-node inserts) and therefore requires
+// exclusive access — no snapshot, spool or concurrent writer — and is
+// not crash-safe while running (a crash mid-load means rebuilding the
+// database from sources). It checkpoints on entry and exit, so it
+// composes correctly with durable ingest before and after. For online,
+// crash-safe, concurrent-reader-safe ingest use InsertDocument.
 func (db *DB) LoadDocument(name string, root *xmltree.Node) (xmltree.DocID, error) {
-	doc := xmltree.DocID(len(db.docs) + 1)
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	// Flush any WAL-resident state first: the load mutates pages in
+	// place without logging, which would invalidate replaying earlier
+	// transactions on top of them.
+	if db.wal != nil && db.wal.Size() > 0 {
+		if err := db.checkpointLocked(); err != nil {
+			return 0, fmt.Errorf("storage: load %q: pre-checkpoint: %w", name, err)
+		}
+	}
+	base := db.tip
+	doc := xmltree.DocID(base.nextDocID)
 	xmltree.Number(root, doc)
 
-	// The first document bulk-loads the indices bottom-up (orders of
-	// magnitude faster than root-to-leaf inserts); later documents
-	// insert incrementally, which keeps multi-document databases
-	// correct at the usual B+tree insert cost.
-	bulk := len(db.docs) == 0
+	heap := pagestore.OpenHeapAt(db.st, base.heapFirst, base.heapLast)
+	heap.SetRaw()
+	catalog := db.tree(base.catalog)
+	locator := db.tree(base.locator)
+	tagIdx := db.tree(base.tag)
+	var valIdx *btree.Tree
+	if base.hasVal {
+		valIdx = db.tree(base.val)
+	}
+	h := &loadHandles{heap: heap, locator: locator, tagIdx: tagIdx, valIdx: valIdx}
+
+	bulk := len(base.docs) == 0
 	var entries *indexEntries
 	if bulk {
 		entries = &indexEntries{}
@@ -45,7 +73,7 @@ func (db *DB) LoadDocument(name string, root *xmltree.Node) (xmltree.DocID, erro
 		if n.Parent != nil {
 			rec.ParentStart = n.Parent.Interval.Start
 		}
-		if err := db.storeNode(rec, entries); err != nil {
+		if err := db.storeNode(h, rec, entries); err != nil {
 			loadErr = err
 			return false
 		}
@@ -56,18 +84,37 @@ func (db *DB) LoadDocument(name string, root *xmltree.Node) (xmltree.DocID, erro
 		return 0, fmt.Errorf("storage: load %q: %w", name, loadErr)
 	}
 	if bulk {
-		if err := db.bulkBuildIndexes(entries); err != nil {
+		if err := db.bulkBuildIndexes(h, entries); err != nil {
 			return 0, fmt.Errorf("storage: load %q: %w", name, err)
 		}
 	}
 
 	info := DocInfo{ID: doc, Name: name, RootStart: root.Interval.Start, NodeCount: count}
-	if _, err := db.catalog.Insert(encodeDocInfo(info)); err != nil {
+	if err := catalog.Insert(catalogKey(doc), encodeDocInfo(info)); err != nil {
 		return 0, fmt.Errorf("storage: load %q: catalog: %w", name, err)
 	}
-	db.docs = append(db.docs, info)
-	if err := db.writeMeta(); err != nil {
-		return 0, err
+
+	ns := &snapState{
+		epoch:     base.epoch + 1,
+		heapFirst: h.heap.FirstPage(),
+		heapLast:  h.heap.LastPage(),
+		catalog:   catalog.Root(),
+		locator:   h.locator.Root(),
+		tag:       h.tagIdx.Root(),
+		hasVal:    base.hasVal,
+		nextDocID: base.nextDocID + 1,
+	}
+	if h.valIdx != nil {
+		ns.val = h.valIdx.Root()
+	}
+	ns.docs = make([]DocInfo, 0, len(base.docs)+1)
+	ns.docs = append(ns.docs, base.docs...)
+	ns.docs = append(ns.docs, info)
+	db.tip = ns
+	// Make the load durable before anything references it: a later WAL
+	// transaction must never depend on unflushed, unlogged load pages.
+	if err := db.checkpointLocked(); err != nil {
+		return 0, fmt.Errorf("storage: load %q: checkpoint: %w", name, err)
 	}
 	return doc, nil
 }
@@ -81,6 +128,14 @@ func (db *DB) LoadXML(name string, r io.Reader) (xmltree.DocID, error) {
 	return db.LoadDocument(name, root)
 }
 
+// loadHandles carries one load's in-place write handles.
+type loadHandles struct {
+	heap    *pagestore.Heap
+	locator *btree.Tree
+	tagIdx  *btree.Tree
+	valIdx  *btree.Tree
+}
+
 // indexEntries accumulates the index pairs of one bulk load.
 type indexEntries struct {
 	loc, tag, val []btree.KV
@@ -88,8 +143,8 @@ type indexEntries struct {
 
 // storeNode writes the record to the heap and either queues (bulk) or
 // inserts (incremental) its index entries.
-func (db *DB) storeNode(rec *NodeRecord, bulk *indexEntries) error {
-	rid, err := db.heap.Insert(db.encodeNodeRecord(rec))
+func (db *DB) storeNode(h *loadHandles, rec *NodeRecord, bulk *indexEntries) error {
+	rid, err := h.heap.Insert(db.encodeNodeRecord(rec))
 	if err != nil {
 		return err
 	}
@@ -104,19 +159,19 @@ func (db *DB) storeNode(rec *NodeRecord, bulk *indexEntries) error {
 	if bulk != nil {
 		bulk.loc = append(bulk.loc, btree.KV{Key: locatorKey(id), Value: ridValue(rid)})
 		bulk.tag = append(bulk.tag, btree.KV{Key: tagKey(rec.Tag, id), Value: indexValue})
-		if db.valIdx != nil && rec.Content != "" && len(rec.Content) <= maxIndexedContent {
+		if h.valIdx != nil && rec.Content != "" && len(rec.Content) <= maxIndexedContent {
 			bulk.val = append(bulk.val, btree.KV{Key: valueKey(rec.Tag, rec.Content, id), Value: indexValue})
 		}
 		return nil
 	}
-	if err := db.locator.Insert(locatorKey(id), ridValue(rid)); err != nil {
+	if err := h.locator.Insert(locatorKey(id), ridValue(rid)); err != nil {
 		return fmt.Errorf("locator: %w", err)
 	}
-	if err := db.tagIdx.Insert(tagKey(rec.Tag, id), indexValue); err != nil {
+	if err := h.tagIdx.Insert(tagKey(rec.Tag, id), indexValue); err != nil {
 		return fmt.Errorf("tag index: %w", err)
 	}
-	if db.valIdx != nil && rec.Content != "" && len(rec.Content) <= maxIndexedContent {
-		if err := db.valIdx.Insert(valueKey(rec.Tag, rec.Content, id), indexValue); err != nil {
+	if h.valIdx != nil && rec.Content != "" && len(rec.Content) <= maxIndexedContent {
+		if err := h.valIdx.Insert(valueKey(rec.Tag, rec.Content, id), indexValue); err != nil {
 			return fmt.Errorf("value index: %w", err)
 		}
 	}
@@ -125,8 +180,9 @@ func (db *DB) storeNode(rec *NodeRecord, bulk *indexEntries) error {
 
 // bulkBuildIndexes replaces the (empty) index trees with bulk-loaded
 // ones. Locator keys are generated in document order and hence already
-// sorted; tag and value keys are sorted here.
-func (db *DB) bulkBuildIndexes(e *indexEntries) error {
+// sorted; tag and value keys are sorted here. The abandoned empty
+// roots are a few dead pages, reclaimed at the next rebuild.
+func (db *DB) bulkBuildIndexes(h *loadHandles, e *indexEntries) error {
 	sortKVs(e.tag)
 	sortKVs(e.val)
 	tag, val := e.tag, e.val
@@ -143,16 +199,19 @@ func (db *DB) bulkBuildIndexes(e *indexEntries) error {
 			return fmt.Errorf("value index blocks: %w", err)
 		}
 	}
-	if db.locator, err = btree.BulkLoad(db.st, e.loc); err != nil {
+	if h.locator, err = btree.BulkLoad(db.st, e.loc); err != nil {
 		return fmt.Errorf("locator bulk load: %w", err)
 	}
-	if db.tagIdx, err = btree.BulkLoad(db.st, tag); err != nil {
+	h.locator.SetMetrics(&db.idxMetrics)
+	if h.tagIdx, err = btree.BulkLoad(db.st, tag); err != nil {
 		return fmt.Errorf("tag index bulk load: %w", err)
 	}
-	if db.valIdx != nil {
-		if db.valIdx, err = btree.BulkLoad(db.st, val); err != nil {
+	h.tagIdx.SetMetrics(&db.idxMetrics)
+	if h.valIdx != nil {
+		if h.valIdx, err = btree.BulkLoad(db.st, val); err != nil {
 			return fmt.Errorf("value index bulk load: %w", err)
 		}
+		h.valIdx.SetMetrics(&db.idxMetrics)
 	}
 	return nil
 }

@@ -2,15 +2,15 @@ package storage
 
 // SizeInfo is a bytes-on-disk breakdown of a database, computed by
 // walking the heap chains and index trees. Byte figures are page counts
-// times the on-disk slot size, so they sum (with the meta page and any
-// transient spill pages) to the file size.
+// times the on-disk slot size, so they sum (with the meta page, the
+// catalog and any free or transient pages) to the file size.
 type SizeInfo struct {
 	// PageSize is the on-disk slot size in bytes.
 	PageSize int `json:"page_size"`
 	// Codec names the page compression codec, or "" when uncompressed.
 	Codec string `json:"codec,omitempty"`
-	// Compact reports whether the compact (format v2) record and
-	// posting codecs are in use.
+	// Compact reports whether the compact record and posting codecs are
+	// in use.
 	Compact bool `json:"compact"`
 	// TotalPages and TotalBytes cover the whole file.
 	TotalPages uint32 `json:"total_pages"`
@@ -31,39 +31,40 @@ type SizeInfo struct {
 	ValueCells uint64 `json:"value_cells"`
 }
 
-// SizeInfo measures the database's on-disk footprint. It fetches every
+// SizeInfo measures the snapshot's on-disk footprint. It fetches every
 // heap and index page through the buffer pool, so it is a reporting
 // call, not a hot-path one; run it before ResetStats if the subsequent
 // measurement should start from zero counters.
-func (db *DB) SizeInfo() (SizeInfo, error) {
-	slot := uint64(db.st.SlotSize())
+func (sn *Snapshot) SizeInfo() (SizeInfo, error) {
+	st := sn.db.st
+	slot := uint64(st.SlotSize())
 	info := SizeInfo{
-		PageSize:   db.st.SlotSize(),
-		Codec:      db.st.CodecName(),
-		Compact:    db.compact,
-		TotalPages: db.st.NumPages(),
+		PageSize:   st.SlotSize(),
+		Codec:      st.CodecName(),
+		Compact:    sn.db.compact,
+		TotalPages: st.NumPages(),
 	}
 	info.TotalBytes = uint64(info.TotalPages) * slot
 
 	var err error
-	if info.HeapPages, err = db.heap.Pages(); err != nil {
+	if info.HeapPages, err = sn.heap.Pages(); err != nil {
 		return info, err
 	}
 	info.HeapBytes = uint64(info.HeapPages) * slot
 
-	loc, err := db.locator.PageStats()
+	loc, err := sn.locator.PageStats()
 	if err != nil {
 		return info, err
 	}
-	tag, err := db.tagIdx.PageStats()
+	tag, err := sn.tagIdx.PageStats()
 	if err != nil {
 		return info, err
 	}
 	info.LocatorPages = loc.Pages
 	info.TagPages = tag.Pages
 	info.TagCells = tag.Cells
-	if db.valIdx != nil {
-		val, err := db.valIdx.PageStats()
+	if sn.valIdx != nil {
+		val, err := sn.valIdx.PageStats()
 		if err != nil {
 			return info, err
 		}
@@ -73,4 +74,11 @@ func (db *DB) SizeInfo() (SizeInfo, error) {
 	info.IndexPages = info.LocatorPages + info.TagPages + info.ValuePages
 	info.IndexBytes = uint64(info.IndexPages) * slot
 	return info, nil
+}
+
+// SizeInfo is the pin-per-call form of Snapshot.SizeInfo.
+func (db *DB) SizeInfo() (SizeInfo, error) {
+	sn := db.Snapshot()
+	defer sn.Close()
+	return sn.SizeInfo()
 }

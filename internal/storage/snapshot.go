@@ -1,0 +1,195 @@
+package storage
+
+import (
+	"math"
+	"sync/atomic"
+
+	"timber/internal/btree"
+	"timber/internal/obs"
+	"timber/internal/pagestore"
+)
+
+// Snapshot is a pinned, immutable view of the database: the state that
+// was the published head when Snapshot() was called. Every read method
+// on it sees exactly that state no matter how many documents are
+// inserted or deleted concurrently — commits build fresh pages and the
+// pin blocks reclamation of the old ones — so a streaming query that
+// runs for seconds returns byte-identical results to one run against a
+// quiesced database.
+//
+// Snapshots are cheap (a map increment and four tree handles; no I/O)
+// but must be Closed: an open snapshot holds every page of its epoch
+// on disk. Close is idempotent and safe to call from any goroutine,
+// though the Snapshot's read methods themselves are not synchronized —
+// use one per goroutine, or one per exchange fragment, exactly like a
+// *DB handle before durable ingest existed.
+type Snapshot struct {
+	db       *DB
+	s        *snapState
+	heap     *pagestore.Heap
+	catalogT *btree.Tree
+	locator  *btree.Tree
+	tagIdx   *btree.Tree
+	valIdx   *btree.Tree // nil without a value index
+	closed   atomic.Bool
+}
+
+// Snapshot pins the current head state and returns a read view of it.
+func (db *DB) Snapshot() *Snapshot {
+	// The head load must happen inside pinMu: commit publishes a new
+	// head before retiring the old state's pages and reclaim takes
+	// pinMu, so either this pin lands first (blocking reclamation of
+	// the state it read) or it observes the new head.
+	db.pinMu.Lock()
+	s := db.head.Load()
+	db.pins[s.epoch]++
+	db.pinMu.Unlock()
+	db.ing.snapshotsPinned.Add(1)
+
+	sn := &Snapshot{db: db, s: s}
+	sn.heap = pagestore.OpenHeapAt(db.st, s.heapFirst, s.heapLast)
+	sn.heap.SetRaw()
+	sn.catalogT = db.tree(s.catalog)
+	sn.locator = db.tree(s.locator)
+	sn.tagIdx = db.tree(s.tag)
+	if s.hasVal {
+		sn.valIdx = db.tree(s.val)
+	}
+	return sn
+}
+
+// Close releases the pin. Pages superseded while the snapshot was open
+// become reclaimable once every snapshot of its epoch (and older) is
+// closed.
+func (sn *Snapshot) Close() error {
+	if !sn.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	db := sn.db
+	db.ing.snapshotsPinned.Add(-1)
+	db.pinMu.Lock()
+	if n := db.pins[sn.s.epoch] - 1; n > 0 {
+		db.pins[sn.s.epoch] = n
+	} else {
+		delete(db.pins, sn.s.epoch)
+	}
+	db.reclaimLocked()
+	db.pinMu.Unlock()
+	return nil
+}
+
+// Epoch identifies the committed state this snapshot reads.
+func (sn *Snapshot) Epoch() uint64 { return sn.s.epoch }
+
+// Documents returns the snapshot's catalog in ID order.
+func (sn *Snapshot) Documents() []DocInfo {
+	out := make([]DocInfo, len(sn.s.docs))
+	copy(out, sn.s.docs)
+	return out
+}
+
+// DocumentByName returns the catalog entry with the given name.
+func (sn *Snapshot) DocumentByName(name string) (DocInfo, bool) {
+	return findDoc(sn.s.docs, name)
+}
+
+// HasValueIndex reports whether the (tag, content) value index exists.
+func (sn *Snapshot) HasValueIndex() bool { return sn.valIdx != nil }
+
+// Compact reports whether the database uses the compact codecs.
+func (sn *Snapshot) Compact() bool { return sn.db.compact }
+
+// NumPages exposes the store's allocated page count.
+func (sn *Snapshot) NumPages() uint32 { return sn.db.st.NumPages() }
+
+// Stats returns the underlying buffer pool counters (shared with the
+// DB — pool activity is global, not per-snapshot).
+func (sn *Snapshot) Stats() pagestore.Stats { return sn.db.Stats() }
+
+// IndexMetrics returns the shared B+tree traversal counters.
+func (sn *Snapshot) IndexMetrics() btree.MetricsSnapshot { return sn.db.IndexMetrics() }
+
+// NewSpool delegates to the database: spools are scratch space, not
+// part of the snapshot's state.
+func (sn *Snapshot) NewSpool() *Spool { return sn.db.NewSpool() }
+
+// ResetStats zeroes the shared pool and index counters.
+func (sn *Snapshot) ResetStats() { sn.db.ResetStats() }
+
+// TraceCounters snapshots the shared pool and index counters.
+func (sn *Snapshot) TraceCounters() obs.Counters { return sn.db.TraceCounters() }
+
+// NewTracer builds a tracer wired to the shared counters.
+func (sn *Snapshot) NewTracer(name string) *obs.Tracer { return sn.db.NewTracer(name) }
+
+// retiredSet is a batch of pages superseded by one commit, waiting for
+// reclamation.
+type retiredSet struct {
+	// epoch of the state whose commit freed the pages: any snapshot
+	// pinning an OLDER epoch may still read them. A zero epoch/seq set
+	// is a retry batch from a failed FreePages — immediately eligible.
+	epoch uint64
+	// seq of the committing transaction: the pages must not be reused
+	// before this commit is WAL-durable, or a crash could recover to the
+	// freeing state with its pages overwritten.
+	seq   uint64
+	pages []pagestore.PageID
+}
+
+// retire queues pages superseded by the commit that produced epoch
+// (WAL sequence seq) and reclaims whatever has become eligible.
+func (db *DB) retire(epoch, seq uint64, pages []pagestore.PageID) {
+	if len(pages) == 0 {
+		return
+	}
+	db.ing.pagesRetired.Add(uint64(len(pages)))
+	db.pinMu.Lock()
+	db.retired = append(db.retired, retiredSet{epoch: epoch, seq: seq, pages: pages})
+	db.reclaimLocked()
+	db.pinMu.Unlock()
+}
+
+// reclaim runs a reclamation pass.
+func (db *DB) reclaim() {
+	db.pinMu.Lock()
+	db.reclaimLocked()
+	db.pinMu.Unlock()
+}
+
+// reclaimLocked frees every retired set that (a) no open snapshot can
+// still read — its epoch is at or below the oldest pinned epoch — and
+// (b) is durability-safe to overwrite — the WAL fsync has covered the
+// commit that freed it. Caller holds pinMu; FreePages takes the
+// store's allocator lock inside it (that order is fixed — nothing
+// takes pinMu while holding a store lock).
+func (db *DB) reclaimLocked() {
+	if len(db.retired) == 0 {
+		return
+	}
+	minEpoch := uint64(math.MaxUint64)
+	for e := range db.pins {
+		if e < minEpoch {
+			minEpoch = e
+		}
+	}
+	var synced uint64 = math.MaxUint64
+	if db.wal != nil {
+		synced = db.wal.Synced()
+	}
+	keep := db.retired[:0]
+	for _, set := range db.retired {
+		if set.epoch > minEpoch || set.seq > synced {
+			keep = append(keep, set)
+			continue
+		}
+		if err := db.st.FreePages(set.pages); err != nil {
+			// A transiently pinned page (a still-draining cursor) makes
+			// FreePages refuse the whole batch; retry on the next pass with
+			// no epoch/seq gate, since both conditions were already met.
+			keep = append(keep, retiredSet{pages: set.pages})
+			continue
+		}
+		db.ing.pagesReclaimed.Add(uint64(len(set.pages)))
+	}
+	db.retired = keep
+}

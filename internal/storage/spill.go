@@ -21,17 +21,14 @@ import (
 // The input trees are renumbered in place (documents 1..n) so the
 // records carry rebuildable positions; the returned trees are fresh.
 //
-// Safe for concurrent use: spillMu gives each spill exclusive
-// ownership of the page region past its mark until the Truncate that
-// releases it. Concurrent readers are unaffected — they only touch
-// pages below every spill mark.
+// Safe for concurrent use: the pages come from the store's allocator
+// like any writer's, and are returned to it on every exit path —
+// success or error — so a failed spill no longer strands its pages
+// until shutdown.
 func (db *DB) SpillTrees(trees []*xmltree.Node) ([]*xmltree.Node, error) {
 	if len(trees) == 0 {
 		return nil, nil
 	}
-	db.spillMu.Lock()
-	defer db.spillMu.Unlock()
-	mark := db.st.NumPages()
 	heap, err := pagestore.NewHeap(db.st)
 	if err != nil {
 		return nil, err
@@ -39,6 +36,13 @@ func (db *DB) SpillTrees(trees []*xmltree.Node) ([]*xmltree.Node, error) {
 	// Spill pages are written once and read back once; compressing them
 	// would cost a decompress on the read-back for no disk saving.
 	heap.SetRaw()
+	heap.Track()
+	release := func() {
+		pages := append([]pagestore.PageID{heap.FirstPage()}, heap.TakeTracked()...)
+		if db.st.FreePages(pages) == nil {
+			db.ing.spoolPagesFreed.Add(uint64(len(pages)))
+		}
+	}
 
 	// Write.
 	for i, tr := range trees {
@@ -61,6 +65,7 @@ func (db *DB) SpillTrees(trees []*xmltree.Node) ([]*xmltree.Node, error) {
 			return true
 		})
 		if werr != nil {
+			release()
 			return nil, fmt.Errorf("storage: spill: %w", werr)
 		}
 	}
@@ -97,17 +102,23 @@ func (db *DB) SpillTrees(trees []*xmltree.Node) ([]*xmltree.Node, error) {
 		return nil
 	})
 	if err != nil {
+		release()
 		return nil, fmt.Errorf("storage: spill read-back: %w", err)
 	}
 	if len(out) != len(trees) {
+		release()
 		return nil, fmt.Errorf("storage: spill rebuilt %d trees, wrote %d", len(out), len(trees))
 	}
 
 	// Release the temporary pages.
-	if err := db.st.Truncate(mark); err != nil {
-		return nil, fmt.Errorf("storage: spill release: %w", err)
-	}
+	release()
 	return out, nil
+}
+
+// SpillTrees on a snapshot delegates to the database: spilled pages
+// are scratch space, not part of any published state.
+func (sn *Snapshot) SpillTrees(trees []*xmltree.Node) ([]*xmltree.Node, error) {
+	return sn.db.SpillTrees(trees)
 }
 
 // NumPages exposes the store's allocated page count (used by tools to

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"runtime"
 
 	"timber/internal/pagestore"
 )
@@ -10,27 +11,34 @@ import (
 // operator (the streaming executor's sort-based GROUPBY, duplicate
 // elimination over huge inputs) that exceeds its memory budget writes
 // sorted runs of encoded rows through the buffer pool and merges them
-// back with cursors. Like SpillTrees, the spilled pages compete with
-// the base data for buffer-pool capacity — that is the TIMBER cost
-// model — and the region past the creation mark is truncated when the
-// spool closes.
+// back with cursors. The spilled pages compete with the base data for
+// buffer-pool capacity — that is the TIMBER cost model.
 //
-// A Spool owns the database's spill region exclusively from NewSpool
-// until Close (the same spillMu that serializes SpillTrees), so only
-// one spilling operator or result spill can be active at a time.
-// Callers must therefore Close the spool before the executor's result
-// spill runs, and must close every run cursor first — Close truncates
-// the region, which fails while spilled pages are pinned.
+// Spools allocate from the store's free list like any writer, so any
+// number of spools, ingest transactions and readers can be active at
+// once; Close returns every run's pages to the allocator. Close every
+// run cursor first — freeing pinned pages fails and leaves the batch
+// for the next reclamation pass. A spool that is garbage-collected
+// without Close is self-healing: a finalizer frees its pages and
+// counts the leak in spool_runs_leaked, so a cancellation path that
+// drops its spool shows up in metrics instead of as unbounded file
+// growth.
 type Spool struct {
 	db     *DB
-	mark   uint32
 	closed bool
+	runs   []*SpoolRun
 }
 
-// NewSpool claims the spill region and records the truncation mark.
+// NewSpool starts a spill region.
 func (db *DB) NewSpool() *Spool {
-	db.spillMu.Lock()
-	return &Spool{db: db, mark: db.st.NumPages()}
+	sp := &Spool{db: db}
+	runtime.SetFinalizer(sp, func(leaked *Spool) {
+		if !leaked.closed {
+			db.ing.spoolRunsLeaked.Add(1)
+			leaked.Close()
+		}
+	})
+	return sp
 }
 
 // SpoolRun is one append-only run of records inside a spool.
@@ -51,7 +59,11 @@ func (s *Spool) NewRun() (*SpoolRun, error) {
 	// Sort runs hold varint-encoded rows, written once and merged once —
 	// codec-exempt for the same reason as the record heap.
 	h.SetRaw()
-	return &SpoolRun{sp: s, heap: h}, nil
+	h.Track()
+	s.db.ing.spoolRuns.Add(1)
+	r := &SpoolRun{sp: s, heap: h}
+	s.runs = append(s.runs, r)
+	return r, nil
 }
 
 // Append writes one record to the run.
@@ -67,16 +79,25 @@ func (r *SpoolRun) Open() *pagestore.HeapCursor {
 	return pagestore.NewHeapCursor(r.sp.db.st, r.heap.FirstPage())
 }
 
-// Close releases the spilled pages and the spill region. Idempotent.
+// Close returns every run's pages to the allocator. Idempotent.
 func (s *Spool) Close() error {
 	if s.closed {
 		return nil
 	}
 	s.closed = true
-	err := s.db.st.Truncate(s.mark)
-	s.db.spillMu.Unlock()
-	if err != nil {
+	runtime.SetFinalizer(s, nil)
+	var pages []pagestore.PageID
+	for _, r := range s.runs {
+		pages = append(pages, r.heap.FirstPage())
+		pages = append(pages, r.heap.TakeTracked()...)
+	}
+	s.runs = nil
+	if len(pages) == 0 {
+		return nil
+	}
+	if err := s.db.st.FreePages(pages); err != nil {
 		return fmt.Errorf("storage: spool release: %w", err)
 	}
+	s.db.ing.spoolPagesFreed.Add(uint64(len(pages)))
 	return nil
 }

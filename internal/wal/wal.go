@@ -1,0 +1,371 @@
+// Package wal implements the write-ahead log behind the storage
+// layer's durable ingest path: a physical redo log of page images,
+// heap links and metadata, applied on recovery up to the last
+// CRC-clean commit record.
+//
+// Frame layout (little endian):
+//
+//	[0:4)  length of type+payload (u32)
+//	[4:8)  CRC-32C of type+payload (u32)
+//	[8]    record type
+//	[9:]   payload
+//
+// A crash can tear the last frame (or leave preallocated zeros past
+// the tail); Replay stops at the first frame whose length is
+// implausible or whose checksum fails, and the caller truncates the
+// file there. Frames after a torn frame are unreachable by
+// construction of the commit protocol: a transaction is acknowledged
+// only after an fsync that covers every frame up to and including its
+// commit record, so nothing durable is ever lost to the truncation.
+//
+// Group commit: appends are serialized by the storage layer's commit
+// lock, but Sync is leader/follower — the first goroutine into the
+// sync lock fsyncs on behalf of everyone appended so far, and
+// followers that find their sequence already covered return without
+// touching the disk.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"sync/atomic"
+
+	"timber/internal/pagestore"
+)
+
+// Record types.
+const (
+	// RecPage carries a page's framed slot image: u32 page ID followed
+	// by the image bytes (see pagestore.SlotImage).
+	RecPage = byte(1)
+	// RecLink carries a deferred heap chain link: u32 from-page, u32
+	// to-page. The link mutates a committed page, so it is applied to
+	// the store only after the transaction's frames are durable.
+	RecLink = byte(2)
+	// RecMeta carries the storage layer's encoded metadata payload —
+	// the authoritative roots between checkpoints.
+	RecMeta = byte(3)
+	// RecCommit carries the transaction sequence number (u64) and
+	// marks everything since the previous commit as atomic.
+	RecCommit = byte(4)
+)
+
+const frameHeaderLen = 9 // u32 len + u32 crc + type byte
+
+// maxFrame bounds a frame's type+payload length during replay; a
+// "length" beyond it is torn garbage, not a record. Page images are
+// the largest payloads (a slot plus its u32 page ID), so 1 MiB leaves
+// two orders of magnitude of headroom over the default page size.
+const maxFrame = 1 << 20
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// Stats counts log activity since open.
+type Stats struct {
+	// Appends is the number of records appended (all types).
+	Appends uint64
+	// AppendedBytes is the total framed bytes appended.
+	AppendedBytes uint64
+	// Commits is the number of commit records appended.
+	Commits uint64
+	// Fsyncs is the number of fsyncs issued — under group commit this
+	// is typically well below Commits.
+	Fsyncs uint64
+	// SyncWaits is the number of Sync calls satisfied by another
+	// goroutine's fsync (group-commit followers).
+	SyncWaits uint64
+}
+
+type statCounters struct {
+	appends       atomic.Uint64
+	appendedBytes atomic.Uint64
+	commits       atomic.Uint64
+	fsyncs        atomic.Uint64
+	syncWaits     atomic.Uint64
+}
+
+// Log is an append-only write-ahead log over a pagestore.File. Append
+// methods must be externally serialized (the storage layer's commit
+// lock does this); Sync is safe to call concurrently.
+type Log struct {
+	mu     sync.Mutex // append serialization (defense in depth)
+	f      pagestore.File
+	size   int64 // append offset
+	closed atomic.Bool
+
+	// appended is the highest commit sequence written to the file;
+	// synced is the highest sequence covered by a completed fsync.
+	appended atomic.Uint64
+	synced   atomic.Uint64
+	syncMu   sync.Mutex // serializes the group-commit leader fsync
+
+	stats statCounters
+}
+
+// Open wraps an existing File whose clean length and last committed
+// sequence were established by Replay (0, 0 for a fresh log).
+func Open(f pagestore.File, cleanLen int64, lastSeq uint64) *Log {
+	l := &Log{f: f, size: cleanLen}
+	l.appended.Store(lastSeq)
+	l.synced.Store(lastSeq)
+	return l
+}
+
+// Size returns the current append offset (the log's logical length).
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Stats returns a snapshot of the log's activity counters.
+func (l *Log) Stats() Stats {
+	return Stats{
+		Appends:       l.stats.appends.Load(),
+		AppendedBytes: l.stats.appendedBytes.Load(),
+		Commits:       l.stats.commits.Load(),
+		Fsyncs:        l.stats.fsyncs.Load(),
+		SyncWaits:     l.stats.syncWaits.Load(),
+	}
+}
+
+// append frames and writes one record.
+func (l *Log) append(typ byte, payload ...[]byte) error {
+	if l.closed.Load() {
+		return ErrClosed
+	}
+	n := 1
+	for _, p := range payload {
+		n += len(p)
+	}
+	if n > maxFrame {
+		return fmt.Errorf("wal: record of %d bytes exceeds frame bound %d", n, maxFrame)
+	}
+	frame := make([]byte, 8, 8+n)
+	frame = append(frame, typ)
+	for _, p := range payload {
+		frame = append(frame, p...)
+	}
+	crc := crc32.Checksum(frame[8:], castagnoli)
+	frame[0] = byte(n)
+	frame[1] = byte(n >> 8)
+	frame[2] = byte(n >> 16)
+	frame[3] = byte(n >> 24)
+	frame[4] = byte(crc)
+	frame[5] = byte(crc >> 8)
+	frame[6] = byte(crc >> 16)
+	frame[7] = byte(crc >> 24)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.WriteAt(frame, l.size); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.size += int64(len(frame))
+	l.stats.appends.Add(1)
+	l.stats.appendedBytes.Add(uint64(len(frame)))
+	return nil
+}
+
+func be32(v uint32) []byte { return []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)} }
+
+// AppendPage logs a page's framed slot image.
+func (l *Log) AppendPage(id pagestore.PageID, img []byte) error {
+	return l.append(RecPage, be32(uint32(id)), img)
+}
+
+// AppendLink logs a deferred heap chain link from one page to another.
+func (l *Log) AppendLink(from, to pagestore.PageID) error {
+	return l.append(RecLink, be32(uint32(from)), be32(uint32(to)))
+}
+
+// AppendMeta logs the storage layer's encoded metadata.
+func (l *Log) AppendMeta(meta []byte) error {
+	return l.append(RecMeta, meta)
+}
+
+// Commit appends the commit record that seals every frame since the
+// previous commit into one atomic transaction. The transaction is
+// durable only after a Sync covering seq.
+func (l *Log) Commit(seq uint64) error {
+	payload := []byte{
+		byte(seq), byte(seq >> 8), byte(seq >> 16), byte(seq >> 24),
+		byte(seq >> 32), byte(seq >> 40), byte(seq >> 48), byte(seq >> 56),
+	}
+	if err := l.append(RecCommit, payload); err != nil {
+		return err
+	}
+	l.stats.commits.Add(1)
+	l.appended.Store(seq)
+	return nil
+}
+
+// Sync makes every appended frame up to seq durable. Group commit:
+// whichever goroutine takes the sync lock fsyncs the whole appended
+// prefix, so concurrent committers share one disk flush; callers that
+// arrive after a covering fsync return immediately.
+func (l *Log) Sync(seq uint64) error {
+	if l.closed.Load() {
+		return ErrClosed
+	}
+	if l.synced.Load() >= seq {
+		l.stats.syncWaits.Add(1)
+		return nil
+	}
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	if l.synced.Load() >= seq {
+		l.stats.syncWaits.Add(1)
+		return nil
+	}
+	// Capture the appended watermark before fsync: frames appended
+	// after the capture may also be flushed, but only the captured
+	// prefix is promised durable.
+	target := l.appended.Load()
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.stats.fsyncs.Add(1)
+	l.synced.Store(target)
+	return nil
+}
+
+// Synced returns the highest commit sequence covered by an fsync.
+func (l *Log) Synced() uint64 { return l.synced.Load() }
+
+// Reset truncates the log to empty after a checkpoint has made its
+// effects durable elsewhere, and fsyncs the truncation.
+func (l *Log) Reset() error {
+	if l.closed.Load() {
+		return ErrClosed
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	l.stats.fsyncs.Add(1)
+	l.size = 0
+	return nil
+}
+
+// Close closes the underlying file without syncing: callers that need
+// durability must Sync first (Close on a clean shutdown runs after a
+// checkpoint has already emptied the log).
+func (l *Log) Close() error {
+	if !l.closed.CompareAndSwap(false, true) {
+		return ErrClosed
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return nil
+}
+
+// Record is one replayed WAL record. Payload aliases the replay
+// scratch buffer and must be copied to retain past the callback.
+type Record struct {
+	Type    byte
+	Payload []byte
+}
+
+// Page decodes a RecPage payload.
+func (r Record) Page() (pagestore.PageID, []byte, error) {
+	if r.Type != RecPage || len(r.Payload) < 4 {
+		return 0, nil, fmt.Errorf("wal: not a page record (type %d, %d bytes)", r.Type, len(r.Payload))
+	}
+	id := uint32(r.Payload[0]) | uint32(r.Payload[1])<<8 | uint32(r.Payload[2])<<16 | uint32(r.Payload[3])<<24
+	return pagestore.PageID(id), r.Payload[4:], nil
+}
+
+// Link decodes a RecLink payload.
+func (r Record) Link() (from, to pagestore.PageID, err error) {
+	if r.Type != RecLink || len(r.Payload) != 8 {
+		return 0, 0, fmt.Errorf("wal: not a link record (type %d, %d bytes)", r.Type, len(r.Payload))
+	}
+	f := uint32(r.Payload[0]) | uint32(r.Payload[1])<<8 | uint32(r.Payload[2])<<16 | uint32(r.Payload[3])<<24
+	t := uint32(r.Payload[4]) | uint32(r.Payload[5])<<8 | uint32(r.Payload[6])<<16 | uint32(r.Payload[7])<<24
+	return pagestore.PageID(f), pagestore.PageID(t), nil
+}
+
+// Commit decodes a RecCommit payload.
+func (r Record) Commit() (uint64, error) {
+	if r.Type != RecCommit || len(r.Payload) != 8 {
+		return 0, fmt.Errorf("wal: not a commit record (type %d, %d bytes)", r.Type, len(r.Payload))
+	}
+	var seq uint64
+	for i := 7; i >= 0; i-- {
+		seq = seq<<8 | uint64(r.Payload[i])
+	}
+	return seq, nil
+}
+
+// Replay scans the log from the start, calling fn for every CRC-clean
+// record in order, and stops — without error — at the first torn,
+// corrupt or zeroed frame. It returns the byte length of the
+// *committed* prefix — the offset just past the last valid commit
+// record — and that commit's sequence. The caller truncates the file
+// to committedLen before appending: clean-but-uncommitted tail frames
+// must go too, or the next transaction's commit record would seal the
+// orphaned records into itself. An error from fn aborts the scan and
+// is returned.
+//
+// fn sees records from unfinished transactions too (frames after the
+// last commit); the caller is responsible for buffering records per
+// transaction and applying them only at commit records.
+func Replay(f pagestore.File, fn func(Record) error) (committedLen int64, lastSeq uint64, err error) {
+	size, err := f.Size()
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: replay: %w", err)
+	}
+	var (
+		off    int64
+		header [8]byte
+		buf    []byte
+	)
+	for off+frameHeaderLen <= size {
+		if _, err := f.ReadAt(header[:], off); err != nil {
+			break // unreadable tail: treat as torn
+		}
+		n := int(uint32(header[0]) | uint32(header[1])<<8 | uint32(header[2])<<16 | uint32(header[3])<<24)
+		crc := uint32(header[4]) | uint32(header[5])<<8 | uint32(header[6])<<16 | uint32(header[7])<<24
+		if n < 1 || n > maxFrame || off+8+int64(n) > size {
+			break // zeroed preallocation, garbage length, or torn tail
+		}
+		if cap(buf) < n {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := f.ReadAt(buf, off+8); err != nil {
+			break
+		}
+		if crc32.Checksum(buf, castagnoli) != crc {
+			break // torn or corrupt frame
+		}
+		rec := Record{Type: buf[0], Payload: buf[1:]}
+		var commitSeq uint64
+		if rec.Type == RecCommit {
+			seq, err := rec.Commit()
+			if err != nil {
+				break // structurally invalid commit: stop the clean prefix here
+			}
+			commitSeq = seq
+		}
+		if err := fn(rec); err != nil {
+			return committedLen, lastSeq, err
+		}
+		off += 8 + int64(n)
+		if rec.Type == RecCommit {
+			committedLen = off
+			lastSeq = commitSeq
+		}
+	}
+	return committedLen, lastSeq, nil
+}

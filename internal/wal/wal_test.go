@@ -1,0 +1,251 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"timber/internal/pagestore"
+)
+
+func tempLog(t *testing.T) (*Log, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.wal")
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := Open(pagestore.OSFile(f), 0, 0)
+	t.Cleanup(func() { l.Close() })
+	return l, path
+}
+
+func replayAll(t *testing.T, path string) (recs []Record, committedLen int64, lastSeq uint64) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	committedLen, lastSeq, err = Replay(pagestore.OSFile(f), func(r Record) error {
+		recs = append(recs, Record{Type: r.Type, Payload: append([]byte(nil), r.Payload...)})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs, committedLen, lastSeq
+}
+
+func TestRoundTrip(t *testing.T) {
+	l, path := tempLog(t)
+	img := bytes.Repeat([]byte{0xAB}, 300)
+	if err := l.AppendPage(7, img); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendLink(3, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendMeta([]byte("meta-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(42); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(42); err != nil {
+		t.Fatal(err)
+	}
+	if l.Synced() != 42 {
+		t.Fatalf("Synced = %d", l.Synced())
+	}
+
+	recs, committedLen, lastSeq := replayAll(t, path)
+	if len(recs) != 4 {
+		t.Fatalf("replayed %d records, want 4", len(recs))
+	}
+	if committedLen != l.Size() {
+		t.Fatalf("committedLen %d != size %d", committedLen, l.Size())
+	}
+	if lastSeq != 42 {
+		t.Fatalf("lastSeq = %d", lastSeq)
+	}
+	id, gotImg, err := recs[0].Page()
+	if err != nil || id != 7 || !bytes.Equal(gotImg, img) {
+		t.Fatalf("page record: id=%d err=%v imgOK=%v", id, err, bytes.Equal(gotImg, img))
+	}
+	from, to, err := recs[1].Link()
+	if err != nil || from != 3 || to != 9 {
+		t.Fatalf("link record: %d→%d, %v", from, to, err)
+	}
+	if recs[2].Type != RecMeta || string(recs[2].Payload) != "meta-bytes" {
+		t.Fatalf("meta record: %q", recs[2].Payload)
+	}
+	seq, err := recs[3].Commit()
+	if err != nil || seq != 42 {
+		t.Fatalf("commit record: %d, %v", seq, err)
+	}
+}
+
+// TestTornTailTruncation cuts the log at every possible byte length
+// and checks that replay always recovers exactly the commits whose
+// final frame survived intact — never a partial transaction, never an
+// error.
+func TestTornTailTruncation(t *testing.T) {
+	l, path := tempLog(t)
+	type txn struct{ end int64 }
+	var txns []txn
+	img := bytes.Repeat([]byte{0x5C}, 100)
+	for i := 1; i <= 5; i++ {
+		if err := l.AppendPage(pagestore.PageID(i), img); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.AppendLink(pagestore.PageID(i), pagestore.PageID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Commit(uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		txns = append(txns, txn{end: l.Size()})
+	}
+	if err := l.Sync(5); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		cutPath := filepath.Join(t.TempDir(), "cut.wal")
+		if err := os.WriteFile(cutPath, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, committedLen, lastSeq := replayAll(t, cutPath)
+		// Expected: the largest transaction whose end <= cut.
+		wantSeq, wantLen := uint64(0), int64(0)
+		for i, tx := range txns {
+			if tx.end <= int64(cut) {
+				wantSeq, wantLen = uint64(i+1), tx.end
+			}
+		}
+		if lastSeq != wantSeq || committedLen != wantLen {
+			t.Fatalf("cut %d: recovered seq=%d len=%d, want seq=%d len=%d",
+				cut, lastSeq, committedLen, wantSeq, wantLen)
+		}
+	}
+}
+
+// TestCorruptMiddleFrame flips one byte in an early frame: replay must
+// stop before it, discarding everything from that frame on.
+func TestCorruptMiddleFrame(t *testing.T) {
+	l, path := tempLog(t)
+	for i := 1; i <= 3; i++ {
+		if err := l.AppendPage(pagestore.PageID(i), []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Commit(uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	firstEnd := int64(0)
+	{
+		recs, _, _ := replayAll(t, path)
+		if len(recs) != 6 {
+			t.Fatalf("have %d records", len(recs))
+		}
+	}
+	// Find the end of txn 1 by replaying and counting; simpler: frame
+	// sizes are deterministic: page frame = 8+1+4+7, commit = 8+1+8.
+	firstEnd = (8 + 1 + 4 + 7) + (8 + 1 + 8)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[firstEnd+12] ^= 0xFF // inside txn 2's page payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, committedLen, lastSeq := replayAll(t, path)
+	if lastSeq != 1 || committedLen != firstEnd {
+		t.Fatalf("after corruption: seq=%d len=%d, want seq=1 len=%d", lastSeq, committedLen, firstEnd)
+	}
+}
+
+// TestUncommittedTailDiscarded: records appended after the last commit
+// are structurally clean but must not extend the committed prefix.
+func TestUncommittedTailDiscarded(t *testing.T) {
+	l, path := tempLog(t)
+	if err := l.AppendPage(1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	endCommitted := l.Size()
+	if err := l.AppendPage(2, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendLink(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	_, committedLen, lastSeq := replayAll(t, path)
+	if committedLen != endCommitted || lastSeq != 1 {
+		t.Fatalf("committedLen=%d lastSeq=%d, want %d/1", committedLen, lastSeq, endCommitted)
+	}
+}
+
+// TestGroupCommitSharedFsync: concurrent Syncs for a batch of appended
+// commits must coalesce into fewer fsyncs than commits.
+func TestGroupCommitSharedFsync(t *testing.T) {
+	l, _ := tempLog(t)
+	const n = 32
+	for i := 1; i <= n; i++ {
+		if err := l.AppendPage(pagestore.PageID(i), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Commit(uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 1; i <= n; i++ {
+		wg.Add(1)
+		go func(seq uint64) {
+			defer wg.Done()
+			if err := l.Sync(seq); err != nil {
+				t.Error(err)
+			}
+		}(uint64(i))
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.Fsyncs == 0 || st.Fsyncs >= n {
+		t.Fatalf("fsyncs = %d for %d commits, want coalescing (0 < fsyncs < %d)", st.Fsyncs, n, n)
+	}
+	if l.Synced() != n {
+		t.Fatalf("Synced = %d, want %d", l.Synced(), n)
+	}
+}
+
+// TestReset empties the log and replay finds nothing.
+func TestReset(t *testing.T) {
+	l, path := tempLog(t)
+	if err := l.AppendPage(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Size() != 0 {
+		t.Fatalf("Size after reset = %d", l.Size())
+	}
+	recs, committedLen, _ := replayAll(t, path)
+	if len(recs) != 0 || committedLen != 0 {
+		t.Fatalf("replay after reset: %d records, len %d", len(recs), committedLen)
+	}
+}
