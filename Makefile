@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench experiments fuzz-smoke trace-check serve-check metrics-check serve-bench stream-check bench-check wal-check
+.PHONY: all build test vet race check bench experiments fuzz-smoke trace-check serve-check metrics-check serve-bench stream-check bench-check wal-check plan-check
 
 all: build
 
@@ -95,6 +95,16 @@ wal-check:
 	$(GO) test -race ./internal/wal/ ./internal/crashfs/
 	$(GO) test -race -run 'Crash|Ingest|Spool|Snapshot' \
 		./internal/storage/ ./internal/exec/ ./cmd/timber-serve/
+
+# plan-check gates the cost-based planner: the planner-pick regression
+# (auto must never run slower than 1.5x the best strategy on the bench
+# fixture), the statistics round-trip and incremental-maintenance
+# suites, the auto/explicit byte-identity checks, and the EXPLAIN
+# estimate-vs-actual join — all under the race detector.
+plan-check:
+	$(GO) test -race ./internal/opt/planner/ ./internal/stats/
+	$(GO) test -race -run 'Planner|CardStats|Auto|Explain|ParseStrategy' \
+		./internal/storage/ ./internal/exec/ ./internal/engine/
 
 # serve-bench hammers an in-process timber-serve with concurrent
 # clients and writes the server-side latency quantiles (read from the

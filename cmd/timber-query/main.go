@@ -7,16 +7,28 @@
 //
 //	timber-query -db bib.timber 'FOR $a IN distinct-values(...) ...'
 //	timber-query -db bib.timber -f query.xq -plan groupby
-//	timber-query -db bib.timber -trace -f query.xq
+//	timber-query -db bib.timber -explain -f query.xq
 //
-// -plan selects the execution strategy (exec.ParseStrategy names):
+// -plan selects the execution strategy (exec.ParseStrategy names).
+// The default, auto, hands the choice to the cost-based planner: the
+// engine costs the candidate plans against the database's cardinality
+// statistics and runs the cheapest. The explicit overrides are
 // logical (reference in-memory evaluation), physical (generic
 // index-accelerated evaluation of any translatable query), direct
 // (the naive plan with materialized intermediates), direct-nested,
-// direct-batch, groupby (streaming identifier processing; the
-// default), groupby-mat (the materializing groupby reference), or
-// replicating. Strategies that need the grouping rewrite fall back to
-// the physical plan, with a note, when the idiom is not detected.
+// direct-batch, groupby (streaming identifier processing),
+// groupby-mat (the materializing groupby reference), and replicating.
+// Strategies that need the grouping rewrite fall back to the physical
+// plan, with a note, when the idiom is not detected.
+//
+// -explain prints the planner's EXPLAIN report to stderr after the
+// run: the chosen strategy, the costed alternatives, and per-operator
+// cardinality estimates joined against the actual row counts from the
+// execution trace. -explainfile writes the same report as JSON. This
+// subsumes the older -trace text output for plan-level questions;
+// -trace remains for the counter-exact span tree (buffer-pool and
+// index deltas per operator) and cannot be combined with -explain,
+// which owns the run's tracer.
 //
 // -maxmem caps, in bytes, the output content the streaming executor's
 // late-materialize sink may fetch; a query that would exceed the cap
@@ -53,12 +65,14 @@ import (
 func main() {
 	dbPath := flag.String("db", "timber.db", "database file")
 	queryFile := flag.String("f", "", "read the query from this file")
-	strategy := flag.String("plan", "groupby", "execution strategy: logical, physical, direct, direct-nested, direct-batch, groupby, groupby-mat, replicating")
+	strategy := flag.String("plan", "auto", "execution strategy: auto (cost-based planner; default), logical, physical, direct, direct-nested, direct-batch, groupby, groupby-mat, replicating")
 	poolMB := flag.Int("poolmb", 32, "buffer pool size in MiB")
 	parallel := flag.Int("parallel", 0, "worker bound for the physical executors (0 = GOMAXPROCS, 1 = sequential)")
 	maxMem := flag.Int64("maxmem", 0, "cap, in bytes, on the output content the streaming executor materializes; the query fails cleanly (no partial output) past it (0 = unlimited)")
 	showPlans := flag.Bool("plans", true, "print the naive and rewritten plans")
 	quiet := flag.Bool("q", false, "suppress result trees (print timing only)")
+	explain := flag.Bool("explain", false, "print the planner's EXPLAIN report (plan choice, estimates vs actuals) to stderr")
+	explainFile := flag.String("explainfile", "", "write the EXPLAIN report as JSON to this file")
 	trace := flag.Bool("trace", false, "print a per-operator EXPLAIN ANALYZE tree to stderr")
 	traceFile := flag.String("tracefile", "", "write the per-operator trace as JSON to this file")
 	metricsFile := flag.String("metricsfile", "", "write the engine's metric registry as Prometheus text exposition to this file after the run")
@@ -85,7 +99,7 @@ func main() {
 	// run owns the database lifecycle: by the time it returns, the
 	// deferred Close has executed (and its error has been folded into
 	// run's), so exiting here never skips cleanup.
-	if err := run(*dbPath, query, *strategy, *poolMB, *parallel, *maxMem, *showPlans, *quiet, *trace, *traceFile, *metricsFile); err != nil {
+	if err := run(*dbPath, query, *strategy, *poolMB, *parallel, *maxMem, *showPlans, *quiet, *explain, *explainFile, *trace, *traceFile, *metricsFile); err != nil {
 		fmt.Fprintln(os.Stderr, "timber-query:", err)
 		os.Exit(1)
 	}
@@ -104,10 +118,14 @@ func servePprof(addr string) {
 	}()
 }
 
-func run(dbPath, query, strategy string, poolMB, parallel int, maxMem int64, showPlans, quiet, trace bool, traceFile, metricsFile string) (err error) {
+func run(dbPath, query, strategy string, poolMB, parallel int, maxMem int64, showPlans, quiet, explain bool, explainFile string, trace bool, traceFile, metricsFile string) (err error) {
 	strat, err := exec.ParseStrategy(strategy)
 	if err != nil {
 		return err
+	}
+	wantExplain := explain || explainFile != ""
+	if wantExplain && (trace || traceFile != "") {
+		return fmt.Errorf("-explain owns the run's tracer; drop -trace/-tracefile or run them separately")
 	}
 
 	db, err := storage.Open(dbPath, storage.Options{PoolPages: poolMB * 1024 * 1024 / 8192})
@@ -152,7 +170,14 @@ func run(dbPath, query, strategy string, poolMB, parallel int, maxMem int64, sho
 	defer stop()
 
 	start := time.Now()
-	res, err := pq.Execute(ctx, engine.ExecOptions{Strategy: strat, Parallelism: parallel, MaxMaterializeBytes: maxMem, Tracer: tr})
+	opts := engine.ExecOptions{Strategy: strat, Parallelism: parallel, MaxMaterializeBytes: maxMem, Tracer: tr}
+	var res *engine.Result
+	var report *engine.Explain
+	if wantExplain {
+		report, res, err = pq.ExplainExecute(ctx, opts)
+	} else {
+		res, err = pq.Execute(ctx, opts)
+	}
 	if err != nil {
 		// Nothing has been printed yet: a run that exceeds -maxmem (or
 		// fails any other way) produces no partial output.
@@ -160,8 +185,25 @@ func run(dbPath, query, strategy string, poolMB, parallel int, maxMem int64, sho
 	}
 	elapsed := time.Since(start)
 	trees := res.Trees
-	if res.Strategy != strat {
+	if strat != exec.StrategyAuto && res.Strategy != strat {
 		fmt.Fprintf(os.Stderr, "note: grouping idiom not detected; ran the %s plan instead of %s\n", res.Strategy, strat)
+	}
+
+	if report != nil {
+		if explain {
+			fmt.Fprintln(os.Stderr, "--- EXPLAIN ---")
+			fmt.Fprint(os.Stderr, report.Text())
+		}
+		if explainFile != "" {
+			raw, jerr := report.JSON()
+			if jerr != nil {
+				return jerr
+			}
+			if werr := os.WriteFile(explainFile, append(raw, '\n'), 0o644); werr != nil {
+				return werr
+			}
+			fmt.Fprintln(os.Stderr, "explain report written to", explainFile)
+		}
 	}
 
 	if tr != nil {
@@ -206,7 +248,7 @@ func run(dbPath, query, strategy string, poolMB, parallel int, maxMem int64, sho
 		}
 	}
 	fmt.Fprintf(os.Stderr, "%d result trees in %v (%s strategy); pool: %v\n",
-		len(trees), elapsed.Round(time.Millisecond), strategy, db.Stats())
+		len(trees), elapsed.Round(time.Millisecond), res.Strategy, db.Stats())
 	if info, ierr := db.SizeInfo(); ierr == nil {
 		size := fmt.Sprintf("size: %d bytes on disk (%d pages: %d heap, %d index)",
 			info.TotalBytes, info.TotalPages, info.HeapPages, info.IndexPages)

@@ -187,18 +187,23 @@ func (s *server) instrument(next http.Handler) http.Handler {
 }
 
 // queryRequest is the /query request body (POST) or query-parameter
-// set (GET: q, strategy, timeout_ms).
+// set (GET: q, strategy, timeout_ms, parallelism, explain).
 type queryRequest struct {
 	// Query is the XQuery-subset text to run.
 	Query string `json:"query"`
-	// Strategy names an exec.Strategy ("" = the engine default:
-	// groupby when the rewrite applies, physical otherwise).
+	// Strategy names an exec.Strategy ("" = auto: the cost-based
+	// planner picks the plan; an explicit name is an override).
 	Strategy string `json:"strategy,omitempty"`
 	// TimeoutMS overrides the service's default per-request timeout,
 	// capped at the configured maximum.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 	// Parallelism overrides the per-query worker bound.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Explain requests the planner's EXPLAIN report alongside the
+	// result: plan choice, costed candidates, and per-operator
+	// estimates joined against the run's actual row counts
+	// (GET: ?explain=1).
+	Explain bool `json:"explain,omitempty"`
 }
 
 // queryResponse is the /query success body. Trees carries the result
@@ -210,6 +215,8 @@ type queryResponse struct {
 	Strategy  string  `json:"strategy"`
 	CacheHit  bool    `json:"cache_hit"`
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Explain is present when the request asked for it.
+	Explain *engine.Explain `json:"explain,omitempty"`
 }
 
 type errorResponse struct {
@@ -248,6 +255,13 @@ func (s *server) parseRequest(r *http.Request) (queryRequest, error) {
 				return req, fmt.Errorf("bad parallelism %q", v)
 			}
 			req.Parallelism = n
+		}
+		if v := q.Get("explain"); v != "" {
+			b, err := strconv.ParseBool(v)
+			if err != nil {
+				return req, fmt.Errorf("bad explain %q", v)
+			}
+			req.Explain = b
 		}
 	case http.MethodPost:
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -328,13 +342,22 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// in hand if the run turns out slow, with no second execution.
 	qid := obs.QueryIDFrom(r.Context())
 	var tracer *obs.Tracer
-	if s.cfg.slowQuery > 0 {
+	if s.cfg.slowQuery > 0 && !req.Explain {
+		// An explain run owns its tracer (ExplainExecute joins the
+		// trace's actuals into the report), so the slow-query tracer
+		// only wraps plain executions.
 		tracer = obs.New(qid, nil)
 		eo.Tracer = tracer
 	}
 
 	start := time.Now()
-	res, err := s.execute(ctx, pq, eo)
+	var res *engine.Result
+	var report *engine.Explain
+	if req.Explain {
+		report, res, err = pq.ExplainExecute(ctx, eo)
+	} else {
+		res, err = s.execute(ctx, pq, eo)
+	}
 	elapsed := time.Since(start)
 	strategy := ""
 	if res != nil {
@@ -357,6 +380,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Strategy:  res.Strategy.String(),
 		CacheHit:  cacheHit,
 		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+		Explain:   report,
 	})
 }
 

@@ -589,3 +589,71 @@ func TestRequestLogAndGauges(t *testing.T) {
 		t.Errorf("draining gauge = %v after setDraining", got)
 	}
 }
+
+// TestQueryExplain: ?explain=1 (GET) and {"explain": true} (POST)
+// attach the planner's report — plan choice, candidates, and operator
+// estimates joined against the run's actuals — without changing the
+// result bytes.
+func TestQueryExplain(t *testing.T) {
+	s := testServer(t, config{})
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(queryRequest{Query: query1, Explain: true})
+	resp, raw := postQuery(t, ts, string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, raw)
+	}
+	qr := decodeQueryResponse(t, raw)
+	if qr.Explain == nil {
+		t.Fatal("explain=true returned no explain report")
+	}
+	if !qr.Explain.Executed {
+		t.Error("explain report not marked executed")
+	}
+	if qr.Explain.Strategy != qr.Strategy {
+		t.Errorf("explain strategy %q != response strategy %q", qr.Explain.Strategy, qr.Strategy)
+	}
+	if len(qr.Explain.Operators) == 0 {
+		t.Error("explain report has no operator estimates")
+	}
+	for _, op := range qr.Explain.Operators {
+		if op.ActualRows < 0 {
+			t.Errorf("operator %q missing actual rows", op.Op)
+		}
+	}
+
+	// Plain request: no report attached.
+	plain, _ := json.Marshal(queryRequest{Query: query1})
+	if _, raw := postQuery(t, ts, string(plain)); decodeQueryResponse(t, raw).Explain != nil {
+		t.Error("explain report attached without being requested")
+	}
+
+	// GET form.
+	u := ts.URL + "/query?explain=1&q=" + url.QueryEscape(query1)
+	getResp, err := http.Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer getResp.Body.Close()
+	var getQR queryResponse
+	if err := json.NewDecoder(getResp.Body).Decode(&getQR); err != nil {
+		t.Fatal(err)
+	}
+	if getQR.Explain == nil || !getQR.Explain.Executed {
+		t.Error("GET ?explain=1 returned no executed explain report")
+	}
+	if getQR.Trees != qr.Trees {
+		t.Error("explain GET served different result bytes")
+	}
+
+	// Bad explain value is a 400.
+	bad, err := http.Get(ts.URL + "/query?explain=sure&q=" + url.QueryEscape(query1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad explain value: status = %d, want 400", bad.StatusCode)
+	}
+}

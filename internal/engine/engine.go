@@ -24,7 +24,9 @@ import (
 	"timber/internal/exec"
 	"timber/internal/obs"
 	"timber/internal/opt"
+	"timber/internal/opt/planner"
 	"timber/internal/plan"
+	"timber/internal/stats"
 	"timber/internal/storage"
 	"timber/internal/xmltree"
 	"timber/internal/xq"
@@ -73,7 +75,27 @@ type Engine struct {
 	querySeconds   *obs.HistogramVec
 	prepareSeconds *obs.HistogramVec
 	strategyTotal  *obs.CounterVec
+
+	// Planner family: plannerPicks counts cost-based decisions by
+	// chosen strategy (auto executions only — explicit strategies are
+	// overrides, not picks); plannerEstErr distributes the planner's
+	// relative cardinality-estimation error, measured against the
+	// actuals of the run it planned.
+	plannerPicks  *obs.CounterVec
+	plannerEstErr *obs.HistogramVec
+
+	// Cardinality-statistics cache for the planner, revalidated by
+	// storage epoch (any commit moves the epoch, so a hit can never
+	// serve statistics from before a data change).
+	statsMu    sync.Mutex
+	statsCat   *stats.Catalog
+	statsEpoch uint64
+	statsOK    bool
 }
+
+// estErrBuckets bound the planner's relative estimation error
+// histogram: |estimate - actual| / max(actual, 1).
+var estErrBuckets = []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 5, 10}
 
 // New creates an engine over db.
 func New(db *storage.DB, opts Options) *Engine {
@@ -104,6 +126,11 @@ func New(db *storage.DB, opts Options) *Engine {
 			obs.DefaultLatencyBuckets, "cache"),
 		strategyTotal: reg.CounterVec("engine_strategy_total",
 			"Executions by chosen strategy (after fallback).", "strategy"),
+		plannerPicks: reg.CounterVec("planner_picks_total",
+			"Cost-based planner decisions by chosen strategy (auto executions).", "strategy"),
+		plannerEstErr: reg.HistogramVec("planner_estimate_error",
+			"Relative error of planner cardinality estimates vs actuals.",
+			estErrBuckets, "quantity"),
 	}
 }
 
@@ -254,11 +281,15 @@ func (e *Engine) compile(query string) (*PreparedQuery, error) {
 
 // ExecOptions are the per-execution knobs of a prepared query.
 type ExecOptions struct {
-	// Strategy selects the physical plan. Spec-level strategies
-	// (groupby, direct, ...) require the grouping rewrite; when it did
-	// not apply they fall back to the generic physical plan, so the
-	// zero value always works. StrategyLogical forces the in-memory
-	// reference evaluator.
+	// Strategy selects the physical plan. The zero value,
+	// exec.StrategyAuto, hands the choice to the cost-based planner:
+	// the engine costs the candidate plans against the database's
+	// cardinality statistics (building them on first use) and runs the
+	// cheapest; Result.Strategy reports what ran. An explicit strategy
+	// is an override. Spec-level strategies (groupby, direct, ...)
+	// require the grouping rewrite; when it did not apply they fall
+	// back to the generic physical plan, so every value always works.
+	// StrategyLogical forces the in-memory reference evaluator.
 	Strategy exec.Strategy
 	// Parallelism overrides the engine default when non-zero.
 	Parallelism int
@@ -306,6 +337,71 @@ func (pq *PreparedQuery) Execute(ctx context.Context, o ExecOptions) (*Result, e
 	return res, nil
 }
 
+// resolvePlan maps the requested strategy to the one to run: the
+// planner decides for StrategyAuto on grouping queries (returning its
+// Decision); queries outside the grouping family fall back to the
+// generic physical plan as before.
+func (pq *PreparedQuery) resolvePlan(requested exec.Strategy) (exec.Strategy, *planner.Decision) {
+	if !pq.Applied && requested != exec.StrategyLogical && requested != exec.StrategyPhysical {
+		return exec.StrategyPhysical, nil
+	}
+	if requested == exec.StrategyAuto {
+		dec := planner.Choose(pq.eng.cardStats(), pq.Spec)
+		return dec.Strategy, dec
+	}
+	return requested, nil
+}
+
+// cardStats returns the database's cardinality statistics for the
+// planner, building them transactionally on first use (or after an
+// offline bulk load left them stale) and caching per storage epoch.
+// Returns nil when statistics cannot be obtained at all — the planner
+// then falls back to the default strategy.
+func (e *Engine) cardStats() *stats.Catalog {
+	epoch := e.db.Epoch()
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	if e.statsOK && e.statsEpoch == epoch {
+		return e.statsCat
+	}
+	cat, err := e.db.CardStats()
+	if err != nil || !cat.Fresh {
+		// Absent or stale: run the ANALYZE scan. Durability is not worth
+		// an fsync on the query path — statistics rebuild on demand.
+		if built, berr := e.db.BuildCardStats(storage.SyncNone); berr == nil {
+			cat = built
+		} else if err != nil {
+			cat = nil // none persisted and the build failed
+		}
+	}
+	e.statsCat, e.statsEpoch, e.statsOK = cat, e.db.Epoch(), true
+	return cat
+}
+
+// observePlan records the planner metrics for one auto execution: the
+// pick, and the relative estimation error against the run's actuals.
+func (e *Engine) observePlan(dec *planner.Decision, strat exec.Strategy, res *Result) {
+	if dec == nil {
+		return
+	}
+	e.plannerPicks.With(strat.String()).Inc()
+	if dec.StatsUsed && res != nil {
+		e.plannerEstErr.With("groups").Observe(relErr(dec.Groups, float64(res.Stats.Groups)))
+	}
+}
+
+// relErr is the relative estimation error |est-actual| / max(actual, 1).
+func relErr(est, actual float64) float64 {
+	diff := est - actual
+	if diff < 0 {
+		diff = -diff
+	}
+	if actual < 1 {
+		actual = 1
+	}
+	return diff / actual
+}
+
 func (pq *PreparedQuery) execute(ctx context.Context, o ExecOptions) (*Result, error) {
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
@@ -324,10 +420,7 @@ func (pq *PreparedQuery) execute(ctx context.Context, o ExecOptions) (*Result, e
 		Ctx:                 ctx,
 		Metrics:             pq.eng.reg,
 	}
-	strat := o.Strategy
-	if !pq.Applied && strat != exec.StrategyLogical && strat != exec.StrategyPhysical {
-		strat = exec.StrategyPhysical
-	}
+	strat, dec := pq.resolvePlan(o.Strategy)
 	switch strat {
 	case exec.StrategyLogical:
 		out, err := exec.ExecLogical(pq.eng.db, pq.Naive)
@@ -348,7 +441,9 @@ func (pq *PreparedQuery) execute(ctx context.Context, o ExecOptions) (*Result, e
 		if err != nil {
 			return nil, err
 		}
-		return &Result{Trees: res.Trees, Stats: res.Stats, Strategy: strat}, nil
+		out := &Result{Trees: res.Trees, Stats: res.Stats, Strategy: strat}
+		pq.eng.observePlan(dec, strat, out)
+		return out, nil
 	}
 }
 

@@ -63,10 +63,11 @@ type Spec struct {
 	OrderPath Path
 	OrderDesc bool
 	// Strategy selects the physical plan Run dispatches to. The zero
-	// value is StrategyGroupBy — the plan the optimizer rewrite
-	// targets. Run-time knobs (parallelism, tracing, cancellation) are
-	// NOT part of the Spec; they travel in Options so one cached Spec
-	// serves many differently-configured runs.
+	// value is StrategyAuto — through the engine the cost-based
+	// planner picks the plan; straight through Run it falls back to
+	// the groupby plan. Run-time knobs (parallelism, tracing,
+	// cancellation) are NOT part of the Spec; they travel in Options
+	// so one cached Spec serves many differently-configured runs.
 	Strategy Strategy
 }
 

@@ -2,6 +2,8 @@ package exec
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"timber/internal/storage"
 )
@@ -13,10 +15,17 @@ import (
 type Strategy int
 
 const (
+	// StrategyAuto — the zero value — delegates the choice to the
+	// cost-based planner: engine.Execute costs the candidate plans
+	// against the database's cardinality statistics and runs the
+	// cheapest, reporting what actually ran in Result.Strategy. Code
+	// that calls exec.Run directly (below the engine, no planner) gets
+	// the groupby plan, the paper's default.
+	StrategyAuto Strategy = iota
 	// StrategyGroupBy is the TIMBER groupby plan with identifier-only
-	// processing and deferred value population (Sec. 5.3) — the default
-	// and the plan the optimizer's rewrite targets.
-	StrategyGroupBy Strategy = iota
+	// processing and deferred value population (Sec. 5.3) — the plan
+	// the optimizer's rewrite targets and the planner's fallback.
+	StrategyGroupBy
 	// StrategyDirect is the fully materialized direct execution of the
 	// naive plan (Sec. 4.1 / Sec. 6 "direct").
 	StrategyDirect
@@ -47,6 +56,7 @@ const (
 
 // strategyNames maps each Strategy to its canonical flag spelling.
 var strategyNames = map[Strategy]string{
+	StrategyAuto:         "auto",
 	StrategyGroupBy:      "groupby",
 	StrategyDirect:       "direct",
 	StrategyDirectNested: "direct-nested",
@@ -72,7 +82,18 @@ func ParseStrategy(name string) (Strategy, error) {
 			return s, nil
 		}
 	}
-	return 0, fmt.Errorf("exec: unknown strategy %q (want groupby, groupby-mat, direct, direct-nested, direct-batch, replicating, logical or physical)", name)
+	return 0, fmt.Errorf("exec: unknown strategy %q (valid: %s)", name, strings.Join(StrategyNames(), ", "))
+}
+
+// StrategyNames returns every valid strategy spelling, sorted — the
+// enumeration ParseStrategy's error reports and the CLIs document.
+func StrategyNames() []string {
+	names := make([]string, 0, len(strategyNames))
+	for _, n := range strategyNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Run executes a Spec with the strategy it names. It is the single
@@ -91,7 +112,9 @@ func Run(db storage.Reader, spec Spec, o Options) (*Result, error) {
 	db, release := storage.Pin(db)
 	defer release()
 	switch spec.Strategy {
-	case StrategyGroupBy:
+	case StrategyAuto, StrategyGroupBy:
+		// Auto below the engine has no planner to consult; the groupby
+		// plan is the documented fallback.
 		return groupByExec(db, spec, o)
 	case StrategyGroupByMat:
 		return groupByMaterialized(db, spec, o)

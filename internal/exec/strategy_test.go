@@ -12,8 +12,9 @@ import (
 // itself, and unknown spellings are rejected with a helpful message.
 func TestParseStrategyRoundTrip(t *testing.T) {
 	all := []Strategy{
-		StrategyGroupBy, StrategyDirect, StrategyDirectNested,
-		StrategyDirectBatch, StrategyReplicating, StrategyLogical, StrategyPhysical,
+		StrategyAuto, StrategyGroupBy, StrategyGroupByMat, StrategyDirect,
+		StrategyDirectNested, StrategyDirectBatch, StrategyReplicating,
+		StrategyLogical, StrategyPhysical,
 	}
 	for _, s := range all {
 		got, err := ParseStrategy(s.String())
@@ -24,8 +25,19 @@ func TestParseStrategyRoundTrip(t *testing.T) {
 			t.Errorf("ParseStrategy(%q) = %v, want %v", s.String(), got, s)
 		}
 	}
-	if _, err := ParseStrategy("turbo"); err == nil || !strings.Contains(err.Error(), "turbo") {
+	// The error must name the bad input and enumerate every valid
+	// spelling.
+	_, err := ParseStrategy("turbo")
+	if err == nil || !strings.Contains(err.Error(), "turbo") {
 		t.Errorf("ParseStrategy(turbo) err = %v, want mention of the bad name", err)
+	}
+	for _, name := range StrategyNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("ParseStrategy error %q does not list %q", err, name)
+		}
+	}
+	if len(StrategyNames()) != len(all) {
+		t.Errorf("StrategyNames() has %d entries, want %d", len(StrategyNames()), len(all))
 	}
 }
 
@@ -54,9 +66,20 @@ func TestRunDispatchesEveryStrategy(t *testing.T) {
 			t.Errorf("Run(%v) = %v, want %v", strat, got, want)
 		}
 	}
+	// The zero value is auto — "planner decides" through the engine,
+	// groupby when Run is called below it.
 	var zero Spec
-	if zero.Strategy != StrategyGroupBy {
-		t.Errorf("zero-value Strategy = %v, want StrategyGroupBy", zero.Strategy)
+	if zero.Strategy != StrategyAuto {
+		t.Errorf("zero-value Strategy = %v, want StrategyAuto", zero.Strategy)
+	}
+	auto := spec
+	auto.Strategy = StrategyAuto
+	res, err := Run(db, auto, Options{})
+	if err != nil {
+		t.Fatalf("Run(auto): %v", err)
+	}
+	if got := sorted(rows(res.Trees)); !reflect.DeepEqual(got, want) {
+		t.Errorf("Run(auto) = %v, want %v", got, want)
 	}
 }
 

@@ -19,12 +19,13 @@ import (
 // lexicographically by pre-order node identifiers, and documents
 // ascend, which is exactly the order the global sort produces.
 type Cursor struct {
-	db    storage.Reader
-	order []*pattern.Node
-	colOf map[string]int
-	cands [][]storage.Posting
-	docs  []xmltree.DocID
-	stats *DBStats
+	db     storage.Reader
+	order  []*pattern.Node
+	colOf  map[string]int
+	jorder []int
+	cands  [][]storage.Posting
+	docs   []xmltree.DocID
+	stats  *DBStats
 
 	di  int
 	buf []DBBinding
@@ -57,13 +58,19 @@ func OpenCursor(db storage.Reader, pt *pattern.Tree) (*Cursor, error) {
 		}
 		cands[i] = cs
 	}
+	jorder := greedyJoinOrder(order, colOf, cands)
+	stats.JoinOrder = append(stats.JoinOrder, order[0].Label)
+	for _, i := range jorder {
+		stats.JoinOrder = append(stats.JoinOrder, order[i].Label)
+	}
 	return &Cursor{
-		db:    db,
-		order: order,
-		colOf: colOf,
-		cands: cands,
-		docs:  candidateDocs(cands[0]),
-		stats: stats,
+		db:     db,
+		order:  order,
+		colOf:  colOf,
+		jorder: jorder,
+		cands:  cands,
+		docs:   candidateDocs(cands[0]),
+		stats:  stats,
 	}, nil
 }
 
@@ -98,7 +105,7 @@ func (c *Cursor) fillDoc(doc xmltree.DocID) {
 			return
 		}
 	}
-	rows := matchRows(c.order, c.colOf, docCands, nil)
+	rows := matchRows(c.order, c.colOf, c.jorder, docCands, nil)
 	sort.SliceStable(rows, func(a, b int) bool {
 		for i := range c.order {
 			x, y := rows[a][i].ID(), rows[b][i].ID()

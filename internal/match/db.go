@@ -28,6 +28,13 @@ type DBStats struct {
 	RecordFilterFetches int
 	// Witnesses is the number of bindings produced.
 	Witnesses int
+	// JoinOrder lists the pattern labels in the order the
+	// structural-join edges were resolved: the root first, then each
+	// joined node, smallest candidate list first among the nodes whose
+	// parent is already bound. The witness output is identical for any
+	// order; the order only changes how fast intermediate row sets
+	// shrink.
+	JoinOrder []string
 }
 
 // recFields adapts a stored node record to pattern.Fields.
@@ -118,6 +125,18 @@ func MatchDBObs(ctx context.Context, db storage.Reader, pt *pattern.Tree, parall
 	candSp.Add("record_filter_fetches", int64(stats.RecordFilterFetches))
 	candSp.End()
 
+	// Pick the structural-join order greedily from the candidate
+	// counts: always extend the edge whose new node has the fewest
+	// candidates (among nodes whose parent is already bound), so the
+	// intermediate row sets stay as small as the statistics allow. The
+	// final sort below makes the witness output identical for every
+	// order.
+	jorder := greedyJoinOrder(order, colOf, cands)
+	stats.JoinOrder = append(stats.JoinOrder, order[0].Label)
+	for _, i := range jorder {
+		stats.JoinOrder = append(stats.JoinOrder, order[i].Label)
+	}
+
 	// Partition every candidate list by document: pattern edges relate
 	// nodes of one document, so each document's witnesses derive from
 	// its own candidate segments alone. Documents whose segment is
@@ -138,7 +157,7 @@ func MatchDBObs(ctx context.Context, db storage.Reader, pt *pattern.Tree, parall
 				return nil
 			}
 		}
-		rowsByDoc[k] = matchRows(order, colOf, docCands, jm)
+		rowsByDoc[k] = matchRows(order, colOf, jorder, docCands, jm)
 		return nil
 	}); err != nil {
 		joinSp.End()
@@ -185,20 +204,47 @@ func MatchDBObs(ctx context.Context, db storage.Reader, pt *pattern.Tree, parall
 	return out, stats, nil
 }
 
+// greedyJoinOrder sequences the non-root pattern nodes for the
+// edge-at-a-time join: among the nodes whose parent is already bound,
+// always take the one with the fewest candidates (pre-order position
+// breaks ties, keeping the order deterministic). The root is always
+// bound first — it is the only parentless node — so every node is
+// eventually placed.
+func greedyJoinOrder(order []*pattern.Node, colOf map[string]int, cands [][]storage.Posting) []int {
+	bound := make([]bool, len(order))
+	bound[0] = true
+	seq := make([]int, 0, len(order)-1)
+	for len(seq) < len(order)-1 {
+		best := -1
+		for i := 1; i < len(order); i++ {
+			if bound[i] || !bound[colOf[order[i].Parent.Label]] {
+				continue
+			}
+			if best < 0 || len(cands[i]) < len(cands[best]) {
+				best = i
+			}
+		}
+		seq = append(seq, best)
+		bound[best] = true
+	}
+	return seq
+}
+
 // matchRows runs the edge-at-a-time structural-join pipeline of
 // Sec. 5.2 over one document's candidate segments: seed rows with the
-// root candidates, then extend one pattern edge at a time with
-// single-pass containment joins. rows[r][i] is the posting bound to
-// order[i] in row r. Pure in-memory computation — no database access —
-// so per-document invocations run concurrently without coordination.
-func matchRows(order []*pattern.Node, colOf map[string]int, cands [][]storage.Posting, jm *sjoin.Metrics) [][]storage.Posting {
+// root candidates, then extend one pattern edge at a time, in jorder,
+// with single-pass containment joins. rows[r][i] is the posting bound
+// to order[i] in row r. Pure in-memory computation — no database
+// access — so per-document invocations run concurrently without
+// coordination.
+func matchRows(order []*pattern.Node, colOf map[string]int, jorder []int, cands [][]storage.Posting, jm *sjoin.Metrics) [][]storage.Posting {
 	rows := make([][]storage.Posting, len(cands[0]))
 	for r, p := range cands[0] {
 		row := make([]storage.Posting, len(order))
 		row[0] = p
 		rows[r] = row
 	}
-	for i := 1; i < len(order); i++ {
+	for _, i := range jorder {
 		pn := order[i]
 		pcol := colOf[pn.Parent.Label]
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -380,7 +381,7 @@ func TestMatchDBParMatchesSequentialProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		if len(seq) != len(par) || *seqStats != *parStats {
+		if len(seq) != len(par) || !reflect.DeepEqual(seqStats, parStats) {
 			return false
 		}
 		for i := range seq {

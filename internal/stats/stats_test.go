@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	c := New()
+	c.Epoch, c.Version, c.TotalNodes, c.Documents = 7, 0xdeadbeef00000003, 12345, 3
+	got, err := DecodeHeader(EncodeHeader(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(&Catalog{Epoch: 7, Version: 0xdeadbeef00000003, TotalNodes: 12345, Documents: 3, Tags: map[string]TagStat{}}) {
+		t.Errorf("header round trip: got %+v", got)
+	}
+}
+
+func TestTagRoundTrip(t *testing.T) {
+	in := TagStat{Postings: 1 << 40, Docs: 9, ValuePostings: 17, DistinctValues: 5}
+	got, err := DecodeTag(EncodeTag(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != in {
+		t.Errorf("tag round trip: got %+v, want %+v", got, in)
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	if _, err := DecodeHeader(nil); err == nil {
+		t.Error("empty header should fail")
+	}
+	if _, err := DecodeHeader([]byte{99, 1, 2, 3, 4}); err == nil {
+		t.Error("bad version byte should fail")
+	}
+	good := EncodeHeader(New())
+	if _, err := DecodeHeader(append(good, 0)); err == nil {
+		t.Error("trailing bytes should fail")
+	}
+	for cut := 0; cut < 4; cut++ {
+		if _, err := DecodeTag(EncodeTag(TagStat{1, 2, 3, 4})[:cut]); err == nil {
+			t.Errorf("truncated tag record (%d bytes) should fail", cut)
+		}
+	}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestEstimators(t *testing.T) {
+	c := New()
+	c.TotalNodes = 1000
+	c.Documents = 10
+	c.Tags["article"] = TagStat{Postings: 100, Docs: 10}
+	c.Tags["author"] = TagStat{Postings: 200, Docs: 10, ValuePostings: 200, DistinctValues: 50}
+	c.Tags["rare"] = TagStat{Postings: 4, Docs: 2}
+
+	if got := c.Postings("author"); !almost(got, 200) {
+		t.Errorf("Postings(author) = %v", got)
+	}
+	if got := c.Postings("absent"); !almost(got, 0) {
+		t.Errorf("Postings(absent) = %v, want 0", got)
+	}
+	if got := c.Selectivity("article"); !almost(got, 0.1) {
+		t.Errorf("Selectivity(article) = %v, want 0.1", got)
+	}
+	if got := c.AvgFanout("author"); !almost(got, 20) {
+		t.Errorf("AvgFanout(author) = %v, want 20", got)
+	}
+	if got := c.DistinctValues("author"); !almost(got, 50) {
+		t.Errorf("DistinctValues(author) = %v, want 50", got)
+	}
+	// Unknown distinct count falls back to postings/2.
+	if got := c.DistinctValues("article"); !almost(got, 50) {
+		t.Errorf("DistinctValues(article) = %v, want 50 (fallback)", got)
+	}
+	if got := c.AvgValueMatches("author"); !almost(got, 4) {
+		t.Errorf("AvgValueMatches(author) = %v, want 4", got)
+	}
+	if got := c.AvgValueMatches("article"); !almost(got, 1) {
+		t.Errorf("AvgValueMatches(article) = %v, want 1 (unknown)", got)
+	}
+	// rare appears in 2 of author's 10 docs.
+	if got := c.DocOverlap("rare", "author"); !almost(got, 0.2) {
+		t.Errorf("DocOverlap(rare, author) = %v, want 0.2", got)
+	}
+	if got := c.DocOverlap("author", "rare"); !almost(got, 1) {
+		t.Errorf("DocOverlap(author, rare) = %v, want 1", got)
+	}
+
+	// Edge estimate: author postings thinned by rare's doc overlap,
+	// capped by parentRows * fanout.
+	if got := c.EdgeCardinality("rare", 4, "author"); !almost(got, 40) {
+		t.Errorf("EdgeCardinality(rare, 4, author) = %v, want 40 (200 * 0.2)", got)
+	}
+	if got := c.EdgeCardinality("rare", 1, "author"); !almost(got, 20) {
+		t.Errorf("EdgeCardinality(rare, 1, author) = %v, want 20 (fanout cap)", got)
+	}
+}
+
+func TestEqualIgnoresFresh(t *testing.T) {
+	a := New()
+	a.Tags["x"] = TagStat{Postings: 1}
+	b := New()
+	b.Tags["x"] = TagStat{Postings: 1}
+	b.Fresh = true
+	if !a.Equal(b) {
+		t.Error("Equal must ignore Fresh")
+	}
+	b.Tags["x"] = TagStat{Postings: 2}
+	if a.Equal(b) {
+		t.Error("Equal must see tag differences")
+	}
+}

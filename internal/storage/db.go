@@ -588,7 +588,10 @@ func (db *DB) loadCatalog(root pagestore.PageID) ([]DocInfo, error) {
 	t := db.tree(root)
 	var docs []DocInfo
 	var inner error
-	err := t.ScanPrefix(nil, func(_, v []byte) bool {
+	err := t.ScanPrefix(nil, func(k, v []byte) bool {
+		if isStatsKey(k) {
+			return true
+		}
 		d, err := decodeDocInfo(v)
 		if err != nil {
 			inner = err

@@ -4,6 +4,7 @@ import (
 	"timber/internal/btree"
 	"timber/internal/obs"
 	"timber/internal/pagestore"
+	"timber/internal/stats"
 	"timber/internal/xmltree"
 )
 
@@ -39,6 +40,7 @@ type Reader interface {
 	// Catalog and configuration.
 	Documents() []DocInfo
 	DocumentByName(name string) (DocInfo, bool)
+	CardStats() (*stats.Catalog, error)
 	HasValueIndex() bool
 	Compact() bool
 	Epoch() uint64
