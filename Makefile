@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench experiments fuzz-smoke trace-check serve-check metrics-check serve-bench stream-check bench-check wal-check plan-check
+.PHONY: all build test vet race check bench experiments fuzz-smoke trace-check serve-check metrics-check serve-bench stream-check bench-check wal-check plan-check events-check events-bench
 
 all: build
 
@@ -105,6 +105,23 @@ plan-check:
 	$(GO) test -race ./internal/opt/planner/ ./internal/stats/
 	$(GO) test -race -run 'Planner|CardStats|Auto|Explain|ParseStrategy' \
 		./internal/storage/ ./internal/exec/ ./internal/engine/
+
+# events-check gates the event journal and flight recorder: the schema
+# lint (every emitted event type registered, documented, and present in
+# DESIGN.md §7.3), the lock-free ring and full-stack /debug/events
+# hammers, the journal-on ≡ journal-off byte-identity suite, and the
+# /debug endpoint contract (filters, slow-query correlation, pprof
+# gated behind -debug) — all under the race detector.
+events-check:
+	$(GO) run ./cmd/eventslint -root . -design DESIGN.md
+	$(GO) test -race -run 'Journal|Event|Flight|Debug|Pprof|SlowQuery|Anomal|Dump' \
+		./internal/obs/ ./internal/engine/ ./cmd/timber-serve/
+
+# events-bench measures the journal's query-path overhead (E1 wall
+# time with the journal off vs on) and writes BENCH_events.json; the
+# delta must stay within run-to-run noise.
+events-bench:
+	$(GO) run ./cmd/experiments -exp none -eventsfile BENCH_events.json
 
 # serve-bench hammers an in-process timber-serve with concurrent
 # clients and writes the server-side latency quantiles (read from the

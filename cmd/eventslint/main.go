@@ -1,0 +1,144 @@
+// Command eventslint is the event-schema gate behind `make
+// events-check`: it cross-checks the journal's event registry
+// (internal/obs.EventTypes) against the tree's actual emission sites
+// and the documentation. It fails when
+//
+//   - an emission site references an event constant that is not
+//     registered (the /debug/events filter and schema view would not
+//     know it),
+//   - a registered type is never emitted anywhere (dead schema),
+//   - a registered type carries no documentation line, or
+//   - a registered wire name does not appear in DESIGN.md (the event
+//     taxonomy section must stay complete).
+//
+// Emission sites are found textually: every `obs.EvXxx` reference in a
+// non-test Go file counts. The registry itself lives in internal/obs,
+// which references its constants unqualified, so the scan naturally
+// excludes it.
+//
+// Usage:
+//
+//	eventslint -root . -design DESIGN.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"timber/internal/obs"
+)
+
+var emitRE = regexp.MustCompile(`\bobs\.(Ev[A-Z][A-Za-z0-9]*)\b`)
+
+func main() {
+	root := flag.String("root", ".", "repository root to scan for emission sites")
+	design := flag.String("design", "DESIGN.md", "design document the wire names must appear in")
+	flag.Parse()
+	if err := run(*root, *design); err != nil {
+		fmt.Fprintln(os.Stderr, "eventslint:", err)
+		os.Exit(1)
+	}
+}
+
+func run(root, design string) error {
+	emitted, err := scanEmissions(root)
+	if err != nil {
+		return err
+	}
+	designText, err := os.ReadFile(design)
+	if err != nil {
+		return fmt.Errorf("read %s: %w", design, err)
+	}
+
+	registry := obs.EventTypes()
+	known := map[string]bool{"EvNone": true} // the zero value is never emitted
+	for _, info := range registry {
+		known[info.ConstName] = true
+	}
+
+	var errs []string
+	for constName, sites := range emitted {
+		if !known[constName] {
+			errs = append(errs, fmt.Sprintf("obs.%s is emitted (%s) but not registered in internal/obs eventInfos",
+				constName, strings.Join(sites, ", ")))
+		}
+	}
+	for _, info := range registry {
+		if len(emitted[info.ConstName]) == 0 {
+			errs = append(errs, fmt.Sprintf("obs.%s (%q) is registered but never emitted", info.ConstName, info.Name))
+		}
+		if strings.TrimSpace(info.Doc) == "" {
+			errs = append(errs, fmt.Sprintf("obs.%s (%q) has no documentation line", info.ConstName, info.Name))
+		}
+		if !strings.Contains(string(designText), info.Name) {
+			errs = append(errs, fmt.Sprintf("event %q is not documented in %s", info.Name, design))
+		}
+	}
+	for _, e := range errs {
+		fmt.Fprintln(os.Stderr, "eventslint:", e)
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("%d schema violations", len(errs))
+	}
+	fmt.Printf("eventslint: OK — %d event types registered, emitted and documented\n", len(registry))
+	return nil
+}
+
+// stripLineComments drops everything from `//` to end of line so
+// placeholder names in documentation (e.g. "obs.EvXxx") don't count as
+// emission sites. Good enough for a gate: `//` inside a string literal
+// would only hide that line, never invent a site.
+func stripLineComments(src string) string {
+	lines := strings.Split(src, "\n")
+	for i, line := range lines {
+		if idx := strings.Index(line, "//"); idx >= 0 {
+			lines[i] = line[:idx]
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// scanEmissions maps event constant names to the files that reference
+// them, over every non-test Go file under root.
+func scanEmissions(root string) (map[string][]string, error) {
+	emitted := map[string][]string{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, rerr := filepath.Rel(root, path)
+		if rerr != nil {
+			rel = path
+		}
+		for _, m := range emitRE.FindAllStringSubmatch(stripLineComments(string(data)), -1) {
+			sites := emitted[m[1]]
+			if len(sites) == 0 || sites[len(sites)-1] != rel {
+				emitted[m[1]] = append(sites, rel)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return emitted, nil
+}

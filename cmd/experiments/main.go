@@ -18,6 +18,12 @@
 // JSON report (e.g. BENCH_fullscale.json). -exp none skips the
 // strategy tables, so the ladder runs alone. -assertreduction makes
 // the run fail unless the index shrank by the given percentage.
+//
+// -eventsfile measures the event-journal overhead: the same database
+// is built with the journal off and on, E1 runs -eventsreps times on
+// each through the full engine path, and the wall-time medians, delta
+// and result-hash equality land in the named JSON report (e.g.
+// BENCH_events.json).
 package main
 
 import (
@@ -47,6 +53,8 @@ func main() {
 	fullArticles := flag.String("fullarticles", "44000,440000", "comma-separated article counts for the -fullfile ladder")
 	full10x := flag.Bool("full10x", false, "append the 10x-paper scale (4.4M articles; needs several GB) to the -fullfile ladder")
 	assertReduction := flag.Float64("assertreduction", 0, "fail unless the -fullfile ladder's index bytes-on-disk reduction meets this percentage at every scale (0 = no check)")
+	eventsFile := flag.String("eventsfile", "", "measure the event-journal overhead (E1 wall time with the journal off vs on) and write the JSON report here (e.g. BENCH_events.json)")
+	eventsReps := flag.Int("eventsreps", 5, "timed repetitions per variant in the -eventsfile run")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	verbose := flag.Bool("v", false, "print loading progress")
 	flag.Parse()
@@ -77,6 +85,29 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *eventsFile != "" {
+		if err := runEventsOverhead(*articles, *eventsReps, *poolMB, *seed, *eventsFile); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runEventsOverhead measures the journal-on vs journal-off E1 delta
+// and writes its report.
+func runEventsOverhead(articles, reps, poolMB int, seed int64, path string) error {
+	fmt.Println("event-journal overhead (E1, journal off vs on):")
+	rep, err := bench.RunEventsOverhead(articles, reps, poolMB, seed, func(format string, args ...any) {
+		fmt.Printf("  "+format+"\n", args...)
+	})
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(path); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
 }
 
 // parseScales resolves the -fullarticles list, appending the 10x scale

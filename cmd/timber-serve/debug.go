@@ -1,0 +1,165 @@
+package main
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+
+	"timber/internal/obs"
+)
+
+// The /debug tree is the server's read-only introspection surface over
+// the event journal and the storage engine:
+//
+//	GET /debug/events?type=a,b&qid=...&since=SEQ&limit=N
+//	    JSON lines, one journal event per line, oldest first. type
+//	    filters by wire name (comma-separated), qid by query ID, since
+//	    by journal sequence (a resumption cursor: pass the last seq you
+//	    saw), limit keeps the newest N.
+//	GET /debug/events?schema=1
+//	    The registered event taxonomy (name, const, doc) as JSON.
+//	GET /debug/flight[?qid=...]
+//	    The flight recorder: recent query records with their operator
+//	    traces, WAL/checkpoint correlation and EXPLAIN joins; ?qid=
+//	    returns that query's record alone (404 when it has aged out).
+//	GET /debug/anomalies
+//	    The last-K error/anomaly events, oldest first.
+//	GET /debug/storage
+//	    Current epoch, commit/durability watermarks, pinned snapshots,
+//	    WAL tail, checkpoint count and reclamation backlog.
+//
+// All of it mounts on a separate mux under /debug/ so the query
+// endpoints never share a route table with introspection, and pprof
+// joins that mux only when -debug is set — profiling endpoints must be
+// an explicit operator choice, never ambiently exposed.
+
+// debugHandler builds the /debug mux. pprof is registered only under
+// -debug; without it /debug/pprof/ falls through to the mux's 404.
+func (s *server) debugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/events", s.handleDebugEvents)
+	mux.HandleFunc("/debug/flight", s.handleDebugFlight)
+	mux.HandleFunc("/debug/anomalies", s.handleDebugAnomalies)
+	mux.HandleFunc("/debug/storage", s.handleDebugStorage)
+	if s.cfg.debug {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// journal returns the engine's event journal (nil when disabled).
+func (s *server) journal() *obs.Journal { return s.eng.DB().Journal() }
+
+// requireJournal writes the 503 that tells an operator how to enable
+// events; returns nil if the journal is off.
+func (s *server) requireJournal(w http.ResponseWriter) *obs.Journal {
+	j := s.journal()
+	if j == nil {
+		writeError(w, http.StatusServiceUnavailable, "event journal disabled (start with -events N)")
+	}
+	return j
+}
+
+func (s *server) handleDebugEvents(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	q := r.URL.Query()
+	if v := q.Get("schema"); v != "" {
+		writeJSON(w, http.StatusOK, obs.EventTypes())
+		return
+	}
+	j := s.requireJournal(w)
+	if j == nil {
+		return
+	}
+	var f obs.EventFilter
+	if v := q.Get("type"); v != "" {
+		for _, name := range strings.Split(v, ",") {
+			t, ok := obs.EventTypeByName(strings.TrimSpace(name))
+			if !ok {
+				writeError(w, http.StatusBadRequest, "unknown event type %q (GET /debug/events?schema=1 lists them)", name)
+				return
+			}
+			f.Types = append(f.Types, t)
+		}
+	}
+	f.QID = q.Get("qid")
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad since %q", v)
+			return
+		}
+		f.SinceSeq = n
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		f.Limit = n
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = j.WriteEvents(w, f)
+}
+
+func (s *server) handleDebugFlight(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	j := s.requireJournal(w)
+	if j == nil {
+		return
+	}
+	if qid := r.URL.Query().Get("qid"); qid != "" {
+		rec, ok := j.FlightByQID(qid)
+		if !ok {
+			writeError(w, http.StatusNotFound, "no flight record for %q (retention: last %d queries)", qid, obs.DefaultFlightRecords)
+			return
+		}
+		writeJSON(w, http.StatusOK, rec)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Flights())
+}
+
+func (s *server) handleDebugAnomalies(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	j := s.requireJournal(w)
+	if j == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Anomalies())
+}
+
+func (s *server) handleDebugStorage(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.eng.DB().DebugStatus())
+}
+
+// dumpJournal flushes the journal to a timestamped file in the
+// configured crash-dump directory and logs where it went. Called from
+// the panic middleware and the SIGQUIT handler; must never panic.
+func (s *server) dumpJournal(reason string) {
+	j := s.journal()
+	if j == nil {
+		return
+	}
+	path, err := j.DumpToFile(s.cfg.crashDir)
+	if err != nil {
+		s.logger.Error("event journal dump failed", "reason", reason, "err", err)
+		return
+	}
+	s.logger.Error("event journal dumped", "reason", reason, "path", path)
+}

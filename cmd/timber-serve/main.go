@@ -35,16 +35,32 @@
 //	GET  /metrics  Prometheus text exposition (counters, gauges, latency
 //	               histograms, Go runtime stats); ?format=text selects
 //	               the terse name-value format instead.
+//	GET  /debug/events     event journal as JSON lines (?type=, ?qid=,
+//	                       ?since=SEQ, ?limit=N filter; ?schema=1 lists
+//	                       the registered event taxonomy).
+//	GET  /debug/flight     flight recorder: recent query records with
+//	                       operator traces, WAL/checkpoint correlation
+//	                       and EXPLAIN joins (?qid= selects one).
+//	GET  /debug/anomalies  the last-K error/anomaly events.
+//	GET  /debug/storage    epoch, commit/durability watermarks, pinned
+//	                       snapshots, WAL tail, reclaim backlog.
+//	GET  /debug/pprof/...  net/http/pprof, mounted only under -debug.
 //
 // Observability: every request is logged as one structured log/slog
 // line (text by default, JSON with -logjson) carrying the query ID,
 // method, path, status and latency. With -slowquery D, each query is
 // traced and any execution taking at least D additionally logs a
 // "slow query" line whose trace field holds the full per-operator
-// span tree, root named by the same query ID. -hammer N runs the
-// self-benchmark: serve in-process, fire N concurrent /query
-// requests, and report the server-side latency quantiles from the
-// http_request_seconds histogram.
+// span tree, root named by the same query ID, plus the WAL commit
+// window and checkpoint count the run overlapped; /debug/flight?qid=
+// serves the matching record. -events N sizes the in-memory event
+// journal the storage engine, WAL, planner and executor write into
+// (0 disables it and every /debug journal endpoint answers 503). On
+// panic or SIGQUIT the journal is dumped to a timestamped JSON-lines
+// file in -crashdump's directory. -hammer N runs the self-benchmark:
+// serve in-process, fire N concurrent /query requests, and report the
+// server-side latency quantiles from the http_request_seconds
+// histogram.
 package main
 
 import (
@@ -59,6 +75,7 @@ import (
 	"time"
 
 	"timber/internal/engine"
+	"timber/internal/obs"
 	"timber/internal/storage"
 )
 
@@ -73,6 +90,9 @@ func main() {
 	maxTimeout := flag.Duration("maxtimeout", 5*time.Minute, "cap on client-requested timeouts")
 	drainTimeout := flag.Duration("drain", 30*time.Second, "shutdown drain deadline for in-flight requests")
 	slowQuery := flag.Duration("slowquery", 0, "trace every query and log one structured line with the full operator trace for executions at or above this duration (0 = disabled, e.g. 250ms)")
+	events := flag.Int("events", obs.DefaultJournalEvents, "event journal capacity in events (0 = journal disabled)")
+	debug := flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/ (off by default; /debug/events etc. are always on)")
+	crashDump := flag.String("crashdump", ".", "directory for panic/SIGQUIT event-journal dumps")
 	logJSON := flag.Bool("logjson", false, "write the structured request log as JSON lines (default logfmt-style text)")
 	syncFlag := flag.String("sync", "group", "default WAL fsync policy for /ingest writes: always, group, or none (per-request ?sync= overrides)")
 	hammer := flag.Int("hammer", 0, "benchmark mode: serve in-process, fire this many /query requests, report server-side latency quantiles, exit")
@@ -92,7 +112,13 @@ func main() {
 		maxTimeout:     *maxTimeout,
 		parallelism:    *parallel,
 		slowQuery:      *slowQuery,
+		debug:          *debug,
+		crashDir:       *crashDump,
 		logger:         logger,
+	}
+	var journal *obs.Journal
+	if *events > 0 {
+		journal = obs.NewJournal(*events)
 	}
 	syncPol, err := storage.ParseSyncPolicy(*syncFlag)
 	if err != nil {
@@ -102,7 +128,7 @@ func main() {
 	if *hammer > 0 {
 		err = runHammer(*dbPath, *poolMB, *cacheSize, cfg, *hammer, *hammerClients, *hammerFile)
 	} else {
-		err = run(*dbPath, *addr, *poolMB, *cacheSize, cfg, *drainTimeout, syncPol)
+		err = run(*dbPath, *addr, *poolMB, *cacheSize, cfg, *drainTimeout, syncPol, journal)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "timber-serve:", err)
@@ -110,10 +136,13 @@ func main() {
 	}
 }
 
-func run(dbPath, addr string, poolMB, cacheSize int, cfg config, drainTimeout time.Duration, syncPol storage.SyncPolicy) (err error) {
+func run(dbPath, addr string, poolMB, cacheSize int, cfg config, drainTimeout time.Duration, syncPol storage.SyncPolicy, journal *obs.Journal) (err error) {
+	// The journal goes in through storage.Options so recovery events
+	// fired during Open land in it too.
 	db, err := storage.Open(dbPath, storage.Options{
 		PoolPages:  poolMB * 1024 * 1024 / 8192,
 		SyncPolicy: syncPol,
+		Journal:    journal,
 	})
 	if err != nil {
 		return err
@@ -133,6 +162,19 @@ func run(dbPath, addr string, poolMB, cacheSize int, cfg config, drainTimeout ti
 	// close the database.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
+
+	// SIGQUIT dumps the event journal to a timestamped file and keeps
+	// serving — the live-debugging analogue of the Go runtime's
+	// goroutine dump (which this intercepts; use SIGABRT for that).
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	defer signal.Stop(quit)
+	go func() {
+		for range quit {
+			srv.dumpJournal("sigquit")
+		}
+	}()
+
 	errc := make(chan error, 1)
 	go func() {
 		fmt.Fprintf(os.Stderr, "timber-serve: serving %s (%d documents) on http://%s\n",

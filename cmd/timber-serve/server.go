@@ -33,6 +33,11 @@ type config struct {
 	// structured log line — query ID, query text, full operator trace —
 	// for each execution at or above this duration.
 	slowQuery time.Duration
+	// debug mounts net/http/pprof on the /debug mux. Off by default:
+	// profiling endpoints are an explicit operator choice.
+	debug bool
+	// crashDir is where panic/SIGQUIT journal dumps land ("" = cwd).
+	crashDir string
 	// logger receives the structured request log. Nil discards (tests,
 	// hammer mode); main wires os.Stderr.
 	logger *slog.Logger
@@ -110,6 +115,10 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	// The introspection tree lives on its own mux so the query routes
+	// and the debug routes can never shadow each other (and pprof, when
+	// enabled, only ever mounts there).
+	mux.Handle("/debug/", s.debugHandler())
 	return s.instrument(mux)
 }
 
@@ -127,6 +136,9 @@ func metricPath(p string) string {
 	switch p {
 	case "/query", "/ingest", "/stats", "/metrics":
 		return p
+	}
+	if strings.HasPrefix(p, "/debug/") {
+		return "debug"
 	}
 	return "other"
 }
@@ -171,6 +183,16 @@ func (s *server) instrument(next http.Handler) http.Handler {
 		w.Header().Set("X-Query-ID", qid)
 		rec := &statusRecorder{ResponseWriter: w}
 		s.inFlight.Inc()
+		defer func() {
+			// Crash-time dump: flush the journal's tail to disk before the
+			// panic propagates (net/http recovers handler panics, but the
+			// in-memory journal would be useless by the time anyone looks).
+			if p := recover(); p != nil {
+				s.journal().Emit(obs.Event{Type: obs.EvQueryError, QID: qid, Err: fmt.Sprintf("panic: %v", p)})
+				s.dumpJournal("panic")
+				panic(p)
+			}
+		}()
 		next.ServeHTTP(rec, r.WithContext(obs.WithQueryID(r.Context(), qid)))
 		s.inFlight.Dec()
 		elapsed := time.Since(start)
@@ -350,6 +372,14 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		eo.Tracer = tracer
 	}
 
+	// The correlation window: the WAL commit sequence and checkpoint
+	// count on either side of the execution join this query to the
+	// exact ingest commits and checkpoints it overlapped — any
+	// txn_commit event with walLo < seq <= walHi ran concurrently.
+	db := s.eng.DB()
+	walLo := db.CommitSeq()
+	ckLo := db.IngestCounters().Checkpoints
+
 	start := time.Now()
 	var res *engine.Result
 	var report *engine.Explain
@@ -363,7 +393,20 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if res != nil {
 		strategy = res.Strategy.String()
 	}
-	s.observeTrace(tracer, qid, req.Query, strategy, elapsed)
+	s.observeQuery(queryObservation{
+		tracer:      tracer,
+		qid:         qid,
+		query:       req.Query,
+		strategy:    strategy,
+		start:       start,
+		elapsed:     elapsed,
+		walLo:       walLo,
+		walHi:       db.CommitSeq(),
+		checkpoints: db.IngestCounters().Checkpoints - ckLo,
+		res:         res,
+		report:      report,
+		err:         err,
+	})
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			s.timeouts.Inc()
@@ -384,38 +427,111 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// observeTrace finishes a slow-query tracer: its operator spans fold
-// into the cumulative exec_operator_seconds histograms (children only
-// — the root is named by query ID, an unbounded label value), and an
-// execution at or above the threshold emits exactly one structured log
-// line carrying the query ID, the query text and the full span tree as
-// JSON, whose root name is that same query ID.
-func (s *server) observeTrace(tracer *obs.Tracer, qid, query, strategy string, elapsed time.Duration) {
-	if tracer == nil {
+// queryObservation carries one execution's observability payload from
+// handleQuery into observeQuery: the optional slow-query tracer, the
+// WAL/checkpoint correlation window, and the outcome.
+type queryObservation struct {
+	tracer      *obs.Tracer
+	qid         string
+	query       string
+	strategy    string
+	start       time.Time
+	elapsed     time.Duration
+	walLo       uint64 // WAL commit sequence before execution
+	walHi       uint64 // WAL commit sequence after execution
+	checkpoints uint64 // checkpoints completed during execution
+	res         *engine.Result
+	report      *engine.Explain
+	err         error
+}
+
+// observeQuery finishes a slow-query tracer (operator spans fold into
+// the cumulative exec_operator_seconds histograms — children only, the
+// root is named by query ID, an unbounded label value), files the
+// query's flight record, and — for an execution at or above the
+// threshold — emits the slow_query journal event plus one structured
+// log line carrying the query ID, the query text, the WAL/checkpoint
+// window and the full span tree as JSON. /debug/flight?qid=... serves
+// the same record the log line describes.
+func (s *server) observeQuery(qo queryObservation) {
+	var d *obs.SpanData
+	if qo.tracer != nil {
+		d = qo.tracer.Finish()
+		for _, c := range d.Children {
+			obs.RecordTree(s.eng.Registry(), c)
+		}
+	}
+	slow := s.cfg.slowQuery > 0 && qo.elapsed >= s.cfg.slowQuery
+	if j := s.journal(); j != nil {
+		rec := obs.FlightRecord{
+			QID:         qo.qid,
+			Query:       qo.query,
+			Strategy:    qo.strategy,
+			StartNS:     qo.start.UnixNano(),
+			WallNS:      qo.elapsed.Nanoseconds(),
+			Epoch:       s.eng.DB().Epoch(),
+			WALSeqLow:   qo.walLo,
+			WALSeqHigh:  qo.walHi,
+			Checkpoints: int64(qo.checkpoints),
+			Slow:        slow,
+			Trace:       d,
+		}
+		if qo.res != nil {
+			rec.Rows = int64(len(qo.res.Trees))
+			rec.ValueLookups = int64(qo.res.Stats.ValueLookups)
+			rec.IndexPostings = int64(qo.res.Stats.IndexPostings)
+		}
+		if qo.report != nil {
+			rec.Explain = qo.report
+		}
+		if qo.err != nil {
+			rec.Error = qo.err.Error()
+		}
+		// When the executor already filed a trace-only record for this
+		// qid (journal on, no server tracer), merge into it — keeping
+		// its trace — rather than filing a duplicate.
+		if !j.AnnotateFlight(qo.qid, func(fr *obs.FlightRecord) {
+			if rec.Trace == nil {
+				rec.Trace = fr.Trace
+			}
+			*fr = rec
+		}) {
+			j.AddFlight(rec)
+		}
+		if slow {
+			j.Emit(obs.Event{
+				Type:   obs.EvSlowQuery,
+				QID:    qo.qid,
+				DurNS:  qo.elapsed.Nanoseconds(),
+				Label:  qo.strategy,
+				Aux:    int64(qo.walLo),
+				WALSeq: qo.walHi,
+				Count:  int64(qo.checkpoints),
+			})
+		}
+	}
+	if !slow {
 		return
 	}
-	d := tracer.Finish()
-	if d == nil {
-		return
-	}
-	for _, c := range d.Children {
-		obs.RecordTree(s.eng.Registry(), c)
-	}
-	if elapsed < s.cfg.slowQuery {
-		return
-	}
-	var trace strings.Builder
-	if err := d.WriteJSON(&trace); err != nil {
-		trace.Reset()
-		trace.WriteString(d.Text())
+	trace := ""
+	if d != nil {
+		var b strings.Builder
+		if err := d.WriteJSON(&b); err != nil {
+			b.Reset()
+			b.WriteString(d.Text())
+		}
+		trace = strings.TrimRight(b.String(), "\n")
 	}
 	s.logger.Warn("slow query",
-		"qid", qid,
-		"elapsed_ms", float64(elapsed.Microseconds())/1000,
+		"qid", qo.qid,
+		"elapsed_ms", float64(qo.elapsed.Microseconds())/1000,
 		"threshold_ms", float64(s.cfg.slowQuery.Microseconds())/1000,
-		"strategy", strategy,
-		"query", query,
-		"trace", strings.TrimRight(trace.String(), "\n"))
+		"strategy", qo.strategy,
+		"query", qo.query,
+		"wal_lo", qo.walLo,
+		"wal_hi", qo.walHi,
+		"checkpoints", qo.checkpoints,
+		"trace", trace)
 }
 
 // statsResponse is the /stats body: buffer-pool counters, plan-cache

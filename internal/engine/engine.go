@@ -327,13 +327,30 @@ func (pq *PreparedQuery) Execute(ctx context.Context, o ExecOptions) (*Result, e
 	start := time.Now()
 	res, err := pq.execute(ctx, o)
 	pq.eng.execs.Inc()
+	j := pq.eng.db.Journal()
 	if err != nil {
 		pq.eng.execErrs.Inc()
+		j.Emit(obs.Event{
+			Type:  obs.EvQueryError,
+			QID:   obs.QueryIDFrom(ctx),
+			DurNS: time.Since(start).Nanoseconds(),
+			Err:   err.Error(),
+		})
 		return nil, err
 	}
 	strat := res.Strategy.String()
 	pq.eng.querySeconds.With(strat).ObserveDuration(time.Since(start))
 	pq.eng.strategyTotal.With(strat).Inc()
+	j.Emit(obs.Event{
+		Type:  obs.EvQueryDone,
+		QID:   obs.QueryIDFrom(ctx),
+		Epoch: pq.eng.db.Epoch(),
+		DurNS: time.Since(start).Nanoseconds(),
+		Count: int64(len(res.Trees)),
+		Aux:   int64(res.Stats.ValueLookups),
+		Bytes: int64(res.Stats.IndexPostings),
+		Label: strat,
+	})
 	return res, nil
 }
 
@@ -378,15 +395,39 @@ func (e *Engine) cardStats() *stats.Catalog {
 	return cat
 }
 
-// observePlan records the planner metrics for one auto execution: the
-// pick, and the relative estimation error against the run's actuals.
-func (e *Engine) observePlan(dec *planner.Decision, strat exec.Strategy, res *Result) {
+// observePlan records the planner observations for one auto execution:
+// the pick (counter + plan_decision event) and the relative estimation
+// error against the run's actuals (histogram + plan_estimate event, so
+// a mis-estimate is inspectable per query, not just in aggregate).
+func (e *Engine) observePlan(qid string, dec *planner.Decision, strat exec.Strategy, res *Result) {
 	if dec == nil {
 		return
 	}
 	e.plannerPicks.With(strat.String()).Inc()
+	j := e.db.Journal()
+	var cost float64
+	if len(dec.Candidates) > 0 {
+		cost = dec.Candidates[0].Cost
+	}
+	j.Emit(obs.Event{
+		Type:  obs.EvPlanDecision,
+		QID:   qid,
+		Label: strat.String(),
+		Value: cost,
+		Count: int64(len(dec.Candidates)),
+	})
 	if dec.StatsUsed && res != nil {
-		e.plannerEstErr.With("groups").Observe(relErr(dec.Groups, float64(res.Stats.Groups)))
+		actual := float64(res.Stats.Groups)
+		err := relErr(dec.Groups, actual)
+		e.plannerEstErr.With("groups").Observe(err)
+		j.Emit(obs.Event{
+			Type:  obs.EvPlanEstimate,
+			QID:   qid,
+			Label: "groups",
+			Count: int64(dec.Groups),
+			Aux:   int64(actual),
+			Value: err,
+		})
 	}
 }
 
@@ -419,6 +460,7 @@ func (pq *PreparedQuery) execute(ctx context.Context, o ExecOptions) (*Result, e
 		Tracer:              o.Tracer,
 		Ctx:                 ctx,
 		Metrics:             pq.eng.reg,
+		Journal:             pq.eng.db.Journal(),
 	}
 	strat, dec := pq.resolvePlan(o.Strategy)
 	switch strat {
@@ -442,7 +484,7 @@ func (pq *PreparedQuery) execute(ctx context.Context, o ExecOptions) (*Result, e
 			return nil, err
 		}
 		out := &Result{Trees: res.Trees, Stats: res.Stats, Strategy: strat}
-		pq.eng.observePlan(dec, strat, out)
+		pq.eng.observePlan(obs.QueryIDFrom(ctx), dec, strat, out)
 		return out, nil
 	}
 }

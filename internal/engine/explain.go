@@ -126,7 +126,7 @@ func (pq *PreparedQuery) ExplainExecute(ctx context.Context, o ExecOptions) (*Ex
 	if err != nil {
 		return nil, nil, err
 	}
-	pq.eng.observePlan(dec, strat, res)
+	pq.eng.observePlan(obs.QueryIDFrom(ctx), dec, strat, res)
 	x.Executed = true
 	x.ElapsedNS = time.Since(start).Nanoseconds()
 	x.Strategy = res.Strategy.String()

@@ -61,22 +61,42 @@ type Options struct {
 	// its own Tracer, it owns Finish and any folding; otherwise the
 	// run creates a private wall-clock-only tracer to collect spans.
 	Metrics *obs.Registry
+	// Journal, when non-nil, receives the run's finished span tree in
+	// its flight recorder, keyed by the query ID in Ctx — the per-query
+	// trace survives the request so /debug/flight can replay it. Like
+	// Metrics this only applies when the run owns its tracer (a
+	// caller-supplied Tracer stays the caller's to finish and record);
+	// a nil Journal costs one nil check. Never changes results.
+	Journal *obs.Journal
 }
 
 // foldSpans arranges for the run's operator spans to fold into
-// o.Metrics. When the caller did not attach a tracer it installs a
-// private wall-clock-only one (counter snapshots would be wrong under
-// concurrency) and returns the new options plus a finish func for the
-// caller to defer; with no Metrics, or a caller-owned tracer, it
-// returns o unchanged and a no-op.
+// o.Metrics and hand off to o.Journal's flight recorder. When the
+// caller did not attach a tracer it installs a private wall-clock-only
+// one (counter snapshots would be wrong under concurrency) and returns
+// the new options plus a finish func for the caller to defer; with
+// neither Metrics nor Journal, or a caller-owned tracer, it returns o
+// unchanged and a no-op.
 func (o Options) foldSpans(root string) (Options, func()) {
-	if o.Metrics == nil || o.Tracer != nil {
+	if (o.Metrics == nil && o.Journal == nil) || o.Tracer != nil {
 		return o, func() {}
 	}
 	t := obs.New(root, nil)
 	o.Tracer = t
-	reg := o.Metrics
-	return o, func() { obs.RecordTree(reg, t.Finish()) }
+	reg, j, ctx := o.Metrics, o.Journal, o.Ctx
+	return o, func() {
+		d := t.Finish()
+		if reg != nil {
+			obs.RecordTree(reg, d)
+		}
+		if j != nil {
+			qid := ""
+			if ctx != nil {
+				qid = obs.QueryIDFrom(ctx)
+			}
+			j.RecordFlightTrace(qid, d)
+		}
+	}
 }
 
 // trace starts a top-level executor span (no-op when untraced).

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// WriteDump renders the journal's full retained state — events, flight
+// records, anomalies — as JSON lines for post-mortem inspection. The
+// format is self-describing: each line is one object with a "kind"
+// wrapper ("event", "flight", "anomaly") so a dump file can be grepped
+// or fed to jq without schema knowledge. Nil-safe (writes nothing).
+func (j *Journal) WriteDump(w io.Writer) error {
+	if j == nil {
+		return nil
+	}
+	for _, e := range j.Events(EventFilter{}) {
+		if err := writeDumpLine(w, "event", e); err != nil {
+			return err
+		}
+	}
+	for _, e := range j.Anomalies() {
+		if err := writeDumpLine(w, "anomaly", e); err != nil {
+			return err
+		}
+	}
+	for _, rec := range j.Flights() {
+		if err := writeDumpLine(w, "flight", rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeDumpLine(w io.Writer, kind string, payload any) error {
+	line := struct {
+		Kind    string `json:"kind"`
+		Payload any    `json:"payload"`
+	}{kind, payload}
+	return json.NewEncoder(w).Encode(line)
+}
+
+// DumpToFile flushes the journal to a timestamped file in dir (created
+// if missing) and returns its path. This is the crash-time path —
+// timber-serve calls it from the SIGQUIT handler and the panic
+// recovery wrapper — so it must not itself panic: a nil journal
+// returns "" with no error, and any filesystem failure is returned for
+// the caller to log.
+func (j *Journal) DumpToFile(dir string) (string, error) {
+	if j == nil {
+		return "", nil
+	}
+	if dir == "" {
+		dir = "."
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	name := fmt.Sprintf("timber-events-%s.jsonl", time.Now().UTC().Format("20060102T150405.000000000Z"))
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := j.WriteDump(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,227 @@
+// The event journal is the write path's flight recorder: a bounded,
+// lock-free ring of typed events (WAL commits, checkpoints, recovery,
+// plan decisions, query completions, ...) that a live server exposes
+// read-only under /debug and flushes to a file on crash. It follows
+// the tracer's enablement discipline: a nil *Journal turns every
+// emission into a nil check, so instrumented code threads the journal
+// unconditionally and the disabled path stays byte-identical and
+// unmeasurably slower.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultJournalEvents is the ring capacity NewJournal(0) uses.
+const DefaultJournalEvents = 4096
+
+// DefaultFlightRecords is the flight recorder's trace retention.
+const DefaultFlightRecords = 32
+
+// DefaultAnomalyEvents is the anomaly ring's retention.
+const DefaultAnomalyEvents = 64
+
+// Journal is a bounded structured-event ring. Writers reserve a slot
+// with one atomic add and publish a completed *Event with one atomic
+// pointer store — no locks, no waiting, safe from any goroutine
+// (including under writeMu or pinMu). Readers snapshot by loading the
+// slot pointers; an overwritten slot simply yields the newer event, so
+// a reader never blocks a writer and vice versa. Overwriting is the
+// intended retention policy: the journal answers "what happened
+// recently", the metrics registry answers "how much ever happened".
+type Journal struct {
+	slots []atomic.Pointer[Event]
+	mask  uint64
+	seq   atomic.Uint64 // next sequence to assign (== events emitted)
+
+	flight    *flightRing
+	anomalies *anomalyRing
+}
+
+// NewJournal creates a journal retaining the most recent `size` events
+// (rounded up to a power of two; 0 means DefaultJournalEvents), plus
+// the flight recorder and anomaly ring at their default retentions.
+func NewJournal(size int) *Journal {
+	if size <= 0 {
+		size = DefaultJournalEvents
+	}
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &Journal{
+		slots:     make([]atomic.Pointer[Event], n),
+		mask:      uint64(n - 1),
+		flight:    newFlightRing(DefaultFlightRecords),
+		anomalies: newAnomalyRing(DefaultAnomalyEvents),
+	}
+}
+
+// Emit records one event: it stamps the sequence number and timestamp,
+// publishes the entry in the ring, and retains it in the anomaly ring
+// when Err is set. Nil-safe (the disabled journal) and safe for
+// concurrent use. Events with Type EvNone are dropped.
+func (j *Journal) Emit(e Event) {
+	if j == nil || e.Type == EvNone {
+		return
+	}
+	e.Seq = j.seq.Add(1)
+	e.TimeNS = time.Now().UnixNano()
+	ev := &e
+	j.slots[(e.Seq-1)&j.mask].Store(ev)
+	if e.Err != "" {
+		j.anomalies.add(ev)
+	}
+}
+
+// Seq returns the number of events emitted so far (the next event gets
+// Seq+1). Zero on a nil journal.
+func (j *Journal) Seq() uint64 {
+	if j == nil {
+		return 0
+	}
+	return j.seq.Load()
+}
+
+// Capacity returns the ring's event retention (0 on a nil journal).
+func (j *Journal) Capacity() int {
+	if j == nil {
+		return 0
+	}
+	return len(j.slots)
+}
+
+// EventFilter selects events from a snapshot.
+type EventFilter struct {
+	// Types restricts to the listed types; empty means all.
+	Types []EventType
+	// QID restricts to events stamped with this query ID.
+	QID string
+	// SinceSeq restricts to events with Seq > SinceSeq (a resumption
+	// cursor: pass the last Seq you saw).
+	SinceSeq uint64
+	// Limit keeps only the newest N matching events (0 = no limit).
+	Limit int
+}
+
+func (f EventFilter) match(e *Event) bool {
+	if e.Seq <= f.SinceSeq {
+		return false
+	}
+	if f.QID != "" && e.QID != f.QID {
+		return false
+	}
+	if len(f.Types) > 0 {
+		ok := false
+		for _, t := range f.Types {
+			if e.Type == t {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Events snapshots the ring: the retained events matching f, in
+// strictly increasing sequence order. The snapshot is taken without
+// blocking writers, so events emitted mid-scan may or may not appear —
+// but every returned sequence is a real emission and the order is
+// always monotonic. Nil-safe (returns nil).
+func (j *Journal) Events(f EventFilter) []*Event {
+	if j == nil {
+		return nil
+	}
+	out := make([]*Event, 0, len(j.slots))
+	for i := range j.slots {
+		e := j.slots[i].Load()
+		if e != nil && f.match(e) {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	// A slot can be overwritten between two loads, so two positions may
+	// briefly hold events from the same generation ordering; sequences
+	// themselves are unique, but trim duplicates defensively.
+	dedup := out[:0]
+	var last uint64
+	for _, e := range out {
+		if e.Seq != last {
+			dedup = append(dedup, e)
+			last = e.Seq
+		}
+	}
+	if f.Limit > 0 && len(dedup) > f.Limit {
+		dedup = dedup[len(dedup)-f.Limit:]
+	}
+	return dedup
+}
+
+// Anomalies returns the retained error/anomaly events, oldest first.
+// Nil-safe.
+func (j *Journal) Anomalies() []*Event {
+	if j == nil {
+		return nil
+	}
+	return j.anomalies.snapshot()
+}
+
+// WriteEvents renders the events matching f as JSON lines (one event
+// per line) — the /debug/events wire format. Nil-safe (writes
+// nothing).
+func (j *Journal) WriteEvents(w io.Writer, f EventFilter) error {
+	enc := json.NewEncoder(w)
+	for _, e := range j.Events(f) {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// anomalyRing retains the last K events that carried an error, so a
+// burst of normal traffic cannot push a rare failure out of the
+// journal before anyone looks. Writes are rare (errors), so a mutex
+// is fine here; the hot Emit path only touches it when Err != "".
+type anomalyRing struct {
+	mu   sync.Mutex
+	buf  []*Event
+	next int
+	full bool
+}
+
+func newAnomalyRing(k int) *anomalyRing {
+	return &anomalyRing{buf: make([]*Event, k)}
+}
+
+func (r *anomalyRing) add(e *Event) {
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next, r.full = 0, true
+	}
+	r.mu.Unlock()
+}
+
+func (r *anomalyRing) snapshot() []*Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []*Event
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+	}
+	out = append(out, r.buf[:r.next]...)
+	// Copy: the ring keeps mutating after return.
+	res := make([]*Event, len(out))
+	copy(res, out)
+	return res
+}

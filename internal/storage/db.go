@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"timber/internal/btree"
 	"timber/internal/obs"
@@ -96,6 +98,10 @@ type Options struct {
 	// CheckpointBytes is the WAL size that triggers a checkpoint after
 	// a commit; zero means DefaultCheckpointBytes.
 	CheckpointBytes int64
+	// Journal receives the write path's structured events (commits,
+	// fsyncs, checkpoints, recovery, retirement). Nil disables emission
+	// entirely — every site reduces to a nil check.
+	Journal *obs.Journal
 }
 
 // psOptions maps storage options onto the page store's, attaching the
@@ -171,8 +177,24 @@ type DB struct {
 	pins    map[uint64]int // epoch → open snapshots
 	retired []retiredSet
 
+	// journal is the structured event sink (nil = disabled); commitSeq
+	// mirrors seq so readers can snapshot the committed sequence without
+	// writeMu — the server's slow-query correlation reads it per request.
+	journal   *obs.Journal
+	commitSeq atomic.Uint64
+
 	ing ingestStats
 }
+
+// Journal returns the database's event journal (nil when disabled) —
+// the single wiring point the engine and server hang off.
+func (db *DB) Journal() *obs.Journal { return db.journal }
+
+// CommitSeq returns the newest committed transaction sequence without
+// taking the write lock. With events on, a query's overlapping WAL
+// commits are exactly those with CommitSeq-before < seq <=
+// CommitSeq-after.
+func (db *DB) CommitSeq() uint64 { return db.commitSeq.Load() }
 
 // ingestStats counts write-path activity for the metrics registry.
 type ingestStats struct {
@@ -287,9 +309,10 @@ func CreateOnFiles(dbFile, walFile pagestore.File, opts Options) (*DB, error) {
 }
 
 func initDB(st *pagestore.Store, walFile pagestore.File, opts Options) (*DB, error) {
-	db := &DB{st: st, opts: opts, compact: !opts.Uncompressed, pins: make(map[uint64]int)}
+	db := &DB{st: st, opts: opts, compact: !opts.Uncompressed, pins: make(map[uint64]int), journal: opts.Journal}
 	if walFile != nil {
 		db.wal = wal.Open(walFile, 0, 0)
+		db.wal.SetJournal(opts.Journal)
 	}
 	fail := func(err error) (*DB, error) {
 		if db.wal != nil {
@@ -395,6 +418,7 @@ func OpenOnFiles(dbFile, walFile pagestore.File, opts Options) (*DB, error) {
 		return nil, errors.Join(err, dbFile.Close())
 	}
 
+	var metaFallback bool
 	m, err := sniffMeta(dbFile)
 	if err != nil {
 		if !errors.Is(err, errMetaTorn) || walFile == nil {
@@ -411,6 +435,7 @@ func OpenOnFiles(dbFile, walFile pagestore.File, opts Options) (*DB, error) {
 			return closeAll(err)
 		}
 		m = wm
+		metaFallback = true
 	}
 	if opts.PageSize != 0 && opts.PageSize != int(m.pageSize) {
 		return closeAll(fmt.Errorf("storage: database uses %d-byte pages, opened with %d", m.pageSize, opts.PageSize))
@@ -428,13 +453,19 @@ func OpenOnFiles(dbFile, walFile pagestore.File, opts Options) (*DB, error) {
 	}
 	st.SetRawPage(0)
 
-	db := &DB{st: st, opts: opts, compact: m.flags&metaFlagCompact != 0, pins: make(map[uint64]int)}
+	db := &DB{st: st, opts: opts, compact: m.flags&metaFlagCompact != 0, pins: make(map[uint64]int), journal: opts.Journal}
 	state := m.s
 	numPages := m.numPages
 	var committedLen int64
 	var lastSeq uint64
+	var rec recoveryCounts
+	var walSize int64
 	if walFile != nil {
-		committedLen, lastSeq, err = db.replayWAL(walFile, &state, &numPages)
+		if walSize, err = walFile.Size(); err != nil {
+			_ = walFile.Close()
+			return nil, errors.Join(fmt.Errorf("storage: open: %w", err), st.Close())
+		}
+		committedLen, lastSeq, err = db.replayWAL(walFile, &state, &numPages, &rec)
 		if err != nil {
 			_ = walFile.Close()
 			return nil, errors.Join(err, st.Close())
@@ -465,6 +496,7 @@ func OpenOnFiles(dbFile, walFile pagestore.File, opts Options) (*DB, error) {
 	state.docs = docs
 	state.epoch = 1
 	db.seq = lastSeq
+	db.commitSeq.Store(lastSeq)
 	db.tip = &state
 	db.head.Store(&state)
 	if walFile != nil {
@@ -474,6 +506,27 @@ func OpenOnFiles(dbFile, walFile pagestore.File, opts Options) (*DB, error) {
 			return failOpen(fmt.Errorf("storage: open: truncate wal: %w", err))
 		}
 		db.wal = wal.Open(walFile, committedLen, lastSeq)
+		db.wal.SetJournal(opts.Journal)
+
+		// One recovery event per open, with the timeline compressed into
+		// the labels: whether the tail was truncated (torn frames or
+		// clean-but-uncommitted orphans), and whether the meta page was
+		// repaired from the WAL.
+		label := "clean"
+		if committedLen < walSize {
+			label = "torn_tail"
+		}
+		if metaFallback {
+			label += ",meta_fallback"
+		}
+		db.journal.Emit(obs.Event{
+			Type:   obs.EvRecovery,
+			WALSeq: lastSeq,
+			Bytes:  committedLen,
+			Count:  rec.records,
+			Aux:    rec.pages,
+			Label:  label,
+		})
 	}
 	// Checkpoint the recovered state: restored pages and the meta page
 	// become durable in the data file and the log empties, so the next
@@ -490,11 +543,18 @@ func OpenOnFiles(dbFile, walFile pagestore.File, opts Options) (*DB, error) {
 	return db, nil
 }
 
+// recoveryCounts tallies what replay actually applied, for the
+// recovery event.
+type recoveryCounts struct {
+	records int64 // committed records applied (pages + links)
+	pages   int64 // page images restored
+}
+
 // replayWAL reapplies every committed transaction in the log. Records
 // are buffered per transaction and applied only when its commit record
 // is reached, so an uncommitted tail (torn or simply unacknowledged)
 // has no effect. Memory is bounded by one transaction's page images.
-func (db *DB) replayWAL(f pagestore.File, state *snapState, numPages *uint32) (committedLen int64, lastSeq uint64, err error) {
+func (db *DB) replayWAL(f pagestore.File, state *snapState, numPages *uint32, rc *recoveryCounts) (committedLen int64, lastSeq uint64, err error) {
 	type walOp struct {
 		link     bool
 		page, to pagestore.PageID
@@ -504,6 +564,7 @@ func (db *DB) replayWAL(f pagestore.File, state *snapState, numPages *uint32) (c
 	var pendingMeta, lastMeta []byte
 	apply := func() error {
 		for _, op := range pending {
+			rc.records++
 			if op.link {
 				p, err := db.st.Fetch(op.page)
 				if err != nil {
@@ -516,6 +577,7 @@ func (db *DB) replayWAL(f pagestore.File, state *snapState, numPages *uint32) (c
 			if err := db.st.RestoreSlot(op.page, op.img); err != nil {
 				return err
 			}
+			rc.pages++
 		}
 		pending = pending[:0]
 		return nil
@@ -642,7 +704,10 @@ func (db *DB) publish(s *snapState) {
 // and until the reset the log alone can reproduce the same state — a
 // torn meta-page write is repaired from the log on the next open.
 func (db *DB) checkpointLocked() error {
+	start := time.Now()
+	var walLen int64
 	if db.wal != nil {
+		walLen = db.wal.Size()
 		if err := db.wal.Sync(db.seq); err != nil {
 			return err
 		}
@@ -663,6 +728,13 @@ func (db *DB) checkpointLocked() error {
 		}
 	}
 	db.ing.checkpoints.Add(1)
+	db.journal.Emit(obs.Event{
+		Type:   obs.EvCheckpoint,
+		WALSeq: db.seq,
+		Epoch:  db.tip.epoch,
+		Bytes:  walLen,
+		DurNS:  time.Since(start).Nanoseconds(),
+	})
 	db.reclaim()
 	return nil
 }
@@ -899,6 +971,72 @@ func (db *DB) RegisterMetrics(r *obs.Registry) {
 		func() float64 { return float64(db.ing.spoolRunsLeaked.Load()) })
 	r.CounterFunc("spool_pages_freed", "Scratch pages released by spools and tree spills.",
 		func() float64 { return float64(db.ing.spoolPagesFreed.Load()) })
+}
+
+// DebugStatus is a point-in-time picture of the storage engine's
+// runtime state — what /debug/storage serves. Unlike IngestCounters
+// (cumulative activity), this is the *current* state: which epochs are
+// pinned, how much WAL is unsynced, what reclamation is waiting on.
+type DebugStatus struct {
+	// Epoch is the reader-visible head epoch; CommitSeq the newest
+	// committed transaction sequence (the writer tip may briefly lead
+	// the head while an fsync is in flight).
+	Epoch     uint64 `json:"epoch"`
+	CommitSeq uint64 `json:"commit_seq"`
+	// WALSyncedSeq is the checkpoint/durability watermark: the highest
+	// sequence covered by an fsync. WALSizeBytes is the log's current
+	// length (resets to 0 at each checkpoint).
+	WALSyncedSeq uint64 `json:"wal_synced_seq"`
+	WALSizeBytes int64  `json:"wal_size_bytes"`
+	// Checkpoints is the cumulative checkpoint count (the correlation
+	// counter slow queries diff across their window).
+	Checkpoints uint64 `json:"checkpoints"`
+	// SnapshotsPinned is the number of open snapshots; PinnedEpochs
+	// lists the distinct epochs they hold (ascending) — the oldest one
+	// gates reclamation.
+	SnapshotsPinned int64    `json:"snapshots_pinned"`
+	PinnedEpochs    []uint64 `json:"pinned_epochs,omitempty"`
+	// ReclaimSets/ReclaimPages describe the retirement backlog: page
+	// batches freed by commits but not yet reusable (snapshot- or
+	// durability-gated).
+	ReclaimSets  int   `json:"reclaim_sets"`
+	ReclaimPages int64 `json:"reclaim_pages"`
+	// NumPages is the store's allocated page count.
+	NumPages uint32 `json:"num_pages"`
+	// JournalSeq/JournalCapacity describe the event journal itself
+	// (zero when disabled).
+	JournalSeq      uint64 `json:"journal_seq"`
+	JournalCapacity int    `json:"journal_capacity"`
+}
+
+// DebugStatus snapshots the engine's runtime state for /debug/storage.
+// It takes pinMu briefly (to list pins and the reclaim backlog) and
+// otherwise reads atomics.
+func (db *DB) DebugStatus() DebugStatus {
+	ds := DebugStatus{
+		Epoch:           db.head.Load().epoch,
+		CommitSeq:       db.commitSeq.Load(),
+		Checkpoints:     db.ing.checkpoints.Load(),
+		SnapshotsPinned: db.ing.snapshotsPinned.Load(),
+		NumPages:        db.st.NumPages(),
+		JournalSeq:      db.journal.Seq(),
+		JournalCapacity: db.journal.Capacity(),
+	}
+	if db.wal != nil {
+		ds.WALSyncedSeq = db.wal.Synced()
+		ds.WALSizeBytes = db.wal.Size()
+	}
+	db.pinMu.Lock()
+	for e := range db.pins {
+		ds.PinnedEpochs = append(ds.PinnedEpochs, e)
+	}
+	ds.ReclaimSets = len(db.retired)
+	for _, set := range db.retired {
+		ds.ReclaimPages += int64(len(set.pages))
+	}
+	db.pinMu.Unlock()
+	sort.Slice(ds.PinnedEpochs, func(i, j int) bool { return ds.PinnedEpochs[i] < ds.PinnedEpochs[j] })
+	return ds
 }
 
 // Compact reports whether the database uses the compact codecs

@@ -3,8 +3,10 @@ package storage
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"timber/internal/btree"
+	"timber/internal/obs"
 	"timber/internal/pagestore"
 	"timber/internal/xmltree"
 )
@@ -55,7 +57,10 @@ var ErrDuplicateDocument = errors.New("storage: document name already exists")
 // is visible to snapshots taken after the call returns.
 func (db *DB) InsertDocument(name string, root *xmltree.Node, policy SyncPolicy) (DocInfo, error) {
 	pol := db.policy(policy)
+	start := time.Now()
+	walBase := db.WALStats().AppendedBytes
 	db.writeMu.Lock()
+	db.journal.Emit(obs.Event{Type: obs.EvTxnBegin, Epoch: db.tip.epoch, Label: "insert:" + name})
 	t, info, err := db.buildInsert(name, root)
 	if err == nil {
 		err = db.commitLocked(t)
@@ -63,14 +68,25 @@ func (db *DB) InsertDocument(name string, root *xmltree.Node, policy SyncPolicy)
 	if err != nil {
 		db.abortLocked(t)
 		db.writeMu.Unlock()
+		db.journal.Emit(obs.Event{Type: obs.EvTxnAbort, Label: "insert:" + name, Err: err.Error()})
 		return DocInfo{}, fmt.Errorf("storage: insert %q: %w", name, err)
 	}
 	seq := db.seq
 	db.writeMu.Unlock()
 	if err := db.finishCommit(t.state, seq, pol, t.freed); err != nil {
+		db.journal.Emit(obs.Event{Type: obs.EvTxnAbort, WALSeq: seq, Label: "insert:" + name, Err: err.Error()})
 		return DocInfo{}, fmt.Errorf("storage: insert %q: %w", name, err)
 	}
 	db.ing.inserted.Add(1)
+	db.journal.Emit(obs.Event{
+		Type:   obs.EvTxnCommit,
+		WALSeq: seq,
+		Epoch:  t.state.epoch,
+		Count:  int64(len(t.pages)),
+		Bytes:  int64(db.WALStats().AppendedBytes - walBase),
+		DurNS:  time.Since(start).Nanoseconds(),
+		Label:  "insert:" + name,
+	})
 	return info, nil
 }
 
@@ -82,7 +98,10 @@ func (db *DB) InsertDocument(name string, root *xmltree.Node, policy SyncPolicy)
 // never reused.
 func (db *DB) DeleteDocument(name string, policy SyncPolicy) error {
 	pol := db.policy(policy)
+	start := time.Now()
+	walBase := db.WALStats().AppendedBytes
 	db.writeMu.Lock()
+	db.journal.Emit(obs.Event{Type: obs.EvTxnBegin, Epoch: db.tip.epoch, Label: "delete:" + name})
 	t, err := db.buildDelete(name)
 	if err == nil {
 		err = db.commitLocked(t)
@@ -90,14 +109,25 @@ func (db *DB) DeleteDocument(name string, policy SyncPolicy) error {
 	if err != nil {
 		db.abortLocked(t)
 		db.writeMu.Unlock()
+		db.journal.Emit(obs.Event{Type: obs.EvTxnAbort, Label: "delete:" + name, Err: err.Error()})
 		return fmt.Errorf("storage: delete %q: %w", name, err)
 	}
 	seq := db.seq
 	db.writeMu.Unlock()
 	if err := db.finishCommit(t.state, seq, pol, t.freed); err != nil {
+		db.journal.Emit(obs.Event{Type: obs.EvTxnAbort, WALSeq: seq, Label: "delete:" + name, Err: err.Error()})
 		return fmt.Errorf("storage: delete %q: %w", name, err)
 	}
 	db.ing.deleted.Add(1)
+	db.journal.Emit(obs.Event{
+		Type:   obs.EvTxnCommit,
+		WALSeq: seq,
+		Epoch:  t.state.epoch,
+		Count:  int64(len(t.pages)),
+		Bytes:  int64(db.WALStats().AppendedBytes - walBase),
+		DurNS:  time.Since(start).Nanoseconds(),
+		Label:  "delete:" + name,
+	})
 	return nil
 }
 
@@ -499,6 +529,7 @@ func (db *DB) commitLocked(t *txn) error {
 		db.st.Unpin(p, true)
 	}
 	db.seq = seq
+	db.commitSeq.Store(seq)
 	db.tip = t.state
 	db.ing.txnPages.Add(uint64(len(t.pages)))
 	return nil

@@ -143,6 +143,7 @@ func (db *DB) retire(epoch, seq uint64, pages []pagestore.PageID) {
 		return
 	}
 	db.ing.pagesRetired.Add(uint64(len(pages)))
+	db.journal.Emit(obs.Event{Type: obs.EvPagesRetired, Epoch: epoch, WALSeq: seq, Count: int64(len(pages))})
 	db.pinMu.Lock()
 	db.retired = append(db.retired, retiredSet{epoch: epoch, seq: seq, pages: pages})
 	db.reclaimLocked()
@@ -177,6 +178,7 @@ func (db *DB) reclaimLocked() {
 		synced = db.wal.Synced()
 	}
 	keep := db.retired[:0]
+	var freed int64
 	for _, set := range db.retired {
 		if set.epoch > minEpoch || set.seq > synced {
 			keep = append(keep, set)
@@ -190,6 +192,12 @@ func (db *DB) reclaimLocked() {
 			continue
 		}
 		db.ing.pagesReclaimed.Add(uint64(len(set.pages)))
+		freed += int64(len(set.pages))
 	}
 	db.retired = keep
+	if freed > 0 {
+		// One aggregate event per pass, not one per set — reclamation can
+		// drain dozens of sets after a long-pinned snapshot closes.
+		db.journal.Emit(obs.Event{Type: obs.EvPagesReclaimed, Count: freed})
+	}
 }

@@ -5,8 +5,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
 
 	"timber/internal/btree"
+	"timber/internal/obs"
 	"timber/internal/pagestore"
 	"timber/internal/stats"
 )
@@ -231,6 +233,7 @@ func (db *DB) collectCardStats(s *snapState) (*stats.Catalog, error) {
 // until the next offline load.
 func (db *DB) BuildCardStats(policy SyncPolicy) (*stats.Catalog, error) {
 	pol := db.policy(policy)
+	start := time.Now()
 	db.writeMu.Lock()
 	cat, t, err := db.buildStatsTxn()
 	if err == nil {
@@ -239,13 +242,22 @@ func (db *DB) BuildCardStats(policy SyncPolicy) (*stats.Catalog, error) {
 	if err != nil {
 		db.abortLocked(t)
 		db.writeMu.Unlock()
+		db.journal.Emit(obs.Event{Type: obs.EvStatsRebuild, Err: err.Error()})
 		return nil, fmt.Errorf("storage: build stats: %w", err)
 	}
 	seq := db.seq
 	db.writeMu.Unlock()
 	if err := db.finishCommit(t.state, seq, pol, t.freed); err != nil {
+		db.journal.Emit(obs.Event{Type: obs.EvStatsRebuild, WALSeq: seq, Err: err.Error()})
 		return nil, fmt.Errorf("storage: build stats: %w", err)
 	}
+	db.journal.Emit(obs.Event{
+		Type:   obs.EvStatsRebuild,
+		WALSeq: seq,
+		Epoch:  t.state.epoch,
+		Count:  int64(len(cat.Tags)),
+		DurNS:  time.Since(start).Nanoseconds(),
+	})
 	return cat, nil
 }
 

@@ -31,7 +31,9 @@ import (
 	"hash/crc32"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"timber/internal/obs"
 	"timber/internal/pagestore"
 )
 
@@ -104,8 +106,14 @@ type Log struct {
 	synced   atomic.Uint64
 	syncMu   sync.Mutex // serializes the group-commit leader fsync
 
-	stats statCounters
+	stats   statCounters
+	journal *obs.Journal // event journal; nil = disabled
 }
+
+// SetJournal wires the event journal the leader fsync path emits
+// wal_fsync events into. Call before concurrent use (the storage layer
+// sets it at open, before the log is shared).
+func (l *Log) SetJournal(j *obs.Journal) { l.journal = j }
 
 // Open wraps an existing File whose clean length and last committed
 // sequence were established by Replay (0, 0 for a fresh log).
@@ -226,11 +234,16 @@ func (l *Log) Sync(seq uint64) error {
 	// after the capture may also be flushed, but only the captured
 	// prefix is promised durable.
 	target := l.appended.Load()
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
+		l.journal.Emit(obs.Event{Type: obs.EvWALFsync, WALSeq: target, Err: err.Error()})
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	l.stats.fsyncs.Add(1)
 	l.synced.Store(target)
+	// Only the leader emits: followers satisfied by this flush took the
+	// fast path above, so one event per physical fsync.
+	l.journal.Emit(obs.Event{Type: obs.EvWALFsync, WALSeq: target, DurNS: time.Since(start).Nanoseconds()})
 	return nil
 }
 
