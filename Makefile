@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench experiments fuzz-smoke trace-check serve-check metrics-check serve-bench stream-check bench-check wal-check plan-check events-check events-bench
+.PHONY: all build test vet race check bench experiments fuzz-smoke trace-check serve-check metrics-check serve-bench stream-check bench-check wal-check plan-check events-check events-bench twig-check twig-bench calibrate
 
 all: build
 
@@ -38,6 +38,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzRecordCompact$$' -fuzztime 5s ./internal/storage/
 	$(GO) test -run '^$$' -fuzz '^FuzzSpillRow$$' -fuzztime 5s ./internal/exec/
 	$(GO) test -run '^$$' -fuzz '^FuzzLZDecompress$$' -fuzztime 5s ./internal/pagestore/
+	$(GO) test -run '^$$' -fuzz '^FuzzTwigMatch$$' -fuzztime 5s ./internal/match/
 
 # serve-check gates the service layer: timber-serve must build, and
 # the engine + HTTP suites (concurrent-client hammer, plan cache,
@@ -116,6 +117,35 @@ events-check:
 	$(GO) run ./cmd/eventslint -root . -design DESIGN.md
 	$(GO) test -race -run 'Journal|Event|Flight|Debug|Pprof|SlowQuery|Anomal|Dump' \
 		./internal/obs/ ./internal/engine/ ./cmd/timber-serve/
+
+# twig-check gates the holistic twig-join matcher: the twig ≡ binary
+# equivalence property (random documents and patterns, parallelism 1
+# and 4), the concurrent both-matchers hammer, the matcher cost model,
+# the engine-level byte-identity and EXPLAIN matcher reporting, and
+# the matcher-pick regression (the planner's pick must never run
+# slower than 1.5x the best explicit matcher) — all under the race
+# detector — plus a short matcher comparison that fails unless the
+# twig matcher strictly wins postings scanned and intermediate
+# bindings on the deep chain.
+twig-check:
+	$(GO) test -race -run 'Twig|Matcher' \
+		./internal/match/ ./internal/opt/planner/ ./internal/engine/ \
+		./internal/bench/ ./cmd/timber-serve/
+	$(GO) run ./cmd/experiments -exp none -twigfile /tmp/timber-twig-check.json \
+		-twigdocs 12 -twigarticles 80 -twigreps 1
+	rm -f /tmp/timber-twig-check.json
+
+# twig-bench writes the full-size matcher comparison (binary cascade
+# vs holistic twig join: postings scanned, intermediate bindings, wall
+# time on chain and branch patterns) to BENCH_twig.json.
+twig-bench:
+	$(GO) run ./cmd/experiments -exp none -twigfile BENCH_twig.json
+
+# calibrate summarizes the planner's estimation accuracy from
+# self-generated plan_estimate events (pass a journal dump to
+# cmd/experiments -calibrate to read operator data instead).
+calibrate:
+	$(GO) run ./cmd/experiments -exp none -calibrate self
 
 # events-bench measures the journal's query-path overhead (E1 wall
 # time with the journal off vs on) and writes BENCH_events.json; the

@@ -24,6 +24,20 @@
 // each through the full engine path, and the wall-time medians, delta
 // and result-hash equality land in the named JSON report (e.g.
 // BENCH_events.json).
+//
+// -twigfile compares the binary structural-join cascade against the
+// holistic twig-join matcher on chain and branch patterns over a
+// corpus where most documents cannot satisfy the deep chain: postings
+// scanned, intermediate bindings and wall time per matcher land in the
+// named JSON report (e.g. BENCH_twig.json), and the run fails unless
+// the twig matcher wins both access counters on the deep chain.
+//
+// -calibrate summarizes the planner's estimation accuracy from
+// plan_estimate journal events: pass a journal dump (a crash dump or
+// /debug/events capture) to read operator data, or "self" to build a
+// synthetic database and generate the events in-process. Per-quantity
+// relative-error summaries and suggested cost-constant scales print as
+// a table; -calibratefile also writes them as JSON.
 package main
 
 import (
@@ -55,6 +69,12 @@ func main() {
 	assertReduction := flag.Float64("assertreduction", 0, "fail unless the -fullfile ladder's index bytes-on-disk reduction meets this percentage at every scale (0 = no check)")
 	eventsFile := flag.String("eventsfile", "", "measure the event-journal overhead (E1 wall time with the journal off vs on) and write the JSON report here (e.g. BENCH_events.json)")
 	eventsReps := flag.Int("eventsreps", 5, "timed repetitions per variant in the -eventsfile run")
+	twigFile := flag.String("twigfile", "", "compare the binary and holistic twig matchers on chain/branch patterns and write the JSON report here (e.g. BENCH_twig.json)")
+	twigDocs := flag.Int("twigdocs", 16, "documents in the -twigfile corpus (the deep chain appears in one of eight)")
+	twigArticles := flag.Int("twigarticles", 200, "articles per document in the -twigfile corpus")
+	twigReps := flag.Int("twigreps", 3, "timed repetitions per matcher in the -twigfile run")
+	calibrate := flag.String("calibrate", "", "summarize planner estimation accuracy from plan_estimate events: a journal-dump path, or 'self' to generate events in-process")
+	calibrateFile := flag.String("calibratefile", "", "also write the -calibrate report as JSON to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	verbose := flag.Bool("v", false, "print loading progress")
 	flag.Parse()
@@ -91,6 +111,67 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *twigFile != "" {
+		if err := runTwigComparison(*twigDocs, *twigArticles, *twigReps, *poolMB, *seed, *twigFile); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	if *calibrate != "" {
+		if err := runCalibration(*calibrate, *calibrateFile, *articles, *poolMB, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runTwigComparison measures both matchers on the chain/branch
+// patterns, writes the report, and enforces the deep-chain win.
+func runTwigComparison(docs, articlesPerDoc, reps, poolMB int, seed int64, path string) error {
+	fmt.Println("pattern matchers (binary cascade vs holistic twig join):")
+	rep, err := bench.RunTwigComparison(docs, articlesPerDoc, reps, poolMB, seed, func(format string, args ...any) {
+		fmt.Printf("  "+format+"\n", args...)
+	})
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(path); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	if err := rep.AssertTwigWins(); err != nil {
+		return err
+	}
+	fmt.Println("deep chain: twig wins postings scanned and intermediate bindings: ok")
+	return nil
+}
+
+// runCalibration summarizes planner estimation accuracy from a journal
+// dump (or a self-generated one) and prints the per-quantity table.
+func runCalibration(source, jsonPath string, articles, poolMB int, seed int64) error {
+	var rep *bench.CalibrationReport
+	var err error
+	if source == "self" {
+		fmt.Println("planner calibration (self-generated plan_estimate events):")
+		rep, err = bench.RunSelfCalibration(articles, poolMB, seed, func(format string, args ...any) {
+			fmt.Printf("  "+format+"\n", args...)
+		})
+	} else {
+		fmt.Printf("planner calibration (journal dump %s):\n", source)
+		rep, err = bench.ReadCalibrationFile(source)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %d plan_estimate events over %d journal lines\n", rep.Events, rep.Lines)
+	fmt.Print(bench.CalibrationTable(rep))
+	if jsonPath != "" {
+		if err := rep.WriteJSON(jsonPath); err != nil {
+			return err
+		}
+		fmt.Println("wrote", jsonPath)
+	}
+	return nil
 }
 
 // runEventsOverhead measures the journal-on vs journal-off E1 delta

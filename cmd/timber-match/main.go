@@ -11,6 +11,12 @@
 //
 // Each witness prints one line per bound label with the node identifier
 // (doc:start), tag and content.
+//
+// -matcher selects the matching algorithm: auto (holistic when the
+// pattern qualifies; default), binary (cascaded binary structural
+// joins), or twig (the holistic twig join). The witnesses are
+// byte-identical either way; the printed access counters show how the
+// two algorithms differ in work.
 package main
 
 import (
@@ -31,6 +37,7 @@ func main() {
 	patSrc := flag.String("p", "", "pattern tree (figure notation)")
 	patFile := flag.String("f", "", "read the pattern from this file")
 	limit := flag.Int("limit", 20, "maximum witnesses to print (0 = all)")
+	matcher := flag.String("matcher", "auto", "matching algorithm: auto, binary, twig")
 	flag.Parse()
 
 	src := *patSrc
@@ -46,14 +53,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "timber-match: pass a pattern via -p or -f")
 		os.Exit(2)
 	}
-	if err := run(*dbPath, src, *limit); err != nil {
+	if err := run(*dbPath, src, *matcher, *limit); err != nil {
 		fmt.Fprintln(os.Stderr, "timber-match:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dbPath, src string, limit int) (err error) {
+func run(dbPath, src, matcher string, limit int) (err error) {
 	pt, err := pattern.ParseTree(src)
+	if err != nil {
+		return err
+	}
+	kind, err := match.ParseMatcher(matcher)
 	if err != nil {
 		return err
 	}
@@ -72,12 +83,12 @@ func run(dbPath, src string, limit int) (err error) {
 	// Ctrl-C abandons the match promptly instead of finishing the scan.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	witnesses, stats, err := match.MatchDBObs(ctx, db, pt, 0, nil)
+	witnesses, stats, err := match.MatchKindObs(ctx, db, pt, kind, 0, nil)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\n%d witnesses (%d index candidates, %d record fetches for residual predicates)\n\n",
-		stats.Witnesses, stats.Candidates, stats.RecordFilterFetches)
+	fmt.Printf("\n%d witnesses via the %s matcher (%d index candidates, %d postings scanned, %d intermediate bindings, %d record fetches for residual predicates)\n\n",
+		stats.Witnesses, stats.Matcher, stats.Candidates, stats.PostingsScanned, stats.IntermediateBindings, stats.RecordFilterFetches)
 	for i, w := range witnesses {
 		if limit > 0 && i >= limit {
 			fmt.Printf("... %d more\n", len(witnesses)-limit)

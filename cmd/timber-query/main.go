@@ -30,6 +30,14 @@
 // index deltas per operator) and cannot be combined with -explain,
 // which owns the run's tracer.
 //
+// -matcher selects the pattern-matching algorithm the physical plan's
+// indexed selections run: auto (the cost-based planner chooses;
+// default), binary (cascaded binary structural joins), or twig (the
+// holistic twig join streaming tag-index cursors). Results are
+// byte-identical across matchers; only the index access pattern
+// changes. EXPLAIN reports the planner's matcher choice and expected
+// join order.
+//
 // -maxmem caps, in bytes, the output content the streaming executor's
 // late-materialize sink may fetch; a query that would exceed the cap
 // fails cleanly — no partial output is printed.
@@ -56,6 +64,7 @@ import (
 
 	"timber/internal/engine"
 	"timber/internal/exec"
+	"timber/internal/match"
 	"timber/internal/obs"
 	"timber/internal/plan"
 	"timber/internal/storage"
@@ -66,6 +75,7 @@ func main() {
 	dbPath := flag.String("db", "timber.db", "database file")
 	queryFile := flag.String("f", "", "read the query from this file")
 	strategy := flag.String("plan", "auto", "execution strategy: auto (cost-based planner; default), logical, physical, direct, direct-nested, direct-batch, groupby, groupby-mat, replicating")
+	matcher := flag.String("matcher", "auto", "pattern matcher for the physical plan: auto (planner decides; default), binary, twig")
 	poolMB := flag.Int("poolmb", 32, "buffer pool size in MiB")
 	parallel := flag.Int("parallel", 0, "worker bound for the physical executors (0 = GOMAXPROCS, 1 = sequential)")
 	maxMem := flag.Int64("maxmem", 0, "cap, in bytes, on the output content the streaming executor materializes; the query fails cleanly (no partial output) past it (0 = unlimited)")
@@ -99,7 +109,7 @@ func main() {
 	// run owns the database lifecycle: by the time it returns, the
 	// deferred Close has executed (and its error has been folded into
 	// run's), so exiting here never skips cleanup.
-	if err := run(*dbPath, query, *strategy, *poolMB, *parallel, *maxMem, *showPlans, *quiet, *explain, *explainFile, *trace, *traceFile, *metricsFile); err != nil {
+	if err := run(*dbPath, query, *strategy, *matcher, *poolMB, *parallel, *maxMem, *showPlans, *quiet, *explain, *explainFile, *trace, *traceFile, *metricsFile); err != nil {
 		fmt.Fprintln(os.Stderr, "timber-query:", err)
 		os.Exit(1)
 	}
@@ -118,8 +128,12 @@ func servePprof(addr string) {
 	}()
 }
 
-func run(dbPath, query, strategy string, poolMB, parallel int, maxMem int64, showPlans, quiet, explain bool, explainFile string, trace bool, traceFile, metricsFile string) (err error) {
+func run(dbPath, query, strategy, matcher string, poolMB, parallel int, maxMem int64, showPlans, quiet, explain bool, explainFile string, trace bool, traceFile, metricsFile string) (err error) {
 	strat, err := exec.ParseStrategy(strategy)
+	if err != nil {
+		return err
+	}
+	mkind, err := match.ParseMatcher(matcher)
 	if err != nil {
 		return err
 	}
@@ -170,7 +184,7 @@ func run(dbPath, query, strategy string, poolMB, parallel int, maxMem int64, sho
 	defer stop()
 
 	start := time.Now()
-	opts := engine.ExecOptions{Strategy: strat, Parallelism: parallel, MaxMaterializeBytes: maxMem, Tracer: tr}
+	opts := engine.ExecOptions{Strategy: strat, Matcher: mkind, Parallelism: parallel, MaxMaterializeBytes: maxMem, Tracer: tr}
 	var res *engine.Result
 	var report *engine.Explain
 	if wantExplain {
@@ -247,8 +261,12 @@ func run(dbPath, query, strategy string, poolMB, parallel int, maxMem int64, sho
 			}
 		}
 	}
-	fmt.Fprintf(os.Stderr, "%d result trees in %v (%s strategy); pool: %v\n",
-		len(trees), elapsed.Round(time.Millisecond), res.Strategy, db.Stats())
+	strategyNote := res.Strategy.String() + " strategy"
+	if res.Strategy == exec.StrategyPhysical {
+		strategyNote += ", " + res.Matcher.String() + " matcher"
+	}
+	fmt.Fprintf(os.Stderr, "%d result trees in %v (%s); pool: %v\n",
+		len(trees), elapsed.Round(time.Millisecond), strategyNote, db.Stats())
 	if info, ierr := db.SizeInfo(); ierr == nil {
 		size := fmt.Sprintf("size: %d bytes on disk (%d pages: %d heap, %d index)",
 			info.TotalBytes, info.TotalPages, info.HeapPages, info.IndexPages)

@@ -18,9 +18,12 @@
 //
 // Endpoints:
 //
-//	POST /query  {"query": ..., "strategy"?: ..., "timeout_ms"?: ..., "parallelism"?: ...}
-//	GET  /query?q=...&strategy=...&timeout_ms=...
-//	     200 JSON result; 400 malformed query/strategy; 504 per-request
+//	POST /query  {"query": ..., "strategy"?: ..., "matcher"?: ..., "timeout_ms"?: ..., "parallelism"?: ...}
+//	GET  /query?q=...&strategy=...&matcher=...&timeout_ms=...
+//	     matcher selects the physical plan's pattern matcher (auto =
+//	     planner decides; binary, twig override — byte-identical
+//	     results either way).
+//	     200 JSON result; 400 malformed query/strategy/matcher; 504 per-request
 //	     timeout exceeded; 429 admission limit reached (Retry-After: 1);
 //	     405 for other methods. Every response carries an X-Query-ID
 //	     header that matches the structured request log.

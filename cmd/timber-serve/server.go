@@ -14,6 +14,7 @@ import (
 
 	"timber/internal/engine"
 	"timber/internal/exec"
+	"timber/internal/match"
 	"timber/internal/obs"
 )
 
@@ -209,13 +210,17 @@ func (s *server) instrument(next http.Handler) http.Handler {
 }
 
 // queryRequest is the /query request body (POST) or query-parameter
-// set (GET: q, strategy, timeout_ms, parallelism, explain).
+// set (GET: q, strategy, matcher, timeout_ms, parallelism, explain).
 type queryRequest struct {
 	// Query is the XQuery-subset text to run.
 	Query string `json:"query"`
 	// Strategy names an exec.Strategy ("" = auto: the cost-based
 	// planner picks the plan; an explicit name is an override).
 	Strategy string `json:"strategy,omitempty"`
+	// Matcher names the pattern matcher for the physical plan ("" or
+	// "auto" = planner decides; "binary"/"twig" are overrides). Results
+	// are byte-identical across matchers.
+	Matcher string `json:"matcher,omitempty"`
 	// TimeoutMS overrides the service's default per-request timeout,
 	// capped at the configured maximum.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
@@ -232,9 +237,12 @@ type queryRequest struct {
 // serialized exactly as timber-query prints it, so the two paths are
 // byte-comparable.
 type queryResponse struct {
-	Trees     string  `json:"trees"`
-	Count     int     `json:"count"`
-	Strategy  string  `json:"strategy"`
+	Trees    string `json:"trees"`
+	Count    int    `json:"count"`
+	Strategy string `json:"strategy"`
+	// Matcher is the pattern matcher the physical plan ran (absent for
+	// strategies that do not drive package match).
+	Matcher   string  `json:"matcher,omitempty"`
 	CacheHit  bool    `json:"cache_hit"`
 	ElapsedMS float64 `json:"elapsed_ms"`
 	// Explain is present when the request asked for it.
@@ -264,6 +272,7 @@ func (s *server) parseRequest(r *http.Request) (queryRequest, error) {
 		q := r.URL.Query()
 		req.Query = q.Get("q")
 		req.Strategy = q.Get("strategy")
+		req.Matcher = q.Get("matcher")
 		if v := q.Get("timeout_ms"); v != "" {
 			n, err := strconv.Atoi(v)
 			if err != nil {
@@ -335,6 +344,15 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		eo.Strategy = strat
+	}
+	if req.Matcher != "" {
+		mkind, err := match.ParseMatcher(req.Matcher)
+		if err != nil {
+			s.badReqs.Inc()
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		eo.Matcher = mkind
 	}
 	eo.Parallelism = req.Parallelism
 	if eo.Parallelism == 0 {
@@ -417,14 +435,18 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.okCount.Inc()
-	writeJSON(w, http.StatusOK, queryResponse{
+	qres := queryResponse{
 		Trees:     res.Serialize(),
 		Count:     len(res.Trees),
 		Strategy:  res.Strategy.String(),
 		CacheHit:  cacheHit,
 		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
 		Explain:   report,
-	})
+	}
+	if res.Strategy == exec.StrategyPhysical {
+		qres.Matcher = res.Matcher.String()
+	}
+	writeJSON(w, http.StatusOK, qres)
 }
 
 // queryObservation carries one execution's observability payload from

@@ -133,8 +133,8 @@ func TestQueryGolden(t *testing.T) {
 	}
 }
 
-// TestQueryBadRequest: malformed queries, bad strategies and missing
-// parameters are 400s, not 500s.
+// TestQueryBadRequest: malformed queries, bad strategies/matchers and
+// missing parameters are 400s, not 500s.
 func TestQueryBadRequest(t *testing.T) {
 	s := testServer(t, config{})
 	ts := httptest.NewServer(s.handler())
@@ -142,6 +142,7 @@ func TestQueryBadRequest(t *testing.T) {
 	for name, body := range map[string]string{
 		"malformed query": `{"query": "this is not xquery"}`,
 		"bad strategy":    fmt.Sprintf(`{"query": %q, "strategy": "turbo"}`, query1),
+		"bad matcher":     fmt.Sprintf(`{"query": %q, "matcher": "psychic"}`, query1),
 		"missing query":   `{}`,
 		"bad json":        `{"query": `,
 	} {
@@ -154,8 +155,58 @@ func TestQueryBadRequest(t *testing.T) {
 			t.Errorf("%s: error body %s", name, raw)
 		}
 	}
-	if got := s.badReqs.Load(); got != 4 {
-		t.Errorf("bad-request counter = %d, want 4", got)
+	if got := s.badReqs.Load(); got != 5 {
+		t.Errorf("bad-request counter = %d, want 5", got)
+	}
+}
+
+// TestQueryMatcher: ?matcher= overrides the physical plan's pattern
+// matcher, the response reports which matcher ran, and the served
+// bytes are identical across matchers.
+func TestQueryMatcher(t *testing.T) {
+	s := testServer(t, config{})
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	get := func(params string) queryResponse {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/query?q=" + url.QueryEscape(query1) + params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d, body %s", resp.StatusCode, raw)
+		}
+		return decodeQueryResponse(t, raw)
+	}
+
+	base := get("&strategy=physical&matcher=binary")
+	if base.Matcher != "binary" {
+		t.Errorf("matcher override: response reports %q, want binary", base.Matcher)
+	}
+	twig := get("&strategy=physical&matcher=twig")
+	if twig.Matcher != "twig" {
+		t.Errorf("matcher override: response reports %q, want twig", twig.Matcher)
+	}
+	if twig.Trees != base.Trees {
+		t.Error("twig matcher served different bytes than binary")
+	}
+	auto := get("&strategy=physical")
+	if auto.Matcher != "binary" && auto.Matcher != "twig" {
+		t.Errorf("auto run reports matcher %q, want a concrete pick", auto.Matcher)
+	}
+	if auto.Trees != base.Trees {
+		t.Error("auto matcher served different bytes than binary")
+	}
+
+	// Non-physical strategies never drive package match: no matcher.
+	if grp := get("&strategy=groupby"); grp.Matcher != "" {
+		t.Errorf("groupby response reports matcher %q, want none", grp.Matcher)
 	}
 }
 

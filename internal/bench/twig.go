@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"timber/internal/match"
+	"timber/internal/pagestore"
+	"timber/internal/pattern"
+	"timber/internal/storage"
+	"timber/internal/xmltree"
+)
+
+// twigChainPattern is the deep-chain query: four levels, descendant
+// steps between them. Only a minority of bench documents contain
+// <section>, so the holistic matcher can skip whole documents at
+// stream alignment while the binary cascade materializes the full
+// article and author posting lists first.
+const twigChainPattern = `$1 [tag=doc_root]
+  ad $2 [tag=article]
+    ad $3 [tag=section]
+      pc $4 [tag=author]`
+
+// twigBranchPattern is the branching query every document satisfies —
+// the regime where the binary cascade's greedy join order is already
+// near-optimal and the two matchers should be close.
+const twigBranchPattern = `$1 [tag=article]
+  pc $2 [tag=title]
+  pc $3 [tag=author]`
+
+// TwigMeasurement is one matcher's cost on one pattern: the access
+// counters from match.DBStats plus repeated wall times.
+type TwigMeasurement struct {
+	Matcher string `json:"matcher"`
+	// WallNS holds every timed repetition, in run order; MedianNS is
+	// the headline.
+	WallNS   []int64 `json:"wall_ns"`
+	MedianNS int64   `json:"median_ns"`
+	// Candidates counts postings that survived stream advancement:
+	// materialized candidate-list entries for the binary cascade,
+	// postings considered at stream alignment for the twig matcher.
+	Candidates int64 `json:"candidates"`
+	// PostingsScanned counts postings decoded from the tag/value
+	// indexes — the paper-units cost the planner models.
+	PostingsScanned int64 `json:"postings_scanned"`
+	// IntermediateBindings counts rows the matcher held between steps:
+	// binary join outputs for the cascade, path solutions plus merge
+	// rows for the twig matcher.
+	IntermediateBindings int64 `json:"intermediate_bindings"`
+	// Witnesses is the (matcher-independent) result count.
+	Witnesses int `json:"witnesses"`
+}
+
+// TwigPoint compares the matchers on one pattern.
+type TwigPoint struct {
+	Query   string `json:"query"`
+	Pattern string `json:"pattern"`
+	// DeepChain marks the sparse-chain regime where the holistic
+	// matcher must win on access counters (AssertTwigWins enforces it).
+	DeepChain bool            `json:"deep_chain"`
+	Binary    TwigMeasurement `json:"binary"`
+	Twig      TwigMeasurement `json:"twig"`
+	// PostingsRatio is binary/twig postings scanned (>1: twig reads
+	// less of the index).
+	PostingsRatio float64 `json:"postings_ratio"`
+}
+
+// TwigReport is the BENCH_twig.json shape: binary cascade vs holistic
+// twig join on chain and branch patterns over a corpus where most
+// documents cannot satisfy the deep chain.
+type TwigReport struct {
+	Docs           int     `json:"docs"`
+	ArticlesPerDoc int     `json:"articles_per_doc"`
+	ChainDocShare  float64 `json:"chain_doc_share"`
+	Reps           int     `json:"reps"`
+	Seed           int64   `json:"seed"`
+	PoolMB         int     `json:"pool_mb"`
+
+	Points []TwigPoint `json:"points"`
+}
+
+// RunTwigComparison builds a multi-document corpus in which only one
+// document in eight contains the deep <article>//<section>/<author>
+// chain, then runs the chain and branch patterns under both matchers,
+// checking witness counts agree and recording wall time plus the
+// postings-scanned / intermediate-bindings counters the planner's cost
+// model is calibrated against.
+func RunTwigComparison(docs, articlesPerDoc, reps, poolMB int, seed int64, logf func(format string, args ...any)) (*TwigReport, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if docs <= 0 {
+		docs = 16
+	}
+	if articlesPerDoc <= 0 {
+		articlesPerDoc = 200
+	}
+	if reps <= 0 {
+		reps = 3
+	}
+	if poolMB <= 0 {
+		poolMB = 32
+	}
+
+	db, err := storage.CreateTemp(storage.Options{PoolPages: poolMB * 1024 * 1024 / pagestore.DefaultPageSize})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	// One document in eight carries the deep chain; the rest contribute
+	// article/title/author postings the chain query must not touch.
+	const chainEvery = 8
+	rng := rand.New(rand.NewSource(seed))
+	start := time.Now()
+	for d := 0; d < docs; d++ {
+		root := xmltree.E("doc_root")
+		for a := 0; a < articlesPerDoc; a++ {
+			art := xmltree.E("article")
+			art.Append(xmltree.Elem("title", fmt.Sprintf("T%d-%d", d, a)))
+			for k := 0; k <= rng.Intn(3); k++ {
+				art.Append(xmltree.Elem("author", fmt.Sprintf("A%d", rng.Intn(97))))
+			}
+			if d%chainEvery == 0 && a%4 == 0 {
+				art.Append(xmltree.E("section", xmltree.Elem("author", fmt.Sprintf("S%d", rng.Intn(13)))))
+			}
+			root.Append(art)
+		}
+		if _, err := db.LoadDocument(fmt.Sprintf("twig%d.xml", d), root); err != nil {
+			return nil, err
+		}
+	}
+	logf("corpus: %d docs x %d articles (chain in 1/%d docs) loaded in %v",
+		docs, articlesPerDoc, chainEvery, time.Since(start).Round(time.Millisecond))
+
+	rep := &TwigReport{
+		Docs:           docs,
+		ArticlesPerDoc: articlesPerDoc,
+		ChainDocShare:  1.0 / chainEvery,
+		Reps:           reps,
+		Seed:           seed,
+		PoolMB:         poolMB,
+	}
+	for _, q := range []struct {
+		name, src string
+		deep      bool
+	}{
+		{"deep-chain", twigChainPattern, true},
+		{"branch", twigBranchPattern, false},
+	} {
+		pt, err := pattern.ParseTree(q.src)
+		if err != nil {
+			return nil, err
+		}
+		point := TwigPoint{Query: q.name, Pattern: q.src, DeepChain: q.deep}
+		if point.Binary, err = measureTwig(db, pt, match.MatcherBinary, reps); err != nil {
+			return nil, err
+		}
+		if point.Twig, err = measureTwig(db, pt, match.MatcherTwig, reps); err != nil {
+			return nil, err
+		}
+		if point.Binary.Witnesses != point.Twig.Witnesses {
+			return nil, fmt.Errorf("bench: twig: %s witness counts diverge: binary %d, twig %d",
+				q.name, point.Binary.Witnesses, point.Twig.Witnesses)
+		}
+		if point.Twig.PostingsScanned > 0 {
+			point.PostingsRatio = float64(point.Binary.PostingsScanned) / float64(point.Twig.PostingsScanned)
+		}
+		rep.Points = append(rep.Points, point)
+		logf("%s: %d witnesses; postings binary %d vs twig %d (%.2fx); intermediates %d vs %d; wall %v vs %v",
+			q.name, point.Binary.Witnesses,
+			point.Binary.PostingsScanned, point.Twig.PostingsScanned, point.PostingsRatio,
+			point.Binary.IntermediateBindings, point.Twig.IntermediateBindings,
+			time.Duration(point.Binary.MedianNS).Round(time.Microsecond),
+			time.Duration(point.Twig.MedianNS).Round(time.Microsecond))
+	}
+	return rep, nil
+}
+
+// measureTwig runs one matcher reps times (plus one warm-up) and keeps
+// the stats from the final repetition — the counters are deterministic
+// per run, only the wall times vary.
+func measureTwig(db *storage.DB, pt *pattern.Tree, kind match.MatcherKind, reps int) (m TwigMeasurement, err error) {
+	if _, _, err := match.MatchKindObs(nil, db, pt, kind, 0, nil); err != nil {
+		return m, err
+	}
+	var stats *match.DBStats
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		_, st, err := match.MatchKindObs(nil, db, pt, kind, 0, nil)
+		if err != nil {
+			return m, err
+		}
+		m.WallNS = append(m.WallNS, time.Since(t0).Nanoseconds())
+		stats = st
+	}
+	sorted := append([]int64(nil), m.WallNS...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	m.MedianNS = sorted[len(sorted)/2]
+	m.Matcher = stats.Matcher
+	m.Candidates = int64(stats.Candidates)
+	m.PostingsScanned = int64(stats.PostingsScanned)
+	m.IntermediateBindings = int64(stats.IntermediateBindings)
+	m.Witnesses = stats.Witnesses
+	return m, nil
+}
+
+// AssertTwigWins enforces the tentpole's headline claim on the report:
+// on every deep-chain point the holistic matcher must have found the
+// same witnesses while decoding strictly fewer postings and holding
+// strictly fewer intermediate bindings than the binary cascade.
+func (r *TwigReport) AssertTwigWins() error {
+	checked := 0
+	for _, p := range r.Points {
+		if !p.DeepChain {
+			continue
+		}
+		checked++
+		if p.Twig.Witnesses == 0 {
+			return fmt.Errorf("bench: twig: %s produced no witnesses — the comparison is vacuous", p.Query)
+		}
+		if p.Twig.PostingsScanned >= p.Binary.PostingsScanned {
+			return fmt.Errorf("bench: twig: %s: twig scanned %d postings, binary %d — expected strictly fewer",
+				p.Query, p.Twig.PostingsScanned, p.Binary.PostingsScanned)
+		}
+		if p.Twig.IntermediateBindings >= p.Binary.IntermediateBindings {
+			return fmt.Errorf("bench: twig: %s: twig held %d intermediate bindings, binary %d — expected strictly fewer",
+				p.Query, p.Twig.IntermediateBindings, p.Binary.IntermediateBindings)
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("bench: twig: report has no deep-chain point to check")
+	}
+	return nil
+}
+
+// WriteJSON writes the report, indented, to path.
+func (r *TwigReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

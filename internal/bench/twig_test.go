@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunTwigComparison exercises the BENCH_twig pipeline at test
+// scale: both patterns measure under both matchers, the deep-chain
+// point satisfies the strictly-fewer-accesses claim AssertTwigWins
+// enforces, and the report round-trips through WriteJSON.
+func TestRunTwigComparison(t *testing.T) {
+	rep, err := RunTwigComparison(16, 60, 1, 8, 2002, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(rep.Points))
+	}
+	for _, p := range rep.Points {
+		if p.Binary.Matcher != "binary" || p.Twig.Matcher != "twig" {
+			t.Errorf("%s: measurements ran %q/%q", p.Query, p.Binary.Matcher, p.Twig.Matcher)
+		}
+		if p.Binary.Witnesses != p.Twig.Witnesses || p.Twig.Witnesses == 0 {
+			t.Errorf("%s: witnesses binary %d, twig %d", p.Query, p.Binary.Witnesses, p.Twig.Witnesses)
+		}
+	}
+	if err := rep.AssertTwigWins(); err != nil {
+		t.Error(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_twig.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TwigReport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != 2 || back.Points[0].Query != "deep-chain" {
+		t.Errorf("report did not round-trip: %+v", back.Points)
+	}
+}

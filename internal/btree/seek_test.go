@@ -1,0 +1,103 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// seekTestKeys loads n sequential keys into a small-page tree (forcing
+// a multi-leaf shape) and returns them in sorted order.
+func seekTestKeys(t *testing.T, tr *Tree, n int) [][]byte {
+	t.Helper()
+	keys := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key%05d", i))
+		if err := tr.Insert(k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// TestIteratorPeekNextKey: within a leaf the peek matches what Next
+// lands on, and the final cell of the tree peeks false.
+func TestIteratorPeekNextKey(t *testing.T) {
+	_, tr := testTree(t, 256)
+	keys := seekTestKeys(t, tr, 200)
+	it := tr.Seek(nil)
+	defer it.Close()
+	seen := 0
+	for it.Valid() {
+		peek, ok := it.PeekNextKey()
+		var peeked []byte
+		if ok {
+			peeked = append([]byte(nil), peek...)
+		}
+		it.Next()
+		if it.Valid() && ok && !bytes.Equal(peeked, it.Key()) {
+			t.Fatalf("peek %q but Next landed on %q", peeked, it.Key())
+		}
+		if !it.Valid() && ok {
+			t.Fatalf("peeked %q past the end of the tree", peeked)
+		}
+		seen++
+	}
+	if seen != len(keys) {
+		t.Fatalf("iterated %d cells, want %d", seen, len(keys))
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIteratorSeekForward: forward seeks land on the first key >=
+// target from arbitrary positions (including cross-leaf jumps), never
+// move backward, and run out cleanly past the last key.
+func TestIteratorSeekForward(t *testing.T) {
+	_, tr := testTree(t, 256)
+	keys := seekTestKeys(t, tr, 500)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		start := rng.Intn(len(keys))
+		it := tr.Seek(keys[start])
+		pos := start
+		for hop := 0; hop < 5 && it.Valid(); hop++ {
+			targetIdx := pos + rng.Intn(len(keys)-pos)
+			// Alternate exact keys and between-key targets.
+			target := append([]byte(nil), keys[targetIdx]...)
+			if hop%2 == 1 {
+				target = append(target[:len(target)-1], target[len(target)-1]-1, 0xff)
+			}
+			it.SeekForward(target)
+			if !it.Valid() {
+				t.Fatalf("trial %d: iterator died seeking %q", trial, target)
+			}
+			if !bytes.Equal(it.Key(), keys[targetIdx]) {
+				t.Fatalf("trial %d: SeekForward(%q) landed on %q, want %q",
+					trial, target, it.Key(), keys[targetIdx])
+			}
+			pos = targetIdx
+		}
+		if err := it.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Backward targets are no-ops.
+	it := tr.Seek(keys[100])
+	it.SeekForward(keys[3])
+	if !bytes.Equal(it.Key(), keys[100]) {
+		t.Fatalf("backward SeekForward moved the iterator to %q", it.Key())
+	}
+	// Seeking past the last key exhausts the iterator without error.
+	it.SeekForward([]byte("zzz"))
+	if it.Valid() {
+		t.Fatalf("SeekForward past the end left iterator on %q", it.Key())
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -22,9 +22,11 @@ import (
 	"time"
 
 	"timber/internal/exec"
+	"timber/internal/match"
 	"timber/internal/obs"
 	"timber/internal/opt"
 	"timber/internal/opt/planner"
+	"timber/internal/pattern"
 	"timber/internal/plan"
 	"timber/internal/stats"
 	"timber/internal/storage"
@@ -80,9 +82,11 @@ type Engine struct {
 	// chosen strategy (auto executions only — explicit strategies are
 	// overrides, not picks); plannerEstErr distributes the planner's
 	// relative cardinality-estimation error, measured against the
-	// actuals of the run it planned.
+	// actuals of the run it planned; matcherPicks counts the planner's
+	// pattern-matcher decisions on the physical path by chosen matcher.
 	plannerPicks  *obs.CounterVec
 	plannerEstErr *obs.HistogramVec
+	matcherPicks  *obs.CounterVec
 
 	// Cardinality-statistics cache for the planner, revalidated by
 	// storage epoch (any commit moves the epoch, so a hit can never
@@ -131,6 +135,8 @@ func New(db *storage.DB, opts Options) *Engine {
 		plannerEstErr: reg.HistogramVec("planner_estimate_error",
 			"Relative error of planner cardinality estimates vs actuals.",
 			estErrBuckets, "quantity"),
+		matcherPicks: reg.CounterVec("planner_matcher_picks_total",
+			"Cost-based planner pattern-matcher decisions by chosen matcher (auto executions).", "matcher"),
 	}
 }
 
@@ -181,6 +187,11 @@ type PreparedQuery struct {
 	// Spec is the physical grouping-query description derived from
 	// Rewritten; valid only when Applied.
 	Spec exec.Spec
+	// Pattern is the first pattern tree the physical plan embeds into
+	// the database (the deepest Select over a DBScan leaf), the input
+	// to the planner's matcher choice. Nil when the plan has no indexed
+	// leaf selection.
+	Pattern *pattern.Tree
 }
 
 // Prepare compiles the query, consulting the plan cache: a hit returns
@@ -264,8 +275,10 @@ func (e *Engine) compile(query string) (*PreparedQuery, error) {
 		return nil, err
 	}
 	pq := &PreparedQuery{eng: e, Text: query, Naive: naive, Rewritten: rewritten, Applied: applied}
+	pq.Pattern = patternOf(rewritten)
 	if !applied {
 		pq.Rewritten = naive
+		pq.Pattern = patternOf(naive)
 		return pq, nil
 	}
 	spec, err := exec.SpecFromPlan(rewritten)
@@ -306,6 +319,14 @@ type ExecOptions struct {
 	// solo runs over reset counters — the exactness invariant cannot
 	// hold when concurrent queries share the storage counters.
 	Tracer *obs.Tracer
+	// Matcher selects the pattern-matching algorithm for the physical
+	// plan's indexed leaf selections. The zero value,
+	// match.MatcherAuto, hands the choice to the cost-based planner
+	// (holistic twig join vs cascaded binary joins, costed on the same
+	// cardinality statistics the strategy choice uses); an explicit
+	// matcher is an override. Results are byte-identical either way —
+	// only the index access pattern changes.
+	Matcher match.MatcherKind
 }
 
 // Result is one execution's outcome.
@@ -317,6 +338,9 @@ type Result struct {
 	Stats exec.ExecStats
 	// Strategy is the plan that actually ran (after fallback).
 	Strategy exec.Strategy
+	// Matcher is the pattern-matching algorithm the physical path ran
+	// (auto for strategies that do not run package match's matchers).
+	Matcher match.MatcherKind
 }
 
 // Execute runs the prepared plan. ctx cancellation and deadlines are
@@ -367,6 +391,58 @@ func (pq *PreparedQuery) resolvePlan(requested exec.Strategy) (exec.Strategy, *p
 		return dec.Strategy, dec
 	}
 	return requested, nil
+}
+
+// resolveMatcher maps the requested matcher to the one to run: the
+// planner decides for match.MatcherAuto when the plan embeds a pattern
+// (returning its MatcherDecision); an explicit matcher is an override.
+func (pq *PreparedQuery) resolveMatcher(requested match.MatcherKind) (match.MatcherKind, *planner.MatcherDecision) {
+	if requested != match.MatcherAuto || pq.Pattern == nil {
+		return requested, nil
+	}
+	dec := planner.ChooseMatcher(pq.eng.cardStats(), pq.Pattern)
+	return dec.Matcher, dec
+}
+
+// patternOf finds the pattern tree the physical evaluation will match
+// against the database: the deepest Select whose input is the DBScan
+// leaf. Plans without one (pure literals, naive joins) return nil.
+func patternOf(op plan.Op) *pattern.Tree {
+	switch o := op.(type) {
+	case *plan.Select:
+		if _, ok := o.In.(*plan.DBScan); ok {
+			return o.Pattern
+		}
+		return patternOf(o.In)
+	case *plan.Project:
+		return patternOf(o.In)
+	case *plan.ProjectPerTree:
+		return patternOf(o.In)
+	case *plan.DupElimContent:
+		return patternOf(o.In)
+	case *plan.DedupChildren:
+		return patternOf(o.In)
+	case *plan.SortChildrenByPath:
+		return patternOf(o.In)
+	case *plan.GroupBy:
+		return patternOf(o.In)
+	case *plan.Aggregate:
+		return patternOf(o.In)
+	case *plan.Rename:
+		return patternOf(o.In)
+	case *plan.LeftOuterJoin:
+		if pt := patternOf(o.Left); pt != nil {
+			return pt
+		}
+		return patternOf(o.Right)
+	case *plan.Stitch:
+		for _, p := range o.Parts {
+			if pt := patternOf(p.Op); pt != nil {
+				return pt
+			}
+		}
+	}
+	return nil
 }
 
 // cardStats returns the database's cardinality statistics for the
@@ -431,6 +507,29 @@ func (e *Engine) observePlan(qid string, dec *planner.Decision, strat exec.Strat
 	}
 }
 
+// observeMatcher records one planner matcher decision: the pick
+// counter plus a plan_decision journal event labeled
+// "matcher:<name>", distinguishing matcher picks from strategy picks
+// in the same event stream. Overrides (nil decision) record nothing —
+// they are the caller's choice, not the planner's.
+func (e *Engine) observeMatcher(qid string, dec *planner.MatcherDecision) {
+	if dec == nil {
+		return
+	}
+	e.matcherPicks.With(dec.Matcher.String()).Inc()
+	var cost float64
+	if len(dec.Candidates) > 0 {
+		cost = dec.Candidates[0].Cost
+	}
+	e.db.Journal().Emit(obs.Event{
+		Type:  obs.EvPlanDecision,
+		QID:   qid,
+		Label: "matcher:" + dec.Matcher.String(),
+		Value: cost,
+		Count: int64(len(dec.Candidates)),
+	})
+}
+
 // relErr is the relative estimation error |est-actual| / max(actual, 1).
 func relErr(est, actual float64) float64 {
 	diff := est - actual
@@ -471,11 +570,14 @@ func (pq *PreparedQuery) execute(ctx context.Context, o ExecOptions) (*Result, e
 		}
 		return &Result{Trees: out.Trees, Strategy: strat}, nil
 	case exec.StrategyPhysical:
+		mkind, mdec := pq.resolveMatcher(o.Matcher)
+		xo.Matcher = mkind
 		out, err := exec.ExecPhysical(pq.eng.db, pq.Rewritten, xo)
 		if err != nil {
 			return nil, err
 		}
-		return &Result{Trees: out.Trees, Strategy: strat}, nil
+		pq.eng.observeMatcher(obs.QueryIDFrom(ctx), mdec)
+		return &Result{Trees: out.Trees, Strategy: strat, Matcher: mkind}, nil
 	default:
 		spec := pq.Spec
 		spec.Strategy = strat

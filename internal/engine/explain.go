@@ -36,6 +36,17 @@ type Explain struct {
 	// Candidates are the costed alternatives, cheapest first (empty
 	// when the strategy was forced or the planner had no statistics).
 	Candidates []ExplainCandidate `json:"candidates,omitempty"`
+	// Matcher is the pattern-matching algorithm the physical path runs
+	// — the planner's pick under auto, the override otherwise. Empty
+	// when the plan embeds no pattern into the database.
+	Matcher string `json:"matcher,omitempty"`
+	// MatcherCandidates are the costed matcher alternatives, cheapest
+	// first (empty under an override).
+	MatcherCandidates []ExplainMatcherCandidate `json:"matcher_candidates,omitempty"`
+	// JoinOrder is the chosen matcher's expected edge-resolution order
+	// over the pattern labels: the greedy simulation for the binary
+	// cascade, pattern pre-order for the holistic matcher.
+	JoinOrder []string `json:"join_order,omitempty"`
 	// Operators estimates each physical operator's output rows, in
 	// pipeline order; after execution ActualRows carries the traced
 	// row counts.
@@ -60,6 +71,13 @@ type ExplainCandidate struct {
 	Detail   string  `json:"detail,omitempty"`
 }
 
+// ExplainMatcherCandidate is one costed pattern-matcher alternative.
+type ExplainMatcherCandidate struct {
+	Matcher string  `json:"matcher"`
+	Cost    float64 `json:"cost"`
+	Detail  string  `json:"detail,omitempty"`
+}
+
 // ExplainOp is one physical operator's estimated (and, after
 // execution, actual) output cardinality.
 type ExplainOp struct {
@@ -80,6 +98,17 @@ func (pq *PreparedQuery) Explain(o ExecOptions) *Explain {
 		Requested:    o.Strategy.String(),
 		Strategy:     strat.String(),
 		ActualGroups: -1,
+	}
+	if pq.Pattern != nil {
+		mkind, mdec := pq.resolveMatcher(o.Matcher)
+		x.Matcher = mkind.String()
+		if mdec != nil {
+			for _, c := range mdec.Candidates {
+				x.MatcherCandidates = append(x.MatcherCandidates,
+					ExplainMatcherCandidate{Matcher: c.Matcher.String(), Cost: c.Cost, Detail: c.Detail})
+			}
+			x.JoinOrder = mdec.JoinOrder
+		}
 	}
 	if !pq.Applied {
 		if o.Strategy != exec.StrategyLogical && o.Strategy != exec.StrategyPhysical {
@@ -195,6 +224,23 @@ func (pq *PreparedQuery) describeForced(strat exec.Strategy) *planner.Decision {
 func (x *Explain) Text() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "strategy: %s (requested %s)\n", x.Strategy, x.Requested)
+	if x.Matcher != "" {
+		fmt.Fprintf(&b, "matcher: %s", x.Matcher)
+		if len(x.JoinOrder) > 0 {
+			fmt.Fprintf(&b, " (join order %s)", strings.Join(x.JoinOrder, " -> "))
+		}
+		b.WriteByte('\n')
+	}
+	if len(x.MatcherCandidates) > 0 {
+		b.WriteString("matcher candidates:\n")
+		for _, c := range x.MatcherCandidates {
+			fmt.Fprintf(&b, "  %-12s cost %12.0f", c.Matcher, c.Cost)
+			if c.Detail != "" {
+				fmt.Fprintf(&b, "  (%s)", c.Detail)
+			}
+			b.WriteByte('\n')
+		}
+	}
 	if !x.Applied {
 		b.WriteString("grouping rewrite: not applied\n")
 	}

@@ -3,6 +3,7 @@ package exec
 import (
 	"context"
 
+	"timber/internal/match"
 	"timber/internal/obs"
 	"timber/internal/par"
 )
@@ -61,6 +62,16 @@ type Options struct {
 	// its own Tracer, it owns Finish and any folding; otherwise the
 	// run creates a private wall-clock-only tracer to collect spans.
 	Metrics *obs.Registry
+	// Matcher selects the pattern-matching algorithm the physical
+	// plan's indexed leaf selections run (match.MatcherBinary cascaded
+	// structural joins, match.MatcherTwig holistic twig join). The zero
+	// value, match.MatcherAuto, resolves structurally at this level —
+	// holistic when every pattern node is tagged — while the engine
+	// resolves it through the cost-based planner before calling down.
+	// Any setting produces byte-identical results; only the index access
+	// pattern changes. Spec-level strategies do their own scans and
+	// ignore it.
+	Matcher match.MatcherKind
 	// Journal, when non-nil, receives the run's finished span tree in
 	// its flight recorder, keyed by the query ID in Ctx — the per-query
 	// trace survives the request so /debug/flight can replay it. Like

@@ -181,7 +181,7 @@ func physSelect(db storage.Reader, pt *pattern.Tree, sl []tax.Item, o Options) (
 		starred[it.Label] = true
 	}
 	matchSp := o.Tracer.Start("match: pattern")
-	bindings, _, err := match.MatchDBObs(o.Ctx, db, pt, o.Parallelism, matchSp)
+	bindings, _, err := match.MatchKindObs(o.Ctx, db, pt, o.Matcher, o.Parallelism, matchSp)
 	matchSp.End()
 	if err != nil {
 		return tax.Collection{}, err

@@ -2,6 +2,7 @@ package match
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"timber/internal/pattern"
 	"timber/internal/storage"
@@ -27,9 +28,10 @@ type Cursor struct {
 	docs   []xmltree.DocID
 	stats  *DBStats
 
-	di  int
-	buf []DBBinding
-	pos int
+	di     int
+	buf    []DBBinding
+	pos    int
+	interm atomic.Int64
 }
 
 // OpenCursor scans the pattern's candidate postings and positions the
@@ -41,7 +43,7 @@ func OpenCursor(db storage.Reader, pt *pattern.Tree) (*Cursor, error) {
 	db, release := storage.Pin(db)
 	defer release()
 	order := preorder(pt.Root)
-	stats := &DBStats{}
+	stats := &DBStats{Matcher: MatcherBinary.String()}
 	colOf := make(map[string]int, len(order))
 	for i, pn := range order {
 		colOf[pn.Label] = i
@@ -105,7 +107,7 @@ func (c *Cursor) fillDoc(doc xmltree.DocID) {
 			return
 		}
 	}
-	rows := matchRows(c.order, c.colOf, c.jorder, docCands, nil)
+	rows := matchRows(c.order, c.colOf, c.jorder, docCands, nil, &c.interm)
 	sort.SliceStable(rows, func(a, b int) bool {
 		for i := range c.order {
 			x, y := rows[a][i].ID(), rows[b][i].ID()
@@ -126,4 +128,17 @@ func (c *Cursor) fillDoc(doc xmltree.DocID) {
 
 // Stats returns the cursor's access counters; Witnesses counts the
 // bindings returned so far.
-func (c *Cursor) Stats() *DBStats { return c.stats }
+func (c *Cursor) Stats() *DBStats {
+	c.stats.IntermediateBindings = int(c.interm.Load())
+	return c.stats
+}
+
+// Err reports the first error the cursor hit. OpenCursor performs
+// every database read up front, so a successfully opened cursor cannot
+// fail later; Err exists to satisfy the Matcher interface.
+func (c *Cursor) Err() error { return nil }
+
+// Close releases the cursor's resources. OpenCursor materializes its
+// candidate lists and releases its pin before returning, so there is
+// nothing to free; Close exists to satisfy the Matcher interface.
+func (c *Cursor) Close() error { return nil }

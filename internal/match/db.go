@@ -3,6 +3,7 @@ package match
 import (
 	"context"
 	"sort"
+	"sync/atomic"
 
 	"timber/internal/obs"
 	"timber/internal/par"
@@ -35,6 +36,20 @@ type DBStats struct {
 	// order; the order only changes how fast intermediate row sets
 	// shrink.
 	JoinOrder []string
+	// PostingsScanned counts index postings decoded to serve the match.
+	// For the binary cascade this equals Candidates (every candidate
+	// list is materialized in full); the holistic matcher decodes only
+	// the blocks its stream alignment could not skip, plus block
+	// remainders.
+	PostingsScanned int
+	// IntermediateBindings counts partial binding rows materialized
+	// between the candidate scan and the witness output: join-produced
+	// rows for the binary cascade, root-to-leaf path solutions plus
+	// merge rows for the holistic matcher.
+	IntermediateBindings int
+	// Matcher names the algorithm that produced the bindings ("binary"
+	// or "twig").
+	Matcher string
 }
 
 // recFields adapts a stored node record to pattern.Fields.
@@ -88,7 +103,7 @@ func MatchDBObs(ctx context.Context, db storage.Reader, pt *pattern.Tree, parall
 	db, release := storage.Pin(db)
 	defer release()
 	order := preorder(pt.Root)
-	stats := &DBStats{}
+	stats := &DBStats{Matcher: MatcherBinary.String()}
 
 	// Column index by label, following pre-order positions.
 	colOf := make(map[string]int, len(order))
@@ -149,6 +164,7 @@ func MatchDBObs(ctx context.Context, db storage.Reader, pt *pattern.Tree, parall
 		jm = &sjoin.Metrics{}
 	}
 	rowsByDoc := make([][][]storage.Posting, len(docs))
+	var interm atomic.Int64
 	if err := par.Do(ctx, len(docs), workers, func(k int) error {
 		docCands := make([][]storage.Posting, len(order))
 		for i := range cands {
@@ -157,12 +173,13 @@ func MatchDBObs(ctx context.Context, db storage.Reader, pt *pattern.Tree, parall
 				return nil
 			}
 		}
-		rowsByDoc[k] = matchRows(order, colOf, jorder, docCands, jm)
+		rowsByDoc[k] = matchRows(order, colOf, jorder, docCands, jm, &interm)
 		return nil
 	}); err != nil {
 		joinSp.End()
 		return nil, nil, err
 	}
+	stats.IntermediateBindings = int(interm.Load())
 
 	// Merge in document order (candidate lists are (doc, start)-sorted,
 	// so concatenation preserves the sequential row order).
@@ -237,7 +254,7 @@ func greedyJoinOrder(order []*pattern.Node, colOf map[string]int, cands [][]stor
 // to order[i] in row r. Pure in-memory computation — no database
 // access — so per-document invocations run concurrently without
 // coordination.
-func matchRows(order []*pattern.Node, colOf map[string]int, jorder []int, cands [][]storage.Posting, jm *sjoin.Metrics) [][]storage.Posting {
+func matchRows(order []*pattern.Node, colOf map[string]int, jorder []int, cands [][]storage.Posting, jm *sjoin.Metrics, interm *atomic.Int64) [][]storage.Posting {
 	rows := make([][]storage.Posting, len(cands[0]))
 	for r, p := range cands[0] {
 		row := make([]storage.Posting, len(order))
@@ -281,6 +298,9 @@ func matchRows(order []*pattern.Node, colOf map[string]int, jorder []int, cands 
 			}
 		}
 		rows = next
+		if interm != nil {
+			interm.Add(int64(len(next)))
+		}
 		if len(rows) == 0 {
 			return nil
 		}
@@ -353,9 +373,11 @@ func candidates(db storage.Reader, pn *pattern.Node, stats *DBStats) ([]storage.
 			}
 		}
 		stats.Candidates += len(posts)
+		stats.PostingsScanned += len(posts)
 		return posts, nil
 	}
 	stats.Candidates += len(posts)
+	stats.PostingsScanned += len(posts)
 
 	rest := remaining(pn.Preds, covered)
 	if len(rest) == 0 {

@@ -1,0 +1,156 @@
+package planner
+
+import (
+	"testing"
+
+	"timber/internal/match"
+	"timber/internal/pattern"
+	"timber/internal/stats"
+)
+
+// chainPattern builds doc_root //article /author.
+func chainPattern() *pattern.Tree {
+	pr := pattern.NewNode("$1", pattern.TagEq{Tag: "doc_root"})
+	art := pr.AddChild(pattern.Descendant, pattern.NewNode("$2", pattern.TagEq{Tag: "article"}))
+	art.AddChild(pattern.Child, pattern.NewNode("$3", pattern.TagEq{Tag: "author"}))
+	return pattern.MustTree(pr)
+}
+
+// matcherCatalog shapes a corpus where only a fraction of documents
+// carry the full chain — the holistic matcher's home turf.
+func matcherCatalog() *stats.Catalog {
+	return &stats.Catalog{
+		TotalNodes: 50000,
+		Documents:  100,
+		Fresh:      true,
+		Tags: map[string]stats.TagStat{
+			"doc_root": {Postings: 100, Docs: 100},
+			"article":  {Postings: 10000, Docs: 100},
+			"author":   {Postings: 2000, Docs: 10, ValuePostings: 2000, DistinctValues: 500},
+		},
+	}
+}
+
+// TestChooseMatcherWithoutStats: no catalog — holistic by structural
+// default when the pattern qualifies, binary when it cannot.
+func TestChooseMatcherWithoutStats(t *testing.T) {
+	d := ChooseMatcher(nil, chainPattern())
+	if d.Matcher != match.MatcherTwig || d.StatsUsed {
+		t.Errorf("no-stats decision = %v (StatsUsed=%v), want twig default", d.Matcher, d.StatsUsed)
+	}
+	if len(d.JoinOrder) != 3 || d.JoinOrder[0] != "$1" {
+		t.Errorf("JoinOrder = %v", d.JoinOrder)
+	}
+
+	untagged := pattern.MustTree(pattern.NewNode("$1", pattern.ContentEq{Value: "x"}))
+	d = ChooseMatcher(matcherCatalog(), untagged)
+	if d.Matcher != match.MatcherBinary {
+		t.Errorf("untagged pattern chose %v, want binary", d.Matcher)
+	}
+}
+
+// TestChooseMatcherCostsBoth: with statistics both matchers are
+// costed, cheapest first, and the chosen one is the cheapest. On the
+// sparse-chain catalog the holistic matcher must win: its streams skip
+// the 90% of documents without authors.
+func TestChooseMatcherCostsBoth(t *testing.T) {
+	d := ChooseMatcher(matcherCatalog(), chainPattern())
+	if !d.StatsUsed || len(d.Candidates) != 2 {
+		t.Fatalf("decision = %+v", d)
+	}
+	if d.Candidates[0].Cost > d.Candidates[1].Cost {
+		t.Errorf("candidates not sorted: %v", d.Candidates)
+	}
+	if d.Matcher != d.Candidates[0].Matcher {
+		t.Errorf("chose %v but cheapest is %v", d.Matcher, d.Candidates[0].Matcher)
+	}
+	if d.Matcher != match.MatcherTwig {
+		t.Errorf("sparse chain chose %v, want twig (candidates %+v)", d.Matcher, d.Candidates)
+	}
+	if d.Witnesses <= 0 {
+		t.Errorf("Witnesses estimate = %v", d.Witnesses)
+	}
+}
+
+// TestChooseMatcherBinaryJoinOrder: when binary wins, JoinOrder is the
+// greedy estimated order — root first, then smallest candidate list
+// among bound-parent nodes.
+func TestChooseMatcherBinaryJoinOrder(t *testing.T) {
+	// Uniform document overlap: no skipping for twig to exploit, and a
+	// wide branch making the binary's cheap-edge-first order matter.
+	cat := &stats.Catalog{
+		TotalNodes: 20000,
+		Documents:  10,
+		Fresh:      true,
+		Tags: map[string]stats.TagStat{
+			"article": {Postings: 1000, Docs: 10},
+			"author":  {Postings: 5000, Docs: 10},
+			"title":   {Postings: 100, Docs: 10},
+		},
+	}
+	pr := pattern.NewNode("$1", pattern.TagEq{Tag: "article"})
+	pr.AddChild(pattern.Child, pattern.NewNode("$2", pattern.TagEq{Tag: "author"}))
+	pr.AddChild(pattern.Child, pattern.NewNode("$3", pattern.TagEq{Tag: "title"}))
+	d := ChooseMatcher(cat, pattern.MustTree(pr))
+	if d.Matcher == match.MatcherBinary {
+		want := []string{"$1", "$3", "$2"} // title (100) before author (5000)
+		if len(d.JoinOrder) != 3 || d.JoinOrder[0] != want[0] || d.JoinOrder[1] != want[1] || d.JoinOrder[2] != want[2] {
+			t.Errorf("JoinOrder = %v, want %v", d.JoinOrder, want)
+		}
+	}
+}
+
+// TestNodeEstimateValuePredicate pins satellite S1: an equality
+// content predicate routes through the value index, shrinking the
+// node estimate by the tag's distinct-value count — more distinct
+// values, more selective, smaller estimate.
+func TestNodeEstimateValuePredicate(t *testing.T) {
+	cat := matcherCatalog()
+	plain := pattern.NewNode("$1", pattern.TagEq{Tag: "author"})
+	pinned := pattern.NewNode("$1", pattern.TagEq{Tag: "author"}, pattern.ContentEq{Value: "Jack"})
+
+	if got := NodeEstimate(cat, plain); got != 2000 {
+		t.Errorf("plain estimate = %v, want 2000 postings", got)
+	}
+	got := NodeEstimate(cat, pinned)
+	if got != 4 { // 2000 value postings / 500 distinct values
+		t.Errorf("value-pinned estimate = %v, want 4", got)
+	}
+
+	// Doubling the distinct-value count halves the estimate.
+	ts := cat.Tags["author"]
+	ts.DistinctValues = 1000
+	cat.Tags["author"] = ts
+	if got := NodeEstimate(cat, pinned); got != 2 {
+		t.Errorf("estimate with 1000 distinct values = %v, want 2", got)
+	}
+}
+
+// TestChooseMatcherValuePredicateFlows: the value predicate's
+// selectivity must reach the matcher costs, not just NodeEstimate —
+// pinning the author's content shrinks both candidates' costs.
+func TestChooseMatcherValuePredicateFlows(t *testing.T) {
+	pr := pattern.NewNode("$1", pattern.TagEq{Tag: "doc_root"})
+	art := pr.AddChild(pattern.Descendant, pattern.NewNode("$2", pattern.TagEq{Tag: "article"}))
+	art.AddChild(pattern.Child, pattern.NewNode("$3",
+		pattern.TagEq{Tag: "author"}, pattern.ContentEq{Value: "Jack"}))
+	pinned := ChooseMatcher(matcherCatalog(), pattern.MustTree(pr))
+	free := ChooseMatcher(matcherCatalog(), chainPattern())
+	costOf := func(d *MatcherDecision, k match.MatcherKind) float64 {
+		for _, c := range d.Candidates {
+			if c.Matcher == k {
+				return c.Cost
+			}
+		}
+		t.Fatalf("no %v candidate in %+v", k, d.Candidates)
+		return 0
+	}
+	for _, k := range []match.MatcherKind{match.MatcherBinary, match.MatcherTwig} {
+		if costOf(pinned, k) >= costOf(free, k) {
+			t.Errorf("%v: pinned cost %.0f not below unpinned %.0f", k, costOf(pinned, k), costOf(free, k))
+		}
+	}
+	if pinned.Witnesses >= free.Witnesses {
+		t.Errorf("pinned witnesses %.0f not below unpinned %.0f", pinned.Witnesses, free.Witnesses)
+	}
+}

@@ -2,6 +2,8 @@ package storage
 
 import (
 	"bytes"
+	"encoding/binary"
+	"sort"
 
 	"timber/internal/btree"
 	"timber/internal/pagestore"
@@ -30,6 +32,13 @@ type TagCursor struct {
 	compact bool
 	buf     []Posting
 	bufPos  int
+
+	// decoded counts postings decoded from index cells (whole blocks
+	// count in full); skippedBlocks counts compact blocks Seek jumped
+	// over without decoding. Together they quantify how much index the
+	// cursor actually touched — the holistic matcher's cost unit.
+	decoded       int
+	skippedBlocks int
 }
 
 // OpenTagCursor positions a cursor at the first posting of tag across
@@ -100,6 +109,7 @@ func (c *TagCursor) Next() (Posting, bool) {
 			c.done = true
 			return Posting{}, false
 		}
+		c.decoded += len(buf)
 		c.buf = buf
 		c.bufPos = 1
 		c.it.Next()
@@ -111,9 +121,108 @@ func (c *TagCursor) Next() (Posting, bool) {
 		c.done = true
 		return Posting{}, false
 	}
+	c.decoded++
 	c.it.Next()
 	return p, true
 }
+
+// Seek fast-forwards the cursor so the next Next returns the first
+// remaining posting at or after (doc, start) in (doc, start) order; it
+// never moves backward. Compact posting blocks are bounded by their
+// header key and never span documents, so whole blocks strictly below
+// the target are skipped without decoding — one-cell lookahead inside
+// the leaf decides whether the current block can straddle the target.
+// This is the non-overlap skip the holistic twig matcher relies on.
+func (c *TagCursor) Seek(doc xmltree.DocID, start uint32) {
+	var suffix [8]byte
+	copy(suffix[0:], be32(uint32(doc)))
+	copy(suffix[4:], be32(start))
+	// Serve from the decoded block first: if the target lies at or
+	// before its last posting the answer is a buffer reposition.
+	if c.bufPos < len(c.buf) {
+		i := c.bufPos + postingSearch(c.buf[c.bufPos:], doc, start)
+		if i < len(c.buf) {
+			c.bufPos = i
+			return
+		}
+		c.buf = c.buf[:0]
+		c.bufPos = 0
+	}
+	if c.done || c.err != nil {
+		return
+	}
+	if !c.compact {
+		// One cell per posting: the target key is exact, so the B+tree
+		// forward seek lands on it (or the first key past it) directly.
+		if c.it.Valid() {
+			k := c.it.Key()
+			target := make([]byte, 0, len(k))
+			target = append(target, k[:len(k)-8]...)
+			target = append(target, suffix[:]...)
+			c.it.SeekForward(target)
+		}
+		return
+	}
+	for c.it.Valid() {
+		k := c.it.Key()
+		if !bytes.HasPrefix(k, c.prefix) {
+			c.done = true
+			return
+		}
+		if bytes.Compare(k[len(k)-8:], suffix[:]) >= 0 {
+			return // block starts at/after the target; Next serves it
+		}
+		// Block starts before the target. It cannot contain the target
+		// if it belongs to an earlier document (blocks never span docs)
+		// or if the next block starts at or before the target.
+		if xmltree.DocID(binary.BigEndian.Uint32(k[len(k)-8:])) < doc {
+			c.skippedBlocks++
+			c.it.Next()
+			continue
+		}
+		if nk, ok := c.it.PeekNextKey(); ok && bytes.HasPrefix(nk, c.prefix) &&
+			bytes.Compare(nk[len(nk)-8:], suffix[:]) <= 0 {
+			c.skippedBlocks++
+			c.it.Next()
+			continue
+		}
+		// The block may straddle the target: decode and search it.
+		buf, err := appendBlockPostings(c.buf[:0], k[len(k)-8:], c.it.Value())
+		if err != nil {
+			c.err = err
+			c.done = true
+			return
+		}
+		c.decoded += len(buf)
+		c.it.Next()
+		if i := postingSearch(buf, doc, start); i < len(buf) {
+			c.buf = buf
+			c.bufPos = i
+			return
+		}
+		c.buf = buf[:0]
+	}
+	c.done = true
+	c.err = c.it.Err()
+}
+
+// postingSearch returns the index of the first posting in ps at or
+// after (doc, start); ps is sorted by (doc, start).
+func postingSearch(ps []Posting, doc xmltree.DocID, start uint32) int {
+	return sort.Search(len(ps), func(i int) bool {
+		iv := ps[i].Interval
+		return iv.Doc > doc || (iv.Doc == doc && iv.Start >= start)
+	})
+}
+
+// PostingsDecoded reports how many postings the cursor has decoded from
+// the index, including postings decoded while seeking and block
+// remainders the caller never consumed.
+func (c *TagCursor) PostingsDecoded() int { return c.decoded }
+
+// BlocksSkipped reports how many compact posting blocks Seek jumped
+// over without decoding.
+func (c *TagCursor) BlocksSkipped() int { return c.skippedBlocks }
 
 // Err reports the first error the cursor hit, if any.
 func (c *TagCursor) Err() error { return c.err }
